@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks: detector fit and predict throughput.
+//!
+//! Quantifies the per-family cost asymmetry that motivates both PSA (slow
+//! predictors get approximated) and BPS (heterogeneous fit costs need
+//! balanced scheduling).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use suod::prelude::*;
+use suod_datasets::synthetic::{generate, SyntheticConfig};
+
+fn dataset() -> Matrix {
+    generate(&SyntheticConfig {
+        n_samples: 300,
+        n_features: 10,
+        contamination: 0.1,
+        seed: 5,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .x
+}
+
+fn specs() -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        (
+            "knn",
+            ModelSpec::Knn {
+                n_neighbors: 10,
+                method: KnnMethod::Largest,
+            },
+        ),
+        (
+            "lof",
+            ModelSpec::Lof {
+                n_neighbors: 10,
+                metric: Metric::Euclidean,
+            },
+        ),
+        ("abod", ModelSpec::Abod { n_neighbors: 10 }),
+        (
+            "hbos",
+            ModelSpec::Hbos {
+                n_bins: 20,
+                tolerance: 0.3,
+            },
+        ),
+        (
+            "iforest",
+            ModelSpec::IForest {
+                n_estimators: 50,
+                max_features: 0.8,
+            },
+        ),
+        ("cblof", ModelSpec::Cblof { n_clusters: 5 }),
+    ]
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let x = dataset();
+    let mut group = c.benchmark_group("detector_fit_300x10");
+    group.sample_size(10);
+    for (name, spec) in specs() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || spec.build(1).expect("valid spec"),
+                |mut det| {
+                    det.fit(black_box(&x)).expect("fit");
+                    det
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let x = dataset();
+    let mut group = c.benchmark_group("detector_predict_300x10");
+    group.sample_size(10);
+    for (name, spec) in specs() {
+        let mut det = spec.build(1).expect("valid spec");
+        det.fit(&x).expect("fit");
+        group.bench_function(name, |b| {
+            b.iter(|| det.decision_function(black_box(&x)).expect("score"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks: metric and combination throughput.
+//!
+//! Score combination runs once per prediction batch over the whole
+//! `n x m` matrix; these benches confirm it is negligible next to
+//! detector scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use suod_linalg::Matrix;
+use suod_metrics::{average, moa, precision_at_n, roc_auc, spearman};
+
+fn scores(n: usize, seed: u64) -> (Vec<i32>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<i32> = (0..n).map(|_| i32::from(rng.random::<f64>() < 0.1)).collect();
+    let scores: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+    (labels, scores)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (labels, vals) = scores(10_000, 1);
+    let mut group = c.benchmark_group("metrics_n10000");
+    group.sample_size(20);
+    group.bench_function("roc_auc", |b| {
+        b.iter(|| roc_auc(black_box(&labels), black_box(&vals)).expect("both classes"))
+    });
+    group.bench_function("precision_at_n", |b| {
+        b.iter(|| precision_at_n(black_box(&labels), black_box(&vals), None).expect("outliers"))
+    });
+    group.bench_function("spearman", |b| {
+        let (_, other) = scores(10_000, 2);
+        b.iter(|| spearman(black_box(&vals), black_box(&other)).expect("non-constant"))
+    });
+    group.finish();
+}
+
+fn bench_combination(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data: Vec<f64> = (0..5000 * 40).map(|_| rng.random::<f64>()).collect();
+    let m = Matrix::from_vec(5000, 40, data).expect("sized");
+    let mut group = c.benchmark_group("combination_5000x40");
+    group.sample_size(20);
+    group.bench_function("average", |b| {
+        b.iter(|| average(black_box(&m)).expect("non-empty"))
+    });
+    group.bench_function("moa_8_buckets", |b| {
+        b.iter(|| moa(black_box(&m), 8).expect("non-empty"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_combination);
+criterion_main!(benches);

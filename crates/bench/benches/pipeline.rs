@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks: the composed SUOD pipeline.
+//!
+//! Fit and predict of a small heterogeneous pool with modules off vs on —
+//! the end-to-end cost picture the full-system evaluation (Table 4)
+//! expands on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use suod::prelude::*;
+use suod_datasets::synthetic::{generate, SyntheticConfig};
+
+fn dataset() -> Matrix {
+    generate(&SyntheticConfig {
+        n_samples: 400,
+        n_features: 30,
+        contamination: 0.1,
+        seed: 13,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .x
+}
+
+fn pool() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 10,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Hbos {
+            n_bins: 20,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 30,
+            max_features: 0.8,
+        },
+    ]
+}
+
+fn build(full: bool) -> Suod {
+    Suod::builder()
+        .base_estimators(pool())
+        .with_projection(full)
+        .with_approximation(full)
+        .with_bps(full)
+        .seed(1)
+        .build()
+        .expect("valid config")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let x = dataset();
+    let mut group = c.benchmark_group("suod_pipeline_400x30_m4");
+    group.sample_size(10);
+
+    group.bench_function("fit_baseline", |b| {
+        b.iter(|| {
+            let mut clf = build(false);
+            clf.fit(black_box(&x)).expect("fit");
+        })
+    });
+    group.bench_function("fit_all_modules", |b| {
+        b.iter(|| {
+            let mut clf = build(true);
+            clf.fit(black_box(&x)).expect("fit");
+        })
+    });
+
+    let mut baseline = build(false);
+    baseline.fit(&x).expect("fit");
+    let mut full = build(true);
+    full.fit(&x).expect("fit");
+    group.bench_function("predict_baseline", |b| {
+        b.iter(|| baseline.decision_function(black_box(&x)).expect("score"))
+    });
+    group.bench_function("predict_all_modules", |b| {
+        b.iter(|| full.decision_function(black_box(&x)).expect("score"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks: projection construction + transform cost.
+//!
+//! The structured JL variants (circulant/toeplitz) draw O(d) random
+//! values versus O(kd) for basic/discrete — this bench shows the fit-side
+//! gap, plus PCA's eigendecomposition overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use suod_datasets::synthetic::{generate, SyntheticConfig};
+use suod_linalg::Matrix;
+use suod_projection::{JlProjector, JlVariant, PcaProjector, Projector, RandomSelectProjector};
+
+fn dataset() -> Matrix {
+    generate(&SyntheticConfig {
+        n_samples: 500,
+        n_features: 60,
+        contamination: 0.1,
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .x
+}
+
+fn bench_fit_transform(c: &mut Criterion) {
+    let x = dataset();
+    let k = 40;
+    let mut group = c.benchmark_group("projection_fit_transform_500x60_k40");
+    group.sample_size(10);
+
+    for variant in JlVariant::all() {
+        let name = match variant {
+            JlVariant::Basic => "jl_basic",
+            JlVariant::Discrete => "jl_discrete",
+            JlVariant::Circulant => "jl_circulant",
+            JlVariant::Toeplitz => "jl_toeplitz",
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = JlProjector::new(variant, k, 3).expect("k >= 1");
+                p.fit(black_box(&x)).expect("fit");
+                p.transform(black_box(&x)).expect("transform")
+            })
+        });
+    }
+    group.bench_function("pca", |b| {
+        b.iter(|| {
+            let mut p = PcaProjector::new(k).expect("k >= 1");
+            p.fit(black_box(&x)).expect("fit");
+            p.transform(black_box(&x)).expect("transform")
+        })
+    });
+    group.bench_function("random_select", |b| {
+        b.iter(|| {
+            let mut p = RandomSelectProjector::new(k, 3).expect("k >= 1");
+            p.fit(black_box(&x)).expect("fit");
+            p.transform(black_box(&x)).expect("transform")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_transform);
+criterion_main!(benches);

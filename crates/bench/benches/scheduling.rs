@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks: scheduling overhead.
+//!
+//! BPS adds a ranking + greedy-assignment step on top of generic
+//! chunking; this bench shows that the overhead is microseconds even for
+//! 1000-model pools — negligible against seconds of detector training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use suod_scheduler::{bps_schedule, generic_schedule, shuffled_schedule, simulate_makespan};
+
+fn costs(m: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..m).map(|_| rng.random_range(0.01..10.0)).collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_m1000_t8");
+    group.sample_size(20);
+    let cost_vec = costs(1000);
+
+    group.bench_function("generic", |b| {
+        b.iter(|| generic_schedule(black_box(1000), 8).expect("valid"))
+    });
+    group.bench_function("shuffled", |b| {
+        b.iter(|| shuffled_schedule(black_box(1000), 8, 3).expect("valid"))
+    });
+    group.bench_function("bps", |b| {
+        b.iter(|| bps_schedule(black_box(&cost_vec), 8, 1.0).expect("valid"))
+    });
+    group.bench_function("simulate_makespan", |b| {
+        let a = bps_schedule(&cost_vec, 8, 1.0).expect("valid");
+        b.iter(|| simulate_makespan(black_box(&cost_vec), &a).expect("valid"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

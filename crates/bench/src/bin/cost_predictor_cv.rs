@@ -1,0 +1,177 @@
+//! §3.5 reproduction: cost-predictor cross-validation.
+//!
+//! The paper trains the model-cost predictor `C_cost` on measured timings
+//! across algorithm families and datasets and reports Spearman rank
+//! correlation consistently above 0.9 under 10-fold CV. This binary:
+//!
+//! 1. measures real fit timings of the family grid over a sweep of
+//!    dataset shapes (a timing corpus);
+//! 2. runs k-fold CV of the random-forest cost predictor on that corpus;
+//! 3. reports per-fold Spearman correlation between predicted and true
+//!    costs, plus the analytic model's correlation as a baseline.
+//!
+//! Flags: `--quick`, `--paper-scale`.
+
+use std::time::Instant;
+use suod::prelude::*;
+use suod_bench::{mean, CsvSink, Scale};
+use suod_datasets::synthetic::{generate, SyntheticConfig};
+use suod_metrics::spearman;
+use suod_scheduler::cost::CostSample;
+use suod_scheduler::{AnalyticCostModel, CostModel, DatasetMeta, ForestCostPredictor};
+
+fn family_grid() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 40,
+            method: KnnMethod::Mean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 10,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 40,
+            metric: Metric::Manhattan,
+        },
+        ModelSpec::Abod { n_neighbors: 10 },
+        ModelSpec::Abod { n_neighbors: 30 },
+        ModelSpec::Hbos {
+            n_bins: 10,
+            tolerance: 0.3,
+        },
+        ModelSpec::Hbos {
+            n_bins: 50,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 30,
+            max_features: 0.8,
+        },
+        ModelSpec::IForest {
+            n_estimators: 100,
+            max_features: 0.5,
+        },
+        ModelSpec::Cblof { n_clusters: 4 },
+        ModelSpec::Cblof { n_clusters: 12 },
+        ModelSpec::FeatureBagging { n_estimators: 5 },
+        ModelSpec::Loop { n_neighbors: 15 },
+        ModelSpec::Ocsvm {
+            nu: 0.3,
+            kernel: Kernel::Rbf { gamma: 0.0 },
+        },
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<(usize, usize)> = scale.pick(
+        vec![(200, 8), (400, 8)],
+        vec![
+            (200, 8),
+            (400, 16),
+            (600, 24),
+            (800, 8),
+            (800, 32),
+            (1200, 12),
+            (1600, 16),
+        ],
+        vec![
+            (500, 8),
+            (1000, 16),
+            (2000, 8),
+            (2000, 32),
+            (4000, 16),
+            (4000, 64),
+            (8000, 32),
+        ],
+    );
+    let n_folds = scale.pick(3usize, 5, 10);
+    // The paper's C_cost targets are the *sum over 10 trials* — repeated
+    // measurement averages out sub-millisecond timer noise.
+    let timing_trials = scale.pick(1usize, 3, 10);
+    let mut csv = CsvSink::create("cost_predictor_cv", "fold,spearman_forest,spearman_analytic");
+
+    // 1. Timing corpus over shape x family.
+    println!("building timing corpus ({} shapes x {} specs)...", sizes.len(), family_grid().len());
+    let mut samples: Vec<CostSample> = Vec::new();
+    for (si, &(n, d)) in sizes.iter().enumerate() {
+        let ds = generate(&SyntheticConfig {
+            n_samples: n,
+            n_features: d,
+            contamination: 0.1,
+            seed: 100 + si as u64,
+            ..Default::default()
+        })
+        .expect("valid synthetic config");
+        let meta = DatasetMeta::extract(&ds.x);
+        for (mi, spec) in family_grid().iter().enumerate() {
+            let mut seconds = 0.0;
+            for trial in 0..timing_trials {
+                let mut det = spec
+                    .build(mi as u64 + 1000 * trial as u64)
+                    .expect("valid spec");
+                let start = Instant::now();
+                det.fit(&ds.x).expect("detector fit");
+                seconds += start.elapsed().as_secs_f64();
+            }
+            samples.push(CostSample {
+                task: spec.task_descriptor(),
+                meta,
+                seconds: seconds.max(1e-7),
+            });
+        }
+    }
+    println!("corpus: {} timing samples", samples.len());
+
+    // 2. k-fold CV (round-robin folds keep shape/family mix balanced).
+    let analytic = AnalyticCostModel::new();
+    let mut forest_rhos = Vec::new();
+    let mut analytic_rhos = Vec::new();
+    println!("\n{:<6} {:>16} {:>18}", "fold", "Spearman forest", "Spearman analytic");
+    for fold in 0..n_folds {
+        let train: Vec<CostSample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n_folds != fold)
+            .map(|(_, s)| *s)
+            .collect();
+        let test: Vec<CostSample> = samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n_folds == fold)
+            .map(|(_, s)| *s)
+            .collect();
+
+        let mut predictor = ForestCostPredictor::new(60, fold as u64);
+        predictor.fit(&train).expect("non-empty corpus");
+
+        let truth: Vec<f64> = test.iter().map(|s| s.seconds).collect();
+        let pred_forest: Vec<f64> = test
+            .iter()
+            .map(|s| predictor.predict_cost(&s.task, &s.meta))
+            .collect();
+        let pred_analytic: Vec<f64> = test
+            .iter()
+            .map(|s| analytic.predict_cost(&s.task, &s.meta))
+            .collect();
+
+        let rho_f = spearman(&truth, &pred_forest).unwrap_or(0.0);
+        let rho_a = spearman(&truth, &pred_analytic).unwrap_or(0.0);
+        println!("{fold:<6} {rho_f:>16.3} {rho_a:>18.3}");
+        csv.row(&format!("{fold},{rho_f:.4},{rho_a:.4}"));
+        forest_rhos.push(rho_f);
+        analytic_rhos.push(rho_a);
+    }
+    println!(
+        "\nmean Spearman: forest {:.3}, analytic {:.3}",
+        mean(&forest_rhos),
+        mean(&analytic_rhos)
+    );
+    println!("wrote {}", csv.path().display());
+    println!("(the paper reports r_s > 0.9 in all folds for the learned predictor)");
+}

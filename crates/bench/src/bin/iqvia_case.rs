@@ -1,0 +1,203 @@
+//! §4.5 reproduction: fraudulent medical claim analysis (IQVIA case).
+//!
+//! The paper deploys SUOD on a proprietary 123,720 x 35 claims dataset
+//! (15.38 % fraud), 60/40 split, 10 workers, and reports: fit time
+//! 6232.5 s → 4202.3 s (−32.6 %), predict time 3723.5 s → 2814.9 s
+//! (−24.4 %), with ROC +3.59 % and P@N +7.46 %.
+//!
+//! This binary runs the same protocol on the synthetic claims generator
+//! (DESIGN.md §4, substitution 3): baseline (no modules, generic
+//! scheduling) vs SUOD (all modules, BPS), with 10-worker wall-clocks
+//! simulated from measured per-model costs.
+//!
+//! Flags: `--quick`, `--paper-scale` (full 123,720 claims — slow).
+
+use suod::prelude::*;
+use suod_bench::{CsvSink, Scale};
+use suod_datasets::claims::{generate_claims, ClaimsConfig, PAPER_FRAUD_RATE, PAPER_N_CLAIMS};
+use suod_datasets::train_test_split;
+use suod_metrics::{precision_at_n, roc_auc};
+use suod_scheduler::{
+    bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, CostModel, DatasetMeta,
+};
+
+const WORKERS: usize = 10;
+
+/// The deployed pool: a screening ensemble of ~32 heterogeneous models,
+/// several per family with varied hyperparameters (the paper describes "a
+/// group of selected detection models in PyOD" combined by averaging).
+/// Family-grouped ordering — the realistic layout generic scheduling
+/// chokes on.
+fn pool(n_train: usize) -> Vec<ModelSpec> {
+    let cap = (n_train / 4).max(2);
+    let mut pool = Vec::new();
+    for k in [10usize, 20, 30, 40] {
+        pool.push(ModelSpec::Knn {
+            n_neighbors: k.min(cap),
+            method: KnnMethod::Largest,
+        });
+    }
+    for k in [20usize, 40] {
+        pool.push(ModelSpec::Knn {
+            n_neighbors: k.min(cap),
+            method: KnnMethod::Mean,
+        });
+    }
+    for k in [20usize, 35, 50] {
+        pool.push(ModelSpec::Lof {
+            n_neighbors: k.min(cap),
+            metric: Metric::Euclidean,
+        });
+    }
+    for k in [30usize, 50] {
+        pool.push(ModelSpec::Lof {
+            n_neighbors: k.min(cap),
+            metric: Metric::Manhattan,
+        });
+    }
+    for k in [10usize, 15, 20] {
+        pool.push(ModelSpec::Abod {
+            n_neighbors: k.min(cap),
+        });
+    }
+    for c in [4usize, 8, 12] {
+        pool.push(ModelSpec::Cblof { n_clusters: c });
+    }
+    for (t, f) in [(50usize, 0.5f64), (100, 0.8), (150, 0.6), (200, 0.9)] {
+        pool.push(ModelSpec::IForest {
+            n_estimators: t,
+            max_features: f,
+        });
+    }
+    for (b, tol) in [(15usize, 0.1f64), (25, 0.2), (50, 0.4), (75, 0.3)] {
+        pool.push(ModelSpec::Hbos {
+            n_bins: b,
+            tolerance: tol,
+        });
+    }
+    for t in [5usize, 10] {
+        pool.push(ModelSpec::FeatureBagging { n_estimators: t });
+    }
+    for nu in [0.2f64, 0.5] {
+        pool.push(ModelSpec::Ocsvm {
+            nu,
+            kernel: Kernel::Rbf { gamma: 0.0 },
+        });
+    }
+    pool
+}
+
+struct Outcome {
+    fit_makespan: f64,
+    pred_makespan: f64,
+    roc: f64,
+    pan: f64,
+}
+
+fn run(full: bool, split: &suod_datasets::TrainTestSplit, seed: u64) -> Outcome {
+    let pool = pool(split.x_train.nrows());
+    let meta = DatasetMeta::extract(&split.x_train);
+    let mut clf = Suod::builder()
+        .base_estimators(pool.clone())
+        .with_projection(full)
+        .with_approximation(full)
+        .with_bps(full)
+        .n_workers(1) // measure sequentially; simulate 10 workers below
+        .contamination(PAPER_FRAUD_RATE)
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    clf.fit(&split.x_train).expect("claims fit");
+    let fit_costs: Vec<f64> = clf
+        .fit_times()
+        .expect("fitted")
+        .iter()
+        .map(|d| d.as_secs_f64().max(1e-9))
+        .collect();
+
+    let (scores, pred_times) = clf
+        .decision_function_timed(&split.x_test)
+        .expect("claims scoring");
+    let pred_costs: Vec<f64> = pred_times.iter().map(|d| d.as_secs_f64().max(1e-9)).collect();
+
+    let assignment_fit = if full {
+        let tasks: Vec<_> = pool.iter().map(|s| s.task_descriptor()).collect();
+        let predicted = AnalyticCostModel::new().predict_costs(&tasks, &meta);
+        bps_schedule(&predicted, WORKERS, 1.0).expect("finite costs")
+    } else {
+        generic_schedule(pool.len(), WORKERS).expect("m,t >= 1")
+    };
+    let fit_makespan = simulate_makespan(&fit_costs, &assignment_fit)
+        .expect("matching lengths")
+        .makespan;
+    let pred_makespan = simulate_makespan(&pred_costs, &assignment_fit)
+        .expect("matching lengths")
+        .makespan;
+
+    let combined = suod_metrics::average(&scores).expect("non-empty scores");
+    Outcome {
+        fit_makespan,
+        pred_makespan,
+        roc: roc_auc(&split.y_test, &combined).unwrap_or(0.5),
+        pan: precision_at_n(&split.y_test, &combined, None).unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_claims = scale.pick(2_000usize, 12_000, PAPER_N_CLAIMS);
+    let mut csv = CsvSink::create(
+        "iqvia_case",
+        "setting,fit_s,pred_s,roc,p_at_n",
+    );
+
+    println!("IQVIA claims case: {n_claims} claims, {WORKERS} (simulated) workers");
+    let ds = generate_claims(&ClaimsConfig {
+        n_claims,
+        fraud_rate: PAPER_FRAUD_RATE,
+        seed: 2021,
+    })
+    .expect("valid claims config");
+    // The paper uses 74,220 train / 49,500 validation: a 60/40 split.
+    let split = train_test_split(&ds, 0.4, 2021).expect("valid split");
+    println!(
+        "train {} / validation {} ({} features, {:.2}% fraud)\n",
+        split.x_train.nrows(),
+        split.x_test.nrows(),
+        ds.n_features(),
+        100.0 * ds.contamination()
+    );
+
+    let baseline = run(false, &split, 9);
+    let suod_run = run(true, &split, 9);
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>8} {:>8}",
+        "setting", "fit(s)", "pred(s)", "ROC", "P@N"
+    );
+    for (name, o) in [("baseline", &baseline), ("suod", &suod_run)] {
+        println!(
+            "{name:<10} {:>10.3} {:>10.3} {:>8.4} {:>8.4}",
+            o.fit_makespan, o.pred_makespan, o.roc, o.pan
+        );
+        csv.row(&format!(
+            "{name},{:.6},{:.6},{:.4},{:.4}",
+            o.fit_makespan, o.pred_makespan, o.roc, o.pan
+        ));
+    }
+    let fit_redu = 100.0 * (baseline.fit_makespan - suod_run.fit_makespan)
+        / baseline.fit_makespan.max(1e-12);
+    let pred_redu = 100.0 * (baseline.pred_makespan - suod_run.pred_makespan)
+        / baseline.pred_makespan.max(1e-12);
+    println!("\nfit time reduction : {fit_redu:.2}%   (paper: 32.57%)");
+    println!("pred time reduction: {pred_redu:.2}%   (paper: 24.40%)");
+    println!(
+        "ROC change         : {:+.2}%   (paper: +3.59%)",
+        100.0 * (suod_run.roc - baseline.roc) / baseline.roc.max(1e-12)
+    );
+    println!(
+        "P@N change         : {:+.2}%   (paper: +7.46%)",
+        100.0 * (suod_run.pan - baseline.pan) / baseline.pan.max(1e-12)
+    );
+    println!("wrote {}", csv.path().display());
+}

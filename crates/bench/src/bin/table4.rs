@@ -1,0 +1,210 @@
+//! Table 4 reproduction: full-system evaluation.
+//!
+//! A randomized heterogeneous pool (worst case for BPS, as in §4.4) is
+//! fitted on a 60/40 split under two settings:
+//!
+//! * **baseline** (`_B`) — no projection, no approximation, generic
+//!   scheduling;
+//! * **SUOD** (`_S`) — all three modules enabled.
+//!
+//! Per-model fit/predict costs are measured; `t`-worker wall-clocks are
+//! the simulated makespans (DESIGN.md §4). Accuracy is reported for the
+//! `Avg` and `MOA` combiners, ROC and P@N each.
+//!
+//! Flags: `--quick`, `--paper-scale`.
+
+use suod::prelude::*;
+use suod_bench::{CsvSink, Scale};
+use suod_datasets::{registry, train_test_split};
+use suod_metrics::combination::{average, moa};
+use suod_metrics::{precision_at_n, roc_auc};
+use suod_scheduler::{
+    bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, CostModel, DatasetMeta,
+};
+
+const DATASETS: &[&str] = &[
+    "annthyroid",
+    "cardio",
+    "mnist",
+    "optdigits", // not in the registry: mapped to pendigits-like analog below
+    "pendigits",
+    "pima",
+    "shuttle",
+    "spamspace",
+    "thyroid",
+    "waveform",
+];
+const WORKERS: &[usize] = &[5, 10, 30];
+
+/// Clamp pool hyperparameters to small datasets so every model fits.
+fn clamp(spec: ModelSpec, n_train: usize) -> ModelSpec {
+    let cap = (n_train / 3).max(2);
+    match spec {
+        ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
+            n_neighbors: n_neighbors.min(cap).max(2),
+        },
+        ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+            n_neighbors: n_neighbors.min(cap),
+            method,
+        },
+        ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+            n_neighbors: n_neighbors.min(cap).max(2),
+            metric,
+        },
+        ModelSpec::Cblof { n_clusters } => ModelSpec::Cblof {
+            n_clusters: n_clusters.min(n_train / 4).max(1),
+        },
+        other => other,
+    }
+}
+
+struct Setting {
+    fit_seq: f64,
+    pred_seq: f64,
+    fit_costs: Vec<f64>,
+    pred_costs: Vec<f64>,
+    roc_avg: f64,
+    roc_moa: f64,
+    pan_avg: f64,
+    pan_moa: f64,
+    specs: Vec<ModelSpec>,
+}
+
+fn run_setting(
+    pool: &[ModelSpec],
+    x_train: &Matrix,
+    x_test: &Matrix,
+    y_test: &[i32],
+    full: bool,
+    seed: u64,
+) -> Setting {
+    let mut clf = Suod::builder()
+        .base_estimators(pool.to_vec())
+        .with_projection(full)
+        .with_approximation(full)
+        .with_bps(full)
+        .n_workers(1) // sequential measurement; workers are simulated
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    let fit_start = std::time::Instant::now();
+    clf.fit(x_train).expect("pool fit");
+    let fit_seq = fit_start.elapsed().as_secs_f64();
+
+    let (scores, pred_times) = clf
+        .decision_function_timed(x_test)
+        .expect("scoring fitted pool");
+    let pred_seq: f64 = pred_times.iter().map(|d| d.as_secs_f64()).sum();
+
+    let avg = average(&scores).expect("non-empty scores");
+    let n_buckets = (pool.len() / 5).max(2);
+    let moa_scores = moa(&scores, n_buckets).expect("non-empty scores");
+
+    Setting {
+        fit_seq,
+        pred_seq,
+        fit_costs: clf
+            .fit_times()
+            .expect("fitted")
+            .iter()
+            .map(|d| d.as_secs_f64().max(1e-9))
+            .collect(),
+        pred_costs: pred_times.iter().map(|d| d.as_secs_f64().max(1e-9)).collect(),
+        roc_avg: roc_auc(y_test, &avg).unwrap_or(0.5),
+        roc_moa: roc_auc(y_test, &moa_scores).unwrap_or(0.5),
+        pan_avg: precision_at_n(y_test, &avg, None).unwrap_or(0.0),
+        pan_moa: precision_at_n(y_test, &moa_scores, None).unwrap_or(0.0),
+        specs: pool.to_vec(),
+    }
+}
+
+/// Simulated `t`-worker makespan for a setting's measured cost vector.
+/// The baseline uses generic chunking; SUOD uses BPS over forecasts.
+fn makespan(s: &Setting, costs: &[f64], t: usize, use_bps: bool, meta: &DatasetMeta) -> f64 {
+    let assignment = if use_bps {
+        let tasks: Vec<_> = s.specs.iter().map(|m| m.task_descriptor()).collect();
+        let predicted = AnalyticCostModel::new().predict_costs(&tasks, meta);
+        bps_schedule(&predicted, t, 1.0).expect("finite costs")
+    } else {
+        generic_schedule(costs.len(), t).expect("m,t >= 1")
+    };
+    simulate_makespan(costs, &assignment)
+        .expect("matching lengths")
+        .makespan
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let data_scale = scale.pick(0.04, 0.15, 1.0);
+    let m = scale.pick(12usize, 40, 600);
+    let mut csv = CsvSink::create(
+        "table4",
+        "dataset,n,d,t,fit_b,fit_s,pred_b,pred_s,avg_b,avg_s,moa_b,moa_s,panavg_b,panavg_s,panmoa_b,panmoa_s",
+    );
+
+    println!("Table 4: full system vs baseline (m = {m} random models, shuffled order)");
+    println!(
+        "{:<11} {:>2} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6}",
+        "dataset", "t", "Fit_B", "Fit_S", "Pred_B", "Pred_S", "AvgB", "AvgS", "MoaB", "MoaS"
+    );
+
+    for ds_name in DATASETS {
+        // `optdigits` is not an ODDS entry in our registry; use a
+        // similarly-shaped analog (5216 x 64 in the paper — closest is a
+        // scaled mnist analog).
+        let (loaded_name, load_scale): (&str, f64) = if *ds_name == "optdigits" {
+            ("mnist", data_scale * 0.7)
+        } else if *ds_name == "shuttle" {
+            (*ds_name, data_scale * 0.3) // 49k rows in the paper
+        } else {
+            (*ds_name, data_scale)
+        };
+        let ds = registry::load_scaled(loaded_name, 23, load_scale.min(1.0))
+            .expect("registry dataset");
+        let split = train_test_split(&ds, 0.4, 23).expect("valid split");
+        let n_train = split.x_train.nrows();
+        let meta = DatasetMeta::extract(&split.x_train);
+
+        // Random heterogeneous pool, shuffled order (§4.4's worst case).
+        let pool: Vec<ModelSpec> = suod::random_pool(m, 23)
+            .into_iter()
+            .map(|s| clamp(s, n_train))
+            .collect();
+
+        let baseline = run_setting(&pool, &split.x_train, &split.x_test, &split.y_test, false, 1);
+        let full = run_setting(&pool, &split.x_train, &split.x_test, &split.y_test, true, 1);
+
+        for &t in WORKERS {
+            let fit_b = makespan(&baseline, &baseline.fit_costs, t, false, &meta);
+            let fit_s = makespan(&full, &full.fit_costs, t, true, &meta);
+            let pred_b = makespan(&baseline, &baseline.pred_costs, t, false, &meta);
+            let pred_s = makespan(&full, &full.pred_costs, t, true, &meta);
+            println!(
+                "{:<11} {:>2} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+                ds_name, t, fit_b, fit_s, pred_b, pred_s,
+                baseline.roc_avg, full.roc_avg, baseline.roc_moa, full.roc_moa
+            );
+            csv.row(&format!(
+                "{ds_name},{},{},{t},{fit_b:.6},{fit_s:.6},{pred_b:.6},{pred_s:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                ds.n_samples(),
+                ds.n_features(),
+                baseline.roc_avg,
+                full.roc_avg,
+                baseline.roc_moa,
+                full.roc_moa,
+                baseline.pan_avg,
+                full.pan_avg,
+                baseline.pan_moa,
+                full.pan_moa,
+            ));
+        }
+        println!(
+            "  (sequential: fit {:.2}s -> {:.2}s, pred {:.3}s -> {:.3}s; P@N avg {:.3} -> {:.3})",
+            baseline.fit_seq, full.fit_seq, baseline.pred_seq, full.pred_seq,
+            baseline.pan_avg, full.pan_avg
+        );
+    }
+    println!("\nwrote {}", csv.path().display());
+    println!("(expected shape: Fit_S <= Fit_B and Pred_S <= Pred_B on most datasets,");
+    println!(" with no accuracy loss — occasionally a small gain from RP+PSA regularization.)");
+}

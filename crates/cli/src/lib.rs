@@ -1,0 +1,388 @@
+#![warn(missing_docs)]
+
+//! Command-line interface for the SUOD reproduction.
+//!
+//! The binary (`suod-cli`) wraps the `suod` library for the two things a
+//! practitioner does first: score a dataset with a heterogeneous ensemble
+//! and inspect the available benchmark analogs. Argument parsing is
+//! hand-rolled (no CLI dependency) and lives here in the library so it is
+//! unit-testable; `main.rs` is a thin shell.
+//!
+//! ```text
+//! suod-cli detect --dataset cardio [--scale 0.25] [--models 20]
+//!                 [--no-rp] [--no-psa] [--no-bps] [--workers 2]
+//!                 [--contamination 0.1] [--seed 42] [--output scores.csv]
+//! suod-cli detect --csv data.csv [--label-column 3] ...
+//! suod-cli list-datasets
+//! suod-cli help
+//! ```
+
+use std::fmt::Write as _;
+use suod::prelude::*;
+use suod_datasets::csv::{load_csv, CsvOptions};
+use suod_datasets::{registry, Dataset};
+use suod_metrics::{precision_at_n, roc_auc};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Fit an ensemble and emit per-sample scores.
+    Detect(DetectArgs),
+    /// Print the registry's dataset table.
+    ListDatasets,
+    /// Print usage.
+    Help,
+}
+
+/// Arguments for [`Command::Detect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectArgs {
+    /// Registry dataset name (mutually exclusive with `csv`).
+    pub dataset: Option<String>,
+    /// CSV path (mutually exclusive with `dataset`).
+    pub csv: Option<String>,
+    /// Label column within the CSV.
+    pub label_column: Option<usize>,
+    /// Registry subsampling factor.
+    pub scale: f64,
+    /// Number of random Table B.1 models in the pool.
+    pub models: usize,
+    /// Module flags.
+    pub rp: bool,
+    /// Pseudo-supervised approximation flag.
+    pub psa: bool,
+    /// Balanced scheduling flag.
+    pub bps: bool,
+    /// Worker count.
+    pub workers: usize,
+    /// Contamination for the label threshold.
+    pub contamination: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional output CSV path for scores.
+    pub output: Option<String>,
+}
+
+impl Default for DetectArgs {
+    fn default() -> Self {
+        Self {
+            dataset: None,
+            csv: None,
+            label_column: None,
+            scale: 0.25,
+            models: 12,
+            rp: true,
+            psa: true,
+            bps: true,
+            workers: 1,
+            contamination: 0.1,
+            seed: 42,
+            output: None,
+        }
+    }
+}
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values,
+/// unparsable numbers, or conflicting inputs.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list-datasets" => Ok(Command::ListDatasets),
+        "detect" => {
+            let mut d = DetectArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<String, String> {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("flag {name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--dataset" => d.dataset = Some(value("--dataset")?),
+                    "--csv" => d.csv = Some(value("--csv")?),
+                    "--label-column" => {
+                        d.label_column = Some(parse_num(&value("--label-column")?, flag)?)
+                    }
+                    "--scale" => d.scale = parse_num(&value("--scale")?, flag)?,
+                    "--models" => d.models = parse_num(&value("--models")?, flag)?,
+                    "--workers" => d.workers = parse_num(&value("--workers")?, flag)?,
+                    "--contamination" => {
+                        d.contamination = parse_num(&value("--contamination")?, flag)?
+                    }
+                    "--seed" => d.seed = parse_num(&value("--seed")?, flag)?,
+                    "--output" => d.output = Some(value("--output")?),
+                    "--no-rp" => d.rp = false,
+                    "--no-psa" => d.psa = false,
+                    "--no-bps" => d.bps = false,
+                    other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
+                }
+            }
+            match (&d.dataset, &d.csv) {
+                (None, None) => Err("detect needs --dataset <name> or --csv <path>".into()),
+                (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
+                _ => Ok(Command::Detect(d)),
+            }
+        }
+        other => Err(format!("unknown command `{other}` (see `suod-cli help`)")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("cannot parse `{raw}` for {flag}"))
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "suod-cli — scalable unsupervised heterogeneous outlier detection
+
+USAGE:
+  suod-cli detect --dataset <name> [options]   score a registry analog
+  suod-cli detect --csv <path> [options]       score a local CSV file
+  suod-cli list-datasets                       show the benchmark registry
+  suod-cli help                                this text
+
+DETECT OPTIONS:
+  --label-column <i>    CSV column holding 0/1 labels (enables ROC/P@N)
+  --scale <f>           registry subsample factor in (0, 1]   [0.25]
+  --models <m>          random Table B.1 pool size            [12]
+  --workers <t>         worker threads                        [1]
+  --contamination <c>   expected outlier fraction             [0.1]
+  --seed <s>            RNG seed                              [42]
+  --output <path>       write per-sample scores as CSV
+  --no-rp | --no-psa | --no-bps   disable a SUOD module
+"
+}
+
+/// Runs a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any pipeline failure.
+pub fn run(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(usage().to_string()),
+        Command::ListDatasets => {
+            let mut out = String::new();
+            writeln!(out, "{:<12} {:>8} {:>5} {:>9} {:>10}", "name", "n", "d", "outliers", "% outlier")
+                .expect("string write");
+            for info in registry::TABLE_A1 {
+                writeln!(
+                    out,
+                    "{:<12} {:>8} {:>5} {:>9} {:>10.2}",
+                    info.name,
+                    info.n_samples,
+                    info.n_features,
+                    info.n_outliers,
+                    100.0 * info.contamination()
+                )
+                .expect("string write");
+            }
+            Ok(out)
+        }
+        Command::Detect(args) => detect(&args),
+    }
+}
+
+fn load_dataset(args: &DetectArgs) -> Result<(Dataset, bool), String> {
+    if let Some(name) = &args.dataset {
+        let ds = registry::load_scaled(name, args.seed, args.scale)
+            .map_err(|e| format!("cannot load dataset `{name}`: {e}"))?;
+        Ok((ds, true))
+    } else {
+        let path = args.csv.as_ref().expect("validated in parse_args");
+        let ds = load_csv(
+            path,
+            CsvOptions {
+                has_header: None,
+                label_column: args.label_column,
+            },
+        )
+        .map_err(|e| format!("cannot load CSV: {e}"))?;
+        let labeled = args.label_column.is_some();
+        Ok((ds, labeled))
+    }
+}
+
+fn clamp_pool(pool: Vec<ModelSpec>, n: usize) -> Vec<ModelSpec> {
+    let cap = (n / 3).max(2);
+    pool.into_iter()
+        .map(|spec| match spec {
+            ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
+                n_neighbors: n_neighbors.clamp(2, cap),
+            },
+            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+                n_neighbors: n_neighbors.min(cap),
+                method,
+            },
+            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+                n_neighbors: n_neighbors.clamp(2, cap),
+                metric,
+            },
+            ModelSpec::Cblof { n_clusters } => ModelSpec::Cblof {
+                n_clusters: n_clusters.min(n / 4).max(1),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+fn detect(args: &DetectArgs) -> Result<String, String> {
+    let (ds, labeled) = load_dataset(args)?;
+    let pool = clamp_pool(suod::random_pool(args.models, args.seed), ds.n_samples());
+
+    let mut clf = Suod::builder()
+        .base_estimators(pool)
+        .with_projection(args.rp)
+        .with_approximation(args.psa)
+        .with_bps(args.bps)
+        .n_workers(args.workers.max(1))
+        .contamination(args.contamination)
+        .seed(args.seed)
+        .build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+
+    let fit_start = std::time::Instant::now();
+    clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+    let fit_secs = fit_start.elapsed().as_secs_f64();
+
+    let scores = clf
+        .combined_scores(&ds.x)
+        .map_err(|e| format!("scoring failed: {e}"))?;
+    let labels = clf.predict(&ds.x).map_err(|e| format!("predict failed: {e}"))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dataset: {} ({} samples x {} features)",
+        ds.name,
+        ds.n_samples(),
+        ds.n_features()
+    )
+    .expect("string write");
+    writeln!(out, "pool: {} models | rp={} psa={} bps={} workers={}", args.models, args.rp, args.psa, args.bps, args.workers)
+        .expect("string write");
+    writeln!(out, "fit time: {fit_secs:.3}s").expect("string write");
+    writeln!(out, "flagged: {}/{} samples", labels.iter().sum::<i32>(), labels.len())
+        .expect("string write");
+    if labeled && ds.n_outliers() > 0 && ds.n_outliers() < ds.n_samples() {
+        let auc = roc_auc(&ds.y, &scores).map_err(|e| e.to_string())?;
+        let pan = precision_at_n(&ds.y, &scores, None).map_err(|e| e.to_string())?;
+        writeln!(out, "ROC-AUC: {auc:.4}").expect("string write");
+        writeln!(out, "P@N:     {pan:.4}").expect("string write");
+    }
+
+    if let Some(path) = &args.output {
+        let mut csv = String::from("index,score,label\n");
+        for (i, (s, l)) in scores.iter().zip(&labels).enumerate() {
+            writeln!(csv, "{i},{s:.6},{l}").expect("string write");
+        }
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "scores written to {path}").expect("string write");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_help_and_list() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("list-datasets")).unwrap(), Command::ListDatasets);
+    }
+
+    #[test]
+    fn parses_detect_flags() {
+        let cmd = parse_args(&argv(
+            "detect --dataset cardio --scale 0.1 --models 8 --no-rp --workers 3 --seed 7",
+        ))
+        .unwrap();
+        let Command::Detect(d) = cmd else { panic!("expected detect") };
+        assert_eq!(d.dataset.as_deref(), Some("cardio"));
+        assert_eq!(d.scale, 0.1);
+        assert_eq!(d.models, 8);
+        assert!(!d.rp);
+        assert!(d.psa && d.bps);
+        assert_eq!(d.workers, 3);
+        assert_eq!(d.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("detect")).is_err()); // no source
+        assert!(parse_args(&argv("detect --dataset a --csv b.csv")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --bogus")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --models x")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --models")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn list_datasets_prints_registry() {
+        let out = run(Command::ListDatasets).unwrap();
+        assert!(out.contains("cardio"));
+        assert!(out.contains("shuttle"));
+        assert_eq!(out.lines().count(), 1 + registry::TABLE_A1.len());
+    }
+
+    #[test]
+    fn detect_on_registry_analog() {
+        let cmd = parse_args(&argv(
+            "detect --dataset pima --scale 0.2 --models 5 --workers 1 --seed 3",
+        ))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("ROC-AUC"), "{out}");
+        assert!(out.contains("flagged"));
+    }
+
+    #[test]
+    fn detect_on_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("suod_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.csv");
+        let mut body = String::from("a,b,label\n");
+        for i in 0..40 {
+            body.push_str(&format!("{}.0,{}.5,0\n", i % 7, (i * 3) % 5));
+        }
+        body.push_str("50.0,50.0,1\n");
+        std::fs::write(&input, body).unwrap();
+        let output = dir.join("out.csv");
+
+        let cmd = parse_args(&argv(&format!(
+            "detect --csv {} --label-column 2 --models 4 --seed 1 --output {}",
+            input.display(),
+            output.display()
+        )))
+        .unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("ROC-AUC"), "{report}");
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert!(written.starts_with("index,score,label\n"));
+        assert_eq!(written.lines().count(), 1 + 41);
+    }
+
+    #[test]
+    fn detect_errors_are_messages_not_panics() {
+        let cmd = parse_args(&argv("detect --dataset not-a-dataset")).unwrap();
+        assert!(run(cmd).is_err());
+        let cmd = parse_args(&argv("detect --csv /nonexistent/nope.csv")).unwrap();
+        assert!(run(cmd).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! `suod-cli` entry point — all logic lives (tested) in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match suod_cli::parse_args(&args).and_then(suod_cli::run) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

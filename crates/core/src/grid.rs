@@ -1,0 +1,197 @@
+//! Model-grid generation from the paper's Table B.1.
+//!
+//! [`full_grid`] enumerates the exact hyperparameter grid of Table B.1;
+//! [`random_pool`] samples an arbitrary-size heterogeneous pool from the
+//! same ranges — the construction used for the paper's full-system
+//! evaluation (§4.4 trains "600 random OD models from PyOD").
+
+use crate::spec::ModelSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_detectors::{Kernel, KnnMethod};
+use suod_linalg::DistanceMetric;
+
+/// Table B.1 hyperparameter ranges.
+mod ranges {
+    pub const ABOD_NEIGHBORS: &[usize] = &[3, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100];
+    pub const CBLOF_CLUSTERS: &[usize] = &[3, 5, 10, 15, 20];
+    pub const FB_ESTIMATORS: &[usize] = &[10, 20, 30, 40, 50, 75, 100, 150, 200];
+    pub const HBOS_BINS: &[usize] = &[5, 10, 20, 30, 40, 50, 75, 100];
+    pub const HBOS_TOL: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5];
+    pub const IFOREST_ESTIMATORS: &[usize] = &[10, 20, 30, 40, 50, 75, 100, 150, 200];
+    pub const IFOREST_MAX_FEATURES: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    pub const KNN_NEIGHBORS: &[usize] = &[1, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100];
+    pub const KNN_METHODS: &[&str] = &["largest", "mean", "median"];
+    pub const LOF_NEIGHBORS: &[usize] = &[1, 5, 10, 15, 20, 25, 50, 60, 70, 80, 90, 100];
+    pub const LOF_METRICS: &[&str] = &["manhattan", "euclidean", "minkowski"];
+    pub const OCSVM_NU: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    pub const OCSVM_KERNELS: &[&str] = &["linear", "poly", "rbf", "sigmoid"];
+}
+
+/// Enumerates the full Table B.1 grid (255 models: 12 ABOD + 5 CBLOF +
+/// 9 Feature Bagging + 40 HBOS + 81 iForest + 36 kNN + 36 LOF + 36
+/// OCSVM). LOF with `n_neighbors = 1` is bumped to 2 and ABOD keeps its
+/// minimum of 3, matching the validity domains of the implementations.
+pub fn full_grid() -> Vec<ModelSpec> {
+    let mut grid = Vec::with_capacity(255);
+    for &k in ranges::ABOD_NEIGHBORS {
+        grid.push(ModelSpec::Abod { n_neighbors: k });
+    }
+    for &k in ranges::CBLOF_CLUSTERS {
+        grid.push(ModelSpec::Cblof { n_clusters: k });
+    }
+    for &t in ranges::FB_ESTIMATORS {
+        grid.push(ModelSpec::FeatureBagging { n_estimators: t });
+    }
+    for &b in ranges::HBOS_BINS {
+        for &tol in ranges::HBOS_TOL {
+            grid.push(ModelSpec::Hbos {
+                n_bins: b,
+                tolerance: tol,
+            });
+        }
+    }
+    for &t in ranges::IFOREST_ESTIMATORS {
+        for &f in ranges::IFOREST_MAX_FEATURES {
+            grid.push(ModelSpec::IForest {
+                n_estimators: t,
+                max_features: f,
+            });
+        }
+    }
+    for &k in ranges::KNN_NEIGHBORS {
+        for &m in ranges::KNN_METHODS {
+            grid.push(ModelSpec::Knn {
+                n_neighbors: k,
+                method: KnnMethod::parse(m).expect("static table"),
+            });
+        }
+    }
+    for &k in ranges::LOF_NEIGHBORS {
+        for &metric in ranges::LOF_METRICS {
+            grid.push(ModelSpec::Lof {
+                n_neighbors: k.max(2),
+                metric: DistanceMetric::parse(metric).expect("static table"),
+            });
+        }
+    }
+    for &nu in ranges::OCSVM_NU {
+        for &kernel in ranges::OCSVM_KERNELS {
+            grid.push(ModelSpec::Ocsvm {
+                nu,
+                kernel: Kernel::parse(kernel).expect("static table"),
+            });
+        }
+    }
+    grid
+}
+
+/// Samples a heterogeneous pool of `m` models from the Table B.1 ranges,
+/// uniformly over the eight families and then uniformly over each
+/// family's hyperparameters. LoOP (referenced in §1 but absent from
+/// Table B.1) is excluded here and available via [`ModelSpec::Loop`]
+/// directly.
+#[allow(clippy::explicit_auto_deref)] // the deref guides type inference for &str tables
+pub fn random_pool(m: usize, seed: u64) -> Vec<ModelSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = Vec::with_capacity(m);
+    for _ in 0..m {
+        let spec = match rng.random_range(0..8) {
+            0 => ModelSpec::Abod {
+                n_neighbors: *pick(&mut rng, ranges::ABOD_NEIGHBORS),
+            },
+            1 => ModelSpec::Cblof {
+                n_clusters: *pick(&mut rng, ranges::CBLOF_CLUSTERS),
+            },
+            2 => ModelSpec::FeatureBagging {
+                n_estimators: *pick(&mut rng, ranges::FB_ESTIMATORS),
+            },
+            3 => ModelSpec::Hbos {
+                n_bins: *pick(&mut rng, ranges::HBOS_BINS),
+                tolerance: *pick(&mut rng, ranges::HBOS_TOL),
+            },
+            4 => ModelSpec::IForest {
+                n_estimators: *pick(&mut rng, ranges::IFOREST_ESTIMATORS),
+                max_features: *pick(&mut rng, ranges::IFOREST_MAX_FEATURES),
+            },
+            5 => ModelSpec::Knn {
+                n_neighbors: *pick(&mut rng, ranges::KNN_NEIGHBORS),
+                method: KnnMethod::parse(*pick(&mut rng, ranges::KNN_METHODS))
+                    .expect("static table"),
+            },
+            6 => ModelSpec::Lof {
+                n_neighbors: (*pick(&mut rng, ranges::LOF_NEIGHBORS)).max(2),
+                metric: DistanceMetric::parse(*pick(&mut rng, ranges::LOF_METRICS))
+                    .expect("static table"),
+            },
+            _ => ModelSpec::Ocsvm {
+                nu: *pick(&mut rng, ranges::OCSVM_NU),
+                kernel: Kernel::parse(*pick(&mut rng, ranges::OCSVM_KERNELS))
+                    .expect("static table"),
+            },
+        };
+        pool.push(spec);
+    }
+    pool
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.random_range(0..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suod_scheduler::AlgorithmFamily;
+
+    #[test]
+    fn full_grid_has_expected_size() {
+        // 12 + 5 + 9 + 8*5 + 9*9 + 12*3 + 12*3 + 9*4 = 255
+        assert_eq!(full_grid().len(), 255);
+    }
+
+    #[test]
+    fn full_grid_family_counts() {
+        let grid = full_grid();
+        let count = |f: AlgorithmFamily| grid.iter().filter(|s| s.family() == f).count();
+        assert_eq!(count(AlgorithmFamily::Abod), 12);
+        assert_eq!(count(AlgorithmFamily::Cblof), 5);
+        assert_eq!(count(AlgorithmFamily::FeatureBagging), 9);
+        assert_eq!(count(AlgorithmFamily::Hbos), 40);
+        assert_eq!(count(AlgorithmFamily::IForest), 81);
+        assert_eq!(count(AlgorithmFamily::Knn), 36);
+        assert_eq!(count(AlgorithmFamily::Lof), 36);
+        assert_eq!(count(AlgorithmFamily::Ocsvm), 36);
+    }
+
+    #[test]
+    fn grid_specs_all_buildable() {
+        for spec in full_grid() {
+            assert!(spec.build(0).is_ok(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn random_pool_size_and_determinism() {
+        let a = random_pool(50, 3);
+        let b = random_pool(50, 3);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+        assert_ne!(a, random_pool(50, 4));
+    }
+
+    #[test]
+    fn random_pool_is_heterogeneous() {
+        let pool = random_pool(100, 0);
+        let families: std::collections::HashSet<_> =
+            pool.iter().map(|s| s.family()).collect();
+        assert!(families.len() >= 6, "only {} families", families.len());
+    }
+
+    #[test]
+    fn random_pool_specs_buildable() {
+        for spec in random_pool(64, 9) {
+            assert!(spec.build(1).is_ok(), "{spec:?}");
+        }
+    }
+}

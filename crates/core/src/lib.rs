@@ -1,0 +1,176 @@
+#![warn(missing_docs)]
+
+//! # SUOD: Scalable Unsupervised Outlier Detection (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of **SUOD — Accelerating Large-Scale
+//! Unsupervised Heterogeneous Outlier Detection** (MLSys 2021): a
+//! three-module acceleration system for training and predicting with large
+//! pools of heterogeneous unsupervised outlier detectors.
+//!
+//! The three independent, composable modules (paper §3):
+//!
+//! 1. **Random Projection** (data level, §3.3) — each base detector trains
+//!    in its own Johnson–Lindenstrauss subspace, cutting dimensionality
+//!    while preserving pairwise distances and injecting ensemble
+//!    diversity. Subspace-based families (Isolation Forest, HBOS) are
+//!    exempted, as the paper advises.
+//! 2. **Pseudo-Supervised Approximation** (model level, §3.4) — after
+//!    fitting, each *costly* detector's decision boundary is distilled
+//!    into a fast supervised regressor (random forest by default) trained
+//!    on the detector's own training scores, which then serves
+//!    predictions on new samples.
+//! 3. **Balanced Parallel Scheduling** (execution level, §3.5) — a cost
+//!    model forecasts per-detector cost and tasks are assigned to workers
+//!    by balanced discounted-rank sums instead of naive contiguous
+//!    chunking.
+//!
+//! # Quickstart
+//!
+//! The API mirrors the paper's scikit-learn-style demo (initialize with a
+//! pool of base estimators and module flags, then `fit` /
+//! `decision_function` / `predict`):
+//!
+//! ```
+//! use suod::prelude::*;
+//!
+//! # fn main() -> Result<(), suod::Error> {
+//! let ds = suod_datasets::registry::load_scaled("cardio", 42, 0.1).unwrap();
+//!
+//! let base_estimators = vec![
+//!     ModelSpec::Lof { n_neighbors: 10, metric: Metric::Euclidean },
+//!     ModelSpec::Knn { n_neighbors: 10, method: KnnMethod::Largest },
+//!     ModelSpec::Hbos { n_bins: 10, tolerance: 0.3 },
+//!     ModelSpec::IForest { n_estimators: 30, max_features: 1.0 },
+//! ];
+//! let mut clf = Suod::builder()
+//!     .base_estimators(base_estimators)
+//!     .with_projection(true)
+//!     .with_approximation(true)
+//!     .with_bps(true)
+//!     .n_workers(2)
+//!     .seed(7)
+//!     .build()?;
+//!
+//! clf.fit(&ds.x)?;
+//! let scores = clf.decision_function(&ds.x)?;   // n x m score matrix
+//! let combined = clf.combined_scores(&ds.x)?;   // averaged ensemble score
+//! let labels = clf.predict(&ds.x)?;             // thresholded 0/1 labels
+//! assert_eq!(scores.nrows(), ds.n_samples());
+//! assert_eq!(combined.len(), labels.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod grid;
+pub mod lscp;
+pub mod pseudo;
+pub mod spec;
+pub mod streaming;
+pub mod suod;
+pub mod xgbod;
+
+pub use crate::suod::{Suod, SuodBuilder};
+pub use grid::{full_grid, random_pool};
+pub use lscp::{lscp_scores, LscpConfig, LscpVariant};
+pub use pseudo::ApproxSpec;
+pub use spec::ModelSpec;
+pub use streaming::StreamingSuod;
+pub use xgbod::Xgbod;
+
+/// Convenience re-exports for typical use.
+pub mod prelude {
+    pub use crate::pseudo::ApproxSpec;
+    pub use crate::spec::ModelSpec;
+    pub use crate::suod::{Suod, SuodBuilder};
+    pub use suod_detectors::{Kernel, KnnMethod};
+    pub use suod_linalg::DistanceMetric as Metric;
+    pub use suod_linalg::Matrix;
+    pub use suod_projection::JlVariant;
+}
+
+use std::fmt;
+
+/// Errors produced by the SUOD estimator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Configuration was invalid (empty pool, bad fractions, ...).
+    InvalidConfig(String),
+    /// `decision_function`/`predict` called before `fit`.
+    NotFitted,
+    /// A base detector failed.
+    Detector(suod_detectors::Error),
+    /// A projector failed.
+    Projection(suod_projection::Error),
+    /// An approximation regressor failed.
+    Approximation(suod_supervised::Error),
+    /// The scheduler failed.
+    Scheduler(suod_scheduler::Error),
+    /// A matrix operation failed.
+    Linalg(suod_linalg::Error),
+    /// Score combination failed.
+    Metrics(suod_metrics::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid SUOD configuration: {msg}"),
+            Error::NotFitted => write!(f, "SUOD must be fitted before prediction"),
+            Error::Detector(e) => write!(f, "detector error: {e}"),
+            Error::Projection(e) => write!(f, "projection error: {e}"),
+            Error::Approximation(e) => write!(f, "approximation error: {e}"),
+            Error::Scheduler(e) => write!(f, "scheduler error: {e}"),
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::Metrics(e) => write!(f, "metrics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Detector(e) => Some(e),
+            Error::Projection(e) => Some(e),
+            Error::Approximation(e) => Some(e),
+            Error::Scheduler(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            Error::Metrics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<suod_detectors::Error> for Error {
+    fn from(e: suod_detectors::Error) -> Self {
+        Error::Detector(e)
+    }
+}
+impl From<suod_projection::Error> for Error {
+    fn from(e: suod_projection::Error) -> Self {
+        Error::Projection(e)
+    }
+}
+impl From<suod_supervised::Error> for Error {
+    fn from(e: suod_supervised::Error) -> Self {
+        Error::Approximation(e)
+    }
+}
+impl From<suod_scheduler::Error> for Error {
+    fn from(e: suod_scheduler::Error) -> Self {
+        Error::Scheduler(e)
+    }
+}
+impl From<suod_linalg::Error> for Error {
+    fn from(e: suod_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+impl From<suod_metrics::Error> for Error {
+    fn from(e: suod_metrics::Error) -> Self {
+        Error::Metrics(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,338 @@
+//! LSCP: Locally Selective Combination in Parallel outlier ensembles
+//! (Zhao et al., SDM 2019) — the unsupervised downstream combiner the
+//! paper names as future work for the end-to-end SUOD pipeline (§5).
+//!
+//! Instead of averaging every base model everywhere, LSCP evaluates each
+//! model's **local competence** around a test point: the local region is
+//! the test point's k nearest training samples, the local pseudo ground
+//! truth is the average of the base models' training scores on that
+//! region, and a model's competence is its Pearson correlation with the
+//! pseudo truth across the region. The test point is then scored by the
+//! most competent model (`LscpVariant::A`) or by the average of the top
+//! `s` most competent models (`LscpVariant::Moa`).
+
+use crate::{Error, Result};
+use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
+
+/// Which LSCP selection rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LscpVariant {
+    /// Use the single most locally competent detector.
+    A,
+    /// Average the top-`s` most competent detectors.
+    Moa {
+        /// Number of detectors averaged.
+        s: usize,
+    },
+}
+
+/// Configuration for [`lscp_scores`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LscpConfig {
+    /// Local region size (nearest training neighbours per test point).
+    pub region_size: usize,
+    /// Selection rule.
+    pub variant: LscpVariant,
+}
+
+impl Default for LscpConfig {
+    fn default() -> Self {
+        Self {
+            region_size: 30,
+            variant: LscpVariant::Moa { s: 3 },
+        }
+    }
+}
+
+/// Locally selective combination of base-model scores.
+///
+/// * `x_train` — training features (defines local regions);
+/// * `train_scores` — `n_train x m` per-model training scores (z-score
+///   standardized internally);
+/// * `x_test` — test features;
+/// * `test_scores` — `n_test x m` per-model test scores.
+///
+/// Returns one combined score per test row.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] on shape mismatches, an empty model
+/// set, or `region_size == 0`.
+///
+/// # Example
+///
+/// ```
+/// use suod::lscp::{lscp_scores, LscpConfig};
+/// use suod_linalg::Matrix;
+///
+/// let x_train = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+/// // Model 0 scores the region correctly, model 1 is anti-correlated.
+/// let train_scores = Matrix::from_rows(&[
+///     vec![0.1, 0.9], vec![0.2, 0.7], vec![0.3, 0.5], vec![0.4, 0.3],
+/// ]).unwrap();
+/// let x_test = Matrix::from_rows(&[vec![1.5]]).unwrap();
+/// let test_scores = Matrix::from_rows(&[vec![0.25, 0.6]]).unwrap();
+/// let combined = lscp_scores(
+///     &x_train, &train_scores, &x_test, &test_scores,
+///     &LscpConfig { region_size: 4, variant: suod::lscp::LscpVariant::A },
+/// ).unwrap();
+/// assert_eq!(combined.len(), 1);
+/// ```
+pub fn lscp_scores(
+    x_train: &Matrix,
+    train_scores: &Matrix,
+    x_test: &Matrix,
+    test_scores: &Matrix,
+    config: &LscpConfig,
+) -> Result<Vec<f64>> {
+    let n_train = x_train.nrows();
+    let m = train_scores.ncols();
+    if m == 0 {
+        return Err(Error::InvalidConfig("LSCP needs at least one model".into()));
+    }
+    if train_scores.nrows() != n_train {
+        return Err(Error::InvalidConfig(format!(
+            "train_scores has {} rows for {} training samples",
+            train_scores.nrows(),
+            n_train
+        )));
+    }
+    if test_scores.nrows() != x_test.nrows() || test_scores.ncols() != m {
+        return Err(Error::InvalidConfig(format!(
+            "test_scores is {}x{}, expected {}x{m}",
+            test_scores.nrows(),
+            test_scores.ncols(),
+            x_test.nrows()
+        )));
+    }
+    if config.region_size == 0 {
+        return Err(Error::InvalidConfig("region_size must be >= 1".into()));
+    }
+    if let LscpVariant::Moa { s } = config.variant {
+        if s == 0 {
+            return Err(Error::InvalidConfig("Moa requires s >= 1".into()));
+        }
+    }
+
+    // Standardize each model's scores using the TRAINING distribution
+    // (LSCP's Z-normalization); test batches must not be normalized
+    // against themselves or constant test columns would collapse to 0.
+    let mut z_train = train_scores.clone();
+    let mut z_test = test_scores.clone();
+    for c in 0..m {
+        let col = train_scores.col(c);
+        let mean = suod_linalg::stats::mean(&col);
+        let std = suod_linalg::stats::std_dev(&col).max(1e-12);
+        for r in 0..n_train {
+            z_train.set(r, c, (train_scores.get(r, c) - mean) / std);
+        }
+        for r in 0..test_scores.nrows() {
+            z_test.set(r, c, (test_scores.get(r, c) - mean) / std);
+        }
+    }
+
+    let index = KnnIndex::build(x_train, DistanceMetric::Euclidean)
+        .map_err(|e| Error::InvalidConfig(e.to_string()))?;
+    let k = config.region_size.min(n_train);
+
+    let mut out = Vec::with_capacity(x_test.nrows());
+    for t in 0..x_test.nrows() {
+        let region: Vec<usize> = index
+            .query(x_test.row(t), k)
+            .into_iter()
+            .map(|n| n.index)
+            .collect();
+
+        // Local pseudo ground truth: per-region-sample mean across models.
+        let pseudo: Vec<f64> = region
+            .iter()
+            .map(|&i| {
+                (0..m).map(|c| z_train.get(i, c)).sum::<f64>() / m as f64
+            })
+            .collect();
+
+        // Competence per model: Pearson correlation to the pseudo truth.
+        let mut competences: Vec<(usize, f64)> = (0..m)
+            .map(|c| {
+                let local: Vec<f64> = region.iter().map(|&i| z_train.get(i, c)).collect();
+                let r = pearson_or_zero(&local, &pseudo);
+                (c, r)
+            })
+            .collect();
+        competences.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite competence"));
+
+        let score = match config.variant {
+            LscpVariant::A => z_test.get(t, competences[0].0),
+            LscpVariant::Moa { s } => {
+                let s = s.min(m);
+                competences[..s]
+                    .iter()
+                    .map(|&(c, _)| z_test.get(t, c))
+                    .sum::<f64>()
+                    / s as f64
+            }
+        };
+        out.push(score);
+    }
+    Ok(out)
+}
+
+/// Pearson correlation, or 0 when undefined (constant inputs).
+fn pearson_or_zero(a: &[f64], b: &[f64]) -> f64 {
+    suod_metrics::pearson(a, b).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two spatial regions; model 0 is competent on the left, model 1 on
+    /// the right. The incompetent model is locally *uninformative*
+    /// (wiggles uncorrelated with the consensus) rather than
+    /// anti-correlated — two mirror-image models would cancel the
+    /// consensus out entirely.
+    fn competence_scenario() -> (Matrix, Matrix) {
+        let mut rows = Vec::new();
+        let mut scores = Vec::new();
+        for i in 0..20 {
+            let left = i < 10;
+            let base = (i % 10) as f64 * 0.1;
+            rows.push(vec![if left { base } else { 10.0 + base }]);
+            let signal = base;
+            // Noise uncorrelated with `base` over 0..10.
+            let wiggle = 0.3 * ((i * 7 % 10) as f64 * 0.1 - 0.45);
+            if left {
+                scores.push(vec![signal, wiggle]);
+            } else {
+                scores.push(vec![wiggle, signal]);
+            }
+        }
+        (
+            Matrix::from_rows(&rows).unwrap(),
+            Matrix::from_rows(&scores).unwrap(),
+        )
+    }
+
+    #[test]
+    fn selects_locally_competent_model() {
+        let (x_train, train_scores) = competence_scenario();
+        let x_test = Matrix::from_rows(&[vec![0.5], vec![10.5]]).unwrap();
+        // Model 0 says "outlier" on both; model 1 says "inlier" on both.
+        let test_scores = Matrix::from_rows(&[vec![3.0, -3.0], vec![3.0, -3.0]]).unwrap();
+        let combined = lscp_scores(
+            &x_train,
+            &train_scores,
+            &x_test,
+            &test_scores,
+            &LscpConfig {
+                region_size: 8,
+                variant: LscpVariant::A,
+            },
+        )
+        .unwrap();
+        // Left query trusts model 0 (high score); right trusts model 1
+        // (low score).
+        assert!(combined[0] > combined[1], "{combined:?}");
+    }
+
+    #[test]
+    fn moa_averages_top_models() {
+        let (x_train, train_scores) = competence_scenario();
+        let x_test = Matrix::from_rows(&[vec![0.5]]).unwrap();
+        let test_scores = Matrix::from_rows(&[vec![2.0, -2.0]]).unwrap();
+        let top1 = lscp_scores(
+            &x_train,
+            &train_scores,
+            &x_test,
+            &test_scores,
+            &LscpConfig {
+                region_size: 8,
+                variant: LscpVariant::A,
+            },
+        )
+        .unwrap();
+        let both = lscp_scores(
+            &x_train,
+            &train_scores,
+            &x_test,
+            &test_scores,
+            &LscpConfig {
+                region_size: 8,
+                variant: LscpVariant::Moa { s: 2 },
+            },
+        )
+        .unwrap();
+        // Averaging in the incompetent model pulls the score toward zero.
+        assert!(both[0].abs() < top1[0].abs());
+    }
+
+    #[test]
+    fn single_model_passthrough_ranking() {
+        let x_train = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let train_scores = Matrix::from_rows(&[vec![0.1], vec![0.2], vec![0.3]]).unwrap();
+        let x_test = Matrix::from_rows(&[vec![0.5], vec![1.5]]).unwrap();
+        let test_scores = Matrix::from_rows(&[vec![0.9], vec![0.1]]).unwrap();
+        let combined = lscp_scores(
+            &x_train,
+            &train_scores,
+            &x_test,
+            &test_scores,
+            &LscpConfig::default(),
+        )
+        .unwrap();
+        assert!(combined[0] > combined[1]);
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let x = Matrix::zeros(4, 1);
+        let s4x2 = Matrix::zeros(4, 2);
+        let bad_rows = Matrix::zeros(3, 2);
+        let cfg = LscpConfig::default();
+        assert!(lscp_scores(&x, &bad_rows, &x, &s4x2, &cfg).is_err());
+        assert!(lscp_scores(&x, &s4x2, &x, &bad_rows, &cfg).is_err());
+        assert!(lscp_scores(&x, &Matrix::zeros(4, 0), &x, &Matrix::zeros(4, 0), &cfg).is_err());
+        assert!(lscp_scores(
+            &x,
+            &s4x2,
+            &x,
+            &s4x2,
+            &LscpConfig {
+                region_size: 0,
+                variant: LscpVariant::A
+            }
+        )
+        .is_err());
+        assert!(lscp_scores(
+            &x,
+            &s4x2,
+            &x,
+            &s4x2,
+            &LscpConfig {
+                region_size: 2,
+                variant: LscpVariant::Moa { s: 0 }
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn region_size_clamped_to_train() {
+        let x_train = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let train_scores = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let x_test = Matrix::from_rows(&[vec![0.5]]).unwrap();
+        let test_scores = Matrix::from_rows(&[vec![0.7]]).unwrap();
+        let combined = lscp_scores(
+            &x_train,
+            &train_scores,
+            &x_test,
+            &test_scores,
+            &LscpConfig {
+                region_size: 100,
+                variant: LscpVariant::A,
+            },
+        )
+        .unwrap();
+        assert_eq!(combined.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pseudo-Supervised Approximation (paper §3.4).
+//!
+//! After an unsupervised detector is fitted, its training-set outlyingness
+//! scores act as "pseudo ground truth" for a fast supervised regressor;
+//! the regressor then *replaces* the detector for scoring new samples.
+//! The paper recommends tree ensembles (Remark 1); [`ApproxSpec`] also
+//! offers ridge and k-NN regressors for the ablation studies.
+
+use crate::Result;
+use suod_linalg::Matrix;
+use suod_supervised::{KnnRegressor, RandomForestRegressor, Regressor, Ridge};
+
+/// Which supervised regressor approximates costly detectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApproxSpec {
+    /// Random forest regressor (the paper's recommendation).
+    RandomForest {
+        /// Number of trees.
+        n_estimators: usize,
+        /// Maximum tree depth.
+        max_depth: usize,
+    },
+    /// Ridge regression — a deliberately coarse linear baseline.
+    Ridge {
+        /// Regularization strength.
+        lambda: f64,
+    },
+    /// k-NN regression — accurate but as slow as what it replaces; used
+    /// to demonstrate why tree ensembles are the right default.
+    Knn {
+        /// Neighbourhood size.
+        k: usize,
+    },
+}
+
+impl Default for ApproxSpec {
+    fn default() -> Self {
+        ApproxSpec::RandomForest {
+            n_estimators: 50,
+            max_depth: 12,
+        }
+    }
+}
+
+impl ApproxSpec {
+    /// Instantiates the regressor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hyperparameter validation from the regressors.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn Regressor>> {
+        Ok(match *self {
+            ApproxSpec::RandomForest {
+                n_estimators,
+                max_depth,
+            } => Box::new(RandomForestRegressor::new(n_estimators, seed).with_max_depth(max_depth)),
+            ApproxSpec::Ridge { lambda } => Box::new(Ridge::new(lambda)?),
+            ApproxSpec::Knn { k } => Box::new(KnnRegressor::new(k)?),
+        })
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApproxSpec::RandomForest { .. } => "random_forest",
+            ApproxSpec::Ridge { .. } => "ridge",
+            ApproxSpec::Knn { .. } => "knn_regressor",
+        }
+    }
+}
+
+/// Trains an approximator on `(features, pseudo_truth)` — the distillation
+/// step of PSA.
+///
+/// # Errors
+///
+/// Propagates regressor construction/fitting failures.
+pub fn fit_approximator(
+    spec: &ApproxSpec,
+    features: &Matrix,
+    pseudo_truth: &[f64],
+    seed: u64,
+) -> Result<Box<dyn Regressor>> {
+    let mut regressor = spec.build(seed)?;
+    regressor.fit(features, pseudo_truth)?;
+    Ok(regressor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suod_detectors::{Detector, KnnDetector, KnnMethod};
+
+    fn training_data() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64 * 0.2, (i / 8) as f64 * 0.2])
+            .collect();
+        rows.push(vec![8.0, 8.0]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn approximator_reproduces_detector_ranking() {
+        let x = training_data();
+        let mut det = KnnDetector::new(3, KnnMethod::Largest).unwrap();
+        det.fit(&x).unwrap();
+        let truth = det.training_scores().unwrap();
+
+        for spec in [
+            ApproxSpec::default(),
+            ApproxSpec::Ridge { lambda: 1e-3 },
+            ApproxSpec::Knn { k: 3 },
+        ] {
+            let approx = fit_approximator(&spec, &x, &truth, 0).unwrap();
+            let pred = approx.predict(&x).unwrap();
+            // The far outlier must stay on top of the approximated scores.
+            let top = suod_linalg::rank::argsort_desc(&pred)[0];
+            assert_eq!(top, 40, "{} lost the outlier", spec.name());
+        }
+    }
+
+    #[test]
+    fn rf_approximator_generalizes_to_new_points() {
+        let x = training_data();
+        let mut det = KnnDetector::new(3, KnnMethod::Largest).unwrap();
+        det.fit(&x).unwrap();
+        let truth = det.training_scores().unwrap();
+        let approx = fit_approximator(&ApproxSpec::default(), &x, &truth, 1).unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5], vec![7.5, 7.5]]).unwrap();
+        let pred = approx.predict(&q).unwrap();
+        assert!(pred[1] > pred[0]);
+    }
+
+    #[test]
+    fn default_is_random_forest() {
+        assert_eq!(ApproxSpec::default().name(), "random_forest");
+    }
+
+    #[test]
+    fn invalid_params_propagate() {
+        assert!(ApproxSpec::Ridge { lambda: -1.0 }.build(0).is_err());
+        assert!(ApproxSpec::Knn { k: 0 }.build(0).is_err());
+    }
+}

@@ -1,0 +1,1128 @@
+//! The SUOD estimator: builder, fit, and prediction paths.
+//!
+//! Mirrors Algorithm 1 of the paper. `fit`:
+//!
+//! 1. **RP** — per model, if projection is enabled and the family is
+//!    projection-friendly, draw an independent JL matrix and project the
+//!    training data (`psi_i`); otherwise use the original space.
+//! 2. **BPS** — forecast per-model cost with the configured cost model,
+//!    schedule the `m` fits onto `t` workers (BPS or generic), and run
+//!    them on the thread-pool executor.
+//! 3. **PSA** — for every costly model, train a supervised regressor on
+//!    `(psi_i, training scores of M_i)`; the regressor serves that
+//!    model's predictions from then on.
+//!
+//! `decision_function` projects the query with each model's retained `W`,
+//! routes costly models through their approximators, and returns the
+//! `n x m` score matrix; `combined_scores`/`predict` collapse it with the
+//! average combiner and the contamination threshold learned at fit time.
+
+use crate::pseudo::{fit_approximator, ApproxSpec};
+use crate::spec::ModelSpec;
+use crate::{Error, Result};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use suod_detectors::Detector;
+use suod_linalg::Matrix;
+use suod_projection::{JlProjector, JlVariant, Projector};
+use suod_scheduler::{
+    bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
+    DatasetMeta, SimulationResult, ThreadPoolExecutor,
+};
+use suod_supervised::Regressor;
+
+/// Builder for [`Suod`]. Mirrors the paper's API demo: a pool of base
+/// estimators plus per-module flags.
+#[derive(Clone)]
+pub struct SuodBuilder {
+    base_estimators: Vec<ModelSpec>,
+    rp_enabled: bool,
+    rp_variant: JlVariant,
+    rp_target_fraction: f64,
+    rp_min_dim: usize,
+    approx_enabled: bool,
+    approx_spec: ApproxSpec,
+    bps_enabled: bool,
+    n_workers: usize,
+    bps_alpha: f64,
+    cost_model: Arc<dyn CostModel>,
+    contamination: f64,
+    seed: u64,
+}
+
+impl Default for SuodBuilder {
+    fn default() -> Self {
+        Self {
+            base_estimators: Vec::new(),
+            rp_enabled: true,
+            rp_variant: JlVariant::Circulant,
+            rp_target_fraction: 2.0 / 3.0,
+            rp_min_dim: 3,
+            approx_enabled: true,
+            approx_spec: ApproxSpec::default(),
+            bps_enabled: true,
+            n_workers: 1,
+            bps_alpha: 1.0,
+            cost_model: Arc::new(AnalyticCostModel::new()),
+            contamination: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl SuodBuilder {
+    /// Sets the heterogeneous pool of base estimators.
+    pub fn base_estimators(mut self, specs: Vec<ModelSpec>) -> Self {
+        self.base_estimators = specs;
+        self
+    }
+
+    /// Enables/disables the random-projection module (`rp_flag_global`).
+    pub fn with_projection(mut self, enabled: bool) -> Self {
+        self.rp_enabled = enabled;
+        self
+    }
+
+    /// Chooses the JL construction (default: `circulant`, the paper's
+    /// recommended variant alongside `toeplitz`).
+    pub fn projection_variant(mut self, variant: JlVariant) -> Self {
+        self.rp_variant = variant;
+        self
+    }
+
+    /// Sets the target dimension as a fraction of the input dimension
+    /// (default 2/3, as in the paper's Table 1 setup).
+    pub fn projection_fraction(mut self, fraction: f64) -> Self {
+        self.rp_target_fraction = fraction;
+        self
+    }
+
+    /// Minimum input dimensionality for projection to engage (the JL
+    /// bound is vacuous for tiny `d`; default 3).
+    pub fn projection_min_dim(mut self, min_dim: usize) -> Self {
+        self.rp_min_dim = min_dim;
+        self
+    }
+
+    /// Enables/disables pseudo-supervised approximation
+    /// (`approx_flag_global`).
+    pub fn with_approximation(mut self, enabled: bool) -> Self {
+        self.approx_enabled = enabled;
+        self
+    }
+
+    /// Chooses the approximation regressor (default: random forest).
+    pub fn approximator(mut self, spec: ApproxSpec) -> Self {
+        self.approx_spec = spec;
+        self
+    }
+
+    /// Enables/disables balanced parallel scheduling (`bps_flag`). When
+    /// disabled, multi-worker runs use generic contiguous chunking.
+    pub fn with_bps(mut self, enabled: bool) -> Self {
+        self.bps_enabled = enabled;
+        self
+    }
+
+    /// Number of workers `t` (default 1 = sequential).
+    pub fn n_workers(mut self, t: usize) -> Self {
+        self.n_workers = t;
+        self
+    }
+
+    /// Rank-discount strength `alpha` for BPS (default 1).
+    pub fn bps_alpha(mut self, alpha: f64) -> Self {
+        self.bps_alpha = alpha;
+        self
+    }
+
+    /// Replaces the cost model used by BPS (default: analytic).
+    pub fn cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Expected outlier fraction used by [`Suod::predict`]'s threshold
+    /// (default 0.1).
+    pub fn contamination(mut self, c: f64) -> Self {
+        self.contamination = c;
+        self
+    }
+
+    /// Master RNG seed; per-model seeds are derived from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration and produces an unfitted [`Suod`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for an empty pool, a projection
+    /// fraction outside `(0, 1]`, `n_workers == 0`, a negative BPS alpha,
+    /// or contamination outside `(0, 0.5]`.
+    pub fn build(self) -> Result<Suod> {
+        if self.base_estimators.is_empty() {
+            return Err(Error::InvalidConfig(
+                "base_estimators must not be empty".into(),
+            ));
+        }
+        if !(self.rp_target_fraction > 0.0 && self.rp_target_fraction <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "projection fraction must be in (0, 1], got {}",
+                self.rp_target_fraction
+            )));
+        }
+        if self.n_workers == 0 {
+            return Err(Error::InvalidConfig("n_workers must be >= 1".into()));
+        }
+        if self.bps_alpha.is_nan() || self.bps_alpha < 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "bps_alpha must be >= 0, got {}",
+                self.bps_alpha
+            )));
+        }
+        if !(self.contamination > 0.0 && self.contamination <= 0.5) {
+            return Err(Error::InvalidConfig(format!(
+                "contamination must be in (0, 0.5], got {}",
+                self.contamination
+            )));
+        }
+        Ok(Suod {
+            config: self,
+            state: None,
+        })
+    }
+}
+
+struct FittedModel {
+    spec: ModelSpec,
+    detector: Box<dyn Detector>,
+    projector: Option<JlProjector>,
+    approximator: Option<Box<dyn Regressor>>,
+    train_scores: Vec<f64>,
+    fit_time: Duration,
+}
+
+struct FittedState {
+    models: Vec<FittedModel>,
+    threshold: f64,
+    n_features: usize,
+    /// Per-model mean of training scores (standardization reference).
+    score_means: Vec<f64>,
+    /// Per-model std of training scores (floored away from zero).
+    score_stds: Vec<f64>,
+}
+
+/// The SUOD estimator (see the [crate docs](crate) for the full story).
+pub struct Suod {
+    config: SuodBuilder,
+    state: Option<FittedState>,
+}
+
+impl std::fmt::Debug for SuodBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuodBuilder")
+            .field("n_models", &self.base_estimators.len())
+            .field("rp_enabled", &self.rp_enabled)
+            .field("approx_enabled", &self.approx_enabled)
+            .field("bps_enabled", &self.bps_enabled)
+            .field("n_workers", &self.n_workers)
+            .field("contamination", &self.contamination)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for Suod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Suod")
+            .field("config", &self.config)
+            .field("fitted", &self.state.is_some())
+            .finish()
+    }
+}
+
+impl Suod {
+    /// Starts a builder.
+    pub fn builder() -> SuodBuilder {
+        SuodBuilder::default()
+    }
+
+    /// Number of base estimators in the pool.
+    pub fn n_models(&self) -> usize {
+        self.config.base_estimators.len()
+    }
+
+    /// `true` once [`fit`](Self::fit) has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Derives a per-model seed from the master seed (splitmix64 step).
+    fn model_seed(&self, i: usize) -> u64 {
+        let mut z = self
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn should_project(&self, spec: &ModelSpec, d: usize) -> bool {
+        if !self.config.rp_enabled || !spec.projection_friendly() {
+            return false;
+        }
+        if d < self.config.rp_min_dim.max(2) {
+            return false;
+        }
+        self.target_dim(d) < d
+    }
+
+    fn target_dim(&self, d: usize) -> usize {
+        ((d as f64 * self.config.rp_target_fraction).ceil() as usize).clamp(1, d)
+    }
+
+    /// Builds the fit (or predict) assignment over the model pool.
+    fn schedule(&self, x_meta: &DatasetMeta) -> Result<Assignment> {
+        let m = self.config.base_estimators.len();
+        let t = self.config.n_workers;
+        if t <= 1 {
+            return Ok(generic_schedule(m, 1)?);
+        }
+        if self.config.bps_enabled {
+            let tasks: Vec<_> = self
+                .config
+                .base_estimators
+                .iter()
+                .map(|s| s.task_descriptor())
+                .collect();
+            let costs = self.config.cost_model.predict_costs(&tasks, x_meta);
+            Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
+        } else {
+            Ok(generic_schedule(m, t)?)
+        }
+    }
+
+    /// Fits every base estimator (Algorithm 1, lines 3–16), then trains
+    /// the PSA approximators for costly models (lines 17–24).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure from projection, detector fitting,
+    /// scheduling, or approximation.
+    pub fn fit(&mut self, x: &Matrix) -> Result<&mut Self> {
+        if x.nrows() == 0 || x.ncols() == 0 {
+            return Err(Error::InvalidConfig(
+                "training data must be non-empty".into(),
+            ));
+        }
+        let d = x.ncols();
+        let meta = DatasetMeta::extract(x);
+        let shared_x = Arc::new(x.clone());
+
+        // --- RP: per-model feature spaces. ---------------------------------
+        let mut projectors: Vec<Option<JlProjector>> = Vec::with_capacity(self.n_models());
+        let mut spaces: Vec<Arc<Matrix>> = Vec::with_capacity(self.n_models());
+        for (i, spec) in self.config.base_estimators.iter().enumerate() {
+            if self.should_project(spec, d) {
+                let k = self.target_dim(d);
+                let mut proj = JlProjector::new(self.config.rp_variant, k, self.model_seed(i))?;
+                proj.fit(x)?;
+                spaces.push(Arc::new(proj.transform(x)?));
+                projectors.push(Some(proj));
+            } else {
+                spaces.push(Arc::clone(&shared_x));
+                projectors.push(None);
+            }
+        }
+
+        // --- BPS + fit execution. -------------------------------------------
+        let assignment = self.schedule(&meta)?;
+        type FitOutput = std::result::Result<
+            (Box<dyn Detector>, Vec<f64>, Duration),
+            suod_detectors::Error,
+        >;
+        let mut tasks: Vec<Box<dyn FnOnce() -> Result<FitOutput> + Send>> = Vec::new();
+        for (i, spec) in self.config.base_estimators.iter().enumerate() {
+            let spec = *spec;
+            let seed = self.model_seed(i);
+            let psi = Arc::clone(&spaces[i]);
+            tasks.push(Box::new(move || {
+                let mut det = spec.build(seed)?;
+                let start = Instant::now();
+                match det.fit(&psi) {
+                    Ok(()) => {
+                        let elapsed = start.elapsed();
+                        let scores = det.training_scores()?;
+                        Ok(Ok((det, scores, elapsed)))
+                    }
+                    Err(e) => Ok(Err(e)),
+                }
+            }));
+        }
+        let outputs = ThreadPoolExecutor::new().run(tasks, &assignment)?;
+
+        let mut models: Vec<FittedModel> = Vec::with_capacity(outputs.len());
+        for ((output, spec), projector) in outputs
+            .into_iter()
+            .zip(&self.config.base_estimators)
+            .zip(projectors)
+        {
+            let (detector, train_scores, fit_time) = output?.map_err(Error::Detector)?;
+            models.push(FittedModel {
+                spec: *spec,
+                detector,
+                projector,
+                approximator: None,
+                train_scores,
+                fit_time,
+            });
+        }
+
+        // --- PSA: distill costly models. ------------------------------------
+        if self.config.approx_enabled {
+            for (i, model) in models.iter_mut().enumerate() {
+                if model.spec.is_costly() {
+                    let approx = fit_approximator(
+                        &self.config.approx_spec,
+                        &spaces[i],
+                        &model.train_scores,
+                        self.model_seed(i) ^ 0xA55A,
+                    )?;
+                    model.approximator = Some(approx);
+                }
+            }
+        }
+
+        // --- Standardization reference + contamination threshold. -----------
+        // Test-time scores must be z-scored against the TRAINING
+        // distribution (the PyOD convention): per-batch statistics would
+        // zero out single-sample queries and drift with batch composition.
+        let score_means: Vec<f64> = models
+            .iter()
+            .map(|m| suod_linalg::stats::mean(&m.train_scores))
+            .collect();
+        let score_stds: Vec<f64> = models
+            .iter()
+            .map(|m| suod_linalg::stats::std_dev(&m.train_scores).max(1e-12))
+            .collect();
+        let train_matrix = scores_to_matrix(
+            models.iter().map(|m| m.train_scores.clone()).collect(),
+            x.nrows(),
+        )?;
+        let combined = combine_standardized(&train_matrix, &score_means, &score_stds, None);
+        let n_out = ((x.nrows() as f64) * self.config.contamination).round() as usize;
+        let n_out = n_out.clamp(1, x.nrows());
+        let threshold = suod_linalg::rank::kth_largest(&combined, n_out)
+            .expect("n_out within bounds by construction");
+
+        self.state = Some(FittedState {
+            models,
+            threshold,
+            n_features: d,
+            score_means,
+            score_stds,
+        });
+        Ok(self)
+    }
+
+    fn state(&self) -> Result<&FittedState> {
+        self.state.as_ref().ok_or(Error::NotFitted)
+    }
+
+    /// BPS applies to "both training and prediction stage" (paper §3.5).
+    /// Approximated models predict through cheap forest lookups, so they
+    /// get a nominal cost; the rest keep their forecasted cost.
+    fn prediction_schedule(&self, state: &FittedState) -> Result<Assignment> {
+        let m = state.models.len();
+        let t = self.config.n_workers;
+        if t <= 1 || !self.config.bps_enabled {
+            return Ok(generic_schedule(m, t.max(1))?);
+        }
+        let meta = DatasetMeta::from_shape(
+            state.models[0].train_scores.len(),
+            state.n_features,
+        );
+        let costs: Vec<f64> = state
+            .models
+            .iter()
+            .map(|model| {
+                if model.approximator.is_some() {
+                    1.0
+                } else {
+                    self.config
+                        .cost_model
+                        .predict_cost(&model.spec.task_descriptor(), &meta)
+                }
+            })
+            .collect();
+        Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
+    }
+
+    /// Per-model outlyingness scores for new samples: an `n x m` matrix
+    /// with one column per base estimator. Costly models answer through
+    /// their PSA approximators when approximation is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`, plus propagated scoring
+    /// failures (e.g. dimension mismatch).
+    pub fn decision_function(&self, x: &Matrix) -> Result<Matrix> {
+        let state = self.state()?;
+        if x.ncols() != state.n_features {
+            return Err(Error::InvalidConfig(format!(
+                "expected {} features, got {}",
+                state.n_features,
+                x.ncols()
+            )));
+        }
+        let assignment = self.prediction_schedule(state)?;
+        let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<f64>> + Send>> = state
+            .models
+            .iter()
+            .map(|model| {
+                let task: Box<dyn FnOnce() -> Result<Vec<f64>> + Send> = Box::new(move || {
+                    let projected;
+                    let z: &Matrix = match &model.projector {
+                        Some(p) => {
+                            projected = p.transform(x)?;
+                            &projected
+                        }
+                        None => x,
+                    };
+                    match &model.approximator {
+                        Some(r) => Ok(r.predict(z)?),
+                        None => Ok(model.detector.decision_function(z)?),
+                    }
+                });
+                task
+            })
+            .collect();
+        let columns = ThreadPoolExecutor::new().run(tasks, &assignment)?;
+        let columns: Result<Vec<Vec<f64>>> = columns.into_iter().collect();
+        scores_to_matrix(columns?, x.nrows())
+    }
+
+    /// Like [`decision_function`](Self::decision_function) but scores the
+    /// models **sequentially** and records each model's prediction
+    /// duration. The per-model durations are the true prediction cost
+    /// vector consumed by the scheduling-simulation harnesses (Table 4 /
+    /// IQVIA reproductions).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    pub fn decision_function_timed(&self, x: &Matrix) -> Result<(Matrix, Vec<Duration>)> {
+        let state = self.state()?;
+        if x.ncols() != state.n_features {
+            return Err(Error::InvalidConfig(format!(
+                "expected {} features, got {}",
+                state.n_features,
+                x.ncols()
+            )));
+        }
+        let mut columns = Vec::with_capacity(state.models.len());
+        let mut times = Vec::with_capacity(state.models.len());
+        for model in &state.models {
+            let start = Instant::now();
+            let projected;
+            let z: &Matrix = match &model.projector {
+                Some(p) => {
+                    projected = p.transform(x)?;
+                    &projected
+                }
+                None => x,
+            };
+            let scores = match &model.approximator {
+                Some(r) => r.predict(z)?,
+                None => model.detector.decision_function(z)?,
+            };
+            times.push(start.elapsed());
+            columns.push(scores);
+        }
+        Ok((scores_to_matrix(columns, x.nrows())?, times))
+    }
+
+    /// Ensemble score per sample: the average of the base-model columns
+    /// after z-scoring each against its **training** score distribution
+    /// (the paper's `Avg_` combiner; training-statistics standardization
+    /// keeps single-sample queries meaningful).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    pub fn combined_scores(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let state = self.state()?;
+        let scores = self.decision_function(x)?;
+        Ok(combine_standardized(
+            &scores,
+            &state.score_means,
+            &state.score_stds,
+            None,
+        ))
+    }
+
+    /// Maximum-of-average combination with `n_buckets` buckets (the
+    /// paper's `MOA_` combiner from Table 4), standardized against the
+    /// training score distribution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function),
+    /// plus [`Error::InvalidConfig`] when `n_buckets == 0`.
+    pub fn combined_scores_moa(&self, x: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
+        if n_buckets == 0 {
+            return Err(Error::InvalidConfig("n_buckets must be >= 1".into()));
+        }
+        let state = self.state()?;
+        let scores = self.decision_function(x)?;
+        Ok(combine_standardized(
+            &scores,
+            &state.score_means,
+            &state.score_stds,
+            Some(n_buckets),
+        ))
+    }
+
+    /// Binary outlier labels for new samples, thresholding the combined
+    /// score at the contamination quantile learned on the training set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<i32>> {
+        let state = self.state()?;
+        let combined = self.combined_scores(x)?;
+        Ok(combined
+            .iter()
+            .map(|&s| i32::from(s >= state.threshold))
+            .collect())
+    }
+
+    /// Outlier probability estimates in `[0, 1]`: the combined score
+    /// min-max scaled by the training set's combined-score range (PyOD's
+    /// `predict_proba` with linear scaling). Scores beyond the training
+    /// range clamp to 0/1.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let train = self.training_combined_scores()?;
+        let lo = suod_linalg::stats::min(&train);
+        let hi = suod_linalg::stats::max(&train);
+        let span = (hi - lo).max(1e-12);
+        let combined = self.combined_scores(x)?;
+        Ok(combined
+            .iter()
+            .map(|&s| ((s - lo) / span).clamp(0.0, 1.0))
+            .collect())
+    }
+
+    /// Combined (averaged, train-standardized) scores of the training
+    /// rows themselves — PyOD's `decision_scores_` for the ensemble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn training_combined_scores(&self) -> Result<Vec<f64>> {
+        let state = self.state()?;
+        let train_matrix = scores_to_matrix(
+            state.models.iter().map(|m| m.train_scores.clone()).collect(),
+            state.models[0].train_scores.len(),
+        )?;
+        Ok(combine_standardized(
+            &train_matrix,
+            &state.score_means,
+            &state.score_stds,
+            None,
+        ))
+    }
+
+    /// The decision threshold learned at fit time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn threshold(&self) -> Result<f64> {
+        Ok(self.state()?.threshold)
+    }
+
+    /// Per-model training scores (`m` columns), the pseudo ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn training_scores(&self) -> Result<Matrix> {
+        let state = self.state()?;
+        scores_to_matrix(
+            state.models.iter().map(|m| m.train_scores.clone()).collect(),
+            state.models[0].train_scores.len(),
+        )
+    }
+
+    /// Measured per-model fit durations — the true cost vector used by the
+    /// scheduling benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn fit_times(&self) -> Result<Vec<Duration>> {
+        Ok(self.state()?.models.iter().map(|m| m.fit_time).collect())
+    }
+
+    /// Which models ended up with a PSA approximator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn approximated(&self) -> Result<Vec<bool>> {
+        Ok(self
+            .state()?
+            .models
+            .iter()
+            .map(|m| m.approximator.is_some())
+            .collect())
+    }
+
+    /// Which models were fitted in a projected subspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn projected(&self) -> Result<Vec<bool>> {
+        Ok(self
+            .state()?
+            .models
+            .iter()
+            .map(|m| m.projector.is_some())
+            .collect())
+    }
+
+    /// Aggregated per-feature importances from the PSA approximators — the
+    /// interpretability dividend of pseudo-supervised approximation (§3.4,
+    /// Remark 1). Importances are averaged over approximators that were
+    /// trained **in the original feature space** (projected models mix
+    /// features through `W`, so their importances are not attributable to
+    /// input columns) and normalized to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit` and
+    /// [`Error::InvalidConfig`] when no unprojected approximator exists
+    /// (enable approximation, or disable projection for at least one
+    /// costly model).
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        let state = self.state()?;
+        let mut acc = vec![0.0; state.n_features];
+        let mut count = 0usize;
+        for model in &state.models {
+            if model.projector.is_some() {
+                continue;
+            }
+            if let Some(imp) = model
+                .approximator
+                .as_ref()
+                .and_then(|a| a.feature_importances())
+            {
+                for (a, v) in acc.iter_mut().zip(imp) {
+                    *a += v;
+                }
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return Err(Error::InvalidConfig(
+                "no unprojected approximator provides feature importances".into(),
+            ));
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Simulates the fit makespan of this pool's **measured** costs under
+    /// an arbitrary worker count, for both generic and BPS scheduling.
+    /// Returns `(generic, bps)` simulation results. Used by the Table 3/4
+    /// reproduction harnesses (see DESIGN.md §4 on the single-core host).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit` and propagates scheduler
+    /// failures.
+    pub fn simulate_fit_schedules(
+        &self,
+        t: usize,
+    ) -> Result<(SimulationResult, SimulationResult)> {
+        let state = self.state()?;
+        let costs: Vec<f64> = state
+            .models
+            .iter()
+            .map(|m| m.fit_time.as_secs_f64())
+            .collect();
+        let generic = simulate_makespan(&costs, &generic_schedule(costs.len(), t)?)?;
+        // BPS schedules on *forecasted* costs, evaluated against true ones.
+        let tasks: Vec<_> = state.models.iter().map(|m| m.spec.task_descriptor()).collect();
+        let meta = DatasetMeta::from_shape(
+            state.models[0].train_scores.len(),
+            state.n_features,
+        );
+        let predicted = self.config.cost_model.predict_costs(&tasks, &meta);
+        let bps = simulate_makespan(&costs, &bps_schedule(&predicted, t, self.config.bps_alpha)?)?;
+        Ok((generic, bps))
+    }
+}
+
+/// Combines an `n x m` score matrix after z-scoring each column against
+/// the given training means/stds: plain row average when `buckets` is
+/// `None`, maximum-of-average over `b` contiguous buckets otherwise.
+fn combine_standardized(
+    scores: &Matrix,
+    means: &[f64],
+    stds: &[f64],
+    buckets: Option<usize>,
+) -> Vec<f64> {
+    let m = scores.ncols();
+    let row_score = |row: &[f64]| -> Vec<f64> {
+        row.iter()
+            .zip(means)
+            .zip(stds)
+            .map(|((&v, &mu), &sd)| (v - mu) / sd)
+            .collect()
+    };
+    match buckets {
+        None => scores
+            .rows_iter()
+            .map(|row| {
+                let z = row_score(row);
+                z.iter().sum::<f64>() / m.max(1) as f64
+            })
+            .collect(),
+        Some(b) => {
+            let b = b.clamp(1, m.max(1));
+            let base = m / b;
+            let extra = m % b;
+            let mut ranges = Vec::with_capacity(b);
+            let mut start = 0;
+            for i in 0..b {
+                let len = base + usize::from(i < extra);
+                ranges.push((start, start + len));
+                start += len;
+            }
+            scores
+                .rows_iter()
+                .map(|row| {
+                    let z = row_score(row);
+                    ranges
+                        .iter()
+                        .map(|&(s, e)| z[s..e].iter().sum::<f64>() / (e - s).max(1) as f64)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Assembles per-model score columns into an `n x m` matrix.
+fn scores_to_matrix(columns: Vec<Vec<f64>>, n: usize) -> Result<Matrix> {
+    let m = columns.len();
+    let mut out = Matrix::zeros(n, m);
+    for (c, col) in columns.iter().enumerate() {
+        if col.len() != n {
+            return Err(Error::InvalidConfig(format!(
+                "model {c} produced {} scores for {n} samples",
+                col.len()
+            )));
+        }
+        for (r, &v) in col.iter().enumerate() {
+            out.set(r, c, v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suod_detectors::KnnMethod;
+    use suod_linalg::DistanceMetric;
+
+    fn small_pool() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::Knn {
+                n_neighbors: 5,
+                method: KnnMethod::Largest,
+            },
+            ModelSpec::Lof {
+                n_neighbors: 5,
+                metric: DistanceMetric::Euclidean,
+            },
+            ModelSpec::Hbos {
+                n_bins: 10,
+                tolerance: 0.3,
+            },
+            ModelSpec::IForest {
+                n_estimators: 20,
+                max_features: 0.8,
+            },
+        ]
+    }
+
+    fn data() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                vec![
+                    (i % 10) as f64 * 0.2,
+                    (i / 10) as f64 * 0.2,
+                    ((i * 3) % 7) as f64 * 0.1,
+                    ((i * 5) % 11) as f64 * 0.1,
+                ]
+            })
+            .collect();
+        rows.push(vec![8.0, 8.0, 8.0, 8.0]);
+        rows.push(vec![-8.0, 9.0, -8.0, 9.0]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn fitted(builder: SuodBuilder) -> Suod {
+        let mut clf = builder.base_estimators(small_pool()).seed(3).build().unwrap();
+        clf.fit(&data()).unwrap();
+        clf
+    }
+
+    #[test]
+    fn fit_predict_end_to_end() {
+        let clf = fitted(Suod::builder().contamination(0.05));
+        let x = data();
+        let scores = clf.decision_function(&x).unwrap();
+        assert_eq!(scores.shape(), (62, 4));
+        let combined = clf.combined_scores(&x).unwrap();
+        // The two planted outliers top the combined ranking.
+        let order = suod_linalg::rank::argsort_desc(&combined);
+        assert!(order[..2].contains(&60) || order[..3].contains(&60));
+        assert!(order[..3].contains(&61));
+        let labels = clf.predict(&x).unwrap();
+        assert_eq!(labels.len(), 62);
+        assert!(labels.iter().sum::<i32>() >= 1);
+    }
+
+    #[test]
+    fn module_flags_respected() {
+        let clf = fitted(
+            Suod::builder()
+                .with_projection(true)
+                .with_approximation(true),
+        );
+        let projected = clf.projected().unwrap();
+        let approximated = clf.approximated().unwrap();
+        // kNN and LOF are projection-friendly and costly; HBOS/iForest not.
+        assert_eq!(projected, vec![true, true, false, false]);
+        assert_eq!(approximated, vec![true, true, false, false]);
+
+        let off = fitted(
+            Suod::builder()
+                .with_projection(false)
+                .with_approximation(false),
+        );
+        assert!(off.projected().unwrap().iter().all(|&b| !b));
+        assert!(off.approximated().unwrap().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn multi_worker_matches_single_worker_scores() {
+        // Scheduling must not change results, only timing.
+        let seq = fitted(Suod::builder().n_workers(1));
+        let par = fitted(Suod::builder().n_workers(3).with_bps(true));
+        let x = data();
+        let a = seq.decision_function(&x).unwrap();
+        let b = par.decision_function(&x).unwrap();
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn approximation_off_means_exact_detector_scores() {
+        let clf = fitted(
+            Suod::builder()
+                .with_projection(false)
+                .with_approximation(false),
+        );
+        let x = data();
+        let scores = clf.decision_function(&x).unwrap();
+        // Column 2 is HBOS; must equal a standalone HBOS fit.
+        let mut hbos = ModelSpec::Hbos {
+            n_bins: 10,
+            tolerance: 0.3,
+        }
+        .build(0)
+        .unwrap();
+        hbos.fit(&x).unwrap();
+        let expected = hbos.decision_function(&x).unwrap();
+        for (r, &e) in expected.iter().enumerate() {
+            assert!((scores.get(r, 2) - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let clf = Suod::builder()
+            .base_estimators(small_pool())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            clf.decision_function(&data()).unwrap_err(),
+            Error::NotFitted
+        ));
+        assert!(clf.predict(&data()).is_err());
+        assert!(clf.threshold().is_err());
+        assert!(clf.fit_times().is_err());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(Suod::builder().build().is_err()); // empty pool
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .projection_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .n_workers(0)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .contamination(0.9)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .bps_alpha(-1.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let clf = fitted(Suod::builder());
+        assert!(clf.decision_function(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = data();
+        let run = |seed: u64| {
+            let mut clf = Suod::builder()
+                .base_estimators(small_pool())
+                .seed(seed)
+                .build()
+                .unwrap();
+            clf.fit(&x).unwrap();
+            clf.combined_scores(&x).unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn simulated_schedules_report_sane_makespans() {
+        let clf = fitted(Suod::builder());
+        let (generic, bps) = clf.simulate_fit_schedules(2).unwrap();
+        assert!(generic.makespan > 0.0);
+        assert!(bps.makespan > 0.0);
+        assert!(generic.makespan <= generic.sequential_time + 1e-12);
+        assert!(bps.makespan <= bps.sequential_time + 1e-12);
+    }
+
+    #[test]
+    fn moa_combiner_available() {
+        let clf = fitted(Suod::builder());
+        let x = data();
+        let m = clf.combined_scores_moa(&x, 2).unwrap();
+        assert_eq!(m.len(), x.nrows());
+    }
+
+    #[test]
+    fn fit_times_recorded() {
+        let clf = fitted(Suod::builder());
+        let times = clf.fit_times().unwrap();
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    fn feature_importances_highlight_outlier_axes() {
+        // Outliers deviate along every axis equally here; importances must
+        // exist, be normalized, and be finite.
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool())
+            .with_projection(false) // keep approximators in the original space
+            .with_approximation(true)
+            .seed(2)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        let imp = clf.feature_importances().unwrap();
+        assert_eq!(imp.len(), 4);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn feature_importances_unavailable_when_all_projected_or_unapproximated() {
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool())
+            .with_approximation(false)
+            .seed(2)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        assert!(matches!(
+            clf.feature_importances().unwrap_err(),
+            Error::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn predict_proba_bounded_and_ordered() {
+        let clf = fitted(Suod::builder());
+        let x = data();
+        let p = clf.predict_proba(&x).unwrap();
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Probabilities preserve the combined-score ordering.
+        let c = clf.combined_scores(&x).unwrap();
+        let order_p = suod_linalg::rank::argsort_desc(&p);
+        let order_c = suod_linalg::rank::argsort_desc(&c);
+        assert_eq!(order_p[0], order_c[0]);
+        // Planted outliers sit near probability 1.
+        assert!(p[60] > 0.8 || p[61] > 0.8, "{} {}", p[60], p[61]);
+    }
+
+    #[test]
+    fn training_combined_scores_match_threshold() {
+        let clf = fitted(Suod::builder().contamination(0.1));
+        let train = clf.training_combined_scores().unwrap();
+        let threshold = clf.threshold().unwrap();
+        let flagged = train.iter().filter(|&&s| s >= threshold).count();
+        // Threshold was chosen so ~10% of training rows flag.
+        let expected = (train.len() as f64 * 0.1).round() as usize;
+        assert!(flagged.abs_diff(expected) <= 2, "{flagged} vs {expected}");
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool())
+            .build()
+            .unwrap();
+        assert!(clf.fit(&Matrix::zeros(0, 3)).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! XGBOD-style semi-supervised detection (Zhao & Hryniewicki, IJCNN
+//! 2018) — the supervised downstream framework the paper names as future
+//! work for the end-to-end SUOD pipeline (§5).
+//!
+//! XGBOD augments the raw feature space with **unsupervised outlier
+//! scores** from a heterogeneous detector pool (here: a fitted
+//! [`Suod`] ensemble, so all three acceleration modules apply to the
+//! representation-learning stage) and trains a supervised model on the
+//! augmented features using whatever labels exist. The original paper
+//! uses XGBoost; this reproduction uses the workspace's random-forest
+//! regressor on 0/1 labels, which preserves the framework's structure.
+
+use crate::suod::{Suod, SuodBuilder};
+use crate::{Error, Result};
+use suod_linalg::Matrix;
+use suod_supervised::{RandomForestRegressor, Regressor};
+
+/// Semi-supervised detector: SUOD score augmentation + supervised model.
+///
+/// # Example
+///
+/// ```
+/// use suod::prelude::*;
+/// use suod::xgbod::Xgbod;
+///
+/// # fn main() -> Result<(), suod::Error> {
+/// let ds = suod_datasets::registry::load_scaled("pima", 3, 0.3).unwrap();
+/// let builder = Suod::builder().base_estimators(vec![
+///     ModelSpec::Knn { n_neighbors: 5, method: KnnMethod::Largest },
+///     ModelSpec::Hbos { n_bins: 10, tolerance: 0.3 },
+/// ]);
+/// let mut clf = Xgbod::new(builder, 30)?;
+/// clf.fit(&ds.x, &ds.y)?;
+/// let scores = clf.decision_function(&ds.x)?;
+/// assert_eq!(scores.len(), ds.n_samples());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Xgbod {
+    suod: Suod,
+    regressor: RandomForestRegressor,
+    fitted: bool,
+}
+
+impl std::fmt::Debug for Xgbod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Xgbod")
+            .field("n_models", &self.suod.n_models())
+            .field("n_trees", &self.regressor.n_estimators())
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+impl Xgbod {
+    /// Creates an XGBOD pipeline from a SUOD builder (the unsupervised
+    /// representation stage) and a supervised forest size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SUOD configuration validation.
+    pub fn new(builder: SuodBuilder, n_trees: usize) -> Result<Self> {
+        let suod = builder.build()?;
+        Ok(Self {
+            suod,
+            regressor: RandomForestRegressor::new(n_trees.max(1), 77).with_max_depth(10),
+            fitted: false,
+        })
+    }
+
+    /// Fits the unsupervised pool, augments features with its training
+    /// scores, and trains the supervised stage on the labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when labels and rows mismatch,
+    /// plus propagated SUOD/regressor failures.
+    pub fn fit(&mut self, x: &Matrix, y: &[i32]) -> Result<&mut Self> {
+        if y.len() != x.nrows() {
+            return Err(Error::InvalidConfig(format!(
+                "{} labels for {} rows",
+                y.len(),
+                x.nrows()
+            )));
+        }
+        self.suod.fit(x)?;
+        let augmented = x.hstack(&self.suod.training_scores()?)?;
+        let targets: Vec<f64> = y.iter().map(|&l| f64::from(l != 0)).collect();
+        self.regressor.fit(&augmented, &targets)?;
+        self.fitted = true;
+        Ok(self)
+    }
+
+    /// Outlyingness scores in `[0, 1]`-ish range (supervised fraud
+    /// probability estimates over the augmented features).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted);
+        }
+        let augmented = x.hstack(&self.suod.decision_function(x)?)?;
+        Ok(self.regressor.predict(&augmented)?)
+    }
+
+    /// The underlying fitted SUOD ensemble.
+    pub fn suod(&self) -> &Suod {
+        &self.suod
+    }
+
+    /// `true` once `fit` has succeeded.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use suod_detectors::KnnMethod;
+
+    fn builder() -> SuodBuilder {
+        Suod::builder()
+            .base_estimators(vec![
+                ModelSpec::Knn {
+                    n_neighbors: 5,
+                    method: KnnMethod::Largest,
+                },
+                ModelSpec::Hbos {
+                    n_bins: 10,
+                    tolerance: 0.3,
+                },
+                ModelSpec::IForest {
+                    n_estimators: 20,
+                    max_features: 0.8,
+                },
+            ])
+            .seed(5)
+    }
+
+    fn labeled_data() -> (Matrix, Vec<i32>) {
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 10) as f64 * 0.2, (i / 10) as f64 * 0.2])
+            .collect();
+        let mut y = vec![0; 60];
+        for i in 0..6 {
+            rows.push(vec![8.0 + i as f64 * 0.1, 8.0]);
+            y.push(1);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn outperforms_on_labeled_outliers() {
+        let (x, y) = labeled_data();
+        let mut clf = Xgbod::new(builder(), 30).unwrap();
+        clf.fit(&x, &y).unwrap();
+        let scores = clf.decision_function(&x).unwrap();
+        let auc = suod_metrics::roc_auc(&y, &scores).unwrap();
+        assert!(auc > 0.95, "XGBOD train AUC {auc}");
+        assert!(clf.is_fitted());
+        assert!(clf.suod().is_fitted());
+    }
+
+    #[test]
+    fn label_length_checked() {
+        let (x, _) = labeled_data();
+        let mut clf = Xgbod::new(builder(), 10).unwrap();
+        assert!(matches!(
+            clf.fit(&x, &[0, 1]).unwrap_err(),
+            Error::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn not_fitted_error() {
+        let clf = Xgbod::new(builder(), 10).unwrap();
+        assert!(matches!(
+            clf.decision_function(&Matrix::zeros(1, 2)).unwrap_err(),
+            Error::NotFitted
+        ));
+    }
+
+    #[test]
+    fn generalizes_to_new_points() {
+        let (x, y) = labeled_data();
+        let mut clf = Xgbod::new(builder(), 30).unwrap();
+        clf.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5], vec![8.2, 8.1]]).unwrap();
+        let s = clf.decision_function(&q).unwrap();
+        assert!(s[1] > s[0], "{s:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the composed SUOD estimator: random pools on
+//! random data must produce well-formed, deterministic results under
+//! every module configuration.
+
+use proptest::prelude::*;
+use suod::prelude::*;
+use suod_datasets::synthetic::{generate, SyntheticConfig};
+
+/// A small pool drawn from the Table B.1 ranges with hyperparameters
+/// clamped to tiny datasets. OCSVM/ABOD/FB are thinned out to keep the
+/// property runs fast.
+fn clamped_pool(m: usize, seed: u64, n_train: usize) -> Vec<ModelSpec> {
+    let cap = (n_train / 3).max(2);
+    suod::random_pool(m, seed)
+        .into_iter()
+        .map(|spec| match spec {
+            ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
+                n_neighbors: n_neighbors.clamp(2, cap),
+            },
+            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+                n_neighbors: n_neighbors.min(cap),
+                method,
+            },
+            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+                n_neighbors: n_neighbors.clamp(2, cap),
+                metric,
+            },
+            ModelSpec::Cblof { n_clusters } => ModelSpec::Cblof {
+                n_clusters: n_clusters.min(n_train / 4).max(1),
+            },
+            ModelSpec::FeatureBagging { .. } => ModelSpec::FeatureBagging { n_estimators: 3 },
+            ModelSpec::Ocsvm { nu, .. } => ModelSpec::Ocsvm {
+                nu,
+                kernel: Kernel::Rbf { gamma: 0.0 },
+            },
+            other => other,
+        })
+        .collect()
+}
+
+fn dataset(n: usize, d: usize, seed: u64) -> Matrix {
+    generate(&SyntheticConfig {
+        n_samples: n,
+        n_features: d,
+        contamination: 0.1,
+        seed,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fitted_suod_is_well_formed(
+        n in 40usize..90,
+        d in 3usize..8,
+        pool_seed in 0u64..500,
+        rp in proptest::bool::ANY,
+        psa in proptest::bool::ANY,
+        bps in proptest::bool::ANY,
+    ) {
+        let x = dataset(n, d, pool_seed ^ 0xABCD);
+        let pool = clamped_pool(4, pool_seed, n);
+        let mut clf = Suod::builder()
+            .base_estimators(pool.clone())
+            .with_projection(rp)
+            .with_approximation(psa)
+            .with_bps(bps)
+            .n_workers(if bps { 2 } else { 1 })
+            .seed(pool_seed)
+            .build()
+            .unwrap();
+        clf.fit(&x).unwrap();
+
+        // Score matrix shape + finiteness.
+        let scores = clf.decision_function(&x).unwrap();
+        prop_assert_eq!(scores.shape(), (n, pool.len()));
+        prop_assert!(scores.as_slice().iter().all(|v| v.is_finite()));
+
+        // Labels binary, at least one outlier flagged, proba in [0, 1].
+        let labels = clf.predict(&x).unwrap();
+        prop_assert!(labels.iter().all(|&l| l == 0 || l == 1));
+        prop_assert!(labels.iter().sum::<i32>() >= 1);
+        let proba = clf.predict_proba(&x).unwrap();
+        prop_assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
+
+        // Flags: only costly+friendly models projected/approximated.
+        for (i, spec) in pool.iter().enumerate() {
+            let projected = clf.projected().unwrap()[i];
+            let approximated = clf.approximated().unwrap()[i];
+            prop_assert!(!projected || (rp && spec.projection_friendly()));
+            prop_assert!(!approximated || (psa && spec.is_costly()));
+        }
+    }
+
+    #[test]
+    fn determinism_across_full_pipeline(
+        pool_seed in 0u64..200,
+        fit_seed in 0u64..200,
+    ) {
+        let x = dataset(50, 5, 3);
+        let pool = clamped_pool(3, pool_seed, 50);
+        let run = || {
+            let mut clf = Suod::builder()
+                .base_estimators(pool.clone())
+                .seed(fit_seed)
+                .build()
+                .unwrap();
+            clf.fit(&x).unwrap();
+            clf.combined_scores(&x).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threshold_flags_training_fraction(
+        contamination in 0.05f64..0.4,
+        pool_seed in 0u64..200,
+    ) {
+        let n = 80usize;
+        let x = dataset(n, 5, pool_seed);
+        let mut clf = Suod::builder()
+            .base_estimators(clamped_pool(3, pool_seed, n))
+            .contamination(contamination)
+            .seed(1)
+            .build()
+            .unwrap();
+        clf.fit(&x).unwrap();
+        let train = clf.training_combined_scores().unwrap();
+        let threshold = clf.threshold().unwrap();
+        let flagged = train.iter().filter(|&&s| s >= threshold).count();
+        let expected = (n as f64 * contamination).round() as usize;
+        // Ties can push a few extra over the threshold.
+        prop_assert!(flagged >= expected.max(1));
+        prop_assert!(flagged <= expected + 5, "{flagged} vs {expected}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Minimal CSV loading for user-supplied datasets.
+//!
+//! The registry ships synthetic analogs, but a downstream user's first
+//! move is "run SUOD on my file". This loader handles the common
+//! numeric-CSV shape: optional header row, comma/semicolon/tab
+//! separators, an optional 0/1 label column for evaluation. It is
+//! deliberately small — quoted fields with embedded separators are out of
+//! scope (none of the OD benchmark distributions use them).
+
+use crate::synthetic::Dataset;
+use crate::{Error, Result};
+use std::path::Path;
+use suod_linalg::Matrix;
+
+/// Options for [`load_csv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CsvOptions {
+    /// Treat the first row as a header and skip it. When `None`, the
+    /// loader sniffs: a first row with any non-numeric cell is a header.
+    pub has_header: Option<bool>,
+    /// Column index holding 0/1 outlier labels; that column is split out
+    /// of the feature matrix. `None` = unlabeled data (labels all 0).
+    pub label_column: Option<usize>,
+}
+
+/// Loads a numeric CSV file into a [`Dataset`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] on I/O failures, non-numeric cells,
+/// ragged rows, an out-of-range label column, or an empty file.
+///
+/// # Example
+///
+/// ```
+/// use suod_datasets::csv::{load_csv, CsvOptions};
+///
+/// let dir = std::env::temp_dir().join("suod_csv_doc");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("toy.csv");
+/// std::fs::write(&path, "a,b,label\n1.0,2.0,0\n9.0,9.0,1\n").unwrap();
+/// let ds = load_csv(&path, CsvOptions { has_header: None, label_column: Some(2) }).unwrap();
+/// assert_eq!(ds.n_samples(), 2);
+/// assert_eq!(ds.n_features(), 2);
+/// assert_eq!(ds.n_outliers(), 1);
+/// ```
+pub fn load_csv(path: impl AsRef<Path>, options: CsvOptions) -> Result<Dataset> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv-dataset".to_string());
+    parse_csv(&text, options, name)
+}
+
+/// Parses CSV text (the file-less core of [`load_csv`]).
+///
+/// # Errors
+///
+/// Same conditions as [`load_csv`], minus I/O.
+pub fn parse_csv(text: &str, options: CsvOptions, name: String) -> Result<Dataset> {
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    if lines.is_empty() {
+        return Err(Error::InvalidConfig("CSV file has no data rows".into()));
+    }
+
+    let sep = sniff_separator(lines[0]);
+    let first_cells = split(lines[0], sep);
+    let has_header = options
+        .has_header
+        .unwrap_or_else(|| first_cells.iter().any(|c| c.parse::<f64>().is_err()));
+    let data_lines = if has_header { &lines[1..] } else { &lines[..] };
+    if data_lines.is_empty() {
+        return Err(Error::InvalidConfig("CSV file has only a header".into()));
+    }
+
+    let width = split(data_lines[0], sep).len();
+    if let Some(lc) = options.label_column {
+        if lc >= width {
+            return Err(Error::InvalidConfig(format!(
+                "label column {lc} out of range for {width} columns"
+            )));
+        }
+        if width == 1 {
+            return Err(Error::InvalidConfig(
+                "CSV has only the label column, no features".into(),
+            ));
+        }
+    }
+
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(data_lines.len());
+    let mut labels: Vec<i32> = Vec::with_capacity(data_lines.len());
+    for (lineno, line) in data_lines.iter().enumerate() {
+        let cells = split(line, sep);
+        if cells.len() != width {
+            return Err(Error::InvalidConfig(format!(
+                "row {} has {} cells, expected {width}",
+                lineno + 1 + usize::from(has_header),
+                cells.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(width - usize::from(options.label_column.is_some()));
+        let mut label = 0i32;
+        for (c, cell) in cells.iter().enumerate() {
+            let value: f64 = cell.parse().map_err(|_| {
+                Error::InvalidConfig(format!(
+                    "non-numeric cell `{cell}` at row {}, column {c}",
+                    lineno + 1 + usize::from(has_header)
+                ))
+            })?;
+            if options.label_column == Some(c) {
+                label = i32::from(value != 0.0);
+            } else {
+                row.push(value);
+            }
+        }
+        rows.push(row);
+        labels.push(label);
+    }
+
+    Ok(Dataset {
+        x: Matrix::from_rows(&rows)?,
+        y: labels,
+        name,
+    })
+}
+
+/// Writes a dataset as CSV (`f0,...,fd,label` header) — the inverse of
+/// [`load_csv`] with the label in the final column. Lets the synthetic
+/// analogs feed external tools.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] on I/O failure.
+pub fn write_csv(ds: &Dataset, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let d = ds.n_features();
+    let mut out = String::new();
+    for c in 0..d {
+        out.push_str(&format!("f{c},"));
+    }
+    out.push_str("label\n");
+    for (row, &label) in ds.x.rows_iter().zip(&ds.y) {
+        for v in row {
+            out.push_str(&format!("{v},"));
+        }
+        out.push_str(&format!("{label}\n"));
+    }
+    std::fs::write(path, out)
+        .map_err(|e| Error::InvalidConfig(format!("cannot write {}: {e}", path.display())))
+}
+
+fn sniff_separator(line: &str) -> char {
+    for sep in [',', ';', '\t'] {
+        if line.contains(sep) {
+            return sep;
+        }
+    }
+    ','
+}
+
+fn split(line: &str, sep: char) -> Vec<&str> {
+    line.split(sep).map(str::trim).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(label: Option<usize>) -> CsvOptions {
+        CsvOptions {
+            has_header: None,
+            label_column: label,
+        }
+    }
+
+    #[test]
+    fn parses_headerless_numeric() {
+        let ds = parse_csv("1,2\n3,4\n5,6\n", opts(None), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (3, 2));
+        assert!(ds.y.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn sniffs_header() {
+        let ds = parse_csv("f1,f2\n1,2\n3,4\n", opts(None), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (2, 2));
+    }
+
+    #[test]
+    fn explicit_header_flag_overrides_sniffing() {
+        // All-numeric first row forced to be a header.
+        let ds = parse_csv(
+            "9,9\n1,2\n",
+            CsvOptions {
+                has_header: Some(true),
+                label_column: None,
+            },
+            "t".into(),
+        )
+        .unwrap();
+        assert_eq!(ds.x.shape(), (1, 2));
+    }
+
+    #[test]
+    fn label_column_split_out() {
+        let ds = parse_csv("x,y,label\n1,2,0\n3,4,1\n5,6,0\n", opts(Some(2)), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (3, 2));
+        assert_eq!(ds.y, vec![0, 1, 0]);
+        assert_eq!(ds.n_outliers(), 1);
+    }
+
+    #[test]
+    fn label_column_in_middle() {
+        let ds = parse_csv("1,1,10\n0,0,20\n", opts(Some(1)), "t".into()).unwrap();
+        assert_eq!(ds.x.row(0), &[1.0, 10.0]);
+        assert_eq!(ds.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn semicolon_and_tab_separators() {
+        let ds = parse_csv("1;2\n3;4\n", opts(None), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (2, 2));
+        let ds = parse_csv("1\t2\n3\t4\n", opts(None), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (2, 2));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let ds = parse_csv("# comment\n1,2\n\n3,4\n", opts(None), "t".into()).unwrap();
+        assert_eq!(ds.x.shape(), (2, 2));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_csv("", opts(None), "t".into()).is_err());
+        assert!(parse_csv("a,b\n", opts(None), "t".into()).is_err()); // header only
+        assert!(parse_csv("1,2\n3\n", opts(None), "t".into()).is_err()); // ragged
+        assert!(parse_csv("1,x\n", opts(None), "t".into()).is_err()); // non-numeric
+        assert!(parse_csv("1,2\n", opts(Some(5)), "t".into()).is_err()); // label oob
+        assert!(parse_csv("1\n2\n", opts(Some(0)), "t".into()).is_err()); // label only
+    }
+
+    #[test]
+    fn write_then_load_roundtrip() {
+        let ds = crate::synthetic::generate(&crate::synthetic::SyntheticConfig {
+            n_samples: 30,
+            n_features: 3,
+            contamination: 0.2,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join("suod_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export.csv");
+        write_csv(&ds, &path).unwrap();
+        let back = load_csv(&path, opts(Some(3))).unwrap();
+        assert_eq!(back.x.shape(), ds.x.shape());
+        assert_eq!(back.y, ds.y);
+        for (a, b) in back.x.as_slice().iter().zip(ds.x.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("suod_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        std::fs::write(&path, "a,b\n1,2\n3,4\n").unwrap();
+        let ds = load_csv(&path, opts(None)).unwrap();
+        assert_eq!(ds.name, "roundtrip");
+        assert_eq!(ds.x.shape(), (2, 2));
+        assert!(load_csv(dir.join("missing.csv"), opts(None)).is_err());
+    }
+}

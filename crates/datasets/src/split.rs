@@ -1,0 +1,148 @@
+//! Deterministic stratified train/test splitting.
+//!
+//! The paper's PSA and full-system experiments (§4.2, §4.4) use a 60/40
+//! train/validation split. Splits here are stratified by label so the
+//! outlier fraction is preserved on both sides, and are driven by an
+//! explicit seed.
+
+use crate::synthetic::Dataset;
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+/// Result of [`train_test_split`].
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training features.
+    pub x_train: Matrix,
+    /// Training labels (1 = outlier).
+    pub y_train: Vec<i32>,
+    /// Held-out features.
+    pub x_test: Matrix,
+    /// Held-out labels.
+    pub y_test: Vec<i32>,
+}
+
+/// Stratified split of `ds` with `test_fraction` of each class held out.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when `test_fraction` is outside
+/// `(0, 1)` or when either side of the split would be empty.
+///
+/// # Example
+///
+/// ```
+/// use suod_datasets::{registry, train_test_split};
+///
+/// let ds = registry::load_scaled("pima", 0, 0.5).unwrap();
+/// let split = train_test_split(&ds, 0.4, 7).unwrap();
+/// assert_eq!(split.x_train.nrows() + split.x_test.nrows(), ds.n_samples());
+/// ```
+pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(Error::InvalidConfig(format!(
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut train_idx = Vec::new();
+    let mut test_idx = Vec::new();
+    for class in [0, 1] {
+        let mut members: Vec<usize> = ds
+            .y
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| (l != 0) as i32 == class)
+            .map(|(i, _)| i)
+            .collect();
+        // Fisher–Yates.
+        for i in (1..members.len()).rev() {
+            let j = rng.random_range(0..=i);
+            members.swap(i, j);
+        }
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(members.len());
+        test_idx.extend_from_slice(&members[..n_test]);
+        train_idx.extend_from_slice(&members[n_test..]);
+    }
+    if train_idx.is_empty() || test_idx.is_empty() {
+        return Err(Error::InvalidConfig(
+            "split would leave an empty train or test set".into(),
+        ));
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+
+    Ok(TrainTestSplit {
+        x_train: ds.x.select_rows(&train_idx),
+        y_train: train_idx.iter().map(|&i| ds.y[i]).collect(),
+        x_test: ds.x.select_rows(&test_idx),
+        y_test: test_idx.iter().map(|&i| ds.y[i]).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+
+    fn dataset() -> Dataset {
+        generate(&SyntheticConfig {
+            n_samples: 500,
+            contamination: 0.2,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let ds = dataset();
+        let s = train_test_split(&ds, 0.4, 0).unwrap();
+        assert_eq!(s.x_train.nrows() + s.x_test.nrows(), 500);
+        assert_eq!(s.y_train.len(), s.x_train.nrows());
+        assert_eq!(s.y_test.len(), s.x_test.nrows());
+    }
+
+    #[test]
+    fn stratification_preserves_contamination() {
+        let ds = dataset();
+        let s = train_test_split(&ds, 0.4, 0).unwrap();
+        let frac = |ys: &[i32]| ys.iter().filter(|&&l| l != 0).count() as f64 / ys.len() as f64;
+        assert!((frac(&s.y_train) - 0.2).abs() < 0.02);
+        assert!((frac(&s.y_test) - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset();
+        let a = train_test_split(&ds, 0.4, 9).unwrap();
+        let b = train_test_split(&ds, 0.4, 9).unwrap();
+        assert_eq!(a.x_train, b.x_train);
+        assert_eq!(a.y_test, b.y_test);
+        let c = train_test_split(&ds, 0.4, 10).unwrap();
+        assert_ne!(a.x_train, c.x_train);
+    }
+
+    #[test]
+    fn no_index_overlap() {
+        // Train and test rows together must reconstruct the dataset row
+        // multiset; check via per-row sums.
+        let ds = dataset();
+        let s = train_test_split(&ds, 0.3, 1).unwrap();
+        let sum = |m: &Matrix| -> f64 { m.as_slice().iter().sum() };
+        let total = sum(&ds.x);
+        assert!((sum(&s.x_train) + sum(&s.x_test) - total).abs() < 1e-6 * total.abs().max(1.0));
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let ds = dataset();
+        assert!(train_test_split(&ds, 0.0, 0).is_err());
+        assert!(train_test_split(&ds, 1.0, 0).is_err());
+    }
+}

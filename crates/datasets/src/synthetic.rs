@@ -1,0 +1,398 @@
+//! Synthetic outlier-detection dataset generator.
+//!
+//! Inliers are drawn from a mixture of Gaussian clusters with random
+//! centers and per-cluster spreads; outliers come in two flavours that
+//! stress different detector families:
+//!
+//! * **global** — uniform samples in an expansion of the inlier bounding
+//!   box (easy for distance-based detectors such as kNN);
+//! * **local** — points a few standard deviations off a cluster center
+//!   (the regime where density-based detectors such as LOF shine).
+//!
+//! Optional pure-noise dimensions dilute the signal, emulating the
+//! high-dimensional curse the paper's random-projection module targets.
+//! All sampling is driven by an explicit seed; identical configs produce
+//! identical datasets bit-for-bit.
+
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+/// How outliers are placed relative to the inlier clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OutlierKind {
+    /// Uniform over an expanded bounding box of the inliers.
+    Global,
+    /// Offset 3–6 cluster standard deviations from a random cluster center.
+    Local,
+    /// A 50/50 mixture of global and local outliers.
+    #[default]
+    Mixed,
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Total number of samples (inliers + outliers).
+    pub n_samples: usize,
+    /// Total number of features, including noise features.
+    pub n_features: usize,
+    /// Fraction of samples that are outliers, in `(0, 0.5]`.
+    pub contamination: f64,
+    /// Number of inlier Gaussian clusters (>= 1).
+    pub n_clusters: usize,
+    /// Number of trailing pure-noise features (< `n_features`).
+    pub n_noise_features: usize,
+    /// Outlier placement strategy.
+    pub outlier_kind: OutlierKind,
+    /// RNG seed; equal seeds give identical datasets.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            n_samples: 1000,
+            n_features: 10,
+            contamination: 0.1,
+            n_clusters: 3,
+            n_noise_features: 0,
+            outlier_kind: OutlierKind::Mixed,
+            seed: 0,
+        }
+    }
+}
+
+/// A labelled outlier-detection dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature matrix, `n_samples x n_features`.
+    pub x: Matrix,
+    /// Binary labels: 1 = outlier, 0 = inlier.
+    pub y: Vec<i32>,
+    /// Human-readable name (registry analogs use the paper's names).
+    pub name: String,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// Number of labelled outliers.
+    pub fn n_outliers(&self) -> usize {
+        self.y.iter().filter(|&&l| l != 0).count()
+    }
+
+    /// Outlier fraction.
+    pub fn contamination(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.n_outliers() as f64 / self.y.len() as f64
+        }
+    }
+}
+
+/// Draws one standard-normal value via the Box–Muller transform.
+///
+/// The allowed `rand` crate ships only uniform sampling; detectors and
+/// generators throughout the workspace share this helper for Gaussians.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    // Avoid log(0).
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a dataset from `config`.
+///
+/// Samples are shuffled so labels are not positionally clustered.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] when sizes or fractions are out of
+/// domain (zero samples/features/clusters, contamination outside
+/// `(0, 0.5]`, noise features >= total features, or so few samples that
+/// either class would be empty).
+pub fn generate(config: &SyntheticConfig) -> Result<Dataset> {
+    validate(config)?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let n_outliers = ((config.n_samples as f64) * config.contamination).round() as usize;
+    let n_outliers = n_outliers.clamp(1, config.n_samples - 1);
+    let n_inliers = config.n_samples - n_outliers;
+    let d_signal = config.n_features - config.n_noise_features;
+
+    // Cluster centers uniform in [-10, 10]^d_signal with spreads in [0.5, 2].
+    let centers: Vec<Vec<f64>> = (0..config.n_clusters)
+        .map(|_| (0..d_signal).map(|_| rng.random_range(-10.0..10.0)).collect())
+        .collect();
+    let spreads: Vec<f64> = (0..config.n_clusters)
+        .map(|_| rng.random_range(0.5..2.0))
+        .collect();
+
+    let mut rows: Vec<(Vec<f64>, i32)> = Vec::with_capacity(config.n_samples);
+
+    for i in 0..n_inliers {
+        let c = i % config.n_clusters;
+        let mut row: Vec<f64> = centers[c]
+            .iter()
+            .map(|&m| m + spreads[c] * randn(&mut rng))
+            .collect();
+        append_noise(&mut row, config.n_noise_features, &mut rng);
+        rows.push((row, 0));
+    }
+
+    // Bounding box of inlier signal dims, for global outliers.
+    let (lo, hi) = signal_bounds(&rows, d_signal);
+
+    for i in 0..n_outliers {
+        let global = match config.outlier_kind {
+            OutlierKind::Global => true,
+            OutlierKind::Local => false,
+            OutlierKind::Mixed => i % 2 == 0,
+        };
+        let mut row = if global {
+            (0..d_signal)
+                .map(|j| {
+                    let span = (hi[j] - lo[j]).max(1.0);
+                    rng.random_range((lo[j] - 0.3 * span)..(hi[j] + 0.3 * span))
+                })
+                .collect::<Vec<f64>>()
+        } else {
+            let c = rng.random_range(0..config.n_clusters);
+            let k = rng.random_range(3.0..6.0) * spreads[c];
+            // Random direction scaled to k cluster-sigmas.
+            let dir: Vec<f64> = (0..d_signal).map(|_| randn(&mut rng)).collect();
+            let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            centers[c]
+                .iter()
+                .zip(&dir)
+                .map(|(&m, &u)| m + k * u / norm + 0.3 * spreads[c] * randn(&mut rng))
+                .collect()
+        };
+        append_noise(&mut row, config.n_noise_features, &mut rng);
+        rows.push((row, 1));
+    }
+
+    shuffle(&mut rows, &mut rng);
+
+    let y: Vec<i32> = rows.iter().map(|(_, l)| *l).collect();
+    let flat: Vec<Vec<f64>> = rows.into_iter().map(|(r, _)| r).collect();
+    let x = Matrix::from_rows(&flat)?;
+    Ok(Dataset {
+        x,
+        y,
+        name: format!("synthetic-{}", config.seed),
+    })
+}
+
+/// The 200-point two-dimensional toy dataset of the paper's Fig. 3:
+/// 160 inliers uniform in the unit box, 40 outliers from a Normal
+/// distribution centred in the box with a wider spread.
+pub fn fig3_points(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<(Vec<f64>, i32)> = Vec::with_capacity(200);
+    for _ in 0..160 {
+        rows.push((
+            vec![rng.random_range(-4.0..4.0), rng.random_range(-4.0..4.0)],
+            0,
+        ));
+    }
+    for _ in 0..40 {
+        rows.push((vec![6.0 * randn(&mut rng), 6.0 * randn(&mut rng)], 1));
+    }
+    shuffle(&mut rows, &mut rng);
+    let y: Vec<i32> = rows.iter().map(|(_, l)| *l).collect();
+    let flat: Vec<Vec<f64>> = rows.into_iter().map(|(r, _)| r).collect();
+    Dataset {
+        x: Matrix::from_rows(&flat).expect("fixed-size rows"),
+        y,
+        name: "fig3-synthetic".to_string(),
+    }
+}
+
+fn validate(c: &SyntheticConfig) -> Result<()> {
+    if c.n_samples < 4 {
+        return Err(Error::InvalidConfig("n_samples must be >= 4".into()));
+    }
+    if c.n_features == 0 {
+        return Err(Error::InvalidConfig("n_features must be >= 1".into()));
+    }
+    if c.n_clusters == 0 {
+        return Err(Error::InvalidConfig("n_clusters must be >= 1".into()));
+    }
+    if !(c.contamination > 0.0 && c.contamination <= 0.5) {
+        return Err(Error::InvalidConfig(format!(
+            "contamination must be in (0, 0.5], got {}",
+            c.contamination
+        )));
+    }
+    if c.n_noise_features >= c.n_features {
+        return Err(Error::InvalidConfig(
+            "n_noise_features must be < n_features".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn append_noise(row: &mut Vec<f64>, n_noise: usize, rng: &mut impl Rng) {
+    for _ in 0..n_noise {
+        row.push(randn(rng));
+    }
+}
+
+fn signal_bounds(rows: &[(Vec<f64>, i32)], d_signal: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut lo = vec![f64::INFINITY; d_signal];
+    let mut hi = vec![f64::NEG_INFINITY; d_signal];
+    for (row, _) in rows {
+        for j in 0..d_signal {
+            lo[j] = lo[j].min(row[j]);
+            hi[j] = hi[j].max(row[j]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Fisher–Yates shuffle using our explicit RNG (keeps the dependency
+/// surface to plain `Rng`).
+fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = generate(&SyntheticConfig {
+            n_samples: 200,
+            n_features: 7,
+            contamination: 0.1,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(ds.n_samples(), 200);
+        assert_eq!(ds.n_features(), 7);
+        assert_eq!(ds.n_outliers(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg).unwrap(), generate(&cfg).unwrap());
+        let other = SyntheticConfig {
+            seed: 8,
+            ..Default::default()
+        };
+        assert_ne!(generate(&cfg).unwrap().x, generate(&other).unwrap().x);
+    }
+
+    #[test]
+    fn labels_are_binary_and_shuffled() {
+        let ds = generate(&SyntheticConfig::default()).unwrap();
+        assert!(ds.y.iter().all(|&l| l == 0 || l == 1));
+        // Shuffled: the first n_inliers entries should not all be inliers.
+        let head_outliers = ds.y[..200].iter().filter(|&&l| l == 1).count();
+        assert!(head_outliers > 0, "labels appear positionally clustered");
+    }
+
+    #[test]
+    fn noise_features_have_small_scale() {
+        let ds = generate(&SyntheticConfig {
+            n_samples: 500,
+            n_features: 6,
+            n_noise_features: 3,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        // Noise columns are standard normal; signal columns span [-10,10].
+        let noise_std = suod_linalg::stats::std_dev(&ds.x.col(5));
+        assert!(noise_std < 2.0, "noise std was {noise_std}");
+    }
+
+    #[test]
+    fn outliers_are_separable_by_distance() {
+        // Global outliers sit outside the inlier bounding box often enough
+        // that mean distance-to-centroid differs markedly.
+        let ds = generate(&SyntheticConfig {
+            n_samples: 400,
+            n_features: 5,
+            outlier_kind: OutlierKind::Global,
+            n_clusters: 1,
+            seed: 11,
+            ..Default::default()
+        })
+        .unwrap();
+        let means = suod_linalg::stats::column_means(&ds.x);
+        let dist = |row: &[f64]| -> f64 {
+            row.iter()
+                .zip(&means)
+                .map(|(&v, &m)| (v - m) * (v - m))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let mut in_d = 0.0;
+        let mut out_d = 0.0;
+        for (i, row) in ds.x.rows_iter().enumerate() {
+            if ds.y[i] == 1 {
+                out_d += dist(row);
+            } else {
+                in_d += dist(row);
+            }
+        }
+        let in_avg = in_d / (ds.n_samples() - ds.n_outliers()) as f64;
+        let out_avg = out_d / ds.n_outliers() as f64;
+        assert!(
+            out_avg > 1.2 * in_avg,
+            "outliers not separable: {out_avg} vs {in_avg}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = |f: fn(&mut SyntheticConfig)| {
+            let mut c = SyntheticConfig::default();
+            f(&mut c);
+            generate(&c).is_err()
+        };
+        assert!(bad(|c| c.n_samples = 2));
+        assert!(bad(|c| c.n_features = 0));
+        assert!(bad(|c| c.n_clusters = 0));
+        assert!(bad(|c| c.contamination = 0.0));
+        assert!(bad(|c| c.contamination = 0.9));
+        assert!(bad(|c| c.n_noise_features = 10));
+    }
+
+    #[test]
+    fn fig3_matches_paper_counts() {
+        let ds = fig3_points(0);
+        assert_eq!(ds.n_samples(), 200);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_outliers(), 40);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| randn(&mut rng)).collect();
+        assert!(suod_linalg::stats::mean(&xs).abs() < 0.05);
+        assert!((suod_linalg::stats::std_dev(&xs) - 1.0).abs() < 0.05);
+    }
+}

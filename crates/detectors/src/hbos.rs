@@ -1,0 +1,249 @@
+//! Histogram-Based Outlier Score (Goldstein & Dengel 2012).
+//!
+//! HBOS assumes feature independence: each feature gets an equal-width
+//! histogram whose normalized heights act as a density estimate, and a
+//! sample's score is the sum over features of `log(1 / density)`. It is
+//! one of the two "cheap" families the paper deliberately does **not**
+//! approximate or project (§3.3/§3.4) — it serves as the fast baseline in
+//! the heterogeneous pool.
+//!
+//! The `tolerance` hyperparameter (Table B.1) controls how far outside the
+//! training range a test value may fall while still borrowing the edge
+//! bin's density; beyond `tolerance * range` the density decays toward the
+//! minimum, mirroring PyOD's handling.
+
+use crate::{check_dims, Detector, Error, Result};
+use suod_linalg::Matrix;
+
+#[derive(Debug, Clone)]
+struct FeatureHistogram {
+    min: f64,
+    max: f64,
+    /// Normalized bin densities; max height is 1.
+    densities: Vec<f64>,
+}
+
+impl FeatureHistogram {
+    fn build(values: &[f64], n_bins: usize) -> Self {
+        let min = suod_linalg::stats::min(values);
+        let max = suod_linalg::stats::max(values);
+        let mut counts = vec![0usize; n_bins];
+        let range = (max - min).max(1e-12);
+        for &v in values {
+            let bin = (((v - min) / range) * n_bins as f64) as usize;
+            counts[bin.min(n_bins - 1)] += 1;
+        }
+        let peak = *counts.iter().max().expect("n_bins >= 1") as f64;
+        let densities = counts
+            .iter()
+            .map(|&c| if peak > 0.0 { c as f64 / peak } else { 0.0 })
+            .collect();
+        Self { min, max, densities }
+    }
+
+    /// Density for a query value, honouring the tolerance band outside the
+    /// training range.
+    fn density(&self, v: f64, tolerance: f64) -> f64 {
+        const FLOOR: f64 = 1e-6;
+        let n_bins = self.densities.len();
+        let range = (self.max - self.min).max(1e-12);
+        if v >= self.min && v <= self.max {
+            let bin = (((v - self.min) / range) * n_bins as f64) as usize;
+            return self.densities[bin.min(n_bins - 1)].max(FLOOR);
+        }
+        // Outside the range: borrow the edge bin within the tolerance band,
+        // then decay with distance.
+        let (edge_density, overshoot) = if v < self.min {
+            (self.densities[0], self.min - v)
+        } else {
+            (self.densities[n_bins - 1], v - self.max)
+        };
+        let band = tolerance * range;
+        if band > 0.0 && overshoot <= band {
+            return edge_density.max(FLOOR);
+        }
+        let decay = band.max(1e-12) / overshoot.max(1e-12);
+        (edge_density * decay).max(FLOOR)
+    }
+}
+
+/// HBOS detector.
+///
+/// # Example
+///
+/// ```
+/// use suod_detectors::{Detector, HbosDetector};
+/// use suod_linalg::Matrix;
+///
+/// # fn main() -> Result<(), suod_detectors::Error> {
+/// let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 10) as f64]).collect();
+/// let mut x_rows = rows.clone();
+/// x_rows.push(vec![100.0]);
+/// let x = Matrix::from_rows(&x_rows).unwrap();
+/// let mut det = HbosDetector::new(10, 0.5)?;
+/// det.fit(&x)?;
+/// let s = det.training_scores()?;
+/// assert!(s[50] >= *s[..50].iter().max_by(|a, b| a.total_cmp(b)).unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbosDetector {
+    n_bins: usize,
+    tolerance: f64,
+    histograms: Vec<FeatureHistogram>,
+    train_scores: Vec<f64>,
+}
+
+impl HbosDetector {
+    /// Creates an HBOS detector with `n_bins` histogram bins per feature
+    /// and the out-of-range `tolerance` (Table B.1 uses 0.1–0.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `n_bins == 0` or
+    /// `tolerance` is not in `[0, 1]`.
+    pub fn new(n_bins: usize, tolerance: f64) -> Result<Self> {
+        if n_bins == 0 {
+            return Err(Error::InvalidParameter("n_bins must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&tolerance) {
+            return Err(Error::InvalidParameter(format!(
+                "tolerance must be in [0, 1], got {tolerance}"
+            )));
+        }
+        Ok(Self {
+            n_bins,
+            tolerance,
+            histograms: Vec::new(),
+            train_scores: Vec::new(),
+        })
+    }
+
+    /// Number of bins per feature.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        row.iter()
+            .zip(&self.histograms)
+            .map(|(&v, h)| (1.0 / h.density(v, self.tolerance)).ln())
+            .sum()
+    }
+}
+
+impl Detector for HbosDetector {
+    fn fit(&mut self, x: &Matrix) -> Result<()> {
+        if x.nrows() < 2 {
+            return Err(Error::InsufficientData {
+                needed: "at least 2 samples".into(),
+                got: x.nrows(),
+            });
+        }
+        self.histograms = (0..x.ncols())
+            .map(|c| FeatureHistogram::build(&x.col(c), self.n_bins))
+            .collect();
+        self.train_scores = x.rows_iter().map(|row| self.score_row(row)).collect();
+        Ok(())
+    }
+
+    fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.histograms.is_empty() {
+            return Err(Error::NotFitted("HbosDetector"));
+        }
+        check_dims(self.histograms.len(), x)?;
+        Ok(x.rows_iter().map(|row| self.score_row(row)).collect())
+    }
+
+    fn training_scores(&self) -> Result<Vec<f64>> {
+        if self.histograms.is_empty() {
+            return Err(Error::NotFitted("HbosDetector"));
+        }
+        Ok(self.train_scores.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "hbos"
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_with_rare_value() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, 0.0]).collect();
+        rows.push(vec![4.0, 50.0]); // rare in feature 1
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn rare_value_scores_highest() {
+        let mut det = HbosDetector::new(10, 0.2).unwrap();
+        det.fit(&uniform_with_rare_value()).unwrap();
+        let s = det.training_scores().unwrap();
+        assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 100);
+    }
+
+    #[test]
+    fn out_of_range_query_scores_high() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 6) as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut det = HbosDetector::new(6, 0.1).unwrap();
+        det.fit(&x).unwrap();
+        let q = Matrix::from_rows(&[vec![2.0], vec![1000.0]]).unwrap();
+        let s = det.decision_function(&q).unwrap();
+        assert!(s[1] > s[0] + 1.0, "{s:?}");
+    }
+
+    #[test]
+    fn tolerance_softens_near_range_queries() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 6) as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut tight = HbosDetector::new(6, 0.0).unwrap();
+        let mut loose = HbosDetector::new(6, 0.5).unwrap();
+        tight.fit(&x).unwrap();
+        loose.fit(&x).unwrap();
+        // Slightly beyond max (5.0 + 0.5 within loose tolerance band 2.5).
+        let q = Matrix::from_rows(&[vec![5.5]]).unwrap();
+        let st = tight.decision_function(&q).unwrap()[0];
+        let sl = loose.decision_function(&q).unwrap()[0];
+        assert!(st > sl, "tight {st} should exceed loose {sl}");
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut det = HbosDetector::new(5, 0.1).unwrap();
+        det.fit(&x).unwrap();
+        assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(HbosDetector::new(0, 0.1).is_err());
+        assert!(HbosDetector::new(5, -0.1).is_err());
+        assert!(HbosDetector::new(5, 1.5).is_err());
+        let mut det = HbosDetector::new(5, 0.1).unwrap();
+        assert!(det.fit(&Matrix::zeros(1, 2)).is_err());
+        assert!(det.decision_function(&Matrix::zeros(1, 2)).is_err());
+        det.fit(&uniform_with_rare_value()).unwrap();
+        assert!(det.decision_function(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn scores_deterministic() {
+        let x = uniform_with_rare_value();
+        let mut a = HbosDetector::new(8, 0.3).unwrap();
+        let mut b = HbosDetector::new(8, 0.3).unwrap();
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.training_scores().unwrap(), b.training_scores().unwrap());
+    }
+}

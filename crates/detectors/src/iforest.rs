@@ -1,0 +1,427 @@
+//! Isolation Forest (Liu et al. 2008).
+//!
+//! Random axis-aligned splits isolate outliers in few steps; the anomaly
+//! score is `2^(-E[h(x)] / c(psi))` where `h` is the path length over the
+//! ensemble and `c(psi)` the expected path length of an unsuccessful BST
+//! search over the subsample size. Isolation Forest is the second "cheap"
+//! family (with HBOS) that SUOD neither projects nor approximates.
+//!
+//! Table B.1 varies `n_estimators` and `max_features` (the fraction of
+//! features each tree sees), both supported here.
+
+use crate::{check_dims, Detector, Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+#[derive(Debug, Clone)]
+enum ITreeNode {
+    Leaf {
+        /// Number of training samples that reached this leaf.
+        size: usize,
+    },
+    Split {
+        /// Index into the tree's feature subset.
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ITree {
+    nodes: Vec<ITreeNode>,
+    /// Global feature indices this tree operates on.
+    features: Vec<usize>,
+}
+
+impl ITree {
+    fn path_length(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[idx] {
+                ITreeNode::Leaf { size } => {
+                    return depth + average_path_length(*size);
+                }
+                ITreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    depth += 1.0;
+                    let v = row[self.features[*feature]];
+                    idx = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Expected path length of an unsuccessful BST search over `n` points —
+/// the `c(n)` normalizer from the Isolation Forest paper.
+pub fn average_path_length(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        _ => {
+            const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+            let nf = n as f64;
+            // 2 H(n-1) - 2 (n-1)/n with H(k) ~ ln(k) + gamma.
+            2.0 * ((nf - 1.0).ln() + EULER_MASCHERONI) - 2.0 * (nf - 1.0) / nf
+        }
+    }
+}
+
+/// Isolation Forest detector.
+///
+/// # Example
+///
+/// ```
+/// use suod_detectors::{Detector, IsolationForest};
+/// use suod_linalg::Matrix;
+///
+/// # fn main() -> Result<(), suod_detectors::Error> {
+/// let mut rows: Vec<Vec<f64>> = (0..64).map(|i| {
+///     vec![(i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]
+/// }).collect();
+/// rows.push(vec![10.0, 10.0]);
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let mut forest = IsolationForest::new(50, 7)?;
+/// forest.fit(&x)?;
+/// let s = forest.training_scores()?;
+/// let top = suod_linalg::rank::argsort_desc(&s)[0];
+/// assert_eq!(top, 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    n_estimators: usize,
+    max_samples: usize,
+    max_features_fraction: f64,
+    seed: u64,
+    trees: Vec<ITree>,
+    n_features: usize,
+    subsample_size: usize,
+    train_scores: Vec<f64>,
+}
+
+impl IsolationForest {
+    /// Creates a forest with `n_estimators` trees, the canonical subsample
+    /// size of 256, and all features per tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `n_estimators == 0`.
+    pub fn new(n_estimators: usize, seed: u64) -> Result<Self> {
+        if n_estimators == 0 {
+            return Err(Error::InvalidParameter(
+                "n_estimators must be >= 1".into(),
+            ));
+        }
+        Ok(Self {
+            n_estimators,
+            max_samples: 256,
+            max_features_fraction: 1.0,
+            seed,
+            trees: Vec::new(),
+            n_features: 0,
+            subsample_size: 0,
+            train_scores: Vec::new(),
+        })
+    }
+
+    /// Sets the per-tree subsample size (default 256).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `m < 2`.
+    pub fn with_max_samples(mut self, m: usize) -> Result<Self> {
+        if m < 2 {
+            return Err(Error::InvalidParameter("max_samples must be >= 2".into()));
+        }
+        self.max_samples = m;
+        Ok(self)
+    }
+
+    /// Sets the fraction of features each tree may split on (Table B.1's
+    /// `max_features`, 0.1–0.9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when outside `(0, 1]`.
+    pub fn with_max_features_fraction(mut self, f: f64) -> Result<Self> {
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "max_features must be in (0, 1], got {f}"
+            )));
+        }
+        self.max_features_fraction = f;
+        Ok(self)
+    }
+
+    /// Number of trees.
+    pub fn n_estimators(&self) -> usize {
+        self.n_estimators
+    }
+
+    fn build_tree(
+        x: &Matrix,
+        rows: &mut [usize],
+        features: Vec<usize>,
+        height_limit: usize,
+        rng: &mut StdRng,
+    ) -> ITree {
+        let mut nodes = Vec::new();
+        Self::build_node(x, rows, &features, 0, height_limit, rng, &mut nodes);
+        ITree { nodes, features }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        x: &Matrix,
+        rows: &mut [usize],
+        features: &[usize],
+        depth: usize,
+        height_limit: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<ITreeNode>,
+    ) -> usize {
+        if depth >= height_limit || rows.len() <= 1 {
+            let idx = nodes.len();
+            nodes.push(ITreeNode::Leaf { size: rows.len() });
+            return idx;
+        }
+        // Pick a feature with spread; give up after a few attempts (all
+        // remaining rows identical on sampled features).
+        let mut chosen: Option<(usize, f64, f64)> = None;
+        for _ in 0..features.len().max(4) {
+            let fi = rng.random_range(0..features.len());
+            let f = features[fi];
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &r in rows.iter() {
+                let v = x.get(r, f);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi > lo {
+                chosen = Some((fi, lo, hi));
+                break;
+            }
+        }
+        let Some((fi, lo, hi)) = chosen else {
+            let idx = nodes.len();
+            nodes.push(ITreeNode::Leaf { size: rows.len() });
+            return idx;
+        };
+        let threshold = rng.random_range(lo..hi);
+        let f_global = features[fi];
+        // Partition rows in place.
+        let mut lt = 0;
+        for i in 0..rows.len() {
+            if x.get(rows[i], f_global) <= threshold {
+                rows.swap(lt, i);
+                lt += 1;
+            }
+        }
+        let node_idx = nodes.len();
+        nodes.push(ITreeNode::Leaf { size: 0 }); // placeholder
+        let (left_rows, right_rows) = rows.split_at_mut(lt);
+        let left = Self::build_node(x, left_rows, features, depth + 1, height_limit, rng, nodes);
+        let right =
+            Self::build_node(x, right_rows, features, depth + 1, height_limit, rng, nodes);
+        nodes[node_idx] = ITreeNode::Split {
+            feature: fi,
+            threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    fn score_rows(&self, x: &Matrix) -> Vec<f64> {
+        let c = average_path_length(self.subsample_size).max(1e-12);
+        x.rows_iter()
+            .map(|row| {
+                let mean_path: f64 = self
+                    .trees
+                    .iter()
+                    .map(|t| t.path_length(row))
+                    .sum::<f64>()
+                    / self.trees.len() as f64;
+                2f64.powf(-mean_path / c)
+            })
+            .collect()
+    }
+}
+
+impl Detector for IsolationForest {
+    fn fit(&mut self, x: &Matrix) -> Result<()> {
+        let n = x.nrows();
+        if n < 2 {
+            return Err(Error::InsufficientData {
+                needed: "at least 2 samples".into(),
+                got: n,
+            });
+        }
+        let d = x.ncols();
+        self.n_features = d;
+        let psi = self.max_samples.min(n);
+        self.subsample_size = psi;
+        let height_limit = (psi as f64).log2().ceil() as usize;
+        let n_tree_features = ((d as f64 * self.max_features_fraction).ceil() as usize)
+            .clamp(1, d);
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_estimators)
+            .map(|_| {
+                // Sample psi distinct rows (partial Fisher–Yates).
+                let mut pool: Vec<usize> = (0..n).collect();
+                for i in 0..psi {
+                    let j = rng.random_range(i..n);
+                    pool.swap(i, j);
+                }
+                pool.truncate(psi);
+                // Sample the feature subset for this tree.
+                let mut fpool: Vec<usize> = (0..d).collect();
+                for i in 0..n_tree_features {
+                    let j = rng.random_range(i..d);
+                    fpool.swap(i, j);
+                }
+                fpool.truncate(n_tree_features);
+                Self::build_tree(x, &mut pool, fpool, height_limit, &mut rng)
+            })
+            .collect();
+        self.train_scores = self.score_rows(x);
+        Ok(())
+    }
+
+    fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::NotFitted("IsolationForest"));
+        }
+        check_dims(self.n_features, x)?;
+        Ok(self.score_rows(x))
+    }
+
+    fn training_scores(&self) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::NotFitted("IsolationForest"));
+        }
+        Ok(self.train_scores.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "iforest"
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with_outlier() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1])
+            .collect();
+        rows.push(vec![20.0, 20.0]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_isolated_fastest() {
+        let mut f = IsolationForest::new(100, 3).unwrap();
+        f.fit(&grid_with_outlier()).unwrap();
+        let s = f.training_scores().unwrap();
+        assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 100);
+        // Scores are anomaly scores in (0, 1).
+        assert!(s.iter().all(|&v| v > 0.0 && v < 1.0));
+        assert!(s[100] > 0.6, "outlier score {}", s[100]);
+    }
+
+    #[test]
+    fn average_path_length_reference_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(2), 1.0);
+        // c(256) ~ 10.24 (Liu et al. report c(256) approximately 10.24).
+        assert!((average_path_length(256) - 10.24).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = grid_with_outlier();
+        let mut a = IsolationForest::new(20, 9).unwrap();
+        let mut b = IsolationForest::new(20, 9).unwrap();
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.training_scores().unwrap(), b.training_scores().unwrap());
+        let mut c = IsolationForest::new(20, 10).unwrap();
+        c.fit(&x).unwrap();
+        assert_ne!(a.training_scores().unwrap(), c.training_scores().unwrap());
+    }
+
+    #[test]
+    fn decision_function_on_new_points() {
+        let mut f = IsolationForest::new(100, 1).unwrap();
+        f.fit(&grid_with_outlier()).unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5], vec![50.0, -50.0]]).unwrap();
+        let s = f.decision_function(&q).unwrap();
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn max_features_subset_still_detects() {
+        let mut f = IsolationForest::new(100, 2)
+            .unwrap()
+            .with_max_features_fraction(0.5)
+            .unwrap();
+        f.fit(&grid_with_outlier()).unwrap();
+        let s = f.training_scores().unwrap();
+        assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 100);
+    }
+
+    #[test]
+    fn small_max_samples_works() {
+        let mut f = IsolationForest::new(50, 4)
+            .unwrap()
+            .with_max_samples(16)
+            .unwrap();
+        f.fit(&grid_with_outlier()).unwrap();
+        let s = f.training_scores().unwrap();
+        assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 100);
+    }
+
+    #[test]
+    fn constant_data_gives_uniform_scores() {
+        let x = Matrix::filled(20, 3, 1.0);
+        let mut f = IsolationForest::new(10, 0).unwrap();
+        f.fit(&x).unwrap();
+        let s = f.training_scores().unwrap();
+        let first = s[0];
+        assert!(s.iter().all(|&v| (v - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(IsolationForest::new(0, 0).is_err());
+        assert!(IsolationForest::new(5, 0).unwrap().with_max_samples(1).is_err());
+        assert!(IsolationForest::new(5, 0)
+            .unwrap()
+            .with_max_features_fraction(0.0)
+            .is_err());
+        let mut f = IsolationForest::new(5, 0).unwrap();
+        assert!(f.fit(&Matrix::zeros(1, 2)).is_err());
+        assert!(f.decision_function(&Matrix::zeros(1, 2)).is_err());
+        f.fit(&grid_with_outlier()).unwrap();
+        assert!(f.decision_function(&Matrix::zeros(1, 9)).is_err());
+    }
+}

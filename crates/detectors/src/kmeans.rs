@@ -1,0 +1,306 @@
+//! k-means clustering with k-means++ initialization.
+//!
+//! Substrate for the CBLOF detector (He et al. 2003), which needs a
+//! clustering of the training data before it can classify clusters as
+//! large or small. Lloyd iterations with k-means++ seeding and explicit
+//! seed control.
+
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::{DistanceMetric, Matrix};
+
+/// Fitted k-means model.
+///
+/// # Example
+///
+/// ```
+/// use suod_detectors::KMeans;
+/// use suod_linalg::Matrix;
+///
+/// # fn main() -> Result<(), suod_detectors::Error> {
+/// let x = Matrix::from_rows(&[
+///     vec![0.0], vec![0.1], vec![9.9], vec![10.0],
+/// ]).unwrap();
+/// let km = KMeans::fit(&x, 2, 42, 100)?;
+/// let a = km.assign(&[0.05]);
+/// let b = km.assign(&[9.95]);
+/// assert_ne!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    centers: Matrix,
+    /// Cluster index per training row.
+    assignments: Vec<usize>,
+    /// Number of training rows per cluster.
+    sizes: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Runs k-means++ initialization followed by Lloyd iterations until
+    /// assignments stabilize or `max_iter` is reached.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] when `k == 0` or `max_iter == 0`.
+    /// * [`Error::InsufficientData`] when `x.nrows() < k`.
+    pub fn fit(x: &Matrix, k: usize, seed: u64, max_iter: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be >= 1".into()));
+        }
+        if max_iter == 0 {
+            return Err(Error::InvalidParameter("max_iter must be >= 1".into()));
+        }
+        let n = x.nrows();
+        if n < k {
+            return Err(Error::InsufficientData {
+                needed: format!("at least k = {k} samples"),
+                got: n,
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centers = kmeanspp_init(x, k, &mut rng);
+        let metric = DistanceMetric::Euclidean;
+        let mut assignments = vec![usize::MAX; n];
+
+        for _ in 0..max_iter {
+            // Assignment step.
+            let mut changed = false;
+            for i in 0..n {
+                let row = x.row(i);
+                let mut best = 0;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let d = metric.distance(row, centers.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(k, x.ncols());
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assignments[i];
+                counts[c] += 1;
+                let sum_row = sums.row_mut(c);
+                for (s, &v) in sum_row.iter_mut().zip(x.row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random point.
+                    let r = rng.random_range(0..n);
+                    let row = x.row(r).to_vec();
+                    centers.row_mut(c).copy_from_slice(&row);
+                } else {
+                    let inv = 1.0 / counts[c] as f64;
+                    let sum_row = sums.row(c).to_vec();
+                    for (dst, s) in centers.row_mut(c).iter_mut().zip(sum_row) {
+                        *dst = s * inv;
+                    }
+                }
+            }
+        }
+
+        let mut sizes = vec![0usize; k];
+        let mut inertia = 0.0;
+        for i in 0..n {
+            sizes[assignments[i]] += 1;
+            let d = metric.distance(x.row(i), centers.row(assignments[i]));
+            inertia += d * d;
+        }
+
+        Ok(Self {
+            centers,
+            assignments,
+            sizes,
+            inertia,
+        })
+    }
+
+    /// Cluster centers, one row per cluster.
+    pub fn centers(&self) -> &Matrix {
+        &self.centers
+    }
+
+    /// Training-row cluster assignments.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Cluster sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Sum of squared distances of training rows to their centers.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.nrows()
+    }
+
+    /// Index of the nearest center to `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len()` differs from the training dimensionality.
+    pub fn assign(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.centers.ncols());
+        let metric = DistanceMetric::Euclidean;
+        (0..self.k())
+            .min_by(|&a, &b| {
+                metric
+                    .distance(row, self.centers.row(a))
+                    .partial_cmp(&metric.distance(row, self.centers.row(b)))
+                    .expect("finite distances")
+            })
+            .expect("k >= 1")
+    }
+
+    /// Distance from `row` to the center of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c >= k()` or dimensionality mismatches.
+    pub fn distance_to_center(&self, row: &[f64], c: usize) -> f64 {
+        DistanceMetric::Euclidean.distance(row, self.centers.row(c))
+    }
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled
+/// proportional to squared distance from the nearest chosen center.
+fn kmeanspp_init(x: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = x.nrows();
+    let metric = DistanceMetric::Euclidean;
+    let mut chosen: Vec<usize> = vec![rng.random_range(0..n)];
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| {
+            let d = metric.distance(x.row(i), x.row(chosen[0]));
+            d * d
+        })
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 1e-300 {
+            // All points coincide with chosen centers; pick randomly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        chosen.push(next);
+        for i in 0..n {
+            let d = metric.distance(x.row(i), x.row(next));
+            d2[i] = d2[i].min(d * d);
+        }
+    }
+    x.select_rows(&chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            rows.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = KMeans::fit(&two_blobs(), 2, 0, 100).unwrap();
+        let a = km.assignments()[0];
+        assert!(km.assignments()[..10].iter().all(|&c| c == a));
+        assert!(km.assignments()[10..].iter().all(|&c| c != a));
+        assert_eq!(km.sizes().iter().sum::<usize>(), 20);
+        assert_eq!(km.sizes(), &[10, 10]);
+    }
+
+    #[test]
+    fn centers_near_blob_means() {
+        let km = KMeans::fit(&two_blobs(), 2, 1, 100).unwrap();
+        let mut centers: Vec<f64> = (0..2).map(|c| km.centers().get(c, 0)).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centers[0] - 0.045).abs() < 0.5);
+        assert!((centers[1] - 10.045).abs() < 0.5);
+    }
+
+    #[test]
+    fn assign_routes_to_nearest() {
+        let km = KMeans::fit(&two_blobs(), 2, 2, 100).unwrap();
+        assert_eq!(km.assign(&[0.5, 0.5]), km.assignments()[0]);
+        assert_eq!(km.assign(&[9.5, 9.5]), km.assignments()[10]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = two_blobs();
+        let a = KMeans::fit(&x, 3, 7, 50).unwrap();
+        let b = KMeans::fit(&x, 3, 7, 50).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.centers(), b.centers());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let x = two_blobs();
+        let k1 = KMeans::fit(&x, 1, 0, 100).unwrap();
+        let k2 = KMeans::fit(&x, 2, 0, 100).unwrap();
+        assert!(k2.inertia() < k1.inertia());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let km = KMeans::fit(&x, 3, 0, 100).unwrap();
+        assert!(km.inertia() < 1e-12);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = two_blobs();
+        assert!(KMeans::fit(&x, 0, 0, 10).is_err());
+        assert!(KMeans::fit(&x, 2, 0, 0).is_err());
+        assert!(KMeans::fit(&x, 100, 0, 10).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let x = Matrix::filled(10, 2, 3.0);
+        let km = KMeans::fit(&x, 3, 0, 20).unwrap();
+        assert_eq!(km.assignments().len(), 10);
+        assert!(km.inertia() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the papers' pseudocode in numeric kernels
+
+#![warn(missing_docs)]
+//! Unsupervised outlier-detector zoo for the SUOD reproduction.
+//!
+//! The paper's experiments draw heterogeneous model pools from eight
+//! algorithm families (Table B.1): ABOD, CBLOF, Feature Bagging, HBOS,
+//! Isolation Forest, kNN, LOF, and OCSVM, plus the average-kNN and LoOP
+//! variants referenced in §4.2 and §1. Rust has no PyOD equivalent, so
+//! this crate reimplements each detector from its original paper:
+//!
+//! | Module | Algorithm | Reference |
+//! |---|---|---|
+//! | [`knn`] | k-nearest-neighbour distance (largest/mean/median) | Ramaswamy et al. 2000 |
+//! | [`lof`] | Local Outlier Factor | Breunig et al. 2000 |
+//! | [`abod`] | (Fast) Angle-Based Outlier Detection | Kriegel et al. 2008 |
+//! | [`hbos`] | Histogram-Based Outlier Score | Goldstein & Dengel 2012 |
+//! | [`iforest`] | Isolation Forest | Liu et al. 2008 |
+//! | [`cblof`] | Clustering-Based LOF (+ [`kmeans`] substrate) | He et al. 2003 |
+//! | [`ocsvm`] | One-Class SVM via SMO | Schölkopf et al. 2001 |
+//! | [`feature_bagging`] | Feature Bagging meta-ensemble | Lazarevic & Kumar 2005 |
+//! | [`loop_detector`] | Local Outlier Probabilities | Kriegel et al. 2009 |
+//!
+//! # Conventions
+//!
+//! All detectors implement [`Detector`]: `fit` learns from an unlabeled
+//! training matrix, `decision_function` scores new rows with **larger =
+//! more outlying** (the PyOD convention; detectors whose native score is
+//! inverted, like ABOD, negate internally), and `training_scores` exposes
+//! the scores of the training rows themselves — the "pseudo ground truth"
+//! that SUOD's model-approximation module trains regressors on.
+//!
+//! # Example
+//!
+//! ```
+//! use suod_detectors::{Detector, KnnDetector, KnnMethod};
+//! use suod_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), suod_detectors::Error> {
+//! let train = Matrix::from_rows(&[
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1], vec![9.0, 9.0],
+//! ]).unwrap();
+//! let mut det = KnnDetector::new(2, KnnMethod::Largest)?;
+//! det.fit(&train)?;
+//! let scores = det.training_scores()?;
+//! // The far point is the most outlying.
+//! assert!(scores[3] > scores[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod abod;
+pub mod cblof;
+pub mod cof;
+pub mod feature_bagging;
+pub mod hbos;
+pub mod iforest;
+pub mod kmeans;
+pub mod knn;
+pub mod lof;
+pub mod loda;
+pub mod loop_detector;
+pub mod ocsvm;
+pub mod pca_detector;
+
+pub use abod::AbodDetector;
+pub use cblof::CblofDetector;
+pub use cof::CofDetector;
+pub use feature_bagging::FeatureBagging;
+pub use hbos::HbosDetector;
+pub use iforest::IsolationForest;
+pub use kmeans::KMeans;
+pub use knn::{KnnDetector, KnnMethod};
+pub use lof::LofDetector;
+pub use loda::LodaDetector;
+pub use loop_detector::LoopDetector;
+pub use ocsvm::{Kernel, OcsvmDetector};
+pub use pca_detector::PcaDetector;
+
+use std::fmt;
+use suod_linalg::Matrix;
+
+/// Errors produced by detector training and scoring.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// `decision_function`/`training_scores` called before `fit`.
+    NotFitted(&'static str),
+    /// A hyperparameter was outside its valid domain.
+    InvalidParameter(String),
+    /// Training data was empty or too small for the configuration.
+    InsufficientData {
+        /// What the detector needed.
+        needed: String,
+        /// How many samples were provided.
+        got: usize,
+    },
+    /// Query dimensionality differs from the fitted dimensionality.
+    DimensionMismatch {
+        /// Dimensionality seen at fit time.
+        expected: usize,
+        /// Dimensionality of the query.
+        actual: usize,
+    },
+    /// Propagated linear-algebra failure.
+    Linalg(suod_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFitted(model) => write!(f, "{model} must be fitted before scoring"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::InsufficientData { needed, got } => {
+                write!(f, "insufficient training data: needed {needed}, got {got} samples")
+            }
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "expected {expected}-dimensional rows, got {actual}")
+            }
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<suod_linalg::Error> for Error {
+    fn from(e: suod_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An unsupervised outlier detector.
+///
+/// Implementations are [`Send`] so SUOD's scheduler can move them across
+/// worker threads. Scores follow the PyOD convention: **larger = more
+/// outlying**.
+pub trait Detector: Send + Sync {
+    /// Learns the detector from unlabeled training rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InsufficientData`] when `x` is too small for the
+    /// configuration, plus detector-specific parameter failures.
+    fn fit(&mut self, x: &Matrix) -> Result<()>;
+
+    /// Outlyingness scores for each row of `x` (larger = more outlying).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit` and
+    /// [`Error::DimensionMismatch`] when `x` has the wrong width.
+    fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Outlyingness scores of the training rows, computed at fit time.
+    ///
+    /// For neighbourhood methods this is the leave-one-out score (a point
+    /// is not its own neighbour), matching PyOD's `decision_scores_`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    fn training_scores(&self) -> Result<Vec<f64>>;
+
+    /// Short algorithm name for logs and reports (e.g. `"lof"`).
+    fn name(&self) -> &'static str;
+
+    /// `true` once `fit` has succeeded.
+    fn is_fitted(&self) -> bool;
+}
+
+/// Converts scores to binary labels by thresholding at the
+/// `(1 - contamination)` quantile: the top `contamination` fraction of
+/// scores become outliers (label 1).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `contamination` is outside
+/// `(0, 0.5]` or `scores` is empty.
+pub fn labels_from_scores(scores: &[f64], contamination: f64) -> Result<Vec<i32>> {
+    if scores.is_empty() {
+        return Err(Error::InvalidParameter(
+            "labels_from_scores received no scores".into(),
+        ));
+    }
+    if !(contamination > 0.0 && contamination <= 0.5) {
+        return Err(Error::InvalidParameter(format!(
+            "contamination must be in (0, 0.5], got {contamination}"
+        )));
+    }
+    let n_out = ((scores.len() as f64) * contamination).round() as usize;
+    let n_out = n_out.clamp(1, scores.len());
+    let threshold = suod_linalg::rank::kth_largest(scores, n_out)
+        .expect("n_out is within bounds by construction");
+    Ok(scores
+        .iter()
+        .map(|&s| i32::from(s >= threshold))
+        .collect())
+}
+
+pub(crate) fn check_dims(expected: usize, x: &Matrix) -> Result<()> {
+    if x.ncols() != expected {
+        return Err(Error::DimensionMismatch {
+            expected,
+            actual: x.ncols(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_threshold_top_fraction() {
+        let scores = [0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6, 0.45, 0.5];
+        let labels = labels_from_scores(&scores, 0.2).unwrap();
+        assert_eq!(labels.iter().sum::<i32>(), 2);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[3], 1);
+    }
+
+    #[test]
+    fn labels_validate_inputs() {
+        assert!(labels_from_scores(&[], 0.1).is_err());
+        assert!(labels_from_scores(&[1.0], 0.0).is_err());
+        assert!(labels_from_scores(&[1.0], 0.9).is_err());
+    }
+
+    #[test]
+    fn labels_at_least_one_outlier() {
+        let labels = labels_from_scores(&[1.0, 2.0, 3.0], 0.01).unwrap();
+        assert_eq!(labels.iter().sum::<i32>(), 1);
+        assert_eq!(labels[2], 1);
+    }
+}

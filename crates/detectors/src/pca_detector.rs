@@ -1,0 +1,252 @@
+//! PCA-based anomaly detection (Shyu et al. 2003).
+//!
+//! Outliers violate the correlation structure of the data: projecting a
+//! sample onto the covariance eigenvectors and normalizing each
+//! coordinate by its eigenvalue yields large values exactly when the
+//! sample deviates along directions where the data barely varies. The
+//! score is the eigenvalue-weighted squared distance over the **minor**
+//! components (those after the first `variance_retained` share of
+//! variance), the "principal component classifier" the paper cites in its
+//! related work (§2.2) and PyOD ships as `PCA`.
+
+use crate::{check_dims, Detector, Error, Result};
+use suod_linalg::{symmetric_eigen, Matrix};
+
+/// PCA anomaly detector.
+///
+/// # Example
+///
+/// ```
+/// use suod_detectors::{Detector, PcaDetector};
+/// use suod_linalg::Matrix;
+///
+/// # fn main() -> Result<(), suod_detectors::Error> {
+/// // Data lies on the line y = x; the outlier breaks the correlation.
+/// let mut rows: Vec<Vec<f64>> = (0..30).map(|i| {
+///     let t = i as f64 * 0.1;
+///     vec![t, t + 0.01 * ((i % 3) as f64 - 1.0)]
+/// }).collect();
+/// rows.push(vec![1.5, -1.5]);
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let mut det = PcaDetector::new(0.7)?;
+/// det.fit(&x)?;
+/// let s = det.training_scores()?;
+/// assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 30);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcaDetector {
+    variance_retained: f64,
+    means: Vec<f64>,
+    /// Minor-component eigenvectors as matrix columns (`d x m`).
+    minor_components: Option<Matrix>,
+    /// Matching eigenvalues (floored away from zero).
+    minor_values: Vec<f64>,
+    train_scores: Vec<f64>,
+}
+
+impl PcaDetector {
+    /// Creates a detector that treats the eigenvectors after the first
+    /// `variance_retained` share of total variance as the minor (scoring)
+    /// subspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `variance_retained` is not
+    /// in `(0, 1)`.
+    pub fn new(variance_retained: f64) -> Result<Self> {
+        if !(variance_retained > 0.0 && variance_retained < 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "variance_retained must be in (0, 1), got {variance_retained}"
+            )));
+        }
+        Ok(Self {
+            variance_retained,
+            means: Vec::new(),
+            minor_components: None,
+            minor_values: Vec::new(),
+            train_scores: Vec::new(),
+        })
+    }
+
+    /// Share of variance assigned to the major (ignored) subspace.
+    pub fn variance_retained(&self) -> f64 {
+        self.variance_retained
+    }
+
+    /// Number of minor components used for scoring (after `fit`).
+    pub fn n_minor_components(&self) -> usize {
+        self.minor_values.len()
+    }
+
+    fn score_row(&self, row: &[f64]) -> f64 {
+        let comp = self.minor_components.as_ref().expect("called after fit");
+        let centered: Vec<f64> = row.iter().zip(&self.means).map(|(&v, &m)| v - m).collect();
+        let mut score = 0.0;
+        for (j, &lambda) in self.minor_values.iter().enumerate() {
+            let mut proj = 0.0;
+            for (i, &c) in centered.iter().enumerate() {
+                proj += c * comp.get(i, j);
+            }
+            score += proj * proj / lambda;
+        }
+        score
+    }
+}
+
+impl Detector for PcaDetector {
+    fn fit(&mut self, x: &Matrix) -> Result<()> {
+        let (n, d) = x.shape();
+        if n < 3 {
+            return Err(Error::InsufficientData {
+                needed: "at least 3 samples".into(),
+                got: n,
+            });
+        }
+        self.means = suod_linalg::stats::column_means(x);
+
+        // Covariance.
+        let mut cov = Matrix::zeros(d, d);
+        for r in 0..n {
+            let row = x.row(r);
+            for i in 0..d {
+                let xi = row[i] - self.means[i];
+                for j in i..d {
+                    let xj = row[j] - self.means[j];
+                    cov.set(i, j, cov.get(i, j) + xi * xj);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = cov.get(i, j) / (n - 1) as f64;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        let eig = symmetric_eigen(&cov)?;
+
+        // Split major/minor by cumulative explained variance.
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let mut cutoff = d;
+        if total > 0.0 {
+            let mut cum = 0.0;
+            for (i, &v) in eig.values.iter().enumerate() {
+                cum += v.max(0.0);
+                if cum / total >= self.variance_retained {
+                    cutoff = i + 1;
+                    break;
+                }
+            }
+        }
+        // At least one minor component; all-but-first at most.
+        let cutoff = cutoff.min(d - 1).max(1.min(d - 1));
+        let minor: Vec<usize> = (cutoff..d).collect();
+        self.minor_components = Some(eig.vectors.select_cols(&minor));
+        // Floor eigenvalues: near-null directions would otherwise divide
+        // by ~0 and let noise dominate.
+        let floor = (total / d as f64) * 1e-6 + 1e-12;
+        self.minor_values = minor.iter().map(|&i| eig.values[i].max(floor)).collect();
+        self.train_scores = x.rows_iter().map(|row| self.score_row(row)).collect();
+        Ok(())
+    }
+
+    fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.minor_components.is_none() {
+            return Err(Error::NotFitted("PcaDetector"));
+        }
+        check_dims(self.means.len(), x)?;
+        Ok(x.rows_iter().map(|row| self.score_row(row)).collect())
+    }
+
+    fn training_scores(&self) -> Result<Vec<f64>> {
+        if self.minor_components.is_none() {
+            return Err(Error::NotFitted("PcaDetector"));
+        }
+        Ok(self.train_scores.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.minor_components.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Correlated 2-D cloud plus one correlation-breaking outlier.
+    fn correlated_with_outlier() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = (i as f64 - 20.0) * 0.2;
+                vec![t, 2.0 * t + 0.05 * ((i % 5) as f64 - 2.0)]
+            })
+            .collect();
+        rows.push(vec![2.0, -4.0]); // far off the y = 2x line
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn flags_correlation_breaker() {
+        let mut det = PcaDetector::new(0.9).unwrap();
+        det.fit(&correlated_with_outlier()).unwrap();
+        let s = det.training_scores().unwrap();
+        assert_eq!(suod_linalg::rank::argsort_desc(&s)[0], 40);
+        assert!(det.n_minor_components() >= 1);
+    }
+
+    #[test]
+    fn on_line_queries_score_low() {
+        let mut det = PcaDetector::new(0.9).unwrap();
+        det.fit(&correlated_with_outlier()).unwrap();
+        let q = Matrix::from_rows(&[vec![1.0, 2.0], vec![1.0, -2.0]]).unwrap();
+        let s = det.decision_function(&q).unwrap();
+        assert!(s[1] > 10.0 * s[0], "{s:?}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(PcaDetector::new(0.0).is_err());
+        assert!(PcaDetector::new(1.0).is_err());
+        let mut det = PcaDetector::new(0.5).unwrap();
+        assert!(det.fit(&Matrix::zeros(2, 3)).is_err());
+        assert!(det.decision_function(&Matrix::zeros(1, 2)).is_err());
+        det.fit(&correlated_with_outlier()).unwrap();
+        assert!(det.decision_function(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = correlated_with_outlier();
+        let mut a = PcaDetector::new(0.8).unwrap();
+        let mut b = PcaDetector::new(0.8).unwrap();
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.training_scores().unwrap(), b.training_scores().unwrap());
+    }
+
+    #[test]
+    fn scores_nonnegative_and_finite() {
+        let mut det = PcaDetector::new(0.5).unwrap();
+        det.fit(&correlated_with_outlier()).unwrap();
+        assert!(det
+            .training_scores()
+            .unwrap()
+            .iter()
+            .all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn constant_data_handled() {
+        let x = Matrix::filled(10, 3, 2.0);
+        let mut det = PcaDetector::new(0.5).unwrap();
+        det.fit(&x).unwrap();
+        assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
+    }
+}

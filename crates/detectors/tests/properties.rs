@@ -1,0 +1,125 @@
+//! Property-based tests for the detector zoo: every detector must be
+//! deterministic, produce finite scores of the right length, and rank an
+//! injected far outlier above the median inlier.
+
+use proptest::prelude::*;
+use suod_detectors::{
+    AbodDetector, CblofDetector, CofDetector, Detector, FeatureBagging, HbosDetector,
+    IsolationForest, Kernel, KnnDetector, KnnMethod, LodaDetector, LofDetector, LoopDetector,
+    OcsvmDetector, PcaDetector,
+};
+use suod_linalg::Matrix;
+
+/// Builds one of each detector family with small, fast settings.
+fn zoo(seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(KnnDetector::new(3, KnnMethod::Largest).unwrap()),
+        Box::new(KnnDetector::new(3, KnnMethod::Mean).unwrap()),
+        Box::new(LofDetector::new(4).unwrap()),
+        Box::new(AbodDetector::new(4).unwrap()),
+        Box::new(HbosDetector::new(8, 0.2).unwrap()),
+        Box::new(IsolationForest::new(25, seed).unwrap()),
+        Box::new(CblofDetector::new(2, seed).unwrap()),
+        Box::new(FeatureBagging::new(4, 3, seed).unwrap()),
+        Box::new(LoopDetector::new(4).unwrap()),
+        Box::new(CofDetector::new(4).unwrap()),
+        Box::new(LodaDetector::new(30, 10, seed).unwrap()),
+        Box::new(PcaDetector::new(0.9).unwrap()),
+        Box::new(
+            OcsvmDetector::new(0.2, Kernel::Rbf { gamma: 0.0 })
+                .unwrap()
+                .with_max_iter(2_000),
+        ),
+    ]
+}
+
+/// Cluster near the origin plus one far outlier at the last index. A tiny
+/// deterministic spiral keeps cluster points distinct even when proptest
+/// shrinks all jitter to zero — a window of exact duplicates makes every
+/// angle/chaining statistic degenerate, which is not the property under
+/// test.
+fn cluster_with_far_point(jitter: &[f64], offset: f64) -> Matrix {
+    let n = jitter.len() / 2;
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.618_033_988_749;
+            vec![
+                jitter[2 * i] * 0.5 + 0.05 * t.cos() * (1.0 + i as f64 * 0.01),
+                jitter[2 * i + 1] * 0.5 + 0.05 * t.sin() * (1.0 + i as f64 * 0.01),
+            ]
+        })
+        .collect();
+    rows.push(vec![offset, offset]);
+    Matrix::from_rows(&rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn far_outlier_outranks_median_inlier(
+        jitter in proptest::collection::vec(-1.0f64..1.0, 40..80),
+        offset in 25.0f64..100.0,
+        seed in 0u64..1000,
+    ) {
+        let jitter = &jitter[..(jitter.len() / 2) * 2];
+        let x = cluster_with_far_point(jitter, offset);
+        let outlier_idx = x.nrows() - 1;
+        for mut det in zoo(seed) {
+            // PCA scores deviation from the correlation structure, not
+            // distance: a far point lying *along* the first principal
+            // axis is invisible to the minor-component score by design,
+            // so the universal far-outlier property does not apply.
+            if det.name() == "pca" {
+                continue;
+            }
+            det.fit(&x).unwrap();
+            let s = det.training_scores().unwrap();
+            prop_assert_eq!(s.len(), x.nrows());
+            prop_assert!(s.iter().all(|v| v.is_finite()), "{} non-finite", det.name());
+            let mut inliers: Vec<f64> = s[..outlier_idx].to_vec();
+            inliers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = inliers[inliers.len() / 2];
+            prop_assert!(
+                s[outlier_idx] >= median,
+                "{}: outlier {} below median {}",
+                det.name(), s[outlier_idx], median
+            );
+        }
+    }
+
+    #[test]
+    fn detectors_are_deterministic(
+        jitter in proptest::collection::vec(-1.0f64..1.0, 40..60),
+        seed in 0u64..100,
+    ) {
+        let jitter = &jitter[..(jitter.len() / 2) * 2];
+        let x = cluster_with_far_point(jitter, 30.0);
+        for (mut a, mut b) in zoo(seed).into_iter().zip(zoo(seed)) {
+            a.fit(&x).unwrap();
+            b.fit(&x).unwrap();
+            prop_assert_eq!(
+                a.training_scores().unwrap(),
+                b.training_scores().unwrap(),
+                "{} not deterministic", a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn decision_function_matches_length(
+        jitter in proptest::collection::vec(-1.0f64..1.0, 40..60),
+        queries in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 1..10),
+    ) {
+        let jitter = &jitter[..(jitter.len() / 2) * 2];
+        let x = cluster_with_far_point(jitter, 30.0);
+        let q_rows: Vec<Vec<f64>> = queries.iter().map(|&(a, b)| vec![a, b]).collect();
+        let q = Matrix::from_rows(&q_rows).unwrap();
+        for mut det in zoo(7) {
+            det.fit(&x).unwrap();
+            let s = det.decision_function(&q).unwrap();
+            prop_assert_eq!(s.len(), q.nrows(), "{}", det.name());
+            prop_assert!(s.iter().all(|v| v.is_finite()), "{}", det.name());
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Distance metrics and brute-force k-nearest-neighbour search.
+//!
+//! Every proximity-based detector in the zoo (kNN, average-kNN, LOF, LoOP,
+//! ABOD's fast variant) needs "distances from query points to training
+//! points" plus "the k smallest of them". [`KnnIndex`] centralizes that so
+//! the detectors share one carefully tested implementation. The paper's LOF
+//! grid varies the metric (`manhattan`, `euclidean`, `minkowski`), which
+//! [`DistanceMetric`] models.
+
+use crate::{Error, Matrix, Result};
+
+/// Distance metric between feature vectors.
+///
+/// Matches the LOF hyperparameter grid in the paper's Table B.1.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DistanceMetric {
+    /// L2 distance.
+    #[default]
+    Euclidean,
+    /// L1 distance.
+    Manhattan,
+    /// Lp distance with the given exponent `p >= 1`.
+    Minkowski(f64),
+}
+
+impl DistanceMetric {
+    /// Distance between two equally long vectors.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts equal lengths.
+    #[inline]
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match *self {
+            DistanceMetric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            DistanceMetric::Manhattan => {
+                a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+            }
+            DistanceMetric::Minkowski(p) => a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y).abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+        }
+    }
+
+    /// Parses the PyOD-style metric name used in the paper's model grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "euclidean" => Ok(DistanceMetric::Euclidean),
+            "manhattan" => Ok(DistanceMetric::Manhattan),
+            "minkowski" => Ok(DistanceMetric::Minkowski(3.0)),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown distance metric `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Full pairwise distance matrix between the rows of `a` and the rows of `b`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when column counts differ.
+pub fn pairwise_distances(a: &Matrix, b: &Matrix, metric: DistanceMetric) -> Result<Matrix> {
+    if a.ncols() != b.ncols() {
+        return Err(Error::ShapeMismatch {
+            op: "pairwise_distances",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(a.nrows(), b.nrows());
+    for i in 0..a.nrows() {
+        let ra = a.row(i);
+        for j in 0..b.nrows() {
+            out.set(i, j, metric.distance(ra, b.row(j)));
+        }
+    }
+    Ok(out)
+}
+
+/// A neighbour returned by [`KnnIndex`] queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the training matrix.
+    pub index: usize,
+    /// Distance from the query to that training row.
+    pub distance: f64,
+}
+
+/// k-nearest-neighbour index over a training matrix.
+///
+/// Two exact backends: brute force (`O(n d)` per query, the complexity
+/// the paper quotes for proximity-based models) and a
+/// [`KdTree`](crate::kdtree::KdTree) used automatically for
+/// low-dimensional data, where branch-and-bound wins decisively. Both
+/// return identical results.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
+///
+/// # fn main() -> Result<(), suod_linalg::Error> {
+/// let train = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0]])?;
+/// let index = KnnIndex::build(&train, DistanceMetric::Euclidean)?;
+/// let nn = index.query(&[0.2], 2);
+/// assert_eq!(nn[0].index, 0);
+/// assert_eq!(nn[1].index, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnIndex {
+    train: Matrix,
+    metric: DistanceMetric,
+    tree: Option<crate::kdtree::KdTree>,
+}
+
+/// KD-trees degrade toward brute force as dimensionality grows; beyond
+/// this width (or for tiny datasets) the flat scan is faster.
+const KDTREE_MAX_DIM: usize = 15;
+const KDTREE_MIN_ROWS: usize = 128;
+
+impl KnnIndex {
+    /// Builds an index over the rows of `train`, choosing the KD-tree
+    /// backend automatically for low-dimensional data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `train` has no rows.
+    pub fn build(train: &Matrix, metric: DistanceMetric) -> Result<Self> {
+        if train.nrows() == 0 {
+            return Err(Error::Empty("KnnIndex::build"));
+        }
+        let tree = if train.ncols() <= KDTREE_MAX_DIM && train.nrows() >= KDTREE_MIN_ROWS {
+            Some(crate::kdtree::KdTree::build(train, metric)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            train: train.clone(),
+            metric,
+            tree,
+        })
+    }
+
+    /// Builds an index that always scans linearly (used by tests to check
+    /// backend equivalence, and available when the access pattern defeats
+    /// tree pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `train` has no rows.
+    pub fn build_brute_force(train: &Matrix, metric: DistanceMetric) -> Result<Self> {
+        if train.nrows() == 0 {
+            return Err(Error::Empty("KnnIndex::build_brute_force"));
+        }
+        Ok(Self {
+            train: train.clone(),
+            metric,
+            tree: None,
+        })
+    }
+
+    /// `true` when queries go through the KD-tree backend.
+    pub fn uses_kdtree(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.train.nrows()
+    }
+
+    /// `true` when the index holds no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.train.nrows() == 0
+    }
+
+    /// The indexed training matrix.
+    pub fn train_data(&self) -> &Matrix {
+        &self.train
+    }
+
+    /// The metric this index was built with.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending distance.
+    ///
+    /// `k` is clamped to the index size. Ties are broken by training index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len()` differs from the training dimensionality.
+    pub fn query(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(
+            query.len(),
+            self.train.ncols(),
+            "query dimensionality must match the index"
+        );
+        if let Some(tree) = &self.tree {
+            return tree.query(query, k);
+        }
+        let k = k.min(self.train.nrows());
+        let mut all: Vec<Neighbor> = (0..self.train.nrows())
+            .map(|i| Neighbor {
+                index: i,
+                distance: self.metric.distance(query, self.train.row(i)),
+            })
+            .collect();
+        // Partial selection then sort of the head: O(n + k log k).
+        let pivot = k.saturating_sub(1).min(all.len() - 1);
+        all.select_nth_unstable_by(pivot, cmp_neighbor);
+        all.truncate(k);
+        all.sort_by(cmp_neighbor);
+        all
+    }
+
+    /// Like [`query`](Self::query) but excludes the training row
+    /// `exclude` — used for leave-one-out queries on the training set
+    /// itself (LOF, LoOP, kNN training scores).
+    pub fn query_excluding(&self, query: &[f64], k: usize, exclude: usize) -> Vec<Neighbor> {
+        let mut nn = self.query(query, (k + 1).min(self.train.nrows()));
+        nn.retain(|n| n.index != exclude);
+        nn.truncate(k);
+        nn
+    }
+
+    /// k-nearest neighbours for every row of `queries`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when dimensionality differs.
+    pub fn query_batch(&self, queries: &Matrix, k: usize) -> Result<Vec<Vec<Neighbor>>> {
+        if queries.ncols() != self.train.ncols() {
+            return Err(Error::ShapeMismatch {
+                op: "KnnIndex::query_batch",
+                lhs: queries.shape(),
+                rhs: self.train.shape(),
+            });
+        }
+        Ok((0..queries.nrows())
+            .map(|i| self.query(queries.row(i), k))
+            .collect())
+    }
+}
+
+fn cmp_neighbor(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
+    a.distance
+        .partial_cmp(&b.distance)
+        .expect("distances are finite")
+        .then(a.index.cmp(&b.index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Matrix {
+        Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]]).unwrap()
+    }
+
+    #[test]
+    fn metric_values() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(DistanceMetric::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(DistanceMetric::Manhattan.distance(&a, &b), 7.0);
+        let mink = DistanceMetric::Minkowski(2.0).distance(&a, &b);
+        assert!((mink - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_p1_equals_manhattan() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 4.0, 2.5];
+        let m1 = DistanceMetric::Minkowski(1.0).distance(&a, &b);
+        let man = DistanceMetric::Manhattan.distance(&a, &b);
+        assert!((m1 - man).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(
+            DistanceMetric::parse("euclidean").unwrap(),
+            DistanceMetric::Euclidean
+        );
+        assert_eq!(
+            DistanceMetric::parse("manhattan").unwrap(),
+            DistanceMetric::Manhattan
+        );
+        assert!(matches!(
+            DistanceMetric::parse("minkowski").unwrap(),
+            DistanceMetric::Minkowski(_)
+        ));
+        assert!(DistanceMetric::parse("cosine").is_err());
+    }
+
+    #[test]
+    fn pairwise_shapes_and_values() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        let d = pairwise_distances(&a, &b, DistanceMetric::Euclidean).unwrap();
+        assert_eq!(d.shape(), (2, 1));
+        assert!((d.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((d.get(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_query_sorted() {
+        let idx = KnnIndex::build(&line_points(), DistanceMetric::Euclidean).unwrap();
+        let nn = idx.query(&[1.4], 3);
+        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert!(nn[0].distance <= nn[1].distance && nn[1].distance <= nn[2].distance);
+    }
+
+    #[test]
+    fn knn_k_clamped() {
+        let idx = KnnIndex::build(&line_points(), DistanceMetric::Euclidean).unwrap();
+        assert_eq!(idx.query(&[0.0], 99).len(), 4);
+    }
+
+    #[test]
+    fn knn_excluding_self() {
+        let idx = KnnIndex::build(&line_points(), DistanceMetric::Euclidean).unwrap();
+        let nn = idx.query_excluding(&[1.0], 2, 1);
+        assert!(nn.iter().all(|n| n.index != 1));
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].index, 0); // tie with 2, broken by index
+    }
+
+    #[test]
+    fn knn_build_empty_errors() {
+        let empty = Matrix::zeros(0, 3);
+        assert!(KnnIndex::build(&empty, DistanceMetric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let idx = KnnIndex::build(&line_points(), DistanceMetric::Euclidean).unwrap();
+        let q = Matrix::from_rows(&[vec![0.1], vec![9.0]]).unwrap();
+        let batch = idx.query_batch(&q, 2).unwrap();
+        assert_eq!(batch[0], idx.query(&[0.1], 2));
+        assert_eq!(batch[1], idx.query(&[9.0], 2));
+    }
+}

@@ -1,0 +1,233 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Used by the PCA projection baseline (§2.2 / Table 1 of the paper), which
+//! needs the leading eigenvectors of a `d x d` covariance matrix. The
+//! datasets in the paper have `d <= 400`, well within Jacobi's comfort zone,
+//! and Jacobi is simple, numerically robust, and produces orthonormal
+//! eigenvectors without external dependencies.
+
+use crate::{Error, Matrix, Result};
+
+/// Result of [`symmetric_eigen`]: eigenvalues sorted descending with the
+/// matching eigenvectors as matrix columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// The input is not checked for exact symmetry; the routine reads only one
+/// triangle's worth of information per sweep, so mild asymmetry from
+/// floating-point accumulation is tolerated.
+///
+/// # Errors
+///
+/// * [`Error::ShapeMismatch`] when `a` is not square.
+/// * [`Error::Empty`] when `a` has zero size.
+/// * [`Error::NoConvergence`] if the off-diagonal mass fails to vanish in
+///   100 sweeps (does not occur for well-scaled covariance matrices).
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::{symmetric_eigen, Matrix};
+///
+/// # fn main() -> Result<(), suod_linalg::Error> {
+/// let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0])?;
+/// let eig = symmetric_eigen(&a)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
+    let n = a.nrows();
+    if n == 0 {
+        return Err(Error::Empty("symmetric_eigen"));
+    }
+    if a.ncols() != n {
+        return Err(Error::ShapeMismatch {
+            op: "symmetric_eigen",
+            lhs: a.shape(),
+            rhs: (n, n),
+        });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        let off = off_diagonal_norm(&m);
+        if off < 1e-12 {
+            return Ok(sorted_decomposition(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                rotate(&mut m, &mut v, p, q);
+            }
+        }
+    }
+    if off_diagonal_norm(&m) < 1e-8 {
+        return Ok(sorted_decomposition(m, v));
+    }
+    Err(Error::NoConvergence("Jacobi eigensolver"))
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.nrows();
+    let mut s = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            s += m.get(p, q) * m.get(p, q);
+        }
+    }
+    s.sqrt()
+}
+
+/// One Jacobi rotation zeroing the (p, q) element.
+fn rotate(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m.get(p, q);
+    if apq.abs() < 1e-300 {
+        return;
+    }
+    let app = m.get(p, p);
+    let aqq = m.get(q, q);
+    let theta = (aqq - app) / (2.0 * apq);
+    // Stable tangent computation (Golub & Van Loan, Algorithm 8.4.1).
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.nrows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+fn sorted_decomposition(m: Matrix, v: Matrix) -> EigenDecomposition {
+    let n = m.nrows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3., 0., 0., 0., 1., 0., 0., 0., 2.]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 2.0, 1e-12);
+        assert_close(e.values[2], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![2., 1., 1., 2.]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-10);
+        assert_close(v0[0], v0[1], 1e-10);
+    }
+
+    #[test]
+    fn reconstruction() {
+        // A = V diag(w) V^T must reproduce the input.
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d.set(i, i, e.values[i]);
+        }
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_close(rec.get(i, j), a.get(i, j), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0],
+        )
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(vtv.get(i, j), expect, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(0, 0)).unwrap_err(),
+            Error::Empty(_)
+        ));
+    }
+}

@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra and statistics substrate for the SUOD reproduction.
+//!
+//! Every higher-level crate in this workspace (detectors, projectors,
+//! supervised regressors, the scheduler's meta-feature extractor) operates
+//! on the [`Matrix`] type defined here. The crate is intentionally
+//! self-contained: no BLAS/LAPACK bindings, just portable, well-tested
+//! `f64` routines sized for the datasets the paper evaluates on
+//! (up to ~half a million rows, a few hundred columns).
+//!
+//! # Modules
+//!
+//! * [`matrix`] — row-major dense matrix with shape-checked operations.
+//! * [`eigen`] — cyclic Jacobi eigensolver for symmetric matrices (used by
+//!   the PCA projection baseline).
+//! * [`distance`] — distance metrics and k-nearest-neighbour search
+//!   (brute force + automatic KD-tree backend) shared by kNN/LOF/ABOD/LoOP.
+//! * [`kdtree`] — exact KD-tree used by [`distance::KnnIndex`] on
+//!   low-dimensional data.
+//! * [`stats`] — column statistics, standardization, and descriptive
+//!   statistics used for meta-features.
+//! * [`rank`] — argsort, average-tie ranking and top-k selection used by
+//!   the metrics crate and the BPS scheduler.
+//!
+//! # Example
+//!
+//! ```
+//! use suod_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), suod_linalg::Error> {
+//! let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+//! let xt = x.transpose();
+//! let g = x.matmul(&xt)?; // Gram matrix
+//! assert_eq!(g.get(0, 0), 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod distance;
+pub mod eigen;
+pub mod kdtree;
+pub mod matrix;
+pub mod rank;
+pub mod stats;
+
+pub use distance::{pairwise_distances, DistanceMetric, KnnIndex};
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use matrix::Matrix;
+
+use std::fmt;
+
+/// Errors produced by shape-checked linear algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor received data whose length does not match `rows * cols`.
+    BadDimensions {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// An operation required a non-empty matrix but got zero rows or columns.
+    Empty(&'static str),
+    /// An iterative routine failed to converge.
+    NoConvergence(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::BadDimensions { expected, actual } => write!(
+                f,
+                "data length {actual} does not match requested shape ({expected} elements)"
+            ),
+            Error::Empty(op) => write!(f, "{op} requires a non-empty matrix"),
+            Error::NoConvergence(what) => write!(f, "{what} failed to converge"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,143 @@
+//! Sorting, ranking and top-k helpers.
+//!
+//! The BPS scheduler (§3.5 of the paper) works on *ranks* of predicted model
+//! costs rather than raw times — ranks transfer across hardware. Metrics
+//! (ROC via Mann–Whitney, Spearman correlation, P@N) also reduce to ranking
+//! operations, so the primitives live here and are shared.
+
+/// Indices that would sort `xs` ascending (stable for ties).
+///
+/// # Example
+///
+/// ```
+/// let order = suod_linalg::rank::argsort(&[3.0, 1.0, 2.0]);
+/// assert_eq!(order, vec![1, 2, 0]);
+/// ```
+pub fn argsort(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("argsort requires non-NaN values")
+    });
+    idx
+}
+
+/// Indices that would sort `xs` descending (stable for ties).
+pub fn argsort_desc(xs: &[f64]) -> Vec<usize> {
+    let mut idx = argsort(xs);
+    idx.reverse();
+    idx
+}
+
+/// 1-based ranks with ties resolved to the average rank (the convention
+/// used by Spearman's correlation).
+///
+/// # Example
+///
+/// ```
+/// let r = suod_linalg::rank::average_ranks(&[10.0, 20.0, 20.0]);
+/// assert_eq!(r, vec![1.0, 2.5, 2.5]);
+/// ```
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let order = argsort(xs);
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        // Extend the tie group.
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// 1-based ordinal ranks (ties broken by position, no averaging). Rank 1 is
+/// the smallest value. This is the ranking the BPS cost heuristic uses.
+pub fn ordinal_ranks(xs: &[f64]) -> Vec<usize> {
+    let order = argsort(xs);
+    let mut ranks = vec![0usize; xs.len()];
+    for (r, &i) in order.iter().enumerate() {
+        ranks[i] = r + 1;
+    }
+    ranks
+}
+
+/// Indices of the `k` largest values, descending. `k` is clamped to the
+/// slice length.
+pub fn top_k_indices(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx = argsort_desc(xs);
+    idx.truncate(k.min(xs.len()));
+    idx
+}
+
+/// The `k`-th largest value (1-based); `None` when `xs` is empty or
+/// `k == 0` or `k > xs.len()`.
+pub fn kth_largest(xs: &[f64], k: usize) -> Option<f64> {
+    if k == 0 || k > xs.len() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    let pos = v.len() - k;
+    v.select_nth_unstable_by(pos, |a, b| a.partial_cmp(b).expect("non-NaN"));
+    Some(v[pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_basic() {
+        assert_eq!(argsort(&[2.0, 0.0, 1.0]), vec![1, 2, 0]);
+        assert_eq!(argsort_desc(&[2.0, 0.0, 1.0]), vec![0, 2, 1]);
+        assert!(argsort(&[]).is_empty());
+    }
+
+    #[test]
+    fn argsort_stable_on_ties() {
+        assert_eq!(argsort(&[1.0, 1.0, 0.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn average_ranks_no_ties() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ordinal_ranks_basic() {
+        assert_eq!(ordinal_ranks(&[0.3, 0.1, 0.2]), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn top_k() {
+        assert_eq!(top_k_indices(&[1.0, 5.0, 3.0], 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&[1.0], 10), vec![0]);
+    }
+
+    #[test]
+    fn kth_largest_values() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(kth_largest(&xs, 1), Some(4.0));
+        assert_eq!(kth_largest(&xs, 4), Some(1.0));
+        assert_eq!(kth_largest(&xs, 5), None);
+        assert_eq!(kth_largest(&xs, 0), None);
+        assert_eq!(kth_largest(&[], 1), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Column statistics and standardization.
+//!
+//! Score combination in the paper (Avg/MOA, Table 4) follows PyOD and
+//! z-score-standardizes each base model's outputs before combining;
+//! several detectors (HBOS, CBLOF) and the meta-feature extractor need
+//! per-column moments. This module gathers those primitives.
+
+use crate::{Error, Matrix, Result};
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a slice; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum of a slice; `NAN` for an empty slice.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::min)
+}
+
+/// Maximum of a slice; `NAN` for an empty slice.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Per-column means of a matrix.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let (n, d) = x.shape();
+    let mut sums = vec![0.0; d];
+    for row in x.rows_iter() {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    if n > 0 {
+        for s in &mut sums {
+            *s /= n as f64;
+        }
+    }
+    sums
+}
+
+/// Per-column population standard deviations.
+pub fn column_stds(x: &Matrix) -> Vec<f64> {
+    let (n, d) = x.shape();
+    if n == 0 {
+        return vec![0.0; d];
+    }
+    let means = column_means(x);
+    let mut sums = vec![0.0; d];
+    for row in x.rows_iter() {
+        for ((s, &v), &m) in sums.iter_mut().zip(row).zip(&means) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    sums.iter().map(|s| (s / n as f64).sqrt()).collect()
+}
+
+/// Fitted standardizer: per-column z-score transform learned on train data.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::{stats::Standardizer, Matrix};
+///
+/// # fn main() -> Result<(), suod_linalg::Error> {
+/// let train = Matrix::from_rows(&[vec![0.0], vec![2.0]])?;
+/// let sc = Standardizer::fit(&train)?;
+/// let t = sc.transform(&train)?;
+/// assert!((t.get(0, 0) + 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns column means and standard deviations from `x`.
+    ///
+    /// Columns with zero variance get a std of 1 so they map to 0 rather
+    /// than dividing by zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `x` has no rows.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.nrows() == 0 {
+            return Err(Error::Empty("Standardizer::fit"));
+        }
+        let means = column_means(x);
+        let stds = column_stds(x)
+            .into_iter()
+            .map(|s| if s > 1e-12 { s } else { 1.0 })
+            .collect();
+        Ok(Self { means, stds })
+    }
+
+    /// Applies the learned transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when column counts differ from fit.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.ncols() != self.means.len() {
+            return Err(Error::ShapeMismatch {
+                op: "Standardizer::transform",
+                lhs: x.shape(),
+                rhs: (1, self.means.len()),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.nrows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations learned at fit time (zero-variance columns
+    /// are reported as 1).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Z-score standardizes a single score vector in place.
+///
+/// Constant vectors become all zeros. This is the normalization PyOD applies
+/// before ensemble combination.
+pub fn zscore_in_place(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s > 1e-12 {
+        for x in xs.iter_mut() {
+            *x = (*x - m) / s;
+        }
+    } else {
+        for x in xs.iter_mut() {
+            *x = 0.0;
+        }
+    }
+}
+
+/// Skewness (Fisher-Pearson, population) of a slice; `0.0` for slices
+/// shorter than 3 or with zero variance. Used as a dataset meta-feature.
+pub fn skewness(xs: &[f64]) -> f64 {
+    if xs.len() < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    xs.iter().map(|&x| ((x - m) / s).powi(3)).sum::<f64>() / n
+}
+
+/// Excess kurtosis (population) of a slice; `0.0` for slices shorter than 4
+/// or with zero variance. Used as a dataset meta-feature.
+pub fn kurtosis(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    xs.iter().map(|&x| ((x - m) / s).powi(4)).sum::<f64>() / n - 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(max(&xs), 4.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert!(min(&[]).is_nan());
+    }
+
+    #[test]
+    fn column_stats() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0]]).unwrap();
+        assert_eq!(column_means(&x), vec![2.0, 10.0]);
+        let stds = column_stds(&x);
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert_eq!(stds[1], 0.0);
+    }
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let x = Matrix::from_rows(&[vec![0.0, 5.0], vec![2.0, 5.0], vec![4.0, 5.0]]).unwrap();
+        let sc = Standardizer::fit(&x).unwrap();
+        let t = sc.transform(&x).unwrap();
+        // Column 0 standardized, column 1 constant -> zeros.
+        assert!((mean(&t.col(0))).abs() < 1e-12);
+        assert!((std_dev(&t.col(0)) - 1.0).abs() < 1e-12);
+        assert!(t.col(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn standardizer_shape_check() {
+        let x = Matrix::zeros(2, 2);
+        let sc = Standardizer::fit(&x).unwrap();
+        assert!(sc.transform(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn zscore_constant_vector() {
+        let mut xs = [5.0, 5.0, 5.0];
+        zscore_in_place(&mut xs);
+        assert_eq!(xs, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_normalizes() {
+        let mut xs = [1.0, 2.0, 3.0];
+        zscore_in_place(&mut xs);
+        assert!(mean(&xs).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_kurtosis_symmetric() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+        // Uniform-ish symmetric data has negative excess kurtosis.
+        assert!(kurtosis(&xs) < 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use suod_linalg::rank::{argsort, average_ranks, ordinal_ranks};
+use suod_linalg::stats::{zscore_in_place, Standardizer};
+use suod_linalg::{pairwise_distances, symmetric_eigen, DistanceMetric, Matrix};
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in small_matrix(8)) {
+        let i = Matrix::identity(m.ncols());
+        let p = m.matmul(&i).unwrap();
+        for (a, b) in p.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in small_matrix(6)) {
+        // (A B)^T == B^T A^T
+        let b = m.transpose();
+        let left = m.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&m.transpose()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distances_symmetric_nonneg(m in small_matrix(6)) {
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan, DistanceMetric::Minkowski(3.0)] {
+            let d = pairwise_distances(&m, &m, metric).unwrap();
+            for i in 0..m.nrows() {
+                prop_assert!(d.get(i, i).abs() < 1e-9);
+                for j in 0..m.nrows() {
+                    prop_assert!(d.get(i, j) >= 0.0);
+                    prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean(
+        a in proptest::collection::vec(-50.0f64..50.0, 4),
+        b in proptest::collection::vec(-50.0f64..50.0, 4),
+        c in proptest::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        let m = DistanceMetric::Euclidean;
+        prop_assert!(m.distance(&a, &c) <= m.distance(&a, &b) + m.distance(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_gram(m in small_matrix(5)) {
+        // X^T X is symmetric PSD; eigendecomposition must reconstruct it.
+        let g = m.transpose().matmul(&m).unwrap();
+        let e = symmetric_eigen(&g).unwrap();
+        let n = g.nrows();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n { d.set(i, i, e.values[i]); }
+        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let scale = 1.0 + g.as_slice().iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        for (x, y) in rec.as_slice().iter().zip(g.as_slice()) {
+            prop_assert!((x - y).abs() / scale < 1e-6, "{x} vs {y}");
+        }
+        // Eigenvalues of a PSD matrix are non-negative (up to round-off).
+        for &v in &e.values {
+            prop_assert!(v > -1e-6 * scale);
+        }
+    }
+
+    #[test]
+    fn argsort_sorts(xs in proptest::collection::vec(-1e6f64..1e6, 0..64)) {
+        let order = argsort(&xs);
+        for w in order.windows(2) {
+            prop_assert!(xs[w[0]] <= xs[w[1]]);
+        }
+        // A permutation: every index appears once.
+        let mut seen = vec![false; xs.len()];
+        for &i in &order { seen[i] = true; }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn ranks_are_permutation(xs in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+        let mut r = ordinal_ranks(&xs);
+        r.sort_unstable();
+        let expect: Vec<usize> = (1..=xs.len()).collect();
+        prop_assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn average_ranks_sum_invariant(xs in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+        // Sum of ranks is n(n+1)/2 regardless of ties.
+        let n = xs.len() as f64;
+        let s: f64 = average_ranks(&xs).iter().sum();
+        prop_assert!((s - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zscore_idempotent_stats(mut xs in proptest::collection::vec(-1e3f64..1e3, 3..64)) {
+        zscore_in_place(&mut xs);
+        let m = suod_linalg::stats::mean(&xs);
+        let s = suod_linalg::stats::std_dev(&xs);
+        prop_assert!(m.abs() < 1e-9);
+        prop_assert!(s < 1e-12 || (s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kdtree_equals_brute_force(
+        n in 130usize..400,
+        d in 1usize..6,
+        seed in 0u64..1000,
+        k in 1usize..12,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-50.0..50.0)).collect();
+        let pts = Matrix::from_vec(n, d, data).unwrap();
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan] {
+            let auto = suod_linalg::KnnIndex::build(&pts, metric).unwrap();
+            prop_assert!(auto.uses_kdtree());
+            let brute = suod_linalg::KnnIndex::build_brute_force(&pts, metric).unwrap();
+            let q: Vec<f64> = (0..d).map(|_| rng.random_range(-60.0..60.0)).collect();
+            prop_assert_eq!(auto.query(&q, k), brute.query(&q, k));
+        }
+    }
+
+    #[test]
+    fn standardizer_train_has_unit_stats(m in small_matrix(8)) {
+        prop_assume!(m.nrows() >= 2);
+        let sc = Standardizer::fit(&m).unwrap();
+        let t = sc.transform(&m).unwrap();
+        for c in 0..t.ncols() {
+            let col = t.col(c);
+            prop_assert!(suod_linalg::stats::mean(&col).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Ensemble score combination (Aggarwal & Sathe 2017).
+//!
+//! The full-system evaluation (Table 4) reports two combined scores over
+//! the heterogeneous model pool: the **average** of standardized base
+//! scores (`Avg_`) and the **maximum of average** two-phase scheme
+//! (`MOA_`). `maximization` and `aom` (average of maximum) complete the
+//! standard family.
+//!
+//! All combiners operate on a score matrix of shape `n_samples x n_models`
+//! and z-score standardize each model's column first (the PyOD convention),
+//! so models with different score scales combine meaningfully.
+
+use crate::{Error, Result};
+use suod_linalg::stats::zscore_in_place;
+use suod_linalg::Matrix;
+
+/// Which combination rule to apply; see the free functions for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Combiner {
+    /// Mean of standardized scores.
+    #[default]
+    Average,
+    /// Max of standardized scores.
+    Maximization,
+    /// Average-of-maximum over buckets.
+    Aom,
+    /// Maximum-of-average over buckets (the paper's `MOA_`).
+    Moa,
+}
+
+impl Combiner {
+    /// Applies this rule. For [`Combiner::Aom`] / [`Combiner::Moa`] the
+    /// model columns are split into `n_buckets` contiguous buckets.
+    ///
+    /// # Errors
+    ///
+    /// See [`average`] / [`aom`] for conditions.
+    pub fn combine(&self, scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
+        match self {
+            Combiner::Average => average(scores),
+            Combiner::Maximization => maximization(scores),
+            Combiner::Aom => aom(scores, n_buckets),
+            Combiner::Moa => moa(scores, n_buckets),
+        }
+    }
+}
+
+fn standardized_columns(scores: &Matrix) -> Result<Matrix> {
+    if scores.nrows() == 0 || scores.ncols() == 0 {
+        return Err(Error::Empty("score combination"));
+    }
+    let mut out = scores.clone();
+    for c in 0..scores.ncols() {
+        let mut col = scores.col(c);
+        zscore_in_place(&mut col);
+        for (r, v) in col.into_iter().enumerate() {
+            out.set(r, c, v);
+        }
+    }
+    Ok(out)
+}
+
+/// Mean of standardized base-model scores per sample.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty score matrix.
+pub fn average(scores: &Matrix) -> Result<Vec<f64>> {
+    let z = standardized_columns(scores)?;
+    Ok(z.rows_iter()
+        .map(|row| row.iter().sum::<f64>() / row.len() as f64)
+        .collect())
+}
+
+/// Maximum of standardized base-model scores per sample.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty score matrix.
+pub fn maximization(scores: &Matrix) -> Result<Vec<f64>> {
+    let z = standardized_columns(scores)?;
+    Ok(z.rows_iter()
+        .map(|row| row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        .collect())
+}
+
+fn bucket_ranges(n_models: usize, n_buckets: usize) -> Result<Vec<(usize, usize)>> {
+    if n_buckets == 0 {
+        return Err(Error::Undefined("bucket combination with 0 buckets"));
+    }
+    let n_buckets = n_buckets.min(n_models);
+    let base = n_models / n_buckets;
+    let extra = n_models % n_buckets;
+    let mut ranges = Vec::with_capacity(n_buckets);
+    let mut start = 0;
+    for b in 0..n_buckets {
+        let len = base + usize::from(b < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    Ok(ranges)
+}
+
+/// Average-of-maximum: models are split into contiguous buckets, the max is
+/// taken within each bucket, and the bucket maxima are averaged.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty score matrix and
+/// [`Error::Undefined`] when `n_buckets == 0`.
+pub fn aom(scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
+    let z = standardized_columns(scores)?;
+    let ranges = bucket_ranges(z.ncols(), n_buckets)?;
+    Ok(z.rows_iter()
+        .map(|row| {
+            ranges
+                .iter()
+                .map(|&(s, e)| row[s..e].iter().copied().fold(f64::NEG_INFINITY, f64::max))
+                .sum::<f64>()
+                / ranges.len() as f64
+        })
+        .collect())
+}
+
+/// Maximum-of-average: models are split into contiguous buckets, the mean is
+/// taken within each bucket, and the maximum bucket mean is reported. This
+/// is the `MOA_` combiner of Table 4.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty score matrix and
+/// [`Error::Undefined`] when `n_buckets == 0`.
+pub fn moa(scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
+    let z = standardized_columns(scores)?;
+    let ranges = bucket_ranges(z.ncols(), n_buckets)?;
+    Ok(z.rows_iter()
+        .map(|row| {
+            ranges
+                .iter()
+                .map(|&(s, e)| row[s..e].iter().sum::<f64>() / (e - s) as f64)
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 samples x 2 models with identical standardized columns.
+    fn symmetric_scores() -> Matrix {
+        Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 10.0], vec![2.0, 20.0]]).unwrap()
+    }
+
+    #[test]
+    fn average_of_identical_rankings() {
+        let avg = average(&symmetric_scores()).unwrap();
+        // Both columns standardize to the same z-scores, so the average
+        // equals the per-column z-score.
+        assert!(avg[0] < avg[1] && avg[1] < avg[2]);
+        assert!((avg[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximization_upper_bounds_average() {
+        let s = Matrix::from_rows(&[vec![0.0, 5.0], vec![1.0, 3.0], vec![2.0, 1.0]]).unwrap();
+        let avg = average(&s).unwrap();
+        let mx = maximization(&s).unwrap();
+        for (a, m) in avg.iter().zip(&mx) {
+            assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn single_bucket_moa_equals_average() {
+        let s = symmetric_scores();
+        let m = moa(&s, 1).unwrap();
+        let a = average(&s).unwrap();
+        for (x, y) in m.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn per_model_buckets_moa_equals_maximization() {
+        let s = Matrix::from_rows(&[vec![0.0, 5.0], vec![1.0, 3.0], vec![2.0, 1.0]]).unwrap();
+        let m = moa(&s, 2).unwrap();
+        let mx = maximization(&s).unwrap();
+        for (x, y) in m.iter().zip(&mx) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_bucket_aom_equals_maximization() {
+        let s = Matrix::from_rows(&[vec![0.0, 5.0], vec![1.0, 3.0]]).unwrap();
+        let a = aom(&s, 1).unwrap();
+        let mx = maximization(&s).unwrap();
+        for (x, y) in a.iter().zip(&mx) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_cover_all_models() {
+        let ranges = bucket_ranges(10, 3).unwrap();
+        assert_eq!(ranges, vec![(0, 4), (4, 7), (7, 10)]);
+        let ranges = bucket_ranges(2, 5).unwrap(); // clamped
+        assert_eq!(ranges.len(), 2);
+    }
+
+    #[test]
+    fn zero_buckets_undefined() {
+        assert!(aom(&symmetric_scores(), 0).is_err());
+        assert!(moa(&symmetric_scores(), 0).is_err());
+    }
+
+    #[test]
+    fn empty_scores_error() {
+        assert!(average(&Matrix::zeros(0, 3)).is_err());
+        assert!(maximization(&Matrix::zeros(3, 0)).is_err());
+    }
+
+    #[test]
+    fn combiner_enum_dispatch() {
+        let s = symmetric_scores();
+        assert_eq!(
+            Combiner::Average.combine(&s, 2).unwrap(),
+            average(&s).unwrap()
+        );
+        assert_eq!(Combiner::Moa.combine(&s, 2).unwrap(), moa(&s, 2).unwrap());
+        assert_eq!(Combiner::Aom.combine(&s, 2).unwrap(), aom(&s, 2).unwrap());
+        assert_eq!(
+            Combiner::Maximization.combine(&s, 2).unwrap(),
+            maximization(&s).unwrap()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Area under the ROC curve.
+
+use crate::{check_lengths, Error, Result};
+use suod_linalg::rank::average_ranks;
+
+/// Area under the receiver-operating-characteristic curve.
+///
+/// Computed via the Mann–Whitney U statistic on average ranks, which
+/// handles tied scores exactly the way scikit-learn does: AUC equals the
+/// probability that a random outlier outscores a random inlier, counting
+/// ties as half.
+///
+/// Labels are binary: non-zero means outlier. Higher scores must mean "more
+/// outlying" (the PyOD convention used throughout this workspace).
+///
+/// # Errors
+///
+/// * [`Error::LengthMismatch`] when the vectors differ in length.
+/// * [`Error::Empty`] on empty input.
+/// * [`Error::Undefined`] when only one class is present.
+///
+/// # Example
+///
+/// ```
+/// let auc = suod_metrics::roc_auc(&[0, 1], &[0.2, 0.9])?;
+/// assert_eq!(auc, 1.0);
+/// # Ok::<(), suod_metrics::Error>(())
+/// ```
+pub fn roc_auc(labels: &[i32], scores: &[f64]) -> Result<f64> {
+    check_lengths(labels.len(), scores.len())?;
+    if labels.is_empty() {
+        return Err(Error::Empty("roc_auc"));
+    }
+    let n_pos = labels.iter().filter(|&&l| l != 0).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(Error::Undefined("roc_auc requires both classes"));
+    }
+    let ranks = average_ranks(scores);
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l != 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos as f64 * n_neg as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        assert_eq!(roc_auc(&[0, 0, 1, 1], &[0.1, 0.2, 0.8, 0.9]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        assert_eq!(roc_auc(&[1, 1, 0, 0], &[0.1, 0.2, 0.8, 0.9]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sklearn_reference_case() {
+        // sklearn.metrics.roc_auc_score([0,0,1,1],[0.1,0.4,0.35,0.8]) == 0.75
+        let auc = roc_auc(&[0, 0, 1, 1], &[0.1, 0.4, 0.35, 0.8]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_give_half() {
+        let auc = roc_auc(&[0, 1, 0, 1], &[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_undefined() {
+        assert!(matches!(
+            roc_auc(&[0, 0], &[0.1, 0.2]).unwrap_err(),
+            Error::Undefined(_)
+        ));
+        assert!(roc_auc(&[1, 1], &[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(matches!(
+            roc_auc(&[0, 1], &[0.5]).unwrap_err(),
+            Error::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(matches!(roc_auc(&[], &[]).unwrap_err(), Error::Empty(_)));
+    }
+
+    #[test]
+    fn invariant_to_monotone_transform() {
+        let labels = [0, 1, 0, 1, 1, 0];
+        let scores = [0.2, 0.9, 0.1, 0.7, 0.4, 0.35];
+        let a1 = roc_auc(&labels, &scores).unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|&s| (s * 10.0).exp()).collect();
+        let a2 = roc_auc(&labels, &transformed).unwrap();
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for metrics.
+
+use proptest::prelude::*;
+use suod_linalg::Matrix;
+use suod_metrics::{average, maximization, precision_at_n, roc_auc, spearman};
+
+fn labeled_scores() -> impl Strategy<Value = (Vec<i32>, Vec<f64>)> {
+    (2usize..80).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0..2i32, n),
+            proptest::collection::vec(-1e3f64..1e3, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn auc_in_unit_interval((labels, scores) in labeled_scores()) {
+        if let Ok(auc) = roc_auc(&labels, &scores) {
+            prop_assert!((0.0..=1.0).contains(&auc));
+        }
+    }
+
+    #[test]
+    fn auc_complement_under_negation((labels, scores) in labeled_scores()) {
+        if let Ok(auc) = roc_auc(&labels, &scores) {
+            let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let auc_neg = roc_auc(&labels, &neg).unwrap();
+            prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn auc_complement_under_label_flip((labels, scores) in labeled_scores()) {
+        if let Ok(auc) = roc_auc(&labels, &scores) {
+            let flipped: Vec<i32> = labels.iter().map(|&l| 1 - l).collect();
+            let auc_f = roc_auc(&flipped, &scores).unwrap();
+            prop_assert!((auc + auc_f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn precision_bounded((labels, scores) in labeled_scores()) {
+        if let Ok(p) = precision_at_n(&labels, &scores, None) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn spearman_bounded(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        if let Ok(r) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn spearman_self_is_one(x in proptest::collection::vec(-1e3f64..1e3, 3..50)) {
+        if let Ok(r) = spearman(&x, &x) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_dominates_average(
+        rows in 2usize..20,
+        cols in 1usize..8,
+        seed in proptest::collection::vec(-1e2f64..1e2, 160),
+    ) {
+        let data: Vec<f64> = seed.iter().cycle().take(rows * cols).copied().collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let avg = average(&m).unwrap();
+        let mx = maximization(&m).unwrap();
+        for (a, x) in avg.iter().zip(&mx) {
+            prop_assert!(x + 1e-9 >= *a);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! PCA projection baseline (paper §2.2 / Table 1).
+//!
+//! Projects onto the top-`k` eigenvectors of the training covariance.
+//! The paper argues PCA is *not* suited to heterogeneous OD ensembles:
+//! being deterministic, every base model would see the same subspace, so
+//! diversity is lost — and Table 1 indeed shows PCA trailing the JL
+//! variants on accuracy. It is implemented here as the comparison point.
+
+use crate::{check_target_dim, Error, Projector, Result};
+use suod_linalg::{symmetric_eigen, Matrix};
+
+/// PCA projector to the top-`k` principal components.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::Matrix;
+/// use suod_projection::{PcaProjector, Projector};
+///
+/// # fn main() -> Result<(), suod_projection::Error> {
+/// // Data varies along (1, 1) only; one component captures it.
+/// let x = Matrix::from_rows(&[
+///     vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0],
+/// ]).unwrap();
+/// let mut pca = PcaProjector::new(1)?;
+/// pca.fit(&x)?;
+/// let z = pca.transform(&x)?;
+/// assert_eq!(z.shape(), (4, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcaProjector {
+    k: usize,
+    /// Column means subtracted before projection.
+    means: Vec<f64>,
+    /// `d x k` matrix of leading eigenvectors.
+    components: Option<Matrix>,
+    /// Explained variance per retained component.
+    explained_variance: Vec<f64>,
+}
+
+impl PcaProjector {
+    /// Creates a PCA projector retaining `k` components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter(
+                "target dimension must be >= 1".into(),
+            ));
+        }
+        Ok(Self {
+            k,
+            means: Vec::new(),
+            components: None,
+            explained_variance: Vec::new(),
+        })
+    }
+
+    /// Eigenvalues (variances) of the retained components, descending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn explained_variance(&self) -> Result<&[f64]> {
+        if self.components.is_none() {
+            return Err(Error::NotFitted("PcaProjector"));
+        }
+        Ok(&self.explained_variance)
+    }
+}
+
+impl Projector for PcaProjector {
+    fn fit(&mut self, x: &Matrix) -> Result<()> {
+        let (n, d) = x.shape();
+        check_target_dim(self.k, d)?;
+        if n < 2 {
+            return Err(Error::InvalidParameter(
+                "PCA requires at least 2 samples".into(),
+            ));
+        }
+        self.means = suod_linalg::stats::column_means(x);
+
+        // Covariance matrix (d x d).
+        let mut cov = Matrix::zeros(d, d);
+        for r in 0..n {
+            let row = x.row(r);
+            for i in 0..d {
+                let xi = row[i] - self.means[i];
+                for j in i..d {
+                    let xj = row[j] - self.means[j];
+                    cov.set(i, j, cov.get(i, j) + xi * xj);
+                }
+            }
+        }
+        let denom = (n - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov.get(i, j) / denom;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+
+        let eig = symmetric_eigen(&cov)?;
+        let cols: Vec<usize> = (0..self.k).collect();
+        self.components = Some(eig.vectors.select_cols(&cols));
+        self.explained_variance = eig.values[..self.k].to_vec();
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let comp = self
+            .components
+            .as_ref()
+            .ok_or(Error::NotFitted("PcaProjector"))?;
+        if x.ncols() != comp.nrows() {
+            return Err(Error::DimensionMismatch {
+                expected: comp.nrows(),
+                actual: x.ncols(),
+            });
+        }
+        // Center then project.
+        let mut centered = x.clone();
+        for r in 0..centered.nrows() {
+            let row = centered.row_mut(r);
+            for (v, &m) in row.iter_mut().zip(&self.means) {
+                *v -= m;
+            }
+        }
+        Ok(centered.matmul(comp)?)
+    }
+
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_dominant_direction() {
+        // Strong variance along (1, 1), tiny along (1, -1).
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let t = i as f64;
+                vec![t + 0.01 * (i % 3) as f64, t - 0.01 * (i % 3) as f64]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut pca = PcaProjector::new(2).unwrap();
+        pca.fit(&x).unwrap();
+        let var = pca.explained_variance().unwrap();
+        assert!(var[0] > 100.0 * var[1].max(1e-12));
+        // First component aligned with (1,1)/sqrt(2) up to sign.
+        let c = pca.components.as_ref().unwrap();
+        assert!((c.get(0, 0).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((c.get(0, 0) - c.get(1, 0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let x = Matrix::from_rows(&[vec![10.0, 0.0], vec![12.0, 0.0], vec![14.0, 0.0]]).unwrap();
+        let mut pca = PcaProjector::new(1).unwrap();
+        pca.fit(&x).unwrap();
+        let z = pca.transform(&x).unwrap();
+        // Projected training data has zero mean.
+        assert!(suod_linalg::stats::mean(&z.col(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_variance_total() {
+        // Full-rank PCA preserves total variance.
+        let rows: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![(i % 4) as f64, (i % 3) as f64 * 2.0, (i % 5) as f64 * 0.5])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut pca = PcaProjector::new(3).unwrap();
+        pca.fit(&x).unwrap();
+        let z = pca.transform(&x).unwrap();
+        let total_in: f64 = (0..3)
+            .map(|c| suod_linalg::stats::variance(&x.col(c)))
+            .sum();
+        let total_out: f64 = (0..3)
+            .map(|c| suod_linalg::stats::variance(&z.col(c)))
+            .sum();
+        assert!((total_in - total_out).abs() < 1e-9 * total_in.max(1.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut a = PcaProjector::new(1).unwrap();
+        let mut b = PcaProjector::new(1).unwrap();
+        a.fit(&x).unwrap();
+        b.fit(&x).unwrap();
+        assert_eq!(a.transform(&x).unwrap(), b.transform(&x).unwrap());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(PcaProjector::new(0).is_err());
+        let mut p = PcaProjector::new(5).unwrap();
+        assert!(p.fit(&Matrix::zeros(10, 3)).is_err()); // k > d
+        let mut p2 = PcaProjector::new(2).unwrap();
+        assert!(p2.fit(&Matrix::zeros(1, 3)).is_err()); // n < 2
+        let p3 = PcaProjector::new(1).unwrap();
+        assert!(p3.transform(&Matrix::zeros(1, 3)).is_err()); // not fitted
+        let mut p4 = PcaProjector::new(1).unwrap();
+        p4.fit(&Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap())
+            .unwrap();
+        assert!(p4.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Random feature selection — the paper's `RS` baseline.
+//!
+//! Selects `k` of the original `d` features uniformly at random, the
+//! subspace rule used by Feature Bagging (Lazarevic & Kumar 2005) and
+//! LSCP. Unlike JL projections, RS discards the information in the
+//! unselected coordinates entirely, which is why Table 1 shows it losing
+//! accuracy on datasets whose signal is spread across features.
+
+use crate::{check_target_dim, Error, Projector, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+/// Random feature-subset projector.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::Matrix;
+/// use suod_projection::{Projector, RandomSelectProjector};
+///
+/// # fn main() -> Result<(), suod_projection::Error> {
+/// let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]).unwrap();
+/// let mut rs = RandomSelectProjector::new(2, 7)?;
+/// rs.fit(&x)?;
+/// let z = rs.transform(&x)?;
+/// assert_eq!(z.shape(), (1, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomSelectProjector {
+    k: usize,
+    seed: u64,
+    selected: Option<Vec<usize>>,
+    input_dim: usize,
+}
+
+impl RandomSelectProjector {
+    /// Creates a projector selecting `k` random features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter(
+                "target dimension must be >= 1".into(),
+            ));
+        }
+        Ok(Self {
+            k,
+            seed,
+            selected: None,
+            input_dim: 0,
+        })
+    }
+
+    /// The selected feature indices (sorted), after `fit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn selected_features(&self) -> Result<&[usize]> {
+        self.selected
+            .as_deref()
+            .ok_or(Error::NotFitted("RandomSelectProjector"))
+    }
+}
+
+impl Projector for RandomSelectProjector {
+    fn fit(&mut self, x: &Matrix) -> Result<()> {
+        let d = x.ncols();
+        check_target_dim(self.k, d)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pool: Vec<usize> = (0..d).collect();
+        for i in 0..self.k {
+            let j = rng.random_range(i..d);
+            pool.swap(i, j);
+        }
+        pool.truncate(self.k);
+        pool.sort_unstable();
+        self.selected = Some(pool);
+        self.input_dim = d;
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        let selected = self
+            .selected
+            .as_ref()
+            .ok_or(Error::NotFitted("RandomSelectProjector"))?;
+        if x.ncols() != self.input_dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.input_dim,
+                actual: x.ncols(),
+            });
+        }
+        Ok(x.select_cols(selected))
+    }
+
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]).unwrap()
+    }
+
+    #[test]
+    fn selects_k_distinct_sorted_features() {
+        let mut rs = RandomSelectProjector::new(3, 0).unwrap();
+        rs.fit(&data()).unwrap();
+        let sel = rs.selected_features().unwrap();
+        assert_eq!(sel.len(), 3);
+        assert!(sel.windows(2).all(|w| w[0] < w[1]));
+        assert!(sel.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn transform_extracts_columns() {
+        let mut rs = RandomSelectProjector::new(2, 1).unwrap();
+        rs.fit(&data()).unwrap();
+        let sel = rs.selected_features().unwrap().to_vec();
+        let z = rs.transform(&data()).unwrap();
+        for (out_c, &in_c) in sel.iter().enumerate() {
+            assert_eq!(z.col(out_c), data().col(in_c));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RandomSelectProjector::new(2, 5).unwrap();
+        let mut b = RandomSelectProjector::new(2, 5).unwrap();
+        a.fit(&data()).unwrap();
+        b.fit(&data()).unwrap();
+        assert_eq!(a.selected_features().unwrap(), b.selected_features().unwrap());
+    }
+
+    #[test]
+    fn k_equals_d_keeps_everything() {
+        let mut rs = RandomSelectProjector::new(4, 0).unwrap();
+        rs.fit(&data()).unwrap();
+        assert_eq!(rs.transform(&data()).unwrap(), data());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(RandomSelectProjector::new(0, 0).is_err());
+        let mut rs = RandomSelectProjector::new(5, 0).unwrap();
+        assert!(rs.fit(&data()).is_err()); // k > d
+        let rs2 = RandomSelectProjector::new(2, 0).unwrap();
+        assert!(rs2.transform(&data()).is_err()); // not fitted
+        let mut rs3 = RandomSelectProjector::new(2, 0).unwrap();
+        rs3.fit(&data()).unwrap();
+        assert!(rs3.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+}

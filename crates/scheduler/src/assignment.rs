@@ -1,0 +1,306 @@
+//! Task-to-worker assignment strategies.
+//!
+//! * [`generic_schedule`] — the joblib/scikit-learn baseline: split the
+//!   model list into `t` contiguous, equally sized chunks **in the given
+//!   order**. With grouped heterogeneous pools (e.g. all kNNs first) one
+//!   chunk becomes the straggler.
+//! * [`shuffled_schedule`] — the heuristic the paper mentions and
+//!   dismisses: randomize order first, then chunk.
+//! * [`bps_schedule`] — SUOD's Balanced Parallel Scheduling: convert
+//!   predicted costs to discounted ranks `1 + alpha * rank / m`, then
+//!   assign greedily (largest first, to the currently lightest worker) so
+//!   per-worker rank sums approach the ideal `(m^2 + m) / (2 t * m) *
+//!   alpha`-discounted average — the greedy LPT solution to Eq. 2.
+
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::rank::ordinal_ranks;
+
+/// A task-to-worker assignment: `groups[w]` lists the task indices run by
+/// worker `w`, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    groups: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// Creates an assignment from explicit groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when groups repeat or skip task
+    /// indices (they must partition `0..total`).
+    pub fn new(groups: Vec<Vec<usize>>) -> Result<Self> {
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        let mut seen = vec![false; total];
+        for g in &groups {
+            for &i in g {
+                if i >= total || seen[i] {
+                    return Err(Error::BadAssignment(format!(
+                        "task index {i} repeated or out of range (total {total})"
+                    )));
+                }
+                seen[i] = true;
+            }
+        }
+        Ok(Self { groups })
+    }
+
+    /// Worker groups.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// Per-worker cost sums under a given cost vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when `costs` is shorter than the
+    /// largest task index.
+    pub fn worker_loads(&self, costs: &[f64]) -> Result<Vec<f64>> {
+        if costs.len() != self.n_tasks() {
+            return Err(Error::BadAssignment(format!(
+                "cost vector has {} entries for {} tasks",
+                costs.len(),
+                self.n_tasks()
+            )));
+        }
+        Ok(self
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|&i| costs[i]).sum())
+            .collect())
+    }
+
+    /// The paper's Eq. 2 objective: sum of absolute deviations of worker
+    /// loads from the mean load.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`worker_loads`](Self::worker_loads).
+    pub fn imbalance(&self, costs: &[f64]) -> Result<f64> {
+        let loads = self.worker_loads(costs)?;
+        let mean = suod_linalg::stats::mean(&loads);
+        Ok(loads.iter().map(|l| (l - mean).abs()).sum())
+    }
+}
+
+fn check_workers(m: usize, t: usize) -> Result<()> {
+    if t == 0 {
+        return Err(Error::InvalidParameter("need at least 1 worker".into()));
+    }
+    if m == 0 {
+        return Err(Error::InvalidParameter("need at least 1 task".into()));
+    }
+    Ok(())
+}
+
+/// Contiguous equal-count chunking in list order (the generic baseline).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `m == 0` or `t == 0`.
+pub fn generic_schedule(m: usize, t: usize) -> Result<Assignment> {
+    check_workers(m, t)?;
+    let t = t.min(m);
+    let base = m / t;
+    let extra = m % t;
+    let mut groups = Vec::with_capacity(t);
+    let mut start = 0;
+    for w in 0..t {
+        let len = base + usize::from(w < extra);
+        groups.push((start..start + len).collect());
+        start += len;
+    }
+    Assignment::new(groups)
+}
+
+/// Random-order chunking: shuffle task indices, then chunk contiguously.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `m == 0` or `t == 0`.
+pub fn shuffled_schedule(m: usize, t: usize, seed: u64) -> Result<Assignment> {
+    check_workers(m, t)?;
+    let t = t.min(m);
+    let mut order: Vec<usize> = (0..m).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..m).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let base = m / t;
+    let extra = m % t;
+    let mut groups = Vec::with_capacity(t);
+    let mut start = 0;
+    for w in 0..t {
+        let len = base + usize::from(w < extra);
+        groups.push(order[start..start + len].to_vec());
+        start += len;
+    }
+    Assignment::new(groups)
+}
+
+/// Balanced Parallel Scheduling over forecasted costs (paper §3.5).
+///
+/// `alpha` is the rank-discount strength (paper default 1): rank `f` of
+/// `m` becomes weight `1 + alpha * f / m`, so the heaviest model weighs at
+/// most `(1 + alpha) / 1` times the lightest — preventing the raw rank sum
+/// from over-penalizing high ranks whose true costs are not `f` times
+/// larger.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when inputs are empty, `t == 0`,
+/// `alpha < 0`, or costs contain non-finite values.
+pub fn bps_schedule(costs: &[f64], t: usize, alpha: f64) -> Result<Assignment> {
+    check_workers(costs.len(), t)?;
+    if alpha.is_nan() || alpha < 0.0 {
+        return Err(Error::InvalidParameter(format!(
+            "alpha must be >= 0, got {alpha}"
+        )));
+    }
+    if costs.iter().any(|c| !c.is_finite()) {
+        return Err(Error::InvalidParameter(
+            "costs must be finite for ranking".into(),
+        ));
+    }
+    let m = costs.len();
+    let t = t.min(m);
+    let ranks = ordinal_ranks(costs);
+    let weights: Vec<f64> = ranks
+        .iter()
+        .map(|&r| 1.0 + alpha * r as f64 / m as f64)
+        .collect();
+
+    // Greedy LPT on discounted ranks: heaviest first onto the lightest
+    // worker; ties broken by worker index for determinism.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); t];
+    let mut loads = vec![0.0f64; t];
+    for &task in &order {
+        let w = (0..t)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite").then(a.cmp(&b)))
+            .expect("t >= 1");
+        groups[w].push(task);
+        loads[w] += weights[task];
+    }
+    Assignment::new(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_chunks_in_order() {
+        let a = generic_schedule(10, 3).unwrap();
+        assert_eq!(a.groups()[0], vec![0, 1, 2, 3]);
+        assert_eq!(a.groups()[1], vec![4, 5, 6]);
+        assert_eq!(a.groups()[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn generic_more_workers_than_tasks() {
+        let a = generic_schedule(2, 8).unwrap();
+        assert_eq!(a.n_workers(), 2);
+        assert_eq!(a.n_tasks(), 2);
+    }
+
+    #[test]
+    fn shuffled_partitions_all_tasks() {
+        let a = shuffled_schedule(20, 4, 7).unwrap();
+        assert_eq!(a.n_tasks(), 20);
+        let mut all: Vec<usize> = a.groups().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        // Deterministic per seed.
+        assert_eq!(a, shuffled_schedule(20, 4, 7).unwrap());
+        assert_ne!(a, shuffled_schedule(20, 4, 8).unwrap());
+    }
+
+    #[test]
+    fn bps_beats_generic_on_grouped_costs() {
+        // The paper's motivating example: heavy models listed first.
+        let costs: Vec<f64> = (0..8).map(|i| if i < 4 { 10.0 } else { 1.0 }).collect();
+        let generic = generic_schedule(8, 2).unwrap();
+        let bps = bps_schedule(&costs, 2, 1.0).unwrap();
+        assert!(bps.imbalance(&costs).unwrap() < generic.imbalance(&costs).unwrap());
+        let bps_loads = bps.worker_loads(&costs).unwrap();
+        assert!((bps_loads[0] - bps_loads[1]).abs() <= 2.0, "{bps_loads:?}");
+    }
+
+    #[test]
+    fn bps_balances_rank_sums() {
+        // Distinct costs 1..=12, 3 workers: discounted-rank sums should be
+        // near equal.
+        let costs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let a = bps_schedule(&costs, 3, 1.0).unwrap();
+        let ranks = ordinal_ranks(&costs);
+        let weights: Vec<f64> = ranks.iter().map(|&r| 1.0 + r as f64 / 12.0).collect();
+        let loads = a.worker_loads(&weights).unwrap();
+        let spread = suod_linalg::stats::max(&loads) - suod_linalg::stats::min(&loads);
+        assert!(spread < 0.6, "loads {loads:?}");
+    }
+
+    #[test]
+    fn bps_deterministic() {
+        let costs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.0];
+        assert_eq!(
+            bps_schedule(&costs, 2, 1.0).unwrap(),
+            bps_schedule(&costs, 2, 1.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn alpha_zero_means_count_balancing() {
+        // With alpha = 0 all weights are 1: groups sizes differ by <= 1.
+        let costs = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let a = bps_schedule(&costs, 2, 0.0).unwrap();
+        let sizes: Vec<usize> = a.groups().iter().map(|g| g.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn assignment_validation() {
+        assert!(Assignment::new(vec![vec![0, 0]]).is_err());
+        assert!(Assignment::new(vec![vec![0], vec![2]]).is_err());
+        assert!(Assignment::new(vec![vec![1], vec![0]]).is_ok());
+        let a = Assignment::new(vec![vec![0], vec![1]]).unwrap();
+        assert!(a.worker_loads(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(generic_schedule(0, 2).is_err());
+        assert!(generic_schedule(5, 0).is_err());
+        assert!(bps_schedule(&[], 2, 1.0).is_err());
+        assert!(bps_schedule(&[1.0], 0, 1.0).is_err());
+        assert!(bps_schedule(&[1.0], 1, -1.0).is_err());
+        assert!(bps_schedule(&[f64::NAN], 1, 1.0).is_err());
+    }
+
+    #[test]
+    fn imbalance_zero_when_perfectly_split() {
+        let a = Assignment::new(vec![vec![0, 3], vec![1, 2]]).unwrap();
+        let costs = [4.0, 3.0, 1.0, 0.0];
+        assert_eq!(a.imbalance(&costs).unwrap(), 0.0);
+    }
+}

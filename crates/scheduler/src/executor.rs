@@ -1,0 +1,160 @@
+//! Real multi-threaded executor.
+//!
+//! Runs one OS thread per worker group; each worker executes its assigned
+//! tasks sequentially and results are returned in the original task order.
+//! Used by `suod::Suod` when `n_workers > 1`. (The paper's timing tables
+//! are additionally reproduced with the [`crate::simulate`] module because
+//! this reproduction's CI host has a single physical core — see
+//! DESIGN.md §4.)
+
+use crate::assignment::Assignment;
+use crate::{Error, Result};
+use parking_lot::Mutex;
+
+/// Executes closures across worker threads according to an [`Assignment`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolExecutor;
+
+impl ThreadPoolExecutor {
+    /// Creates an executor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs `tasks` per `assignment`; `results[i]` corresponds to
+    /// `tasks[i]` regardless of which worker ran it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when the assignment does not cover
+    /// exactly `tasks.len()` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panics (the panic is propagated from the worker
+    /// thread).
+    pub fn run<T, F>(&self, tasks: Vec<F>, assignment: &Assignment) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if assignment.n_tasks() != tasks.len() {
+            return Err(Error::BadAssignment(format!(
+                "assignment covers {} tasks but {} were provided",
+                assignment.n_tasks(),
+                tasks.len()
+            )));
+        }
+        let n = tasks.len();
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(slots);
+
+        // Hand each worker its own (index, task) list.
+        let mut per_worker: Vec<Vec<(usize, F)>> = assignment
+            .groups()
+            .iter()
+            .map(|g| Vec::with_capacity(g.len()))
+            .collect();
+        let mut indexed: Vec<Option<(usize, F)>> =
+            tasks.into_iter().enumerate().map(Some).collect();
+        for (w, group) in assignment.groups().iter().enumerate() {
+            for &i in group {
+                per_worker[w].push(indexed[i].take().expect("assignment indices are unique"));
+            }
+        }
+
+        std::thread::scope(|scope| {
+            let slots = &slots;
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .map(|work| {
+                    scope.spawn(move || {
+                        for (i, task) in work {
+                            let out = task();
+                            slots.lock()[i] = Some(out);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+
+        Ok(slots
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every task produced a result"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{bps_schedule, generic_schedule};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_task_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..10).map(|i| Box::new(move || i * i) as _).collect();
+        let a = generic_schedule(10, 3).unwrap();
+        let out = ThreadPoolExecutor::new().run(tasks, &a).unwrap();
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..25)
+            .map(|_| {
+                Box::new(|| {
+                    COUNTER.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        let a = generic_schedule(25, 4).unwrap();
+        ThreadPoolExecutor::new().run(tasks, &a).unwrap();
+        assert_eq!(COUNTER.load(Ordering::SeqCst), 25);
+    }
+
+    #[test]
+    fn works_with_bps_assignment() {
+        let costs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let a = bps_schedule(&costs, 3, 1.0).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..9).map(|i| Box::new(move || i + 100) as _).collect();
+        let out = ThreadPoolExecutor::new().run(tasks, &a).unwrap();
+        assert_eq!(out, (100..109).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn task_panic_propagates() {
+        let a = generic_schedule(2, 2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task exploded")),
+        ];
+        let _ = ThreadPoolExecutor::new().run(tasks, &a);
+    }
+
+    #[test]
+    fn mismatched_assignment_rejected() {
+        let a = generic_schedule(3, 1).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..2).map(|i| Box::new(move || i) as _).collect();
+        assert!(ThreadPoolExecutor::new().run(tasks, &a).is_err());
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let a = generic_schedule(5, 1).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..5).map(|i| Box::new(move || i * 2) as _).collect();
+        let out = ThreadPoolExecutor::new().run(tasks, &a).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Dataset meta-features for the cost predictor.
+//!
+//! The paper's cost predictor forecasts model execution time "given the
+//! meta-features (descriptive features) of a dataset ... including input
+//! data size, input data dimension, the algorithm embedding, etc."
+//! (§3.5). [`DatasetMeta`] captures the size/shape/statistics part; the
+//! algorithm embedding is appended by
+//! [`TaskDescriptor::feature_vector`](crate::cost::TaskDescriptor).
+
+use suod_linalg::stats;
+use suod_linalg::Matrix;
+
+/// Descriptive statistics of a dataset, cheap to extract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetMeta {
+    /// Number of samples.
+    pub n_samples: usize,
+    /// Number of features.
+    pub n_features: usize,
+    /// Mean of per-column standard deviations.
+    pub mean_std: f64,
+    /// Mean of per-column skewness.
+    pub mean_skewness: f64,
+    /// Mean of per-column excess kurtosis.
+    pub mean_kurtosis: f64,
+}
+
+impl DatasetMeta {
+    /// Extracts meta-features from a data matrix.
+    pub fn extract(x: &Matrix) -> Self {
+        let d = x.ncols();
+        let mut stds = Vec::with_capacity(d);
+        let mut skews = Vec::with_capacity(d);
+        let mut kurts = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = x.col(c);
+            stds.push(stats::std_dev(&col));
+            skews.push(stats::skewness(&col));
+            kurts.push(stats::kurtosis(&col));
+        }
+        Self {
+            n_samples: x.nrows(),
+            n_features: d,
+            mean_std: stats::mean(&stds),
+            mean_skewness: stats::mean(&skews),
+            mean_kurtosis: stats::mean(&kurts),
+        }
+    }
+
+    /// Synthesizes meta-features from shape alone (used when only the
+    /// shape is known, e.g. cost forecasting before data materializes).
+    pub fn from_shape(n_samples: usize, n_features: usize) -> Self {
+        Self {
+            n_samples,
+            n_features,
+            mean_std: 1.0,
+            mean_skewness: 0.0,
+            mean_kurtosis: 0.0,
+        }
+    }
+
+    /// Size-derived feature vector: `[n, d, n*d, log n, log d, n log n,
+    /// log(n^2 d), mean_std, mean_skew, mean_kurt]`. The `log(n^2 d)`
+    /// entry matters for tree-based cost predictors: proximity-family fit
+    /// costs are `~ c * n^2 d`, i.e. *linear* in that single feature on
+    /// the log scale, which a tree can split on directly but could not
+    /// synthesize from `log n` and `log d`.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        let n = self.n_samples as f64;
+        let d = self.n_features as f64;
+        vec![
+            n,
+            d,
+            n * d,
+            n.max(1.0).ln(),
+            d.max(1.0).ln(),
+            n * n.max(1.0).ln(),
+            (n * n * d).max(1.0).ln(),
+            self.mean_std,
+            self.mean_skewness,
+            self.mean_kurtosis,
+        ]
+    }
+
+    /// Length of [`feature_vector`](Self::feature_vector).
+    pub const FEATURE_LEN: usize = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_shapes() {
+        let x = Matrix::from_rows(&[vec![0.0, 10.0], vec![2.0, 10.0], vec![4.0, 10.0]]).unwrap();
+        let m = DatasetMeta::extract(&x);
+        assert_eq!(m.n_samples, 3);
+        assert_eq!(m.n_features, 2);
+        // Column 1 constant: its std contributes 0.
+        assert!(m.mean_std > 0.0 && m.mean_std < 2.0);
+    }
+
+    #[test]
+    fn feature_vector_layout() {
+        let m = DatasetMeta::from_shape(100, 10);
+        let v = m.feature_vector();
+        assert_eq!(v.len(), DatasetMeta::FEATURE_LEN);
+        assert_eq!(v[0], 100.0);
+        assert_eq!(v[1], 10.0);
+        assert_eq!(v[2], 1000.0);
+        assert!((v[3] - 100f64.ln()).abs() < 1e-12);
+        assert!((v[6] - (100.0f64 * 100.0 * 10.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_shape_defaults() {
+        let m = DatasetMeta::from_shape(50, 5);
+        assert_eq!(m.mean_std, 1.0);
+        assert_eq!(m.mean_skewness, 0.0);
+    }
+}

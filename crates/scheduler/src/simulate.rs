@@ -1,0 +1,132 @@
+//! Discrete-event makespan simulation.
+//!
+//! Given true per-task costs and an [`Assignment`], each worker's
+//! completion time is simply the sum of its tasks' costs (workers run
+//! their group sequentially, with no inter-task dependencies); the
+//! ensemble finishes at the **makespan** — the maximum worker completion
+//! time. This is exactly the quantity the paper's Table 3/4 wall-clock
+//! measurements capture, and it is a pure function of `(costs,
+//! assignment)`, so it reproduces multi-worker results faithfully on any
+//! host (see DESIGN.md §4, substitution 2).
+
+use crate::assignment::Assignment;
+use crate::Result;
+
+/// Result of [`simulate_makespan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    /// Completion time per worker.
+    pub worker_times: Vec<f64>,
+    /// `max(worker_times)` — when the last worker finishes.
+    pub makespan: f64,
+    /// `sum(costs)` — single-worker (sequential) time for reference.
+    pub sequential_time: f64,
+}
+
+impl SimulationResult {
+    /// Parallel speedup over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_time / self.makespan
+    }
+
+    /// Load-balance efficiency in `[0, 1]`: mean worker time over
+    /// makespan. 1 means perfectly balanced.
+    pub fn efficiency(&self) -> f64 {
+        if self.makespan <= 0.0 || self.worker_times.is_empty() {
+            return 1.0;
+        }
+        suod_linalg::stats::mean(&self.worker_times) / self.makespan
+    }
+}
+
+/// Computes worker completion times and the makespan for `costs` under
+/// `assignment`.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::BadAssignment`] when `costs.len()` does not
+/// match the assignment's task count.
+///
+/// # Example
+///
+/// ```
+/// use suod_scheduler::assignment::generic_schedule;
+/// use suod_scheduler::simulate::simulate_makespan;
+///
+/// let costs = [3.0, 3.0, 1.0, 1.0];
+/// let a = generic_schedule(4, 2).unwrap();
+/// let r = simulate_makespan(&costs, &a).unwrap();
+/// assert_eq!(r.makespan, 6.0); // worker 0 got both heavy tasks
+/// assert_eq!(r.sequential_time, 8.0);
+/// ```
+pub fn simulate_makespan(costs: &[f64], assignment: &Assignment) -> Result<SimulationResult> {
+    let worker_times = assignment.worker_loads(costs)?;
+    let makespan = worker_times.iter().copied().fold(0.0f64, f64::max);
+    Ok(SimulationResult {
+        makespan,
+        sequential_time: costs.iter().sum(),
+        worker_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{bps_schedule, generic_schedule, Assignment};
+
+    #[test]
+    fn makespan_is_max_worker_time() {
+        let a = Assignment::new(vec![vec![0, 1], vec![2]]).unwrap();
+        let r = simulate_makespan(&[1.0, 2.0, 10.0], &a).unwrap();
+        assert_eq!(r.worker_times, vec![3.0, 10.0]);
+        assert_eq!(r.makespan, 10.0);
+        assert_eq!(r.sequential_time, 13.0);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let a = Assignment::new(vec![vec![0], vec![1]]).unwrap();
+        let r = simulate_makespan(&[5.0, 5.0], &a).unwrap();
+        assert_eq!(r.speedup(), 2.0);
+        assert_eq!(r.efficiency(), 1.0);
+        let skewed = Assignment::new(vec![vec![0, 1], vec![]]).unwrap();
+        let r2 = simulate_makespan(&[5.0, 5.0], &skewed).unwrap();
+        assert_eq!(r2.speedup(), 1.0);
+        assert_eq!(r2.efficiency(), 0.5);
+    }
+
+    #[test]
+    fn bps_never_worse_than_generic_on_sorted_blocks() {
+        // Heavy-first ordering (the pathological case for generic).
+        for t in [2usize, 4, 8] {
+            let costs: Vec<f64> = (0..64)
+                .map(|i| if i < 16 { 20.0 } else { 1.0 })
+                .collect();
+            let g = simulate_makespan(&costs, &generic_schedule(64, t).unwrap()).unwrap();
+            let b = simulate_makespan(&costs, &bps_schedule(&costs, t, 1.0).unwrap()).unwrap();
+            assert!(
+                b.makespan <= g.makespan + 1e-9,
+                "t={t}: bps {} vs generic {}",
+                b.makespan,
+                g.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_tasks() {
+        let a = generic_schedule(3, 2).unwrap();
+        let r = simulate_makespan(&[0.0, 0.0, 0.0], &a).unwrap();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let a = generic_schedule(3, 2).unwrap();
+        assert!(simulate_makespan(&[1.0, 2.0], &a).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the scheduling module.
+
+use proptest::prelude::*;
+use suod_scheduler::assignment::{bps_schedule, generic_schedule, shuffled_schedule};
+use suod_scheduler::simulate::simulate_makespan;
+
+fn cost_vector() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..100.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_partition_tasks(costs in cost_vector(), t in 1usize..16, seed in 0u64..100) {
+        let m = costs.len();
+        for a in [
+            generic_schedule(m, t).unwrap(),
+            shuffled_schedule(m, t, seed).unwrap(),
+            bps_schedule(&costs, t, 1.0).unwrap(),
+        ] {
+            prop_assert_eq!(a.n_tasks(), m);
+            let mut seen: Vec<usize> = a.groups().iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..m).collect::<Vec<_>>());
+            prop_assert!(a.n_workers() <= t.max(1));
+        }
+    }
+
+    #[test]
+    fn makespan_bounds_hold(costs in cost_vector(), t in 1usize..16) {
+        // max(cost) <= makespan <= sum(cost); speedup <= t.
+        let heaviest = costs.iter().cloned().fold(0.0f64, f64::max);
+        let total: f64 = costs.iter().sum();
+        for a in [
+            generic_schedule(costs.len(), t).unwrap(),
+            bps_schedule(&costs, t, 1.0).unwrap(),
+        ] {
+            let r = simulate_makespan(&costs, &a).unwrap();
+            prop_assert!(r.makespan + 1e-9 >= heaviest);
+            prop_assert!(r.makespan <= total + 1e-9);
+            prop_assert!(r.speedup() <= t as f64 + 1e-9);
+            prop_assert!(r.efficiency() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bps_at_most_twice_optimal(costs in cost_vector(), t in 1usize..8) {
+        // Greedy LPT on the *true* costs is a 4/3-approximation; even with
+        // rank discounting the makespan stays within 2x of the trivial
+        // lower bound max(heaviest, total/t).
+        let heaviest = costs.iter().cloned().fold(0.0f64, f64::max);
+        let total: f64 = costs.iter().sum();
+        let lower = heaviest.max(total / t as f64);
+        let a = bps_schedule(&costs, t, 1.0).unwrap();
+        let r = simulate_makespan(&costs, &a).unwrap();
+        prop_assert!(
+            r.makespan <= 2.0 * lower + 1e-9,
+            "makespan {} vs lower bound {lower}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn bps_beats_generic_on_sorted_costs(
+        mut costs in proptest::collection::vec(0.01f64..100.0, 8..100),
+        t in 2usize..8,
+    ) {
+        // Descending-sorted cost lists (heavy family first) are the
+        // adversarial case for contiguous chunking.
+        costs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let g = simulate_makespan(&costs, &generic_schedule(costs.len(), t).unwrap()).unwrap();
+        let b = simulate_makespan(&costs, &bps_schedule(&costs, t, 1.0).unwrap()).unwrap();
+        prop_assert!(b.makespan <= g.makespan + 1e-9);
+    }
+
+    #[test]
+    fn bps_within_lpt_guarantee_of_generic(costs in cost_vector(), t in 1usize..8) {
+        // On the discounted-rank weights BPS greedily balances, its
+        // max load obeys the LPT guarantee (<= 4/3 OPT), and the generic
+        // schedule's max load is >= OPT, so BPS <= 4/3 generic.
+        let g = generic_schedule(costs.len(), t).unwrap();
+        let b = bps_schedule(&costs, t, 1.0).unwrap();
+        let ranks = suod_linalg::rank::ordinal_ranks(&costs);
+        let weights: Vec<f64> = ranks
+            .iter()
+            .map(|&r| 1.0 + r as f64 / costs.len() as f64)
+            .collect();
+        let max_load = |loads: Vec<f64>| loads.into_iter().fold(0.0f64, f64::max);
+        let b_max = max_load(b.worker_loads(&weights).unwrap());
+        let g_max = max_load(g.worker_loads(&weights).unwrap());
+        prop_assert!(b_max <= 4.0 / 3.0 * g_max + 1e-9, "bps {b_max} vs generic {g_max}");
+    }
+
+    #[test]
+    fn alpha_variations_still_valid(costs in cost_vector(), alpha in 0.0f64..5.0) {
+        let a = bps_schedule(&costs, 4, alpha).unwrap();
+        prop_assert_eq!(a.n_tasks(), costs.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! Random forest regressor (Breiman 2001).
+//!
+//! The approximator the paper recommends for pseudo-supervised
+//! approximation (§3.4 Remark 1: "supervised ensemble-based tree models
+//! are recommended ... outstanding scalability, robustness to overfitting,
+//! and interpretability") and the model class behind the BPS cost
+//! predictor. Bootstrap-sampled CART trees with per-split feature
+//! subsampling; predictions are the mean over trees.
+
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use crate::{check_fit_inputs, Error, Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+/// Random forest regressor.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::Matrix;
+/// use suod_supervised::{RandomForestRegressor, Regressor};
+///
+/// # fn main() -> Result<(), suod_supervised::Error> {
+/// let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+/// let x = Matrix::from_rows(&rows).unwrap();
+/// let y: Vec<f64> = (0..50).map(|i| (i as f64) * 2.0).collect();
+/// let mut rf = RandomForestRegressor::new(30, 7);
+/// rf.fit(&x, &y)?;
+/// let p = rf.predict(&Matrix::from_rows(&[vec![25.0]]).unwrap())?;
+/// assert!((p[0] - 50.0).abs() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    n_estimators: usize,
+    tree_params: TreeParams,
+    /// Fraction of features tried per split, in `(0, 1]`; `None` = sqrt(d).
+    max_features_fraction: Option<f64>,
+    bootstrap: bool,
+    seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+    n_features: usize,
+}
+
+impl RandomForestRegressor {
+    /// Creates a forest with `n_estimators` trees and default CART
+    /// parameters (depth 12, sqrt-features per split, bootstrap on).
+    pub fn new(n_estimators: usize, seed: u64) -> Self {
+        Self {
+            n_estimators: n_estimators.max(1),
+            tree_params: TreeParams::default(),
+            max_features_fraction: None,
+            bootstrap: true,
+            seed,
+            trees: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// Sets the maximum tree depth.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.tree_params.max_depth = depth;
+        self
+    }
+
+    /// Sets the minimum samples per leaf.
+    pub fn with_min_samples_leaf(mut self, m: usize) -> Self {
+        self.tree_params.min_samples_leaf = m.max(1);
+        self
+    }
+
+    /// Sets the fraction of features examined per split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when outside `(0, 1]`.
+    pub fn with_max_features_fraction(mut self, f: f64) -> Result<Self> {
+        if !(f > 0.0 && f <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "max_features_fraction must be in (0, 1], got {f}"
+            )));
+        }
+        self.max_features_fraction = Some(f);
+        Ok(self)
+    }
+
+    /// Disables bootstrap sampling (each tree sees all rows).
+    pub fn without_bootstrap(mut self) -> Self {
+        self.bootstrap = false;
+        self
+    }
+
+    /// Number of trees.
+    pub fn n_estimators(&self) -> usize {
+        self.n_estimators
+    }
+
+    /// Mean impurity-decrease feature importances across trees,
+    /// normalized to sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::NotFitted("RandomForestRegressor"));
+        }
+        let mut acc = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (a, v) in acc.iter_mut().zip(tree.feature_importances()?) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let n = x.nrows();
+        let d = x.ncols();
+        self.n_features = d;
+        let max_features = match self.max_features_fraction {
+            Some(f) => ((d as f64 * f).ceil() as usize).clamp(1, d),
+            None => ((d as f64).sqrt().ceil() as usize).clamp(1, d),
+        };
+        let params = TreeParams {
+            max_features: Some(max_features),
+            ..self.tree_params
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = Vec::with_capacity(self.n_estimators);
+        for t in 0..self.n_estimators {
+            let tree_seed = rng.random::<u64>() ^ t as u64;
+            let (bx, by) = if self.bootstrap {
+                let idx: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+                let bx = x.select_rows(&idx);
+                let by: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                (bx, by)
+            } else {
+                (x.clone(), y.to_vec())
+            };
+            let mut tree = DecisionTreeRegressor::new(params, tree_seed);
+            tree.fit(&bx, &by)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if self.trees.is_empty() {
+            return Err(Error::NotFitted("RandomForestRegressor"));
+        }
+        let mut acc = vec![0.0; x.nrows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict(x)?) {
+                *a += p;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "random_forest"
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        RandomForestRegressor::feature_importances(self).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suod_datasets_testutil::*;
+
+    /// Tiny shared helpers (kept local; no extra dev-dependency).
+    mod suod_datasets_testutil {
+        use super::Matrix;
+
+        pub fn linear_data(n: usize) -> (Matrix, Vec<f64>) {
+            let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+            let y: Vec<f64> = (0..n).map(|i| 3.0 * i as f64 + 1.0).collect();
+            (Matrix::from_rows(&rows).unwrap(), y)
+        }
+    }
+
+    #[test]
+    fn learns_linear_trend() {
+        let (x, y) = linear_data(80);
+        let mut rf = RandomForestRegressor::new(25, 3);
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        // In-sample R^2 should be high.
+        let mean = suod_linalg::stats::mean(&y);
+        let ss_res: f64 = pred.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum();
+        let ss_tot: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum();
+        assert!(1.0 - ss_res / ss_tot > 0.95);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = linear_data(40);
+        let mut a = RandomForestRegressor::new(10, 5);
+        let mut b = RandomForestRegressor::new(10, 5);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+        let mut c = RandomForestRegressor::new(10, 6);
+        c.fit(&x, &y).unwrap();
+        assert_ne!(a.predict(&x).unwrap(), c.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn importances_favor_signal_feature() {
+        let (x, y) = linear_data(60);
+        let mut rf = RandomForestRegressor::new(20, 1);
+        rf.fit(&x, &y).unwrap();
+        let imp = rf.feature_importances().unwrap();
+        assert!(imp[0] > imp[1]);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_fitted_error() {
+        let rf = RandomForestRegressor::new(5, 0);
+        assert!(matches!(
+            rf.predict(&Matrix::zeros(1, 2)).unwrap_err(),
+            Error::NotFitted(_)
+        ));
+        assert!(rf.feature_importances().is_err());
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        assert!(RandomForestRegressor::new(5, 0)
+            .with_max_features_fraction(0.0)
+            .is_err());
+        assert!(RandomForestRegressor::new(5, 0)
+            .with_max_features_fraction(1.5)
+            .is_err());
+    }
+
+    #[test]
+    fn without_bootstrap_fits_training_data_closely() {
+        let (x, y) = linear_data(30);
+        let mut rf = RandomForestRegressor::new(8, 2).without_bootstrap();
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 3.0, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let (x, y) = linear_data(20);
+        let mut rf = RandomForestRegressor::new(1, 0);
+        rf.fit(&x, &y).unwrap();
+        assert_eq!(rf.predict(&x).unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,148 @@
+#![allow(clippy::needless_range_loop)] // indexed loops mirror the papers' pseudocode in numeric kernels
+
+#![warn(missing_docs)]
+//! Supervised regressors for the SUOD reproduction.
+//!
+//! Two of SUOD's three modules are built on supervised regression:
+//!
+//! * **Pseudo-Supervised Approximation** (paper §3.4) replaces a costly
+//!   unsupervised detector's `decision_function` with a fast regressor
+//!   trained on the detector's own training-set scores. The paper uses a
+//!   random forest regressor ([`RandomForestRegressor`]) and recommends
+//!   tree ensembles for scalability and interpretability.
+//! * **Balanced Parallel Scheduling** (paper §3.5) forecasts model cost
+//!   with a random forest regressor over dataset meta-features.
+//!
+//! [`DecisionTreeRegressor`] is the CART building block; [`Ridge`] and
+//! [`KnnRegressor`] are additional approximators used in the ablation
+//! studies.
+//!
+//! # Example
+//!
+//! ```
+//! use suod_linalg::Matrix;
+//! use suod_supervised::{Regressor, RandomForestRegressor};
+//!
+//! # fn main() -> Result<(), suod_supervised::Error> {
+//! let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+//! let y = [0.0, 1.0, 2.0, 3.0];
+//! let mut rf = RandomForestRegressor::new(20, 42);
+//! rf.fit(&x, &y)?;
+//! let pred = rf.predict(&x)?;
+//! assert!((pred[3] - 3.0).abs() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod forest;
+pub mod knn_regressor;
+pub mod ridge;
+pub mod tree;
+
+pub use forest::RandomForestRegressor;
+pub use knn_regressor::KnnRegressor;
+pub use ridge::Ridge;
+pub use tree::{DecisionTreeRegressor, TreeParams};
+
+use std::fmt;
+use suod_linalg::Matrix;
+
+/// Errors produced by supervised model training and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// `fit` inputs had inconsistent shapes.
+    ShapeMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// `predict` was called before `fit`.
+    NotFitted(&'static str),
+    /// A hyperparameter was outside its valid domain.
+    InvalidParameter(String),
+    /// Training data was empty.
+    EmptyInput(&'static str),
+    /// Propagated linear-algebra failure.
+    Linalg(suod_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { rows, targets } => write!(
+                f,
+                "feature rows ({rows}) and targets ({targets}) must match"
+            ),
+            Error::NotFitted(model) => write!(f, "{model} must be fitted before prediction"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::EmptyInput(what) => write!(f, "{what} received empty training data"),
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<suod_linalg::Error> for Error {
+    fn from(e: suod_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A trainable regression model mapping feature rows to scalar targets.
+///
+/// All regressors in this crate are [`Send`] so the scheduler can move
+/// them across worker threads.
+pub trait Regressor: Send + Sync {
+    /// Fits the model to `(x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::ShapeMismatch`] when `x.nrows() !=
+    /// y.len()` and [`Error::EmptyInput`] when `x` has no rows.
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()>;
+
+    /// Predicts targets for each row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit` and
+    /// [`Error::ShapeMismatch`]-like failures on dimension mismatch.
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Short human-readable model name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Per-feature importances normalized to sum to 1, when the model can
+    /// provide them (tree ensembles do; linear/instance models return
+    /// `None`). This surfaces the interpretability benefit the paper
+    /// highlights for pseudo-supervised approximation (§3.4, Remark 1).
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+pub(crate) fn check_fit_inputs(x: &Matrix, y: &[f64]) -> Result<()> {
+    if x.nrows() == 0 {
+        return Err(Error::EmptyInput("Regressor::fit"));
+    }
+    if x.nrows() != y.len() {
+        return Err(Error::ShapeMismatch {
+            rows: x.nrows(),
+            targets: y.len(),
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! Ridge (L2-regularized least squares) regression.
+//!
+//! A cheap linear approximator used in the PSA ablation benches as a
+//! contrast to the paper's recommended tree ensembles: it shows where a
+//! linear decision boundary is too coarse to distill a proximity-based
+//! detector. Solves `(X^T X + lambda I) w = X^T y` (with an unpenalized
+//! intercept) by Gaussian elimination with partial pivoting.
+
+use crate::{check_fit_inputs, Error, Regressor, Result};
+use suod_linalg::Matrix;
+
+/// Ridge regressor with intercept.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::Matrix;
+/// use suod_supervised::{Regressor, Ridge};
+///
+/// # fn main() -> Result<(), suod_supervised::Error> {
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+/// let y = [1.0, 3.0, 5.0]; // y = 2x + 1
+/// let mut model = Ridge::new(1e-6)?;
+/// model.fit(&x, &y)?;
+/// let p = model.predict(&Matrix::from_rows(&[vec![3.0]]).unwrap())?;
+/// assert!((p[0] - 7.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    lambda: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Ridge {
+    /// Creates a ridge regressor with regularization strength `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `lambda < 0` or non-finite.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(Error::InvalidParameter(format!(
+                "lambda must be a finite non-negative number, got {lambda}"
+            )));
+        }
+        Ok(Self {
+            lambda,
+            weights: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        })
+    }
+
+    /// Fitted coefficients (one per feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn coefficients(&self) -> Result<&[f64]> {
+        if !self.fitted {
+            return Err(Error::NotFitted("Ridge"));
+        }
+        Ok(&self.weights)
+    }
+
+    /// Fitted intercept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn intercept(&self) -> Result<f64> {
+        if !self.fitted {
+            return Err(Error::NotFitted("Ridge"));
+        }
+        Ok(self.intercept)
+    }
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        let n = x.nrows();
+        let d = x.ncols();
+
+        // Center features and target so the intercept is unpenalized.
+        let x_means = suod_linalg::stats::column_means(x);
+        let y_mean = suod_linalg::stats::mean(y);
+
+        // Normal equations on centered data: A = Xc^T Xc + lambda I.
+        let mut a = vec![vec![0.0; d]; d];
+        let mut b = vec![0.0; d];
+        for r in 0..n {
+            let row = x.row(r);
+            let yr = y[r] - y_mean;
+            for i in 0..d {
+                let xi = row[i] - x_means[i];
+                b[i] += xi * yr;
+                for j in i..d {
+                    a[i][j] += xi * (row[j] - x_means[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                a[i][j] = a[j][i];
+            }
+            a[i][i] += self.lambda.max(1e-12);
+        }
+
+        let w = solve(&mut a, &mut b)?;
+        self.intercept = y_mean - w.iter().zip(&x_means).map(|(&wi, &m)| wi * m).sum::<f64>();
+        self.weights = w;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted("Ridge"));
+        }
+        if x.ncols() != self.weights.len() {
+            return Err(Error::InvalidParameter(format!(
+                "expected {} features, got {}",
+                self.weights.len(),
+                x.ncols()
+            )));
+        }
+        Ok(x.rows_iter()
+            .map(|row| {
+                self.intercept
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&v, &w)| v * w)
+                        .sum::<f64>()
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "ridge"
+    }
+}
+
+/// Solves `A w = b` in place by Gaussian elimination with partial pivoting.
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-300 {
+            return Err(Error::InvalidParameter(
+                "singular system in ridge solve (increase lambda)".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * w[k];
+        }
+        w[row] = acc / a[row][row];
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_model() {
+        // y = 2 x0 - x1 + 3
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] + 3.0).collect();
+        let mut m = Ridge::new(1e-8).unwrap();
+        m.fit(&x, &y).unwrap();
+        let c = m.coefficients().unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-6);
+        assert!((c[1] + 1.0).abs() < 1e-6);
+        assert!((m.intercept().unwrap() - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_weights() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = [0.0, 2.0, 4.0, 6.0];
+        let mut light = Ridge::new(1e-8).unwrap();
+        let mut heavy = Ridge::new(1e4).unwrap();
+        light.fit(&x, &y).unwrap();
+        heavy.fit(&x, &y).unwrap();
+        assert!(heavy.coefficients().unwrap()[0].abs() < light.coefficients().unwrap()[0].abs());
+        // Heavy ridge predicts near the mean.
+        let p = heavy.predict(&x).unwrap();
+        assert!(p.iter().all(|&v| (v - 3.0).abs() < 0.5));
+    }
+
+    #[test]
+    fn collinear_features_survive_with_lambda() {
+        // x1 == x0: singular without regularization.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut m = Ridge::new(1e-3).unwrap();
+        m.fit(&x, &y).unwrap();
+        let p = m.predict(&x).unwrap();
+        for (pi, yi) in p.iter().zip(&y) {
+            assert!((pi - yi).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn invalid_lambda_rejected() {
+        assert!(Ridge::new(-1.0).is_err());
+        assert!(Ridge::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let m = Ridge::new(1.0).unwrap();
+        assert!(m.predict(&Matrix::zeros(1, 1)).is_err());
+        assert!(m.coefficients().is_err());
+        assert!(m.intercept().is_err());
+    }
+
+    #[test]
+    fn predict_shape_check() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let mut m = Ridge::new(0.1).unwrap();
+        m.fit(&x, &[0.0, 1.0]).unwrap();
+        assert!(m.predict(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! CART regression tree.
+//!
+//! Splits minimize the weighted sum of child variances (equivalently,
+//! maximize variance reduction). The tree supports per-split feature
+//! subsampling (`max_features`) so [`crate::RandomForestRegressor`]
+//! can decorrelate its members, and records impurity
+//! decrease per feature to expose the feature importances the paper
+//! highlights as PSA's interpretability benefit (§3.4, Remark 1).
+
+use crate::{check_fit_inputs, Error, Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suod_linalg::Matrix;
+
+/// Hyperparameters for [`DecisionTreeRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth; the root is depth 0.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child for a split to be valid.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// CART regression tree with variance-reduction splits.
+///
+/// # Example
+///
+/// ```
+/// use suod_linalg::Matrix;
+/// use suod_supervised::{DecisionTreeRegressor, Regressor};
+///
+/// # fn main() -> Result<(), suod_supervised::Error> {
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]).unwrap();
+/// let y = [0.0, 0.0, 5.0, 5.0];
+/// let mut tree = DecisionTreeRegressor::default();
+/// tree.fit(&x, &y)?;
+/// assert_eq!(tree.predict(&x)?, vec![0.0, 0.0, 5.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    params: TreeParams,
+    seed: u64,
+    nodes: Vec<Node>,
+    n_features: usize,
+    importances: Vec<f64>,
+    fitted: bool,
+}
+
+impl Default for DecisionTreeRegressor {
+    fn default() -> Self {
+        Self::new(TreeParams::default(), 0)
+    }
+}
+
+impl DecisionTreeRegressor {
+    /// Creates an unfitted tree with the given hyperparameters and RNG
+    /// seed (the seed only matters when `max_features` subsamples).
+    pub fn new(params: TreeParams, seed: u64) -> Self {
+        Self {
+            params,
+            seed,
+            nodes: Vec::new(),
+            n_features: 0,
+            importances: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// The hyperparameters this tree was constructed with.
+    pub fn params(&self) -> TreeParams {
+        self.params
+    }
+
+    /// Per-feature impurity-decrease importances, normalized to sum to 1
+    /// (all zeros when the tree is a single leaf).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn feature_importances(&self) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted("DecisionTreeRegressor"));
+        }
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return Ok(vec![0.0; self.n_features]);
+        }
+        Ok(self.importances.iter().map(|&v| v / total).collect())
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match self.nodes[idx] {
+                Node::Leaf { value } => return value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let node_mean = mean_of(y, indices);
+        let node_sse = sse_of(y, indices, node_mean);
+        let is_leaf = depth >= self.params.max_depth
+            || indices.len() < self.params.min_samples_split
+            || node_sse <= 1e-12;
+
+        if !is_leaf {
+            if let Some((feature, threshold, gain)) = self.best_split(x, y, indices, node_sse, rng)
+            {
+                self.importances[feature] += gain;
+                let mid = partition(x, indices, feature, threshold);
+                // Reserve this node's slot before recursing.
+                let node_idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: node_mean });
+                let (left_idx, right_idx) = {
+                    let (li, ri) = indices.split_at_mut(mid);
+                    let l = self.build(x, y, li, depth + 1, rng);
+                    let r = self.build(x, y, ri, depth + 1, rng);
+                    (l, r)
+                };
+                self.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold,
+                    left: left_idx,
+                    right: right_idx,
+                };
+                return node_idx;
+            }
+        }
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: node_mean });
+        node_idx
+    }
+
+    /// Finds the split maximizing SSE reduction; `None` when no valid
+    /// split improves on the parent.
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        parent_sse: f64,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64, f64)> {
+        let d = x.ncols();
+        let features: Vec<usize> = match self.params.max_features {
+            Some(k) if k < d => sample_features(d, k, rng),
+            _ => (0..d).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let n = indices.len() as f64;
+        let min_leaf = self.params.min_samples_leaf.max(1);
+
+        let mut order: Vec<usize> = indices.to_vec();
+        for &f in &features {
+            order.sort_by(|&a, &b| {
+                x.get(a, f)
+                    .partial_cmp(&x.get(b, f))
+                    .expect("finite features")
+            });
+            // Prefix sums over sorted targets for O(1) SSE at each cut.
+            let mut sum_left = 0.0;
+            let mut sumsq_left = 0.0;
+            let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
+            let total_sumsq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+
+            for (pos, &i) in order.iter().enumerate() {
+                sum_left += y[i];
+                sumsq_left += y[i] * y[i];
+                let n_left = pos + 1;
+                let n_right = order.len() - n_left;
+                if n_left < min_leaf || n_right < min_leaf {
+                    continue;
+                }
+                let v = x.get(i, f);
+                let v_next = x.get(order[pos + 1], f);
+                if v_next <= v {
+                    // No threshold separates equal values.
+                    continue;
+                }
+                let sse_left = sumsq_left - sum_left * sum_left / n_left as f64;
+                let sum_right = total_sum - sum_left;
+                let sumsq_right = total_sumsq - sumsq_left;
+                let sse_right = sumsq_right - sum_right * sum_right / n_right as f64;
+                let gain = parent_sse - sse_left - sse_right;
+                if gain > 1e-12 * n
+                    && best.is_none_or(|(_, _, bg)| gain > bg)
+                {
+                    best = Some((f, 0.5 * (v + v_next), gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        check_fit_inputs(x, y)?;
+        self.nodes.clear();
+        self.n_features = x.ncols();
+        self.importances = vec![0.0; x.ncols()];
+        let mut indices: Vec<usize> = (0..x.nrows()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.build(x, y, &mut indices, 0, &mut rng);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(Error::NotFitted("DecisionTreeRegressor"));
+        }
+        if x.ncols() != self.n_features {
+            return Err(Error::InvalidParameter(format!(
+                "expected {} features, got {}",
+                self.n_features,
+                x.ncols()
+            )));
+        }
+        Ok(x.rows_iter().map(|row| self.predict_row(row)).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        DecisionTreeRegressor::feature_importances(self).ok()
+    }
+}
+
+fn mean_of(y: &[f64], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64
+}
+
+fn sse_of(y: &[f64], indices: &[usize], mean: f64) -> f64 {
+    indices.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum()
+}
+
+/// Partitions `indices` in place so rows with `x[., feature] <= threshold`
+/// come first; returns the boundary position.
+fn partition(x: &Matrix, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut lt = 0;
+    for i in 0..indices.len() {
+        if x.get(indices[i], feature) <= threshold {
+            indices.swap(lt, i);
+            lt += 1;
+        }
+    }
+    lt
+}
+
+/// Samples `k` distinct feature indices from `0..d` (partial Fisher–Yates).
+fn sample_features(d: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..d).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..d);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+            vec![11.0],
+            vec![12.0],
+        ])
+        .unwrap();
+        let y = vec![1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        (x, y)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let (x, y) = step_data();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict(&x).unwrap(), y);
+        // Unseen points route to the right leaf.
+        let q = Matrix::from_rows(&[vec![-5.0], vec![100.0]]).unwrap();
+        assert_eq!(t.predict(&q).unwrap(), vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn depth_zero_is_global_mean() {
+        let (x, y) = step_data();
+        let mut t = DecisionTreeRegressor::new(
+            TreeParams {
+                max_depth: 0,
+                ..Default::default()
+            },
+            0,
+        );
+        t.fit(&x, &y).unwrap();
+        let p = t.predict(&x).unwrap();
+        assert!(p.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = step_data();
+        let mut t = DecisionTreeRegressor::new(
+            TreeParams {
+                min_samples_leaf: 4,
+                ..Default::default()
+            },
+            0,
+        );
+        t.fit(&x, &y).unwrap();
+        // 6 points cannot split into two leaves of >= 4: stays a stump.
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn picks_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines y.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 3.1],
+            vec![1.0, -2.0],
+            vec![10.0, 3.0],
+            vec![11.0, -2.5],
+        ])
+        .unwrap();
+        let y = vec![0.0, 0.0, 9.0, 9.0];
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        let imp = t.feature_importances().unwrap();
+        assert!(imp[0] > 0.9, "importances: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let t = DecisionTreeRegressor::default();
+        assert!(matches!(
+            t.predict(&Matrix::zeros(1, 1)).unwrap_err(),
+            Error::NotFitted(_)
+        ));
+        assert!(t.feature_importances().is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut t = DecisionTreeRegressor::default();
+        assert!(t.fit(&Matrix::zeros(2, 1), &[1.0]).is_err());
+        assert!(t.fit(&Matrix::zeros(0, 1), &[]).is_err());
+        let (x, y) = step_data();
+        t.fit(&x, &y).unwrap();
+        assert!(t.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let (x, _) = step_data();
+        let y = vec![2.5; 6];
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert!(t.predict(&x).unwrap().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_apart() {
+        // Both rows have x=1 but different y; no threshold can separate.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let y = vec![0.0, 10.0];
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&x).unwrap(), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn max_features_subsampling_still_learns() {
+        // With max_features=1 of 2, repeated splits still find signal.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(
+            TreeParams {
+                max_features: Some(1),
+                ..Default::default()
+            },
+            7,
+        );
+        t.fit(&x, &y).unwrap();
+        let pred = t.predict(&x).unwrap();
+        let correct = pred
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| (*p - **t).abs() < 0.5)
+            .count();
+        assert!(correct >= 35, "only {correct}/40 correct");
+    }
+}

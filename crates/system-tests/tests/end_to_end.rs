@@ -1,0 +1,180 @@
+//! End-to-end integration tests: datasets -> SUOD -> metrics, exercising
+//! the full pipeline the paper's experiments run.
+
+use suod::prelude::*;
+use suod_datasets::{registry, train_test_split};
+use suod_metrics::{precision_at_n, roc_auc};
+
+fn small_pool(seedless: bool) -> Vec<ModelSpec> {
+    let mut pool = vec![
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Mean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 15,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Hbos {
+            n_bins: 15,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 30,
+            max_features: 0.9,
+        },
+    ];
+    if !seedless {
+        pool.push(ModelSpec::Cblof { n_clusters: 3 });
+    }
+    pool
+}
+
+#[test]
+fn suod_detects_outliers_on_registry_dataset() {
+    let ds = registry::load_scaled("cardio", 7, 0.25).unwrap();
+    let split = train_test_split(&ds, 0.4, 7).unwrap();
+
+    let mut clf = Suod::builder()
+        .base_estimators(small_pool(false))
+        .contamination(ds.contamination().min(0.5))
+        .seed(7)
+        .build()
+        .unwrap();
+    clf.fit(&split.x_train).unwrap();
+
+    let scores = clf.combined_scores(&split.x_test).unwrap();
+    let auc = roc_auc(&split.y_test, &scores).unwrap();
+    assert!(auc > 0.7, "combined test AUC {auc}");
+    let p = precision_at_n(&split.y_test, &scores, None).unwrap();
+    assert!(p > 0.2, "P@N {p}");
+}
+
+#[test]
+fn all_module_combinations_work_and_detect() {
+    let ds = registry::load_scaled("pima", 3, 0.4).unwrap();
+    for (rp, psa, bps) in [
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, true),
+    ] {
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool(false))
+            .with_projection(rp)
+            .with_approximation(psa)
+            .with_bps(bps)
+            .n_workers(if bps { 2 } else { 1 })
+            .seed(11)
+            .build()
+            .unwrap();
+        clf.fit(&ds.x).unwrap();
+        let scores = clf.combined_scores(&ds.x).unwrap();
+        let auc = roc_auc(&ds.y, &scores).unwrap();
+        assert!(
+            auc > 0.55,
+            "rp={rp} psa={psa} bps={bps}: train AUC {auc}"
+        );
+    }
+}
+
+#[test]
+fn random_pool_from_grid_runs_end_to_end() {
+    // A heterogeneous Table B.1 pool (OCSVM included) on a small dataset.
+    let ds = registry::load_scaled("vertebral", 5, 1.0).unwrap();
+    let pool: Vec<ModelSpec> = suod::random_pool(12, 9)
+        .into_iter()
+        .map(|spec| match spec {
+            // Clamp neighbourhood sizes to the tiny dataset.
+            ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
+                n_neighbors: n_neighbors.min(20),
+            },
+            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+                n_neighbors: n_neighbors.min(20),
+                method,
+            },
+            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+                n_neighbors: n_neighbors.min(20),
+                metric,
+            },
+            other => other,
+        })
+        .collect();
+    let mut clf = Suod::builder()
+        .base_estimators(pool)
+        .seed(2)
+        .build()
+        .unwrap();
+    clf.fit(&ds.x).unwrap();
+    let m = clf.decision_function(&ds.x).unwrap();
+    assert_eq!(m.nrows(), ds.n_samples());
+    assert!(m.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn psa_keeps_prediction_quality() {
+    // Approximated predictions should stay close in ranking quality to the
+    // exact ones (the paper's Table 2 claim, in miniature).
+    let ds = registry::load_scaled("thyroid", 13, 0.3).unwrap();
+    let split = train_test_split(&ds, 0.4, 13).unwrap();
+
+    let run = |approx: bool| {
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool(true))
+            .with_projection(false)
+            .with_approximation(approx)
+            .seed(5)
+            .build()
+            .unwrap();
+        clf.fit(&split.x_train).unwrap();
+        let scores = clf.combined_scores(&split.x_test).unwrap();
+        roc_auc(&split.y_test, &scores).unwrap()
+    };
+    let exact = run(false);
+    let approximated = run(true);
+    assert!(
+        approximated > exact - 0.1,
+        "approx AUC {approximated} fell too far below exact {exact}"
+    );
+}
+
+#[test]
+fn predict_flags_roughly_contamination_fraction() {
+    let ds = registry::load_scaled("waveform", 21, 0.3).unwrap();
+    let mut clf = Suod::builder()
+        .base_estimators(small_pool(false))
+        .contamination(0.1)
+        .seed(1)
+        .build()
+        .unwrap();
+    clf.fit(&ds.x).unwrap();
+    let labels = clf.predict(&ds.x).unwrap();
+    let frac = labels.iter().sum::<i32>() as f64 / labels.len() as f64;
+    assert!((frac - 0.1).abs() < 0.05, "flagged fraction {frac}");
+}
+
+#[test]
+fn claims_pipeline_runs() {
+    let ds = suod_datasets::claims::generate_claims(&suod_datasets::claims::ClaimsConfig {
+        n_claims: 800,
+        fraud_rate: 0.15,
+        seed: 3,
+    })
+    .unwrap();
+    let split = train_test_split(&ds, 0.4, 3).unwrap();
+    let mut clf = Suod::builder()
+        .base_estimators(small_pool(false))
+        .contamination(0.15)
+        .seed(3)
+        .build()
+        .unwrap();
+    clf.fit(&split.x_train).unwrap();
+    let scores = clf.combined_scores(&split.x_test).unwrap();
+    let auc = roc_auc(&split.y_test, &scores).unwrap();
+    assert!(auc > 0.6, "claims AUC {auc}");
+}

@@ -1,0 +1,232 @@
+//! Integration tests for the extension surfaces: the learned cost
+//! predictor plugged into `Suod`, timed prediction, LSCP/XGBOD on real
+//! pipelines, and failure propagation.
+
+use std::sync::Arc;
+use std::time::Instant;
+use suod::lscp::{lscp_scores, LscpConfig, LscpVariant};
+use suod::prelude::*;
+use suod::xgbod::Xgbod;
+use suod_datasets::{registry, train_test_split};
+use suod_metrics::roc_auc;
+use suod_scheduler::cost::CostSample;
+use suod_scheduler::{DatasetMeta, ForestCostPredictor};
+
+fn pool() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 10,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Hbos {
+            n_bins: 15,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 25,
+            max_features: 0.8,
+        },
+        ModelSpec::Loda {
+            n_members: 30,
+            n_bins: 10,
+        },
+        ModelSpec::Pca {
+            variance_retained: 0.9,
+        },
+    ]
+}
+
+/// Builds a trained ForestCostPredictor from real measured timings of the
+/// pool's specs on a couple of dataset shapes.
+fn trained_cost_predictor() -> ForestCostPredictor {
+    let mut samples = Vec::new();
+    for (i, scale) in [0.1f64, 0.25].iter().enumerate() {
+        let ds = registry::load_scaled("cardio", 50 + i as u64, *scale).unwrap();
+        let meta = DatasetMeta::extract(&ds.x);
+        for (j, spec) in pool().iter().enumerate() {
+            let mut det = spec.build(j as u64).unwrap();
+            let start = Instant::now();
+            det.fit(&ds.x).unwrap();
+            samples.push(CostSample {
+                task: spec.task_descriptor(),
+                meta,
+                seconds: start.elapsed().as_secs_f64().max(1e-7),
+            });
+        }
+    }
+    let mut predictor = ForestCostPredictor::new(20, 0);
+    predictor.fit(&samples).unwrap();
+    predictor
+}
+
+#[test]
+fn learned_cost_model_drives_suod_scheduling() {
+    let ds = registry::load_scaled("cardio", 3, 0.3).unwrap();
+    let predictor = trained_cost_predictor();
+    let mut clf = Suod::builder()
+        .base_estimators(pool())
+        .with_bps(true)
+        .n_workers(3)
+        .cost_model(Arc::new(predictor))
+        .seed(4)
+        .build()
+        .unwrap();
+    clf.fit(&ds.x).unwrap();
+    let scores = clf.combined_scores(&ds.x).unwrap();
+    let auc = roc_auc(&ds.y, &scores).unwrap();
+    assert!(auc > 0.6, "AUC {auc} with learned cost model");
+
+    // And the simulation API works with the learned model.
+    let (generic, bps) = clf.simulate_fit_schedules(3).unwrap();
+    assert!(bps.makespan > 0.0 && generic.makespan > 0.0);
+}
+
+#[test]
+fn timed_prediction_matches_untimed() {
+    let ds = registry::load_scaled("pima", 8, 0.5).unwrap();
+    let mut clf = Suod::builder()
+        .base_estimators(pool())
+        .seed(9)
+        .build()
+        .unwrap();
+    clf.fit(&ds.x).unwrap();
+    let plain = clf.decision_function(&ds.x).unwrap();
+    let (timed, durations) = clf.decision_function_timed(&ds.x).unwrap();
+    assert_eq!(plain, timed);
+    assert_eq!(durations.len(), pool().len());
+}
+
+#[test]
+fn lscp_on_full_pipeline() {
+    let ds = registry::load_scaled("thyroid", 6, 0.3).unwrap();
+    let split = train_test_split(&ds, 0.4, 6).unwrap();
+    let mut clf = Suod::builder()
+        .base_estimators(pool())
+        .with_projection(false)
+        .seed(6)
+        .build()
+        .unwrap();
+    clf.fit(&split.x_train).unwrap();
+
+    let lscp = lscp_scores(
+        &split.x_train,
+        &clf.training_scores().unwrap(),
+        &split.x_test,
+        &clf.decision_function(&split.x_test).unwrap(),
+        &LscpConfig {
+            region_size: 25,
+            variant: LscpVariant::Moa { s: 2 },
+        },
+    )
+    .unwrap();
+    let auc = roc_auc(&split.y_test, &lscp).unwrap();
+    assert!(auc > 0.6, "LSCP AUC {auc}");
+}
+
+#[test]
+fn xgbod_beats_unsupervised_on_labeled_data() {
+    let ds = registry::load_scaled("cardio", 12, 0.35).unwrap();
+    let split = train_test_split(&ds, 0.4, 12).unwrap();
+
+    let mut unsup = Suod::builder()
+        .base_estimators(pool())
+        .seed(1)
+        .build()
+        .unwrap();
+    unsup.fit(&split.x_train).unwrap();
+    let auc_unsup = roc_auc(
+        &split.y_test,
+        &unsup.combined_scores(&split.x_test).unwrap(),
+    )
+    .unwrap();
+
+    let mut xgbod = Xgbod::new(Suod::builder().base_estimators(pool()).seed(1), 40).unwrap();
+    xgbod.fit(&split.x_train, &split.y_train).unwrap();
+    let auc_semi = roc_auc(
+        &split.y_test,
+        &xgbod.decision_function(&split.x_test).unwrap(),
+    )
+    .unwrap();
+
+    assert!(
+        auc_semi > auc_unsup - 0.05,
+        "XGBOD {auc_semi} should not trail unsupervised {auc_unsup}"
+    );
+}
+
+#[test]
+fn detector_failures_propagate_from_fit() {
+    // ABOD needs >= 3 samples; a 2-row fit must surface a Detector error,
+    // not a panic.
+    let tiny = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+    let mut clf = Suod::builder()
+        .base_estimators(vec![ModelSpec::Abod { n_neighbors: 5 }])
+        .build()
+        .unwrap();
+    assert!(matches!(
+        clf.fit(&tiny).unwrap_err(),
+        suod::Error::Detector(_)
+    ));
+}
+
+#[test]
+fn eleven_family_pool_end_to_end() {
+    // One spec from every family, all three modules on.
+    let ds = registry::load_scaled("waveform", 15, 0.2).unwrap();
+    let all_families = vec![
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 10,
+            method: KnnMethod::Mean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 10,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Abod { n_neighbors: 10 },
+        ModelSpec::Hbos {
+            n_bins: 15,
+            tolerance: 0.2,
+        },
+        ModelSpec::IForest {
+            n_estimators: 25,
+            max_features: 0.7,
+        },
+        ModelSpec::Cblof { n_clusters: 4 },
+        ModelSpec::Ocsvm {
+            nu: 0.3,
+            kernel: Kernel::Rbf { gamma: 0.0 },
+        },
+        ModelSpec::FeatureBagging { n_estimators: 5 },
+        ModelSpec::Loop { n_neighbors: 10 },
+        ModelSpec::Pca {
+            variance_retained: 0.9,
+        },
+        ModelSpec::Loda {
+            n_members: 40,
+            n_bins: 10,
+        },
+    ];
+    let mut clf = Suod::builder()
+        .base_estimators(all_families)
+        .with_projection(true)
+        .with_approximation(true)
+        .with_bps(true)
+        .n_workers(2)
+        .seed(3)
+        .build()
+        .unwrap();
+    clf.fit(&ds.x).unwrap();
+    let scores = clf.decision_function(&ds.x).unwrap();
+    assert_eq!(scores.ncols(), 12);
+    assert!(scores.as_slice().iter().all(|v| v.is_finite()));
+    let auc = roc_auc(&ds.y, &clf.combined_scores(&ds.x).unwrap()).unwrap();
+    assert!(auc > 0.6, "12-model pool AUC {auc}");
+}

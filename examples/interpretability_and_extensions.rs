@@ -1,0 +1,113 @@
+//! Interpretability + downstream-combination extensions.
+//!
+//! Exercises the three capabilities the paper lists as benefits or future
+//! work beyond the core acceleration modules:
+//!
+//! 1. **Feature importances** from the pseudo-supervised approximators
+//!    (§3.4 Remark 1: tree regressors "yield feature importance
+//!    automatically to facilitate understanding");
+//! 2. **LSCP** — locally selective score combination (§5, future work);
+//! 3. **XGBOD** — semi-supervised detection on SUOD-augmented features
+//!    (§5, future work).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p suod --example interpretability_and_extensions
+//! ```
+
+use suod::lscp::{lscp_scores, LscpConfig, LscpVariant};
+use suod::prelude::*;
+use suod::xgbod::Xgbod;
+use suod_datasets::{registry, train_test_split};
+use suod_metrics::roc_auc;
+
+fn pool() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Knn {
+            n_neighbors: 15,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 30,
+            method: KnnMethod::Mean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 20,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Cblof { n_clusters: 4 },
+        ModelSpec::Hbos {
+            n_bins: 20,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 50,
+            max_features: 0.8,
+        },
+        ModelSpec::Loda {
+            n_members: 50,
+            n_bins: 10,
+        },
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = registry::load_scaled("cardio", 17, 0.4)?;
+    let split = train_test_split(&ds, 0.4, 17)?;
+    println!(
+        "dataset: {} analog, {} train / {} test, {} features\n",
+        ds.name,
+        split.x_train.nrows(),
+        split.x_test.nrows(),
+        ds.n_features()
+    );
+
+    // --- 1. Which features drive the outlier scores? --------------------
+    // Keep approximators in the original space (projection off) so their
+    // importances attribute to input columns.
+    let mut clf = Suod::builder()
+        .base_estimators(pool())
+        .with_projection(false)
+        .with_approximation(true)
+        .seed(17)
+        .build()?;
+    clf.fit(&split.x_train)?;
+    let imp = clf.feature_importances()?;
+    let mut ranked: Vec<(usize, f64)> = imp.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+    println!("top-5 features by ensemble approximator importance:");
+    for (feat, weight) in ranked.iter().take(5) {
+        println!("  feature {feat:>2}: {:.3}", weight);
+    }
+
+    // --- 2. LSCP: locally selective combination vs plain averaging. ------
+    let train_scores = clf.training_scores()?;
+    let test_scores = clf.decision_function(&split.x_test)?;
+    let avg = clf.combined_scores(&split.x_test)?;
+    let lscp = lscp_scores(
+        &split.x_train,
+        &train_scores,
+        &split.x_test,
+        &test_scores,
+        &LscpConfig {
+            region_size: 30,
+            variant: LscpVariant::Moa { s: 3 },
+        },
+    )?;
+    println!("\ncombination on held-out data:");
+    println!("  Average ROC : {:.4}", roc_auc(&split.y_test, &avg)?);
+    println!("  LSCP-MOA ROC: {:.4}", roc_auc(&split.y_test, &lscp)?);
+
+    // --- 3. XGBOD: spend the labels when you have them. -------------------
+    let mut xgbod = Xgbod::new(
+        Suod::builder().base_estimators(pool()).seed(17),
+        60,
+    )?;
+    xgbod.fit(&split.x_train, &split.y_train)?;
+    let supervised = xgbod.decision_function(&split.x_test)?;
+    println!(
+        "  XGBOD ROC   : {:.4}  (semi-supervised, uses train labels)",
+        roc_auc(&split.y_test, &supervised)?
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Streaming detection: the paper's §1 "extended to online settings"
+//! note, realized with the sliding-window wrapper.
+//!
+//! Simulates a sensor stream whose normal operating point drifts halfway
+//! through; the streaming ensemble keeps flagging genuine anomalies while
+//! absorbing the drift through window refits.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p suod --example streaming_detection
+//! ```
+
+use suod::prelude::*;
+use suod::streaming::StreamingSuod;
+
+/// Deterministic pseudo-noise in [-0.5, 0.5).
+fn noise(i: usize, salt: f64) -> f64 {
+    ((i as f64 * 0.618_033_988_749 + salt) % 1.0) - 0.5
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let template = Suod::builder()
+        .base_estimators(vec![
+            ModelSpec::Knn {
+                n_neighbors: 8,
+                method: KnnMethod::Largest,
+            },
+            ModelSpec::Lof {
+                n_neighbors: 12,
+                metric: Metric::Euclidean,
+            },
+            ModelSpec::Hbos {
+                n_bins: 12,
+                tolerance: 0.3,
+            },
+            ModelSpec::IForest {
+                n_estimators: 30,
+                max_features: 1.0,
+            },
+        ])
+        .seed(7);
+
+    let mut stream = StreamingSuod::new(template, 256, 64)?;
+
+    // Inject anomalies at fixed ticks; phase shift at t = 600.
+    let anomaly_ticks = [300usize, 450, 700, 900];
+    let mut flagged = Vec::new();
+    let mut warm_scores: Vec<f64> = Vec::new();
+    // Isolated flags are quarantined (not pushed); a long run of
+    // consecutive flags is concept drift, which must re-enter the window
+    // or the reference distribution never catches up.
+    let mut consecutive_flags = 0usize;
+
+    println!("streaming 1000 sensor readings (drift at t=600, anomalies at {anomaly_ticks:?})\n");
+    for t in 0..1000usize {
+        let base = if t < 600 { 0.0 } else { 25.0 }; // operating-point drift
+        let mut row = vec![
+            base + noise(t, 0.1) * 2.0,
+            base * 0.5 + noise(t, 0.4) * 2.0,
+            (t % 16) as f64 * 0.1 + noise(t, 0.7),
+        ];
+        if anomaly_ticks.contains(&t) {
+            row[0] += 15.0;
+            row[1] -= 12.0;
+        }
+
+        if stream.is_warm() {
+            let score = stream.score(&row)?;
+            // Simple adaptive threshold: mean + 5 sigma of recent scores.
+            if warm_scores.len() >= 50 {
+                let mu = warm_scores.iter().sum::<f64>() / warm_scores.len() as f64;
+                let sd = (warm_scores.iter().map(|s| (s - mu) * (s - mu)).sum::<f64>()
+                    / warm_scores.len() as f64)
+                    .sqrt();
+                let threshold_estimate = mu + 5.0 * sd;
+                if score > threshold_estimate {
+                    consecutive_flags += 1;
+                    if consecutive_flags <= 5 {
+                        flagged.push(t);
+                        println!(
+                            "t={t:>4}  score {score:>9.2}  ** FLAGGED ** (threshold {threshold_estimate:.2})"
+                        );
+                        // Quarantine isolated anomalies from the window.
+                        continue;
+                    }
+                    // Sustained flagging = drift: fall through and push.
+                } else {
+                    consecutive_flags = 0;
+                }
+            }
+            warm_scores.push(score);
+            if warm_scores.len() > 200 {
+                warm_scores.remove(0);
+            }
+        }
+        stream.push(&row)?;
+    }
+
+    let hits = anomaly_ticks.iter().filter(|t| flagged.contains(t)).count();
+    println!("\ndetected {hits}/{} injected anomalies; {} total flags", anomaly_ticks.len(), flagged.len());
+    println!("(the t=600 drift itself may flag briefly, then the window absorbs it)");
+    Ok(())
+}
