@@ -13,7 +13,9 @@ use suod_metrics::{average, moa, precision_at_n, roc_auc, spearman};
 
 fn scores(n: usize, seed: u64) -> (Vec<i32>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let labels: Vec<i32> = (0..n).map(|_| i32::from(rng.random::<f64>() < 0.1)).collect();
+    let labels: Vec<i32> = (0..n)
+        .map(|_| i32::from(rng.random::<f64>() < 0.1))
+        .collect();
     let scores: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
     (labels, scores)
 }

@@ -69,7 +69,11 @@ fn main() {
         let split = train_test_split(&ds, 0.4, 31).expect("valid split");
         let meta = DatasetMeta::extract(&split.x_train);
         let pool = pool(split.x_train.nrows());
-        println!("\n== {ds_name} ({} train rows, {} features) ==", split.x_train.nrows(), ds.n_features());
+        println!(
+            "\n== {ds_name} ({} train rows, {} features) ==",
+            split.x_train.nrows(),
+            ds.n_features()
+        );
         println!(
             "{:<6} {:>10} {:>10} {:>14} {:>7}",
             "mods", "fit seq(s)", "pred seq(s)", "fit mkspan(s)", "ROC"
@@ -113,9 +117,7 @@ fn main() {
 
             let combined = suod_metrics::average(&scores).expect("non-empty");
             let roc = roc_auc(&split.y_test, &combined).unwrap_or(0.5);
-            println!(
-                "{name:<6} {fit_seq:>10.3} {pred_seq:>10.3} {mkspan:>14.3} {roc:>7.3}"
-            );
+            println!("{name:<6} {fit_seq:>10.3} {pred_seq:>10.3} {mkspan:>14.3} {roc:>7.3}");
             csv.row(&format!(
                 "{ds_name},{name},{fit_seq:.6},{pred_seq:.6},{mkspan:.6},{roc:.4}"
             ));

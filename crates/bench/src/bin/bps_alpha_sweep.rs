@@ -67,7 +67,10 @@ fn main() {
         }
         let generic = simulate_makespan(&costs, &generic_schedule(pool.len(), t).expect("valid"))
             .expect("lengths match");
-        println!("\n== {ds_name} (generic makespan {:.3}s) ==", generic.makespan);
+        println!(
+            "\n== {ds_name} (generic makespan {:.3}s) ==",
+            generic.makespan
+        );
         println!("{:<7} {:>12} {:>10}", "alpha", "makespan(s)", "Redu(%)");
         for &alpha in ALPHAS {
             let a = bps_schedule(&costs, t, alpha).expect("finite costs");

@@ -94,10 +94,17 @@ fn main() {
     // The paper's C_cost targets are the *sum over 10 trials* — repeated
     // measurement averages out sub-millisecond timer noise.
     let timing_trials = scale.pick(1usize, 3, 10);
-    let mut csv = CsvSink::create("cost_predictor_cv", "fold,spearman_forest,spearman_analytic");
+    let mut csv = CsvSink::create(
+        "cost_predictor_cv",
+        "fold,spearman_forest,spearman_analytic",
+    );
 
     // 1. Timing corpus over shape x family.
-    println!("building timing corpus ({} shapes x {} specs)...", sizes.len(), family_grid().len());
+    println!(
+        "building timing corpus ({} shapes x {} specs)...",
+        sizes.len(),
+        family_grid().len()
+    );
     let mut samples: Vec<CostSample> = Vec::new();
     for (si, &(n, d)) in sizes.iter().enumerate() {
         let ds = generate(&SyntheticConfig {
@@ -132,7 +139,10 @@ fn main() {
     let analytic = AnalyticCostModel::new();
     let mut forest_rhos = Vec::new();
     let mut analytic_rhos = Vec::new();
-    println!("\n{:<6} {:>16} {:>18}", "fold", "Spearman forest", "Spearman analytic");
+    println!(
+        "\n{:<6} {:>16} {:>18}",
+        "fold", "Spearman forest", "Spearman analytic"
+    );
     for fold in 0..n_folds {
         let train: Vec<CostSample> = samples
             .iter()

@@ -18,7 +18,10 @@ fn models() -> Vec<(&'static str, ModelSpec)> {
     vec![
         ("abod", ModelSpec::Abod { n_neighbors: 10 }),
         ("cblof", ModelSpec::Cblof { n_clusters: 3 }),
-        ("feature_bagging", ModelSpec::FeatureBagging { n_estimators: 10 }),
+        (
+            "feature_bagging",
+            ModelSpec::FeatureBagging { n_estimators: 10 },
+        ),
         (
             "knn",
             ModelSpec::Knn {
@@ -74,7 +77,10 @@ fn main() {
     let mut summary_csv = CsvSink::create("fig3_errors", "model,orig_errors,appr_errors");
 
     println!("Figure 3: decision surfaces, detector vs RF approximator (200 points, 40 outliers)");
-    println!("{:<16} {:>12} {:>12}", "model", "orig errors", "appr errors");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "model", "orig errors", "appr errors"
+    );
 
     for (name, spec) in models() {
         let mut det = spec.build(7).expect("valid spec");
@@ -94,10 +100,7 @@ fn main() {
         // Surfaces over the mesh.
         let orig_surface = det.decision_function(&mesh).expect("score mesh");
         let appr_surface = rf.predict(&mesh).expect("score mesh");
-        for (row, (&o, &a)) in mesh
-            .rows_iter()
-            .zip(orig_surface.iter().zip(&appr_surface))
-        {
+        for (row, (&o, &a)) in mesh.rows_iter().zip(orig_surface.iter().zip(&appr_surface)) {
             surface_csv.row(&format!("{name},orig,{},{},{o:.6}", row[0], row[1]));
             surface_csv.row(&format!("{name},appr,{},{},{a:.6}", row[0], row[1]));
         }

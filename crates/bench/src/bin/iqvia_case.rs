@@ -118,7 +118,10 @@ fn run(full: bool, split: &suod_datasets::TrainTestSplit, seed: u64) -> Outcome 
     let (scores, pred_times) = clf
         .decision_function_timed(&split.x_test)
         .expect("claims scoring");
-    let pred_costs: Vec<f64> = pred_times.iter().map(|d| d.as_secs_f64().max(1e-9)).collect();
+    let pred_costs: Vec<f64> = pred_times
+        .iter()
+        .map(|d| d.as_secs_f64().max(1e-9))
+        .collect();
 
     let assignment_fit = if full {
         let tasks: Vec<_> = pool.iter().map(|s| s.task_descriptor()).collect();
@@ -146,10 +149,7 @@ fn run(full: bool, split: &suod_datasets::TrainTestSplit, seed: u64) -> Outcome 
 fn main() {
     let scale = Scale::from_args();
     let n_claims = scale.pick(2_000usize, 12_000, PAPER_N_CLAIMS);
-    let mut csv = CsvSink::create(
-        "iqvia_case",
-        "setting,fit_s,pred_s,roc,p_at_n",
-    );
+    let mut csv = CsvSink::create("iqvia_case", "setting,fit_s,pred_s,roc,p_at_n");
 
     println!("IQVIA claims case: {n_claims} claims, {WORKERS} (simulated) workers");
     let ds = generate_claims(&ClaimsConfig {
@@ -185,8 +185,8 @@ fn main() {
             o.fit_makespan, o.pred_makespan, o.roc, o.pan
         ));
     }
-    let fit_redu = 100.0 * (baseline.fit_makespan - suod_run.fit_makespan)
-        / baseline.fit_makespan.max(1e-12);
+    let fit_redu =
+        100.0 * (baseline.fit_makespan - suod_run.fit_makespan) / baseline.fit_makespan.max(1e-12);
     let pred_redu = 100.0 * (baseline.pred_makespan - suod_run.pred_makespan)
         / baseline.pred_makespan.max(1e-12);
     println!("\nfit time reduction : {fit_redu:.2}%   (paper: 32.57%)");

@@ -21,10 +21,7 @@ fn main() {
     let scale = Scale::from_args();
     let data_scale = scale.pick(0.05, 0.25, 1.0);
     let n_trials = scale.pick(1usize, 3, 10);
-    let mut csv = CsvSink::create(
-        "projection_dim_sweep",
-        "dataset,fraction,k,time_s,roc",
-    );
+    let mut csv = CsvSink::create("projection_dim_sweep", "dataset,fraction,k,time_s,roc");
 
     println!("Projection target-dimension sweep (JL circulant, kNN detector, {n_trials} trials)");
     for ds_name in ["mnist", "musk"] {
@@ -41,8 +38,7 @@ fn main() {
                 let z = if k == d {
                     ds.x.clone()
                 } else {
-                    let mut proj =
-                        JlProjector::new(JlVariant::Circulant, k, seed).expect("k >= 1");
+                    let mut proj = JlProjector::new(JlVariant::Circulant, k, seed).expect("k >= 1");
                     proj.fit(&ds.x).expect("projector fit");
                     proj.transform(&ds.x).expect("projector transform")
                 };

@@ -16,7 +16,15 @@ use suod_projection::{
 };
 
 const DATASETS: &[&str] = &["mnist", "satellite", "satimage-2", "cardio"];
-const METHODS: &[&str] = &["original", "pca", "rs", "basic", "discrete", "circulant", "toeplitz"];
+const METHODS: &[&str] = &[
+    "original",
+    "pca",
+    "rs",
+    "basic",
+    "discrete",
+    "circulant",
+    "toeplitz",
+];
 
 fn detector_for(name: &str, seed: u64) -> ModelSpec {
     let _ = seed;
@@ -40,8 +48,7 @@ fn projector_for(method: &str, k: usize, seed: u64) -> Box<dyn Projector> {
         "pca" => Box::new(PcaProjector::new(k).expect("k >= 1")),
         "rs" => Box::new(RandomSelectProjector::new(k, seed).expect("k >= 1")),
         jl => Box::new(
-            JlProjector::new(JlVariant::parse(jl).expect("static table"), k, seed)
-                .expect("k >= 1"),
+            JlProjector::new(JlVariant::parse(jl).expect("static table"), k, seed).expect("k >= 1"),
         ),
     }
 }
@@ -50,10 +57,7 @@ fn main() {
     let scale = Scale::from_args();
     let data_scale = scale.pick(0.05, 0.25, 1.0);
     let n_trials = scale.pick(1usize, 3, 10);
-    let mut csv = CsvSink::create(
-        "table1",
-        "detector,dataset,method,time_s,roc,p_at_n",
-    );
+    let mut csv = CsvSink::create("table1", "detector,dataset,method,time_s,roc,p_at_n");
 
     println!("Table 1: projection method comparison (k = 2/3 d, {n_trials} trials, data scale {data_scale})");
     for det_name in ["abod", "lof", "knn"] {
@@ -61,8 +65,14 @@ fn main() {
             let ds = registry::load_scaled(ds_name, 42, data_scale).expect("registry dataset");
             let d = ds.n_features();
             let k = ((2 * d) / 3).max(1);
-            println!("\n== {det_name} on {ds_name} (n={}, d={d}, k={k}) ==", ds.n_samples());
-            println!("{:<10} {:>9} {:>7} {:>7}", "method", "time(s)", "ROC", "P@N");
+            println!(
+                "\n== {det_name} on {ds_name} (n={}, d={d}, k={k}) ==",
+                ds.n_samples()
+            );
+            println!(
+                "{:<10} {:>9} {:>7} {:>7}",
+                "method", "time(s)", "ROC", "P@N"
+            );
 
             for method in METHODS {
                 let mut times = Vec::new();
@@ -85,7 +95,9 @@ fn main() {
                 }
                 let (t, r, p) = (mean(&times), mean(&rocs), mean(&pans));
                 println!("{method:<10} {t:>9.3} {r:>7.3} {p:>7.3}");
-                csv.row(&format!("{det_name},{ds_name},{method},{t:.6},{r:.4},{p:.4}"));
+                csv.row(&format!(
+                    "{det_name},{ds_name},{method},{t:.6},{r:.4},{p:.4}"
+                ));
             }
         }
     }

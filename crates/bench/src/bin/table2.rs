@@ -65,9 +65,7 @@ fn main() {
         "algorithm,dataset,orig_roc,appr_roc,orig_pan,appr_pan",
     );
 
-    println!(
-        "Table 2 / C.1: Orig vs Appr prediction quality ({n_trials} trials, 60/40 split)"
-    );
+    println!("Table 2 / C.1: Orig vs Appr prediction quality ({n_trials} trials, 60/40 split)");
     for (alg_name, spec) in algorithms() {
         println!("\n== {alg_name} ==");
         println!(

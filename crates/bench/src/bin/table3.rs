@@ -62,12 +62,11 @@ fn main() {
     let scale = Scale::from_args();
     let data_scale = scale.pick(0.05, 0.3, 1.0);
     let pool_sizes: Vec<usize> = scale.pick(vec![16], vec![40, 80], vec![100, 500, 1000]);
-    let mut csv = CsvSink::create(
-        "table3",
-        "dataset,n,d,m,t,generic_s,bps_s,reduction_pct",
-    );
+    let mut csv = CsvSink::create("table3", "dataset,n,d,m,t,generic_s,bps_s,reduction_pct");
 
-    println!("Table 3: Generic vs BPS training makespan (measured per-model costs, simulated workers)");
+    println!(
+        "Table 3: Generic vs BPS training makespan (measured per-model costs, simulated workers)"
+    );
     println!(
         "{:<10} {:>6} {:>3} {:>5} {:>2} {:>10} {:>10} {:>8}",
         "dataset", "n", "d", "m", "t", "Generic", "BPS", "Redu(%)"

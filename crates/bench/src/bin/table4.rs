@@ -43,11 +43,17 @@ fn clamp(spec: ModelSpec, n_train: usize) -> ModelSpec {
         ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
             n_neighbors: n_neighbors.min(cap).max(2),
         },
-        ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+        ModelSpec::Knn {
+            n_neighbors,
+            method,
+        } => ModelSpec::Knn {
             n_neighbors: n_neighbors.min(cap),
             method,
         },
-        ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+        ModelSpec::Lof {
+            n_neighbors,
+            metric,
+        } => ModelSpec::Lof {
             n_neighbors: n_neighbors.min(cap).max(2),
             metric,
         },
@@ -109,7 +115,10 @@ fn run_setting(
             .iter()
             .map(|d| d.as_secs_f64().max(1e-9))
             .collect(),
-        pred_costs: pred_times.iter().map(|d| d.as_secs_f64().max(1e-9)).collect(),
+        pred_costs: pred_times
+            .iter()
+            .map(|d| d.as_secs_f64().max(1e-9))
+            .collect(),
         roc_avg: roc_auc(y_test, &avg).unwrap_or(0.5),
         roc_moa: roc_auc(y_test, &moa_scores).unwrap_or(0.5),
         pan_avg: precision_at_n(y_test, &avg, None).unwrap_or(0.0),
@@ -159,8 +168,8 @@ fn main() {
         } else {
             (*ds_name, data_scale)
         };
-        let ds = registry::load_scaled(loaded_name, 23, load_scale.min(1.0))
-            .expect("registry dataset");
+        let ds =
+            registry::load_scaled(loaded_name, 23, load_scale.min(1.0)).expect("registry dataset");
         let split = train_test_split(&ds, 0.4, 23).expect("valid split");
         let n_train = split.x_train.nrows();
         let meta = DatasetMeta::extract(&split.x_train);
@@ -171,7 +180,14 @@ fn main() {
             .map(|s| clamp(s, n_train))
             .collect();
 
-        let baseline = run_setting(&pool, &split.x_train, &split.x_test, &split.y_test, false, 1);
+        let baseline = run_setting(
+            &pool,
+            &split.x_train,
+            &split.x_test,
+            &split.y_test,
+            false,
+            1,
+        );
         let full = run_setting(&pool, &split.x_train, &split.x_test, &split.y_test, true, 1);
 
         for &t in WORKERS {
@@ -181,8 +197,16 @@ fn main() {
             let pred_s = makespan(&full, &full.pred_costs, t, true, &meta);
             println!(
                 "{:<11} {:>2} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
-                ds_name, t, fit_b, fit_s, pred_b, pred_s,
-                baseline.roc_avg, full.roc_avg, baseline.roc_moa, full.roc_moa
+                ds_name,
+                t,
+                fit_b,
+                fit_s,
+                pred_b,
+                pred_s,
+                baseline.roc_avg,
+                full.roc_avg,
+                baseline.roc_moa,
+                full.roc_moa
             );
             csv.row(&format!(
                 "{ds_name},{},{},{t},{fit_b:.6},{fit_s:.6},{pred_b:.6},{pred_s:.6},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
@@ -200,8 +224,12 @@ fn main() {
         }
         println!(
             "  (sequential: fit {:.2}s -> {:.2}s, pred {:.3}s -> {:.3}s; P@N avg {:.3} -> {:.3})",
-            baseline.fit_seq, full.fit_seq, baseline.pred_seq, full.pred_seq,
-            baseline.pan_avg, full.pan_avg
+            baseline.fit_seq,
+            full.fit_seq,
+            baseline.pred_seq,
+            full.pred_seq,
+            baseline.pan_avg,
+            full.pan_avg
         );
     }
     println!("\nwrote {}", csv.path().display());

@@ -61,10 +61,9 @@ impl Scale {
 
 /// Where experiment CSVs land.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }

@@ -172,8 +172,12 @@ pub fn run(command: Command) -> Result<String, String> {
         Command::Help => Ok(usage().to_string()),
         Command::ListDatasets => {
             let mut out = String::new();
-            writeln!(out, "{:<12} {:>8} {:>5} {:>9} {:>10}", "name", "n", "d", "outliers", "% outlier")
-                .expect("string write");
+            writeln!(
+                out,
+                "{:<12} {:>8} {:>5} {:>9} {:>10}",
+                "name", "n", "d", "outliers", "% outlier"
+            )
+            .expect("string write");
             for info in registry::TABLE_A1 {
                 writeln!(
                     out,
@@ -219,11 +223,17 @@ fn clamp_pool(pool: Vec<ModelSpec>, n: usize) -> Vec<ModelSpec> {
             ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
                 n_neighbors: n_neighbors.clamp(2, cap),
             },
-            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+            ModelSpec::Knn {
+                n_neighbors,
+                method,
+            } => ModelSpec::Knn {
                 n_neighbors: n_neighbors.min(cap),
                 method,
             },
-            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => ModelSpec::Lof {
                 n_neighbors: n_neighbors.clamp(2, cap),
                 metric,
             },
@@ -257,7 +267,9 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
     let scores = clf
         .combined_scores(&ds.x)
         .map_err(|e| format!("scoring failed: {e}"))?;
-    let labels = clf.predict(&ds.x).map_err(|e| format!("predict failed: {e}"))?;
+    let labels = clf
+        .predict(&ds.x)
+        .map_err(|e| format!("predict failed: {e}"))?;
 
     let mut out = String::new();
     writeln!(
@@ -268,11 +280,20 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
         ds.n_features()
     )
     .expect("string write");
-    writeln!(out, "pool: {} models | rp={} psa={} bps={} workers={}", args.models, args.rp, args.psa, args.bps, args.workers)
-        .expect("string write");
+    writeln!(
+        out,
+        "pool: {} models | rp={} psa={} bps={} workers={}",
+        args.models, args.rp, args.psa, args.bps, args.workers
+    )
+    .expect("string write");
     writeln!(out, "fit time: {fit_secs:.3}s").expect("string write");
-    writeln!(out, "flagged: {}/{} samples", labels.iter().sum::<i32>(), labels.len())
-        .expect("string write");
+    writeln!(
+        out,
+        "flagged: {}/{} samples",
+        labels.iter().sum::<i32>(),
+        labels.len()
+    )
+    .expect("string write");
     if labeled && ds.n_outliers() > 0 && ds.n_outliers() < ds.n_samples() {
         let auc = roc_auc(&ds.y, &scores).map_err(|e| e.to_string())?;
         let pan = precision_at_n(&ds.y, &scores, None).map_err(|e| e.to_string())?;
@@ -304,7 +325,10 @@ mod tests {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
         assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
-        assert_eq!(parse_args(&argv("list-datasets")).unwrap(), Command::ListDatasets);
+        assert_eq!(
+            parse_args(&argv("list-datasets")).unwrap(),
+            Command::ListDatasets
+        );
     }
 
     #[test]
@@ -313,7 +337,9 @@ mod tests {
             "detect --dataset cardio --scale 0.1 --models 8 --no-rp --workers 3 --seed 7",
         ))
         .unwrap();
-        let Command::Detect(d) = cmd else { panic!("expected detect") };
+        let Command::Detect(d) = cmd else {
+            panic!("expected detect")
+        };
         assert_eq!(d.dataset.as_deref(), Some("cardio"));
         assert_eq!(d.scale, 0.1);
         assert_eq!(d.models, 8);

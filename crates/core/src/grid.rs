@@ -183,8 +183,7 @@ mod tests {
     #[test]
     fn random_pool_is_heterogeneous() {
         let pool = random_pool(100, 0);
-        let families: std::collections::HashSet<_> =
-            pool.iter().map(|s| s.family()).collect();
+        let families: std::collections::HashSet<_> = pool.iter().map(|s| s.family()).collect();
         assert!(families.len() >= 6, "only {} families", families.len());
     }
 

@@ -146,9 +146,7 @@ pub fn lscp_scores(
         // Local pseudo ground truth: per-region-sample mean across models.
         let pseudo: Vec<f64> = region
             .iter()
-            .map(|&i| {
-                (0..m).map(|c| z_train.get(i, c)).sum::<f64>() / m as f64
-            })
+            .map(|&i| (0..m).map(|c| z_train.get(i, c)).sum::<f64>() / m as f64)
             .collect();
 
         // Competence per model: Pearson correlation to the pseudo truth.

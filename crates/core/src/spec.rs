@@ -15,8 +15,8 @@
 //!   cost predictor consumes (§3.5).
 
 use suod_detectors::{
-    AbodDetector, CblofDetector, Detector, FeatureBagging, HbosDetector, IsolationForest,
-    CofDetector, Kernel, KnnDetector, KnnMethod, LodaDetector, LofDetector, LoopDetector,
+    AbodDetector, CblofDetector, CofDetector, Detector, FeatureBagging, HbosDetector,
+    IsolationForest, Kernel, KnnDetector, KnnMethod, LodaDetector, LofDetector, LoopDetector,
     OcsvmDetector, PcaDetector,
 };
 use suod_linalg::DistanceMetric;
@@ -135,9 +135,7 @@ impl ModelSpec {
                 Box::new(FeatureBagging::new(n_estimators, 10, seed)?)
             }
             ModelSpec::Loop { n_neighbors } => Box::new(LoopDetector::new(n_neighbors)?),
-            ModelSpec::Pca { variance_retained } => {
-                Box::new(PcaDetector::new(variance_retained)?)
-            }
+            ModelSpec::Pca { variance_retained } => Box::new(PcaDetector::new(variance_retained)?),
             ModelSpec::Loda { n_members, n_bins } => {
                 Box::new(LodaDetector::new(n_members, n_bins, seed)?)
             }
@@ -361,7 +359,10 @@ mod tests {
         assert!(mink.task_descriptor().weight > 1.0);
         let sig = ModelSpec::Ocsvm {
             nu: 0.5,
-            kernel: Kernel::Sigmoid { gamma: 0.0, coef0: 0.0 },
+            kernel: Kernel::Sigmoid {
+                gamma: 0.0,
+                coef0: 0.0,
+            },
         };
         assert!(sig.task_descriptor().weight > 1.0);
     }

@@ -27,9 +27,15 @@ use suod_linalg::Matrix;
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
-    DatasetMeta, SimulationResult, ThreadPoolExecutor,
+    DatasetMeta, ExecutionReport, SimulationResult, WorkStealingExecutor,
 };
 use suod_supervised::Regressor;
+
+/// Row-chunk width for the (model x row-chunk) prediction task split.
+/// Fixed (never derived from the worker count) so the task decomposition
+/// — and therefore every computed value — is identical no matter how
+/// many workers execute it.
+const PREDICT_ROW_CHUNK: usize = 256;
 
 /// Builder for [`Suod`]. Mirrors the paper's API demo: a pool of base
 /// estimators plus per-module flags.
@@ -192,6 +198,8 @@ impl SuodBuilder {
         Ok(Suod {
             config: self,
             state: None,
+            executor: None,
+            fit_report: None,
         })
     }
 }
@@ -218,7 +226,13 @@ struct FittedState {
 /// The SUOD estimator (see the [crate docs](crate) for the full story).
 pub struct Suod {
     config: SuodBuilder,
-    state: Option<FittedState>,
+    state: Option<Arc<FittedState>>,
+    /// Persistent work-stealing pool created at fit time and reused by
+    /// every subsequent predict call — threads are spawned once per
+    /// estimator, not once per call.
+    executor: Option<Arc<WorkStealingExecutor>>,
+    /// Telemetry from the most recent fit's execution.
+    fit_report: Option<ExecutionReport>,
 }
 
 impl std::fmt::Debug for SuodBuilder {
@@ -341,10 +355,8 @@ impl Suod {
 
         // --- BPS + fit execution. -------------------------------------------
         let assignment = self.schedule(&meta)?;
-        type FitOutput = std::result::Result<
-            (Box<dyn Detector>, Vec<f64>, Duration),
-            suod_detectors::Error,
-        >;
+        type FitOutput =
+            std::result::Result<(Box<dyn Detector>, Vec<f64>, Duration), suod_detectors::Error>;
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<FitOutput> + Send>> = Vec::new();
         for (i, spec) in self.config.base_estimators.iter().enumerate() {
             let spec = *spec;
@@ -363,7 +375,9 @@ impl Suod {
                 }
             }));
         }
-        let outputs = ThreadPoolExecutor::new().run(tasks, &assignment)?;
+        let executor = self.executor_for_run()?;
+        let (outputs, report) = executor.run_with_report(tasks, &assignment)?;
+        self.fit_report = Some(report);
 
         let mut models: Vec<FittedModel> = Vec::with_capacity(outputs.len());
         for ((output, spec), projector) in outputs
@@ -419,46 +433,73 @@ impl Suod {
         let threshold = suod_linalg::rank::kth_largest(&combined, n_out)
             .expect("n_out within bounds by construction");
 
-        self.state = Some(FittedState {
+        self.state = Some(Arc::new(FittedState {
             models,
             threshold,
             n_features: d,
             score_means,
             score_stds,
-        });
+        }));
         Ok(self)
     }
 
-    fn state(&self) -> Result<&FittedState> {
+    fn state(&self) -> Result<&Arc<FittedState>> {
         self.state.as_ref().ok_or(Error::NotFitted)
     }
 
+    /// Returns the persistent pool, creating it on first use (or when the
+    /// configured worker count changed since it was built).
+    fn executor_for_run(&mut self) -> Result<Arc<WorkStealingExecutor>> {
+        match &self.executor {
+            Some(e) if e.n_workers() == self.config.n_workers => Ok(Arc::clone(e)),
+            _ => {
+                let e = Arc::new(WorkStealingExecutor::new(self.config.n_workers)?);
+                self.executor = Some(Arc::clone(&e));
+                Ok(e)
+            }
+        }
+    }
+
+    /// Execution telemetry (per-task wall time, per-worker busy time,
+    /// steal count) from the most recent [`fit`](Self::fit). The per-task
+    /// times are the *measured* cost vector: correlate them with the cost
+    /// model's forecasts (e.g. `suod_metrics::spearman`) to validate the
+    /// scheduler the way the paper validates its cost predictor.
+    pub fn fit_report(&self) -> Option<&ExecutionReport> {
+        self.fit_report.as_ref()
+    }
+
     /// BPS applies to "both training and prediction stage" (paper §3.5).
-    /// Approximated models predict through cheap forest lookups, so they
-    /// get a nominal cost; the rest keep their forecasted cost.
-    fn prediction_schedule(&self, state: &FittedState) -> Result<Assignment> {
+    /// Prediction work is split into (model x row-chunk) tasks, ordered
+    /// model-major; each task's cost is the model's forecast (nominal 1.0
+    /// for approximated models, which answer through cheap forest
+    /// lookups) scaled by the chunk's share of the query rows.
+    fn prediction_schedule(
+        &self,
+        state: &FittedState,
+        chunks: &[std::ops::Range<usize>],
+    ) -> Result<Assignment> {
         let m = state.models.len();
+        let n_tasks = m * chunks.len();
         let t = self.config.n_workers;
         if t <= 1 || !self.config.bps_enabled {
-            return Ok(generic_schedule(m, t.max(1))?);
+            return Ok(generic_schedule(n_tasks, t.max(1))?);
         }
-        let meta = DatasetMeta::from_shape(
-            state.models[0].train_scores.len(),
-            state.n_features,
-        );
-        let costs: Vec<f64> = state
-            .models
-            .iter()
-            .map(|model| {
-                if model.approximator.is_some() {
-                    1.0
-                } else {
-                    self.config
-                        .cost_model
-                        .predict_cost(&model.spec.task_descriptor(), &meta)
-                }
-            })
-            .collect();
+        let meta = DatasetMeta::from_shape(state.models[0].train_scores.len(), state.n_features);
+        let total_rows: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut costs = Vec::with_capacity(n_tasks);
+        for model in &state.models {
+            let model_cost = if model.approximator.is_some() {
+                1.0
+            } else {
+                self.config
+                    .cost_model
+                    .predict_cost(&model.spec.task_descriptor(), &meta)
+            };
+            for chunk in chunks {
+                costs.push(model_cost * chunk.len() as f64 / total_rows.max(1) as f64);
+            }
+        }
         Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
     }
 
@@ -471,7 +512,7 @@ impl Suod {
     /// Returns [`Error::NotFitted`] before `fit`, plus propagated scoring
     /// failures (e.g. dimension mismatch).
     pub fn decision_function(&self, x: &Matrix) -> Result<Matrix> {
-        let state = self.state()?;
+        let state = Arc::clone(self.state()?);
         if x.ncols() != state.n_features {
             return Err(Error::InvalidConfig(format!(
                 "expected {} features, got {}",
@@ -479,31 +520,62 @@ impl Suod {
                 x.ncols()
             )));
         }
-        let assignment = self.prediction_schedule(state)?;
-        let tasks: Vec<Box<dyn FnOnce() -> Result<Vec<f64>> + Send>> = state
-            .models
-            .iter()
-            .map(|model| {
-                let task: Box<dyn FnOnce() -> Result<Vec<f64>> + Send> = Box::new(move || {
+        let executor = self.executor.as_ref().ok_or(Error::NotFitted)?;
+        let n = x.nrows();
+        let m = state.models.len();
+        let chunks = predict_chunks(n);
+        let assignment = self.prediction_schedule(&state, &chunks)?;
+
+        // (model x row-chunk) tasks, model-major. Every detector scores
+        // rows independently and standardization uses training statistics,
+        // so chunk boundaries cannot change any value — scores are
+        // bit-identical to a sequential whole-matrix pass.
+        let query = Arc::new(x.clone());
+        let mut tasks: Vec<Box<dyn FnOnce() -> Result<Vec<f64>> + Send>> =
+            Vec::with_capacity(m * chunks.len());
+        for mi in 0..m {
+            for chunk in &chunks {
+                let state = Arc::clone(&state);
+                let query = Arc::clone(&query);
+                let chunk = chunk.clone();
+                tasks.push(Box::new(move || {
+                    let model = &state.models[mi];
+                    let slab = row_slab(&query, &chunk);
                     let projected;
                     let z: &Matrix = match &model.projector {
                         Some(p) => {
-                            projected = p.transform(x)?;
+                            projected = p.transform(&slab)?;
                             &projected
                         }
-                        None => x,
+                        None => &slab,
                     };
                     match &model.approximator {
                         Some(r) => Ok(r.predict(z)?),
                         None => Ok(model.detector.decision_function(z)?),
                     }
-                });
-                task
-            })
-            .collect();
-        let columns = ThreadPoolExecutor::new().run(tasks, &assignment)?;
-        let columns: Result<Vec<Vec<f64>>> = columns.into_iter().collect();
-        scores_to_matrix(columns?, x.nrows())
+                }));
+            }
+        }
+
+        let outputs = executor.run(tasks, &assignment)?;
+        let mut out = Matrix::zeros(n, m);
+        let mut outputs = outputs.into_iter();
+        for mi in 0..m {
+            for chunk in &chunks {
+                let part = outputs.next().expect("one output per task")?;
+                if part.len() != chunk.len() {
+                    return Err(Error::InvalidConfig(format!(
+                        "model {mi} produced {} scores for {} samples",
+                        part.len(),
+                        chunk.len()
+                    )));
+                }
+                for (offset, &v) in part.iter().enumerate() {
+                    out.set(chunk.start + offset, mi, v);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Like [`decision_function`](Self::decision_function) but scores the
@@ -631,7 +703,11 @@ impl Suod {
     pub fn training_combined_scores(&self) -> Result<Vec<f64>> {
         let state = self.state()?;
         let train_matrix = scores_to_matrix(
-            state.models.iter().map(|m| m.train_scores.clone()).collect(),
+            state
+                .models
+                .iter()
+                .map(|m| m.train_scores.clone())
+                .collect(),
             state.models[0].train_scores.len(),
         )?;
         Ok(combine_standardized(
@@ -659,7 +735,11 @@ impl Suod {
     pub fn training_scores(&self) -> Result<Matrix> {
         let state = self.state()?;
         scores_to_matrix(
-            state.models.iter().map(|m| m.train_scores.clone()).collect(),
+            state
+                .models
+                .iter()
+                .map(|m| m.train_scores.clone())
+                .collect(),
             state.models[0].train_scores.len(),
         )
     }
@@ -757,10 +837,7 @@ impl Suod {
     ///
     /// Returns [`Error::NotFitted`] before `fit` and propagates scheduler
     /// failures.
-    pub fn simulate_fit_schedules(
-        &self,
-        t: usize,
-    ) -> Result<(SimulationResult, SimulationResult)> {
+    pub fn simulate_fit_schedules(&self, t: usize) -> Result<(SimulationResult, SimulationResult)> {
         let state = self.state()?;
         let costs: Vec<f64> = state
             .models
@@ -769,11 +846,12 @@ impl Suod {
             .collect();
         let generic = simulate_makespan(&costs, &generic_schedule(costs.len(), t)?)?;
         // BPS schedules on *forecasted* costs, evaluated against true ones.
-        let tasks: Vec<_> = state.models.iter().map(|m| m.spec.task_descriptor()).collect();
-        let meta = DatasetMeta::from_shape(
-            state.models[0].train_scores.len(),
-            state.n_features,
-        );
+        let tasks: Vec<_> = state
+            .models
+            .iter()
+            .map(|m| m.spec.task_descriptor())
+            .collect();
+        let meta = DatasetMeta::from_shape(state.models[0].train_scores.len(), state.n_features);
         let predicted = self.config.cost_model.predict_costs(&tasks, &meta);
         let bps = simulate_makespan(&costs, &bps_schedule(&predicted, t, self.config.bps_alpha)?)?;
         Ok((generic, bps))
@@ -828,6 +906,27 @@ fn combine_standardized(
                 .collect()
         }
     }
+}
+
+/// Splits `0..n` into fixed-width row chunks for prediction tasks. An
+/// empty query keeps one empty chunk so the output matrix still gets its
+/// `m` columns.
+fn predict_chunks(n: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    (0..n)
+        .step_by(PREDICT_ROW_CHUNK)
+        .map(|start| start..(start + PREDICT_ROW_CHUNK).min(n))
+        .collect()
+}
+
+/// Copies a contiguous row range of `x` into its own matrix.
+fn row_slab(x: &Matrix, range: &std::ops::Range<usize>) -> Matrix {
+    let cols = x.ncols();
+    let data = x.as_slice()[range.start * cols..range.end * cols].to_vec();
+    Matrix::from_vec(range.len(), cols, data).expect("slab dimensions are consistent")
 }
 
 /// Assembles per-model score columns into an `n x m` matrix.
@@ -892,7 +991,11 @@ mod tests {
     }
 
     fn fitted(builder: SuodBuilder) -> Suod {
-        let mut clf = builder.base_estimators(small_pool()).seed(3).build().unwrap();
+        let mut clf = builder
+            .base_estimators(small_pool())
+            .seed(3)
+            .build()
+            .unwrap();
         clf.fit(&data()).unwrap();
         clf
     }

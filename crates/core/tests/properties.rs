@@ -17,11 +17,17 @@ fn clamped_pool(m: usize, seed: u64, n_train: usize) -> Vec<ModelSpec> {
             ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
                 n_neighbors: n_neighbors.clamp(2, cap),
             },
-            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+            ModelSpec::Knn {
+                n_neighbors,
+                method,
+            } => ModelSpec::Knn {
                 n_neighbors: n_neighbors.min(cap),
                 method,
             },
-            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => ModelSpec::Lof {
                 n_neighbors: n_neighbors.clamp(2, cap),
                 metric,
             },

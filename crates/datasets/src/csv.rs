@@ -210,7 +210,12 @@ mod tests {
 
     #[test]
     fn label_column_split_out() {
-        let ds = parse_csv("x,y,label\n1,2,0\n3,4,1\n5,6,0\n", opts(Some(2)), "t".into()).unwrap();
+        let ds = parse_csv(
+            "x,y,label\n1,2,0\n3,4,1\n5,6,0\n",
+            opts(Some(2)),
+            "t".into(),
+        )
+        .unwrap();
         assert_eq!(ds.x.shape(), (3, 2));
         assert_eq!(ds.y, vec![0, 1, 0]);
         assert_eq!(ds.n_outliers(), 1);

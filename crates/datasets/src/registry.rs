@@ -32,28 +32,138 @@ impl DatasetInfo {
 
 /// Table A.1 of the paper, verbatim.
 pub const TABLE_A1: &[DatasetInfo] = &[
-    DatasetInfo { name: "annthyroid", n_samples: 7200, n_features: 6, n_outliers: 534 },
-    DatasetInfo { name: "arrhythmia", n_samples: 452, n_features: 274, n_outliers: 66 },
-    DatasetInfo { name: "breastw", n_samples: 683, n_features: 9, n_outliers: 239 },
-    DatasetInfo { name: "cardio", n_samples: 1831, n_features: 21, n_outliers: 176 },
-    DatasetInfo { name: "http", n_samples: 567_479, n_features: 3, n_outliers: 2211 },
-    DatasetInfo { name: "letter", n_samples: 1600, n_features: 32, n_outliers: 100 },
-    DatasetInfo { name: "mnist", n_samples: 7603, n_features: 100, n_outliers: 700 },
-    DatasetInfo { name: "musk", n_samples: 3062, n_features: 166, n_outliers: 97 },
-    DatasetInfo { name: "pageblock", n_samples: 5393, n_features: 10, n_outliers: 510 },
-    DatasetInfo { name: "pendigits", n_samples: 6870, n_features: 16, n_outliers: 156 },
-    DatasetInfo { name: "pima", n_samples: 768, n_features: 8, n_outliers: 268 },
-    DatasetInfo { name: "satellite", n_samples: 6435, n_features: 36, n_outliers: 2036 },
-    DatasetInfo { name: "satimage-2", n_samples: 5803, n_features: 36, n_outliers: 71 },
-    DatasetInfo { name: "seismic", n_samples: 2584, n_features: 10, n_outliers: 170 },
-    DatasetInfo { name: "shuttle", n_samples: 49_097, n_features: 9, n_outliers: 3511 },
-    DatasetInfo { name: "spamspace", n_samples: 4207, n_features: 57, n_outliers: 1679 },
-    DatasetInfo { name: "speech", n_samples: 3686, n_features: 400, n_outliers: 61 },
-    DatasetInfo { name: "thyroid", n_samples: 3772, n_features: 6, n_outliers: 93 },
-    DatasetInfo { name: "vertebral", n_samples: 240, n_features: 6, n_outliers: 30 },
-    DatasetInfo { name: "vowels", n_samples: 1456, n_features: 12, n_outliers: 50 },
-    DatasetInfo { name: "waveform", n_samples: 3443, n_features: 21, n_outliers: 100 },
-    DatasetInfo { name: "wilt", n_samples: 4819, n_features: 5, n_outliers: 257 },
+    DatasetInfo {
+        name: "annthyroid",
+        n_samples: 7200,
+        n_features: 6,
+        n_outliers: 534,
+    },
+    DatasetInfo {
+        name: "arrhythmia",
+        n_samples: 452,
+        n_features: 274,
+        n_outliers: 66,
+    },
+    DatasetInfo {
+        name: "breastw",
+        n_samples: 683,
+        n_features: 9,
+        n_outliers: 239,
+    },
+    DatasetInfo {
+        name: "cardio",
+        n_samples: 1831,
+        n_features: 21,
+        n_outliers: 176,
+    },
+    DatasetInfo {
+        name: "http",
+        n_samples: 567_479,
+        n_features: 3,
+        n_outliers: 2211,
+    },
+    DatasetInfo {
+        name: "letter",
+        n_samples: 1600,
+        n_features: 32,
+        n_outliers: 100,
+    },
+    DatasetInfo {
+        name: "mnist",
+        n_samples: 7603,
+        n_features: 100,
+        n_outliers: 700,
+    },
+    DatasetInfo {
+        name: "musk",
+        n_samples: 3062,
+        n_features: 166,
+        n_outliers: 97,
+    },
+    DatasetInfo {
+        name: "pageblock",
+        n_samples: 5393,
+        n_features: 10,
+        n_outliers: 510,
+    },
+    DatasetInfo {
+        name: "pendigits",
+        n_samples: 6870,
+        n_features: 16,
+        n_outliers: 156,
+    },
+    DatasetInfo {
+        name: "pima",
+        n_samples: 768,
+        n_features: 8,
+        n_outliers: 268,
+    },
+    DatasetInfo {
+        name: "satellite",
+        n_samples: 6435,
+        n_features: 36,
+        n_outliers: 2036,
+    },
+    DatasetInfo {
+        name: "satimage-2",
+        n_samples: 5803,
+        n_features: 36,
+        n_outliers: 71,
+    },
+    DatasetInfo {
+        name: "seismic",
+        n_samples: 2584,
+        n_features: 10,
+        n_outliers: 170,
+    },
+    DatasetInfo {
+        name: "shuttle",
+        n_samples: 49_097,
+        n_features: 9,
+        n_outliers: 3511,
+    },
+    DatasetInfo {
+        name: "spamspace",
+        n_samples: 4207,
+        n_features: 57,
+        n_outliers: 1679,
+    },
+    DatasetInfo {
+        name: "speech",
+        n_samples: 3686,
+        n_features: 400,
+        n_outliers: 61,
+    },
+    DatasetInfo {
+        name: "thyroid",
+        n_samples: 3772,
+        n_features: 6,
+        n_outliers: 93,
+    },
+    DatasetInfo {
+        name: "vertebral",
+        n_samples: 240,
+        n_features: 6,
+        n_outliers: 30,
+    },
+    DatasetInfo {
+        name: "vowels",
+        n_samples: 1456,
+        n_features: 12,
+        n_outliers: 50,
+    },
+    DatasetInfo {
+        name: "waveform",
+        n_samples: 3443,
+        n_features: 21,
+        n_outliers: 100,
+    },
+    DatasetInfo {
+        name: "wilt",
+        n_samples: 4819,
+        n_features: 5,
+        n_outliers: 257,
+    },
 ];
 
 /// All registry dataset names.
@@ -198,7 +308,11 @@ mod tests {
     #[test]
     fn contamination_table_consistency() {
         for d in TABLE_A1 {
-            assert!(d.contamination() > 0.0 && d.contamination() < 0.5, "{}", d.name);
+            assert!(
+                d.contamination() > 0.0 && d.contamination() < 0.5,
+                "{}",
+                d.name
+            );
         }
     }
 }

@@ -51,13 +51,12 @@ pub fn train_test_split(ds: &Dataset, test_fraction: f64, seed: u64) -> Result<T
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in [0, 1] {
-        let mut members: Vec<usize> = ds
-            .y
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| (l != 0) as i32 == class)
-            .map(|(i, _)| i)
-            .collect();
+        let mut members: Vec<usize> =
+            ds.y.iter()
+                .enumerate()
+                .filter(|(_, &l)| (l != 0) as i32 == class)
+                .map(|(i, _)| i)
+                .collect();
         // Fisher–Yates.
         for i in (1..members.len()).rev() {
             let j = rng.random_range(0..=i);

@@ -133,7 +133,11 @@ pub fn generate(config: &SyntheticConfig) -> Result<Dataset> {
 
     // Cluster centers uniform in [-10, 10]^d_signal with spreads in [0.5, 2].
     let centers: Vec<Vec<f64>> = (0..config.n_clusters)
-        .map(|_| (0..d_signal).map(|_| rng.random_range(-10.0..10.0)).collect())
+        .map(|_| {
+            (0..d_signal)
+                .map(|_| rng.random_range(-10.0..10.0))
+                .collect()
+        })
         .collect();
     let spreads: Vec<f64> = (0..config.n_clusters)
         .map(|_| rng.random_range(0.5..2.0))

@@ -85,14 +85,20 @@ impl AbodDetector {
     }
 
     fn score_rows(&self, index: &KnnIndex, x: &Matrix, exclude_self: bool) -> Vec<f64> {
-        let k = self.k.min(index.len().saturating_sub(exclude_self as usize));
-        (0..x.nrows())
-            .map(|i| {
-                let nn = if exclude_self {
-                    index.query_excluding(x.row(i), k, i)
-                } else {
-                    index.query(x.row(i), k)
-                };
+        let k = self
+            .k
+            .min(index.len().saturating_sub(exclude_self as usize));
+        // Leave-one-out lists come batched through the symmetric-distance
+        // fast path; plain queries stay row-at-a-time.
+        let lists: Vec<_> = if exclude_self {
+            index.self_query_batch(k, 1)
+        } else {
+            (0..x.nrows()).map(|i| index.query(x.row(i), k)).collect()
+        };
+        lists
+            .into_iter()
+            .enumerate()
+            .map(|(i, nn)| {
                 let idx: Vec<usize> = nn.iter().map(|n| n.index).collect();
                 let neighbors = index.train_data().select_rows(&idx);
                 match Self::abof(x.row(i), &neighbors) {
@@ -203,11 +209,7 @@ mod tests {
         let x = Matrix::from_rows(&rows).unwrap();
         let mut det = AbodDetector::new(3).unwrap();
         det.fit(&x).unwrap();
-        assert!(det
-            .training_scores()
-            .unwrap()
-            .iter()
-            .all(|v| v.is_finite()));
+        assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -70,11 +70,7 @@ impl CofDetector {
 
     /// Average chaining distance of `point` over the rows `neighbors`
     /// (the set-based nearest path cost with linearly decaying weights).
-    fn average_chaining_distance(
-        metric: DistanceMetric,
-        point: &[f64],
-        neighbors: &Matrix,
-    ) -> f64 {
+    fn average_chaining_distance(metric: DistanceMetric, point: &[f64], neighbors: &Matrix) -> f64 {
         let k = neighbors.nrows();
         if k == 0 {
             return 0.0;
@@ -123,8 +119,7 @@ impl CofDetector {
         let nn = index.query(q, k);
         let ids: Vec<usize> = nn.iter().map(|n| n.index).collect();
         let neighbors = index.train_data().select_rows(&ids);
-        let ac_q =
-            Self::average_chaining_distance(index.metric(), q, &neighbors);
+        let ac_q = Self::average_chaining_distance(index.metric(), q, &neighbors);
         let mean_nb: f64 =
             ids.iter().map(|&i| self.ac_dist[i]).sum::<f64>() / ids.len().max(1) as f64;
         if mean_nb <= 1e-300 {
@@ -151,15 +146,12 @@ impl Detector for CofDetector {
         let k = self.k.min(n - 1);
         let index = KnnIndex::build(x, DistanceMetric::Euclidean)?;
 
-        // Leave-one-out neighbour lists and chaining distances.
-        let neighbor_ids: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                index
-                    .query_excluding(x.row(i), k, i)
-                    .into_iter()
-                    .map(|nb| nb.index)
-                    .collect()
-            })
+        // Leave-one-out neighbour lists (symmetric-distance fast path)
+        // and chaining distances.
+        let neighbor_ids: Vec<Vec<usize>> = index
+            .self_query_batch(k, 1)
+            .into_iter()
+            .map(|nn| nn.into_iter().map(|nb| nb.index).collect())
             .collect();
         let ac_dist: Vec<f64> = (0..n)
             .map(|i| {
@@ -170,10 +162,7 @@ impl Detector for CofDetector {
 
         self.train_scores = (0..n)
             .map(|i| {
-                let mean_nb: f64 = neighbor_ids[i]
-                    .iter()
-                    .map(|&j| ac_dist[j])
-                    .sum::<f64>()
+                let mean_nb: f64 = neighbor_ids[i].iter().map(|&j| ac_dist[j]).sum::<f64>()
                     / neighbor_ids[i].len().max(1) as f64;
                 if mean_nb <= 1e-300 {
                     if ac_dist[i] <= 1e-300 {
@@ -254,11 +243,8 @@ mod tests {
         // (edge 1), then 2 (edge 1 from point 1). k=2:
         // ac = 2(2)/(2*3)*1 + 2(1)/(2*3)*1 = 2/3 + 1/3 = 1.
         let neighbors = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
-        let ac = CofDetector::average_chaining_distance(
-            DistanceMetric::Euclidean,
-            &[0.0],
-            &neighbors,
-        );
+        let ac =
+            CofDetector::average_chaining_distance(DistanceMetric::Euclidean, &[0.0], &neighbors);
         assert!((ac - 1.0).abs() < 1e-12, "{ac}");
     }
 

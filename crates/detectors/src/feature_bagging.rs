@@ -52,9 +52,7 @@ impl FeatureBagging {
     /// Returns [`Error::InvalidParameter`] when either count is zero.
     pub fn new(n_estimators: usize, base_k: usize, seed: u64) -> Result<Self> {
         if n_estimators == 0 {
-            return Err(Error::InvalidParameter(
-                "n_estimators must be >= 1".into(),
-            ));
+            return Err(Error::InvalidParameter("n_estimators must be >= 1".into()));
         }
         if base_k == 0 {
             return Err(Error::InvalidParameter("base_k must be >= 1".into()));

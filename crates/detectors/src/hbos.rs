@@ -38,7 +38,11 @@ impl FeatureHistogram {
             .iter()
             .map(|&c| if peak > 0.0 { c as f64 / peak } else { 0.0 })
             .collect();
-        Self { min, max, densities }
+        Self {
+            min,
+            max,
+            densities,
+        }
     }
 
     /// Density for a query value, honouring the tolerance band outside the

@@ -118,9 +118,7 @@ impl IsolationForest {
     /// Returns [`Error::InvalidParameter`] when `n_estimators == 0`.
     pub fn new(n_estimators: usize, seed: u64) -> Result<Self> {
         if n_estimators == 0 {
-            return Err(Error::InvalidParameter(
-                "n_estimators must be >= 1".into(),
-            ));
+            return Err(Error::InvalidParameter("n_estimators must be >= 1".into()));
         }
         Ok(Self {
             n_estimators,
@@ -232,8 +230,7 @@ impl IsolationForest {
         nodes.push(ITreeNode::Leaf { size: 0 }); // placeholder
         let (left_rows, right_rows) = rows.split_at_mut(lt);
         let left = Self::build_node(x, left_rows, features, depth + 1, height_limit, rng, nodes);
-        let right =
-            Self::build_node(x, right_rows, features, depth + 1, height_limit, rng, nodes);
+        let right = Self::build_node(x, right_rows, features, depth + 1, height_limit, rng, nodes);
         nodes[node_idx] = ITreeNode::Split {
             feature: fi,
             threshold,
@@ -247,11 +244,7 @@ impl IsolationForest {
         let c = average_path_length(self.subsample_size).max(1e-12);
         x.rows_iter()
             .map(|row| {
-                let mean_path: f64 = self
-                    .trees
-                    .iter()
-                    .map(|t| t.path_length(row))
-                    .sum::<f64>()
+                let mean_path: f64 = self.trees.iter().map(|t| t.path_length(row)).sum::<f64>()
                     / self.trees.len() as f64;
                 2f64.powf(-mean_path / c)
             })
@@ -273,8 +266,7 @@ impl Detector for IsolationForest {
         let psi = self.max_samples.min(n);
         self.subsample_size = psi;
         let height_limit = (psi as f64).log2().ceil() as usize;
-        let n_tree_features = ((d as f64 * self.max_features_fraction).ceil() as usize)
-            .clamp(1, d);
+        let n_tree_features = ((d as f64 * self.max_features_fraction).ceil() as usize).clamp(1, d);
 
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.trees = (0..self.n_estimators)
@@ -413,7 +405,10 @@ mod tests {
     #[test]
     fn validates_inputs() {
         assert!(IsolationForest::new(0, 0).is_err());
-        assert!(IsolationForest::new(5, 0).unwrap().with_max_samples(1).is_err());
+        assert!(IsolationForest::new(5, 0)
+            .unwrap()
+            .with_max_samples(1)
+            .is_err());
         assert!(IsolationForest::new(5, 0)
             .unwrap()
             .with_max_features_fraction(0.0)

@@ -44,9 +44,7 @@ impl KnnMethod {
         }
         match self {
             KnnMethod::Largest => *sorted_distances.last().expect("non-empty"),
-            KnnMethod::Mean => {
-                sorted_distances.iter().sum::<f64>() / sorted_distances.len() as f64
-            }
+            KnnMethod::Mean => sorted_distances.iter().sum::<f64>() / sorted_distances.len() as f64,
             KnnMethod::Median => {
                 let m = sorted_distances.len() / 2;
                 if sorted_distances.len() % 2 == 1 {
@@ -114,14 +112,16 @@ impl Detector for KnnDetector {
             });
         }
         let index = KnnIndex::build(x, self.metric)?;
-        // Leave-one-out training scores: a point is not its own neighbour.
-        let mut scores = Vec::with_capacity(x.nrows());
-        for i in 0..x.nrows() {
-            let nn = index.query_excluding(x.row(i), self.k, i);
-            let d: Vec<f64> = nn.iter().map(|n| n.distance).collect();
-            scores.push(self.method.aggregate(&d));
-        }
-        self.train_scores = scores;
+        // Leave-one-out training scores (a point is not its own
+        // neighbour), batched through the symmetric-distance fast path.
+        self.train_scores = index
+            .self_query_batch(self.k, 1)
+            .iter()
+            .map(|nn| {
+                let d: Vec<f64> = nn.iter().map(|n| n.distance).collect();
+                self.method.aggregate(&d)
+            })
+            .collect();
         self.index = Some(index);
         Ok(())
     }

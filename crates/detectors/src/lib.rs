@@ -1,5 +1,4 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the papers' pseudocode in numeric kernels
-
 #![warn(missing_docs)]
 //! Unsupervised outlier-detector zoo for the SUOD reproduction.
 //!
@@ -57,8 +56,8 @@ pub mod hbos;
 pub mod iforest;
 pub mod kmeans;
 pub mod knn;
-pub mod lof;
 pub mod loda;
+pub mod lof;
 pub mod loop_detector;
 pub mod ocsvm;
 pub mod pca_detector;
@@ -71,8 +70,8 @@ pub use hbos::HbosDetector;
 pub use iforest::IsolationForest;
 pub use kmeans::KMeans;
 pub use knn::{KnnDetector, KnnMethod};
-pub use lof::LofDetector;
 pub use loda::LodaDetector;
+pub use lof::LofDetector;
 pub use loop_detector::LoopDetector;
 pub use ocsvm::{Kernel, OcsvmDetector};
 pub use pca_detector::PcaDetector;
@@ -112,7 +111,10 @@ impl fmt::Display for Error {
             Error::NotFitted(model) => write!(f, "{model} must be fitted before scoring"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             Error::InsufficientData { needed, got } => {
-                write!(f, "insufficient training data: needed {needed}, got {got} samples")
+                write!(
+                    f,
+                    "insufficient training data: needed {needed}, got {got} samples"
+                )
             }
             Error::DimensionMismatch { expected, actual } => {
                 write!(f, "expected {expected}-dimensional rows, got {actual}")
@@ -202,10 +204,7 @@ pub fn labels_from_scores(scores: &[f64], contamination: f64) -> Result<Vec<i32>
     let n_out = n_out.clamp(1, scores.len());
     let threshold = suod_linalg::rank::kth_largest(scores, n_out)
         .expect("n_out is within bounds by construction");
-    Ok(scores
-        .iter()
-        .map(|&s| i32::from(s >= threshold))
-        .collect())
+    Ok(scores.iter().map(|&s| i32::from(s >= threshold)).collect())
 }
 
 pub(crate) fn check_dims(expected: usize, x: &Matrix) -> Result<()> {

@@ -159,10 +159,7 @@ impl Detector for LodaDetector {
                     let bin = (((z - lo) / range) * self.n_bins as f64) as usize;
                     counts[bin.min(self.n_bins - 1)] += 1;
                 }
-                let probs = counts
-                    .iter()
-                    .map(|&c| c as f64 / n as f64)
-                    .collect();
+                let probs = counts.iter().map(|&c| c as f64 / n as f64).collect();
                 LodaMember {
                     direction,
                     lo,
@@ -256,7 +253,11 @@ mod tests {
         let ra = suod_linalg::rank::average_ranks(&sa);
         let rb = suod_linalg::rank::average_ranks(&sb);
         let ma = suod_linalg::stats::mean(&ra);
-        let cov: f64 = ra.iter().zip(&rb).map(|(&x1, &y1)| (x1 - ma) * (y1 - ma)).sum();
+        let cov: f64 = ra
+            .iter()
+            .zip(&rb)
+            .map(|(&x1, &y1)| (x1 - ma) * (y1 - ma))
+            .sum();
         let var: f64 = ra.iter().map(|&x1| (x1 - ma) * (x1 - ma)).sum();
         assert!(cov / var > 0.5, "rank correlation {}", cov / var);
     }

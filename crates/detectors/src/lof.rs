@@ -87,10 +87,9 @@ impl Detector for LofDetector {
         let k = self.k.min(n - 1);
         let index = KnnIndex::build(x, self.metric)?;
 
-        // Leave-one-out neighbour lists.
-        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = (0..n)
-            .map(|i| index.query_excluding(x.row(i), k, i))
-            .collect();
+        // Leave-one-out neighbour lists via the symmetric-distance fast
+        // path (upper triangle + mirror, half the metric evaluations).
+        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = index.self_query_batch(k, 1);
 
         // k-distance of each point = distance to its k-th neighbour.
         let k_distances: Vec<f64> = neighbors

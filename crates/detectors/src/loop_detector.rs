@@ -89,8 +89,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -109,9 +108,9 @@ impl Detector for LoopDetector {
         let k = self.k.min(n - 1);
         let index = KnnIndex::build(x, DistanceMetric::Euclidean)?;
 
-        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = (0..n)
-            .map(|i| index.query_excluding(x.row(i), k, i))
-            .collect();
+        // Leave-one-out neighbour lists via the symmetric-distance fast
+        // path.
+        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = index.self_query_batch(k, 1);
         let pdist: Vec<f64> = neighbors.iter().map(|nn| Self::pdist_of(nn)).collect();
 
         // PLOF: own pdist over the mean of neighbours' pdists, minus 1.

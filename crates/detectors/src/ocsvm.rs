@@ -71,9 +71,7 @@ impl Kernel {
                 gamma: 0.0,
                 coef0: 0.0,
             }),
-            other => Err(Error::InvalidParameter(format!(
-                "unknown kernel `{other}`"
-            ))),
+            other => Err(Error::InvalidParameter(format!("unknown kernel `{other}`"))),
         }
     }
 
@@ -82,16 +80,19 @@ impl Kernel {
     fn resolved(self, d: usize) -> Self {
         let auto = 1.0 / d.max(1) as f64;
         match self {
-            Kernel::Poly { gamma, coef0, degree } if gamma == 0.0 => Kernel::Poly {
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } if gamma == 0.0 => Kernel::Poly {
                 gamma: auto,
                 coef0,
                 degree,
             },
             Kernel::Rbf { gamma } if gamma == 0.0 => Kernel::Rbf { gamma: auto },
-            Kernel::Sigmoid { gamma, coef0 } if gamma == 0.0 => Kernel::Sigmoid {
-                gamma: auto,
-                coef0,
-            },
+            Kernel::Sigmoid { gamma, coef0 } if gamma == 0.0 => {
+                Kernel::Sigmoid { gamma: auto, coef0 }
+            }
             other => other,
         }
     }
@@ -106,11 +107,7 @@ impl Kernel {
                 degree,
             } => (gamma * dot(a, b) + coef0).powi(degree as i32),
             Kernel::Rbf { gamma } => {
-                let d2: f64 = a
-                    .iter()
-                    .zip(b)
-                    .map(|(&x, &y)| (x - y) * (x - y))
-                    .sum();
+                let d2: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
                 (-gamma * d2).exp()
             }
             Kernel::Sigmoid { gamma, coef0 } => (gamma * dot(a, b) + coef0).tanh(),
@@ -275,7 +272,9 @@ impl Detector for OcsvmDetector {
                     j_best = Some(t);
                 }
             }
-            let (Some(i), Some(j)) = (i_best, j_best) else { break };
+            let (Some(i), Some(j)) = (i_best, j_best) else {
+                break;
+            };
             if g[j] - g[i] < self.tol {
                 break; // KKT satisfied.
             }
@@ -392,7 +391,10 @@ mod tests {
         let c = 1.0 / (nu * n as f64);
         let sum: f64 = det.alphas.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum(alpha) = {sum}");
-        assert!(det.alphas.iter().all(|&a| (-1e-12..=c + 1e-12).contains(&a)));
+        assert!(det
+            .alphas
+            .iter()
+            .all(|&a| (-1e-12..=c + 1e-12).contains(&a)));
     }
 
     #[test]

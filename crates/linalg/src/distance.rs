@@ -39,9 +39,7 @@ impl DistanceMetric {
                 .map(|(&x, &y)| (x - y) * (x - y))
                 .sum::<f64>()
                 .sqrt(),
-            DistanceMetric::Manhattan => {
-                a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
-            }
+            DistanceMetric::Manhattan => a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum(),
             DistanceMetric::Minkowski(p) => a
                 .iter()
                 .zip(b)
@@ -74,6 +72,25 @@ impl DistanceMetric {
 ///
 /// Returns [`Error::ShapeMismatch`] when column counts differ.
 pub fn pairwise_distances(a: &Matrix, b: &Matrix, metric: DistanceMetric) -> Result<Matrix> {
+    pairwise_distances_parallel(a, b, metric, 1)
+}
+
+/// [`pairwise_distances`] chunked over row blocks of `a` across
+/// `n_threads` scoped threads.
+///
+/// Each output row is computed by the same code path regardless of
+/// chunking, so the result is **bit-identical** to the single-threaded
+/// call for every `n_threads`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when column counts differ.
+pub fn pairwise_distances_parallel(
+    a: &Matrix,
+    b: &Matrix,
+    metric: DistanceMetric,
+    n_threads: usize,
+) -> Result<Matrix> {
     if a.ncols() != b.ncols() {
         return Err(Error::ShapeMismatch {
             op: "pairwise_distances",
@@ -82,13 +99,57 @@ pub fn pairwise_distances(a: &Matrix, b: &Matrix, metric: DistanceMetric) -> Res
         });
     }
     let mut out = Matrix::zeros(a.nrows(), b.nrows());
-    for i in 0..a.nrows() {
-        let ra = a.row(i);
-        for j in 0..b.nrows() {
-            out.set(i, j, metric.distance(ra, b.row(j)));
+    let cols = b.nrows();
+    crate::parallel::par_row_blocks(out.as_mut_slice(), cols, n_threads, |rows, block| {
+        for (offset, out_row) in block.chunks_mut(cols).enumerate() {
+            let ra = a.row(rows.start + offset);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = metric.distance(ra, b.row(j));
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Self-distance matrix of `a`: equal to `pairwise_distances(a, a, m)`
+/// but computes only the upper triangle and mirrors it, halving the
+/// metric evaluations.
+///
+/// The mirror is exact: every supported metric is built from terms
+/// symmetric in its arguments (`(x - y)^2`, `|x - y|`), so
+/// `distance(u, v)` is bitwise equal to `distance(v, u)` and the result
+/// matches the naive full computation bit-for-bit.
+pub fn pairwise_distances_symmetric(a: &Matrix, metric: DistanceMetric) -> Matrix {
+    pairwise_distances_symmetric_parallel(a, metric, 1)
+}
+
+/// [`pairwise_distances_symmetric`] with the upper-triangle rows chunked
+/// across `n_threads` scoped threads (bit-identical for every
+/// `n_threads`).
+pub fn pairwise_distances_symmetric_parallel(
+    a: &Matrix,
+    metric: DistanceMetric,
+    n_threads: usize,
+) -> Matrix {
+    let n = a.nrows();
+    let mut out = Matrix::zeros(n, n);
+    crate::parallel::par_row_blocks(out.as_mut_slice(), n.max(1), n_threads, |rows, block| {
+        for (offset, out_row) in block.chunks_mut(n).enumerate() {
+            let i = rows.start + offset;
+            let ra = a.row(i);
+            for (j, o) in out_row.iter_mut().enumerate().skip(i) {
+                *o = metric.distance(ra, a.row(j));
+            }
+        }
+    });
+    // Mirror the strict upper triangle; cheap copies, no metric calls.
+    for i in 1..n {
+        for j in 0..i {
+            let d = out.get(j, i);
+            out.set(i, j, d);
         }
     }
-    Ok(out)
+    out
 }
 
 /// A neighbour returned by [`KnnIndex`] queries.
@@ -216,19 +277,13 @@ impl KnnIndex {
         if let Some(tree) = &self.tree {
             return tree.query(query, k);
         }
-        let k = k.min(self.train.nrows());
-        let mut all: Vec<Neighbor> = (0..self.train.nrows())
+        let all: Vec<Neighbor> = (0..self.train.nrows())
             .map(|i| Neighbor {
                 index: i,
                 distance: self.metric.distance(query, self.train.row(i)),
             })
             .collect();
-        // Partial selection then sort of the head: O(n + k log k).
-        let pivot = k.saturating_sub(1).min(all.len() - 1);
-        all.select_nth_unstable_by(pivot, cmp_neighbor);
-        all.truncate(k);
-        all.sort_by(cmp_neighbor);
-        all
+        select_smallest(all, k)
     }
 
     /// Like [`query`](Self::query) but excludes the training row
@@ -247,6 +302,22 @@ impl KnnIndex {
     ///
     /// Returns [`Error::ShapeMismatch`] when dimensionality differs.
     pub fn query_batch(&self, queries: &Matrix, k: usize) -> Result<Vec<Vec<Neighbor>>> {
+        self.query_batch_parallel(queries, k, 1)
+    }
+
+    /// [`query_batch`](Self::query_batch) with the queries chunked
+    /// across `n_threads` scoped threads (both backends). Results are
+    /// bit-identical to the sequential batch for every `n_threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when dimensionality differs.
+    pub fn query_batch_parallel(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Vec<Vec<Neighbor>>> {
         if queries.ncols() != self.train.ncols() {
             return Err(Error::ShapeMismatch {
                 op: "KnnIndex::query_batch",
@@ -254,10 +325,72 @@ impl KnnIndex {
                 rhs: self.train.shape(),
             });
         }
-        Ok((0..queries.nrows())
-            .map(|i| self.query(queries.row(i), k))
-            .collect())
+        Ok(crate::parallel::par_chunk_map(
+            queries.nrows(),
+            n_threads,
+            |range| range.map(|i| self.query(queries.row(i), k)).collect(),
+        ))
     }
+
+    /// Leave-one-out k-nearest neighbours for every training row —
+    /// `self_query_batch(k, t)[i]` equals `query_excluding(row(i), k, i)`
+    /// bit-for-bit. This is the hot loop of every proximity detector's
+    /// `fit` (LOF, kNN, LoOP, COF, ABOD).
+    ///
+    /// On the brute-force backend (up to a memory cap) the distances come
+    /// from [`pairwise_distances_symmetric_parallel`], which evaluates
+    /// the metric only for the upper triangle and mirrors — half the
+    /// metric calls of row-at-a-time queries. The KD-tree backend (and
+    /// oversized brute inputs) fall back to per-row queries, chunked
+    /// across `n_threads` either way.
+    pub fn self_query_batch(&self, k: usize, n_threads: usize) -> Vec<Vec<Neighbor>> {
+        let n = self.train.nrows();
+        if self.tree.is_none() && n <= SELF_BATCH_MATRIX_MAX_ROWS {
+            let d = pairwise_distances_symmetric_parallel(&self.train, self.metric, n_threads);
+            return crate::parallel::par_chunk_map(n, n_threads, |range| {
+                range
+                    .map(|i| {
+                        let all: Vec<Neighbor> = d
+                            .row(i)
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &distance)| Neighbor { index: j, distance })
+                            .collect();
+                        // Same k+1 / drop-self / truncate protocol as
+                        // `query_excluding`, fed bitwise-equal distances.
+                        let mut nn = select_smallest(all, (k + 1).min(n));
+                        nn.retain(|nb| nb.index != i);
+                        nn.truncate(k);
+                        nn
+                    })
+                    .collect()
+            });
+        }
+        crate::parallel::par_chunk_map(n, n_threads, |range| {
+            range
+                .map(|i| self.query_excluding(self.train.row(i), k, i))
+                .collect()
+        })
+    }
+}
+
+/// Memory cap for the symmetric-matrix fast path of
+/// [`KnnIndex::self_query_batch`]: a 4096-row set costs a 128 MiB
+/// distance matrix; beyond that, fall back to row-at-a-time queries.
+const SELF_BATCH_MATRIX_MAX_ROWS: usize = 4096;
+
+/// Keeps the `k` smallest neighbours sorted ascending (distance, then
+/// index): partial selection then sort of the head, `O(n + k log k)`.
+fn select_smallest(mut all: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    let k = k.min(all.len());
+    if all.is_empty() {
+        return all;
+    }
+    let pivot = k.saturating_sub(1);
+    all.select_nth_unstable_by(pivot, cmp_neighbor);
+    all.truncate(k);
+    all.sort_by(cmp_neighbor);
+    all
 }
 
 fn cmp_neighbor(a: &Neighbor, b: &Neighbor) -> std::cmp::Ordering {
@@ -325,7 +458,10 @@ mod tests {
     fn knn_query_sorted() {
         let idx = KnnIndex::build(&line_points(), DistanceMetric::Euclidean).unwrap();
         let nn = idx.query(&[1.4], 3);
-        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![1, 2, 0]);
+        assert_eq!(
+            nn.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
         assert!(nn[0].distance <= nn[1].distance && nn[1].distance <= nn[2].distance);
     }
 
@@ -357,5 +493,104 @@ mod tests {
         let batch = idx.query_batch(&q, 2).unwrap();
         assert_eq!(batch[0], idx.query(&[0.1], 2));
         assert_eq!(batch[1], idx.query(&[9.0], 2));
+    }
+
+    /// Deterministic pseudo-random matrix for bit-identity tests.
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    #[test]
+    fn pairwise_parallel_bit_identical() {
+        let a = random_matrix(37, 5, 7);
+        let b = random_matrix(23, 5, 11);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Minkowski(3.0),
+        ] {
+            let base = pairwise_distances(&a, &b, metric).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = pairwise_distances_parallel(&a, &b, metric, threads).unwrap();
+                assert_eq!(par.as_slice(), base.as_slice(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_bit_identical_to_full() {
+        let a = random_matrix(31, 4, 3);
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Minkowski(3.0),
+        ] {
+            let full = pairwise_distances(&a, &a, metric).unwrap();
+            let sym = pairwise_distances_symmetric(&a, metric);
+            assert_eq!(sym.as_slice(), full.as_slice(), "{metric:?}");
+            for threads in [2usize, 4] {
+                let par = pairwise_distances_symmetric_parallel(&a, metric, threads);
+                assert_eq!(
+                    par.as_slice(),
+                    full.as_slice(),
+                    "{metric:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_parallel_bit_identical() {
+        let train = random_matrix(60, 6, 1);
+        let queries = random_matrix(33, 6, 2);
+        for idx in [
+            KnnIndex::build(&train, DistanceMetric::Euclidean).unwrap(),
+            KnnIndex::build_brute_force(&train, DistanceMetric::Euclidean).unwrap(),
+        ] {
+            let base = idx.query_batch(&queries, 5).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = idx.query_batch_parallel(&queries, 5, threads).unwrap();
+                assert_eq!(par, base, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_batch_matches_query_excluding() {
+        // Brute backend (symmetric fast path) and KD-tree backend.
+        let wide = random_matrix(50, 20, 9); // > KDTREE_MAX_DIM -> brute
+        let narrow = random_matrix(150, 3, 10); // KD-tree eligible
+        for train in [&wide, &narrow] {
+            let idx = KnnIndex::build(train, DistanceMetric::Euclidean).unwrap();
+            let expected: Vec<Vec<Neighbor>> = (0..train.nrows())
+                .map(|i| idx.query_excluding(train.row(i), 4, i))
+                .collect();
+            for threads in [1usize, 2, 4] {
+                assert_eq!(
+                    idx.self_query_batch(4, threads),
+                    expected,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_batch_respects_metric() {
+        let train = random_matrix(40, 18, 5);
+        let idx = KnnIndex::build_brute_force(&train, DistanceMetric::Manhattan).unwrap();
+        let expected: Vec<Vec<Neighbor>> = (0..train.nrows())
+            .map(|i| idx.query_excluding(train.row(i), 3, i))
+            .collect();
+        assert_eq!(idx.self_query_batch(3, 2), expected);
     }
 }

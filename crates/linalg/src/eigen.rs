@@ -176,12 +176,7 @@ mod tests {
     #[test]
     fn reconstruction() {
         // A = V diag(w) V^T must reproduce the input.
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0],
-        )
-        .unwrap();
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         let mut d = Matrix::zeros(3, 3);
         for i in 0..3 {
@@ -202,12 +197,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_orthonormal() {
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0],
-        )
-        .unwrap();
+        let a = Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 4.0, 0.5, 1.0, 0.5, 3.0]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         for i in 0..3 {

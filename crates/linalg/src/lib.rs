@@ -22,6 +22,11 @@
 //!   statistics used for meta-features.
 //! * [`rank`] — argsort, average-tie ranking and top-k selection used by
 //!   the metrics crate and the BPS scheduler.
+//! * [`parallel`] — scoped-thread row-block helpers behind the
+//!   data-parallel kernels ([`pairwise_distances_parallel`],
+//!   [`Matrix::matmul_blocked`], [`KnnIndex::query_batch_parallel`]).
+//!   Every kernel takes an explicit thread count and produces
+//!   bit-identical results for every value of it.
 //!
 //! # Example
 //!
@@ -41,10 +46,14 @@ pub mod distance;
 pub mod eigen;
 pub mod kdtree;
 pub mod matrix;
+pub mod parallel;
 pub mod rank;
 pub mod stats;
 
-pub use distance::{pairwise_distances, DistanceMetric, KnnIndex};
+pub use distance::{
+    pairwise_distances, pairwise_distances_parallel, pairwise_distances_symmetric,
+    pairwise_distances_symmetric_parallel, DistanceMetric, KnnIndex,
+};
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use matrix::Matrix;
 

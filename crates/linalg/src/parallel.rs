@@ -1,0 +1,159 @@
+//! Scoped-thread helpers backing the data-parallel kernels.
+//!
+//! Every parallel kernel in this crate decomposes over **contiguous row
+//! blocks** and takes an explicit `n_threads` argument (callers pass 1
+//! for the sequential baseline). Each output element is computed by the
+//! same code path regardless of how rows are chunked, so results are
+//! bit-identical across thread counts — the guarantee the determinism
+//! system test pins down.
+//!
+//! Plain `std::thread::scope` is used instead of a pool: kernel
+//! invocations are coarse (a whole distance matrix, a whole matmul), so
+//! thread spawn cost is noise next to the work. The executor-level
+//! pooling lives in `suod-scheduler`.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `parts` contiguous, non-empty ranges of
+/// near-equal length (earlier ranges get the remainder).
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over contiguous row blocks of a row-major buffer, one scoped
+/// thread per block; `f` receives the block's global row range and its
+/// mutable slice (`range.len() * cols` elements).
+///
+/// With `n_threads <= 1` (or a single row) runs inline on the calling
+/// thread — the baseline every parallel result must match bit-for-bit.
+pub fn par_row_blocks<F>(data: &mut [f64], cols: usize, n_threads: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    let rows = data.len() / cols;
+    let threads = n_threads.max(1).min(rows);
+    if threads <= 1 {
+        f(0..rows, data);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for range in split_ranges(rows, threads) {
+            let (block, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            scope.spawn(move || f(range, block));
+        }
+    });
+}
+
+/// Maps `f` over contiguous chunks of `0..n` on scoped threads and
+/// concatenates the per-chunk vectors in chunk order, so the result is
+/// ordered exactly like the sequential `f(0..n)`.
+pub fn par_chunk_map<T, F>(n: usize, n_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = n_threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return f(0..n);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = split_ranges(n, threads)
+            .into_iter()
+            .map(|range| scope.spawn(move || f(range)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel kernel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        for n in [0usize, 1, 5, 16, 17] {
+            for parts in [1usize, 2, 3, 8, 32] {
+                let ranges = split_ranges(n, parts);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+                assert!(ranges.len() <= parts.max(1));
+                if n >= parts && parts >= 1 {
+                    assert_eq!(ranges.len(), parts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_lengths_near_equal() {
+        let ranges = split_ranges(10, 3);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn par_row_blocks_writes_every_row_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let mut data = vec![0.0; 7 * 3];
+            par_row_blocks(&mut data, 3, threads, |rows, block| {
+                for (offset, row) in block.chunks_mut(3).enumerate() {
+                    let i = rows.start + offset;
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v += (i * 10 + c) as f64;
+                    }
+                }
+            });
+            let expected: Vec<f64> = (0..7)
+                .flat_map(|i| (0..3).map(move |c| (i * 10 + c) as f64))
+                .collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_empty_is_noop() {
+        let mut empty: Vec<f64> = Vec::new();
+        par_row_blocks(&mut empty, 0, 4, |_, _| panic!("must not run"));
+        par_row_blocks(&mut empty, 3, 4, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_chunk_map_preserves_order() {
+        for threads in [1usize, 2, 5, 16] {
+            let got = par_chunk_map(11, threads, |range| {
+                range.map(|i| i * i).collect::<Vec<_>>()
+            });
+            assert_eq!(got, (0..11).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunk_map_empty() {
+        let got: Vec<usize> = par_chunk_map(0, 4, |range| range.collect());
+        assert!(got.is_empty());
+    }
+}

@@ -1,5 +1,4 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the papers' pseudocode in numeric kernels
-
 #![warn(missing_docs)]
 //! Data-level projection module for the SUOD reproduction (paper §3.3).
 //!

@@ -143,7 +143,10 @@ mod tests {
         let mut b = RandomSelectProjector::new(2, 5).unwrap();
         a.fit(&data()).unwrap();
         b.fit(&data()).unwrap();
-        assert_eq!(a.selected_features().unwrap(), b.selected_features().unwrap());
+        assert_eq!(
+            a.selected_features().unwrap(),
+            b.selected_features().unwrap()
+        );
     }
 
     #[test]

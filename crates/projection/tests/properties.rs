@@ -20,7 +20,9 @@ fn projectors(k: usize, seed: u64) -> Vec<Box<dyn Projector>> {
         Box::new(RandomSelectProjector::new(k, seed).expect("k >= 1")),
     ];
     for variant in JlVariant::all() {
-        out.push(Box::new(JlProjector::new(variant, k, seed).expect("k >= 1")));
+        out.push(Box::new(
+            JlProjector::new(variant, k, seed).expect("k >= 1"),
+        ));
     }
     out
 }

@@ -197,7 +197,12 @@ pub fn bps_schedule(costs: &[f64], t: usize, alpha: f64) -> Result<Assignment> {
     let mut loads = vec![0.0f64; t];
     for &task in &order {
         let w = (0..t)
-            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).expect("finite").then(a.cmp(&b)))
+            .min_by(|&a, &b| {
+                loads[a]
+                    .partial_cmp(&loads[b])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            })
             .expect("t >= 1");
         groups[w].push(task);
         loads[w] += weights[task];

@@ -193,7 +193,10 @@ impl ForestCostPredictor {
                 "cost predictor needs a non-empty training corpus".into(),
             ));
         }
-        if samples.iter().any(|s| s.seconds.is_nan() || s.seconds <= 0.0) {
+        if samples
+            .iter()
+            .any(|s| s.seconds.is_nan() || s.seconds <= 0.0)
+        {
             return Err(Error::InvalidParameter(
                 "cost samples must have positive timings".into(),
             ));
@@ -270,10 +273,7 @@ mod tests {
             TaskDescriptor::new(AlgorithmFamily::Knn, 10.0),
         ];
         let costs = model.predict_costs(&tasks, &m);
-        let max = costs
-            .iter()
-            .copied()
-            .fold(f64::MIN, f64::max);
+        let max = costs.iter().copied().fold(f64::MIN, f64::max);
         assert_eq!(costs[1], max);
     }
 
@@ -329,11 +329,7 @@ mod tests {
         let rb = suod_linalg::rank::average_ranks(b);
         let ma = suod_linalg::stats::mean(&ra);
         let mb = suod_linalg::stats::mean(&rb);
-        let cov: f64 = ra
-            .iter()
-            .zip(&rb)
-            .map(|(&x, &y)| (x - ma) * (y - mb))
-            .sum();
+        let cov: f64 = ra.iter().zip(&rb).map(|(&x, &y)| (x - ma) * (y - mb)).sum();
         let sa: f64 = ra.iter().map(|&x| (x - ma) * (x - ma)).sum::<f64>().sqrt();
         let sb: f64 = rb.iter().map(|&y| (y - mb) * (y - mb)).sum::<f64>().sqrt();
         cov / (sa * sb).max(1e-300)
@@ -375,6 +371,9 @@ mod tests {
         assert_eq!(v.len(), DatasetMeta::FEATURE_LEN + 2 + 12);
         assert_eq!(v[DatasetMeta::FEATURE_LEN], 7.0);
         assert_eq!(v[DatasetMeta::FEATURE_LEN + 1], 1.0); // default weight
-        assert_eq!(v[DatasetMeta::FEATURE_LEN + 2 + AlgorithmFamily::Abod.index()], 1.0);
+        assert_eq!(
+            v[DatasetMeta::FEATURE_LEN + 2 + AlgorithmFamily::Abod.index()],
+            1.0
+        );
     }
 }

@@ -9,7 +9,6 @@
 
 use crate::assignment::Assignment;
 use crate::{Error, Result};
-use parking_lot::Mutex;
 
 /// Executes closures across worker threads according to an [`Assignment`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,6 +22,10 @@ impl ThreadPoolExecutor {
 
     /// Runs `tasks` per `assignment`; `results[i]` corresponds to
     /// `tasks[i]` regardless of which worker ran it.
+    ///
+    /// Each worker accumulates `(index, output)` pairs in a private
+    /// buffer; the buffers are merged into task order after the join, so
+    /// there is no shared result table (and no lock) on the hot path.
     ///
     /// # Errors
     ///
@@ -46,9 +49,6 @@ impl ThreadPoolExecutor {
             )));
         }
         let n = tasks.len();
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        let slots = Mutex::new(slots);
 
         // Hand each worker its own (index, task) list.
         let mut per_worker: Vec<Vec<(usize, F)>> = assignment
@@ -64,26 +64,31 @@ impl ThreadPoolExecutor {
             }
         }
 
-        std::thread::scope(|scope| {
-            let slots = &slots;
+        let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .map(|work| {
                     scope.spawn(move || {
+                        let mut buffer = Vec::with_capacity(work.len());
                         for (i, task) in work {
-                            let out = task();
-                            slots.lock()[i] = Some(out);
+                            buffer.push((i, task()));
                         }
+                        buffer
                     })
                 })
                 .collect();
-            for h in handles {
-                h.join().expect("worker thread panicked");
-            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
         });
 
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (i, out) in buffers.into_iter().flatten() {
+            slots[i] = Some(out);
+        }
         Ok(slots
-            .into_inner()
             .into_iter()
             .map(|s| s.expect("every task produced a result"))
             .collect())
@@ -124,8 +129,9 @@ mod tests {
     fn works_with_bps_assignment() {
         let costs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
         let a = bps_schedule(&costs, 3, 1.0).unwrap();
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
-            (0usize..9).map(|i| Box::new(move || i + 100) as _).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0usize..9)
+            .map(|i| Box::new(move || i + 100) as _)
+            .collect();
         let out = ThreadPoolExecutor::new().run(tasks, &a).unwrap();
         assert_eq!(out, (100..109).collect::<Vec<_>>());
     }
@@ -134,10 +140,8 @@ mod tests {
     #[should_panic(expected = "worker thread panicked")]
     fn task_panic_propagates() {
         let a = generic_schedule(2, 2).unwrap();
-        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
-            Box::new(|| 1),
-            Box::new(|| panic!("task exploded")),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("task exploded"))];
         let _ = ThreadPoolExecutor::new().run(tasks, &a);
     }
 

@@ -21,6 +21,11 @@
 //! * [`assignment`] — generic / shuffled / BPS schedulers.
 //! * [`executor`] — a real thread-pool executor running one worker thread
 //!   per group.
+//! * [`work_stealing`] — a persistent pool whose per-worker deques are
+//!   seeded from the BPS placement; idle workers steal from the tail of
+//!   the most-loaded peer, and each run emits an
+//!   [`work_stealing::ExecutionReport`] (per-task wall time, per-worker
+//!   busy time, steal count).
 //! * [`simulate`] — a discrete-event executor computing exact worker
 //!   makespans from per-model costs. Used to reproduce the paper's
 //!   multi-worker timing tables on hosts with fewer physical cores (see
@@ -46,12 +51,14 @@ pub mod cost;
 pub mod executor;
 pub mod meta;
 pub mod simulate;
+pub mod work_stealing;
 
 pub use assignment::{bps_schedule, generic_schedule, shuffled_schedule, Assignment};
 pub use cost::{AnalyticCostModel, CostModel, ForestCostPredictor, TaskDescriptor};
 pub use executor::ThreadPoolExecutor;
 pub use meta::DatasetMeta;
 pub use simulate::{simulate_makespan, SimulationResult};
+pub use work_stealing::{ExecutionReport, WorkStealingExecutor};
 
 use std::fmt;
 

@@ -102,9 +102,7 @@ mod tests {
     fn bps_never_worse_than_generic_on_sorted_blocks() {
         // Heavy-first ordering (the pathological case for generic).
         for t in [2usize, 4, 8] {
-            let costs: Vec<f64> = (0..64)
-                .map(|i| if i < 16 { 20.0 } else { 1.0 })
-                .collect();
+            let costs: Vec<f64> = (0..64).map(|i| if i < 16 { 20.0 } else { 1.0 }).collect();
             let g = simulate_makespan(&costs, &generic_schedule(64, t).unwrap()).unwrap();
             let b = simulate_makespan(&costs, &bps_schedule(&costs, t, 1.0).unwrap()).unwrap();
             assert!(

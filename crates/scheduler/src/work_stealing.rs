@@ -1,0 +1,620 @@
+//! Work-stealing execution on top of BPS placement.
+//!
+//! The paper's BPS module (§3.5) is a *static* schedule: it forecasts
+//! per-model cost, balances discounted-rank sums, and then each worker
+//! runs its group to completion. When the cost model mispredicts a
+//! straggler — the exact failure mode the Spearman-validated predictor
+//! cannot fully remove — every other worker goes idle while one grinds.
+//!
+//! [`WorkStealingExecutor`] keeps the paper's placement as the *initial
+//! hint*: per-worker deques are seeded from the [`Assignment`] in group
+//! order, so with a perfect cost model execution is identical to the
+//! static schedule. Whenever a worker drains its own deque it steals one
+//! task from the **tail** of the most-loaded peer (the tail holds the
+//! peer's latest-scheduled — under LPT, cheapest — work, which minimizes
+//! disruption of the placement).
+//!
+//! Two properties the rest of the workspace relies on:
+//!
+//! * **Determinism of results.** Every task runs exactly once and results
+//!   are merged back into task order from per-worker buffers, so the
+//!   output vector is independent of which worker ran what and of the
+//!   steal interleaving. Only timing varies.
+//! * **Telemetry.** Each run emits an [`ExecutionReport`] (per-task wall
+//!   time, per-worker busy time, steal count) so the cost model's
+//!   forecasts can be validated against *measured* runtimes with the
+//!   Spearman machinery in `suod-metrics`.
+//!
+//! Unlike [`ThreadPoolExecutor`](crate::executor::ThreadPoolExecutor),
+//! the pool threads are **persistent**: one executor can serve many
+//! `run` calls (e.g. a fit followed by thousands of predict batches)
+//! without respawning OS threads. Tasks must therefore be `'static`
+//! (move their inputs, e.g. via `Arc`).
+
+use crate::assignment::Assignment;
+use crate::{Error, Result};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Telemetry from one [`WorkStealingExecutor::run_with_report`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Measured wall time of each task, indexed like the input task list.
+    pub task_times: Vec<Duration>,
+    /// Sum of task times executed by each worker.
+    pub worker_busy: Vec<Duration>,
+    /// Number of tasks each worker executed.
+    pub worker_tasks: Vec<usize>,
+    /// Total successful steals across the run.
+    pub steals: usize,
+    /// End-to-end wall time of the batch.
+    pub wall_time: Duration,
+}
+
+impl ExecutionReport {
+    /// Per-task measured runtimes in seconds — the "true cost" vector to
+    /// correlate against the scheduler's forecasts (e.g. with
+    /// `suod_metrics::spearman`).
+    pub fn task_seconds(&self) -> Vec<f64> {
+        self.task_times.iter().map(Duration::as_secs_f64).collect()
+    }
+
+    /// Mean worker utilization: busy time over `workers * wall_time`.
+    /// 1.0 means no worker ever idled.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall <= 0.0 || self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let busy: f64 = self.worker_busy.iter().map(Duration::as_secs_f64).sum();
+        (busy / (wall * self.worker_busy.len() as f64)).min(1.0)
+    }
+}
+
+/// What one worker accumulated during a batch.
+struct WorkerLog<T> {
+    /// `(task index, output, task wall time)` triples, in execution order.
+    out: Vec<(usize, T, Duration)>,
+    busy: Duration,
+    steals: usize,
+}
+
+impl<T> Default for WorkerLog<T> {
+    fn default() -> Self {
+        WorkerLog {
+            out: Vec::new(),
+            busy: Duration::ZERO,
+            steals: 0,
+        }
+    }
+}
+
+/// Type-erased batch the persistent workers execute.
+trait BatchExec: Send + Sync {
+    fn execute(&self, worker: usize);
+}
+
+/// One submitted batch: tasks, per-worker deques, per-worker logs.
+struct Batch<F, T> {
+    /// Task cells; the deque protocol guarantees each is taken once.
+    tasks: Vec<Mutex<Option<F>>>,
+    /// Per-worker deques of task indices. Owners pop from the front,
+    /// thieves steal from the back.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Tasks not yet finished (including in-flight).
+    remaining: AtomicUsize,
+    /// Per-worker result buffers — no shared result table.
+    logs: Vec<Mutex<WorkerLog<T>>>,
+    /// First panic payload from a task, propagated to the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panicked: AtomicBool,
+}
+
+impl<F, T> Batch<F, T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    /// Pops work for `worker`: its own front first, then the tail of the
+    /// most-loaded peer. Returns `(index, was_steal)`.
+    fn find_work(&self, worker: usize) -> Option<(usize, bool)> {
+        if let Some(i) = self.queues[worker]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_front()
+        {
+            return Some((i, false));
+        }
+        // Pick the currently longest peer queue. The length probe is
+        // racy by design: stealing needs only a heuristic victim.
+        let victim = (0..self.queues.len())
+            .filter(|&w| w != worker)
+            .map(|w| (self.queues[w].lock().expect("queue lock poisoned").len(), w))
+            .max()
+            .filter(|&(len, _)| len > 0)
+            .map(|(_, w)| w)?;
+        self.queues[victim]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_back()
+            .map(|i| (i, true))
+    }
+}
+
+impl<F, T> BatchExec for Batch<F, T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    fn execute(&self, worker: usize) {
+        let mut log = WorkerLog::default();
+        loop {
+            if self.panicked.load(Ordering::Acquire) {
+                break;
+            }
+            let Some((index, stolen)) = self.find_work(worker) else {
+                if self.remaining.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                // Peers still have tasks in flight; nothing to steal yet.
+                std::thread::sleep(Duration::from_micros(50));
+                continue;
+            };
+            if stolen {
+                log.steals += 1;
+            }
+            let task = self.tasks[index]
+                .lock()
+                .expect("task lock poisoned")
+                .take()
+                .expect("deque protocol hands out each task once");
+            let start = Instant::now();
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(out) => {
+                    let elapsed = start.elapsed();
+                    log.out.push((index, out, elapsed));
+                    log.busy += elapsed;
+                    self.remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+                Err(payload) => {
+                    let mut slot = self.panic.lock().expect("panic lock poisoned");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    self.panicked.store(true, Ordering::Release);
+                    self.remaining.fetch_sub(1, Ordering::AcqRel);
+                    break;
+                }
+            }
+        }
+        *self.logs[worker].lock().expect("log lock poisoned") = log;
+    }
+}
+
+/// Coordination state between the submitter and the persistent workers.
+struct PoolState {
+    /// The batch currently being executed, if any.
+    batch: Option<Arc<dyn BatchExec>>,
+    /// Bumped per submission so workers join each batch exactly once.
+    epoch: u64,
+    /// Workers that finished the current epoch.
+    done: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    batch_done: Condvar,
+}
+
+/// A persistent work-stealing thread pool seeded from BPS placements.
+///
+/// See the [module docs](self) for the design. Construct once, reuse for
+/// every fit/predict batch; threads are joined on drop.
+///
+/// # Example
+///
+/// ```
+/// use suod_scheduler::assignment::bps_schedule;
+/// use suod_scheduler::work_stealing::WorkStealingExecutor;
+///
+/// let pool = WorkStealingExecutor::new(2).unwrap();
+/// let costs = [4.0, 1.0, 1.0, 1.0];
+/// let assignment = bps_schedule(&costs, 2, 1.0).unwrap();
+/// let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+///     (0usize..4).map(|i| Box::new(move || i * 10) as _).collect();
+/// let (results, report) = pool.run_with_report(tasks, &assignment).unwrap();
+/// assert_eq!(results, vec![0, 10, 20, 30]);
+/// assert_eq!(report.task_times.len(), 4);
+/// ```
+pub struct WorkStealingExecutor {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes `run` calls: one batch occupies the pool at a time.
+    submit: Mutex<()>,
+    n_workers: usize,
+}
+
+impl std::fmt::Debug for WorkStealingExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingExecutor")
+            .field("n_workers", &self.n_workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkStealingExecutor {
+    /// Spawns a pool of `n_workers` persistent worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Result<Self> {
+        if n_workers == 0 {
+            return Err(Error::InvalidParameter(
+                "work-stealing pool needs at least 1 worker".into(),
+            ));
+        }
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                batch: None,
+                epoch: 0,
+                done: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+        });
+        let handles = (0..n_workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("suod-steal-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            handles,
+            submit: Mutex::new(()),
+            n_workers,
+        })
+    }
+
+    /// Number of persistent workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Runs `tasks`, seeding per-worker deques from `assignment`, and
+    /// returns results **in task order** plus the run's telemetry.
+    ///
+    /// Worker `w`'s deque is seeded with assignment group `w` in group
+    /// order (groups beyond the pool size wrap around). Idle workers
+    /// steal from the tail of the most-loaded peer, so a mispredicted
+    /// straggler no longer gates the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when the assignment does not
+    /// cover exactly `tasks.len()` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panicking task's payload (remaining tasks may
+    /// be abandoned; the pool itself stays usable).
+    pub fn run_with_report<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+    ) -> Result<(Vec<T>, ExecutionReport)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if assignment.n_tasks() != tasks.len() {
+            return Err(Error::BadAssignment(format!(
+                "assignment covers {} tasks but {} were provided",
+                assignment.n_tasks(),
+                tasks.len()
+            )));
+        }
+        let n = tasks.len();
+        if n == 0 {
+            return Ok((
+                Vec::new(),
+                ExecutionReport {
+                    worker_busy: vec![Duration::ZERO; self.n_workers],
+                    worker_tasks: vec![0; self.n_workers],
+                    ..ExecutionReport::default()
+                },
+            ));
+        }
+
+        // Seed deques from the assignment: the static placement is the
+        // initial hint; stealing only reshuffles when it mispredicts.
+        let mut queues: Vec<VecDeque<usize>> =
+            (0..self.n_workers).map(|_| VecDeque::new()).collect();
+        for (g, group) in assignment.groups().iter().enumerate() {
+            queues[g % self.n_workers].extend(group.iter().copied());
+        }
+
+        let batch: Arc<Batch<F, T>> = Arc::new(Batch {
+            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            remaining: AtomicUsize::new(n),
+            logs: (0..self.n_workers)
+                .map(|_| Mutex::new(WorkerLog::default()))
+                .collect(),
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+        });
+
+        let start = Instant::now();
+        // Poisoning is recoverable here: the guard only serializes
+        // submissions, and a previous batch's task panic (re-raised below
+        // while this lock was held) must not brick the pool.
+        let _guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.batch = Some(Arc::clone(&batch) as Arc<dyn BatchExec>);
+            state.epoch += 1;
+            state.done = 0;
+            self.shared.work_ready.notify_all();
+        }
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            while state.done < self.n_workers {
+                state = self
+                    .shared
+                    .batch_done
+                    .wait(state)
+                    .expect("pool state poisoned");
+            }
+            state.batch = None;
+        }
+        let wall_time = start.elapsed();
+
+        if let Some(payload) = batch.panic.lock().expect("panic lock poisoned").take() {
+            resume_unwind(payload);
+        }
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let mut report = ExecutionReport {
+            task_times: vec![Duration::ZERO; n],
+            worker_busy: vec![Duration::ZERO; self.n_workers],
+            worker_tasks: vec![0; self.n_workers],
+            steals: 0,
+            wall_time,
+        };
+        for (w, log) in batch.logs.iter().enumerate() {
+            let log = std::mem::take(&mut *log.lock().expect("log lock poisoned"));
+            report.worker_busy[w] = log.busy;
+            report.worker_tasks[w] = log.out.len();
+            report.steals += log.steals;
+            for (i, out, elapsed) in log.out {
+                report.task_times[i] = elapsed;
+                slots[i] = Some(out);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every task produced a result"))
+            .collect();
+        Ok((results, report))
+    }
+
+    /// Like [`run_with_report`](Self::run_with_report), discarding the
+    /// telemetry. Drop-in replacement for
+    /// [`ThreadPoolExecutor::run`](crate::executor::ThreadPoolExecutor::run)
+    /// for `'static` tasks.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with_report`](Self::run_with_report).
+    pub fn run<T, F>(&self, tasks: Vec<F>, assignment: &Assignment) -> Result<Vec<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_with_report(tasks, assignment).map(|(r, _)| r)
+    }
+}
+
+impl Drop for WorkStealingExecutor {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            state.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen_epoch {
+                    if let Some(batch) = state.batch.clone() {
+                        seen_epoch = state.epoch;
+                        break batch;
+                    }
+                }
+                state = shared.work_ready.wait(state).expect("pool state poisoned");
+            }
+        };
+        batch.execute(worker);
+        drop(batch);
+        let mut state = shared.state.lock().expect("pool state poisoned");
+        state.done += 1;
+        shared.batch_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{bps_schedule, generic_schedule};
+    use std::sync::atomic::AtomicUsize;
+
+    fn boxed_tasks(n: usize) -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+        (0..n).map(|i| Box::new(move || i * i) as _).collect()
+    }
+
+    #[test]
+    fn results_in_task_order() {
+        let pool = WorkStealingExecutor::new(3).unwrap();
+        let a = generic_schedule(10, 3).unwrap();
+        let out = pool.run(boxed_tasks(10), &a).unwrap();
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        for round in 0..20 {
+            let a = generic_schedule(6, 2).unwrap();
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..6).map(|i| Box::new(move || i + round) as _).collect();
+            let out = pool.run(tasks, &a).unwrap();
+            assert_eq!(out, (0..6).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkStealingExecutor::new(4).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..25)
+            .map(|_| {
+                Box::new(|| {
+                    COUNTER.fetch_add(1, Ordering::SeqCst);
+                }) as _
+            })
+            .collect();
+        let a = generic_schedule(25, 4).unwrap();
+        pool.run(tasks, &a).unwrap();
+        assert_eq!(COUNTER.load(Ordering::SeqCst), 25);
+    }
+
+    #[test]
+    fn report_accounts_every_task_and_worker() {
+        let pool = WorkStealingExecutor::new(3).unwrap();
+        let a = generic_schedule(9, 3).unwrap();
+        let (_, report) = pool.run_with_report(boxed_tasks(9), &a).unwrap();
+        assert_eq!(report.task_times.len(), 9);
+        assert_eq!(report.worker_busy.len(), 3);
+        assert_eq!(report.worker_tasks.iter().sum::<usize>(), 9);
+        assert_eq!(report.task_seconds().len(), 9);
+        assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    }
+
+    /// The straggler regression the static schedule cannot fix: a
+    /// deliberately wrong cost vector plants one 50x task alongside the
+    /// bulk of the cheap ones on the same worker. Stealing must (a) run
+    /// every task exactly once, (b) keep results in task order, and (c)
+    /// actually steal.
+    #[test]
+    fn straggler_under_wrong_costs_triggers_steals() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let n = 17;
+        // Wrong forecast: claims task 0 is only 2x the rest when it is
+        // really ~50x. BPS trusts the forecast, places task 0 first on one
+        // worker and balances the cheap tasks behind it — so that worker's
+        // deque holds cheap work the idle peer must steal.
+        let mut wrong_costs = vec![1.0; n];
+        wrong_costs[0] = 2.0;
+        let assignment = bps_schedule(&wrong_costs, 2, 1.0).unwrap();
+
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..n)
+            .map(|i| {
+                Box::new(move || {
+                    RUNS.fetch_add(1, Ordering::SeqCst);
+                    // Task 0 is really ~50x the rest.
+                    let ms = if i == 0 { 100 } else { 2 };
+                    std::thread::sleep(Duration::from_millis(ms));
+                    i
+                }) as _
+            })
+            .collect();
+
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let (out, report) = pool.run_with_report(tasks, &assignment).unwrap();
+        assert_eq!(out, (0..n).collect::<Vec<_>>(), "results in task order");
+        assert_eq!(RUNS.load(Ordering::SeqCst), n, "every task exactly once");
+        assert!(
+            report.steals > 0,
+            "idle worker should have stolen from the straggler's deque: {report:?}"
+        );
+        assert_eq!(report.task_times.iter().filter(|t| t.is_zero()).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "task exploded")]
+    fn task_panic_propagates_and_pool_survives() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(2, 2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("task exploded"))];
+        let _ = pool.run(tasks, &a);
+    }
+
+    #[test]
+    fn pool_usable_after_task_panic() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(2, 2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("first batch dies"))];
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.run(tasks, &a))).is_err());
+        // The pool must still execute subsequent batches.
+        let a = generic_schedule(4, 2).unwrap();
+        let out = pool.run(boxed_tasks(4), &a).unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn mismatched_assignment_rejected() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(3, 1).unwrap();
+        assert!(pool.run(boxed_tasks(2), &a).is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(WorkStealingExecutor::new(0).is_err());
+    }
+
+    #[test]
+    fn more_groups_than_workers_wraps() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(8, 4).unwrap();
+        let out = pool.run(boxed_tasks(8), &a).unwrap();
+        assert_eq!(out, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_everything_without_steals() {
+        let pool = WorkStealingExecutor::new(1).unwrap();
+        let a = generic_schedule(5, 1).unwrap();
+        let (out, report) = pool.run_with_report(boxed_tasks(5), &a).unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.worker_tasks, vec![5]);
+    }
+}

@@ -101,7 +101,9 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![100.0]]).unwrap();
         let mut m = KnnRegressor::new(2).unwrap();
         m.fit(&x, &[0.0, 2.0, 50.0]).unwrap();
-        let p = m.predict(&Matrix::from_rows(&[vec![0.5]]).unwrap()).unwrap();
+        let p = m
+            .predict(&Matrix::from_rows(&[vec![0.5]]).unwrap())
+            .unwrap();
         assert_eq!(p, vec![1.0]);
     }
 

@@ -1,5 +1,4 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the papers' pseudocode in numeric kernels
-
 #![warn(missing_docs)]
 //! Supervised regressors for the SUOD reproduction.
 //!

@@ -134,7 +134,11 @@ impl DecisionTreeRegressor {
                     left,
                     right,
                 } => {
-                    idx = if row[feature] <= threshold { left } else { right };
+                    idx = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -234,9 +238,7 @@ impl DecisionTreeRegressor {
                 let sumsq_right = total_sumsq - sumsq_left;
                 let sse_right = sumsq_right - sum_right * sum_right / n_right as f64;
                 let gain = parent_sse - sse_left - sse_right;
-                if gain > 1e-12 * n
-                    && best.is_none_or(|(_, _, bg)| gain > bg)
-                {
+                if gain > 1e-12 * n && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((f, 0.5 * (v + v_next), gain));
                 }
             }

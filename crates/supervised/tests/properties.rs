@@ -18,12 +18,7 @@ fn regression_problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
                 let y: Vec<f64> = x
                     .rows_iter()
                     .map(|row| {
-                        intercept
-                            + row
-                                .iter()
-                                .zip(&coefs)
-                                .map(|(&v, &c)| v * c)
-                                .sum::<f64>()
+                        intercept + row.iter().zip(&coefs).map(|(&v, &c)| v * c).sum::<f64>()
                     })
                     .collect();
                 (x, y)

@@ -76,10 +76,7 @@ fn all_module_combinations_work_and_detect() {
         clf.fit(&ds.x).unwrap();
         let scores = clf.combined_scores(&ds.x).unwrap();
         let auc = roc_auc(&ds.y, &scores).unwrap();
-        assert!(
-            auc > 0.55,
-            "rp={rp} psa={psa} bps={bps}: train AUC {auc}"
-        );
+        assert!(auc > 0.55, "rp={rp} psa={psa} bps={bps}: train AUC {auc}");
     }
 }
 
@@ -94,11 +91,17 @@ fn random_pool_from_grid_runs_end_to_end() {
             ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
                 n_neighbors: n_neighbors.min(20),
             },
-            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+            ModelSpec::Knn {
+                n_neighbors,
+                method,
+            } => ModelSpec::Knn {
                 n_neighbors: n_neighbors.min(20),
                 method,
             },
-            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => ModelSpec::Lof {
                 n_neighbors: n_neighbors.min(20),
                 metric,
             },

@@ -86,10 +86,9 @@ fn bps_reduces_simulated_makespan_on_grouped_pool() {
     let predicted = AnalyticCostModel::new().predict_costs(&tasks, &meta);
 
     for t in [2usize, 4] {
-        let generic = simulate_makespan(&measured, &generic_schedule(pool.len(), t).unwrap())
-            .unwrap();
-        let bps =
-            simulate_makespan(&measured, &bps_schedule(&predicted, t, 1.0).unwrap()).unwrap();
+        let generic =
+            simulate_makespan(&measured, &generic_schedule(pool.len(), t).unwrap()).unwrap();
+        let bps = simulate_makespan(&measured, &bps_schedule(&predicted, t, 1.0).unwrap()).unwrap();
         assert!(
             bps.makespan <= generic.makespan * 1.05,
             "t={t}: BPS {} vs generic {}",

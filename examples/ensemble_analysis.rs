@@ -27,11 +27,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ModelSpec::Abod { n_neighbors } => ModelSpec::Abod {
                 n_neighbors: n_neighbors.min(30),
             },
-            ModelSpec::Knn { n_neighbors, method } => ModelSpec::Knn {
+            ModelSpec::Knn {
+                n_neighbors,
+                method,
+            } => ModelSpec::Knn {
                 n_neighbors: n_neighbors.min(30),
                 method,
             },
-            ModelSpec::Lof { n_neighbors, metric } => ModelSpec::Lof {
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => ModelSpec::Lof {
                 n_neighbors: n_neighbors.min(30),
                 metric,
             },
@@ -69,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let auc_avg = roc_auc(&split.y_test, &avg)?;
     let auc_moa = roc_auc(&split.y_test, &moa)?;
 
-    println!("\nsingle-model test ROC range : {:.3} .. {:.3}", per_model[0], per_model[per_model.len() - 1]);
+    println!(
+        "\nsingle-model test ROC range : {:.3} .. {:.3}",
+        per_model[0],
+        per_model[per_model.len() - 1]
+    );
     println!(
         "single-model test ROC median: {:.3}",
         per_model[per_model.len() / 2]

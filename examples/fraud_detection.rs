@@ -85,9 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SIU routing: how good is the top-of-queue the investigators see?
     for budget in [50usize, 200, 500] {
         let (precision, recall) = precision_recall_at_k(&split.y_test, &scores, budget)?;
-        println!(
-            "top-{budget:>4} queue: precision {precision:.3}, recall {recall:.3}"
-        );
+        println!("top-{budget:>4} queue: precision {precision:.3}, recall {recall:.3}");
     }
     Ok(())
 }

@@ -99,10 +99,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  LSCP-MOA ROC: {:.4}", roc_auc(&split.y_test, &lscp)?);
 
     // --- 3. XGBOD: spend the labels when you have them. -------------------
-    let mut xgbod = Xgbod::new(
-        Suod::builder().base_estimators(pool()).seed(17),
-        60,
-    )?;
+    let mut xgbod = Xgbod::new(Suod::builder().base_estimators(pool()).seed(17), 60)?;
     xgbod.fit(&split.x_train, &split.y_train)?;
     let supervised = xgbod.decision_function(&split.x_test)?;
     println!(

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ds.n_samples(),
         d
     );
-    println!("{:<10} {:>9} {:>8} {:>8}", "method", "time(s)", "ROC", "P@N");
+    println!(
+        "{:<10} {:>9} {:>8} {:>8}",
+        "method", "time(s)", "ROC", "P@N"
+    );
 
     let mut projectors: Vec<Box<dyn Projector>> = vec![
         Box::new(IdentityProjector::new()),

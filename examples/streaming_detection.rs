@@ -97,7 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let hits = anomaly_ticks.iter().filter(|t| flagged.contains(t)).count();
-    println!("\ndetected {hits}/{} injected anomalies; {} total flags", anomaly_ticks.len(), flagged.len());
+    println!(
+        "\ndetected {hits}/{} injected anomalies; {} total flags",
+        anomaly_ticks.len(),
+        flagged.len()
+    );
     println!("(the t=600 drift itself may flag briefly, then the window absorbs it)");
     Ok(())
 }
