@@ -113,6 +113,26 @@ fn pool(m_each: usize) -> Vec<ModelSpec> {
     specs
 }
 
+/// A proximity-only pool sharing one (unprojected) input: the workload
+/// the shared neighbour-graph cache exists for. 24 detectors = 8 k-values
+/// x {kNN, LOF, LoOP}; uncached, each pays its own KD-tree build + sweep.
+fn proximity_pool() -> Vec<ModelSpec> {
+    let mut specs = Vec::new();
+    for i in 0..8 {
+        let k = 5 + 2 * i;
+        specs.push(ModelSpec::Knn {
+            n_neighbors: k,
+            method: KnnMethod::Largest,
+        });
+        specs.push(ModelSpec::Lof {
+            n_neighbors: k,
+            metric: Metric::Euclidean,
+        });
+        specs.push(ModelSpec::Loop { n_neighbors: k });
+    }
+    specs
+}
+
 fn main() {
     let scale = Scale::from_args();
     let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -198,6 +218,51 @@ fn main() {
     }
     println!();
 
+    // --- Neighbor-cache pool fit: cached vs uncached. ----------------------
+    // >= 20 proximity detectors sharing one unprojected input. Uncached,
+    // every model pays its own KD-tree build + leave-one-out sweep; cached,
+    // the Euclidean group builds once at the pooled k_max and everyone else
+    // gets a prefix view.
+    let cache_n = scale.pick(400, 1200, 2400);
+    let cache_x = random_matrix(cache_n, 12, 8);
+    let cache_pool_size = proximity_pool().len();
+    let cache_fit = |cache_on: bool, t: usize| -> (f64, u64, u64) {
+        let mut counters = (0u64, 0u64);
+        let secs = min_time(|| {
+            let mut model = Suod::builder()
+                .base_estimators(proximity_pool())
+                .with_projection(false)
+                .with_approximation(false)
+                .with_neighbor_cache(cache_on)
+                .n_workers(t)
+                .seed(9)
+                .build()
+                .expect("valid config");
+            model.fit(&cache_x).expect("fit succeeds");
+            let report = model.fit_report().expect("fit emits telemetry");
+            counters = (report.cache_hits, report.cache_misses);
+        });
+        (secs, counters.0, counters.1)
+    };
+    let mut cached_times: Vec<(usize, f64)> = Vec::new();
+    let mut uncached_times: Vec<(usize, f64)> = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for &t in THREADS {
+        let (off_s, _, _) = cache_fit(false, t);
+        let (on_s, hits, misses) = cache_fit(true, t);
+        uncached_times.push((t, off_s));
+        cached_times.push((t, on_s));
+        cache_hits = hits;
+        cache_misses = misses;
+        println!(
+            "cache pool fit n={cache_n} m={cache_pool_size} {t}T   \
+             uncached {off_s:>9.4}s  cached {on_s:>9.4}s  ({:.2}x, \
+             {hits} hits/{misses} misses)",
+            off_s / on_s
+        );
+    }
+
     // --- Report. -----------------------------------------------------------
     let json = format!(
         "{{\n  \"host_cores\": {host_cores},\n  \"scale\": \"{scale:?}\",\n  \"kernels\": {{\n    \
@@ -205,9 +270,16 @@ fn main() {
          \"knn_batch_{knn_n}x{knn_q}\": {knn}\n  }},\n  \"executor_straggler_m16_t4\": {{\n    \
          \"static_s\": {static_s:.6},\n    \"stealing_s\": {stealing_s:.6},\n    \
          \"steals\": {steals}\n  }},\n  \"end_to_end_n{n}\": {{\n    \"fit\": {},\n    \
-         \"predict\": {}\n  }}\n}}\n",
+         \"predict\": {}\n  }},\n  \"neighbor_cache_pool_fit_n{cache_n}\": {{\n    \
+         \"pool\": {{\"total\": {cache_pool_size}, \"knn\": 8, \"lof\": 8, \"loop\": 8}},\n    \
+         \"uncached_fit\": {},\n    \"cached_fit\": {},\n    \
+         \"speedup_t1\": {:.4},\n    \"cache_hits\": {cache_hits},\n    \
+         \"cache_misses\": {cache_misses}\n  }}\n}}\n",
         times_json(&fit_times),
         times_json(&predict_times),
+        times_json(&uncached_times),
+        times_json(&cached_times),
+        uncached_times[0].1 / cached_times[0].1,
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");

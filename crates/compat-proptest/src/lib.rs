@@ -214,7 +214,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::TestRng;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
     pub trait IntoLenRange {
         /// Draws a concrete length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;
@@ -244,7 +244,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         element: S,

@@ -207,6 +207,34 @@ impl ModelSpec {
         TaskDescriptor::new(self.family(), self.knob()).with_weight(weight)
     }
 
+    /// The leave-one-out neighbourhood this spec's fit consumes, as
+    /// `(metric, k)`, or `None` for non-proximity families.
+    ///
+    /// This is what `Suod::fit` pre-registers with the shared
+    /// [`NeighborCache`](suod_linalg::NeighborCache) (pass 1 of the
+    /// two-pass plan): every proximity model on the same feature space
+    /// contributes its `k`, the cache builds once at the pooled maximum,
+    /// and each fit then reads an exact prefix. The metric must match the
+    /// one the detector's `fit_with_context` actually queries with —
+    /// kNN/LOF carry a configurable metric, ABOD/LoOP/COF are
+    /// Euclidean-only by construction.
+    pub fn neighbor_requirement(&self) -> Option<(DistanceMetric, usize)> {
+        match *self {
+            // KnnDetector queries at raw `k` (the index clamps
+            // internally); the cache applies the same `min(k, n - 1)`
+            // clamp, so registering raw k is exact.
+            ModelSpec::Knn { n_neighbors, .. } => Some((DistanceMetric::Euclidean, n_neighbors)),
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => Some((metric, n_neighbors)),
+            ModelSpec::Abod { n_neighbors }
+            | ModelSpec::Loop { n_neighbors }
+            | ModelSpec::Cof { n_neighbors } => Some((DistanceMetric::Euclidean, n_neighbors)),
+            _ => None,
+        }
+    }
+
     /// Whether this spec belongs to the costly pool `M_c` that PSA
     /// replaces at prediction time (§3.4): everything except the cheap
     /// subspace methods HBOS and Isolation Forest.

@@ -20,10 +20,11 @@
 use crate::pseudo::{fit_approximator, ApproxSpec};
 use crate::spec::ModelSpec;
 use crate::{Error, Result};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use suod_detectors::Detector;
-use suod_linalg::Matrix;
+use suod_detectors::{Detector, FitContext};
+use suod_linalg::{DataFingerprint, DistanceMetric, Matrix, NeighborCache};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
@@ -54,6 +55,7 @@ pub struct SuodBuilder {
     cost_model: Arc<dyn CostModel>,
     contamination: f64,
     seed: u64,
+    neighbor_cache_enabled: bool,
 }
 
 impl Default for SuodBuilder {
@@ -72,6 +74,7 @@ impl Default for SuodBuilder {
             cost_model: Arc::new(AnalyticCostModel::new()),
             contamination: 0.1,
             seed: 0,
+            neighbor_cache_enabled: true,
         }
     }
 }
@@ -145,6 +148,19 @@ impl SuodBuilder {
     /// Replaces the cost model used by BPS (default: analytic).
     pub fn cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Enables/disables the shared neighbour-graph cache (default on).
+    ///
+    /// When on, `fit` groups proximity models (kNN, LOF, LoOP, COF, ABOD)
+    /// by feature space and distance metric, builds each group's
+    /// [`KnnIndex`](suod_linalg::KnnIndex) and leave-one-out neighbour
+    /// sweep **once** at the pooled maximum `k`, and serves every member
+    /// an exact sorted-prefix view. Scores are bit-identical either way —
+    /// the switch exists for benchmarking and as an escape hatch.
+    pub fn with_neighbor_cache(mut self, enabled: bool) -> Self {
+        self.neighbor_cache_enabled = enabled;
         self
     }
 
@@ -299,8 +315,11 @@ impl Suod {
         ((d as f64 * self.config.rp_target_fraction).ceil() as usize).clamp(1, d)
     }
 
-    /// Builds the fit (or predict) assignment over the model pool.
-    fn schedule(&self, x_meta: &DatasetMeta) -> Result<Assignment> {
+    /// Builds the fit assignment over the model pool. `cached_flags[i]`
+    /// marks models whose neighbour graph is a shared-cache hit: their
+    /// descriptors carry the flag so the cost model stops forecasting the
+    /// `O(n^2 d)` index build BPS would otherwise balance against.
+    fn schedule(&self, x_meta: &DatasetMeta, cached_flags: &[bool]) -> Result<Assignment> {
         let m = self.config.base_estimators.len();
         let t = self.config.n_workers;
         if t <= 1 {
@@ -311,7 +330,8 @@ impl Suod {
                 .config
                 .base_estimators
                 .iter()
-                .map(|s| s.task_descriptor())
+                .zip(cached_flags)
+                .map(|(s, &cached)| s.task_descriptor().with_cached_neighbors(cached))
                 .collect();
             let costs = self.config.cost_model.predict_costs(&tasks, x_meta);
             Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
@@ -353,8 +373,56 @@ impl Suod {
             }
         }
 
-        // --- BPS + fit execution. -------------------------------------------
-        let assignment = self.schedule(&meta)?;
+        // --- Neighbor-cache plan (pass 1 of the two-pass fit). --------------
+        // Scan the specs to find which proximity models share a feature
+        // space and metric, pre-register each group's k so the cache's
+        // first build covers the pooled maximum, and pick one "builder"
+        // per group for the cost model (everyone else is a near-free
+        // cache hit).
+        let cache: Option<Arc<NeighborCache>> = self
+            .config
+            .neighbor_cache_enabled
+            .then(|| Arc::new(NeighborCache::new()));
+        let m = self.n_models();
+        let mut fingerprints: Vec<Option<DataFingerprint>> = vec![None; m];
+        let mut cached_flags = vec![false; m];
+        // Worker budget for the graph builds: groups build concurrently on
+        // the executor, so splitting the pool across them keeps a lone
+        // group's sweep parallel without oversubscribing many groups.
+        let mut fit_threads = 1usize;
+        if let Some(cache) = &cache {
+            let mut fp_by_space: HashMap<usize, DataFingerprint> = HashMap::new();
+            let mut groups: HashMap<(DataFingerprint, u8, u64), Vec<(usize, usize)>> =
+                HashMap::new();
+            for (i, spec) in self.config.base_estimators.iter().enumerate() {
+                if let Some((metric, k)) = spec.neighbor_requirement() {
+                    let ptr = Arc::as_ptr(&spaces[i]) as usize;
+                    let fp = *fp_by_space
+                        .entry(ptr)
+                        .or_insert_with(|| DataFingerprint::of(&spaces[i]));
+                    cache.register(fp, metric, k);
+                    fingerprints[i] = Some(fp);
+                    let (tag, bits) = metric_key(metric);
+                    let k_eff = k.min(x.nrows().saturating_sub(1));
+                    groups.entry((fp, tag, bits)).or_default().push((i, k_eff));
+                }
+            }
+            for members in groups.values() {
+                // Builder = largest effective k (ties break to the lowest
+                // model index, matching the cache's widen-to-max rule).
+                let &(builder, _) = members
+                    .iter()
+                    .max_by_key(|&&(i, k)| (k, std::cmp::Reverse(i)))
+                    .expect("groups are non-empty by construction");
+                for &(i, _) in members {
+                    cached_flags[i] = i != builder;
+                }
+            }
+            fit_threads = (self.config.n_workers / groups.len().max(1)).max(1);
+        }
+
+        // --- BPS + fit execution (pass 2). ----------------------------------
+        let assignment = self.schedule(&meta, &cached_flags)?;
         type FitOutput =
             std::result::Result<(Box<dyn Detector>, Vec<f64>, Duration), suod_detectors::Error>;
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<FitOutput> + Send>> = Vec::new();
@@ -362,10 +430,16 @@ impl Suod {
             let spec = *spec;
             let seed = self.model_seed(i);
             let psi = Arc::clone(&spaces[i]);
+            let ctx = match &cache {
+                Some(c) if fingerprints[i].is_some() => {
+                    FitContext::cached(Arc::clone(c), fingerprints[i], fit_threads)
+                }
+                _ => FitContext::standalone(fit_threads),
+            };
             tasks.push(Box::new(move || {
                 let mut det = spec.build(seed)?;
                 let start = Instant::now();
-                match det.fit(&psi) {
+                match det.fit_with_context(&psi, &ctx) {
                     Ok(()) => {
                         let elapsed = start.elapsed();
                         let scores = det.training_scores()?;
@@ -376,7 +450,13 @@ impl Suod {
             }));
         }
         let executor = self.executor_for_run()?;
-        let (outputs, report) = executor.run_with_report(tasks, &assignment)?;
+        let (outputs, mut report) = executor.run_with_report(tasks, &assignment)?;
+        if let Some(cache) = &cache {
+            let stats = cache.stats();
+            report.cache_hits = stats.hits;
+            report.cache_misses = stats.misses;
+            report.cache_build_time = stats.build_time;
+        }
         self.fit_report = Some(report);
 
         let mut models: Vec<FittedModel> = Vec::with_capacity(outputs.len());
@@ -461,9 +541,10 @@ impl Suod {
     }
 
     /// Execution telemetry (per-task wall time, per-worker busy time,
-    /// steal count) from the most recent [`fit`](Self::fit). The per-task
-    /// times are the *measured* cost vector: correlate them with the cost
-    /// model's forecasts (e.g. `suod_metrics::spearman`) to validate the
+    /// steal count, neighbour-cache hit/miss/build-time counters) from
+    /// the most recent [`fit`](Self::fit). The per-task times are the
+    /// *measured* cost vector: correlate them with the cost model's
+    /// forecasts (e.g. `suod_metrics::spearman`) to validate the
     /// scheduler the way the paper validates its cost predictor.
     pub fn fit_report(&self) -> Option<&ExecutionReport> {
         self.fit_report.as_ref()
@@ -908,6 +989,16 @@ fn combine_standardized(
     }
 }
 
+/// Hashable identity of a [`DistanceMetric`] for grouping cache entries
+/// (the enum itself carries an `f64` exponent, so it is not `Eq`/`Hash`).
+fn metric_key(m: DistanceMetric) -> (u8, u64) {
+    match m {
+        DistanceMetric::Euclidean => (0, 0),
+        DistanceMetric::Manhattan => (1, 0),
+        DistanceMetric::Minkowski(p) => (2, p.to_bits()),
+    }
+}
+
 /// Splits `0..n` into fixed-width row chunks for prediction tasks. An
 /// empty query keeps one empty chunk so the output matrix still gets its
 /// `m` columns.
@@ -1218,6 +1309,48 @@ mod tests {
         // Threshold was chosen so ~10% of training rows flag.
         let expected = (train.len() as f64 * 0.1).round() as usize;
         assert!(flagged.abs_diff(expected) <= 2, "{flagged} vs {expected}");
+    }
+
+    #[test]
+    fn neighbor_cache_bit_identical_and_counted() {
+        // Three Euclidean proximity models on the unprojected space share
+        // one neighbour graph: one miss (the k=7 builder) + two hits.
+        let pool = vec![
+            ModelSpec::Knn {
+                n_neighbors: 5,
+                method: KnnMethod::Largest,
+            },
+            ModelSpec::Lof {
+                n_neighbors: 7,
+                metric: DistanceMetric::Euclidean,
+            },
+            ModelSpec::Abod { n_neighbors: 4 },
+        ];
+        let x = data();
+        let run = |cache_on: bool| {
+            let mut clf = Suod::builder()
+                .base_estimators(pool.clone())
+                .with_projection(false)
+                .with_approximation(false)
+                .with_neighbor_cache(cache_on)
+                .seed(1)
+                .build()
+                .unwrap();
+            clf.fit(&x).unwrap();
+            let report = clf.fit_report().unwrap();
+            let counters = (report.cache_hits, report.cache_misses);
+            (
+                clf.training_scores().unwrap(),
+                clf.decision_function(&x).unwrap(),
+                counters,
+            )
+        };
+        let (ts_on, df_on, (hits, misses)) = run(true);
+        let (ts_off, df_off, (hits_off, misses_off)) = run(false);
+        assert_eq!(ts_on.as_slice(), ts_off.as_slice());
+        assert_eq!(df_on.as_slice(), df_off.as_slice());
+        assert_eq!((hits, misses), (2, 1));
+        assert_eq!((hits_off, misses_off), (0, 0));
     }
 
     #[test]

@@ -12,14 +12,16 @@
 //! Scores are negated (`-ABOF`) so that larger = more outlying, matching
 //! the PyOD convention used across this workspace.
 
-use crate::{check_dims, Detector, Error, Result};
+use crate::{check_dims, Detector, Error, FitContext, Result};
+use std::sync::Arc;
+use suod_linalg::distance::Neighbor;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// Fast ABOD detector (ABOF over the k-nearest-neighbour cone).
 #[derive(Debug, Clone)]
 pub struct AbodDetector {
     k: usize,
-    index: Option<KnnIndex>,
+    index: Option<Arc<KnnIndex>>,
     train_scores: Vec<f64>,
 }
 
@@ -84,45 +86,41 @@ impl AbodDetector {
         Some(suod_linalg::stats::variance(&values))
     }
 
-    fn score_rows(&self, index: &KnnIndex, x: &Matrix, exclude_self: bool) -> Vec<f64> {
-        let k = self
-            .k
-            .min(index.len().saturating_sub(exclude_self as usize));
-        // Leave-one-out lists come batched through the symmetric-distance
-        // fast path; plain queries stay row-at-a-time.
-        let lists: Vec<_> = if exclude_self {
-            index.self_query_batch(k, 1)
-        } else {
-            (0..x.nrows()).map(|i| index.query(x.row(i), k)).collect()
-        };
-        lists
-            .into_iter()
-            .enumerate()
-            .map(|(i, nn)| {
-                let idx: Vec<usize> = nn.iter().map(|n| n.index).collect();
-                let neighbors = index.train_data().select_rows(&idx);
-                match Self::abof(x.row(i), &neighbors) {
-                    // Low ABOF variance = outlier; negate for our convention.
-                    Some(v) => -v,
-                    // Degenerate neighbourhoods (all duplicates) are maximally
-                    // concentrated: treat as highly outlying.
-                    None => 0.0,
-                }
-            })
-            .collect()
+    fn score_one(index: &KnnIndex, point: &[f64], nn: &[Neighbor]) -> f64 {
+        let idx: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        let neighbors = index.train_data().select_rows(&idx);
+        match Self::abof(point, &neighbors) {
+            // Low ABOF variance = outlier; negate for our convention.
+            Some(v) => -v,
+            // Degenerate neighbourhoods (all duplicates) are maximally
+            // concentrated: treat as highly outlying.
+            None => 0.0,
+        }
     }
 }
 
 impl Detector for AbodDetector {
     fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.fit_with_context(x, &FitContext::default())
+    }
+
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
         if x.nrows() < 3 {
             return Err(Error::InsufficientData {
                 needed: "at least 3 samples".into(),
                 got: x.nrows(),
             });
         }
-        let index = KnnIndex::build(x, DistanceMetric::Euclidean)?;
-        self.train_scores = self.score_rows(&index, x, true);
+        // Leave-one-out lists come batched: pool-shared prefix views when
+        // `ctx` carries a cache, the symmetric-distance fast path
+        // otherwise.
+        let k = self.k.min(x.nrows() - 1);
+        let (index, neighbors) = ctx.self_neighbors(x, DistanceMetric::Euclidean, k)?;
+        self.train_scores = neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, nn)| Self::score_one(&index, x.row(i), nn))
+            .collect();
         self.index = Some(index);
         Ok(())
     }
@@ -133,7 +131,13 @@ impl Detector for AbodDetector {
             .as_ref()
             .ok_or(Error::NotFitted("AbodDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
-        Ok(self.score_rows(index, x, false))
+        let k = self.k.min(index.len());
+        Ok((0..x.nrows())
+            .map(|i| {
+                let nn = index.query(x.row(i), k);
+                Self::score_one(index, x.row(i), &nn)
+            })
+            .collect())
     }
 
     fn training_scores(&self) -> Result<Vec<f64>> {

@@ -12,7 +12,8 @@
 //! COF(p) = ac_dist(p) / mean_{o in N_k(p)} ac_dist(o)
 //! ```
 
-use crate::{check_dims, Detector, Error, Result};
+use crate::{check_dims, Detector, Error, FitContext, Result};
+use std::sync::Arc;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// COF detector.
@@ -38,7 +39,7 @@ use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 #[derive(Debug, Clone)]
 pub struct CofDetector {
     k: usize,
-    index: Option<KnnIndex>,
+    index: Option<Arc<KnnIndex>>,
     /// Average chaining distance of each training point.
     ac_dist: Vec<f64>,
     train_scores: Vec<f64>,
@@ -136,6 +137,10 @@ impl CofDetector {
 
 impl Detector for CofDetector {
     fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.fit_with_context(x, &FitContext::default())
+    }
+
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
         let n = x.nrows();
         if n < 3 {
             return Err(Error::InsufficientData {
@@ -144,14 +149,13 @@ impl Detector for CofDetector {
             });
         }
         let k = self.k.min(n - 1);
-        let index = KnnIndex::build(x, DistanceMetric::Euclidean)?;
 
-        // Leave-one-out neighbour lists (symmetric-distance fast path)
-        // and chaining distances.
-        let neighbor_ids: Vec<Vec<usize>> = index
-            .self_query_batch(k, 1)
-            .into_iter()
-            .map(|nn| nn.into_iter().map(|nb| nb.index).collect())
+        // Leave-one-out neighbour lists (pool-shared prefix views or a
+        // direct sweep) and chaining distances.
+        let (index, neighbors) = ctx.self_neighbors(x, DistanceMetric::Euclidean, k)?;
+        let neighbor_ids: Vec<Vec<usize>> = neighbors
+            .iter()
+            .map(|nn| nn.iter().map(|nb| nb.index).collect())
             .collect();
         let ac_dist: Vec<f64> = (0..n)
             .map(|i| {

@@ -6,7 +6,8 @@
 //! `{largest, mean, median}`; "average kNN" (akNN, §4.2) is exactly
 //! `method = mean`.
 
-use crate::{check_dims, Detector, Error, Result};
+use crate::{check_dims, Detector, Error, FitContext, Result};
+use std::sync::Arc;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// How the k neighbour distances collapse into one score.
@@ -63,7 +64,7 @@ pub struct KnnDetector {
     k: usize,
     method: KnnMethod,
     metric: DistanceMetric,
-    index: Option<KnnIndex>,
+    index: Option<Arc<KnnIndex>>,
     train_scores: Vec<f64>,
 }
 
@@ -105,17 +106,21 @@ impl KnnDetector {
 
 impl Detector for KnnDetector {
     fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.fit_with_context(x, &FitContext::default())
+    }
+
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
         if x.nrows() < 2 {
             return Err(Error::InsufficientData {
                 needed: "at least 2 samples".into(),
                 got: x.nrows(),
             });
         }
-        let index = KnnIndex::build(x, self.metric)?;
         // Leave-one-out training scores (a point is not its own
-        // neighbour), batched through the symmetric-distance fast path.
-        self.train_scores = index
-            .self_query_batch(self.k, 1)
+        // neighbour); served as a prefix of the pool-shared neighbour
+        // graph when `ctx` carries a cache, swept directly otherwise.
+        let (index, neighbors) = ctx.self_neighbors(x, self.metric, self.k)?;
+        self.train_scores = neighbors
             .iter()
             .map(|nn| {
                 let d: Vec<f64> = nn.iter().map(|n| n.distance).collect();

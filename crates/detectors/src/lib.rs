@@ -77,7 +77,10 @@ pub use ocsvm::{Kernel, OcsvmDetector};
 pub use pca_detector::PcaDetector;
 
 use std::fmt;
-use suod_linalg::Matrix;
+use std::sync::Arc;
+use suod_linalg::{
+    DataFingerprint, DistanceMetric, KnnIndex, Matrix, NeighborCache, SelfNeighbors,
+};
 
 /// Errors produced by detector training and scoring.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +145,93 @@ impl From<suod_linalg::Error> for Error {
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Shared resources a pool orchestrator hands to `fit_with_context`.
+///
+/// Proximity detectors (kNN, LOF, LoOP, COF, ABOD) all start their fit
+/// with the same expensive step: build a [`KnnIndex`] over the training
+/// matrix, then run a leave-one-out neighbour sweep. A `FitContext`
+/// optionally carries a pool-wide [`NeighborCache`] so detectors sharing
+/// a training matrix share one index build and one sweep (served as exact
+/// sorted-prefix views), plus the thread budget the standalone sweep
+/// should use. The default context (`FitContext::default()`) is
+/// cache-less and single-threaded, matching a bare [`Detector::fit`].
+#[derive(Debug, Clone, Default)]
+pub struct FitContext {
+    cache: Option<Arc<NeighborCache>>,
+    fingerprint: Option<DataFingerprint>,
+    n_threads: usize,
+}
+
+impl FitContext {
+    /// A cache-less context whose neighbour sweeps use `n_threads`
+    /// threads (clamped to at least 1).
+    pub fn standalone(n_threads: usize) -> Self {
+        Self {
+            cache: None,
+            fingerprint: None,
+            n_threads,
+        }
+    }
+
+    /// A context that routes neighbour queries through a shared `cache`.
+    ///
+    /// `fingerprint` is the precomputed identity of the training matrix
+    /// this context will be used with; passing `None` makes the detector
+    /// compute it on first use (one extra `O(n d)` pass).
+    pub fn cached(
+        cache: Arc<NeighborCache>,
+        fingerprint: Option<DataFingerprint>,
+        n_threads: usize,
+    ) -> Self {
+        Self {
+            cache: Some(cache),
+            fingerprint,
+            n_threads,
+        }
+    }
+
+    /// Thread budget for neighbour sweeps (at least 1).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads.max(1)
+    }
+
+    /// `true` when a shared neighbour cache is attached.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Index + leave-one-out neighbour lists at `k` for the rows of `x`.
+    ///
+    /// With a cache attached this is served from (or builds) the shared
+    /// [`NeighborGraph`](suod_linalg::NeighborGraph) for `(x, metric)`;
+    /// standalone it builds a private index and sweeps directly. Both
+    /// paths return bit-identical neighbour slices for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures (empty training matrix).
+    pub fn self_neighbors(
+        &self,
+        x: &Matrix,
+        metric: DistanceMetric,
+        k: usize,
+    ) -> suod_linalg::Result<(Arc<KnnIndex>, SelfNeighbors)> {
+        match &self.cache {
+            Some(cache) => {
+                let fp = self.fingerprint.unwrap_or_else(|| DataFingerprint::of(x));
+                let graph = cache.get_or_build_keyed(fp, x, metric, k, self.n_threads())?;
+                let index = Arc::clone(graph.index());
+                Ok((index, SelfNeighbors::Shared { graph, k }))
+            }
+            None => {
+                let index = Arc::new(KnnIndex::build(x, metric)?);
+                let lists = index.self_query_batch(k, self.n_threads());
+                Ok((index, SelfNeighbors::Owned(lists)))
+            }
+        }
+    }
+}
+
 /// An unsupervised outlier detector.
 ///
 /// Implementations are [`Send`] so SUOD's scheduler can move them across
@@ -155,6 +245,22 @@ pub trait Detector: Send + Sync {
     /// Returns [`Error::InsufficientData`] when `x` is too small for the
     /// configuration, plus detector-specific parameter failures.
     fn fit(&mut self, x: &Matrix) -> Result<()>;
+
+    /// [`fit`](Self::fit) with pool-shared resources.
+    ///
+    /// Proximity detectors use `ctx` to draw their leave-one-out
+    /// neighbour lists from a shared [`NeighborCache`] (and to size their
+    /// standalone sweeps to `ctx.n_threads()`); the default
+    /// implementation ignores the context, so non-proximity detectors
+    /// behave exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`fit`](Self::fit).
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
+        let _ = ctx;
+        self.fit(x)
+    }
 
     /// Outlyingness scores for each row of `x` (larger = more outlying).
     ///

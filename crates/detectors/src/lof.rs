@@ -9,7 +9,8 @@
 //! points reuses the training set's k-distances and local reachability
 //! densities, mirroring scikit-learn's `novelty=True` mode.
 
-use crate::{check_dims, Detector, Error, Result};
+use crate::{check_dims, Detector, Error, FitContext, Result};
+use std::sync::Arc;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// Local Outlier Factor detector.
@@ -35,7 +36,7 @@ use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 pub struct LofDetector {
     k: usize,
     metric: DistanceMetric,
-    index: Option<KnnIndex>,
+    index: Option<Arc<KnnIndex>>,
     /// k-distance of each training point (leave-one-out).
     k_distances: Vec<f64>,
     /// Local reachability density of each training point.
@@ -77,6 +78,10 @@ impl LofDetector {
 
 impl Detector for LofDetector {
     fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.fit_with_context(x, &FitContext::default())
+    }
+
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
         let n = x.nrows();
         if n < 3 {
             return Err(Error::InsufficientData {
@@ -85,11 +90,11 @@ impl Detector for LofDetector {
             });
         }
         let k = self.k.min(n - 1);
-        let index = KnnIndex::build(x, self.metric)?;
 
-        // Leave-one-out neighbour lists via the symmetric-distance fast
-        // path (upper triangle + mirror, half the metric evaluations).
-        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = index.self_query_batch(k, 1);
+        // Leave-one-out neighbour lists: a prefix view of the pool-shared
+        // neighbour graph when `ctx` carries a cache, a direct sweep via
+        // the symmetric-distance fast path otherwise.
+        let (index, neighbors) = ctx.self_neighbors(x, self.metric, k)?;
 
         // k-distance of each point = distance to its k-th neighbour.
         let k_distances: Vec<f64> = neighbors
@@ -117,7 +122,7 @@ impl Detector for LofDetector {
         // LOF score: mean neighbour lrd over own lrd.
         let train_scores: Vec<f64> = (0..n)
             .map(|i| {
-                let nn = &neighbors[i];
+                let nn = neighbors.get(i);
                 let mean_nb_lrd: f64 =
                     nn.iter().map(|nb| lrd[nb.index]).sum::<f64>() / nn.len().max(1) as f64;
                 mean_nb_lrd / lrd[i].max(1e-300)

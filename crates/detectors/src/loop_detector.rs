@@ -6,7 +6,8 @@
 //! paper cites LoOP as a representative costly proximity-based model
 //! (§1), so it joins the zoo and the costly-algorithm pool `M_c`.
 
-use crate::{check_dims, Detector, Error, Result};
+use crate::{check_dims, Detector, Error, FitContext, Result};
+use std::sync::Arc;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// Significance multiplier for the probabilistic set distance
@@ -37,7 +38,7 @@ const LAMBDA: f64 = 3.0;
 #[derive(Debug, Clone)]
 pub struct LoopDetector {
     k: usize,
-    index: Option<KnnIndex>,
+    index: Option<Arc<KnnIndex>>,
     /// Probabilistic set distance per training point.
     pdist: Vec<f64>,
     /// Normalization constant `nPLOF`.
@@ -98,6 +99,10 @@ fn erf(x: f64) -> f64 {
 
 impl Detector for LoopDetector {
     fn fit(&mut self, x: &Matrix) -> Result<()> {
+        self.fit_with_context(x, &FitContext::default())
+    }
+
+    fn fit_with_context(&mut self, x: &Matrix, ctx: &FitContext) -> Result<()> {
         let n = x.nrows();
         if n < 3 {
             return Err(Error::InsufficientData {
@@ -106,17 +111,16 @@ impl Detector for LoopDetector {
             });
         }
         let k = self.k.min(n - 1);
-        let index = KnnIndex::build(x, DistanceMetric::Euclidean)?;
 
-        // Leave-one-out neighbour lists via the symmetric-distance fast
-        // path.
-        let neighbors: Vec<Vec<suod_linalg::distance::Neighbor>> = index.self_query_batch(k, 1);
-        let pdist: Vec<f64> = neighbors.iter().map(|nn| Self::pdist_of(nn)).collect();
+        // Leave-one-out neighbour lists: pool-shared prefix views when
+        // `ctx` carries a cache, direct sweep otherwise.
+        let (index, neighbors) = ctx.self_neighbors(x, DistanceMetric::Euclidean, k)?;
+        let pdist: Vec<f64> = neighbors.iter().map(Self::pdist_of).collect();
 
         // PLOF: own pdist over the mean of neighbours' pdists, minus 1.
         let plof: Vec<f64> = (0..n)
             .map(|i| {
-                let nn = &neighbors[i];
+                let nn = neighbors.get(i);
                 let mean_nb: f64 =
                     nn.iter().map(|nb| pdist[nb.index]).sum::<f64>() / nn.len().max(1) as f64;
                 if mean_nb <= 1e-300 {

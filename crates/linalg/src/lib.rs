@@ -27,6 +27,10 @@
 //!   [`Matrix::matmul_blocked`], [`KnnIndex::query_batch_parallel`]).
 //!   Every kernel takes an explicit thread count and produces
 //!   bit-identical results for every value of it.
+//! * [`neighbor_cache`] — fingerprint-keyed [`NeighborCache`] that builds
+//!   each [`KnnIndex`] once, sweeps leave-one-out neighbours once at the
+//!   pooled maximum k, and serves exact sorted-prefix views to every
+//!   proximity detector sharing the same training matrix.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@ pub mod distance;
 pub mod eigen;
 pub mod kdtree;
 pub mod matrix;
+pub mod neighbor_cache;
 pub mod parallel;
 pub mod rank;
 pub mod stats;
@@ -56,6 +61,9 @@ pub use distance::{
 };
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use matrix::Matrix;
+pub use neighbor_cache::{
+    DataFingerprint, NeighborCache, NeighborCacheStats, NeighborGraph, SelfNeighbors,
+};
 
 use std::fmt;
 

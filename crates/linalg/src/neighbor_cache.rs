@@ -1,0 +1,542 @@
+//! Shared neighbor-graph cache for proximity detectors.
+//!
+//! SUOD's heterogeneous pools are dominated by proximity detectors (kNN,
+//! LOF, LoOP, COF, ABOD) whose fit cost is one [`KnnIndex`] build plus one
+//! leave-one-out k-nearest-neighbour sweep — and a naive pool redoes both
+//! from scratch for every model trained on the same matrix. Following the
+//! operator-decomposition observation of TOD (Zhao et al., 2021), this
+//! module factors that work out: a [`NeighborCache`] is a concurrent,
+//! fingerprint-keyed store that builds each index **exactly once** per
+//! `(data, metric)` pair, runs one [`KnnIndex::self_query_batch`] at the
+//! **maximum k requested across the pool**, and serves sorted-prefix
+//! slices to every detector that asks for a smaller k.
+//!
+//! Prefix serving is exact, not approximate: neighbour lists are totally
+//! ordered by `(distance, index)`, so the first `k` entries of a list
+//! computed at `k_max >= k` are bit-identical to a direct
+//! `self_query_batch(k, t)` (see the property tests in
+//! `tests/properties.rs`). A pool of `m` proximity models over `g`
+//! distinct feature spaces therefore pays `O(g · n log n)` index/query
+//! work instead of `O(m · n log n)`.
+//!
+//! # Example
+//!
+//! ```
+//! use suod_linalg::{DistanceMetric, Matrix, NeighborCache};
+//!
+//! # fn main() -> Result<(), suod_linalg::Error> {
+//! let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![9.0]])?;
+//! let cache = NeighborCache::new();
+//! // First call builds the index and the k=3 neighbour lists...
+//! let g3 = cache.get_or_build(&x, DistanceMetric::Euclidean, 3, 1)?;
+//! // ...later, smaller-k requests are served as prefix views.
+//! let g2 = cache.get_or_build(&x, DistanceMetric::Euclidean, 2, 1)?;
+//! assert_eq!(g3.prefix(0, 2), g2.prefix(0, 2));
+//! assert_eq!(cache.stats().builds, 1);
+//! assert_eq!(cache.stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::distance::{DistanceMetric, KnnIndex, Neighbor};
+use crate::{Matrix, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Content identity of a training matrix: shape plus two independent
+/// 64-bit hashes over the raw `f64` bits (order-sensitive). Two matrices
+/// with equal fingerprints are treated as the same cache key, so the
+/// probability of a spurious collision must be negligible — with 128
+/// independent hash bits it is ~2^-128 per pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataFingerprint {
+    rows: usize,
+    cols: usize,
+    hash_a: u64,
+    hash_b: u64,
+}
+
+impl DataFingerprint {
+    /// Fingerprints the contents of `x` (one `O(n d)` pass).
+    pub fn of(x: &Matrix) -> Self {
+        let mut a = 0x51_7c_c1_b7_27_22_0a_95u64; // FNV-ish offset basis
+        let mut b = 0x9e_37_79_b9_7f_4a_7c_15u64;
+        for &v in x.as_slice() {
+            let bits = v.to_bits();
+            a = splitmix64(a ^ bits);
+            b = splitmix64(b.wrapping_add(bits).rotate_left(17));
+        }
+        Self {
+            rows: x.nrows(),
+            cols: x.ncols(),
+            hash_a: a,
+            hash_b: b,
+        }
+    }
+
+    /// Number of rows of the fingerprinted matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One built cache entry: the index over a training matrix plus its
+/// leave-one-out neighbour lists computed at `k_built`.
+///
+/// Lists are sorted ascending by `(distance, index)`;
+/// [`prefix`](NeighborGraph::prefix) serves any `k <= k_built` as a slice
+/// with zero re-sorting or copying.
+#[derive(Debug)]
+pub struct NeighborGraph {
+    index: Arc<KnnIndex>,
+    k_built: usize,
+    /// `lists[i]` = leave-one-out neighbours of training row `i`, length
+    /// `min(k_built, n - 1)`.
+    lists: Vec<Vec<Neighbor>>,
+}
+
+impl NeighborGraph {
+    /// Builds a graph directly (no cache): one index build plus one
+    /// parallel leave-one-out sweep at `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
+    pub fn build(x: &Matrix, metric: DistanceMetric, k: usize, n_threads: usize) -> Result<Self> {
+        let index = Arc::new(KnnIndex::build(x, metric)?);
+        let lists = index.self_query_batch(k, n_threads.max(1));
+        Ok(Self {
+            index,
+            k_built: k,
+            lists,
+        })
+    }
+
+    /// The shared index over the training matrix.
+    pub fn index(&self) -> &Arc<KnnIndex> {
+        &self.index
+    }
+
+    /// The k this graph's lists were computed at.
+    pub fn k_built(&self) -> usize {
+        self.k_built
+    }
+
+    /// Number of training rows.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// `true` when the graph covers no rows (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// The first `k` leave-one-out neighbours of row `i` — bit-identical
+    /// to `self_query_batch(k, t)[i]` for every `k <= k_built`.
+    pub fn prefix(&self, i: usize, k: usize) -> &[Neighbor] {
+        let l = &self.lists[i];
+        &l[..k.min(l.len())]
+    }
+}
+
+/// Leave-one-out neighbour lists handed to a detector: either owned
+/// (standalone fit, no cache) or a prefix view into a shared
+/// [`NeighborGraph`]. Both present the same slice-per-row API, and the
+/// slices are bit-identical between the two forms.
+#[derive(Debug, Clone)]
+pub enum SelfNeighbors {
+    /// Detector-owned lists from a direct `self_query_batch(k, t)`.
+    Owned(Vec<Vec<Neighbor>>),
+    /// Prefix views at `k` into a pool-shared graph built at `k_max >= k`.
+    Shared {
+        /// The shared graph.
+        graph: Arc<NeighborGraph>,
+        /// The prefix length this detector asked for.
+        k: usize,
+    },
+}
+
+impl SelfNeighbors {
+    /// Number of training rows covered.
+    pub fn len(&self) -> usize {
+        match self {
+            SelfNeighbors::Owned(lists) => lists.len(),
+            SelfNeighbors::Shared { graph, .. } => graph.len(),
+        }
+    }
+
+    /// `true` when no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The neighbour slice of training row `i`.
+    pub fn get(&self, i: usize) -> &[Neighbor] {
+        match self {
+            SelfNeighbors::Owned(lists) => &lists[i],
+            SelfNeighbors::Shared { graph, k } => graph.prefix(i, *k),
+        }
+    }
+
+    /// Iterates the per-row neighbour slices in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Neighbor]> {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// Counters describing one cache's lifetime (see [`NeighborCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NeighborCacheStats {
+    /// Requests served from an already-built graph (prefix slices).
+    pub hits: u64,
+    /// Requests that found no usable graph and had to build one.
+    pub misses: u64,
+    /// Graphs built (`misses` counts rebuilds at a larger k too, so
+    /// `builds == misses`; kept separate for forward compatibility).
+    pub builds: u64,
+    /// Total wall time spent building indexes and neighbour lists.
+    pub build_time: Duration,
+}
+
+/// Per-key cache slot. The inner mutex serializes builders of the same
+/// entry (the second requester blocks until the first finishes, then hits)
+/// while leaving distinct keys free to build in parallel.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Largest k any pool member pre-registered for this key; builds are
+    /// widened to it so one sweep serves the whole group.
+    registered_k: usize,
+    graph: Option<Arc<NeighborGraph>>,
+}
+
+/// One mutex-guarded slot per `(data, metric)` identity.
+type SlotMap = HashMap<(DataFingerprint, MetricKey), Arc<Mutex<Slot>>>;
+
+/// A concurrent, fingerprint-keyed store of [`NeighborGraph`]s.
+///
+/// Keys are `(DataFingerprint, DistanceMetric)`; see the
+/// [module docs](self) for the sharing model. All methods take `&self`
+/// and are safe to call from many executor workers at once.
+#[derive(Debug, Default)]
+pub struct NeighborCache {
+    slots: Mutex<SlotMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+/// `DistanceMetric` is not `Eq`/`Hash` (it carries an `f64` exponent);
+/// keying by the bit pattern keeps distinct Minkowski exponents distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MetricKey {
+    Euclidean,
+    Manhattan,
+    Minkowski(u64),
+}
+
+impl From<DistanceMetric> for MetricKey {
+    fn from(m: DistanceMetric) -> Self {
+        match m {
+            DistanceMetric::Euclidean => MetricKey::Euclidean,
+            DistanceMetric::Manhattan => MetricKey::Manhattan,
+            DistanceMetric::Minkowski(p) => MetricKey::Minkowski(p.to_bits()),
+        }
+    }
+}
+
+impl NeighborCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&self, fp: DataFingerprint, metric: DistanceMetric) -> Arc<Mutex<Slot>> {
+        Arc::clone(
+            self.slots
+                .lock()
+                .expect("cache map lock poisoned")
+                .entry((fp, metric.into()))
+                .or_default(),
+        )
+    }
+
+    /// Pre-registers a pool member's neighbourhood request so the first
+    /// build for this `(data, metric)` key is widened to the maximum k
+    /// across all registrations (one sweep serves the whole group).
+    ///
+    /// `k` is clamped to `rows - 1` (leave-one-out lists can never be
+    /// longer). Call once per pool member during planning (pass 1);
+    /// [`get_or_build`](Self::get_or_build) calls during fitting (pass 2)
+    /// then share one build.
+    pub fn register(&self, fp: DataFingerprint, metric: DistanceMetric, k: usize) {
+        let k = k.min(fp.rows().saturating_sub(1));
+        let slot = self.slot(fp, metric);
+        let mut slot = slot.lock().expect("cache slot lock poisoned");
+        slot.registered_k = slot.registered_k.max(k);
+    }
+
+    /// The graph for `(x, metric)`, built on first use at
+    /// `max(k, registered k_max)` and served as-is (a hit) whenever the
+    /// existing graph already covers `k`. A request for a larger `k` than
+    /// built rebuilds the lists (a miss) at the new maximum; the matrix
+    /// contents are trusted to match `fp` (callers that cannot guarantee
+    /// that should use [`get_or_build`](Self::get_or_build)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
+    pub fn get_or_build_keyed(
+        &self,
+        fp: DataFingerprint,
+        x: &Matrix,
+        metric: DistanceMetric,
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Arc<NeighborGraph>> {
+        let k = k.min(x.nrows().saturating_sub(1));
+        let slot = self.slot(fp, metric);
+        let mut slot = slot.lock().expect("cache slot lock poisoned");
+        if let Some(graph) = &slot.graph {
+            if graph.k_built() >= k {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(graph));
+            }
+        }
+        // Miss: build (or widen) at the largest k anyone asked for. The
+        // slot lock is held during the build on purpose — concurrent
+        // requesters of the same key must wait for this graph rather than
+        // duplicate the dominant O(n^2 d) sweep.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let k_build = k
+            .max(slot.registered_k)
+            .max(slot.graph.as_ref().map_or(0, |g| g.k_built()));
+        let start = Instant::now();
+        let graph = Arc::new(NeighborGraph::build(x, metric, k_build, n_threads)?);
+        self.build_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slot.graph = Some(Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// [`get_or_build_keyed`](Self::get_or_build_keyed) with the
+    /// fingerprint computed from `x` (one extra `O(n d)` pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
+    pub fn get_or_build(
+        &self,
+        x: &Matrix,
+        metric: DistanceMetric,
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Arc<NeighborGraph>> {
+        self.get_or_build_keyed(DataFingerprint::of(x), x, metric, k, n_threads)
+    }
+
+    /// Number of distinct `(data, metric)` keys seen so far.
+    pub fn n_entries(&self) -> usize {
+        self.slots.lock().expect("cache map lock poisoned").len()
+    }
+
+    /// Lifetime counters: hits, misses, builds, and total build time.
+    pub fn stats(&self) -> NeighborCacheStats {
+        let misses = self.misses.load(Ordering::Relaxed);
+        NeighborCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses,
+            builds: misses,
+            build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = splitmix64(s);
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_contents_and_shape() {
+        let a = random_matrix(20, 4, 1);
+        let b = random_matrix(20, 4, 2);
+        assert_eq!(DataFingerprint::of(&a), DataFingerprint::of(&a.clone()));
+        assert_ne!(DataFingerprint::of(&a), DataFingerprint::of(&b));
+        // Same data, different shape.
+        let flat = Matrix::from_vec(4, 20, a.as_slice().to_vec()).unwrap();
+        assert_ne!(DataFingerprint::of(&a), DataFingerprint::of(&flat));
+        // One-ULP change flips the fingerprint.
+        let mut c = a.clone();
+        c.set(3, 1, c.get(3, 1) + 1e-13);
+        assert_ne!(DataFingerprint::of(&a), DataFingerprint::of(&c));
+    }
+
+    #[test]
+    fn build_once_serve_prefixes() {
+        let x = random_matrix(60, 5, 3);
+        let cache = NeighborCache::new();
+        let g8 = cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 8, 1)
+            .unwrap();
+        for k in 1..=8usize {
+            let g = cache
+                .get_or_build(&x, DistanceMetric::Euclidean, k, 1)
+                .unwrap();
+            assert!(
+                Arc::ptr_eq(&g, &g8),
+                "k={k} should be served by the k=8 graph"
+            );
+            let direct = g.index().self_query_batch(k, 1);
+            for i in 0..x.nrows() {
+                assert_eq!(g.prefix(i, k), &direct[i][..], "k={k} row={i}");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits, 8);
+        assert!(stats.build_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn registration_widens_first_build() {
+        let x = random_matrix(40, 3, 5);
+        let fp = DataFingerprint::of(&x);
+        let cache = NeighborCache::new();
+        cache.register(fp, DistanceMetric::Euclidean, 3);
+        cache.register(fp, DistanceMetric::Euclidean, 9);
+        cache.register(fp, DistanceMetric::Euclidean, 5);
+        // The k=3 request triggers the build, widened to the pooled max 9.
+        let g = cache
+            .get_or_build_keyed(fp, &x, DistanceMetric::Euclidean, 3, 1)
+            .unwrap();
+        assert_eq!(g.k_built(), 9);
+        let g9 = cache
+            .get_or_build_keyed(fp, &x, DistanceMetric::Euclidean, 9, 1)
+            .unwrap();
+        assert!(Arc::ptr_eq(&g, &g9));
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn larger_k_than_built_rebuilds() {
+        let x = random_matrix(30, 4, 7);
+        let cache = NeighborCache::new();
+        let g3 = cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 3, 1)
+            .unwrap();
+        let g6 = cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 6, 1)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&g3, &g6));
+        assert_eq!(g6.k_built(), 6);
+        assert_eq!(cache.stats().misses, 2);
+        // The old graph's prefixes still agree with the new one's.
+        for i in 0..x.nrows() {
+            assert_eq!(g3.prefix(i, 3), g6.prefix(i, 3));
+        }
+    }
+
+    #[test]
+    fn metric_keys_are_distinct() {
+        let x = random_matrix(25, 4, 11);
+        let cache = NeighborCache::new();
+        cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 4, 1)
+            .unwrap();
+        cache
+            .get_or_build(&x, DistanceMetric::Manhattan, 4, 1)
+            .unwrap();
+        cache
+            .get_or_build(&x, DistanceMetric::Minkowski(3.0), 4, 1)
+            .unwrap();
+        cache
+            .get_or_build(&x, DistanceMetric::Minkowski(4.0), 4, 1)
+            .unwrap();
+        assert_eq!(cache.n_entries(), 4);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn k_clamped_to_leave_one_out_size() {
+        let x = random_matrix(6, 2, 13);
+        let cache = NeighborCache::new();
+        let g = cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 50, 1)
+            .unwrap();
+        assert_eq!(g.k_built(), 5);
+        assert!(g.prefix(0, 50).len() == 5);
+        // A second oversized request is a hit, not a rebuild.
+        cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 20, 1)
+            .unwrap();
+        assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn self_neighbors_forms_agree() {
+        let x = random_matrix(40, 4, 17);
+        let index = Arc::new(KnnIndex::build(&x, DistanceMetric::Euclidean).unwrap());
+        let owned = SelfNeighbors::Owned(index.self_query_batch(4, 1));
+        let graph = Arc::new(NeighborGraph::build(&x, DistanceMetric::Euclidean, 9, 2).unwrap());
+        let shared = SelfNeighbors::Shared { graph, k: 4 };
+        assert_eq!(owned.len(), shared.len());
+        for (a, b) in owned.iter().zip(shared.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn concurrent_requesters_share_one_build() {
+        let x = Arc::new(random_matrix(200, 4, 19));
+        let cache = Arc::new(NeighborCache::new());
+        let graphs: Vec<Arc<NeighborGraph>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let x = Arc::clone(&x);
+                    scope.spawn(move || {
+                        cache
+                            .get_or_build(&x, DistanceMetric::Euclidean, 2 + (t % 3), 1)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // k requests were 2..=4; without pre-registration each strictly
+        // larger k can force one widening rebuild (2 -> 3 -> 4), so at
+        // most 3 builds ever happen — never 8.
+        assert!(cache.stats().builds <= 3, "{:?}", cache.stats());
+        for g in &graphs {
+            assert!(g.k_built() >= 2);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let cache = NeighborCache::new();
+        assert!(cache
+            .get_or_build(&Matrix::zeros(0, 3), DistanceMetric::Euclidean, 3, 1)
+            .is_err());
+    }
+}

@@ -142,6 +142,70 @@ proptest! {
     }
 
     #[test]
+    fn self_query_prefix_is_exact(
+        n in 2usize..200,
+        d in 1usize..6,
+        seed in 0u64..1000,
+        k_max in 1usize..16,
+    ) {
+        // The NeighborCache serves k < k_max as a prefix slice of the
+        // k_max sweep. That is only sound if the first k entries of
+        // self_query_batch(k_max, t) are bit-identical to a direct
+        // self_query_batch(k, t) — for every k <= k_max, every thread
+        // count, and both index backends (n crosses the KD-tree and the
+        // symmetric-matrix thresholds within this range).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Duplicate rows with positive probability to exercise ties.
+        let data: Vec<f64> = (0..n * d)
+            .map(|_| (rng.random_range(-8.0f64..8.0)).round())
+            .collect();
+        let pts = Matrix::from_vec(n, d, data).unwrap();
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan] {
+            let index = suod_linalg::KnnIndex::build(&pts, metric).unwrap();
+            let full = index.self_query_batch(k_max, 1);
+            for t in [1usize, 2, 8] {
+                for k in 1..=k_max {
+                    let direct = index.self_query_batch(k, t);
+                    for i in 0..n {
+                        let prefix = &full[i][..k.min(full[i].len())];
+                        prop_assert_eq!(
+                            prefix, &direct[i][..],
+                            "metric {:?} k={} t={} row={}", metric, k, t, i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_bit_identical_lists(
+        n in 2usize..150,
+        d in 1usize..5,
+        seed in 0u64..1000,
+        k in 1usize..12,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-50.0f64..50.0)).collect();
+        let pts = Matrix::from_vec(n, d, data).unwrap();
+        let cache = suod_linalg::NeighborCache::new();
+        // Warm the cache at a larger k, then request smaller ones.
+        let metric = DistanceMetric::Euclidean;
+        cache.get_or_build(&pts, metric, k + 3, 2).unwrap();
+        let graph = cache.get_or_build(&pts, metric, k, 1).unwrap();
+        let index = suod_linalg::KnnIndex::build(&pts, metric).unwrap();
+        let direct = index.self_query_batch(k, 1);
+        for i in 0..n {
+            prop_assert_eq!(graph.prefix(i, k), &direct[i][..]);
+        }
+        prop_assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
     fn standardizer_train_has_unit_stats(m in small_matrix(8)) {
         prop_assume!(m.nrows() >= 2);
         let sc = Standardizer::fit(&m).unwrap();

@@ -32,15 +32,22 @@ pub struct TaskDescriptor {
     pub knob: f64,
     /// Multiplicative cost factor for intra-family variants (default 1.0).
     pub weight: f64,
+    /// `true` when the task's neighbour graph is served by a pool-shared
+    /// [`NeighborCache`](suod_linalg::NeighborCache) instead of being
+    /// rebuilt — the dominant `O(n^2 d)` index/sweep term vanishes, and a
+    /// cost model that keeps forecasting it would make BPS rebalance the
+    /// pool against phantom work.
+    pub cached_neighbors: bool,
 }
 
 impl TaskDescriptor {
-    /// Creates a descriptor with unit weight.
+    /// Creates a descriptor with unit weight and no neighbour-cache hit.
     pub fn new(family: AlgorithmFamily, knob: f64) -> Self {
         Self {
             family,
             knob: knob.max(1.0),
             weight: 1.0,
+            cached_neighbors: false,
         }
     }
 
@@ -50,12 +57,21 @@ impl TaskDescriptor {
         self
     }
 
+    /// Marks whether this task's neighbour graph comes from a shared
+    /// cache (see the field docs on `cached_neighbors`).
+    pub fn with_cached_neighbors(mut self, cached: bool) -> Self {
+        self.cached_neighbors = cached;
+        self
+    }
+
     /// Full feature vector for the learned predictor: dataset meta-features
-    /// followed by the knob, the weight, and a one-hot family embedding.
+    /// followed by the knob, the weight, the cached-neighbors flag, and a
+    /// one-hot family embedding.
     pub fn feature_vector(&self, meta: &DatasetMeta) -> Vec<f64> {
         let mut v = meta.feature_vector();
         v.push(self.knob);
         v.push(self.weight);
+        v.push(f64::from(self.cached_neighbors));
         let mut onehot = vec![0.0; 12];
         onehot[self.family.index()] = 1.0;
         v.extend(onehot);
@@ -114,11 +130,19 @@ impl CostModel for AnalyticCostModel {
         let n = meta.n_samples as f64;
         let d = meta.n_features as f64;
         let k = task.knob;
+        // Proximity families split into the index-build/sweep term
+        // (O(n^2 d), skipped entirely on a neighbour-cache hit) and the
+        // per-model post-processing that always runs.
+        let index_sweep = if task.cached_neighbors {
+            0.0
+        } else {
+            n * n * d
+        };
         let base = match task.family {
-            AlgorithmFamily::Knn => n * n * d,
-            AlgorithmFamily::Lof => n * n * d + n * k,
-            AlgorithmFamily::Loop => n * n * d + n * k,
-            AlgorithmFamily::Abod => n * n * d + n * k * k * d,
+            AlgorithmFamily::Knn => index_sweep + n * k,
+            AlgorithmFamily::Lof => index_sweep + n * k,
+            AlgorithmFamily::Loop => index_sweep + n * k,
+            AlgorithmFamily::Abod => index_sweep + n * k * k * d,
             AlgorithmFamily::Hbos => n * d,
             AlgorithmFamily::IForest => {
                 let psi = 256f64.min(n);
@@ -368,12 +392,48 @@ mod tests {
     fn feature_vector_includes_onehot() {
         let t = TaskDescriptor::new(AlgorithmFamily::Abod, 7.0);
         let v = t.feature_vector(&meta(10, 3));
-        assert_eq!(v.len(), DatasetMeta::FEATURE_LEN + 2 + 12);
+        assert_eq!(v.len(), DatasetMeta::FEATURE_LEN + 3 + 12);
         assert_eq!(v[DatasetMeta::FEATURE_LEN], 7.0);
         assert_eq!(v[DatasetMeta::FEATURE_LEN + 1], 1.0); // default weight
+        assert_eq!(v[DatasetMeta::FEATURE_LEN + 2], 0.0); // not cached
         assert_eq!(
-            v[DatasetMeta::FEATURE_LEN + 2 + AlgorithmFamily::Abod.index()],
+            v[DatasetMeta::FEATURE_LEN + 3 + AlgorithmFamily::Abod.index()],
             1.0
+        );
+        let cached = t.with_cached_neighbors(true);
+        assert_eq!(
+            cached.feature_vector(&meta(10, 3))[DatasetMeta::FEATURE_LEN + 2],
+            1.0
+        );
+    }
+
+    #[test]
+    fn cached_neighbors_discounts_index_cost() {
+        let m = meta(5000, 20);
+        let model = AnalyticCostModel::new();
+        for family in [
+            AlgorithmFamily::Knn,
+            AlgorithmFamily::Lof,
+            AlgorithmFamily::Loop,
+            AlgorithmFamily::Abod,
+        ] {
+            let t = TaskDescriptor::new(family, 10.0);
+            let cold = model.predict_cost(&t, &m);
+            let warm = model.predict_cost(&t.with_cached_neighbors(true), &m);
+            assert!(
+                warm < cold / 50.0,
+                "{family:?}: warm {warm} should be a tiny fraction of cold {cold}"
+            );
+            assert!(
+                warm > 0.0,
+                "{family:?}: post-processing still costs something"
+            );
+        }
+        // Non-proximity families are unaffected by the flag.
+        let t = TaskDescriptor::new(AlgorithmFamily::Hbos, 10.0);
+        assert_eq!(
+            model.predict_cost(&t, &m),
+            model.predict_cost(&t.with_cached_neighbors(true), &m)
         );
     }
 }

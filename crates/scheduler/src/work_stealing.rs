@@ -53,6 +53,14 @@ pub struct ExecutionReport {
     pub steals: usize,
     /// End-to-end wall time of the batch.
     pub wall_time: Duration,
+    /// Neighbour-cache hits during the batch (tasks served an existing
+    /// shared neighbour graph). Zero when no cache was in play; filled in
+    /// by the orchestrator after the run.
+    pub cache_hits: u64,
+    /// Neighbour-cache misses (graphs that had to be built).
+    pub cache_misses: u64,
+    /// Total wall time spent building shared neighbour graphs.
+    pub cache_build_time: Duration,
 }
 
 impl ExecutionReport {
@@ -391,8 +399,8 @@ impl WorkStealingExecutor {
             task_times: vec![Duration::ZERO; n],
             worker_busy: vec![Duration::ZERO; self.n_workers],
             worker_tasks: vec![0; self.n_workers],
-            steals: 0,
             wall_time,
+            ..ExecutionReport::default()
         };
         for (w, log) in batch.logs.iter().enumerate() {
             let log = std::mem::take(&mut *log.lock().expect("log lock poisoned"));

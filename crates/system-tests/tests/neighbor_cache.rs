@@ -1,0 +1,124 @@
+//! Neighbor-cache transparency: sharing one neighbour graph across the
+//! pool must never change a number.
+//!
+//! `Suod::fit` groups proximity detectors by feature space and metric,
+//! builds each group's KD-tree and leave-one-out sweep once at the pooled
+//! maximum k, and serves every member a sorted-prefix view. Because
+//! neighbour lists are totally ordered by `(distance, index)` and both
+//! sweep paths truncate the same order, the prefix is *exactly* what a
+//! standalone sweep would produce — so score matrices must be
+//! **bit-identical** with the cache on or off, at any worker count, with
+//! and without projection in the mix.
+
+use suod::prelude::*;
+use suod_datasets::registry;
+use suod_linalg::Matrix;
+
+/// A proximity-heavy pool spanning every cached family (kNN variants,
+/// LOF with two metrics, LoOP, COF, ABOD) plus uncached bystanders.
+fn proximity_pool() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Knn {
+            n_neighbors: 3,
+            method: KnnMethod::Largest,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 12,
+            method: KnnMethod::Mean,
+        },
+        ModelSpec::Knn {
+            n_neighbors: 7,
+            method: KnnMethod::Median,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 9,
+            metric: Metric::Euclidean,
+        },
+        ModelSpec::Lof {
+            n_neighbors: 5,
+            metric: Metric::Manhattan,
+        },
+        ModelSpec::Loop { n_neighbors: 6 },
+        ModelSpec::Cof { n_neighbors: 4 },
+        ModelSpec::Abod { n_neighbors: 8 },
+        ModelSpec::Hbos {
+            n_bins: 10,
+            tolerance: 0.3,
+        },
+        ModelSpec::IForest {
+            n_estimators: 12,
+            max_features: 0.8,
+        },
+    ]
+}
+
+fn fit_and_score(
+    cache_on: bool,
+    n_workers: usize,
+    projection: bool,
+    x: &Matrix,
+    queries: &Matrix,
+) -> (Matrix, Matrix, u64, u64) {
+    let mut model = Suod::builder()
+        .base_estimators(proximity_pool())
+        .with_neighbor_cache(cache_on)
+        .with_projection(projection)
+        .with_approximation(false)
+        .n_workers(n_workers)
+        .seed(7)
+        .build()
+        .expect("valid config");
+    model.fit(x).expect("fit succeeds");
+    let report = model.fit_report().expect("fit emits telemetry");
+    let (hits, misses) = (report.cache_hits, report.cache_misses);
+    let train_scores = model.training_scores().expect("fitted");
+    let query_scores = model.decision_function(queries).expect("fitted");
+    (train_scores, query_scores, hits, misses)
+}
+
+#[test]
+fn scores_bit_identical_cache_on_vs_off_at_any_thread_count() {
+    let ds = registry::load_scaled("cardio", 17, 0.3).expect("registry dataset");
+    let mut shifted = ds.x.clone();
+    for v in shifted.as_mut_slice() {
+        *v += 0.25;
+    }
+    let queries = ds.x.vstack(&shifted).expect("same width");
+
+    let (train_off, query_off, hits_off, misses_off) =
+        fit_and_score(false, 1, false, &ds.x, &queries);
+    assert_eq!((hits_off, misses_off), (0, 0), "cache off must not count");
+
+    for workers in [1usize, 2, 8] {
+        let (train_on, query_on, hits, misses) =
+            fit_and_score(true, workers, false, &ds.x, &queries);
+        assert_eq!(
+            train_off.as_slice(),
+            train_on.as_slice(),
+            "training scores differ cache-on at n_workers={workers}"
+        );
+        assert_eq!(
+            query_off.as_slice(),
+            query_on.as_slice(),
+            "prediction scores differ cache-on at n_workers={workers}"
+        );
+        // Unprojected: all 8 proximity models share one space. Euclidean
+        // group (7 members) builds once; Manhattan LOF builds its own.
+        assert_eq!(misses, 2, "expected two graph builds, got {misses}");
+        assert_eq!(hits, 6, "expected six cache hits, got {hits}");
+    }
+}
+
+#[test]
+fn projection_keeps_cache_transparent() {
+    // With RP on, every projection-friendly model gets its own seeded
+    // subspace (distinct cache groups of size one); the cache must stay a
+    // pure pass-through numerically.
+    let ds = registry::load_scaled("cardio", 19, 0.25).expect("registry dataset");
+    let (train_off, query_off, _, _) = fit_and_score(false, 4, true, &ds.x, &ds.x);
+    let (train_on, query_on, hits, misses) = fit_and_score(true, 4, true, &ds.x, &ds.x);
+    assert_eq!(train_off.as_slice(), train_on.as_slice());
+    assert_eq!(query_off.as_slice(), query_on.as_slice());
+    // Every proximity model still goes through the cache exactly once.
+    assert_eq!(hits + misses, 8);
+}
