@@ -1,0 +1,228 @@
+//! Per-model health reporting for fault-tolerant ensemble fits.
+//!
+//! SUOD's premise is running hundreds of numerically fragile detectors
+//! over real data; in production some of them *will* fail — an ABOD on
+//! degenerate variance, an OCSVM that diverges, a model that outright
+//! panics. Rather than failing the whole fit closed, `Suod::fit` retries
+//! each failed model a bounded number of times and then **quarantines**
+//! it: the model is excluded from the fitted ensemble (score
+//! combination, pseudo-supervision, and prediction scheduling operate
+//! over the survivors only) and its failure is recorded here.
+//!
+//! A [`ModelHealth`] is produced by every fit attempt — including fits
+//! that ultimately fail because too few models survived — and is
+//! retrievable via `Suod::model_health`.
+
+use suod_detectors::Error as DetectorError;
+
+/// Outcome of one pool member's fit after retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelStatus {
+    /// The model fitted successfully and participates in the ensemble.
+    Healthy,
+    /// The model failed every attempt and is excluded from the ensemble.
+    Quarantined,
+}
+
+impl std::fmt::Display for ModelStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelStatus::Healthy => f.write_str("healthy"),
+            ModelStatus::Quarantined => f.write_str("quarantined"),
+        }
+    }
+}
+
+/// Health record for one pool member.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Index of the model in the configured pool (stable across
+    /// quarantines — survivors keep their original indices).
+    pub index: usize,
+    /// Short algorithm name (e.g. `"lof"`).
+    pub name: &'static str,
+    /// Whether the model survived.
+    pub status: ModelStatus,
+    /// The failure that caused quarantine. `None` for healthy models;
+    /// for a model that failed and then recovered on retry, the *final*
+    /// state is healthy and the cause is `None` (attempts > 1 records
+    /// that it struggled).
+    pub cause: Option<DetectorError>,
+    /// Total fit attempts consumed (1 = succeeded first try).
+    pub attempts: usize,
+    /// Whether the model's measured fit time exceeded the soft deadline
+    /// derived from the BPS cost forecast. Stragglers are *not*
+    /// quarantined — slow is not wrong — but flagging them feeds the
+    /// cost-model validation loop. Wall-clock-dependent: this flag is
+    /// deliberately excluded from determinism guarantees.
+    pub straggler: bool,
+}
+
+/// Health of an entire pool after one `Suod::fit`.
+#[derive(Debug, Clone, Default)]
+pub struct ModelHealth {
+    reports: Vec<ModelReport>,
+}
+
+impl ModelHealth {
+    /// Wraps per-model reports (indexed like the configured pool).
+    pub fn new(reports: Vec<ModelReport>) -> Self {
+        ModelHealth { reports }
+    }
+
+    /// Per-model records, indexed like the configured pool.
+    pub fn reports(&self) -> &[ModelReport] {
+        &self.reports
+    }
+
+    /// Number of pool members.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Number of healthy (surviving) models.
+    pub fn healthy(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.status == ModelStatus::Healthy)
+            .count()
+    }
+
+    /// Number of quarantined models.
+    pub fn quarantined(&self) -> usize {
+        self.len() - self.healthy()
+    }
+
+    /// `true` when at least one model was quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined() > 0
+    }
+
+    /// Original pool indices of the surviving models, ascending.
+    pub fn healthy_indices(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .filter(|r| r.status == ModelStatus::Healthy)
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// Original pool indices of the quarantined models, ascending.
+    pub fn quarantined_indices(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .filter(|r| r.status == ModelStatus::Quarantined)
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// Original pool indices flagged as stragglers, ascending.
+    pub fn straggler_indices(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .filter(|r| r.straggler)
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// The record for pool index `i`, if it exists.
+    pub fn report(&self, i: usize) -> Option<&ModelReport> {
+        self.reports.get(i)
+    }
+}
+
+impl std::fmt::Display for ModelHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pool health: {}/{} healthy, {} quarantined",
+            self.healthy(),
+            self.len(),
+            self.quarantined()
+        )?;
+        for r in &self.reports {
+            write!(
+                f,
+                "  [{}] {} {} (attempts {})",
+                r.index, r.name, r.status, r.attempts
+            )?;
+            if let Some(cause) = &r.cause {
+                write!(f, ": {cause}")?;
+            }
+            if r.straggler {
+                write!(f, " [straggler]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelHealth {
+        ModelHealth::new(vec![
+            ModelReport {
+                index: 0,
+                name: "knn",
+                status: ModelStatus::Healthy,
+                cause: None,
+                attempts: 1,
+                straggler: false,
+            },
+            ModelReport {
+                index: 1,
+                name: "chaos",
+                status: ModelStatus::Quarantined,
+                cause: Some(DetectorError::Panicked("boom".into())),
+                attempts: 2,
+                straggler: false,
+            },
+            ModelReport {
+                index: 2,
+                name: "lof",
+                status: ModelStatus::Healthy,
+                cause: None,
+                attempts: 2,
+                straggler: true,
+            },
+        ])
+    }
+
+    #[test]
+    fn counts_and_indices() {
+        let h = sample();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.healthy(), 2);
+        assert_eq!(h.quarantined(), 1);
+        assert!(h.is_degraded());
+        assert_eq!(h.healthy_indices(), vec![0, 2]);
+        assert_eq!(h.quarantined_indices(), vec![1]);
+        assert_eq!(h.straggler_indices(), vec![2]);
+        assert_eq!(h.report(1).unwrap().attempts, 2);
+        assert!(h.report(3).is_none());
+    }
+
+    #[test]
+    fn display_mentions_quarantine_cause() {
+        let text = sample().to_string();
+        assert!(text.contains("2/3 healthy"));
+        assert!(text.contains("quarantined"));
+        assert!(text.contains("boom"));
+        assert!(text.contains("[straggler]"));
+    }
+
+    #[test]
+    fn empty_pool_not_degraded() {
+        let h = ModelHealth::default();
+        assert!(h.is_empty());
+        assert!(!h.is_degraded());
+    }
+}

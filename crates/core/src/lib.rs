@@ -62,6 +62,7 @@
 //! ```
 
 pub mod grid;
+pub mod health;
 pub mod lscp;
 pub mod pseudo;
 pub mod spec;
@@ -71,6 +72,7 @@ pub mod xgbod;
 
 pub use crate::suod::{Suod, SuodBuilder};
 pub use grid::{full_grid, random_pool};
+pub use health::{ModelHealth, ModelReport, ModelStatus};
 pub use lscp::{lscp_scores, LscpConfig, LscpVariant};
 pub use pseudo::ApproxSpec;
 pub use spec::ModelSpec;
@@ -79,9 +81,11 @@ pub use xgbod::Xgbod;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    pub use crate::health::{ModelHealth, ModelReport, ModelStatus};
     pub use crate::pseudo::ApproxSpec;
     pub use crate::spec::ModelSpec;
     pub use crate::suod::{Suod, SuodBuilder};
+    pub use suod_detectors::ChaosMode;
     pub use suod_detectors::{Kernel, KnnMethod};
     pub use suod_linalg::DistanceMetric as Metric;
     pub use suod_linalg::Matrix;
@@ -110,6 +114,20 @@ pub enum Error {
     Linalg(suod_linalg::Error),
     /// Score combination failed.
     Metrics(suod_metrics::Error),
+    /// Too few models survived fit for the ensemble to be trusted: fewer
+    /// than `ceil(min_healthy_fraction * pool size)` models escaped
+    /// quarantine. The fitted state is discarded; the per-model health
+    /// report remains available via `Suod::model_health`.
+    PoolDegraded {
+        /// Models that fitted successfully.
+        healthy: usize,
+        /// Configured pool size.
+        total: usize,
+        /// Minimum survivors required by `min_healthy_fraction`.
+        required: usize,
+        /// The first quarantined model's failure cause.
+        cause: suod_detectors::Error,
+    },
 }
 
 impl fmt::Display for Error {
@@ -123,6 +141,16 @@ impl fmt::Display for Error {
             Error::Scheduler(e) => write!(f, "scheduler error: {e}"),
             Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
             Error::Metrics(e) => write!(f, "metrics error: {e}"),
+            Error::PoolDegraded {
+                healthy,
+                total,
+                required,
+                cause,
+            } => write!(
+                f,
+                "ensemble degraded below min_healthy_fraction: {healthy}/{total} models \
+                 healthy, {required} required (first failure: {cause})"
+            ),
         }
     }
 }
@@ -136,6 +164,7 @@ impl std::error::Error for Error {
             Error::Scheduler(e) => Some(e),
             Error::Linalg(e) => Some(e),
             Error::Metrics(e) => Some(e),
+            Error::PoolDegraded { cause, .. } => Some(cause),
             _ => None,
         }
     }

@@ -15,9 +15,9 @@
 //!   cost predictor consumes (§3.5).
 
 use suod_detectors::{
-    AbodDetector, CblofDetector, CofDetector, Detector, FeatureBagging, HbosDetector,
-    IsolationForest, Kernel, KnnDetector, KnnMethod, LodaDetector, LofDetector, LoopDetector,
-    OcsvmDetector, PcaDetector,
+    AbodDetector, CblofDetector, ChaosDetector, ChaosMode, CofDetector, Detector, FeatureBagging,
+    HbosDetector, IsolationForest, Kernel, KnnDetector, KnnMethod, LodaDetector, LofDetector,
+    LoopDetector, OcsvmDetector, PcaDetector,
 };
 use suod_linalg::DistanceMetric;
 use suod_scheduler::{AlgorithmFamily, TaskDescriptor};
@@ -100,6 +100,15 @@ pub enum ModelSpec {
         /// Neighbourhood size.
         n_neighbors: usize,
     },
+    /// Fault-injection wrapper around a kNN detector, for chaos-testing
+    /// the quarantine/retry machinery (see [`suod_detectors::chaos`]).
+    Chaos {
+        /// What to inject; [`ChaosMode::Passthrough`] behaves exactly
+        /// like the wrapped kNN.
+        mode: ChaosMode,
+        /// Neighbourhood size of the wrapped kNN detector.
+        n_neighbors: usize,
+    },
 }
 
 impl ModelSpec {
@@ -140,6 +149,11 @@ impl ModelSpec {
                 Box::new(LodaDetector::new(n_members, n_bins, seed)?)
             }
             ModelSpec::Cof { n_neighbors } => Box::new(CofDetector::new(n_neighbors)?),
+            ModelSpec::Chaos { mode, n_neighbors } => Box::new(ChaosDetector::from_mode(
+                Box::new(KnnDetector::new(n_neighbors, KnnMethod::Largest)?),
+                mode,
+                seed,
+            )),
         })
     }
 
@@ -161,6 +175,9 @@ impl ModelSpec {
             // per-neighbourhood work); the cost model treats it as Lof
             // with a chaining-overhead weight.
             ModelSpec::Cof { .. } => AlgorithmFamily::Lof,
+            // The wrapped detector is a kNN; injected faults don't change
+            // the forecastable cost profile.
+            ModelSpec::Chaos { .. } => AlgorithmFamily::Knn,
         }
     }
 
@@ -179,7 +196,9 @@ impl ModelSpec {
             ModelSpec::Ocsvm { nu, .. } => 10.0 * nu,
             ModelSpec::Pca { .. } => 1.0,
             ModelSpec::Loda { n_members, .. } => n_members as f64,
-            ModelSpec::Cof { n_neighbors } => n_neighbors as f64,
+            ModelSpec::Cof { n_neighbors } | ModelSpec::Chaos { n_neighbors, .. } => {
+                n_neighbors as f64
+            }
         }
     }
 
@@ -230,14 +249,19 @@ impl ModelSpec {
             } => Some((metric, n_neighbors)),
             ModelSpec::Abod { n_neighbors }
             | ModelSpec::Loop { n_neighbors }
-            | ModelSpec::Cof { n_neighbors } => Some((DistanceMetric::Euclidean, n_neighbors)),
+            | ModelSpec::Cof { n_neighbors }
+            | ModelSpec::Chaos { n_neighbors, .. } => {
+                Some((DistanceMetric::Euclidean, n_neighbors))
+            }
             _ => None,
         }
     }
 
     /// Whether this spec belongs to the costly pool `M_c` that PSA
     /// replaces at prediction time (§3.4): everything except the cheap
-    /// subspace methods HBOS and Isolation Forest.
+    /// subspace methods HBOS and Isolation Forest. Chaos wrappers are
+    /// never approximated — a regressor distilled over injected faults
+    /// would mask the very behaviour the wrapper exists to exercise.
     pub fn is_costly(&self) -> bool {
         !matches!(
             self,
@@ -245,12 +269,15 @@ impl ModelSpec {
                 | ModelSpec::IForest { .. }
                 | ModelSpec::Pca { .. }
                 | ModelSpec::Loda { .. }
+                | ModelSpec::Chaos { .. }
         )
     }
 
     /// Whether random projection is applied to this spec when the RP
     /// module is on. §3.3: "projection may be less useful or even
     /// detrimental for subspace methods like Isolation Forest and HBOS."
+    /// Chaos wrappers also stay in the original space so injected faults
+    /// are observed raw.
     pub fn projection_friendly(&self) -> bool {
         !matches!(
             self,
@@ -258,6 +285,7 @@ impl ModelSpec {
                 | ModelSpec::IForest { .. }
                 | ModelSpec::Pca { .. }
                 | ModelSpec::Loda { .. }
+                | ModelSpec::Chaos { .. }
         )
     }
 
@@ -280,6 +308,7 @@ impl ModelSpec {
             ModelSpec::Pca { .. } => "pca",
             ModelSpec::Loda { .. } => "loda",
             ModelSpec::Cof { .. } => "cof",
+            ModelSpec::Chaos { .. } => "chaos",
         }
     }
 }

@@ -17,18 +17,19 @@
 //! `n x m` score matrix; `combined_scores`/`predict` collapse it with the
 //! average combiner and the contamination threshold learned at fit time.
 
+use crate::health::{ModelHealth, ModelReport, ModelStatus};
 use crate::pseudo::{fit_approximator, ApproxSpec};
 use crate::spec::ModelSpec;
 use crate::{Error, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use suod_detectors::{Detector, FitContext};
+use suod_detectors::{validate_finite, Detector, FitContext};
 use suod_linalg::{DataFingerprint, DistanceMetric, Matrix, NeighborCache};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
-    DatasetMeta, ExecutionReport, SimulationResult, WorkStealingExecutor,
+    DatasetMeta, ExecutionReport, SimulationResult, TaskFailure, WorkStealingExecutor,
 };
 use suod_supervised::Regressor;
 
@@ -37,6 +38,46 @@ use suod_supervised::Regressor;
 /// — and therefore every computed value — is identical no matter how
 /// many workers execute it.
 const PREDICT_ROW_CHUNK: usize = 256;
+
+/// A successful single-model fit: the detector, its training scores, and
+/// the measured fit duration.
+type FitSuccess = (Box<dyn Detector>, Vec<f64>, Duration);
+
+/// What a fit task returns: the model-level outcome, where `Err` is a
+/// retryable typed detector failure. The task-level (outer) `Result`
+/// carries non-model failures (spec construction), which stay fatal.
+type FitOutput = std::result::Result<FitSuccess, suod_detectors::Error>;
+
+/// Seed for fit attempt `attempt` (0-based) of a model whose base seed
+/// is `seed`. Attempt 0 uses the seed unchanged; retries XOR in an
+/// odd-multiple salt so a seed-dependent failure can resolve differently
+/// on retry, deterministically and independently of the worker count.
+fn salted_seed(seed: u64, attempt: usize) -> u64 {
+    seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Classifies one fit task's outcome. `Ok(Ok(..))` is a healthy fit with
+/// finite training scores; `Ok(Err(cause))` is a retryable model failure
+/// (caught panic, typed detector error, or non-finite training scores);
+/// the outer `Err` propagates fatal non-model failures.
+fn interpret_outcome(
+    outcome: std::result::Result<Result<FitOutput>, TaskFailure>,
+) -> Result<FitOutput> {
+    match outcome {
+        Err(panic) => Ok(Err(suod_detectors::Error::Panicked(panic.message))),
+        Ok(Err(fatal)) => Err(fatal),
+        Ok(Ok(Err(cause))) => Ok(Err(cause)),
+        Ok(Ok(Ok((det, scores, dur)))) => {
+            if scores.iter().all(|v| v.is_finite()) {
+                Ok(Ok((det, scores, dur)))
+            } else {
+                Ok(Err(suod_detectors::Error::DegenerateData(
+                    "model produced non-finite training scores".into(),
+                )))
+            }
+        }
+    }
+}
 
 /// Builder for [`Suod`]. Mirrors the paper's API demo: a pool of base
 /// estimators plus per-module flags.
@@ -56,6 +97,9 @@ pub struct SuodBuilder {
     contamination: f64,
     seed: u64,
     neighbor_cache_enabled: bool,
+    min_healthy_fraction: f64,
+    max_model_retries: usize,
+    straggler_factor: f64,
 }
 
 impl Default for SuodBuilder {
@@ -75,6 +119,9 @@ impl Default for SuodBuilder {
             contamination: 0.1,
             seed: 0,
             neighbor_cache_enabled: true,
+            min_healthy_fraction: 1.0,
+            max_model_retries: 1,
+            straggler_factor: 4.0,
         }
     }
 }
@@ -164,6 +211,34 @@ impl SuodBuilder {
         self
     }
 
+    /// Minimum fraction of the pool that must fit successfully — after
+    /// retries — for [`Suod::fit`] to succeed (default 1.0: any permanent
+    /// model failure fails the fit, the strictest behaviour). Lowering it
+    /// lets the ensemble degrade gracefully: failed models are
+    /// quarantined and the survivors carry combination and prediction.
+    pub fn min_healthy_fraction(mut self, fraction: f64) -> Self {
+        self.min_healthy_fraction = fraction;
+        self
+    }
+
+    /// Extra fit attempts granted to a failed model before it is
+    /// quarantined (default 1). Each retry re-salts the model's seed, so
+    /// transient seed-dependent failures can recover; the outcome is
+    /// deterministic for a given master seed regardless of worker count.
+    pub fn max_model_retries(mut self, retries: usize) -> Self {
+        self.max_model_retries = retries;
+        self
+    }
+
+    /// Multiple of the forecast-implied expected fit time beyond which a
+    /// model is flagged as a straggler in the health report (default 4).
+    /// Stragglers are never quarantined — slow is not wrong — the flag
+    /// feeds the cost-model validation loop.
+    pub fn straggler_factor(mut self, factor: f64) -> Self {
+        self.straggler_factor = factor;
+        self
+    }
+
     /// Expected outlier fraction used by [`Suod::predict`]'s threshold
     /// (default 0.1).
     pub fn contamination(mut self, c: f64) -> Self {
@@ -211,11 +286,24 @@ impl SuodBuilder {
                 self.contamination
             )));
         }
+        if !(self.min_healthy_fraction > 0.0 && self.min_healthy_fraction <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "min_healthy_fraction must be in (0, 1], got {}",
+                self.min_healthy_fraction
+            )));
+        }
+        if !(self.straggler_factor.is_finite() && self.straggler_factor >= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "straggler_factor must be finite and >= 1, got {}",
+                self.straggler_factor
+            )));
+        }
         Ok(Suod {
             config: self,
             state: None,
             executor: None,
             fit_report: None,
+            model_health: None,
         })
     }
 }
@@ -249,6 +337,9 @@ pub struct Suod {
     executor: Option<Arc<WorkStealingExecutor>>,
     /// Telemetry from the most recent fit's execution.
     fit_report: Option<ExecutionReport>,
+    /// Per-model health from the most recent fit, including fits that
+    /// failed with [`Error::PoolDegraded`].
+    model_health: Option<ModelHealth>,
 }
 
 impl std::fmt::Debug for SuodBuilder {
@@ -343,16 +434,29 @@ impl Suod {
     /// Fits every base estimator (Algorithm 1, lines 3–16), then trains
     /// the PSA approximators for costly models (lines 17–24).
     ///
+    /// Model fits run **fault-isolated**: a detector that panics or
+    /// returns a typed error is retried up to
+    /// [`max_model_retries`](SuodBuilder::max_model_retries) times with a
+    /// re-salted seed, and quarantined if it never recovers. Quarantined
+    /// models are excluded from the fitted ensemble — combination,
+    /// pseudo-supervision, and prediction scheduling operate over the
+    /// survivors — and recorded in [`model_health`](Self::model_health).
+    ///
     /// # Errors
     ///
-    /// Propagates the first failure from projection, detector fitting,
-    /// scheduling, or approximation.
+    /// Returns [`Error::Detector`] with
+    /// [`NonFiniteInput`](suod_detectors::Error::NonFiniteInput) for
+    /// training data containing NaN/infinities, [`Error::PoolDegraded`]
+    /// when fewer than `ceil(min_healthy_fraction * m)` models survive
+    /// quarantine (the health report stays available), and propagates
+    /// fatal failures from projection, scheduling, or approximation.
     pub fn fit(&mut self, x: &Matrix) -> Result<&mut Self> {
         if x.nrows() == 0 || x.ncols() == 0 {
             return Err(Error::InvalidConfig(
                 "training data must be non-empty".into(),
             ));
         }
+        validate_finite(x, "fit").map_err(Error::Detector)?;
         let d = x.ncols();
         let meta = DatasetMeta::extract(x);
         let shared_x = Arc::new(x.clone());
@@ -421,64 +525,174 @@ impl Suod {
             fit_threads = (self.config.n_workers / groups.len().max(1)).max(1);
         }
 
-        // --- BPS + fit execution (pass 2). ----------------------------------
+        // --- BPS + fault-isolated fit execution (pass 2). -------------------
         let assignment = self.schedule(&meta, &cached_flags)?;
-        type FitOutput =
-            std::result::Result<(Box<dyn Detector>, Vec<f64>, Duration), suod_detectors::Error>;
-        let mut tasks: Vec<Box<dyn FnOnce() -> Result<FitOutput> + Send>> = Vec::new();
-        for (i, spec) in self.config.base_estimators.iter().enumerate() {
-            let spec = *spec;
-            let seed = self.model_seed(i);
-            let psi = Arc::clone(&spaces[i]);
-            let ctx = match &cache {
-                Some(c) if fingerprints[i].is_some() => {
-                    FitContext::cached(Arc::clone(c), fingerprints[i], fit_threads)
-                }
-                _ => FitContext::standalone(fit_threads),
-            };
-            tasks.push(Box::new(move || {
-                let mut det = spec.build(seed)?;
-                let start = Instant::now();
-                match det.fit_with_context(&psi, &ctx) {
-                    Ok(()) => {
-                        let elapsed = start.elapsed();
-                        let scores = det.training_scores()?;
-                        Ok(Ok((det, scores, elapsed)))
-                    }
-                    Err(e) => Ok(Err(e)),
-                }
-            }));
-        }
         let executor = self.executor_for_run()?;
-        let (outputs, mut report) = executor.run_with_report(tasks, &assignment)?;
+        let make_task =
+            |i: usize, attempt: usize| -> Box<dyn FnOnce() -> Result<FitOutput> + Send> {
+                let spec = self.config.base_estimators[i];
+                let seed = salted_seed(self.model_seed(i), attempt);
+                let psi = Arc::clone(&spaces[i]);
+                let ctx = match &cache {
+                    Some(c) if fingerprints[i].is_some() => {
+                        FitContext::cached(Arc::clone(c), fingerprints[i], fit_threads)
+                    }
+                    _ => FitContext::standalone(fit_threads),
+                };
+                Box::new(move || {
+                    let mut det = spec.build(seed)?;
+                    let start = Instant::now();
+                    match det.fit_with_context(&psi, &ctx) {
+                        Ok(()) => {
+                            let elapsed = start.elapsed();
+                            let scores = det.training_scores()?;
+                            Ok(Ok((det, scores, elapsed)))
+                        }
+                        Err(e) => Ok(Err(e)),
+                    }
+                })
+            };
+        let tasks: Vec<_> = (0..m).map(|i| make_task(i, 0)).collect();
+        let (outcomes, mut report) = executor.run_with_report_isolated(tasks, &assignment)?;
         if let Some(cache) = &cache {
             let stats = cache.stats();
             report.cache_hits = stats.hits;
             report.cache_misses = stats.misses;
             report.cache_build_time = stats.build_time;
         }
-        self.fit_report = Some(report);
 
-        let mut models: Vec<FittedModel> = Vec::with_capacity(outputs.len());
-        for ((output, spec), projector) in outputs
-            .into_iter()
-            .zip(&self.config.base_estimators)
-            .zip(projectors)
-        {
-            let (detector, train_scores, fit_time) = output?.map_err(Error::Detector)?;
-            models.push(FittedModel {
-                spec: *spec,
-                detector,
-                projector,
-                approximator: None,
-                train_scores,
-                fit_time,
+        let mut fitted: Vec<Option<FitSuccess>> = (0..m).map(|_| None).collect();
+        let mut causes: Vec<Option<suod_detectors::Error>> = vec![None; m];
+        let mut attempts = vec![1usize; m];
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match interpret_outcome(outcome)? {
+                Ok(ok) => fitted[i] = Some(ok),
+                Err(cause) => causes[i] = Some(cause),
+            }
+        }
+
+        // --- Bounded retry of failed models. --------------------------------
+        // Retries run on the same pool under a generic schedule (the
+        // failed subset is small and its costs are unknown — the original
+        // forecast clearly missed). Each retry re-salts the model seed.
+        for attempt in 1..=self.config.max_model_retries {
+            let pending: Vec<usize> = (0..m).filter(|&i| causes[i].is_some()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            let retry_tasks: Vec<_> = pending.iter().map(|&i| make_task(i, attempt)).collect();
+            let retry_assignment =
+                generic_schedule(pending.len(), self.config.n_workers.min(pending.len()))?;
+            let (retry_outcomes, retry_report) =
+                executor.run_with_report_isolated(retry_tasks, &retry_assignment)?;
+            report.retries += pending.len();
+            report.failures += retry_report.failures;
+            for (&i, outcome) in pending.iter().zip(retry_outcomes) {
+                attempts[i] += 1;
+                match interpret_outcome(outcome)? {
+                    Ok(ok) => {
+                        fitted[i] = Some(ok);
+                        causes[i] = None;
+                    }
+                    Err(cause) => causes[i] = Some(cause),
+                }
+            }
+        }
+
+        // --- Straggler flagging from the BPS cost forecast. -----------------
+        // A model is a straggler when its measured fit time exceeds
+        // `straggler_factor` times its forecast-implied share of the total
+        // (and is non-trivial in absolute terms). Wall-clock-dependent by
+        // nature, so deliberately excluded from determinism guarantees.
+        let mut straggler_flags = vec![false; m];
+        if report.task_times.len() == m {
+            let descriptors: Vec<_> = self
+                .config
+                .base_estimators
+                .iter()
+                .zip(&cached_flags)
+                .map(|(s, &cached)| s.task_descriptor().with_cached_neighbors(cached))
+                .collect();
+            let predicted = self.config.cost_model.predict_costs(&descriptors, &meta);
+            let total_pred: f64 = predicted.iter().sum();
+            let total_measured: f64 = report.task_times.iter().map(Duration::as_secs_f64).sum();
+            if total_pred > 0.0 && total_measured > 0.0 {
+                for i in 0..m {
+                    let expected = predicted[i] / total_pred * total_measured;
+                    let measured = report.task_times[i].as_secs_f64();
+                    straggler_flags[i] =
+                        measured > self.config.straggler_factor * expected && measured > 0.05;
+                }
+            }
+            report.stragglers = straggler_flags
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &flag)| flag.then_some(i))
+                .collect();
+        }
+
+        // --- Quarantine bookkeeping + degradation floor. --------------------
+        let health = ModelHealth::new(
+            (0..m)
+                .map(|i| ModelReport {
+                    index: i,
+                    name: self.config.base_estimators[i].name(),
+                    status: if fitted[i].is_some() {
+                        ModelStatus::Healthy
+                    } else {
+                        ModelStatus::Quarantined
+                    },
+                    cause: causes[i].clone(),
+                    attempts: attempts[i],
+                    straggler: straggler_flags[i],
+                })
+                .collect(),
+        );
+        let n_healthy = health.healthy();
+        let required =
+            (((self.config.min_healthy_fraction * m as f64) - 1e-9).ceil() as usize).max(1);
+        self.fit_report = Some(report);
+        if n_healthy < required {
+            let cause = causes
+                .iter()
+                .flatten()
+                .next()
+                .cloned()
+                .expect("a degraded pool records at least one failure cause");
+            self.model_health = Some(health);
+            self.state = None;
+            return Err(Error::PoolDegraded {
+                healthy: n_healthy,
+                total: m,
+                required,
+                cause,
             });
+        }
+        self.model_health = Some(health);
+
+        // --- Assemble the surviving ensemble. -------------------------------
+        // Survivors keep their original pool indices (`model_indices`) so
+        // their feature spaces and derived seeds are unchanged by the
+        // quarantine of other models.
+        let mut models: Vec<FittedModel> = Vec::with_capacity(n_healthy);
+        let mut model_indices: Vec<usize> = Vec::with_capacity(n_healthy);
+        for i in 0..m {
+            if let Some((detector, train_scores, fit_time)) = fitted[i].take() {
+                models.push(FittedModel {
+                    spec: self.config.base_estimators[i],
+                    detector,
+                    projector: projectors[i].take(),
+                    approximator: None,
+                    train_scores,
+                    fit_time,
+                });
+                model_indices.push(i);
+            }
         }
 
         // --- PSA: distill costly models. ------------------------------------
         if self.config.approx_enabled {
-            for (i, model) in models.iter_mut().enumerate() {
+            for (model, &i) in models.iter_mut().zip(&model_indices) {
                 if model.spec.is_costly() {
                     let approx = fit_approximator(
                         &self.config.approx_spec,
@@ -550,6 +764,15 @@ impl Suod {
         self.fit_report.as_ref()
     }
 
+    /// Per-model health from the most recent [`fit`](Self::fit): which
+    /// models survived, which were quarantined and why, how many attempts
+    /// each consumed, and which ran far past their forecast (stragglers).
+    /// Available even when `fit` failed with [`Error::PoolDegraded`];
+    /// `None` before the first fit reaches the execution stage.
+    pub fn model_health(&self) -> Option<&ModelHealth> {
+        self.model_health.as_ref()
+    }
+
     /// BPS applies to "both training and prediction stage" (paper §3.5).
     /// Prediction work is split into (model x row-chunk) tasks, ordered
     /// model-major; each task's cost is the model's forecast (nominal 1.0
@@ -601,6 +824,7 @@ impl Suod {
                 x.ncols()
             )));
         }
+        validate_finite(x, "decision_function").map_err(Error::Detector)?;
         let executor = self.executor.as_ref().ok_or(Error::NotFitted)?;
         let n = x.nrows();
         let m = state.models.len();
@@ -651,6 +875,11 @@ impl Suod {
                         chunk.len()
                     )));
                 }
+                if part.iter().any(|v| !v.is_finite()) {
+                    return Err(Error::Detector(suod_detectors::Error::DegenerateData(
+                        format!("model {mi} produced non-finite prediction scores"),
+                    )));
+                }
                 for (offset, &v) in part.iter().enumerate() {
                     out.set(chunk.start + offset, mi, v);
                 }
@@ -677,6 +906,7 @@ impl Suod {
                 x.ncols()
             )));
         }
+        validate_finite(x, "decision_function").map_err(Error::Detector)?;
         let mut columns = Vec::with_capacity(state.models.len());
         let mut times = Vec::with_capacity(state.models.len());
         for model in &state.models {
@@ -1360,5 +1590,183 @@ mod tests {
             .build()
             .unwrap();
         assert!(clf.fit(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    fn non_finite_training_data_rejected_typed() {
+        let mut x = data();
+        x.set(5, 2, f64::NAN);
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            clf.fit(&x).unwrap_err(),
+            Error::Detector(suod_detectors::Error::NonFiniteInput("fit"))
+        ));
+    }
+
+    #[test]
+    fn non_finite_query_rejected_typed() {
+        let clf = fitted(Suod::builder());
+        let mut q = Matrix::zeros(2, 4);
+        q.set(1, 3, f64::INFINITY);
+        assert!(matches!(
+            clf.decision_function(&q).unwrap_err(),
+            Error::Detector(suod_detectors::Error::NonFiniteInput(_))
+        ));
+    }
+
+    #[test]
+    fn panicking_model_quarantined_survivors_serve() {
+        use suod_detectors::ChaosMode;
+        let mut pool = small_pool();
+        pool.push(ModelSpec::Chaos {
+            mode: ChaosMode::PanicOnFit,
+            n_neighbors: 5,
+        });
+        let mut clf = Suod::builder()
+            .base_estimators(pool)
+            .min_healthy_fraction(0.5)
+            .seed(3)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        let health = clf.model_health().unwrap();
+        assert_eq!(health.quarantined_indices(), vec![4]);
+        let report = health.report(4).unwrap();
+        assert!(matches!(
+            report.cause,
+            Some(suod_detectors::Error::Panicked(_))
+        ));
+        // One retry (the default) before quarantine.
+        assert_eq!(report.attempts, 2);
+        assert_eq!(clf.fit_report().unwrap().retries, 1);
+        // Survivors carry prediction: the score matrix has 4 columns.
+        let x = data();
+        assert_eq!(clf.decision_function(&x).unwrap().shape(), (62, 4));
+        assert_eq!(clf.predict(&x).unwrap().len(), 62);
+    }
+
+    #[test]
+    fn nan_scoring_model_quarantined_with_degenerate_cause() {
+        use suod_detectors::ChaosMode;
+        let mut pool = small_pool();
+        pool.push(ModelSpec::Chaos {
+            mode: ChaosMode::NanScores,
+            n_neighbors: 5,
+        });
+        let mut clf = Suod::builder()
+            .base_estimators(pool)
+            .min_healthy_fraction(0.5)
+            .seed(3)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        let health = clf.model_health().unwrap();
+        assert_eq!(health.quarantined_indices(), vec![4]);
+        assert!(matches!(
+            health.report(4).unwrap().cause,
+            Some(suod_detectors::Error::DegenerateData(_))
+        ));
+    }
+
+    #[test]
+    fn degraded_pool_returns_typed_error_with_health() {
+        use suod_detectors::ChaosMode;
+        // Default min_healthy_fraction = 1.0: one permanent failure fails
+        // the fit, but the health report survives.
+        let pool = vec![
+            ModelSpec::Chaos {
+                mode: ChaosMode::PanicOnFit,
+                n_neighbors: 5,
+            },
+            ModelSpec::Hbos {
+                n_bins: 10,
+                tolerance: 0.3,
+            },
+        ];
+        let mut clf = Suod::builder().base_estimators(pool).build().unwrap();
+        let err = clf.fit(&data()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::PoolDegraded {
+                healthy: 1,
+                total: 2,
+                required: 2,
+                ..
+            }
+        ));
+        assert!(!clf.is_fitted());
+        let health = clf.model_health().unwrap();
+        assert_eq!(health.healthy(), 1);
+        assert_eq!(health.quarantined_indices(), vec![0]);
+    }
+
+    #[test]
+    fn quarantine_does_not_change_survivor_scores() {
+        use suod_detectors::ChaosMode;
+        // Projection and approximation off: survivor columns must be
+        // bit-identical with and without the chaos member, because
+        // survivors keep their original pool indices and seeds.
+        let x = data();
+        let mut clean = Suod::builder()
+            .base_estimators(small_pool())
+            .with_projection(false)
+            .with_approximation(false)
+            .seed(9)
+            .build()
+            .unwrap();
+        clean.fit(&x).unwrap();
+        let mut pool = small_pool();
+        pool.push(ModelSpec::Chaos {
+            mode: ChaosMode::PanicOnFit,
+            n_neighbors: 5,
+        });
+        let mut chaotic = Suod::builder()
+            .base_estimators(pool)
+            .with_projection(false)
+            .with_approximation(false)
+            .min_healthy_fraction(0.5)
+            .seed(9)
+            .build()
+            .unwrap();
+        chaotic.fit(&x).unwrap();
+        let a = clean.decision_function(&x).unwrap();
+        let b = chaotic.decision_function(&x).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn fault_tolerance_builder_validation() {
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .min_healthy_fraction(0.0)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .min_healthy_fraction(1.5)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .straggler_factor(0.5)
+            .build()
+            .is_err());
+        assert!(Suod::builder()
+            .base_estimators(small_pool())
+            .straggler_factor(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn salted_seed_identity_on_first_attempt() {
+        assert_eq!(salted_seed(42, 0), 42);
+        assert_ne!(salted_seed(42, 1), 42);
+        // The odd salt flips the low bit, so parity-sensitive transient
+        // failures (ChaosMode::FlakyPanic) resolve on retry.
+        assert_ne!(salted_seed(42, 1) % 2, 42 % 2);
     }
 }

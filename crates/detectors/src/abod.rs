@@ -12,7 +12,7 @@
 //! Scores are negated (`-ABOF`) so that larger = more outlying, matching
 //! the PyOD convention used across this workspace.
 
-use crate::{check_dims, Detector, Error, FitContext, Result};
+use crate::{check_dims, validate_finite, Detector, Error, FitContext, Result};
 use std::sync::Arc;
 use suod_linalg::distance::Neighbor;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
@@ -111,6 +111,10 @@ impl Detector for AbodDetector {
                 got: x.nrows(),
             });
         }
+        // A single NaN cell silently poisons the cosine-variance
+        // accumulation (every neighbourhood containing the row goes NaN);
+        // reject typed instead.
+        validate_finite(x, "abod fit")?;
         // Leave-one-out lists come batched: pool-shared prefix views when
         // `ctx` carries a cache, the symmetric-distance fast path
         // otherwise.
@@ -214,6 +218,16 @@ mod tests {
         let mut det = AbodDetector::new(3).unwrap();
         det.fit(&x).unwrap();
         assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_input_rejected_typed() {
+        let mut rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 1.0]).collect();
+        rows[3][1] = f64::NAN;
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut det = AbodDetector::new(3).unwrap();
+        assert!(matches!(det.fit(&x), Err(Error::NonFiniteInput(_))));
+        assert!(!det.is_fitted());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod abod;
 pub mod cblof;
+pub mod chaos;
 pub mod cof;
 pub mod feature_bagging;
 pub mod hbos;
@@ -64,6 +65,7 @@ pub mod pca_detector;
 
 pub use abod::AbodDetector;
 pub use cblof::CblofDetector;
+pub use chaos::{ChaosConfig, ChaosDetector, ChaosMode};
 pub use cof::CofDetector;
 pub use feature_bagging::FeatureBagging;
 pub use hbos::HbosDetector;
@@ -106,6 +108,17 @@ pub enum Error {
     },
     /// Propagated linear-algebra failure.
     Linalg(suod_linalg::Error),
+    /// Input contained NaN or infinite values. The payload names the
+    /// boundary that rejected the data (e.g. `"fit"`).
+    NonFiniteInput(&'static str),
+    /// The training data was numerically degenerate for this algorithm
+    /// (singular covariance, zero variance, non-finite scores, ...).
+    DegenerateData(String),
+    /// An iterative solver failed to converge to a finite solution.
+    NonConvergence(String),
+    /// The model panicked during fit and was caught at a task fault
+    /// boundary. The payload is the panic message.
+    Panicked(String),
 }
 
 impl fmt::Display for Error {
@@ -123,6 +136,12 @@ impl fmt::Display for Error {
                 write!(f, "expected {expected}-dimensional rows, got {actual}")
             }
             Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::NonFiniteInput(boundary) => {
+                write!(f, "non-finite (NaN/inf) values in input at {boundary}")
+            }
+            Error::DegenerateData(msg) => write!(f, "numerically degenerate data: {msg}"),
+            Error::NonConvergence(msg) => write!(f, "solver failed to converge: {msg}"),
+            Error::Panicked(msg) => write!(f, "model panicked during fit: {msg}"),
         }
     }
 }
@@ -311,6 +330,25 @@ pub fn labels_from_scores(scores: &[f64], contamination: f64) -> Result<Vec<i32>
     let threshold = suod_linalg::rank::kth_largest(scores, n_out)
         .expect("n_out is within bounds by construction");
     Ok(scores.iter().map(|&s| i32::from(s >= threshold)).collect())
+}
+
+/// Rejects matrices containing NaN or infinite entries.
+///
+/// Fragile algorithms (ABOD variance accumulation, OCSVM's SMO loop, PCA
+/// eigendecomposition) turn a single NaN cell into a silently garbage
+/// model; the orchestrator calls this at the `fit`/`decision_function`
+/// boundaries so the failure surfaces as a typed error instead.
+///
+/// # Errors
+///
+/// Returns [`Error::NonFiniteInput`] carrying `boundary` when any entry
+/// is NaN or infinite.
+pub fn validate_finite(x: &Matrix, boundary: &'static str) -> Result<()> {
+    if x.as_slice().iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(Error::NonFiniteInput(boundary))
+    }
 }
 
 pub(crate) fn check_dims(expected: usize, x: &Matrix) -> Result<()> {

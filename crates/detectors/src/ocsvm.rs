@@ -320,6 +320,15 @@ impl Detector for OcsvmDetector {
             }
         };
 
+        // A non-PSD kernel on extreme inputs can blow the gradient up to
+        // inf/NaN without tripping the KKT break: surface that as a typed
+        // non-convergence instead of publishing a garbage model.
+        if !self.rho.is_finite() || g.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonConvergence(
+                "SMO produced non-finite gradient/offset (kernel overflow?)".into(),
+            ));
+        }
+
         // Training scores: f(x_i) = g_i - rho; outlyingness = rho - g_i.
         self.train_scores = g.iter().map(|&gi| self.rho - gi).collect();
         self.alphas = alpha;
@@ -462,6 +471,25 @@ mod tests {
         for (a, b) in from_fit.iter().zip(&recomputed) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn overflowing_kernel_reports_non_convergence() {
+        // Poly kernel on astronomically scaled data overflows to inf in
+        // the very first gradient build; the fit must surface a typed
+        // NonConvergence instead of a silently garbage model.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![1e200 * (i + 1) as f64, -1e200])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let kernel = Kernel::Poly {
+            gamma: 1.0,
+            coef0: 0.0,
+            degree: 3,
+        };
+        let mut det = OcsvmDetector::new(0.5, kernel).unwrap().with_max_iter(50);
+        assert!(matches!(det.fit(&x), Err(Error::NonConvergence(_))));
+        assert!(!det.is_fitted());
     }
 
     #[test]

@@ -125,7 +125,20 @@ impl Detector for PcaDetector {
                 cov.set(j, i, v);
             }
         }
+        // Extreme-magnitude inputs overflow the covariance accumulation;
+        // the eigensolver would then iterate on inf/NaN forever or return
+        // garbage directions, so reject the singular matrix up front.
+        if cov.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(Error::DegenerateData(
+                "covariance matrix has non-finite entries (input overflow?)".into(),
+            ));
+        }
         let eig = symmetric_eigen(&cov)?;
+        if eig.values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::DegenerateData(
+                "covariance eigendecomposition produced non-finite eigenvalues".into(),
+            ));
+        }
 
         // Split major/minor by cumulative explained variance.
         let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
@@ -240,6 +253,20 @@ mod tests {
             .unwrap()
             .iter()
             .all(|&v| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    fn overflowing_covariance_reports_degenerate_data() {
+        // Entries near f64::MAX overflow the covariance accumulation to
+        // inf; fit must fail typed rather than hand inf to the
+        // eigensolver.
+        let rows: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![1e200 * (i as f64 - 2.0), -1e200 * i as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut det = PcaDetector::new(0.5).unwrap();
+        assert!(matches!(det.fit(&x), Err(Error::DegenerateData(_))));
+        assert!(!det.is_fitted());
     }
 
     #[test]

@@ -406,8 +406,8 @@ mod tests {
                 "k={k} should be served by the k=8 graph"
             );
             let direct = g.index().self_query_batch(k, 1);
-            for i in 0..x.nrows() {
-                assert_eq!(g.prefix(i, k), &direct[i][..], "k={k} row={i}");
+            for (i, row) in direct.iter().enumerate() {
+                assert_eq!(g.prefix(i, k), &row[..], "k={k} row={i}");
             }
         }
         let stats = cache.stats();

@@ -199,8 +199,8 @@ proptest! {
         let graph = cache.get_or_build(&pts, metric, k, 1).unwrap();
         let index = suod_linalg::KnnIndex::build(&pts, metric).unwrap();
         let direct = index.self_query_batch(k, 1);
-        for i in 0..n {
-            prop_assert_eq!(graph.prefix(i, k), &direct[i][..]);
+        for (i, row) in direct.iter().enumerate() {
+            prop_assert_eq!(graph.prefix(i, k), &row[..]);
         }
         prop_assert_eq!(cache.stats().builds, 1);
     }

@@ -9,6 +9,12 @@
 //! All combiners operate on a score matrix of shape `n_samples x n_models`
 //! and z-score standardize each model's column first (the PyOD convention),
 //! so models with different score scales combine meaningfully.
+//!
+//! **Absent-column convention:** a column that is entirely NaN marks a
+//! quarantined/absent model and is silently skipped — the survivors
+//! combine as if the model never existed. A column mixing finite and
+//! non-finite values is corrupt rather than absent and is rejected with
+//! a typed [`Error::NonFinite`].
 
 use crate::{Error, Result};
 use suod_linalg::stats::zscore_in_place;
@@ -45,16 +51,39 @@ impl Combiner {
     }
 }
 
+/// Z-scores the usable model columns, dropping absent ones.
+///
+/// A column that is **entirely** NaN marks a quarantined model (the
+/// convention the `suod` orchestrator uses for models excluded after a
+/// fit failure) and is silently skipped — the survivors combine as if the
+/// model never existed. A column that mixes finite and non-finite entries
+/// is corrupt rather than absent and is rejected with
+/// [`Error::NonFinite`].
 fn standardized_columns(scores: &Matrix) -> Result<Matrix> {
     if scores.nrows() == 0 || scores.ncols() == 0 {
         return Err(Error::Empty("score combination"));
     }
-    let mut out = scores.clone();
+    let mut active: Vec<(usize, Vec<f64>)> = Vec::with_capacity(scores.ncols());
     for c in 0..scores.ncols() {
-        let mut col = scores.col(c);
-        zscore_in_place(&mut col);
-        for (r, v) in col.into_iter().enumerate() {
-            out.set(r, c, v);
+        let col = scores.col(c);
+        let n_finite = col.iter().filter(|v| v.is_finite()).count();
+        if n_finite == col.len() {
+            active.push((c, col));
+        } else if n_finite != 0 {
+            return Err(Error::NonFinite(
+                "score combination: column mixes finite and non-finite values",
+            ));
+        }
+        // n_finite == 0: quarantined/absent column, skip entirely.
+    }
+    if active.is_empty() {
+        return Err(Error::Undefined("score combination with no finite columns"));
+    }
+    let mut out = Matrix::zeros(scores.nrows(), active.len());
+    for (j, (_, col)) in active.iter_mut().enumerate() {
+        zscore_in_place(col);
+        for (r, &v) in col.iter().enumerate() {
+            out.set(r, j, v);
         }
     }
     Ok(out)
@@ -62,9 +91,14 @@ fn standardized_columns(scores: &Matrix) -> Result<Matrix> {
 
 /// Mean of standardized base-model scores per sample.
 ///
+/// All-NaN columns mark quarantined models and are skipped (the
+/// absent-column convention described in the module docs).
+///
 /// # Errors
 ///
-/// Returns [`Error::Empty`] for an empty score matrix.
+/// Returns [`Error::Empty`] for an empty score matrix,
+/// [`Error::Undefined`] when every column is absent, and
+/// [`Error::NonFinite`] for columns mixing finite and non-finite values.
 pub fn average(scores: &Matrix) -> Result<Vec<f64>> {
     let z = standardized_columns(scores)?;
     Ok(z.rows_iter()
@@ -74,9 +108,11 @@ pub fn average(scores: &Matrix) -> Result<Vec<f64>> {
 
 /// Maximum of standardized base-model scores per sample.
 ///
+/// All-NaN (quarantined) columns are skipped, like [`average`].
+///
 /// # Errors
 ///
-/// Returns [`Error::Empty`] for an empty score matrix.
+/// Same conditions as [`average`].
 pub fn maximization(scores: &Matrix) -> Result<Vec<f64>> {
     let z = standardized_columns(scores)?;
     Ok(z.rows_iter()
@@ -104,10 +140,13 @@ fn bucket_ranges(n_models: usize, n_buckets: usize) -> Result<Vec<(usize, usize)
 /// Average-of-maximum: models are split into contiguous buckets, the max is
 /// taken within each bucket, and the bucket maxima are averaged.
 ///
+/// All-NaN (quarantined) columns are dropped **before** bucketing, so
+/// buckets partition the surviving models.
+///
 /// # Errors
 ///
-/// Returns [`Error::Empty`] for an empty score matrix and
-/// [`Error::Undefined`] when `n_buckets == 0`.
+/// Same conditions as [`average`], plus [`Error::Undefined`] when
+/// `n_buckets == 0`.
 pub fn aom(scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
     let z = standardized_columns(scores)?;
     let ranges = bucket_ranges(z.ncols(), n_buckets)?;
@@ -126,10 +165,13 @@ pub fn aom(scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
 /// taken within each bucket, and the maximum bucket mean is reported. This
 /// is the `MOA_` combiner of Table 4.
 ///
+/// All-NaN (quarantined) columns are dropped **before** bucketing, so
+/// buckets partition the surviving models.
+///
 /// # Errors
 ///
-/// Returns [`Error::Empty`] for an empty score matrix and
-/// [`Error::Undefined`] when `n_buckets == 0`.
+/// Same conditions as [`average`], plus [`Error::Undefined`] when
+/// `n_buckets == 0`.
 pub fn moa(scores: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
     let z = standardized_columns(scores)?;
     let ranges = bucket_ranges(z.ncols(), n_buckets)?;
@@ -219,6 +261,39 @@ mod tests {
     fn empty_scores_error() {
         assert!(average(&Matrix::zeros(0, 3)).is_err());
         assert!(maximization(&Matrix::zeros(3, 0)).is_err());
+    }
+
+    #[test]
+    fn all_nan_columns_skipped_as_quarantined() {
+        // Column 1 is fully NaN (a quarantined model); the combiners must
+        // produce exactly what the survivor columns alone produce.
+        let with_gap = Matrix::from_rows(&[
+            vec![0.0, f64::NAN, 0.0],
+            vec![1.0, f64::NAN, 10.0],
+            vec![2.0, f64::NAN, 20.0],
+        ])
+        .unwrap();
+        let survivors =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 10.0], vec![2.0, 20.0]]).unwrap();
+        assert_eq!(average(&with_gap).unwrap(), average(&survivors).unwrap());
+        assert_eq!(
+            maximization(&with_gap).unwrap(),
+            maximization(&survivors).unwrap()
+        );
+        assert_eq!(aom(&with_gap, 2).unwrap(), aom(&survivors, 2).unwrap());
+        assert_eq!(moa(&with_gap, 2).unwrap(), moa(&survivors, 2).unwrap());
+    }
+
+    #[test]
+    fn mixed_non_finite_column_rejected() {
+        let s = Matrix::from_rows(&[vec![0.0, f64::NAN], vec![1.0, 0.5]]).unwrap();
+        assert!(matches!(average(&s).unwrap_err(), Error::NonFinite(_)));
+    }
+
+    #[test]
+    fn all_columns_absent_undefined() {
+        let s = Matrix::from_rows(&[vec![f64::NAN], vec![f64::NAN]]).unwrap();
+        assert!(matches!(average(&s).unwrap_err(), Error::Undefined(_)));
     }
 
     #[test]

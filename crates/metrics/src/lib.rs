@@ -52,6 +52,9 @@ pub enum Error {
     Undefined(&'static str),
     /// Inputs were empty where data is required.
     Empty(&'static str),
+    /// Scores contained NaN or infinite values where a total order (or a
+    /// meaningful standardization) is required.
+    NonFinite(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +66,9 @@ impl fmt::Display for Error {
             ),
             Error::Undefined(what) => write!(f, "metric undefined: {what}"),
             Error::Empty(what) => write!(f, "{what} received empty input"),
+            Error::NonFinite(what) => {
+                write!(f, "{what} received non-finite (NaN/inf) scores")
+            }
         }
     }
 }

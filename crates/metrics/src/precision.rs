@@ -16,6 +16,8 @@ use suod_linalg::rank::top_k_indices;
 /// * [`Error::Empty`] on empty input.
 /// * [`Error::Undefined`] when there are no outliers and `n` is `None`,
 ///   or when `Some(0)` is passed.
+/// * [`Error::NonFinite`] when any score is NaN or infinite — a NaN score
+///   would make the top-k selection order-dependent garbage.
 ///
 /// # Example
 ///
@@ -29,6 +31,9 @@ pub fn precision_at_n(labels: &[i32], scores: &[f64], n: Option<usize>) -> Resul
     check_lengths(labels.len(), scores.len())?;
     if labels.is_empty() {
         return Err(Error::Empty("precision_at_n"));
+    }
+    if scores.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFinite("precision_at_n"));
     }
     let n_outliers = labels.iter().filter(|&&l| l != 0).count();
     let k = match n {
@@ -58,6 +63,9 @@ pub fn precision_recall_at_k(labels: &[i32], scores: &[f64], k: usize) -> Result
     }
     if k == 0 {
         return Err(Error::Undefined("precision_recall_at_k with k = 0"));
+    }
+    if scores.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFinite("precision_recall_at_k"));
     }
     let n_outliers = labels.iter().filter(|&&l| l != 0).count();
     if n_outliers == 0 {
@@ -111,6 +119,15 @@ mod tests {
     #[test]
     fn zero_k_undefined() {
         assert!(precision_at_n(&[1, 0], &[0.9, 0.1], Some(0)).is_err());
+    }
+
+    #[test]
+    fn non_finite_scores_rejected() {
+        assert!(matches!(
+            precision_at_n(&[1, 0], &[f64::NAN, 0.1], None).unwrap_err(),
+            Error::NonFinite(_)
+        ));
+        assert!(precision_recall_at_k(&[1, 0], &[0.9, f64::NEG_INFINITY], 1).is_err());
     }
 
     #[test]

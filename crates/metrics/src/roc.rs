@@ -18,6 +18,8 @@ use suod_linalg::rank::average_ranks;
 /// * [`Error::LengthMismatch`] when the vectors differ in length.
 /// * [`Error::Empty`] on empty input.
 /// * [`Error::Undefined`] when only one class is present.
+/// * [`Error::NonFinite`] when any score is NaN or infinite — NaN has no
+///   rank, so the AUC would silently depend on sort-order arbitraria.
 ///
 /// # Example
 ///
@@ -30,6 +32,9 @@ pub fn roc_auc(labels: &[i32], scores: &[f64]) -> Result<f64> {
     check_lengths(labels.len(), scores.len())?;
     if labels.is_empty() {
         return Err(Error::Empty("roc_auc"));
+    }
+    if scores.iter().any(|v| !v.is_finite()) {
+        return Err(Error::NonFinite("roc_auc"));
     }
     let n_pos = labels.iter().filter(|&&l| l != 0).count();
     let n_neg = labels.len() - n_pos;
@@ -94,6 +99,15 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(matches!(roc_auc(&[], &[]).unwrap_err(), Error::Empty(_)));
+    }
+
+    #[test]
+    fn non_finite_scores_rejected() {
+        assert!(matches!(
+            roc_auc(&[0, 1], &[f64::NAN, 0.5]).unwrap_err(),
+            Error::NonFinite(_)
+        ));
+        assert!(roc_auc(&[0, 1], &[f64::INFINITY, 0.5]).is_err());
     }
 
     #[test]

@@ -77,10 +77,27 @@ impl ThreadPoolExecutor {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
+            // Join *every* worker before propagating any panic: aborting
+            // on the first poisoned join would leak the still-running
+            // threads' borrows out of the scope guard's control flow and
+            // turn one task failure into a cascade.
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            let mut buffers = Vec::with_capacity(joined.len());
+            let mut first_panic = None;
+            for outcome in joined {
+                match outcome {
+                    Ok(buffer) => buffers.push(buffer),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            buffers
         });
 
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
@@ -137,7 +154,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker thread panicked")]
+    #[should_panic(expected = "task exploded")]
     fn task_panic_propagates() {
         let a = generic_schedule(2, 2).unwrap();
         let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =

@@ -25,7 +25,10 @@
 //!   seeded from the BPS placement; idle workers steal from the tail of
 //!   the most-loaded peer, and each run emits an
 //!   [`work_stealing::ExecutionReport`] (per-task wall time, per-worker
-//!   busy time, steal count).
+//!   busy time, steal count, failure/retry/straggler telemetry). A
+//!   fault-isolated mode (`run_with_report_isolated`) catches each
+//!   task's panic individually as a [`work_stealing::TaskFailure`]
+//!   instead of aborting the batch.
 //! * [`simulate`] — a discrete-event executor computing exact worker
 //!   makespans from per-model costs. Used to reproduce the paper's
 //!   multi-worker timing tables on hosts with fewer physical cores (see
@@ -58,7 +61,7 @@ pub use cost::{AnalyticCostModel, CostModel, ForestCostPredictor, TaskDescriptor
 pub use executor::ThreadPoolExecutor;
 pub use meta::DatasetMeta;
 pub use simulate::{simulate_makespan, SimulationResult};
-pub use work_stealing::{ExecutionReport, WorkStealingExecutor};
+pub use work_stealing::{ExecutionReport, TaskFailure, WorkStealingExecutor};
 
 use std::fmt;
 

@@ -25,6 +25,28 @@
 //!   forecasts can be validated against *measured* runtimes with the
 //!   Spearman machinery in `suod-metrics`.
 //!
+//! # Fault isolation
+//!
+//! Heterogeneous detector pools are numerically fragile: one ABOD on
+//! degenerate variance or one non-converging OCSVM must not abort the
+//! other 199 fits. The pool therefore offers two execution modes:
+//!
+//! * [`run_with_report`](WorkStealingExecutor::run_with_report) — the
+//!   fail-fast mode: the first task panic aborts the batch and is
+//!   re-raised on the submitting thread (remaining tasks may be
+//!   abandoned).
+//! * [`run_with_report_isolated`](WorkStealingExecutor::run_with_report_isolated)
+//!   — the fault-isolated mode: every task's panic is caught
+//!   individually and surfaces as a per-task `Err(`[`TaskFailure`]`)`
+//!   while all other tasks run to completion. The report counts
+//!   failures, and the pool stays healthy for subsequent batches either
+//!   way.
+//!
+//! All internal locks are poison-tolerant (`PoisonError::into_inner`):
+//! tasks execute under `catch_unwind`, so a poisoned mutex can only mean
+//! a *prior* panic already being propagated — it must never cascade into
+//! unrelated batches.
+//!
 //! Unlike [`ThreadPoolExecutor`](crate::executor::ThreadPoolExecutor),
 //! the pool threads are **persistent**: one executor can serve many
 //! `run` calls (e.g. a fit followed by thousands of predict batches)
@@ -37,13 +59,53 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, ignoring poisoning. Tasks run under `catch_unwind`, so
+/// poison can only be left behind by a panic that is already being
+/// reported through another channel; refusing the lock would turn one
+/// task failure into a pool-wide denial of service.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A task that panicked under fault-isolated execution.
+///
+/// The panic payload is flattened to its string form (the common
+/// `panic!("...")` cases); non-string payloads are described generically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Human-readable panic message.
+    pub message: String,
+}
+
+impl TaskFailure {
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "task panicked with a non-string payload".to_string()
+        };
+        TaskFailure { message }
+    }
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskFailure {}
 
 /// Telemetry from one [`WorkStealingExecutor::run_with_report`] call.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionReport {
     /// Measured wall time of each task, indexed like the input task list.
+    /// For failed tasks this is the time until the panic unwound.
     pub task_times: Vec<Duration>,
     /// Sum of task times executed by each worker.
     pub worker_busy: Vec<Duration>,
@@ -61,6 +123,17 @@ pub struct ExecutionReport {
     pub cache_misses: u64,
     /// Total wall time spent building shared neighbour graphs.
     pub cache_build_time: Duration,
+    /// Tasks that panicked during this batch (fault-isolated runs only;
+    /// fail-fast runs re-raise the first panic instead of counting it).
+    pub failures: usize,
+    /// Task re-executions performed on top of this batch. Zero for a
+    /// plain run; filled in by the orchestrator when it retries failed
+    /// tasks (e.g. `Suod::fit`'s bounded per-model retry).
+    pub retries: usize,
+    /// Task indices whose measured runtime exceeded the soft deadline
+    /// derived from the cost model's forecast. Filled in by the
+    /// orchestrator, which owns the forecast.
+    pub stragglers: Vec<usize>,
 }
 
 impl ExecutionReport {
@@ -85,8 +158,9 @@ impl ExecutionReport {
 
 /// What one worker accumulated during a batch.
 struct WorkerLog<T> {
-    /// `(task index, output, task wall time)` triples, in execution order.
-    out: Vec<(usize, T, Duration)>,
+    /// `(task index, outcome, task wall time)` triples, in execution
+    /// order. Failed outcomes only occur under fault-isolated execution.
+    out: Vec<(usize, std::result::Result<T, TaskFailure>, Duration)>,
     busy: Duration,
     steals: usize,
 }
@@ -117,9 +191,13 @@ struct Batch<F, T> {
     remaining: AtomicUsize,
     /// Per-worker result buffers — no shared result table.
     logs: Vec<Mutex<WorkerLog<T>>>,
-    /// First panic payload from a task, propagated to the submitter.
+    /// First panic payload from a task, propagated to the submitter
+    /// (fail-fast mode only).
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     panicked: AtomicBool,
+    /// Fault-isolated mode: catch each task's panic individually and
+    /// record it as a per-task failure instead of poisoning the batch.
+    isolate: bool,
 }
 
 impl<F, T> Batch<F, T>
@@ -130,24 +208,18 @@ where
     /// Pops work for `worker`: its own front first, then the tail of the
     /// most-loaded peer. Returns `(index, was_steal)`.
     fn find_work(&self, worker: usize) -> Option<(usize, bool)> {
-        if let Some(i) = self.queues[worker]
-            .lock()
-            .expect("queue lock poisoned")
-            .pop_front()
-        {
+        if let Some(i) = lock_ignore_poison(&self.queues[worker]).pop_front() {
             return Some((i, false));
         }
         // Pick the currently longest peer queue. The length probe is
         // racy by design: stealing needs only a heuristic victim.
         let victim = (0..self.queues.len())
             .filter(|&w| w != worker)
-            .map(|w| (self.queues[w].lock().expect("queue lock poisoned").len(), w))
+            .map(|w| (lock_ignore_poison(&self.queues[w]).len(), w))
             .max()
             .filter(|&(len, _)| len > 0)
             .map(|(_, w)| w)?;
-        self.queues[victim]
-            .lock()
-            .expect("queue lock poisoned")
+        lock_ignore_poison(&self.queues[victim])
             .pop_back()
             .map(|i| (i, true))
     }
@@ -175,21 +247,29 @@ where
             if stolen {
                 log.steals += 1;
             }
-            let task = self.tasks[index]
-                .lock()
-                .expect("task lock poisoned")
+            let task = lock_ignore_poison(&self.tasks[index])
                 .take()
                 .expect("deque protocol hands out each task once");
             let start = Instant::now();
             match catch_unwind(AssertUnwindSafe(task)) {
                 Ok(out) => {
                     let elapsed = start.elapsed();
-                    log.out.push((index, out, elapsed));
+                    log.out.push((index, Ok(out), elapsed));
+                    log.busy += elapsed;
+                    self.remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+                Err(payload) if self.isolate => {
+                    // Per-task fault boundary: record the failure and keep
+                    // draining the deques — the rest of the batch is
+                    // unaffected.
+                    let elapsed = start.elapsed();
+                    log.out
+                        .push((index, Err(TaskFailure::from_payload(payload)), elapsed));
                     log.busy += elapsed;
                     self.remaining.fetch_sub(1, Ordering::AcqRel);
                 }
                 Err(payload) => {
-                    let mut slot = self.panic.lock().expect("panic lock poisoned");
+                    let mut slot = lock_ignore_poison(&self.panic);
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -199,7 +279,7 @@ where
                 }
             }
         }
-        *self.logs[worker].lock().expect("log lock poisoned") = log;
+        *lock_ignore_poison(&self.logs[worker]) = log;
     }
 }
 
@@ -300,28 +380,13 @@ impl WorkStealingExecutor {
         self.n_workers
     }
 
-    /// Runs `tasks`, seeding per-worker deques from `assignment`, and
-    /// returns results **in task order** plus the run's telemetry.
-    ///
-    /// Worker `w`'s deque is seeded with assignment group `w` in group
-    /// order (groups beyond the pool size wrap around). Idle workers
-    /// steal from the tail of the most-loaded peer, so a mispredicted
-    /// straggler no longer gates the batch.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::BadAssignment`] when the assignment does not
-    /// cover exactly `tasks.len()` tasks.
-    ///
-    /// # Panics
-    ///
-    /// Propagates the first panicking task's payload (remaining tasks may
-    /// be abandoned; the pool itself stays usable).
-    pub fn run_with_report<T, F>(
+    /// Shared body of the fail-fast and fault-isolated run paths.
+    fn run_batch<T, F>(
         &self,
         tasks: Vec<F>,
         assignment: &Assignment,
-    ) -> Result<(Vec<T>, ExecutionReport)>
+        isolate: bool,
+    ) -> Result<(Vec<std::result::Result<T, TaskFailure>>, ExecutionReport)>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
@@ -362,38 +427,39 @@ impl WorkStealingExecutor {
                 .collect(),
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
+            isolate,
         });
 
         let start = Instant::now();
         // Poisoning is recoverable here: the guard only serializes
         // submissions, and a previous batch's task panic (re-raised below
         // while this lock was held) must not brick the pool.
-        let _guard = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = lock_ignore_poison(&self.submit);
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_ignore_poison(&self.shared.state);
             state.batch = Some(Arc::clone(&batch) as Arc<dyn BatchExec>);
             state.epoch += 1;
             state.done = 0;
             self.shared.work_ready.notify_all();
         }
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_ignore_poison(&self.shared.state);
             while state.done < self.n_workers {
                 state = self
                     .shared
                     .batch_done
                     .wait(state)
-                    .expect("pool state poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             state.batch = None;
         }
         let wall_time = start.elapsed();
 
-        if let Some(payload) = batch.panic.lock().expect("panic lock poisoned").take() {
+        if let Some(payload) = lock_ignore_poison(&batch.panic).take() {
             resume_unwind(payload);
         }
 
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        let mut slots: Vec<Option<std::result::Result<T, TaskFailure>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         let mut report = ExecutionReport {
             task_times: vec![Duration::ZERO; n],
@@ -403,20 +469,104 @@ impl WorkStealingExecutor {
             ..ExecutionReport::default()
         };
         for (w, log) in batch.logs.iter().enumerate() {
-            let log = std::mem::take(&mut *log.lock().expect("log lock poisoned"));
+            let log = std::mem::take(&mut *lock_ignore_poison(log));
             report.worker_busy[w] = log.busy;
             report.worker_tasks[w] = log.out.len();
             report.steals += log.steals;
             for (i, out, elapsed) in log.out {
                 report.task_times[i] = elapsed;
+                if out.is_err() {
+                    report.failures += 1;
+                }
                 slots[i] = Some(out);
             }
         }
         let results = slots
             .into_iter()
-            .map(|s| s.expect("every task produced a result"))
+            .map(|s| s.expect("every task produced an outcome"))
             .collect();
         Ok((results, report))
+    }
+
+    /// Runs `tasks`, seeding per-worker deques from `assignment`, and
+    /// returns results **in task order** plus the run's telemetry.
+    ///
+    /// Worker `w`'s deque is seeded with assignment group `w` in group
+    /// order (groups beyond the pool size wrap around). Idle workers
+    /// steal from the tail of the most-loaded peer, so a mispredicted
+    /// straggler no longer gates the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when the assignment does not
+    /// cover exactly `tasks.len()` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panicking task's payload (remaining tasks may
+    /// be abandoned; the pool itself stays usable). Use
+    /// [`run_with_report_isolated`](Self::run_with_report_isolated) to
+    /// contain panics per task instead.
+    pub fn run_with_report<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+    ) -> Result<(Vec<T>, ExecutionReport)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (outcomes, report) = self.run_batch(tasks, assignment, false)?;
+        let results = outcomes
+            .into_iter()
+            .map(|o| o.expect("fail-fast mode re-raises panics before collecting"))
+            .collect();
+        Ok((results, report))
+    }
+
+    /// Like [`run_with_report`](Self::run_with_report) but with a
+    /// **per-task fault boundary**: each task's panic is caught
+    /// individually and returned as `Err(`[`TaskFailure`]`)` in that
+    /// task's slot while every other task still runs to completion.
+    ///
+    /// `report.failures` counts the failed tasks; `report.task_times` for
+    /// a failed task measures the time until its panic unwound. The pool
+    /// stays healthy regardless of how many tasks fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadAssignment`] when the assignment does not
+    /// cover exactly `tasks.len()` tasks. Task panics are **not** errors
+    /// at this level — they surface in the per-task results.
+    pub fn run_with_report_isolated<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+    ) -> Result<(Vec<std::result::Result<T, TaskFailure>>, ExecutionReport)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_batch(tasks, assignment, true)
+    }
+
+    /// Like [`run_with_report_isolated`](Self::run_with_report_isolated),
+    /// discarding the telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with_report_isolated`](Self::run_with_report_isolated).
+    pub fn run_isolated<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+    ) -> Result<Vec<std::result::Result<T, TaskFailure>>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_with_report_isolated(tasks, assignment)
+            .map(|(r, _)| r)
     }
 
     /// Like [`run_with_report`](Self::run_with_report), discarding the
@@ -439,7 +589,7 @@ impl WorkStealingExecutor {
 impl Drop for WorkStealingExecutor {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_ignore_poison(&self.shared.state);
             state.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -453,7 +603,7 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let batch = {
-            let mut state = shared.state.lock().expect("pool state poisoned");
+            let mut state = lock_ignore_poison(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -464,12 +614,15 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                         break batch;
                     }
                 }
-                state = shared.work_ready.wait(state).expect("pool state poisoned");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         batch.execute(worker);
         drop(batch);
-        let mut state = shared.state.lock().expect("pool state poisoned");
+        let mut state = lock_ignore_poison(&shared.state);
         state.done += 1;
         shared.batch_done.notify_all();
     }
@@ -531,6 +684,7 @@ mod tests {
         assert_eq!(report.worker_tasks.iter().sum::<usize>(), 9);
         assert_eq!(report.task_seconds().len(), 9);
         assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+        assert_eq!(report.failures, 0);
     }
 
     /// The straggler regression the static schedule cannot fix: a
@@ -597,10 +751,61 @@ mod tests {
     }
 
     #[test]
+    fn isolated_run_contains_each_panic() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(5, 2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 10),
+            Box::new(|| panic!("boom one")),
+            Box::new(|| 30),
+            Box::new(|| panic!("boom two")),
+            Box::new(|| 50),
+        ];
+        let (out, report) = pool.run_with_report_isolated(tasks, &a).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(*out[0].as_ref().unwrap(), 10);
+        assert_eq!(*out[2].as_ref().unwrap(), 30);
+        assert_eq!(*out[4].as_ref().unwrap(), 50);
+        assert_eq!(out[1].as_ref().unwrap_err().message, "boom one");
+        assert_eq!(out[3].as_ref().unwrap_err().message, "boom two");
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.worker_tasks.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn isolated_run_with_all_panics_keeps_pool_healthy() {
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(4, 2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4)
+            .map(|i| Box::new(move || -> usize { panic!("task {i} exploded") }) as _)
+            .collect();
+        let (out, report) = pool.run_with_report_isolated(tasks, &a).unwrap();
+        assert!(out.iter().all(|o| o.is_err()));
+        assert_eq!(report.failures, 4);
+        // The pool must still execute subsequent fail-fast batches.
+        let a = generic_schedule(4, 2).unwrap();
+        let out = pool.run(boxed_tasks(4), &a).unwrap();
+        assert_eq!(out, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn isolated_failure_message_formats() {
+        let pool = WorkStealingExecutor::new(1).unwrap();
+        let a = generic_schedule(1, 1).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| panic!("formatted {}", 42))];
+        let out = pool.run_isolated(tasks, &a).unwrap();
+        let failure = out[0].as_ref().unwrap_err();
+        assert_eq!(failure.message, "formatted 42");
+        assert!(failure.to_string().contains("task panicked"));
+    }
+
+    #[test]
     fn mismatched_assignment_rejected() {
         let pool = WorkStealingExecutor::new(2).unwrap();
         let a = generic_schedule(3, 1).unwrap();
         assert!(pool.run(boxed_tasks(2), &a).is_err());
+        assert!(pool.run_isolated(boxed_tasks(2), &a).is_err());
     }
 
     #[test]

@@ -160,17 +160,28 @@ fn xgbod_beats_unsupervised_on_labeled_data() {
 
 #[test]
 fn detector_failures_propagate_from_fit() {
-    // ABOD needs >= 3 samples; a 2-row fit must surface a Detector error,
-    // not a panic.
+    // ABOD needs >= 3 samples; a 2-row fit quarantines the lone model and
+    // (with the default min_healthy_fraction of 1.0) surfaces a typed
+    // PoolDegraded error carrying the detector cause — not a panic.
     let tiny = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
     let mut clf = Suod::builder()
         .base_estimators(vec![ModelSpec::Abod { n_neighbors: 5 }])
         .build()
         .unwrap();
-    assert!(matches!(
-        clf.fit(&tiny).unwrap_err(),
-        suod::Error::Detector(_)
-    ));
+    match clf.fit(&tiny).unwrap_err() {
+        suod::Error::PoolDegraded {
+            healthy,
+            total,
+            required,
+            ..
+        } => {
+            assert_eq!((healthy, total, required), (0, 1, 1));
+        }
+        other => panic!("expected PoolDegraded, got {other}"),
+    }
+    let health = clf.model_health().unwrap();
+    assert_eq!(health.quarantined(), 1);
+    assert!(health.report(0).unwrap().cause.is_some());
 }
 
 #[test]
