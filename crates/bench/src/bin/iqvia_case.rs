@@ -109,15 +109,17 @@ fn run(full: bool, split: &suod_datasets::TrainTestSplit, seed: u64) -> Outcome 
         .expect("valid config");
     clf.fit(&split.x_train).expect("claims fit");
     let fit_costs: Vec<f64> = clf
-        .fit_times()
+        .diagnostics()
         .expect("fitted")
+        .fit_times()
         .iter()
         .map(|d| d.as_secs_f64().max(1e-9))
         .collect();
 
-    let (scores, pred_times) = clf
-        .decision_function_timed(&split.x_test)
+    let (scores, pred_report) = clf
+        .decision_function_observed(&split.x_test, &suod::observe::noop())
         .expect("claims scoring");
+    let pred_times = pred_report.model_times;
     let pred_costs: Vec<f64> = pred_times
         .iter()
         .map(|d| d.as_secs_f64().max(1e-9))

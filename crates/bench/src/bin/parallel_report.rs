@@ -239,7 +239,10 @@ fn main() {
                 .build()
                 .expect("valid config");
             model.fit(&cache_x).expect("fit succeeds");
-            let report = model.fit_report().expect("fit emits telemetry");
+            let report = model
+                .diagnostics()
+                .expect("fit emits telemetry")
+                .execution();
             counters = (report.cache_hits, report.cache_misses);
         });
         (secs, counters.0, counters.1)

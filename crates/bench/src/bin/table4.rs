@@ -97,9 +97,10 @@ fn run_setting(
     clf.fit(x_train).expect("pool fit");
     let fit_seq = fit_start.elapsed().as_secs_f64();
 
-    let (scores, pred_times) = clf
-        .decision_function_timed(x_test)
+    let (scores, pred_report) = clf
+        .decision_function_observed(x_test, &suod::observe::noop())
         .expect("scoring fitted pool");
+    let pred_times = pred_report.model_times;
     let pred_seq: f64 = pred_times.iter().map(|d| d.as_secs_f64()).sum();
 
     let avg = average(&scores).expect("non-empty scores");
@@ -110,8 +111,9 @@ fn run_setting(
         fit_seq,
         pred_seq,
         fit_costs: clf
-            .fit_times()
+            .diagnostics()
             .expect("fitted")
+            .fit_times()
             .iter()
             .map(|d| d.as_secs_f64().max(1e-9))
             .collect(),

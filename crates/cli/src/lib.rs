@@ -13,11 +13,13 @@
 //!                 [--no-rp] [--no-psa] [--no-bps] [--workers 2]
 //!                 [--contamination 0.1] [--seed 42] [--output scores.csv]
 //! suod-cli detect --csv data.csv [--label-column 3] ...
+//! suod-cli trace --dataset cardio [--format json|chrome] [--output trace.json] ...
 //! suod-cli list-datasets
 //! suod-cli help
 //! ```
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use suod::prelude::*;
 use suod_datasets::csv::{load_csv, CsvOptions};
 use suod_datasets::{registry, Dataset};
@@ -28,10 +30,32 @@ use suod_metrics::{precision_at_n, roc_auc};
 pub enum Command {
     /// Fit an ensemble and emit per-sample scores.
     Detect(DetectArgs),
+    /// Run an instrumented fit + predict and export the trace.
+    Trace(TraceArgs),
     /// Print the registry's dataset table.
     ListDatasets,
     /// Print usage.
     Help,
+}
+
+/// Export format for [`Command::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// The stable `suod-trace/1` JSON schema.
+    Json,
+    /// Chrome `trace_event` format (load in `chrome://tracing` / Perfetto).
+    Chrome,
+}
+
+/// Arguments for [`Command::Trace`]: the same pipeline configuration as
+/// `detect`, plus an export format. `--output` names the trace file
+/// instead of a score CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Pipeline configuration (same flags as `detect`).
+    pub detect: DetectArgs,
+    /// Trace export format.
+    pub format: TraceFormat,
 }
 
 /// Arguments for [`Command::Detect`].
@@ -98,40 +122,62 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "list-datasets" => Ok(Command::ListDatasets),
         "detect" => {
-            let mut d = DetectArgs::default();
-            while let Some(flag) = it.next() {
-                let mut value = |name: &str| -> Result<String, String> {
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| format!("flag {name} needs a value"))
-                };
-                match flag.as_str() {
-                    "--dataset" => d.dataset = Some(value("--dataset")?),
-                    "--csv" => d.csv = Some(value("--csv")?),
-                    "--label-column" => {
-                        d.label_column = Some(parse_num(&value("--label-column")?, flag)?)
-                    }
-                    "--scale" => d.scale = parse_num(&value("--scale")?, flag)?,
-                    "--models" => d.models = parse_num(&value("--models")?, flag)?,
-                    "--workers" => d.workers = parse_num(&value("--workers")?, flag)?,
-                    "--contamination" => {
-                        d.contamination = parse_num(&value("--contamination")?, flag)?
-                    }
-                    "--seed" => d.seed = parse_num(&value("--seed")?, flag)?,
-                    "--output" => d.output = Some(value("--output")?),
-                    "--no-rp" => d.rp = false,
-                    "--no-psa" => d.psa = false,
-                    "--no-bps" => d.bps = false,
-                    other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
-                }
-            }
-            match (&d.dataset, &d.csv) {
-                (None, None) => Err("detect needs --dataset <name> or --csv <path>".into()),
-                (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
-                _ => Ok(Command::Detect(d)),
-            }
+            let (d, _) = parse_pipeline_flags(&mut it, "detect", false)?;
+            Ok(Command::Detect(d))
+        }
+        "trace" => {
+            let (detect, format) = parse_pipeline_flags(&mut it, "trace", true)?;
+            Ok(Command::Trace(TraceArgs {
+                detect,
+                format: format.unwrap_or(TraceFormat::Json),
+            }))
         }
         other => Err(format!("unknown command `{other}` (see `suod-cli help`)")),
+    }
+}
+
+/// Parses the shared `detect`/`trace` flag set. `--format` is only
+/// accepted when `allow_format` is set (the `trace` subcommand).
+fn parse_pipeline_flags(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+    sub: &str,
+    allow_format: bool,
+) -> Result<(DetectArgs, Option<TraceFormat>), String> {
+    let mut d = DetectArgs::default();
+    let mut format = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => d.dataset = Some(value("--dataset")?),
+            "--csv" => d.csv = Some(value("--csv")?),
+            "--label-column" => d.label_column = Some(parse_num(&value("--label-column")?, flag)?),
+            "--scale" => d.scale = parse_num(&value("--scale")?, flag)?,
+            "--models" => d.models = parse_num(&value("--models")?, flag)?,
+            "--workers" => d.workers = parse_num(&value("--workers")?, flag)?,
+            "--contamination" => d.contamination = parse_num(&value("--contamination")?, flag)?,
+            "--seed" => d.seed = parse_num(&value("--seed")?, flag)?,
+            "--output" => d.output = Some(value("--output")?),
+            "--no-rp" => d.rp = false,
+            "--no-psa" => d.psa = false,
+            "--no-bps" => d.bps = false,
+            "--format" if allow_format => {
+                format = Some(match value("--format")?.as_str() {
+                    "json" => TraceFormat::Json,
+                    "chrome" => TraceFormat::Chrome,
+                    other => return Err(format!("unknown trace format `{other}` (json|chrome)")),
+                })
+            }
+            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
+        }
+    }
+    match (&d.dataset, &d.csv) {
+        (None, None) => Err(format!("{sub} needs --dataset <name> or --csv <path>")),
+        (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
+        _ => Ok((d, format)),
     }
 }
 
@@ -147,18 +193,24 @@ pub fn usage() -> &'static str {
 USAGE:
   suod-cli detect --dataset <name> [options]   score a registry analog
   suod-cli detect --csv <path> [options]       score a local CSV file
+  suod-cli trace --dataset <name> [options]    export an instrumented run's trace
   suod-cli list-datasets                       show the benchmark registry
   suod-cli help                                this text
 
-DETECT OPTIONS:
+DETECT / TRACE OPTIONS:
   --label-column <i>    CSV column holding 0/1 labels (enables ROC/P@N)
   --scale <f>           registry subsample factor in (0, 1]   [0.25]
   --models <m>          random Table B.1 pool size            [12]
   --workers <t>         worker threads                        [1]
   --contamination <c>   expected outlier fraction             [0.1]
   --seed <s>            RNG seed                              [42]
-  --output <path>       write per-sample scores as CSV
+  --output <path>       detect: score CSV; trace: trace file
   --no-rp | --no-psa | --no-bps   disable a SUOD module
+
+TRACE OPTIONS:
+  --format <json|chrome>  export format                       [json]
+                          json   = stable suod-trace/1 schema
+                          chrome = chrome://tracing / Perfetto
 "
 }
 
@@ -193,6 +245,7 @@ pub fn run(command: Command) -> Result<String, String> {
             Ok(out)
         }
         Command::Detect(args) => detect(&args),
+        Command::Trace(args) => trace(&args),
     }
 }
 
@@ -312,6 +365,66 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
     Ok(out)
 }
 
+fn trace(args: &TraceArgs) -> Result<String, String> {
+    let (ds, _) = load_dataset(&args.detect)?;
+    let pool = clamp_pool(
+        suod::random_pool(args.detect.models, args.detect.seed),
+        ds.n_samples(),
+    );
+    let recorder = Arc::new(RecordingObserver::new());
+
+    let mut clf = Suod::builder()
+        .base_estimators(pool)
+        .with_projection(args.detect.rp)
+        .with_approximation(args.detect.psa)
+        .with_bps(args.detect.bps)
+        .n_workers(args.detect.workers.max(1))
+        .contamination(args.detect.contamination)
+        .seed(args.detect.seed)
+        .observer(recorder.clone())
+        .build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+    clf.decision_function(&ds.x)
+        .map_err(|e| format!("scoring failed: {e}"))?;
+
+    let trace = recorder.trace();
+    let body = match args.format {
+        TraceFormat::Json => {
+            let json = suod::observe::export::to_json(&trace);
+            // Validate the export against the schema before it leaves the
+            // process: a trace we cannot re-parse is a bug, not output.
+            suod::observe::export::from_json(&json)
+                .map_err(|e| format!("exported trace failed schema validation: {e}"))?;
+            json
+        }
+        TraceFormat::Chrome => suod::observe::export::to_chrome_trace(&trace),
+    };
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "trace: {} spans, {} stages with latency histograms, {:.3}s wall",
+        trace.spans().len(),
+        trace.histograms().len(),
+        trace.wall_us() as f64 / 1e6
+    )
+    .expect("string write");
+    for (counter, value) in trace.counters() {
+        if value > 0 {
+            writeln!(out, "  {} = {value}", counter.name()).expect("string write");
+        }
+    }
+    match &args.detect.output {
+        Some(path) => {
+            std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(out, "trace written to {path}").expect("string write");
+        }
+        None => out.push_str(&body),
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,5 +523,62 @@ mod tests {
         assert!(run(cmd).is_err());
         let cmd = parse_args(&argv("detect --csv /nonexistent/nope.csv")).unwrap();
         assert!(run(cmd).is_err());
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let cmd = parse_args(&argv(
+            "trace --dataset pima --scale 0.2 --models 4 --format chrome --workers 2",
+        ))
+        .unwrap();
+        let Command::Trace(t) = cmd else {
+            panic!("expected trace")
+        };
+        assert_eq!(t.detect.dataset.as_deref(), Some("pima"));
+        assert_eq!(t.detect.models, 4);
+        assert_eq!(t.format, TraceFormat::Chrome);
+
+        // Default format is the stable JSON schema.
+        let Command::Trace(t) = parse_args(&argv("trace --dataset pima")).unwrap() else {
+            panic!("expected trace")
+        };
+        assert_eq!(t.format, TraceFormat::Json);
+
+        assert!(parse_args(&argv("trace")).is_err()); // no source
+        assert!(parse_args(&argv("trace --dataset pima --format xml")).is_err());
+        // --format belongs to trace only.
+        assert!(parse_args(&argv("detect --dataset pima --format json")).is_err());
+    }
+
+    #[test]
+    fn trace_exports_schema_valid_json() {
+        let dir = std::env::temp_dir().join("suod_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let output = dir.join("trace.json");
+        let cmd = parse_args(&argv(&format!(
+            "trace --dataset pima --scale 0.2 --models 5 --workers 2 --seed 3 --output {}",
+            output.display()
+        )))
+        .unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("spans"), "{report}");
+        assert!(report.contains("trace written to"), "{report}");
+
+        let written = std::fs::read_to_string(&output).unwrap();
+        let trace = suod::observe::export::from_json(&written).expect("schema-valid trace");
+        assert!(trace.spans_of(suod::observe::Stage::Fit).count() >= 1);
+        assert!(trace.spans_of(suod::observe::Stage::ModelFit).count() >= 5);
+        assert!(trace.spans_of(suod::observe::Stage::Predict).count() >= 1);
+    }
+
+    #[test]
+    fn trace_chrome_format_streams_to_stdout() {
+        let cmd = parse_args(&argv(
+            "trace --dataset pima --scale 0.2 --models 3 --workers 1 --seed 5 --format chrome",
+        ))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("\"traceEvents\""), "{out}");
+        assert!(out.contains("\"ph\": \"X\""), "{out}");
     }
 }

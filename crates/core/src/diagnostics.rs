@@ -1,0 +1,271 @@
+//! Unified diagnostics for fits and predictions.
+//!
+//! Telemetry used to be scattered across six ad-hoc `Suod` accessors
+//! (`fit_report`, `model_health`, `fit_times`, `approximated`,
+//! `projected`, `decision_function_timed`). [`FitDiagnostics`] collapses
+//! them into one view derived from a single fit's event stream: the
+//! executor's [`ExecutionReport`], the pool's [`ModelHealth`], and one
+//! [`ModelDiagnostics`] row per configured model. [`PredictReport`] is
+//! the prediction-side counterpart returned by
+//! `Suod::decision_function_observed`.
+//!
+//! The old accessors survive as `#[deprecated]` thin delegates over this
+//! type, so existing code keeps compiling while the workspace itself
+//! builds with `-D deprecated`.
+
+use crate::health::{ModelHealth, ModelStatus};
+use std::time::Duration;
+use suod_scheduler::ExecutionReport;
+
+/// Everything one `Suod::fit` learned about itself.
+///
+/// Produced by every fit that reaches the execution stage — including
+/// fits that ultimately fail with
+/// [`Error::PoolDegraded`](crate::Error::PoolDegraded) — and retrievable
+/// via `Suod::diagnostics`. The three sections are views over one event
+/// stream: [`execution`](Self::execution) aggregates executor telemetry,
+/// [`health`](Self::health) aggregates per-model fault handling, and
+/// [`models`](Self::models) joins both with the module decisions
+/// (projection, approximation) per pool member.
+#[derive(Debug, Clone)]
+pub struct FitDiagnostics {
+    execution: ExecutionReport,
+    health: ModelHealth,
+    models: Vec<ModelDiagnostics>,
+}
+
+/// Diagnostics for one configured pool member, joined across the
+/// execution report, the health report, and the module decisions.
+#[derive(Debug, Clone)]
+pub struct ModelDiagnostics {
+    /// Index in the configured pool (stable across quarantines).
+    pub index: usize,
+    /// Short algorithm name (e.g. `"lof"`).
+    pub name: &'static str,
+    /// Whether the model survived the fit.
+    pub status: ModelStatus,
+    /// Total fit attempts consumed (1 = succeeded first try).
+    pub attempts: usize,
+    /// Whether the model ran far past its BPS forecast
+    /// (wall-clock-dependent; excluded from determinism guarantees).
+    pub straggler: bool,
+    /// Measured fit duration of the successful attempt; `None` for
+    /// quarantined models.
+    pub fit_time: Option<Duration>,
+    /// Whether the model was fitted in a JL-projected subspace.
+    pub projected: bool,
+    /// Whether the model's predictions are served by a PSA approximator.
+    pub approximated: bool,
+}
+
+impl FitDiagnostics {
+    /// Assembles the view (one `ModelDiagnostics` per configured model,
+    /// in pool-index order).
+    pub(crate) fn new(
+        execution: ExecutionReport,
+        health: ModelHealth,
+        models: Vec<ModelDiagnostics>,
+    ) -> Self {
+        Self {
+            execution,
+            health,
+            models,
+        }
+    }
+
+    /// Execution telemetry from the fit: per-task wall times, per-worker
+    /// busy times, steals, cache hit/miss/build-time counters, failures
+    /// and retries. The per-task times are the *measured* cost vector to
+    /// correlate against the scheduler's forecasts (e.g. with
+    /// `suod_metrics::spearman`).
+    pub fn execution(&self) -> &ExecutionReport {
+        &self.execution
+    }
+
+    /// Per-model health: which models survived, which were quarantined
+    /// and why, attempts consumed, straggler flags.
+    pub fn health(&self) -> &ModelHealth {
+        &self.health
+    }
+
+    /// Per-model diagnostics rows, indexed like the configured pool.
+    pub fn models(&self) -> &[ModelDiagnostics] {
+        &self.models
+    }
+
+    /// Mutable rows, for the orchestrator to back-fill decisions made
+    /// after the diagnostics were first recorded (PSA approximation).
+    pub(crate) fn models_mut(&mut self) -> &mut [ModelDiagnostics] {
+        &mut self.models
+    }
+
+    /// The diagnostics row of pool member `i`, if it exists.
+    pub fn model(&self, i: usize) -> Option<&ModelDiagnostics> {
+        self.models.get(i)
+    }
+
+    /// Measured fit durations of the **surviving** models, in pool-index
+    /// order — the true cost vector used by the scheduling benchmarks.
+    pub fn fit_times(&self) -> Vec<Duration> {
+        self.models.iter().filter_map(|m| m.fit_time).collect()
+    }
+
+    /// Which surviving models were fitted in a projected subspace, in
+    /// pool-index order.
+    pub fn projected(&self) -> Vec<bool> {
+        self.survivors().map(|m| m.projected).collect()
+    }
+
+    /// Which surviving models ended up with a PSA approximator, in
+    /// pool-index order.
+    pub fn approximated(&self) -> Vec<bool> {
+        self.survivors().map(|m| m.approximated).collect()
+    }
+
+    fn survivors(&self) -> impl Iterator<Item = &ModelDiagnostics> {
+        self.models
+            .iter()
+            .filter(|m| m.status == ModelStatus::Healthy)
+    }
+}
+
+impl std::fmt::Display for FitDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fit: {} models, {} healthy, wall {:.3}s, utilization {:.2}, {} steals, \
+             cache {}h/{}m, {} failures, {} retries",
+            self.models.len(),
+            self.health.healthy(),
+            self.execution.wall_time.as_secs_f64(),
+            self.execution.utilization(),
+            self.execution.steals,
+            self.execution.cache_hits,
+            self.execution.cache_misses,
+            self.execution.failures,
+            self.execution.retries,
+        )?;
+        for m in &self.models {
+            write!(
+                f,
+                "  [{}] {} {} (attempts {}{}{}{})",
+                m.index,
+                m.name,
+                m.status,
+                m.attempts,
+                if m.projected { ", projected" } else { "" },
+                if m.approximated { ", approximated" } else { "" },
+                if m.straggler { ", straggler" } else { "" },
+            )?;
+            match m.fit_time {
+                Some(t) => writeln!(f, " {:.4}s", t.as_secs_f64())?,
+                None => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Telemetry from one `Suod::decision_function_observed` call.
+#[derive(Debug, Clone)]
+pub struct PredictReport {
+    /// Measured scoring duration of each surviving model, in pool-index
+    /// order (approximated models answer through their regressors).
+    pub model_times: Vec<Duration>,
+    /// End-to-end wall time of the prediction pass.
+    pub wall_time: Duration,
+    /// Number of query rows scored.
+    pub n_rows: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::ModelReport;
+
+    fn sample() -> FitDiagnostics {
+        let health = ModelHealth::new(vec![
+            ModelReport {
+                index: 0,
+                name: "knn",
+                status: ModelStatus::Healthy,
+                cause: None,
+                attempts: 1,
+                straggler: false,
+            },
+            ModelReport {
+                index: 1,
+                name: "chaos",
+                status: ModelStatus::Quarantined,
+                cause: Some(suod_detectors::Error::Panicked("boom".into())),
+                attempts: 2,
+                straggler: false,
+            },
+            ModelReport {
+                index: 2,
+                name: "hbos",
+                status: ModelStatus::Healthy,
+                cause: None,
+                attempts: 1,
+                straggler: true,
+            },
+        ]);
+        let models = vec![
+            ModelDiagnostics {
+                index: 0,
+                name: "knn",
+                status: ModelStatus::Healthy,
+                attempts: 1,
+                straggler: false,
+                fit_time: Some(Duration::from_millis(10)),
+                projected: true,
+                approximated: true,
+            },
+            ModelDiagnostics {
+                index: 1,
+                name: "chaos",
+                status: ModelStatus::Quarantined,
+                attempts: 2,
+                straggler: false,
+                fit_time: None,
+                projected: false,
+                approximated: false,
+            },
+            ModelDiagnostics {
+                index: 2,
+                name: "hbos",
+                status: ModelStatus::Healthy,
+                attempts: 1,
+                straggler: true,
+                fit_time: Some(Duration::from_millis(3)),
+                projected: false,
+                approximated: false,
+            },
+        ];
+        FitDiagnostics::new(ExecutionReport::default(), health, models)
+    }
+
+    #[test]
+    fn survivor_views_skip_quarantined_models() {
+        let d = sample();
+        assert_eq!(
+            d.fit_times(),
+            vec![Duration::from_millis(10), Duration::from_millis(3)]
+        );
+        assert_eq!(d.projected(), vec![true, false]);
+        assert_eq!(d.approximated(), vec![true, false]);
+        assert_eq!(d.health().healthy(), 2);
+        assert_eq!(d.models().len(), 3);
+        assert_eq!(d.model(1).unwrap().attempts, 2);
+        assert!(d.model(3).is_none());
+    }
+
+    #[test]
+    fn display_summarizes_pool() {
+        let text = sample().to_string();
+        assert!(text.contains("3 models, 2 healthy"));
+        assert!(text.contains("quarantined"));
+        assert!(text.contains("projected"));
+        assert!(text.contains("straggler"));
+    }
+}

@@ -61,6 +61,7 @@
 //! # }
 //! ```
 
+pub mod diagnostics;
 pub mod grid;
 pub mod health;
 pub mod lscp;
@@ -71,6 +72,7 @@ pub mod suod;
 pub mod xgbod;
 
 pub use crate::suod::{Suod, SuodBuilder};
+pub use diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
 pub use grid::{full_grid, random_pool};
 pub use health::{ModelHealth, ModelReport, ModelStatus};
 pub use lscp::{lscp_scores, LscpConfig, LscpVariant};
@@ -79,8 +81,14 @@ pub use spec::ModelSpec;
 pub use streaming::StreamingSuod;
 pub use xgbod::Xgbod;
 
+/// The observability layer, re-exported so downstream code can attach
+/// observers and export traces without a separate dependency on
+/// `suod-observe`.
+pub use suod_observe as observe;
+
 /// Convenience re-exports for typical use.
 pub mod prelude {
+    pub use crate::diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
     pub use crate::health::{ModelHealth, ModelReport, ModelStatus};
     pub use crate::pseudo::ApproxSpec;
     pub use crate::spec::ModelSpec;
@@ -89,6 +97,7 @@ pub mod prelude {
     pub use suod_detectors::{Kernel, KnnMethod};
     pub use suod_linalg::DistanceMetric as Metric;
     pub use suod_linalg::Matrix;
+    pub use suod_observe::{NoopObserver, Observer, RecordingObserver};
     pub use suod_projection::JlVariant;
 }
 
@@ -117,7 +126,7 @@ pub enum Error {
     /// Too few models survived fit for the ensemble to be trusted: fewer
     /// than `ceil(min_healthy_fraction * pool size)` models escaped
     /// quarantine. The fitted state is discarded; the per-model health
-    /// report remains available via `Suod::model_health`.
+    /// report remains available via `Suod::diagnostics`.
     PoolDegraded {
         /// Models that fitted successfully.
         healthy: usize,

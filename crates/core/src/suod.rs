@@ -17,6 +17,7 @@
 //! `n x m` score matrix; `combined_scores`/`predict` collapse it with the
 //! average combiner and the contamination threshold learned at fit time.
 
+use crate::diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
 use crate::health::{ModelHealth, ModelReport, ModelStatus};
 use crate::pseudo::{fit_approximator, ApproxSpec};
 use crate::spec::ModelSpec;
@@ -26,6 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use suod_detectors::{validate_finite, Detector, FitContext};
 use suod_linalg::{DataFingerprint, DistanceMetric, Matrix, NeighborCache};
+use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
@@ -100,6 +102,7 @@ pub struct SuodBuilder {
     min_healthy_fraction: f64,
     max_model_retries: usize,
     straggler_factor: f64,
+    observer: Arc<dyn Observer>,
 }
 
 impl Default for SuodBuilder {
@@ -122,6 +125,7 @@ impl Default for SuodBuilder {
             min_healthy_fraction: 1.0,
             max_model_retries: 1,
             straggler_factor: 4.0,
+            observer: suod_observe::noop(),
         }
     }
 }
@@ -239,6 +243,19 @@ impl SuodBuilder {
         self
     }
 
+    /// Attaches an [`Observer`] that receives spans and counters from
+    /// every pipeline stage — projection, neighbour-graph builds,
+    /// per-model fits and retries, BPS planning, executor task lifecycle,
+    /// PSA distillation, thresholding, and prediction chunks (default:
+    /// no-op). Pass an `Arc<suod_observe::RecordingObserver>` (coerced to
+    /// `Arc<dyn Observer>`) to capture a deterministic trace exportable
+    /// to JSON or Chrome `trace_event` format. Observation never changes
+    /// computed values: scores are bit-identical with any observer.
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer;
+        self
+    }
+
     /// Expected outlier fraction used by [`Suod::predict`]'s threshold
     /// (default 0.1).
     pub fn contamination(mut self, c: f64) -> Self {
@@ -302,8 +319,7 @@ impl SuodBuilder {
             config: self,
             state: None,
             executor: None,
-            fit_report: None,
-            model_health: None,
+            diagnostics: None,
         })
     }
 }
@@ -335,11 +351,10 @@ pub struct Suod {
     /// every subsequent predict call — threads are spawned once per
     /// estimator, not once per call.
     executor: Option<Arc<WorkStealingExecutor>>,
-    /// Telemetry from the most recent fit's execution.
-    fit_report: Option<ExecutionReport>,
-    /// Per-model health from the most recent fit, including fits that
-    /// failed with [`Error::PoolDegraded`].
-    model_health: Option<ModelHealth>,
+    /// Unified diagnostics from the most recent fit — execution
+    /// telemetry, per-model health, and module decisions — including
+    /// fits that failed with [`Error::PoolDegraded`].
+    diagnostics: Option<FitDiagnostics>,
 }
 
 impl std::fmt::Debug for SuodBuilder {
@@ -440,7 +455,11 @@ impl Suod {
     /// re-salted seed, and quarantined if it never recovers. Quarantined
     /// models are excluded from the fitted ensemble — combination,
     /// pseudo-supervision, and prediction scheduling operate over the
-    /// survivors — and recorded in [`model_health`](Self::model_health).
+    /// survivors — and recorded in [`diagnostics`](Self::diagnostics).
+    ///
+    /// Every stage reports spans and counters to the configured
+    /// [`observer`](SuodBuilder::observer); the resulting
+    /// [`FitDiagnostics`] is a view over the same event stream.
     ///
     /// # Errors
     ///
@@ -457,6 +476,8 @@ impl Suod {
             ));
         }
         validate_finite(x, "fit").map_err(Error::Detector)?;
+        let obs = Arc::clone(&self.config.observer);
+        let _fit_span = suod_observe::span(obs.as_ref(), Stage::Fit, SpanAttrs::none());
         let d = x.ncols();
         let meta = DatasetMeta::extract(x);
         let shared_x = Arc::new(x.clone());
@@ -466,6 +487,8 @@ impl Suod {
         let mut spaces: Vec<Arc<Matrix>> = Vec::with_capacity(self.n_models());
         for (i, spec) in self.config.base_estimators.iter().enumerate() {
             if self.should_project(spec, d) {
+                let _span =
+                    suod_observe::span(obs.as_ref(), Stage::Projection, SpanAttrs::model(i));
                 let k = self.target_dim(d);
                 let mut proj = JlProjector::new(self.config.rp_variant, k, self.model_seed(i))?;
                 proj.fit(x)?;
@@ -483,10 +506,11 @@ impl Suod {
         // first build covers the pooled maximum, and pick one "builder"
         // per group for the cost model (everyone else is a near-free
         // cache hit).
+        let plan_span = obs.span_begin(Stage::NeighborPlan, SpanAttrs::none());
         let cache: Option<Arc<NeighborCache>> = self
             .config
             .neighbor_cache_enabled
-            .then(|| Arc::new(NeighborCache::new()));
+            .then(|| Arc::new(NeighborCache::with_observer(Arc::clone(&obs))));
         let m = self.n_models();
         let mut fingerprints: Vec<Option<DataFingerprint>> = vec![None; m];
         let mut cached_flags = vec![false; m];
@@ -524,9 +548,13 @@ impl Suod {
             }
             fit_threads = (self.config.n_workers / groups.len().max(1)).max(1);
         }
+        obs.span_end(plan_span);
 
         // --- BPS + fault-isolated fit execution (pass 2). -------------------
-        let assignment = self.schedule(&meta, &cached_flags)?;
+        let bps_span = obs.span_begin(Stage::BpsPlan, SpanAttrs::none());
+        let assignment = self.schedule(&meta, &cached_flags);
+        obs.span_end(bps_span);
+        let assignment = assignment?;
         let executor = self.executor_for_run()?;
         let make_task =
             |i: usize, attempt: usize| -> Box<dyn FnOnce() -> Result<FitOutput> + Send> {
@@ -539,7 +567,17 @@ impl Suod {
                     }
                     _ => FitContext::standalone(fit_threads),
                 };
+                let task_obs = Arc::clone(&obs);
+                let stage = if attempt == 0 {
+                    Stage::ModelFit
+                } else {
+                    Stage::ModelRetry
+                };
                 Box::new(move || {
+                    // Guard, not begin/end: the drop runs even when a
+                    // chaotic detector panics out of the closure, so
+                    // quarantined models still close their spans.
+                    let _span = suod_observe::span(task_obs.as_ref(), stage, SpanAttrs::model(i));
                     let mut det = spec.build(seed)?;
                     let start = Instant::now();
                     match det.fit_with_context(&psi, &ctx) {
@@ -553,13 +591,8 @@ impl Suod {
                 })
             };
         let tasks: Vec<_> = (0..m).map(|i| make_task(i, 0)).collect();
-        let (outcomes, mut report) = executor.run_with_report_isolated(tasks, &assignment)?;
-        if let Some(cache) = &cache {
-            let stats = cache.stats();
-            report.cache_hits = stats.hits;
-            report.cache_misses = stats.misses;
-            report.cache_build_time = stats.build_time;
-        }
+        let (outcomes, mut report) =
+            executor.run_with_report_isolated_observed(tasks, &assignment, Arc::clone(&obs))?;
 
         let mut fitted: Vec<Option<FitSuccess>> = (0..m).map(|_| None).collect();
         let mut causes: Vec<Option<suod_detectors::Error>> = vec![None; m];
@@ -583,10 +616,15 @@ impl Suod {
             let retry_tasks: Vec<_> = pending.iter().map(|&i| make_task(i, attempt)).collect();
             let retry_assignment =
                 generic_schedule(pending.len(), self.config.n_workers.min(pending.len()))?;
-            let (retry_outcomes, retry_report) =
-                executor.run_with_report_isolated(retry_tasks, &retry_assignment)?;
+            let (retry_outcomes, retry_report) = executor.run_with_report_isolated_observed(
+                retry_tasks,
+                &retry_assignment,
+                Arc::clone(&obs),
+            )?;
+            obs.counter(Counter::Retry, pending.len() as u64);
             report.retries += pending.len();
             report.failures += retry_report.failures;
+            report.steals += retry_report.steals;
             for (&i, outcome) in pending.iter().zip(retry_outcomes) {
                 attempts[i] += 1;
                 match interpret_outcome(outcome)? {
@@ -597,6 +635,15 @@ impl Suod {
                     Err(cause) => causes[i] = Some(cause),
                 }
             }
+        }
+
+        // Cache counters are copied after the retry loop so retried
+        // models' hits/misses reconcile exactly with the observer trace.
+        if let Some(cache) = &cache {
+            let stats = cache.stats();
+            report.cache_hits = stats.hits;
+            report.cache_misses = stats.misses;
+            report.cache_build_time = stats.build_time;
         }
 
         // --- Straggler flagging from the BPS cost forecast. -----------------
@@ -648,10 +695,37 @@ impl Suod {
                 })
                 .collect(),
         );
+        if health.quarantined() > 0 {
+            obs.counter(Counter::Quarantine, health.quarantined() as u64);
+        }
+        if !report.stragglers.is_empty() {
+            obs.counter(Counter::Straggler, report.stragglers.len() as u64);
+        }
+
+        // One diagnostics row per configured model, joining the health and
+        // execution views with the module decisions. `approximated` is
+        // back-filled after PSA below (no approximator exists yet).
+        let models_diag: Vec<ModelDiagnostics> = (0..m)
+            .map(|i| ModelDiagnostics {
+                index: i,
+                name: self.config.base_estimators[i].name(),
+                status: if fitted[i].is_some() {
+                    ModelStatus::Healthy
+                } else {
+                    ModelStatus::Quarantined
+                },
+                attempts: attempts[i],
+                straggler: straggler_flags[i],
+                fit_time: fitted[i].as_ref().map(|&(_, _, t)| t),
+                projected: projectors[i].is_some(),
+                approximated: false,
+            })
+            .collect();
+
         let n_healthy = health.healthy();
         let required =
             (((self.config.min_healthy_fraction * m as f64) - 1e-9).ceil() as usize).max(1);
-        self.fit_report = Some(report);
+        self.diagnostics = Some(FitDiagnostics::new(report, health, models_diag));
         if n_healthy < required {
             let cause = causes
                 .iter()
@@ -659,7 +733,6 @@ impl Suod {
                 .next()
                 .cloned()
                 .expect("a degraded pool records at least one failure cause");
-            self.model_health = Some(health);
             self.state = None;
             return Err(Error::PoolDegraded {
                 healthy: n_healthy,
@@ -668,7 +741,6 @@ impl Suod {
                 cause,
             });
         }
-        self.model_health = Some(health);
 
         // --- Assemble the surviving ensemble. -------------------------------
         // Survivors keep their original pool indices (`model_indices`) so
@@ -694,6 +766,8 @@ impl Suod {
         if self.config.approx_enabled {
             for (model, &i) in models.iter_mut().zip(&model_indices) {
                 if model.spec.is_costly() {
+                    let _span =
+                        suod_observe::span(obs.as_ref(), Stage::PsaDistill, SpanAttrs::model(i));
                     let approx = fit_approximator(
                         &self.config.approx_spec,
                         &spaces[i],
@@ -704,28 +778,39 @@ impl Suod {
                 }
             }
         }
+        if let Some(diag) = self.diagnostics.as_mut() {
+            for (model, &i) in models.iter().zip(&model_indices) {
+                if let Some(row) = diag.models_mut().get_mut(i) {
+                    row.approximated = model.approximator.is_some();
+                }
+            }
+        }
 
         // --- Standardization reference + contamination threshold. -----------
         // Test-time scores must be z-scored against the TRAINING
         // distribution (the PyOD convention): per-batch statistics would
         // zero out single-sample queries and drift with batch composition.
-        let score_means: Vec<f64> = models
-            .iter()
-            .map(|m| suod_linalg::stats::mean(&m.train_scores))
-            .collect();
-        let score_stds: Vec<f64> = models
-            .iter()
-            .map(|m| suod_linalg::stats::std_dev(&m.train_scores).max(1e-12))
-            .collect();
-        let train_matrix = scores_to_matrix(
-            models.iter().map(|m| m.train_scores.clone()).collect(),
-            x.nrows(),
-        )?;
-        let combined = combine_standardized(&train_matrix, &score_means, &score_stds, None);
-        let n_out = ((x.nrows() as f64) * self.config.contamination).round() as usize;
-        let n_out = n_out.clamp(1, x.nrows());
-        let threshold = suod_linalg::rank::kth_largest(&combined, n_out)
-            .expect("n_out within bounds by construction");
+        let (score_means, score_stds, threshold) = {
+            let _span = suod_observe::span(obs.as_ref(), Stage::Threshold, SpanAttrs::none());
+            let score_means: Vec<f64> = models
+                .iter()
+                .map(|m| suod_linalg::stats::mean(&m.train_scores))
+                .collect();
+            let score_stds: Vec<f64> = models
+                .iter()
+                .map(|m| suod_linalg::stats::std_dev(&m.train_scores).max(1e-12))
+                .collect();
+            let train_matrix = scores_to_matrix(
+                models.iter().map(|m| m.train_scores.clone()).collect(),
+                x.nrows(),
+            )?;
+            let combined = combine_standardized(&train_matrix, &score_means, &score_stds, None);
+            let n_out = ((x.nrows() as f64) * self.config.contamination).round() as usize;
+            let n_out = n_out.clamp(1, x.nrows());
+            let threshold = suod_linalg::rank::kth_largest(&combined, n_out)
+                .expect("n_out within bounds by construction");
+            (score_means, score_stds, threshold)
+        };
 
         self.state = Some(Arc::new(FittedState {
             models,
@@ -754,23 +839,27 @@ impl Suod {
         }
     }
 
-    /// Execution telemetry (per-task wall time, per-worker busy time,
-    /// steal count, neighbour-cache hit/miss/build-time counters) from
-    /// the most recent [`fit`](Self::fit). The per-task times are the
-    /// *measured* cost vector: correlate them with the cost model's
-    /// forecasts (e.g. `suod_metrics::spearman`) to validate the
-    /// scheduler the way the paper validates its cost predictor.
-    pub fn fit_report(&self) -> Option<&ExecutionReport> {
-        self.fit_report.as_ref()
+    /// Unified diagnostics from the most recent [`fit`](Self::fit):
+    /// execution telemetry ([`FitDiagnostics::execution`]), per-model
+    /// health ([`FitDiagnostics::health`]), and per-model rows joining
+    /// fit time with the projection/approximation decisions
+    /// ([`FitDiagnostics::models`]). Available even when `fit` failed
+    /// with [`Error::PoolDegraded`]; `None` before the first fit reaches
+    /// the execution stage.
+    pub fn diagnostics(&self) -> Option<&FitDiagnostics> {
+        self.diagnostics.as_ref()
     }
 
-    /// Per-model health from the most recent [`fit`](Self::fit): which
-    /// models survived, which were quarantined and why, how many attempts
-    /// each consumed, and which ran far past their forecast (stragglers).
-    /// Available even when `fit` failed with [`Error::PoolDegraded`];
-    /// `None` before the first fit reaches the execution stage.
+    /// Execution telemetry from the most recent [`fit`](Self::fit).
+    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::execution`")]
+    pub fn fit_report(&self) -> Option<&ExecutionReport> {
+        self.diagnostics.as_ref().map(FitDiagnostics::execution)
+    }
+
+    /// Per-model health from the most recent [`fit`](Self::fit).
+    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::health`")]
     pub fn model_health(&self) -> Option<&ModelHealth> {
-        self.model_health.as_ref()
+        self.diagnostics.as_ref().map(FitDiagnostics::health)
     }
 
     /// BPS applies to "both training and prediction stage" (paper §3.5).
@@ -826,6 +915,8 @@ impl Suod {
         }
         validate_finite(x, "decision_function").map_err(Error::Detector)?;
         let executor = self.executor.as_ref().ok_or(Error::NotFitted)?;
+        let obs = Arc::clone(&self.config.observer);
+        let _predict_span = suod_observe::span(obs.as_ref(), Stage::Predict, SpanAttrs::none());
         let n = x.nrows();
         let m = state.models.len();
         let chunks = predict_chunks(n);
@@ -839,11 +930,18 @@ impl Suod {
         let mut tasks: Vec<Box<dyn FnOnce() -> Result<Vec<f64>> + Send>> =
             Vec::with_capacity(m * chunks.len());
         for mi in 0..m {
-            for chunk in &chunks {
+            for (ci, chunk) in chunks.iter().enumerate() {
                 let state = Arc::clone(&state);
                 let query = Arc::clone(&query);
                 let chunk = chunk.clone();
+                let task_obs = Arc::clone(&obs);
+                let task_index = mi * chunks.len() + ci;
                 tasks.push(Box::new(move || {
+                    let _span = suod_observe::span(
+                        task_obs.as_ref(),
+                        Stage::PredictChunk,
+                        SpanAttrs::model(mi).with_task(task_index),
+                    );
                     let model = &state.models[mi];
                     let slab = row_slab(&query, &chunk);
                     let projected;
@@ -862,7 +960,7 @@ impl Suod {
             }
         }
 
-        let outputs = executor.run(tasks, &assignment)?;
+        let outputs = executor.run_observed(tasks, &assignment, Arc::clone(&obs))?;
         let mut out = Matrix::zeros(n, m);
         let mut outputs = outputs.into_iter();
         for mi in 0..m {
@@ -889,15 +987,24 @@ impl Suod {
     }
 
     /// Like [`decision_function`](Self::decision_function) but scores the
-    /// models **sequentially** and records each model's prediction
-    /// duration. The per-model durations are the true prediction cost
-    /// vector consumed by the scheduling-simulation harnesses (Table 4 /
-    /// IQVIA reproductions).
+    /// models **sequentially**, attributing a [`Stage::ModelPredict`]
+    /// span per model to `observer`, and returns a [`PredictReport`] with
+    /// the measured per-model durations. Those durations are the true
+    /// prediction cost vector consumed by the scheduling-simulation
+    /// harnesses (Table 4 / IQVIA reproductions).
+    ///
+    /// Span attribution uses the model's position in the **surviving**
+    /// ensemble (quarantined models never predict). Observation does not
+    /// change any computed value.
     ///
     /// # Errors
     ///
     /// Same conditions as [`decision_function`](Self::decision_function).
-    pub fn decision_function_timed(&self, x: &Matrix) -> Result<(Matrix, Vec<Duration>)> {
+    pub fn decision_function_observed(
+        &self,
+        x: &Matrix,
+        observer: &Arc<dyn Observer>,
+    ) -> Result<(Matrix, PredictReport)> {
         let state = self.state()?;
         if x.ncols() != state.n_features {
             return Err(Error::InvalidConfig(format!(
@@ -907,9 +1014,14 @@ impl Suod {
             )));
         }
         validate_finite(x, "decision_function").map_err(Error::Detector)?;
+        let wall_start = Instant::now();
+        let _predict_span =
+            suod_observe::span(observer.as_ref(), Stage::Predict, SpanAttrs::none());
         let mut columns = Vec::with_capacity(state.models.len());
         let mut times = Vec::with_capacity(state.models.len());
-        for model in &state.models {
+        for (mi, model) in state.models.iter().enumerate() {
+            let _span =
+                suod_observe::span(observer.as_ref(), Stage::ModelPredict, SpanAttrs::model(mi));
             let start = Instant::now();
             let projected;
             let z: &Matrix = match &model.projector {
@@ -926,7 +1038,23 @@ impl Suod {
             times.push(start.elapsed());
             columns.push(scores);
         }
-        Ok((scores_to_matrix(columns, x.nrows())?, times))
+        let report = PredictReport {
+            model_times: times,
+            wall_time: wall_start.elapsed(),
+            n_rows: x.nrows(),
+        };
+        Ok((scores_to_matrix(columns, x.nrows())?, report))
+    }
+
+    /// Sequential scoring with per-model timings, without observation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    #[deprecated(note = "use `decision_function_observed`")]
+    pub fn decision_function_timed(&self, x: &Matrix) -> Result<(Matrix, Vec<Duration>)> {
+        let (scores, report) = self.decision_function_observed(x, &suod_observe::noop())?;
+        Ok((scores, report.model_times))
     }
 
     /// Ensemble score per sample: the average of the base-model columns
@@ -1055,14 +1183,26 @@ impl Suod {
         )
     }
 
+    /// Diagnostics of the fitted estimator, gated behind the old
+    /// accessors' `NotFitted` semantics (a degraded fit keeps diagnostics
+    /// but discards the fitted state).
+    fn fitted_diagnostics(&self) -> Result<&FitDiagnostics> {
+        self.state()?;
+        Ok(self
+            .diagnostics
+            .as_ref()
+            .expect("a fitted estimator always has diagnostics"))
+    }
+
     /// Measured per-model fit durations — the true cost vector used by the
     /// scheduling benchmarks.
     ///
     /// # Errors
     ///
     /// Returns [`Error::NotFitted`] before `fit`.
+    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::fit_times`")]
     pub fn fit_times(&self) -> Result<Vec<Duration>> {
-        Ok(self.state()?.models.iter().map(|m| m.fit_time).collect())
+        Ok(self.fitted_diagnostics()?.fit_times())
     }
 
     /// Which models ended up with a PSA approximator.
@@ -1070,13 +1210,9 @@ impl Suod {
     /// # Errors
     ///
     /// Returns [`Error::NotFitted`] before `fit`.
+    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::approximated`")]
     pub fn approximated(&self) -> Result<Vec<bool>> {
-        Ok(self
-            .state()?
-            .models
-            .iter()
-            .map(|m| m.approximator.is_some())
-            .collect())
+        Ok(self.fitted_diagnostics()?.approximated())
     }
 
     /// Which models were fitted in a projected subspace.
@@ -1084,13 +1220,9 @@ impl Suod {
     /// # Errors
     ///
     /// Returns [`Error::NotFitted`] before `fit`.
+    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::projected`")]
     pub fn projected(&self) -> Result<Vec<bool>> {
-        Ok(self
-            .state()?
-            .models
-            .iter()
-            .map(|m| m.projector.is_some())
-            .collect())
+        Ok(self.fitted_diagnostics()?.projected())
     }
 
     /// Aggregated per-feature importances from the PSA approximators — the
@@ -1344,19 +1476,19 @@ mod tests {
                 .with_projection(true)
                 .with_approximation(true),
         );
-        let projected = clf.projected().unwrap();
-        let approximated = clf.approximated().unwrap();
+        let diag = clf.diagnostics().unwrap();
         // kNN and LOF are projection-friendly and costly; HBOS/iForest not.
-        assert_eq!(projected, vec![true, true, false, false]);
-        assert_eq!(approximated, vec![true, true, false, false]);
+        assert_eq!(diag.projected(), vec![true, true, false, false]);
+        assert_eq!(diag.approximated(), vec![true, true, false, false]);
 
         let off = fitted(
             Suod::builder()
                 .with_projection(false)
                 .with_approximation(false),
         );
-        assert!(off.projected().unwrap().iter().all(|&b| !b));
-        assert!(off.approximated().unwrap().iter().all(|&b| !b));
+        let off_diag = off.diagnostics().unwrap();
+        assert!(off_diag.projected().iter().all(|&b| !b));
+        assert!(off_diag.approximated().iter().all(|&b| !b));
     }
 
     #[test]
@@ -1407,7 +1539,7 @@ mod tests {
         ));
         assert!(clf.predict(&data()).is_err());
         assert!(clf.threshold().is_err());
-        assert!(clf.fit_times().is_err());
+        assert!(clf.diagnostics().is_none());
     }
 
     #[test]
@@ -1478,8 +1610,11 @@ mod tests {
     #[test]
     fn fit_times_recorded() {
         let clf = fitted(Suod::builder());
-        let times = clf.fit_times().unwrap();
-        assert_eq!(times.len(), 4);
+        let diag = clf.diagnostics().unwrap();
+        assert_eq!(diag.fit_times().len(), 4);
+        assert_eq!(diag.models().len(), 4);
+        assert!(diag.models().iter().all(|m| m.fit_time.is_some()));
+        assert!(diag.models().iter().all(|m| m.attempts == 1));
     }
 
     #[test]
@@ -1567,8 +1702,8 @@ mod tests {
                 .build()
                 .unwrap();
             clf.fit(&x).unwrap();
-            let report = clf.fit_report().unwrap();
-            let counters = (report.cache_hits, report.cache_misses);
+            let exec = clf.diagnostics().unwrap().execution();
+            let counters = (exec.cache_hits, exec.cache_misses);
             (
                 clf.training_scores().unwrap(),
                 clf.decision_function(&x).unwrap(),
@@ -1632,7 +1767,8 @@ mod tests {
             .build()
             .unwrap();
         clf.fit(&data()).unwrap();
-        let health = clf.model_health().unwrap();
+        let diag = clf.diagnostics().unwrap();
+        let health = diag.health();
         assert_eq!(health.quarantined_indices(), vec![4]);
         let report = health.report(4).unwrap();
         assert!(matches!(
@@ -1641,7 +1777,12 @@ mod tests {
         ));
         // One retry (the default) before quarantine.
         assert_eq!(report.attempts, 2);
-        assert_eq!(clf.fit_report().unwrap().retries, 1);
+        assert_eq!(diag.execution().retries, 1);
+        // The joined per-model row agrees with the health report.
+        let row = diag.model(4).unwrap();
+        assert_eq!(row.status, ModelStatus::Quarantined);
+        assert_eq!(row.attempts, 2);
+        assert!(row.fit_time.is_none());
         // Survivors carry prediction: the score matrix has 4 columns.
         let x = data();
         assert_eq!(clf.decision_function(&x).unwrap().shape(), (62, 4));
@@ -1663,7 +1804,7 @@ mod tests {
             .build()
             .unwrap();
         clf.fit(&data()).unwrap();
-        let health = clf.model_health().unwrap();
+        let health = clf.diagnostics().unwrap().health();
         assert_eq!(health.quarantined_indices(), vec![4]);
         assert!(matches!(
             health.report(4).unwrap().cause,
@@ -1698,9 +1839,10 @@ mod tests {
             }
         ));
         assert!(!clf.is_fitted());
-        let health = clf.model_health().unwrap();
-        assert_eq!(health.healthy(), 1);
-        assert_eq!(health.quarantined_indices(), vec![0]);
+        let diag = clf.diagnostics().unwrap();
+        assert_eq!(diag.health().healthy(), 1);
+        assert_eq!(diag.health().quarantined_indices(), vec![0]);
+        assert_eq!(diag.model(0).unwrap().status, ModelStatus::Quarantined);
     }
 
     #[test]
@@ -1759,6 +1901,136 @@ mod tests {
             .straggler_factor(f64::NAN)
             .build()
             .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_delegate_to_diagnostics() {
+        let clf = fitted(Suod::builder());
+        let diag = clf.diagnostics().unwrap();
+        assert_eq!(clf.fit_times().unwrap(), diag.fit_times());
+        assert_eq!(clf.projected().unwrap(), diag.projected());
+        assert_eq!(clf.approximated().unwrap(), diag.approximated());
+        assert_eq!(
+            clf.fit_report().unwrap().task_times.len(),
+            diag.execution().task_times.len()
+        );
+        assert_eq!(
+            clf.model_health().unwrap().healthy(),
+            diag.health().healthy()
+        );
+        let x = data();
+        let (scores, times) = clf.decision_function_timed(&x).unwrap();
+        assert_eq!(scores.shape(), (62, 4));
+        assert_eq!(times.len(), 4);
+    }
+
+    #[test]
+    fn observed_fit_trace_reconciles_with_diagnostics() {
+        use suod_observe::RecordingObserver;
+        let recorder = Arc::new(RecordingObserver::new());
+        let mut clf = Suod::builder()
+            .base_estimators(small_pool())
+            .n_workers(2)
+            .observer(recorder.clone())
+            .seed(3)
+            .build()
+            .unwrap();
+        let x = data();
+        clf.fit(&x).unwrap();
+        clf.decision_function(&x).unwrap();
+        let trace = recorder.trace();
+        assert_eq!(trace.spans_of(Stage::Fit).count(), 1);
+        assert_eq!(trace.spans_of(Stage::ModelFit).count(), 4);
+        assert_eq!(trace.spans_of(Stage::NeighborPlan).count(), 1);
+        assert_eq!(trace.spans_of(Stage::BpsPlan).count(), 1);
+        assert_eq!(trace.spans_of(Stage::Threshold).count(), 1);
+        assert_eq!(trace.spans_of(Stage::Predict).count(), 1);
+        assert!(trace.spans_of(Stage::PredictChunk).count() > 0);
+        // Fit tasks and predict tasks both run through the executor.
+        assert!(trace.spans_of(Stage::ExecutorTask).count() >= 4);
+        let exec = clf.diagnostics().unwrap().execution();
+        assert_eq!(trace.counter(Counter::CacheHit), exec.cache_hits);
+        assert_eq!(trace.counter(Counter::CacheMiss), exec.cache_misses);
+        assert_eq!(trace.counter(Counter::Retry), exec.retries as u64);
+        assert_eq!(trace.counter(Counter::Quarantine), 0);
+    }
+
+    #[test]
+    fn observed_fit_scores_bit_identical_to_unobserved() {
+        use suod_observe::RecordingObserver;
+        let x = data();
+        let run = |observed: bool| {
+            let mut builder = Suod::builder()
+                .base_estimators(small_pool())
+                .n_workers(2)
+                .seed(11);
+            if observed {
+                builder = builder.observer(Arc::new(RecordingObserver::new()));
+            }
+            let mut clf = builder.build().unwrap();
+            clf.fit(&x).unwrap();
+            (
+                clf.training_scores().unwrap(),
+                clf.decision_function(&x).unwrap(),
+            )
+        };
+        let (ts_on, df_on) = run(true);
+        let (ts_off, df_off) = run(false);
+        assert_eq!(ts_on.as_slice(), ts_off.as_slice());
+        assert_eq!(df_on.as_slice(), df_off.as_slice());
+    }
+
+    #[test]
+    fn observed_prediction_reports_per_model_times() {
+        use suod_observe::RecordingObserver;
+        let clf = fitted(Suod::builder());
+        let x = data();
+        let recorder = Arc::new(RecordingObserver::new());
+        let observer: Arc<dyn Observer> = recorder.clone();
+        let (scores, report) = clf.decision_function_observed(&x, &observer).unwrap();
+        assert_eq!(scores.shape(), (62, 4));
+        assert_eq!(report.model_times.len(), 4);
+        assert_eq!(report.n_rows, 62);
+        assert!(report.wall_time >= report.model_times.iter().sum());
+        let trace = recorder.trace();
+        assert_eq!(trace.spans_of(Stage::Predict).count(), 1);
+        assert_eq!(trace.spans_of(Stage::ModelPredict).count(), 4);
+        // Sequential observed scoring matches the parallel path exactly.
+        let parallel = clf.decision_function(&x).unwrap();
+        assert_eq!(scores.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn degraded_fit_records_quarantine_counter() {
+        use suod_detectors::ChaosMode;
+        use suod_observe::RecordingObserver;
+        let recorder = Arc::new(RecordingObserver::new());
+        let pool = vec![
+            ModelSpec::Chaos {
+                mode: ChaosMode::PanicOnFit,
+                n_neighbors: 5,
+            },
+            ModelSpec::Hbos {
+                n_bins: 10,
+                tolerance: 0.3,
+            },
+        ];
+        let mut clf = Suod::builder()
+            .base_estimators(pool)
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        assert!(clf.fit(&data()).is_err());
+        let trace = recorder.trace();
+        assert_eq!(trace.counter(Counter::Quarantine), 1);
+        // Initial attempt + one retry, both closed despite the panics.
+        assert_eq!(trace.spans_of(Stage::ModelFit).count(), 2);
+        assert_eq!(trace.spans_of(Stage::ModelRetry).count(), 1);
+        assert_eq!(
+            trace.counter(Counter::TaskFailure),
+            clf.diagnostics().unwrap().execution().failures as u64
+        );
     }
 
     #[test]

@@ -94,9 +94,10 @@ proptest! {
         prop_assert!(proba.iter().all(|&p| (0.0..=1.0).contains(&p)));
 
         // Flags: only costly+friendly models projected/approximated.
+        let diag = clf.diagnostics().unwrap();
         for (i, spec) in pool.iter().enumerate() {
-            let projected = clf.projected().unwrap()[i];
-            let approximated = clf.approximated().unwrap()[i];
+            let projected = diag.projected()[i];
+            let approximated = diag.approximated()[i];
             prop_assert!(!projected || (rp && spec.projection_friendly()));
             prop_assert!(!approximated || (psa && spec.is_costly()));
         }

@@ -83,6 +83,7 @@ use std::sync::Arc;
 use suod_linalg::{
     DataFingerprint, DistanceMetric, KnnIndex, Matrix, NeighborCache, SelfNeighbors,
 };
+use suod_observe::{Counter, Observer, SpanAttrs};
 
 /// Errors produced by detector training and scoring.
 #[derive(Debug, Clone, PartialEq)]
@@ -174,11 +175,34 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// sorted-prefix views), plus the thread budget the standalone sweep
 /// should use. The default context (`FitContext::default()`) is
 /// cache-less and single-threaded, matching a bare [`Detector::fit`].
-#[derive(Debug, Clone, Default)]
+///
+/// A context also carries an [`Observer`]: standalone neighbour sweeps
+/// report through the same hooks the pooled cache uses (a private build
+/// is a [`Counter::CacheMiss`] plus a `NeighborBuild` span), so telemetry
+/// reconciles between pooled and standalone fits. The default is the
+/// no-op observer.
+#[derive(Clone)]
 pub struct FitContext {
     cache: Option<Arc<NeighborCache>>,
     fingerprint: Option<DataFingerprint>,
     n_threads: usize,
+    observer: Arc<dyn Observer>,
+}
+
+impl std::fmt::Debug for FitContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitContext")
+            .field("has_cache", &self.cache.is_some())
+            .field("fingerprint", &self.fingerprint)
+            .field("n_threads", &self.n_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for FitContext {
+    fn default() -> Self {
+        Self::standalone(1)
+    }
 }
 
 impl FitContext {
@@ -189,6 +213,7 @@ impl FitContext {
             cache: None,
             fingerprint: None,
             n_threads,
+            observer: suod_observe::noop(),
         }
     }
 
@@ -206,7 +231,19 @@ impl FitContext {
             cache: Some(cache),
             fingerprint,
             n_threads,
+            observer: suod_observe::noop(),
         }
+    }
+
+    /// Attaches an instrumentation sink. Standalone neighbour sweeps then
+    /// emit the same telemetry a pooled cache miss would (one
+    /// [`Counter::CacheMiss`] plus a
+    /// [`Stage::NeighborBuild`](suod_observe::Stage::NeighborBuild) span);
+    /// cached contexts report through the cache's own observer instead.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Thread budget for neighbour sweeps (at least 1).
@@ -243,9 +280,20 @@ impl FitContext {
                 Ok((index, SelfNeighbors::Shared { graph, k }))
             }
             None => {
-                let index = Arc::new(KnnIndex::build(x, metric)?);
-                let lists = index.self_query_batch(k, self.n_threads());
-                Ok((index, SelfNeighbors::Owned(lists)))
+                // Standalone fits pay a private build every time — telemetry
+                // reports it exactly like a pooled cache miss so counters
+                // stay comparable between the two paths.
+                self.observer.counter(Counter::CacheMiss, 1);
+                let span = self
+                    .observer
+                    .span_begin(suod_observe::Stage::NeighborBuild, SpanAttrs::none());
+                let result = (|| {
+                    let index = Arc::new(KnnIndex::build(x, metric)?);
+                    let lists = index.self_query_batch(k, self.n_threads());
+                    Ok((index, SelfNeighbors::Owned(lists)))
+                })();
+                self.observer.span_end(span);
+                result
             }
         }
     }
@@ -386,5 +434,54 @@ mod tests {
         let labels = labels_from_scores(&[1.0, 2.0, 3.0], 0.01).unwrap();
         assert_eq!(labels.iter().sum::<i32>(), 1);
         assert_eq!(labels[2], 1);
+    }
+
+    #[test]
+    fn standalone_fit_emits_cache_telemetry() {
+        use suod_observe::{RecordingObserver, Stage};
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![0.2, 0.1],
+            vec![9.0, 9.0],
+        ])
+        .unwrap();
+        let rec = Arc::new(RecordingObserver::new());
+        let ctx = FitContext::standalone(1).with_observer(rec.clone());
+        let mut det = KnnDetector::new(2, KnnMethod::Largest).unwrap();
+        det.fit_with_context(&x, &ctx).unwrap();
+        let trace = rec.trace();
+        // A standalone proximity fit reports its private build exactly
+        // like a pooled cache miss: one miss, no hits, one build span.
+        assert_eq!(trace.counter(Counter::CacheMiss), 1);
+        assert_eq!(trace.counter(Counter::CacheHit), 0);
+        assert_eq!(trace.spans_of(Stage::NeighborBuild).count(), 1);
+    }
+
+    #[test]
+    fn standalone_fit_scores_unchanged_by_observer() {
+        use suod_observe::RecordingObserver;
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![0.2, 0.1],
+            vec![9.0, 9.0],
+        ])
+        .unwrap();
+        let mut plain = LofDetector::new(2).unwrap();
+        plain
+            .fit_with_context(&x, &FitContext::standalone(1))
+            .unwrap();
+        let mut observed = LofDetector::new(2).unwrap();
+        let rec = Arc::new(RecordingObserver::new());
+        observed
+            .fit_with_context(&x, &FitContext::standalone(1).with_observer(rec))
+            .unwrap();
+        assert_eq!(
+            plain.training_scores().unwrap(),
+            observed.training_scores().unwrap()
+        );
     }
 }

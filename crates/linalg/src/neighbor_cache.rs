@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 
 /// Content identity of a training matrix: shape plus two independent
 /// 64-bit hashes over the raw `f64` bits (order-sensitive). Two matrices
@@ -228,12 +229,31 @@ type SlotMap = HashMap<(DataFingerprint, MetricKey), Arc<Mutex<Slot>>>;
 /// Keys are `(DataFingerprint, DistanceMetric)`; see the
 /// [module docs](self) for the sharing model. All methods take `&self`
 /// and are safe to call from many executor workers at once.
-#[derive(Debug, Default)]
 pub struct NeighborCache {
     slots: Mutex<SlotMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     build_nanos: AtomicU64,
+    /// Instrumentation sink: hits/misses emit [`Counter`] events and each
+    /// graph build is wrapped in a [`Stage::NeighborBuild`] span. The
+    /// internal atomic counters always run regardless, so
+    /// [`stats`](Self::stats) stays authoritative with the no-op observer.
+    observer: Arc<dyn Observer>,
+}
+
+impl std::fmt::Debug for NeighborCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeighborCache")
+            .field("entries", &self.n_entries())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for NeighborCache {
+    fn default() -> Self {
+        Self::with_observer(suod_observe::noop())
+    }
 }
 
 /// `DistanceMetric` is not `Eq`/`Hash` (it carries an `f64` exponent);
@@ -259,6 +279,19 @@ impl NeighborCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache reporting into `observer`: every hit/miss
+    /// emits [`Counter::CacheHit`]/[`Counter::CacheMiss`] and every graph
+    /// build is wrapped in a [`Stage::NeighborBuild`] span.
+    pub fn with_observer(observer: Arc<dyn Observer>) -> Self {
+        Self {
+            slots: Mutex::new(SlotMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+            observer,
+        }
     }
 
     fn slot(&self, fp: DataFingerprint, metric: DistanceMetric) -> Arc<Mutex<Slot>> {
@@ -310,6 +343,7 @@ impl NeighborCache {
         if let Some(graph) = &slot.graph {
             if graph.k_built() >= k {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.observer.counter(Counter::CacheHit, 1);
                 return Ok(Arc::clone(graph));
             }
         }
@@ -318,13 +352,19 @@ impl NeighborCache {
         // requesters of the same key must wait for this graph rather than
         // duplicate the dominant O(n^2 d) sweep.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.observer.counter(Counter::CacheMiss, 1);
         let k_build = k
             .max(slot.registered_k)
             .max(slot.graph.as_ref().map_or(0, |g| g.k_built()));
+        let span = self
+            .observer
+            .span_begin(Stage::NeighborBuild, SpanAttrs::none());
         let start = Instant::now();
-        let graph = Arc::new(NeighborGraph::build(x, metric, k_build, n_threads)?);
+        let built = NeighborGraph::build(x, metric, k_build, n_threads);
         self.build_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.observer.span_end(span);
+        let graph = Arc::new(built?);
         slot.graph = Some(Arc::clone(&graph));
         Ok(graph)
     }
@@ -530,6 +570,35 @@ mod tests {
         for g in &graphs {
             assert!(g.k_built() >= 2);
         }
+    }
+
+    #[test]
+    fn observer_counters_match_stats() {
+        use suod_observe::RecordingObserver;
+        let rec = Arc::new(RecordingObserver::new());
+        let cache = NeighborCache::with_observer(rec.clone());
+        let x = random_matrix(30, 3, 23);
+        cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 5, 1)
+            .unwrap();
+        cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 3, 1)
+            .unwrap();
+        cache
+            .get_or_build(&x, DistanceMetric::Manhattan, 4, 1)
+            .unwrap();
+        let stats = cache.stats();
+        let trace = rec.trace();
+        assert_eq!(trace.counter(Counter::CacheHit), stats.hits);
+        assert_eq!(trace.counter(Counter::CacheMiss), stats.misses);
+        assert_eq!(
+            trace.spans_of(Stage::NeighborBuild).count() as u64,
+            stats.builds
+        );
+        // Build spans carry real durations.
+        assert!(trace
+            .spans_of(Stage::NeighborBuild)
+            .all(|s| s.dur_us <= stats.build_time.as_micros() as u64 + 1000));
     }
 
     #[test]

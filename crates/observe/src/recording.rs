@@ -1,0 +1,504 @@
+//! The recording observer and its immutable [`Trace`] snapshot.
+//!
+//! [`RecordingObserver`] is the concrete sink behind `suod-cli trace` and
+//! the observability system tests. It is **lock-sharded**: span ids come
+//! from one atomic counter and each id is routed to `id % n_shards`, so
+//! concurrent executor workers rarely contend on the same mutex, and the
+//! hot path never allocates more than one `Vec` push per span.
+//!
+//! The captured trace is deterministic in the sense the system tests
+//! verify: for a fixed `(data, pool, seed)`, the *set* of spans (stage +
+//! model/task attribution) and every deterministic [`Counter`] are
+//! identical across worker counts. Timestamps, durations, worker ids,
+//! latency histograms, and scheduling counters (steals, stragglers) are
+//! wall-clock-class fields and excluded from the guarantee — see
+//! [`Trace::deterministic_signature`].
+
+use crate::{Counter, Observer, SpanAttrs, SpanId, Stage, COUNTERS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of log₂ latency buckets per stage histogram. Bucket `b > 0`
+/// counts durations in `[2^(b-1), 2^b)` microseconds; bucket 0 counts
+/// sub-microsecond spans. 32 buckets reach ~35 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+fn bucket_of(dur_us: u64) -> usize {
+    if dur_us == 0 {
+        0
+    } else {
+        ((64 - dur_us.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One recorded span in a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the trace (begin order; starts at 1).
+    pub id: u64,
+    /// The pipeline stage.
+    pub stage: Stage,
+    /// Pool model index attribution, if any.
+    pub model: Option<usize>,
+    /// Executor task index attribution, if any.
+    pub task: Option<usize>,
+    /// Worker thread that ran the span (wall-clock-class field).
+    pub worker: Option<usize>,
+    /// Start offset in microseconds since the observer's creation.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for spans never closed).
+    pub dur_us: u64,
+}
+
+/// Latency histogram of one stage's span durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramRecord {
+    /// The stage the histogram aggregates.
+    pub stage: Stage,
+    /// Log₂ bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Number of spans aggregated.
+    pub count: u64,
+    /// Sum of span durations in microseconds.
+    pub total_us: u64,
+}
+
+/// An immutable snapshot of everything a [`RecordingObserver`] captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    spans: Vec<SpanRecord>,
+    /// Counter values indexed like [`COUNTERS`].
+    counters: Vec<u64>,
+    histograms: Vec<HistogramRecord>,
+}
+
+impl Trace {
+    /// Reassembles a trace from its exported parts (used by the JSON
+    /// importer; `counters` is indexed like [`COUNTERS`]).
+    pub fn from_parts(
+        spans: Vec<SpanRecord>,
+        counters: Vec<u64>,
+        histograms: Vec<HistogramRecord>,
+    ) -> Self {
+        let mut counters = counters;
+        counters.resize(COUNTERS.len(), 0);
+        Trace {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+
+    /// All spans, ordered by `(start_us, id)`.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// The spans of one stage, in trace order.
+    pub fn spans_of(&self, stage: Stage) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.stage == stage)
+    }
+
+    /// Current value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        let idx = COUNTERS
+            .iter()
+            .position(|&c| c == counter)
+            .expect("every counter is listed in COUNTERS");
+        self.counters[idx]
+    }
+
+    /// All `(counter, value)` pairs in export order.
+    pub fn counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        COUNTERS.iter().zip(&self.counters).map(|(&c, &v)| (c, v))
+    }
+
+    /// Per-stage latency histograms (stages with at least one span).
+    pub fn histograms(&self) -> &[HistogramRecord] {
+        &self.histograms
+    }
+
+    /// Sum of the durations of one stage's spans.
+    pub fn total_time_of(&self, stage: Stage) -> Duration {
+        Duration::from_micros(self.spans_of(stage).map(|s| s.dur_us).sum())
+    }
+
+    /// End-to-end extent of the trace in microseconds.
+    pub fn wall_us(&self) -> u64 {
+        let start = self.spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .max()
+            .unwrap_or(0);
+        end - start
+    }
+
+    /// The wall-clock-free identity of this trace: one sorted line per
+    /// span — `span <stage> model=<m> task=<t>` — followed by one line
+    /// per deterministic counter. Two runs of the same `(data, pool,
+    /// seed)` produce equal signatures at any worker count; timestamps,
+    /// durations, worker ids, histograms, and scheduling counters are
+    /// deliberately excluded.
+    pub fn deterministic_signature(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "span {} model={} task={}",
+                    s.stage.name(),
+                    s.model.map_or_else(|| "-".into(), |m| m.to_string()),
+                    s.task.map_or_else(|| "-".into(), |t| t.to_string()),
+                )
+            })
+            .collect();
+        lines.sort();
+        for (c, v) in self.counters() {
+            if c.is_deterministic() {
+                lines.push(format!("counter {}={v}", c.name()));
+            }
+        }
+        lines
+    }
+
+    /// Fraction of the `parent` stage's total duration covered by the
+    /// union of all other spans — the "how much of the fit is accounted
+    /// for" metric behind the ≥95 % coverage acceptance target. Returns
+    /// 1.0 when `parent` has no spans or zero duration.
+    pub fn coverage_of(&self, parent: Stage) -> f64 {
+        let parents: Vec<(u64, u64)> = self
+            .spans_of(parent)
+            .map(|s| (s.start_us, s.start_us + s.dur_us))
+            .collect();
+        let total: u64 = parents.iter().map(|&(a, b)| b - a).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut children: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.stage != parent && s.dur_us > 0)
+            .map(|s| (s.start_us, s.start_us + s.dur_us))
+            .collect();
+        children.sort_unstable();
+        // Merge overlapping child intervals, then clip to parent spans.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(children.len());
+        for (a, b) in children {
+            match merged.last_mut() {
+                Some((_, e)) if a <= *e => *e = (*e).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        let mut covered = 0u64;
+        for &(pa, pb) in &parents {
+            for &(ca, cb) in &merged {
+                let lo = ca.max(pa);
+                let hi = cb.min(pb);
+                if hi > lo {
+                    covered += hi - lo;
+                }
+            }
+        }
+        covered as f64 / total as f64
+    }
+}
+
+/// One shard's open/closed span storage.
+#[derive(Debug, Default)]
+struct Shard {
+    spans: Vec<ShardSpan>,
+}
+
+#[derive(Debug)]
+struct ShardSpan {
+    id: u64,
+    stage: Stage,
+    attrs: SpanAttrs,
+    start_us: u64,
+    end_us: Option<u64>,
+}
+
+/// A lock-sharded recording [`Observer`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct RecordingObserver {
+    epoch: Instant,
+    next_id: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    counters: Vec<AtomicU64>,
+}
+
+impl Default for RecordingObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordingObserver {
+    /// Number of mutex shards (power of two; spans route by `id & mask`).
+    const SHARDS: usize = 16;
+
+    /// Creates a recorder whose timestamps are offsets from "now".
+    pub fn new() -> Self {
+        RecordingObserver {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            counters: COUNTERS.iter().map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn shard_of(&self, id: u64) -> &Mutex<Shard> {
+        &self.shards[(id as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Snapshots everything recorded so far into an immutable [`Trace`].
+    /// Spans are ordered by `(start_us, id)`; spans still open keep
+    /// duration 0. The recorder keeps accumulating afterwards.
+    pub fn trace(&self) -> Trace {
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for s in &shard.spans {
+                spans.push(SpanRecord {
+                    id: s.id,
+                    stage: s.stage,
+                    model: s.attrs.model,
+                    task: s.attrs.task,
+                    worker: s.attrs.worker,
+                    start_us: s.start_us,
+                    dur_us: s.end_us.map_or(0, |e| e.saturating_sub(s.start_us)),
+                });
+            }
+        }
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        let counters: Vec<u64> = self
+            .counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let mut histograms: Vec<HistogramRecord> = Vec::new();
+        for &stage in crate::STAGES {
+            let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+            let mut count = 0u64;
+            let mut total_us = 0u64;
+            for s in spans.iter().filter(|s| s.stage == stage) {
+                buckets[bucket_of(s.dur_us)] += 1;
+                count += 1;
+                total_us += s.dur_us;
+            }
+            if count > 0 {
+                histograms.push(HistogramRecord {
+                    stage,
+                    buckets,
+                    count,
+                    total_us,
+                });
+            }
+        }
+        Trace {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&self, stage: Stage, attrs: SpanAttrs) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let start_us = self.now_us();
+        let mut shard = self.shard_of(id).lock().unwrap_or_else(|e| e.into_inner());
+        shard.spans.push(ShardSpan {
+            id,
+            stage,
+            attrs,
+            start_us,
+            end_us: None,
+        });
+        SpanId(id)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id == SpanId::NONE {
+            return;
+        }
+        let end = self.now_us();
+        let mut shard = self
+            .shard_of(id.0)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Spans close LIFO per thread, so the open span is almost always
+        // near the back of its shard.
+        if let Some(s) = shard
+            .spans
+            .iter_mut()
+            .rev()
+            .find(|s| s.id == id.0 && s.end_us.is_none())
+        {
+            s.end_us = Some(end);
+        }
+    }
+
+    fn counter(&self, counter: Counter, delta: u64) {
+        let idx = COUNTERS
+            .iter()
+            .position(|&c| c == counter)
+            .expect("every counter is listed in COUNTERS");
+        self.counters[idx].fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans_counters_and_histograms() {
+        let rec = RecordingObserver::new();
+        let a = rec.span_begin(Stage::Fit, SpanAttrs::none());
+        let b = rec.span_begin(Stage::ModelFit, SpanAttrs::model(2).with_task(2));
+        rec.counter(Counter::CacheMiss, 1);
+        rec.counter(Counter::CacheHit, 2);
+        rec.span_end(b);
+        rec.span_end(a);
+
+        let t = rec.trace();
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[0].stage, Stage::Fit);
+        assert_eq!(t.spans()[1].model, Some(2));
+        assert_eq!(t.counter(Counter::CacheHit), 2);
+        assert_eq!(t.counter(Counter::CacheMiss), 1);
+        assert_eq!(t.counter(Counter::Steal), 0);
+        let hist: Vec<Stage> = t.histograms().iter().map(|h| h.stage).collect();
+        assert_eq!(hist, vec![Stage::Fit, Stage::ModelFit]);
+        assert_eq!(t.histograms()[0].count, 1);
+        assert_eq!(
+            t.histograms()[0].buckets.iter().sum::<u64>(),
+            t.histograms()[0].count
+        );
+    }
+
+    #[test]
+    fn concurrent_spans_all_recorded() {
+        let rec = std::sync::Arc::new(RecordingObserver::new());
+        std::thread::scope(|scope| {
+            for w in 0..8usize {
+                let rec = std::sync::Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..50usize {
+                        let id = rec.span_begin(
+                            Stage::ExecutorTask,
+                            SpanAttrs::task(w * 50 + i).on_worker(w),
+                        );
+                        rec.counter(Counter::Steal, 1);
+                        rec.span_end(id);
+                    }
+                });
+            }
+        });
+        let t = rec.trace();
+        assert_eq!(t.spans().len(), 400);
+        assert_eq!(t.counter(Counter::Steal), 400);
+        // Ids are unique.
+        let mut ids: Vec<u64> = t.spans().iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+    }
+
+    #[test]
+    fn unclosed_span_has_zero_duration() {
+        let rec = RecordingObserver::new();
+        let _open = rec.span_begin(Stage::Predict, SpanAttrs::none());
+        let t = rec.trace();
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].dur_us, 0);
+    }
+
+    #[test]
+    fn ending_none_or_unknown_is_harmless() {
+        let rec = RecordingObserver::new();
+        rec.span_end(SpanId::NONE);
+        rec.span_end(SpanId(999));
+        assert!(rec.trace().spans().is_empty());
+    }
+
+    #[test]
+    fn deterministic_signature_ignores_wall_clock() {
+        let make = |steals: u64| {
+            let rec = RecordingObserver::new();
+            let a = rec.span_begin(Stage::ModelFit, SpanAttrs::model(0).on_worker(3));
+            std::thread::sleep(Duration::from_millis(1));
+            rec.span_end(a);
+            let b = rec.span_begin(Stage::ModelFit, SpanAttrs::model(1).on_worker(1));
+            rec.span_end(b);
+            rec.counter(Counter::Steal, steals);
+            rec.counter(Counter::CacheHit, 2);
+            rec.trace().deterministic_signature()
+        };
+        // Different steal counts, worker ids, and durations — same signature.
+        assert_eq!(make(0), make(7));
+    }
+
+    #[test]
+    fn coverage_of_unions_children() {
+        let spans = vec![
+            SpanRecord {
+                id: 1,
+                stage: Stage::Fit,
+                model: None,
+                task: None,
+                worker: None,
+                start_us: 0,
+                dur_us: 100,
+            },
+            SpanRecord {
+                id: 2,
+                stage: Stage::ModelFit,
+                model: Some(0),
+                task: None,
+                worker: None,
+                start_us: 0,
+                dur_us: 40,
+            },
+            // Overlaps the first child; union covers 0..70.
+            SpanRecord {
+                id: 3,
+                stage: Stage::ModelFit,
+                model: Some(1),
+                task: None,
+                worker: None,
+                start_us: 30,
+                dur_us: 40,
+            },
+        ];
+        let t = Trace::from_parts(spans, vec![], vec![]);
+        let cov = t.coverage_of(Stage::Fit);
+        assert!((cov - 0.7).abs() < 1e-12, "{cov}");
+        // A stage with no spans is trivially covered.
+        assert_eq!(t.coverage_of(Stage::Predict), 1.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+}

@@ -61,6 +61,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 
 /// Locks a mutex, ignoring poisoning. Tasks run under `catch_unwind`, so
 /// poison can only be left behind by a panic that is already being
@@ -198,6 +199,10 @@ struct Batch<F, T> {
     /// Fault-isolated mode: catch each task's panic individually and
     /// record it as a per-task failure instead of poisoning the batch.
     isolate: bool,
+    /// Instrumentation sink: each task execution is wrapped in an
+    /// [`Stage::ExecutorTask`] span; steals and fault-boundary failures
+    /// emit [`Counter`] events. The no-op observer makes this free.
+    observer: Arc<dyn Observer>,
 }
 
 impl<F, T> Batch<F, T>
@@ -246,14 +251,20 @@ where
             };
             if stolen {
                 log.steals += 1;
+                self.observer.counter(Counter::Steal, 1);
             }
             let task = lock_ignore_poison(&self.tasks[index])
                 .take()
                 .expect("deque protocol hands out each task once");
+            let span = self.observer.span_begin(
+                Stage::ExecutorTask,
+                SpanAttrs::task(index).on_worker(worker),
+            );
             let start = Instant::now();
             match catch_unwind(AssertUnwindSafe(task)) {
                 Ok(out) => {
                     let elapsed = start.elapsed();
+                    self.observer.span_end(span);
                     log.out.push((index, Ok(out), elapsed));
                     log.busy += elapsed;
                     self.remaining.fetch_sub(1, Ordering::AcqRel);
@@ -263,12 +274,16 @@ where
                     // draining the deques — the rest of the batch is
                     // unaffected.
                     let elapsed = start.elapsed();
+                    self.observer.span_end(span);
+                    self.observer.counter(Counter::TaskFailure, 1);
                     log.out
                         .push((index, Err(TaskFailure::from_payload(payload)), elapsed));
                     log.busy += elapsed;
                     self.remaining.fetch_sub(1, Ordering::AcqRel);
                 }
                 Err(payload) => {
+                    self.observer.span_end(span);
+                    self.observer.counter(Counter::TaskFailure, 1);
                     let mut slot = lock_ignore_poison(&self.panic);
                     if slot.is_none() {
                         *slot = Some(payload);
@@ -386,6 +401,7 @@ impl WorkStealingExecutor {
         tasks: Vec<F>,
         assignment: &Assignment,
         isolate: bool,
+        observer: Arc<dyn Observer>,
     ) -> Result<(Vec<std::result::Result<T, TaskFailure>>, ExecutionReport)>
     where
         T: Send + 'static,
@@ -428,6 +444,7 @@ impl WorkStealingExecutor {
             panic: Mutex::new(None),
             panicked: AtomicBool::new(false),
             isolate,
+            observer,
         });
 
         let start = Instant::now();
@@ -516,7 +533,33 @@ impl WorkStealingExecutor {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let (outcomes, report) = self.run_batch(tasks, assignment, false)?;
+        self.run_with_report_observed(tasks, assignment, suod_observe::noop())
+    }
+
+    /// Like [`run_with_report`](Self::run_with_report) with an explicit
+    /// instrumentation sink: each task execution becomes a
+    /// [`Stage::ExecutorTask`] span (task index + worker attribution) and
+    /// successful steals emit [`Counter::Steal`]. Passing the no-op
+    /// observer is equivalent to `run_with_report`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with_report`](Self::run_with_report).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run_with_report`](Self::run_with_report).
+    pub fn run_with_report_observed<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+        observer: Arc<dyn Observer>,
+    ) -> Result<(Vec<T>, ExecutionReport)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (outcomes, report) = self.run_batch(tasks, assignment, false, observer)?;
         let results = outcomes
             .into_iter()
             .map(|o| o.expect("fail-fast mode re-raises panics before collecting"))
@@ -547,7 +590,28 @@ impl WorkStealingExecutor {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        self.run_batch(tasks, assignment, true)
+        self.run_batch(tasks, assignment, true, suod_observe::noop())
+    }
+
+    /// Like [`run_with_report_isolated`](Self::run_with_report_isolated)
+    /// with an explicit instrumentation sink: task executions become
+    /// [`Stage::ExecutorTask`] spans, steals emit [`Counter::Steal`], and
+    /// tasks caught at the fault boundary emit [`Counter::TaskFailure`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with_report_isolated`](Self::run_with_report_isolated).
+    pub fn run_with_report_isolated_observed<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+        observer: Arc<dyn Observer>,
+    ) -> Result<(Vec<std::result::Result<T, TaskFailure>>, ExecutionReport)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_batch(tasks, assignment, true, observer)
     }
 
     /// Like [`run_with_report_isolated`](Self::run_with_report_isolated),
@@ -583,6 +647,30 @@ impl WorkStealingExecutor {
         F: FnOnce() -> T + Send + 'static,
     {
         self.run_with_report(tasks, assignment).map(|(r, _)| r)
+    }
+
+    /// Like [`run`](Self::run) with an explicit instrumentation sink,
+    /// discarding the telemetry report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_observed<T, F>(
+        &self,
+        tasks: Vec<F>,
+        assignment: &Assignment,
+        observer: Arc<dyn Observer>,
+    ) -> Result<Vec<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.run_with_report_observed(tasks, assignment, observer)
+            .map(|(r, _)| r)
     }
 }
 
@@ -819,6 +907,50 @@ mod tests {
         let a = generic_schedule(8, 4).unwrap();
         let out = pool.run(boxed_tasks(8), &a).unwrap();
         assert_eq!(out, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observed_run_traces_every_task_and_reconciles_with_report() {
+        use suod_observe::RecordingObserver;
+        let pool = WorkStealingExecutor::new(3).unwrap();
+        let a = generic_schedule(9, 3).unwrap();
+        let rec = Arc::new(RecordingObserver::new());
+        let (out, report) = pool
+            .run_with_report_observed(boxed_tasks(9), &a, rec.clone())
+            .unwrap();
+        assert_eq!(out, (0..9).map(|i| i * i).collect::<Vec<_>>());
+        let trace = rec.trace();
+        let spans: Vec<_> = trace.spans_of(Stage::ExecutorTask).collect();
+        assert_eq!(spans.len(), 9, "one span per task");
+        let mut tasks: Vec<usize> = spans.iter().map(|s| s.task.unwrap()).collect();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..9).collect::<Vec<_>>());
+        assert!(spans.iter().all(|s| s.worker.is_some()));
+        assert_eq!(trace.counter(Counter::Steal), report.steals as u64);
+        assert_eq!(trace.counter(Counter::TaskFailure), 0);
+    }
+
+    #[test]
+    fn observed_isolated_run_counts_failures() {
+        use suod_observe::RecordingObserver;
+        let pool = WorkStealingExecutor::new(2).unwrap();
+        let a = generic_schedule(4, 2).unwrap();
+        let rec = Arc::new(RecordingObserver::new());
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom")),
+            Box::new(|| 3),
+            Box::new(|| panic!("bang")),
+        ];
+        let (out, report) = pool
+            .run_with_report_isolated_observed(tasks, &a, rec.clone())
+            .unwrap();
+        assert_eq!(out.iter().filter(|o| o.is_err()).count(), 2);
+        let trace = rec.trace();
+        assert_eq!(trace.counter(Counter::TaskFailure), report.failures as u64);
+        assert_eq!(trace.spans_of(Stage::ExecutorTask).count(), 4);
+        // Failed tasks still close their spans.
+        assert!(trace.spans().iter().all(|s| s.id != 0));
     }
 
     #[test]

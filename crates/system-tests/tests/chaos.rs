@@ -145,7 +145,7 @@ fn twenty_model_pool_survives_injected_failures_bit_identically() {
     };
     let mut clean = build(base_pool());
     clean.fit(&x).unwrap();
-    assert!(!clean.model_health().unwrap().is_degraded());
+    assert!(!clean.diagnostics().unwrap().health().is_degraded());
 
     let mut pool = base_pool();
     pool.push(chaos(ChaosMode::PanicOnFit)); // index 18
@@ -153,7 +153,7 @@ fn twenty_model_pool_survives_injected_failures_bit_identically() {
     let mut chaotic = build(pool);
     chaotic.fit(&x).unwrap();
 
-    let health = chaotic.model_health().unwrap();
+    let health = chaotic.diagnostics().unwrap().health();
     assert_eq!(health.len(), 20);
     assert_eq!(health.healthy(), 18);
     assert_eq!(health.quarantined_indices(), vec![18, 19]);
@@ -210,7 +210,7 @@ fn degradation_floor_returns_typed_error_with_health_attached() {
     }
     assert!(!clf.is_fitted());
     // The health report survives the failed fit for postmortems.
-    let health = clf.model_health().unwrap();
+    let health = clf.diagnostics().unwrap().health();
     assert_eq!(health.quarantined_indices(), vec![0, 1, 2]);
     assert_eq!(health.healthy_indices(), vec![3]);
 }
@@ -233,13 +233,14 @@ fn flaky_model_recovers_on_salted_retry() {
         .build()
         .unwrap();
     clf.fit(&data()).unwrap();
-    let health = clf.model_health().unwrap();
+    let diag = clf.diagnostics().unwrap();
+    let health = diag.health();
     assert_eq!(health.healthy(), 2);
     let flaky = health.report(0).unwrap();
     assert_eq!(flaky.status, ModelStatus::Healthy);
     assert_eq!(flaky.attempts, 2);
     assert!(flaky.cause.is_none());
-    let report = clf.fit_report().unwrap();
+    let report = diag.execution();
     assert_eq!(report.retries, 1);
     assert_eq!(report.failures, 1);
 }
@@ -268,8 +269,9 @@ fn retry_then_quarantine_deterministic_across_thread_counts() {
             .build()
             .unwrap();
         clf.fit(&x).unwrap();
-        let health_fingerprint = health_key(clf.model_health().unwrap());
-        let retries = clf.fit_report().unwrap().retries;
+        let diag = clf.diagnostics().unwrap();
+        let health_fingerprint = health_key(diag.health());
+        let retries = diag.execution().retries;
         (
             health_fingerprint,
             retries,
@@ -315,10 +317,11 @@ fn slow_model_flagged_as_straggler_but_not_quarantined() {
         .build()
         .unwrap();
     clf.fit(&data()).unwrap();
-    let health = clf.model_health().unwrap();
+    let diag = clf.diagnostics().unwrap();
+    let health = diag.health();
     assert_eq!(health.healthy(), 10);
     assert!(health.straggler_indices().contains(&9));
-    assert!(clf.fit_report().unwrap().stragglers.contains(&9));
+    assert!(diag.execution().stragglers.contains(&9));
     // Straggling alone never quarantines.
     assert_eq!(health.report(9).unwrap().status, ModelStatus::Healthy);
 }

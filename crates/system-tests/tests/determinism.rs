@@ -92,7 +92,11 @@ fn repeated_predictions_reuse_pool_and_stay_identical() {
         .build()
         .expect("valid config");
     model.fit(&ds.x).expect("fit succeeds");
-    let report = model.fit_report().expect("fit emits telemetry").clone();
+    let report = model
+        .diagnostics()
+        .expect("fit emits telemetry")
+        .execution()
+        .clone();
     assert_eq!(report.task_times.len(), pool().len());
     assert_eq!(report.worker_busy.len(), 4);
 

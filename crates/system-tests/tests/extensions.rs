@@ -95,9 +95,11 @@ fn timed_prediction_matches_untimed() {
         .unwrap();
     clf.fit(&ds.x).unwrap();
     let plain = clf.decision_function(&ds.x).unwrap();
-    let (timed, durations) = clf.decision_function_timed(&ds.x).unwrap();
+    let observer = suod::observe::noop();
+    let (timed, report) = clf.decision_function_observed(&ds.x, &observer).unwrap();
     assert_eq!(plain, timed);
-    assert_eq!(durations.len(), pool().len());
+    assert_eq!(report.model_times.len(), pool().len());
+    assert_eq!(report.n_rows, ds.x.nrows());
 }
 
 #[test]
@@ -179,7 +181,7 @@ fn detector_failures_propagate_from_fit() {
         }
         other => panic!("expected PoolDegraded, got {other}"),
     }
-    let health = clf.model_health().unwrap();
+    let health = clf.diagnostics().unwrap().health();
     assert_eq!(health.quarantined(), 1);
     assert!(health.report(0).unwrap().cause.is_some());
 }

@@ -69,7 +69,10 @@ fn fit_and_score(
         .build()
         .expect("valid config");
     model.fit(x).expect("fit succeeds");
-    let report = model.fit_report().expect("fit emits telemetry");
+    let report = model
+        .diagnostics()
+        .expect("fit emits telemetry")
+        .execution();
     let (hits, misses) = (report.cache_hits, report.cache_misses);
     let train_scores = model.training_scores().expect("fitted");
     let query_scores = model.decision_function(queries).expect("fitted");

@@ -79,7 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         y_test_labels.iter().sum::<i32>(),
         y_test_labels.len()
     );
-    println!("projected    : {:?}", clf.projected()?);
-    println!("approximated : {:?}", clf.approximated()?);
+    let diag = clf.diagnostics().expect("fit records diagnostics");
+    println!("projected    : {:?}", diag.projected());
+    println!("approximated : {:?}", diag.approximated());
+    println!(
+        "fit wall     : {:.3}s across {} workers ({} steals)",
+        diag.execution().wall_time.as_secs_f64(),
+        diag.execution().worker_busy.len(),
+        diag.execution().steals
+    );
     Ok(())
 }
