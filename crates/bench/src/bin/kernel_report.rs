@@ -1,0 +1,236 @@
+//! Distance-kernel backend report: naive vs blocked vs GEMM.
+//!
+//! Sweeps the pairwise-distance kernels over `(n, d)` in
+//! `{2k, 20k} x {8, 32, 128}` for every [`DistanceBackend`], times the
+//! batched brute-force kNN fast path, and sweeps the KD-tree-vs-brute
+//! crossover dimension that justifies
+//! [`suod_linalg::DEFAULT_KDTREE_CROSSOVER_DIM`]. Results go to
+//! `BENCH_kernels.json` in the working directory so the perf trajectory
+//! is tracked across PRs.
+//!
+//! Every timing is the minimum of [`REPS`] runs (minimum, not mean — the
+//! quantity of interest is achievable speed, not scheduler noise). All
+//! timings are single-thread: backend wins here are algorithmic
+//! (packing, cache tiling, the norm trick), not parallelism.
+//!
+//! Flags: `--quick` shrinks problem sizes for smoke runs; `--smoke`
+//! times only the 20k x 32 pairwise cell and exits non-zero unless the
+//! blocked backend beats naive (the CI regression gate for the tiled
+//! kernels).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use suod_bench::Scale;
+use suod_linalg::{
+    pairwise_distances_backend, DistanceBackend, DistanceMetric, KernelConfig, KnnIndex, Matrix,
+    DEFAULT_KDTREE_CROSSOVER_DIM,
+};
+
+const REPS: usize = 2;
+const BACKENDS: &[DistanceBackend] = &[
+    DistanceBackend::Naive,
+    DistanceBackend::Blocked,
+    DistanceBackend::Gemm,
+];
+
+fn min_time(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.random_range(-2.0..2.0))
+            .collect(),
+    )
+    .expect("shape consistent")
+}
+
+/// Times one pairwise cell for every backend; returns seconds in
+/// [`BACKENDS`] order.
+fn pairwise_cell(n: usize, d: usize) -> Vec<f64> {
+    let a = random_matrix(n, d, n as u64 ^ d as u64);
+    BACKENDS
+        .iter()
+        .map(|&backend| {
+            min_time(|| {
+                let _ =
+                    pairwise_distances_backend(&a, &a, DistanceMetric::Euclidean, backend, 1, None)
+                        .expect("shapes agree");
+            })
+        })
+        .collect()
+}
+
+fn backend_json(secs: &[f64]) -> String {
+    let mut s = String::from("{");
+    for (i, (backend, t)) in BACKENDS.iter().zip(secs).enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{backend}_s\": {t:.6}");
+    }
+    let _ = write!(
+        s,
+        ", \"blocked_speedup\": {:.4}, \"gemm_speedup\": {:.4}}}",
+        secs[0] / secs[1],
+        secs[0] / secs[2]
+    );
+    s
+}
+
+fn brute_config(backend: DistanceBackend) -> KernelConfig {
+    KernelConfig {
+        backend,
+        kdtree_crossover_dim: 0,
+        ..KernelConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    if args.iter().any(|a| a == "--smoke") {
+        // CI gate: the tiled blocked kernel must beat the naive scan on
+        // the acceptance cell (20k x 32).
+        let (n, d) = (20_000, 32);
+        println!("kernel smoke: pairwise {n}x{d}, blocked vs naive");
+        let secs = pairwise_cell(n, d);
+        let (naive_s, blocked_s, gemm_s) = (secs[0], secs[1], secs[2]);
+        println!(
+            "naive {naive_s:.3}s  blocked {blocked_s:.3}s ({:.2}x)  gemm {gemm_s:.3}s ({:.2}x)",
+            naive_s / blocked_s,
+            naive_s / gemm_s
+        );
+        if blocked_s >= naive_s {
+            eprintln!("FAIL: blocked backend no faster than naive");
+            std::process::exit(1);
+        }
+        println!("OK");
+        return;
+    }
+
+    println!("Distance-kernel backend report (host cores: {host_cores}, single-thread timings)");
+
+    // --- Pairwise sweep. ---------------------------------------------------
+    let sizes: &[usize] = &scale.pick(vec![500, 2_000], vec![2_000, 20_000], vec![2_000, 20_000]);
+    let dims: &[usize] = &[8, 32, 128];
+    let mut pairwise_rows: Vec<String> = Vec::new();
+    for &n in sizes {
+        for &d in dims {
+            let secs = pairwise_cell(n, d);
+            println!(
+                "pairwise {n:>6}x{d:<4} naive {:>8.3}s  blocked {:>8.3}s ({:>4.2}x)  \
+                 gemm {:>8.3}s ({:>4.2}x)",
+                secs[0],
+                secs[1],
+                secs[0] / secs[1],
+                secs[2],
+                secs[0] / secs[2]
+            );
+            pairwise_rows.push(format!("\"n{n}_d{d}\": {}", backend_json(&secs)));
+        }
+    }
+
+    // --- Batched brute-force kNN fast path. --------------------------------
+    let (knn_n, knn_q, knn_d, knn_k) = scale.pick(
+        (2_000, 200, 32, 10),
+        (20_000, 2_000, 32, 10),
+        (20_000, 2_000, 32, 10),
+    );
+    let train = random_matrix(knn_n, knn_d, 21);
+    let queries = random_matrix(knn_q, knn_d, 22);
+    let knn_secs: Vec<f64> = BACKENDS
+        .iter()
+        .map(|&backend| {
+            let index =
+                KnnIndex::build_with(&train, DistanceMetric::Euclidean, brute_config(backend))
+                    .expect("non-empty");
+            min_time(|| {
+                let _ = index
+                    .query_batch_parallel(&queries, knn_k, 1)
+                    .expect("shapes agree");
+            })
+        })
+        .collect();
+    println!(
+        "knn_batch {knn_n}tr/{knn_q}q d{knn_d} k{knn_k}  naive {:>8.3}s  blocked {:>8.3}s \
+         ({:>4.2}x)  gemm {:>8.3}s ({:>4.2}x)",
+        knn_secs[0],
+        knn_secs[1],
+        knn_secs[0] / knn_secs[1],
+        knn_secs[2],
+        knn_secs[0] / knn_secs[2]
+    );
+
+    // --- KD-tree crossover sweep. ------------------------------------------
+    // Tree build + query vs brute-force blocked batch, per dimension: the
+    // crossover default is the largest d where the tree still wins.
+    let (cx_n, cx_q, cx_k) = scale.pick((2_000, 200, 10), (10_000, 1_000, 10), (10_000, 1_000, 10));
+    let mut crossover_rows: Vec<String> = Vec::new();
+    for &d in &[4usize, 6, 8, 10, 12, 14, 16] {
+        let train = random_matrix(cx_n, d, 31 + d as u64);
+        let queries = random_matrix(cx_q, d, 32 + d as u64);
+        let tree_cfg = KernelConfig {
+            kdtree_crossover_dim: usize::MAX,
+            ..KernelConfig::default()
+        };
+        let tree =
+            KnnIndex::build_with(&train, DistanceMetric::Euclidean, tree_cfg).expect("non-empty");
+        assert!(tree.uses_kdtree(), "crossover sweep needs a real tree");
+        let brute = KnnIndex::build_with(
+            &train,
+            DistanceMetric::Euclidean,
+            brute_config(DistanceBackend::Blocked),
+        )
+        .expect("non-empty");
+        let tree_s = min_time(|| {
+            let _ = tree
+                .query_batch_parallel(&queries, cx_k, 1)
+                .expect("shapes");
+        });
+        let brute_s = min_time(|| {
+            let _ = brute
+                .query_batch_parallel(&queries, cx_k, 1)
+                .expect("shapes");
+        });
+        println!(
+            "crossover d={d:<3} tree {tree_s:>8.4}s  brute(blocked) {brute_s:>8.4}s  \
+             tree_wins={}",
+            tree_s < brute_s
+        );
+        crossover_rows.push(format!(
+            "\"{d}\": {{\"tree_s\": {tree_s:.6}, \"brute_s\": {brute_s:.6}}}"
+        ));
+    }
+
+    // --- Report. -----------------------------------------------------------
+    let json = format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"scale\": \"{scale:?}\",\n  \
+         \"n_threads\": 1,\n  \"pairwise\": {{\n    {}\n  }},\n  \
+         \"knn_batch_n{knn_n}_q{knn_q}_d{knn_d}_k{knn_k}\": {{\"naive_s\": {:.6}, \
+         \"blocked_s\": {:.6}, \"gemm_s\": {:.6}}},\n  \
+         \"kdtree_crossover_n{cx_n}_q{cx_q}_k{cx_k}\": {{\n    {}\n  }},\n  \
+         \"crossover_default\": {DEFAULT_KDTREE_CROSSOVER_DIM}\n}}\n",
+        pairwise_rows.join(",\n    "),
+        knn_secs[0],
+        knn_secs[1],
+        knn_secs[2],
+        crossover_rows.join(",\n    "),
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

@@ -97,6 +97,7 @@ pub mod prelude {
     pub use suod_detectors::{Kernel, KnnMethod};
     pub use suod_linalg::DistanceMetric as Metric;
     pub use suod_linalg::Matrix;
+    pub use suod_linalg::{DistanceBackend, KernelConfig};
     pub use suod_observe::{NoopObserver, Observer, RecordingObserver};
     pub use suod_projection::JlVariant;
 }

@@ -26,7 +26,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use suod_detectors::{validate_finite, Detector, FitContext};
-use suod_linalg::{DataFingerprint, DistanceMetric, Matrix, NeighborCache};
+use suod_linalg::{
+    DataFingerprint, DistanceBackend, DistanceMetric, KernelConfig, Matrix, NeighborCache,
+};
 use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
@@ -99,6 +101,7 @@ pub struct SuodBuilder {
     contamination: f64,
     seed: u64,
     neighbor_cache_enabled: bool,
+    kernel: KernelConfig,
     min_healthy_fraction: f64,
     max_model_retries: usize,
     straggler_factor: f64,
@@ -122,6 +125,7 @@ impl Default for SuodBuilder {
             contamination: 0.1,
             seed: 0,
             neighbor_cache_enabled: true,
+            kernel: KernelConfig::default(),
             min_healthy_fraction: 1.0,
             max_model_retries: 1,
             straggler_factor: 4.0,
@@ -212,6 +216,35 @@ impl SuodBuilder {
     /// the switch exists for benchmarking and as an escape hatch.
     pub fn with_neighbor_cache(mut self, enabled: bool) -> Self {
         self.neighbor_cache_enabled = enabled;
+        self
+    }
+
+    /// Selects the distance/GEMM backend behind every proximity
+    /// detector's brute-force paths (default:
+    /// [`DistanceBackend::Blocked`], which is bit-identical to `Naive`).
+    /// Choose [`DistanceBackend::Gemm`] for the fastest Euclidean
+    /// kernels at the cost of last-bit reproducibility relative to the
+    /// scalar reference — results are still deterministic for a fixed
+    /// configuration, including across worker counts.
+    pub fn distance_backend(mut self, backend: DistanceBackend) -> Self {
+        self.kernel.backend = backend;
+        self
+    }
+
+    /// Sets the dimensionality at or below which `KnnIndex` builds a
+    /// KD-tree instead of using the brute-force kernels (default
+    /// [`suod_linalg::DEFAULT_KDTREE_CROSSOVER_DIM`], tuned from the
+    /// committed kernel benchmarks). Set to 0 to force brute force
+    /// everywhere; set very large to always prefer the tree.
+    pub fn kdtree_crossover_dim(mut self, dims: usize) -> Self {
+        self.kernel.kdtree_crossover_dim = dims;
+        self
+    }
+
+    /// Replaces the whole kernel configuration at once (backend plus
+    /// KD-tree crossover thresholds).
+    pub fn kernel_config(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -507,10 +540,12 @@ impl Suod {
         // per group for the cost model (everyone else is a near-free
         // cache hit).
         let plan_span = obs.span_begin(Stage::NeighborPlan, SpanAttrs::none());
-        let cache: Option<Arc<NeighborCache>> = self
-            .config
-            .neighbor_cache_enabled
-            .then(|| Arc::new(NeighborCache::with_observer(Arc::clone(&obs))));
+        let cache: Option<Arc<NeighborCache>> = self.config.neighbor_cache_enabled.then(|| {
+            Arc::new(NeighborCache::with_config(
+                self.config.kernel,
+                Arc::clone(&obs),
+            ))
+        });
         let m = self.n_models();
         let mut fingerprints: Vec<Option<DataFingerprint>> = vec![None; m];
         let mut cached_flags = vec![false; m];
@@ -566,7 +601,8 @@ impl Suod {
                         FitContext::cached(Arc::clone(c), fingerprints[i], fit_threads)
                     }
                     _ => FitContext::standalone(fit_threads),
-                };
+                }
+                .with_kernel_config(self.config.kernel);
                 let task_obs = Arc::clone(&obs);
                 let stage = if attempt == 0 {
                     Stage::ModelFit

@@ -52,32 +52,36 @@ impl AbodDetector {
 
     /// ABOF of `point` against the given neighbour rows; `None` when fewer
     /// than two usable neighbours exist (duplicates are skipped).
+    ///
+    /// All `O(k²)` inner products come from one packed-gram contraction
+    /// over the difference matrix `D` (`d_j = neighbor_j − point`):
+    /// `G = D·Dᵀ` supplies both the squared norms (diagonal) and the
+    /// pair dots. The micro-kernel accumulates every element over
+    /// ascending feature index in a single register — the same reduction
+    /// order as the scalar `dot`/`norm_sq` it replaces — so ABOF values
+    /// are bitwise identical to the historical per-pair loops.
     fn abof(point: &[f64], neighbors: &Matrix) -> Option<f64> {
-        let mut values: Vec<f64> = Vec::new();
         let m = neighbors.nrows();
+        let mut diffs = Matrix::zeros(m, neighbors.ncols());
         for j in 0..m {
-            let dj: Vec<f64> = neighbors
-                .row(j)
-                .iter()
-                .zip(point)
-                .map(|(&a, &b)| a - b)
-                .collect();
-            let nj = suod_linalg::matrix::norm_sq(&dj);
+            let row = diffs.row_mut(j);
+            for (t, (&a, &b)) in neighbors.row(j).iter().zip(point).enumerate() {
+                row[t] = a - b;
+            }
+        }
+        let g = suod_linalg::gram(&diffs, &diffs, 1, None).expect("diff gram shapes agree");
+        let mut values: Vec<f64> = Vec::new();
+        for j in 0..m {
+            let nj = g.get(j, j);
             if nj <= 1e-300 {
                 continue;
             }
             for l in (j + 1)..m {
-                let dl: Vec<f64> = neighbors
-                    .row(l)
-                    .iter()
-                    .zip(point)
-                    .map(|(&a, &b)| a - b)
-                    .collect();
-                let nl = suod_linalg::matrix::norm_sq(&dl);
+                let nl = g.get(l, l);
                 if nl <= 1e-300 {
                     continue;
                 }
-                values.push(suod_linalg::matrix::dot(&dj, &dl) / (nj * nl));
+                values.push(g.get(j, l) / (nj * nl));
             }
         }
         if values.len() < 2 {
@@ -136,11 +140,13 @@ impl Detector for AbodDetector {
             .ok_or(Error::NotFitted("AbodDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
         let k = self.k.min(index.len());
-        Ok((0..x.nrows())
-            .map(|i| {
-                let nn = index.query(x.row(i), k);
-                Self::score_one(index, x.row(i), &nn)
-            })
+        // Batched neighbour lookup hits the tiled brute-force fast path
+        // on blocked/gemm indexes; results equal per-row queries exactly.
+        let batch = index.query_batch(x, k)?;
+        Ok(batch
+            .iter()
+            .enumerate()
+            .map(|(i, nn)| Self::score_one(index, x.row(i), nn))
             .collect())
     }
 

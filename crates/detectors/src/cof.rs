@@ -14,6 +14,7 @@
 
 use crate::{check_dims, Detector, Error, FitContext, Result};
 use std::sync::Arc;
+use suod_linalg::distance::Neighbor;
 use suod_linalg::{DistanceMetric, KnnIndex, Matrix};
 
 /// COF detector.
@@ -115,9 +116,7 @@ impl CofDetector {
         acc
     }
 
-    fn score_query(&self, index: &KnnIndex, q: &[f64]) -> f64 {
-        let k = self.k.min(index.len());
-        let nn = index.query(q, k);
+    fn score_query(&self, index: &KnnIndex, q: &[f64], nn: &[Neighbor]) -> f64 {
         let ids: Vec<usize> = nn.iter().map(|n| n.index).collect();
         let neighbors = index.train_data().select_rows(&ids);
         let ac_q = Self::average_chaining_distance(index.metric(), q, &neighbors);
@@ -187,8 +186,14 @@ impl Detector for CofDetector {
     fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
         let index = self.index.as_ref().ok_or(Error::NotFitted("CofDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
-        Ok((0..x.nrows())
-            .map(|i| self.score_query(index, x.row(i)))
+        // Batched neighbour lookup hits the tiled brute-force fast path
+        // on blocked/gemm indexes; results equal per-row queries exactly.
+        let k = self.k.min(index.len());
+        let batch = index.query_batch(x, k)?;
+        Ok(batch
+            .iter()
+            .enumerate()
+            .map(|(i, nn)| self.score_query(index, x.row(i), nn))
             .collect())
     }
 

@@ -134,13 +134,16 @@ impl Detector for KnnDetector {
     fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
         let index = self.index.as_ref().ok_or(Error::NotFitted("KnnDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
-        let mut scores = Vec::with_capacity(x.nrows());
-        for i in 0..x.nrows() {
-            let nn = index.query(x.row(i), self.k);
-            let d: Vec<f64> = nn.iter().map(|n| n.distance).collect();
-            scores.push(self.method.aggregate(&d));
-        }
-        Ok(scores)
+        // Batched neighbour lookup hits the tiled brute-force fast path
+        // on blocked/gemm indexes; results equal per-row queries exactly.
+        let batch = index.query_batch(x, self.k)?;
+        Ok(batch
+            .iter()
+            .map(|nn| {
+                let d: Vec<f64> = nn.iter().map(|n| n.distance).collect();
+                self.method.aggregate(&d)
+            })
+            .collect())
     }
 
     fn training_scores(&self) -> Result<Vec<f64>> {

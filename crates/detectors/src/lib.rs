@@ -81,7 +81,8 @@ pub use pca_detector::PcaDetector;
 use std::fmt;
 use std::sync::Arc;
 use suod_linalg::{
-    DataFingerprint, DistanceMetric, KnnIndex, Matrix, NeighborCache, SelfNeighbors,
+    emit_kernel_counters, DataFingerprint, DistanceMetric, KernelConfig, KnnIndex, Matrix,
+    NeighborCache, SelfNeighbors,
 };
 use suod_observe::{Counter, Observer, SpanAttrs};
 
@@ -187,6 +188,7 @@ pub struct FitContext {
     fingerprint: Option<DataFingerprint>,
     n_threads: usize,
     observer: Arc<dyn Observer>,
+    kernel: KernelConfig,
 }
 
 impl std::fmt::Debug for FitContext {
@@ -214,6 +216,7 @@ impl FitContext {
             fingerprint: None,
             n_threads,
             observer: suod_observe::noop(),
+            kernel: KernelConfig::default(),
         }
     }
 
@@ -232,6 +235,7 @@ impl FitContext {
             fingerprint,
             n_threads,
             observer: suod_observe::noop(),
+            kernel: KernelConfig::default(),
         }
     }
 
@@ -244,6 +248,21 @@ impl FitContext {
     pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
         self.observer = observer;
         self
+    }
+
+    /// Sets the kernel tuning (distance backend + KD-tree crossover) for
+    /// standalone neighbour sweeps. Cached contexts build through the
+    /// cache, which carries its own [`KernelConfig`] — a pool orchestrator
+    /// should configure both from the same source.
+    #[must_use]
+    pub fn with_kernel_config(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel tuning this context applies to standalone sweeps.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.kernel
     }
 
     /// Thread budget for neighbour sweeps (at least 1).
@@ -288,11 +307,16 @@ impl FitContext {
                     .observer
                     .span_begin(suod_observe::Stage::NeighborBuild, SpanAttrs::none());
                 let result = (|| {
-                    let index = Arc::new(KnnIndex::build(x, metric)?);
+                    let index = Arc::new(KnnIndex::build_with(x, metric, self.kernel)?);
                     let lists = index.self_query_batch(k, self.n_threads());
                     Ok((index, SelfNeighbors::Owned(lists)))
                 })();
                 self.observer.span_end(span);
+                if let Ok((index, _)) = &result {
+                    // Fresh index: the snapshot is exactly this build's
+                    // kernel work, mirroring the pooled cache-miss path.
+                    emit_kernel_counters(self.observer.as_ref(), index.kernel_counters());
+                }
                 result
             }
         }

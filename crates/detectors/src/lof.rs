@@ -140,9 +140,11 @@ impl Detector for LofDetector {
         let index = self.index.as_ref().ok_or(Error::NotFitted("LofDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
         let k = self.k.min(index.len());
+        // Batched neighbour lookup hits the tiled brute-force fast path
+        // on blocked/gemm indexes; results equal per-row queries exactly.
+        let batch = index.query_batch(x, k)?;
         let mut scores = Vec::with_capacity(x.nrows());
-        for i in 0..x.nrows() {
-            let nn = index.query(x.row(i), k);
+        for nn in &batch {
             let reach_sum: f64 = nn
                 .iter()
                 .map(|nb| nb.distance.max(self.k_distances[nb.index]))

@@ -152,10 +152,12 @@ impl Detector for LoopDetector {
             .ok_or(Error::NotFitted("LoopDetector"))?;
         check_dims(index.train_data().ncols(), x)?;
         let k = self.k.min(index.len());
+        // Batched neighbour lookup hits the tiled brute-force fast path
+        // on blocked/gemm indexes; results equal per-row queries exactly.
+        let batch = index.query_batch(x, k)?;
         let mut scores = Vec::with_capacity(x.nrows());
-        for i in 0..x.nrows() {
-            let nn = index.query(x.row(i), k);
-            let pd_q = Self::pdist_of(&nn);
+        for nn in &batch {
+            let pd_q = Self::pdist_of(nn);
             let mean_nb: f64 =
                 nn.iter().map(|nb| self.pdist[nb.index]).sum::<f64>() / nn.len().max(1) as f64;
             let plof = if mean_nb <= 1e-300 {

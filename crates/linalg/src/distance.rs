@@ -6,8 +6,27 @@
 //! the detectors share one carefully tested implementation. The paper's LOF
 //! grid varies the metric (`manhattan`, `euclidean`, `minkowski`), which
 //! [`DistanceMetric`] models.
+//!
+//! # Backends
+//!
+//! Brute-force evaluation is pluggable via [`DistanceBackend`]:
+//!
+//! * `naive` — one query row against the full training matrix at a time;
+//!   the reference implementation.
+//! * `blocked` (default) — identical arithmetic, tiled over column blocks
+//!   so a panel of training rows stays cache-resident; **bit-identical**
+//!   to `naive` for every metric.
+//! * `gemm` — Euclidean distances through the packed-panel GEMM in
+//!   [`crate::gemm`] via the norm trick `d² = ‖x‖² + ‖y‖² − 2·x·y`
+//!   (clamped at zero); fastest, numerically equal within ~1e-9 on squared
+//!   distances but *not* bitwise equal to `naive`. Non-Euclidean metrics
+//!   fall back to `blocked` and record a fallback hit.
 
+use crate::gemm::{
+    dist_from_gram, DistanceBackend, KernelConfig, KernelCounters, KernelStats, PackedPanels, NR,
+};
 use crate::{Error, Matrix, Result};
+use std::sync::Arc;
 
 /// Distance metric between feature vectors.
 ///
@@ -66,6 +85,24 @@ impl DistanceMetric {
     }
 }
 
+/// Rows of `b` per cache tile in the blocked backend: at the widths the
+/// paper evaluates (d ≤ a few hundred) a 256-row tile is L1/L2-resident,
+/// so a block of `a` rows streams over a hot tile instead of re-reading
+/// all of `b` from L3/DRAM per query row.
+const BLOCKED_J_TILE: usize = 256;
+
+/// Rows of `a` per cache tile in the blocked backend: bounds the output
+/// window a `b` tile sweeps before advancing, so writes stay inside a
+/// band of rows (TLB-friendly at 10k+ row matrices) while the `b` tile
+/// is reused from L1 across the whole band.
+const BLOCKED_I_TILE: usize = 64;
+
+/// Query rows per micro-tile in the batched brute-force kNN fast path.
+const KNN_Q_TILE: usize = 32;
+
+/// Training rows per tile in the batched brute-force kNN fast path.
+const KNN_T_TILE: usize = 512;
+
 /// Full pairwise distance matrix between the rows of `a` and the rows of `b`.
 ///
 /// # Errors
@@ -76,11 +113,12 @@ pub fn pairwise_distances(a: &Matrix, b: &Matrix, metric: DistanceMetric) -> Res
 }
 
 /// [`pairwise_distances`] chunked over row blocks of `a` across
-/// `n_threads` scoped threads.
+/// `n_threads` scoped threads, evaluated through the blocked kernel
+/// (bit-identical to naive — see [`DistanceBackend::Blocked`]).
 ///
-/// Each output row is computed by the same code path regardless of
-/// chunking, so the result is **bit-identical** to the single-threaded
-/// call for every `n_threads`.
+/// Each output element is computed by the same code path regardless of
+/// chunking and tiling, so the result is **bit-identical** to the
+/// single-threaded naive kernel for every `n_threads`.
 ///
 /// # Errors
 ///
@@ -91,6 +129,27 @@ pub fn pairwise_distances_parallel(
     metric: DistanceMetric,
     n_threads: usize,
 ) -> Result<Matrix> {
+    pairwise_distances_backend(a, b, metric, DistanceBackend::Blocked, n_threads, None)
+}
+
+/// Pairwise distances through an explicit [`DistanceBackend`].
+///
+/// `naive` and `blocked` produce bitwise-equal matrices for every metric;
+/// `gemm` applies the norm trick for [`DistanceMetric::Euclidean`] and
+/// falls back to `blocked` otherwise (recording a fallback hit on
+/// `stats`). All backends are bit-identical across `n_threads`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when column counts differ.
+pub fn pairwise_distances_backend(
+    a: &Matrix,
+    b: &Matrix,
+    metric: DistanceMetric,
+    backend: DistanceBackend,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Result<Matrix> {
     if a.ncols() != b.ncols() {
         return Err(Error::ShapeMismatch {
             op: "pairwise_distances",
@@ -98,6 +157,23 @@ pub fn pairwise_distances_parallel(
             rhs: b.shape(),
         });
     }
+    match backend {
+        DistanceBackend::Naive => Ok(naive_pairwise(a, b, metric, n_threads)),
+        DistanceBackend::Blocked => Ok(blocked_pairwise(a, b, metric, n_threads)),
+        DistanceBackend::Gemm => {
+            if metric == DistanceMetric::Euclidean {
+                gemm_pairwise(a, b, n_threads, stats)
+            } else {
+                if let Some(s) = stats {
+                    s.record_fallback();
+                }
+                Ok(blocked_pairwise(a, b, metric, n_threads))
+            }
+        }
+    }
+}
+
+fn naive_pairwise(a: &Matrix, b: &Matrix, metric: DistanceMetric, n_threads: usize) -> Matrix {
     let mut out = Matrix::zeros(a.nrows(), b.nrows());
     let cols = b.nrows();
     crate::parallel::par_row_blocks(out.as_mut_slice(), cols, n_threads, |rows, block| {
@@ -107,6 +183,64 @@ pub fn pairwise_distances_parallel(
                 *o = metric.distance(ra, b.row(j));
             }
         }
+    });
+    out
+}
+
+fn blocked_pairwise(a: &Matrix, b: &Matrix, metric: DistanceMetric, n_threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(a.nrows(), b.nrows());
+    let cols = b.nrows();
+    crate::parallel::par_row_blocks(out.as_mut_slice(), cols, n_threads, |rows, block| {
+        // i-tile x j-tile: the j-tile of `b` rows stays in L1 while a
+        // bounded band of `a` rows consumes it, and output writes stay
+        // inside that band instead of striding the whole matrix per
+        // tile. Per element the arithmetic is exactly the naive
+        // `metric.distance` call — bit-identical.
+        let block_rows = rows.len();
+        for i0 in (0..block_rows).step_by(BLOCKED_I_TILE) {
+            let i1 = (i0 + BLOCKED_I_TILE).min(block_rows);
+            for j0 in (0..cols).step_by(BLOCKED_J_TILE) {
+                let j1 = (j0 + BLOCKED_J_TILE).min(cols);
+                for offset in i0..i1 {
+                    let ra = a.row(rows.start + offset);
+                    let out_row = &mut block[offset * cols..(offset + 1) * cols];
+                    for (j, o) in out_row[j0..j1].iter_mut().enumerate() {
+                        *o = metric.distance(ra, b.row(j0 + j));
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+fn gemm_pairwise(
+    a: &Matrix,
+    b: &Matrix,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Result<Matrix> {
+    if a.ncols() != b.ncols() {
+        return Err(Error::ShapeMismatch {
+            op: "gemm_pairwise",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if let Some(s) = stats {
+        s.record_gemm(a.nrows(), b.nrows());
+    }
+    let na = crate::gemm::row_sq_norms(a);
+    let nb = crate::gemm::row_sq_norms(b);
+    let packed = PackedPanels::from_rows(b);
+    let mut out = Matrix::zeros(a.nrows(), b.nrows());
+    let cols = b.nrows();
+    // The norm-trick epilogue is fused into the GEMM tile write-back:
+    // distances stream out in a single pass instead of materialising the
+    // Gram matrix and re-walking it (which triples memory traffic on
+    // large inputs).
+    crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
+        crate::gemm::gram_rows_dist_into(a, rows, &packed, &na, &nb, block);
     });
     Ok(out)
 }
@@ -124,21 +258,66 @@ pub fn pairwise_distances_symmetric(a: &Matrix, metric: DistanceMetric) -> Matri
 }
 
 /// [`pairwise_distances_symmetric`] with the upper-triangle rows chunked
-/// across `n_threads` scoped threads (bit-identical for every
-/// `n_threads`).
+/// across `n_threads` scoped threads through the blocked kernel
+/// (bit-identical to naive for every `n_threads`).
 pub fn pairwise_distances_symmetric_parallel(
     a: &Matrix,
     metric: DistanceMetric,
     n_threads: usize,
 ) -> Matrix {
+    pairwise_distances_symmetric_backend(a, metric, DistanceBackend::Blocked, n_threads, None)
+}
+
+/// Symmetric pairwise distances through an explicit [`DistanceBackend`].
+///
+/// `naive`/`blocked` evaluate the upper triangle and mirror (bitwise
+/// equal to each other and to the full naive matrix); `gemm` computes the
+/// full norm-trick matrix directly — the Gram matrix and the norm sums
+/// are symmetric term by term, so the result is still exactly symmetric.
+/// Non-Euclidean metrics under `gemm` fall back to `blocked` (recording a
+/// fallback hit on `stats`).
+pub fn pairwise_distances_symmetric_backend(
+    a: &Matrix,
+    metric: DistanceMetric,
+    backend: DistanceBackend,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Matrix {
+    if backend == DistanceBackend::Gemm {
+        if metric == DistanceMetric::Euclidean {
+            return gemm_pairwise(a, a, n_threads, stats).expect("same matrix: shapes agree");
+        }
+        if let Some(s) = stats {
+            s.record_fallback();
+        }
+    }
     let n = a.nrows();
     let mut out = Matrix::zeros(n, n);
+    let tile = match backend {
+        DistanceBackend::Naive => n.max(1),
+        _ => BLOCKED_J_TILE,
+    };
+    let itile = match backend {
+        DistanceBackend::Naive => n.max(1),
+        _ => BLOCKED_I_TILE,
+    };
     crate::parallel::par_row_blocks(out.as_mut_slice(), n.max(1), n_threads, |rows, block| {
-        for (offset, out_row) in block.chunks_mut(n).enumerate() {
-            let i = rows.start + offset;
-            let ra = a.row(i);
-            for (j, o) in out_row.iter_mut().enumerate().skip(i) {
-                *o = metric.distance(ra, a.row(j));
+        let block_rows = rows.len();
+        for i0 in (0..block_rows).step_by(itile) {
+            let i1 = (i0 + itile).min(block_rows);
+            for j0 in (0..n).step_by(tile) {
+                let j1 = (j0 + tile).min(n);
+                for offset in i0..i1 {
+                    let i = rows.start + offset;
+                    let ra = a.row(i);
+                    let out_row = &mut block[offset * n..(offset + 1) * n];
+                    // Rows past this tile's end contribute nothing
+                    // (lo == j1).
+                    let lo = j0.max(i).min(j1);
+                    for (j, o) in out_row[lo..j1].iter_mut().enumerate() {
+                        *o = metric.distance(ra, a.row(lo + j));
+                    }
+                }
             }
         }
     });
@@ -167,7 +346,10 @@ pub struct Neighbor {
 /// the paper quotes for proximity-based models) and a
 /// [`KdTree`](crate::kdtree::KdTree) used automatically for
 /// low-dimensional data, where branch-and-bound wins decisively. Both
-/// return identical results.
+/// return identical results. The brute-force sweep is evaluated through
+/// the [`DistanceBackend`] in the index's [`KernelConfig`]; the KD-tree
+/// crossover (`d ≤ kdtree_crossover_dim`, `n ≥ kdtree_min_rows`) is
+/// configurable there too.
 ///
 /// # Example
 ///
@@ -188,34 +370,37 @@ pub struct KnnIndex {
     train: Matrix,
     metric: DistanceMetric,
     tree: Option<crate::kdtree::KdTree>,
+    config: KernelConfig,
+    /// Cached `‖row‖²` for the norm-trick paths; populated only on the
+    /// brute-force Euclidean gemm configuration.
+    train_sq_norms: Option<Vec<f64>>,
+    stats: Arc<KernelStats>,
 }
 
-/// KD-trees degrade toward brute force as dimensionality grows; beyond
-/// this width (or for tiny datasets) the flat scan is faster.
-const KDTREE_MAX_DIM: usize = 15;
-const KDTREE_MIN_ROWS: usize = 128;
-
 impl KnnIndex {
-    /// Builds an index over the rows of `train`, choosing the KD-tree
-    /// backend automatically for low-dimensional data.
+    /// Builds an index over the rows of `train` with the default
+    /// [`KernelConfig`], choosing the KD-tree backend automatically for
+    /// low-dimensional data.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Empty`] when `train` has no rows.
     pub fn build(train: &Matrix, metric: DistanceMetric) -> Result<Self> {
-        if train.nrows() == 0 {
-            return Err(Error::Empty("KnnIndex::build"));
-        }
-        let tree = if train.ncols() <= KDTREE_MAX_DIM && train.nrows() >= KDTREE_MIN_ROWS {
-            Some(crate::kdtree::KdTree::build(train, metric)?)
-        } else {
-            None
-        };
-        Ok(Self {
-            train: train.clone(),
-            metric,
-            tree,
-        })
+        Self::build_with(train, metric, KernelConfig::default())
+    }
+
+    /// Builds an index with explicit kernel tuning: the distance backend
+    /// for brute-force sweeps and the KD-tree crossover thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `train` has no rows.
+    pub fn build_with(
+        train: &Matrix,
+        metric: DistanceMetric,
+        config: KernelConfig,
+    ) -> Result<Self> {
+        Self::build_inner(train, metric, config, true, "KnnIndex::build")
     }
 
     /// Builds an index that always scans linearly (used by tests to check
@@ -226,13 +411,46 @@ impl KnnIndex {
     ///
     /// Returns [`Error::Empty`] when `train` has no rows.
     pub fn build_brute_force(train: &Matrix, metric: DistanceMetric) -> Result<Self> {
+        Self::build_inner(
+            train,
+            metric,
+            KernelConfig::default(),
+            false,
+            "KnnIndex::build_brute_force",
+        )
+    }
+
+    fn build_inner(
+        train: &Matrix,
+        metric: DistanceMetric,
+        config: KernelConfig,
+        allow_tree: bool,
+        op: &'static str,
+    ) -> Result<Self> {
         if train.nrows() == 0 {
-            return Err(Error::Empty("KnnIndex::build_brute_force"));
+            return Err(Error::Empty(op));
         }
+        let stats = Arc::new(KernelStats::new());
+        let tree = if allow_tree && config.uses_kdtree(train.nrows(), train.ncols()) {
+            Some(crate::kdtree::KdTree::build(train, metric)?)
+        } else {
+            None
+        };
+        let gemm_brute = tree.is_none() && config.backend == DistanceBackend::Gemm;
+        if gemm_brute && metric != DistanceMetric::Euclidean {
+            // The gemm backend only accelerates Euclidean; every sweep on
+            // this index will take the blocked path instead.
+            stats.record_fallback();
+        }
+        let train_sq_norms = (gemm_brute && metric == DistanceMetric::Euclidean)
+            .then(|| crate::gemm::row_sq_norms(train));
         Ok(Self {
             train: train.clone(),
             metric,
-            tree: None,
+            tree,
+            config,
+            train_sq_norms,
+            stats,
         })
     }
 
@@ -261,6 +479,17 @@ impl KnnIndex {
         self.metric
     }
 
+    /// The kernel tuning this index was built with.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.config
+    }
+
+    /// Snapshot of the kernel-work counters accumulated by this index
+    /// (and its clones — the counters are shared).
+    pub fn kernel_counters(&self) -> KernelCounters {
+        self.stats.snapshot()
+    }
+
     /// The `k` nearest neighbours of `query`, sorted by ascending distance.
     ///
     /// `k` is clamped to the index size. Ties are broken by training index.
@@ -276,6 +505,24 @@ impl KnnIndex {
         );
         if let Some(tree) = &self.tree {
             return tree.query(query, k);
+        }
+        // Single-query gemm path: same `dist_from_gram` combination, and
+        // the scalar `dot` carries the same bits as the packed micro-kernel
+        // (one accumulator, ascending k) — so per-row queries agree
+        // bitwise with the batched gemm tiles.
+        if let Some(norms) = &self.train_sq_norms {
+            let nq = crate::matrix::norm_sq(query);
+            let all: Vec<Neighbor> = (0..self.train.nrows())
+                .map(|i| Neighbor {
+                    index: i,
+                    distance: dist_from_gram(
+                        nq,
+                        norms[i],
+                        crate::matrix::dot(query, self.train.row(i)),
+                    ),
+                })
+                .collect();
+            return select_smallest(all, k);
         }
         let all: Vec<Neighbor> = (0..self.train.nrows())
             .map(|i| Neighbor {
@@ -307,7 +554,14 @@ impl KnnIndex {
 
     /// [`query_batch`](Self::query_batch) with the queries chunked
     /// across `n_threads` scoped threads (both backends). Results are
-    /// bit-identical to the sequential batch for every `n_threads`.
+    /// bit-identical to the sequential batch for every `n_threads`, and
+    /// equal to per-row [`query`](Self::query) calls.
+    ///
+    /// On the brute-force blocked/gemm backends this runs the batched
+    /// fast path: distances are produced tile by tile (scalar tiles for
+    /// `blocked`, packed GEMM tiles plus the norm trick for `gemm`) and
+    /// each query keeps its k best in a bounded max-heap — the full
+    /// `queries x train` distance matrix is never materialized.
     ///
     /// # Errors
     ///
@@ -325,11 +579,14 @@ impl KnnIndex {
                 rhs: self.train.shape(),
             });
         }
-        Ok(crate::parallel::par_chunk_map(
-            queries.nrows(),
-            n_threads,
-            |range| range.map(|i| self.query(queries.row(i), k)).collect(),
-        ))
+        if self.tree.is_some() || self.config.backend == DistanceBackend::Naive {
+            return Ok(crate::parallel::par_chunk_map(
+                queries.nrows(),
+                n_threads,
+                |range| range.map(|i| self.query(queries.row(i), k)).collect(),
+            ));
+        }
+        Ok(self.brute_batch_topk(queries, k, n_threads, false))
     }
 
     /// Leave-one-out k-nearest neighbours for every training row —
@@ -337,34 +594,58 @@ impl KnnIndex {
     /// bit-for-bit. This is the hot loop of every proximity detector's
     /// `fit` (LOF, kNN, LoOP, COF, ABOD).
     ///
-    /// On the brute-force backend (up to a memory cap) the distances come
-    /// from [`pairwise_distances_symmetric_parallel`], which evaluates
-    /// the metric only for the upper triangle and mirrors — half the
-    /// metric calls of row-at-a-time queries. The KD-tree backend (and
-    /// oversized brute inputs) fall back to per-row queries, chunked
-    /// across `n_threads` either way.
+    /// Brute-force gemm indexes stream norm-trick GEMM tiles through
+    /// per-row bounded heaps (no `n x n` matrix, no size cap). Other
+    /// brute-force backends use the symmetric-matrix fast path up to a
+    /// memory cap — distances from
+    /// [`pairwise_distances_symmetric_backend`], which evaluates the
+    /// metric only for the upper triangle and mirrors — and the blocked
+    /// backend switches to the tiled heap sweep beyond the cap. The
+    /// KD-tree backend (and oversized naive inputs) fall back to per-row
+    /// queries, chunked across `n_threads` either way.
     pub fn self_query_batch(&self, k: usize, n_threads: usize) -> Vec<Vec<Neighbor>> {
         let n = self.train.nrows();
-        if self.tree.is_none() && n <= SELF_BATCH_MATRIX_MAX_ROWS {
-            let d = pairwise_distances_symmetric_parallel(&self.train, self.metric, n_threads);
-            return crate::parallel::par_chunk_map(n, n_threads, |range| {
-                range
-                    .map(|i| {
-                        let all: Vec<Neighbor> = d
-                            .row(i)
-                            .iter()
-                            .enumerate()
-                            .map(|(j, &distance)| Neighbor { index: j, distance })
-                            .collect();
-                        // Same k+1 / drop-self / truncate protocol as
-                        // `query_excluding`, fed bitwise-equal distances.
-                        let mut nn = select_smallest(all, (k + 1).min(n));
-                        nn.retain(|nb| nb.index != i);
-                        nn.truncate(k);
-                        nn
-                    })
-                    .collect()
-            });
+        if self.tree.is_none() {
+            if self.train_sq_norms.is_some() {
+                return self.brute_batch_topk(&self.train, k, n_threads, true);
+            }
+            if n <= SELF_BATCH_MATRIX_MAX_ROWS {
+                // Gemm lands here only for non-Euclidean metrics; its
+                // symmetric fallback is the blocked kernel (the fallback
+                // hit was recorded at build time).
+                let backend = match self.config.backend {
+                    DistanceBackend::Naive => DistanceBackend::Naive,
+                    _ => DistanceBackend::Blocked,
+                };
+                let d = pairwise_distances_symmetric_backend(
+                    &self.train,
+                    self.metric,
+                    backend,
+                    n_threads,
+                    None,
+                );
+                return crate::parallel::par_chunk_map(n, n_threads, |range| {
+                    range
+                        .map(|i| {
+                            let all: Vec<Neighbor> = d
+                                .row(i)
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &distance)| Neighbor { index: j, distance })
+                                .collect();
+                            // Same k+1 / drop-self / truncate protocol as
+                            // `query_excluding`, fed bitwise-equal distances.
+                            let mut nn = select_smallest(all, (k + 1).min(n));
+                            nn.retain(|nb| nb.index != i);
+                            nn.truncate(k);
+                            nn
+                        })
+                        .collect()
+                });
+            }
+            if self.config.backend != DistanceBackend::Naive {
+                return self.brute_batch_topk(&self.train, k, n_threads, true);
+            }
         }
         crate::parallel::par_chunk_map(n, n_threads, |range| {
             range
@@ -372,12 +653,171 @@ impl KnnIndex {
                 .collect()
         })
     }
+
+    /// The batched brute-force kNN fast path: stream `train` tiles
+    /// (packed GEMM tiles on the gemm configuration, scalar blocked tiles
+    /// otherwise) through a bounded max-heap per query.
+    ///
+    /// Deterministic across `n_threads` and tile boundaries: every
+    /// distance is computed by a per-element code path independent of the
+    /// tiling, and the heap keeps the k smallest under the total order
+    /// (distance, index) — a unique set, so push order is irrelevant.
+    /// With `exclude_self` the heap holds `k+1` candidates and the
+    /// querying row is dropped afterwards, the exact
+    /// [`query_excluding`](Self::query_excluding) protocol.
+    fn brute_batch_topk(
+        &self,
+        queries: &Matrix,
+        k: usize,
+        n_threads: usize,
+        exclude_self: bool,
+    ) -> Vec<Vec<Neighbor>> {
+        let n = self.train.nrows();
+        let k_eff = if exclude_self {
+            (k + 1).min(n)
+        } else {
+            k.min(n)
+        };
+        let gemm = self.train_sq_norms.as_deref();
+        if gemm.is_some() {
+            // Logical work of one queries x train gemm; derived from
+            // shapes so the counters match at every thread count.
+            self.stats.record_gemm(queries.nrows(), n);
+        }
+        let train = &self.train;
+        let metric = self.metric;
+        crate::parallel::par_chunk_map(queries.nrows(), n_threads, |range| {
+            let mut heaps: Vec<TopK> = range.clone().map(|_| TopK::new(k_eff)).collect();
+            let mut scratch = vec![0.0; KNN_Q_TILE * KNN_T_TILE];
+            for t0 in (0..n).step_by(KNN_T_TILE) {
+                let t1 = (t0 + KNN_T_TILE).min(n);
+                // Pack the train tile once per thread; the packing cost is
+                // O(n d) per sweep, noise next to the O(nq n d) contraction.
+                let packed = gemm
+                    .is_some()
+                    .then(|| PackedPanels::from_row_range(train, t0..t1, NR));
+                for q0 in (range.start..range.end).step_by(KNN_Q_TILE) {
+                    let q1 = (q0 + KNN_Q_TILE).min(range.end);
+                    if let (Some(norms), Some(packed)) = (gemm, &packed) {
+                        let tile = &mut scratch[..(q1 - q0) * (t1 - t0)];
+                        crate::gemm::gram_rows_into(queries, q0..q1, packed, tile);
+                        for qi in q0..q1 {
+                            let nq = crate::matrix::norm_sq(queries.row(qi));
+                            let row = &tile[(qi - q0) * (t1 - t0)..(qi - q0 + 1) * (t1 - t0)];
+                            let heap = &mut heaps[qi - range.start];
+                            for (j, &g) in row.iter().enumerate() {
+                                heap.push(Neighbor {
+                                    index: t0 + j,
+                                    distance: dist_from_gram(nq, norms[t0 + j], g),
+                                });
+                            }
+                        }
+                    } else {
+                        for qi in q0..q1 {
+                            let rq = queries.row(qi);
+                            let heap = &mut heaps[qi - range.start];
+                            for j in t0..t1 {
+                                heap.push(Neighbor {
+                                    index: j,
+                                    distance: metric.distance(rq, train.row(j)),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            heaps
+                .into_iter()
+                .enumerate()
+                .map(|(offset, heap)| {
+                    let mut nn = heap.into_sorted();
+                    if exclude_self {
+                        nn.retain(|nb| nb.index != range.start + offset);
+                        nn.truncate(k);
+                    }
+                    nn
+                })
+                .collect()
+        })
+    }
 }
 
 /// Memory cap for the symmetric-matrix fast path of
 /// [`KnnIndex::self_query_batch`]: a 4096-row set costs a 128 MiB
-/// distance matrix; beyond that, fall back to row-at-a-time queries.
+/// distance matrix; beyond that the blocked/gemm backends stream tiles
+/// through bounded heaps and the naive backend falls back to row-at-a-time
+/// queries.
 const SELF_BATCH_MATRIX_MAX_ROWS: usize = 4096;
+
+/// Bounded max-heap over the total order (distance, index): keeps the
+/// `k` smallest neighbours seen. Because the order is total, the k-smallest
+/// set is unique and [`TopK::into_sorted`] matches [`select_smallest`]
+/// exactly, independent of push order.
+struct TopK {
+    heap: Vec<Neighbor>,
+    k: usize,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            heap: Vec::with_capacity(k),
+            k,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, n: Neighbor) {
+        if self.heap.len() < self.k {
+            self.heap.push(n);
+            self.sift_up(self.heap.len() - 1);
+        } else if self.k > 0 && cmp_neighbor(&n, &self.heap[0]) == std::cmp::Ordering::Less {
+            self.heap[0] = n;
+            self.sift_down();
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp_neighbor(&self.heap[i], &self.heap[parent]) == std::cmp::Ordering::Greater {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self) {
+        let len = self.heap.len();
+        let mut i = 0;
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let mut largest = left;
+            let right = left + 1;
+            if right < len
+                && cmp_neighbor(&self.heap[right], &self.heap[left]) == std::cmp::Ordering::Greater
+            {
+                largest = right;
+            }
+            if cmp_neighbor(&self.heap[largest], &self.heap[i]) == std::cmp::Ordering::Greater {
+                self.heap.swap(i, largest);
+                i = largest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap.sort_by(cmp_neighbor);
+        self.heap
+    }
+}
 
 /// Keeps the `k` smallest neighbours sorted ascending (distance, then
 /// index): partial selection then sort of the head, `O(n + k log k)`.
@@ -509,15 +949,17 @@ mod tests {
         Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
     }
 
+    const ALL_METRICS: [DistanceMetric; 3] = [
+        DistanceMetric::Euclidean,
+        DistanceMetric::Manhattan,
+        DistanceMetric::Minkowski(3.0),
+    ];
+
     #[test]
     fn pairwise_parallel_bit_identical() {
         let a = random_matrix(37, 5, 7);
         let b = random_matrix(23, 5, 11);
-        for metric in [
-            DistanceMetric::Euclidean,
-            DistanceMetric::Manhattan,
-            DistanceMetric::Minkowski(3.0),
-        ] {
+        for metric in ALL_METRICS {
             let base = pairwise_distances(&a, &b, metric).unwrap();
             for threads in [2usize, 4, 8] {
                 let par = pairwise_distances_parallel(&a, &b, metric, threads).unwrap();
@@ -527,13 +969,102 @@ mod tests {
     }
 
     #[test]
+    fn blocked_backend_bit_identical_to_naive() {
+        // Shapes straddling the j-tile width so edge tiles are exercised.
+        let a = random_matrix(67, 9, 21);
+        let b = random_matrix(BLOCKED_J_TILE + 37, 9, 22);
+        for metric in ALL_METRICS {
+            let naive = pairwise_distances_backend(&a, &b, metric, DistanceBackend::Naive, 1, None)
+                .unwrap();
+            for threads in [1usize, 3] {
+                let blocked = pairwise_distances_backend(
+                    &a,
+                    &b,
+                    metric,
+                    DistanceBackend::Blocked,
+                    threads,
+                    None,
+                )
+                .unwrap();
+                assert_eq!(
+                    blocked.as_slice(),
+                    naive.as_slice(),
+                    "{metric:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_backend_close_to_naive_and_deterministic() {
+        let a = random_matrix(41, 7, 31);
+        let b = random_matrix(29, 7, 32);
+        let naive = pairwise_distances_backend(
+            &a,
+            &b,
+            DistanceMetric::Euclidean,
+            DistanceBackend::Naive,
+            1,
+            None,
+        )
+        .unwrap();
+        let base = pairwise_distances_backend(
+            &a,
+            &b,
+            DistanceMetric::Euclidean,
+            DistanceBackend::Gemm,
+            1,
+            None,
+        )
+        .unwrap();
+        for (g, n) in base.as_slice().iter().zip(naive.as_slice()) {
+            assert!((g - n).abs() <= 1e-9 * (1.0 + n.abs()), "{g} vs {n}");
+        }
+        for threads in [2usize, 5] {
+            let par = pairwise_distances_backend(
+                &a,
+                &b,
+                DistanceMetric::Euclidean,
+                DistanceBackend::Gemm,
+                threads,
+                None,
+            )
+            .unwrap();
+            assert_eq!(par.as_slice(), base.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gemm_backend_non_euclidean_falls_back() {
+        let a = random_matrix(12, 4, 3);
+        let stats = KernelStats::new();
+        let gemm = pairwise_distances_backend(
+            &a,
+            &a,
+            DistanceMetric::Manhattan,
+            DistanceBackend::Gemm,
+            1,
+            Some(&stats),
+        )
+        .unwrap();
+        let naive = pairwise_distances_backend(
+            &a,
+            &a,
+            DistanceMetric::Manhattan,
+            DistanceBackend::Naive,
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(gemm.as_slice(), naive.as_slice());
+        assert_eq!(stats.snapshot().fallback_hits, 1);
+        assert_eq!(stats.snapshot().gemm_tiles, 0);
+    }
+
+    #[test]
     fn symmetric_bit_identical_to_full() {
         let a = random_matrix(31, 4, 3);
-        for metric in [
-            DistanceMetric::Euclidean,
-            DistanceMetric::Manhattan,
-            DistanceMetric::Minkowski(3.0),
-        ] {
+        for metric in ALL_METRICS {
             let full = pairwise_distances(&a, &a, metric).unwrap();
             let sym = pairwise_distances_symmetric(&a, metric);
             assert_eq!(sym.as_slice(), full.as_slice(), "{metric:?}");
@@ -544,6 +1075,25 @@ mod tests {
                     full.as_slice(),
                     "{metric:?} threads={threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_gemm_is_symmetric_and_zero_diagonal_free() {
+        let a = random_matrix(19, 6, 13);
+        let d = pairwise_distances_symmetric_backend(
+            &a,
+            DistanceMetric::Euclidean,
+            DistanceBackend::Gemm,
+            1,
+            None,
+        );
+        for i in 0..a.nrows() {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..a.nrows() {
+                assert_eq!(d.get(i, j).to_bits(), d.get(j, i).to_bits());
+                assert!(d.get(i, j) >= 0.0);
             }
         }
     }
@@ -565,9 +1115,62 @@ mod tests {
     }
 
     #[test]
+    fn batch_fast_path_matches_per_row_queries() {
+        // Cross the KNN_T_TILE boundary so multiple tiles feed the heaps.
+        let train = random_matrix(KNN_T_TILE + 77, 6, 40);
+        let queries = random_matrix(KNN_Q_TILE + 11, 6, 41);
+        for backend in [DistanceBackend::Blocked, DistanceBackend::Gemm] {
+            let cfg = KernelConfig {
+                kdtree_crossover_dim: 0, // force brute
+                ..KernelConfig::with_backend(backend)
+            };
+            let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
+            assert!(!idx.uses_kdtree());
+            let batch = idx.query_batch(&queries, 7).unwrap();
+            for (i, nn) in batch.iter().enumerate() {
+                assert_eq!(nn, &idx.query(queries.row(i), 7), "{backend:?} row {i}");
+            }
+            for threads in [2usize, 4] {
+                let par = idx.query_batch_parallel(&queries, 7, threads).unwrap();
+                assert_eq!(par, batch, "{backend:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_index_records_counters() {
+        let train = random_matrix(50, 6, 50);
+        let cfg = KernelConfig {
+            kdtree_crossover_dim: 0,
+            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+        };
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
+        idx.self_query_batch(3, 1);
+        let c = idx.kernel_counters();
+        assert!(c.gemm_tiles > 0);
+        assert!(c.packed_panels > 0);
+        assert_eq!(c.fallback_hits, 0);
+    }
+
+    #[test]
+    fn gemm_index_non_euclidean_counts_fallback() {
+        let train = random_matrix(30, 6, 51);
+        let cfg = KernelConfig {
+            kdtree_crossover_dim: 0,
+            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+        };
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Manhattan, cfg).unwrap();
+        let c = idx.kernel_counters();
+        assert_eq!(c.fallback_hits, 1);
+        // The sweeps still agree exactly with the naive reference.
+        let naive = KnnIndex::build_brute_force(&train, DistanceMetric::Manhattan).unwrap();
+        assert_eq!(idx.self_query_batch(4, 1), naive.self_query_batch(4, 1));
+    }
+
+    #[test]
     fn self_query_batch_matches_query_excluding() {
         // Brute backend (symmetric fast path) and KD-tree backend.
-        let wide = random_matrix(50, 20, 9); // > KDTREE_MAX_DIM -> brute
+        let wide = random_matrix(50, 20, 9); // > crossover dim -> brute
         let narrow = random_matrix(150, 3, 10); // KD-tree eligible
         for train in [&wide, &narrow] {
             let idx = KnnIndex::build(train, DistanceMetric::Euclidean).unwrap();
@@ -585,6 +1188,26 @@ mod tests {
     }
 
     #[test]
+    fn self_query_batch_gemm_matches_query_excluding() {
+        let train = random_matrix(90, 8, 12);
+        let cfg = KernelConfig {
+            kdtree_crossover_dim: 0,
+            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+        };
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
+        let expected: Vec<Vec<Neighbor>> = (0..train.nrows())
+            .map(|i| idx.query_excluding(train.row(i), 5, i))
+            .collect();
+        for threads in [1usize, 3] {
+            assert_eq!(
+                idx.self_query_batch(5, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn self_query_batch_respects_metric() {
         let train = random_matrix(40, 18, 5);
         let idx = KnnIndex::build_brute_force(&train, DistanceMetric::Manhattan).unwrap();
@@ -592,5 +1215,50 @@ mod tests {
             .map(|i| idx.query_excluding(train.row(i), 3, i))
             .collect();
         assert_eq!(idx.self_query_batch(3, 2), expected);
+    }
+
+    #[test]
+    fn crossover_config_controls_tree_choice() {
+        let train = random_matrix(200, 10, 60);
+        let on = KnnIndex::build_with(
+            &train,
+            DistanceMetric::Euclidean,
+            KernelConfig {
+                kdtree_crossover_dim: 10,
+                ..KernelConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(on.uses_kdtree());
+        let off = KnnIndex::build_with(
+            &train,
+            DistanceMetric::Euclidean,
+            KernelConfig {
+                kdtree_crossover_dim: 9,
+                ..KernelConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!off.uses_kdtree());
+        // Both backends return the same neighbours.
+        assert_eq!(on.self_query_batch(4, 1), off.self_query_batch(4, 1));
+    }
+
+    #[test]
+    fn topk_matches_select_smallest() {
+        let train = random_matrix(300, 3, 70);
+        let all: Vec<Neighbor> = (0..train.nrows())
+            .map(|i| Neighbor {
+                index: i,
+                distance: train.get(i, 0).abs(),
+            })
+            .collect();
+        for k in [0usize, 1, 7, 299, 300, 400] {
+            let mut heap = TopK::new(k.min(all.len()));
+            for &n in &all {
+                heap.push(n);
+            }
+            assert_eq!(heap.into_sorted(), select_smallest(all.clone(), k), "k={k}");
+        }
     }
 }

@@ -1,0 +1,653 @@
+//! Packed, register-blocked GEMM micro-kernels and kernel configuration.
+//!
+//! TOD (Zhao et al., 2021) shows that outlier-detection primitives go
+//! fast when they are reformulated as batched tensor contractions; on a
+//! CPU that means one thing — keep the working set in registers and the
+//! nearest cache level, and express everything as a GEMM. This module is
+//! the compute core behind the [`distance`](crate::distance) backends:
+//!
+//! * [`matmul_packed`] / [`gram`] — a cache-aware matrix product built
+//!   from an `MR x NR` (4x4) register-blocked inner kernel over
+//!   contiguous **packed panels**: `MR`-row interleaved panels of `A` and
+//!   `NR`-wide interleaved panels of `B` (columns for `matmul_packed`,
+//!   rows for [`gram`], which computes `A · Bᵀ`).
+//! * [`DistanceBackend`] — selects how pairwise distances are evaluated
+//!   (`naive` | `blocked` | `gemm`); threaded from `SuodBuilder` through
+//!   `FitContext`/`NeighborCache` into every proximity detector.
+//! * [`KernelConfig`] — backend plus the KD-tree-vs-brute-force
+//!   crossover tuning consumed by
+//!   [`KnnIndex::build_with`](crate::distance::KnnIndex::build_with).
+//! * [`KernelStats`] — packed-panel / GEMM-tile / fallback counters the
+//!   observability layer exports so traces attribute time to the kernels.
+//!
+//! # Determinism
+//!
+//! Every output element `c[i][j]` is accumulated in its **own** register
+//! over the reduction index `k` in strictly ascending order, exactly the
+//! order the scalar reference [`dot`](crate::matrix::dot) uses. Panel
+//! packing and tile shapes change *which* elements a thread computes,
+//! never the reduction order of any one element, so results are
+//! **bit-identical across thread counts and tile boundaries** — the
+//! invariant the determinism system tests pin down.
+
+use crate::{Error, Matrix, Result};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Micro-kernel height: rows of `A` per packed panel.
+pub const MR: usize = 4;
+/// Micro-kernel width: columns of the output per packed `B` panel.
+pub const NR: usize = 4;
+
+/// `A` panels per cache block (`64 * MR = 256` output rows): bounds the
+/// output window a `B` block sweeps before moving on, keeping writes
+/// inside a few hundred pages instead of striding the whole matrix.
+const GRAM_A_BLOCK_PANELS: usize = 64;
+/// `B` panels per cache block (`256 * NR = 1024` packed rows, i.e.
+/// `1024 * d * 8` bytes): stays L2-resident while an `A` block streams
+/// through it, so large-`n` products read each `B` panel from cache
+/// `GRAM_A_BLOCK_PANELS` times instead of from memory every time.
+const GRAM_B_BLOCK_PANELS: usize = 256;
+
+/// Default KD-tree-vs-brute-force crossover dimensionality.
+///
+/// A KD-tree prunes well only while the dimensionality is small; beyond
+/// the crossover the blocked/GEMM brute-force sweep wins. The historical
+/// hardcoded constant was 15; the `kernel_report` crossover sweep
+/// (single-threaded, 10k train / 1k queries, see `BENCH_kernels.json`)
+/// shows the tree winning decisively through d = 6 and the tiled brute
+/// path overtaking it by d = 8, so the tuned default is 6. Override per
+/// estimator via `SuodBuilder::kdtree_crossover_dim` or per index via
+/// [`KernelConfig`].
+pub const DEFAULT_KDTREE_CROSSOVER_DIM: usize = 6;
+
+/// Minimum row count for the KD-tree backend to engage (tree build and
+/// traversal overhead dominate below this).
+pub const DEFAULT_KDTREE_MIN_ROWS: usize = 128;
+
+/// How pairwise distances and brute-force neighbour sweeps are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceBackend {
+    /// Scalar per-pair loops, one query row against the full training
+    /// matrix at a time. The reference implementation every other
+    /// backend is validated against.
+    Naive,
+    /// The same per-pair arithmetic as `Naive` — identical formula,
+    /// identical reduction order, **bit-identical results** — but tiled
+    /// over pair blocks so a panel of `B` rows stays resident in cache
+    /// while a block of `A` rows streams through it. The default.
+    #[default]
+    Blocked,
+    /// Euclidean distances via the norm trick
+    /// `d²(x, y) = ‖x‖² + ‖y‖² − 2·x·y` over a packed-panel GEMM, with
+    /// the squared distance clamped at zero before the square root.
+    /// Fastest, but *not* bit-identical to `Naive` (see
+    /// [`DistanceBackend::is_bit_identical_to_naive`]); non-Euclidean
+    /// metrics fall back to `Blocked` (recorded as a fallback hit).
+    Gemm,
+}
+
+impl DistanceBackend {
+    /// Stable config/CLI name (`naive` | `blocked` | `gemm`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceBackend::Naive => "naive",
+            DistanceBackend::Blocked => "blocked",
+            DistanceBackend::Gemm => "gemm",
+        }
+    }
+
+    /// Parses a stable name back into a backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "naive" => Ok(DistanceBackend::Naive),
+            "blocked" => Ok(DistanceBackend::Blocked),
+            "gemm" => Ok(DistanceBackend::Gemm),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown distance backend `{other}` (expected naive|blocked|gemm)"
+            ))),
+        }
+    }
+
+    /// `true` when the backend produces the same bits as `Naive` for
+    /// every metric. `Blocked` reorders only *which* pairs are evaluated
+    /// when, never the arithmetic of a pair, so it qualifies; `Gemm`
+    /// algebraically rearranges `Σ(xᵢ−yᵢ)²` into `‖x‖²+‖y‖²−2x·y` and
+    /// does not.
+    pub fn is_bit_identical_to_naive(self) -> bool {
+        !matches!(self, DistanceBackend::Gemm)
+    }
+}
+
+impl std::fmt::Display for DistanceBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Kernel tuning threaded from the estimator config down to every
+/// [`KnnIndex`](crate::distance::KnnIndex) and pairwise-distance call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Distance/GEMM backend for brute-force paths.
+    pub backend: DistanceBackend,
+    /// Maximum dimensionality at which the KD-tree backend engages
+    /// (replaces the old hardcoded `d <= 15`); see
+    /// [`DEFAULT_KDTREE_CROSSOVER_DIM`] for how the default was derived.
+    pub kdtree_crossover_dim: usize,
+    /// Minimum row count for the KD-tree backend to engage.
+    pub kdtree_min_rows: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            backend: DistanceBackend::default(),
+            kdtree_crossover_dim: DEFAULT_KDTREE_CROSSOVER_DIM,
+            kdtree_min_rows: DEFAULT_KDTREE_MIN_ROWS,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// A config with the given backend and default KD-tree tuning.
+    pub fn with_backend(backend: DistanceBackend) -> Self {
+        Self {
+            backend,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when an index over `rows x dims` data should use the
+    /// KD-tree backend under this config.
+    pub fn uses_kdtree(&self, rows: usize, dims: usize) -> bool {
+        dims <= self.kdtree_crossover_dim && rows >= self.kdtree_min_rows
+    }
+}
+
+/// Monotonic kernel-work counters (thread-safe, shared by reference).
+///
+/// The counts are **deterministic**: they are derived from matrix shapes
+/// and the fixed panel/tile geometry, so a given sequence of kernel calls
+/// produces the same counts at every thread count. The observability
+/// layer snapshots them around neighbour-graph builds and exports them as
+/// `packed_panel` / `gemm_tile` / `kernel_fallback` counters.
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    packed_panels: AtomicU64,
+    gemm_tiles: AtomicU64,
+    fallback_hits: AtomicU64,
+}
+
+impl KernelStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> KernelCounters {
+        KernelCounters {
+            packed_panels: self.packed_panels.load(Ordering::Relaxed),
+            gemm_tiles: self.gemm_tiles.load(Ordering::Relaxed),
+            fallback_hits: self.fallback_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one GEMM invocation over an `a_rows x b_rows` output:
+    /// `ceil(a_rows/MR) + ceil(b_rows/NR)` logical packed panels and
+    /// `ceil(a_rows/MR) * ceil(b_rows/NR)` micro-kernel tiles.
+    pub(crate) fn record_gemm(&self, a_rows: usize, b_rows: usize) {
+        let ap = a_rows.div_ceil(MR) as u64;
+        let bp = b_rows.div_ceil(NR) as u64;
+        self.packed_panels.fetch_add(ap + bp, Ordering::Relaxed);
+        self.gemm_tiles.fetch_add(ap * bp, Ordering::Relaxed);
+    }
+
+    /// Records one request the selected backend could not serve (e.g. a
+    /// non-Euclidean metric under [`DistanceBackend::Gemm`]).
+    pub(crate) fn record_fallback(&self) {
+        self.fallback_hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of [`KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Contiguous `MR`/`NR` panels packed (logical: derived from shapes).
+    pub packed_panels: u64,
+    /// Micro-kernel tile invocations.
+    pub gemm_tiles: u64,
+    /// Requests the selected backend had to hand to a slower path.
+    pub fallback_hits: u64,
+}
+
+impl KernelCounters {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            packed_panels: self.packed_panels.saturating_sub(earlier.packed_panels),
+            gemm_tiles: self.gemm_tiles.saturating_sub(earlier.gemm_tiles),
+            fallback_hits: self.fallback_hits.saturating_sub(earlier.fallback_hits),
+        }
+    }
+}
+
+/// Rows of a matrix packed into `width`-wide interleaved panels.
+///
+/// Panel `p` holds source rows `p*width .. p*width+width` laid out as
+/// `panel[k*width + r]` — the micro-kernel streams it with unit stride.
+/// Short trailing panels are zero-padded, so every panel has the same
+/// byte length and the kernel never branches on edges along the packed
+/// axis.
+pub(crate) struct PackedPanels {
+    data: Vec<f64>,
+    n_rows: usize,
+    d: usize,
+    width: usize,
+}
+
+impl PackedPanels {
+    /// Packs every row of `m` (used for [`gram`]: `B`'s rows are `Bᵀ`'s
+    /// columns).
+    pub(crate) fn from_rows(m: &Matrix) -> Self {
+        Self::from_row_range(m, 0..m.nrows(), NR)
+    }
+
+    /// Packs the rows in `range` into `width`-wide panels.
+    pub(crate) fn from_row_range(m: &Matrix, range: Range<usize>, width: usize) -> Self {
+        let n_rows = range.len();
+        let d = m.ncols();
+        let n_panels = n_rows.div_ceil(width.max(1)).max(usize::from(n_rows > 0));
+        let mut data = vec![0.0; n_panels * d * width];
+        for (local, src) in range.enumerate() {
+            let panel = local / width;
+            let lane = local % width;
+            let row = m.row(src);
+            let base = panel * d * width;
+            for (k, &v) in row.iter().enumerate() {
+                data[base + k * width + lane] = v;
+            }
+        }
+        Self {
+            data,
+            n_rows,
+            d,
+            width,
+        }
+    }
+
+    /// Packs the *columns* of `m` (used for [`matmul_packed`], where the
+    /// reduction runs down `B`'s rows).
+    pub(crate) fn from_cols(m: &Matrix) -> Self {
+        let n_rows = m.ncols(); // packed axis = B's columns
+        let d = m.nrows(); // reduction axis = B's rows
+        let width = NR;
+        let n_panels = n_rows.div_ceil(width).max(usize::from(n_rows > 0));
+        let mut data = vec![0.0; n_panels * d * width];
+        for k in 0..d {
+            let row = m.row(k);
+            for (c, &v) in row.iter().enumerate() {
+                let panel = c / width;
+                let lane = c % width;
+                data[panel * d * width + k * width + lane] = v;
+            }
+        }
+        Self {
+            data,
+            n_rows,
+            d,
+            width,
+        }
+    }
+
+    /// Number of packed entities (rows or columns).
+    pub(crate) fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    fn panel(&self, p: usize) -> &[f64] {
+        let stride = self.d * self.width;
+        &self.data[p * stride..(p + 1) * stride]
+    }
+}
+
+/// The 4x4 register-blocked inner kernel: `acc[i][j] += Σ_k a[k][i] *
+/// b[k][j]` with `k` strictly ascending and one accumulator per output
+/// element (the determinism contract). `chunks_exact` hands the
+/// optimiser fixed-size lanes — no bounds checks in the hot loop — and
+/// iterates the chunks (one per `k`) in ascending order.
+#[inline]
+fn microkernel(apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
+    for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i * NR + j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// Euclidean distance from cached squared norms and a Gram entry:
+/// `sqrt(max(0, ‖a‖² + ‖b‖² − 2·a·b))`. The clamp keeps near-duplicate
+/// rows (where cancellation can drive the algebraic identity slightly
+/// negative) from producing NaN. Every gemm-backend path — batched,
+/// single-query, and the fused tile epilogue below — combines its terms
+/// through this one function, in this argument order, so the backend is
+/// self-consistent to the bit.
+#[inline]
+pub(crate) fn dist_from_gram(na: f64, nb: f64, g: f64) -> f64 {
+    (na + nb - 2.0 * g).max(0.0).sqrt()
+}
+
+/// Cache-blocked panel sweep: runs the micro-kernel over every
+/// `(A panel, B panel)` tile of the row range and writes
+/// `finish(absolute_a_row, packed_index, gram_value)` into `out`. The
+/// block loops change only *when* a tile is computed (B blocks stay
+/// L2-resident across an A block), never the per-element reduction —
+/// results are bitwise independent of the blocking.
+#[inline]
+fn gram_rows_apply(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanels,
+    out: &mut [f64],
+    mut finish: impl FnMut(usize, usize, f64) -> f64,
+) {
+    let d = a.ncols();
+    debug_assert_eq!(d, packed.d);
+    let n_out = packed.len();
+    debug_assert_eq!(out.len(), a_range.len() * n_out);
+    if a_range.is_empty() || n_out == 0 {
+        return;
+    }
+    let apanels = PackedPanels::from_row_range(a, a_range.clone(), MR);
+    let a_rows = a_range.len();
+    let n_ap = a_rows.div_ceil(MR);
+    let n_bp = n_out.div_ceil(NR);
+    for ab in (0..n_ap).step_by(GRAM_A_BLOCK_PANELS) {
+        let ab_hi = (ab + GRAM_A_BLOCK_PANELS).min(n_ap);
+        for bb in (0..n_bp).step_by(GRAM_B_BLOCK_PANELS) {
+            let bb_hi = (bb + GRAM_B_BLOCK_PANELS).min(n_bp);
+            for ap in ab..ab_hi {
+                let i_hi = (ap * MR + MR).min(a_rows);
+                let apanel = apanels.panel(ap);
+                for bp in bb..bb_hi {
+                    let j_hi = (bp * NR + NR).min(n_out);
+                    let mut acc = [0.0f64; MR * NR];
+                    microkernel(apanel, packed.panel(bp), &mut acc);
+                    for i in ap * MR..i_hi {
+                        let li = i - ap * MR;
+                        let row = &mut out[i * n_out..(i + 1) * n_out];
+                        for j in bp * NR..j_hi {
+                            row[j] = finish(a_range.start + i, j, acc[li * NR + (j - bp * NR)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes `out[r][c] = a_row(a_range.start + r) · packed[c]` for every
+/// packed entity `c`, writing into the row-major `out` slice
+/// (`a_range.len() * packed.len()` elements).
+pub(crate) fn gram_rows_into(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanels,
+    out: &mut [f64],
+) {
+    gram_rows_apply(a, a_range, packed, out, |_, _, g| g);
+}
+
+/// [`gram_rows_into`] with the norm-trick epilogue fused into the tile
+/// write-back: `out[r][c] = dist_from_gram(na[row], nb[c], gram)`. The
+/// distance matrix is produced in one pass — no intermediate Gram
+/// allocation, no second read-modify-write sweep over the (potentially
+/// multi-gigabyte) output. `na` is indexed by absolute `a` row, `nb` by
+/// packed index.
+pub(crate) fn gram_rows_dist_into(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanels,
+    na: &[f64],
+    nb: &[f64],
+    out: &mut [f64],
+) {
+    gram_rows_apply(a, a_range, packed, out, |i, j, g| {
+        dist_from_gram(na[i], nb[j], g)
+    });
+}
+
+/// Gram-style product `A · Bᵀ` (`a.nrows() x b.nrows()`) over packed
+/// panels — the contraction behind the norm-trick distance path. Both
+/// operands are row-major, so packing reads are unit-stride.
+///
+/// Bit-identical across `n_threads` (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when column counts differ.
+pub fn gram(
+    a: &Matrix,
+    b: &Matrix,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Result<Matrix> {
+    if a.ncols() != b.ncols() {
+        return Err(Error::ShapeMismatch {
+            op: "gram",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if let Some(s) = stats {
+        s.record_gemm(a.nrows(), b.nrows());
+    }
+    let packed = PackedPanels::from_rows(b);
+    let mut out = Matrix::zeros(a.nrows(), b.nrows());
+    let cols = b.nrows();
+    crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
+        gram_rows_into(a, rows, &packed, block);
+    });
+    Ok(out)
+}
+
+/// Packed blocked matrix product `A · B`: `B`'s columns are packed into
+/// `NR`-wide panels once, then each thread's row block runs the 4x4
+/// micro-kernel over its `MR`-row panels of `A`.
+///
+/// Bit-identical across `n_threads`; matches [`Matrix::matmul`] within
+/// floating-point reassociation noise (the per-element reduction order is
+/// the same ascending `k`, but `matmul` skips exact-zero `a` terms).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `a.ncols() != b.nrows()`.
+pub fn matmul_packed(
+    a: &Matrix,
+    b: &Matrix,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Result<Matrix> {
+    if a.ncols() != b.nrows() {
+        return Err(Error::ShapeMismatch {
+            op: "matmul_packed",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if let Some(s) = stats {
+        s.record_gemm(a.nrows(), b.ncols());
+    }
+    let packed = PackedPanels::from_cols(b);
+    let mut out = Matrix::zeros(a.nrows(), b.ncols());
+    let cols = b.ncols();
+    crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
+        gram_rows_into(a, rows, &packed, block);
+    });
+    Ok(out)
+}
+
+/// Squared Euclidean norm of every row (the cached `‖x‖²` terms of the
+/// norm trick).
+pub fn row_sq_norms(m: &Matrix) -> Vec<f64> {
+    m.rows_iter().map(crate::matrix::norm_sq).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    fn assert_close(got: &Matrix, want: &Matrix, what: &str) {
+        assert_eq!(got.shape(), want.shape(), "{what}");
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            let tol = 1e-9 * (1.0 + w.abs());
+            assert!((g - w).abs() <= tol, "{what}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [
+            DistanceBackend::Naive,
+            DistanceBackend::Blocked,
+            DistanceBackend::Gemm,
+        ] {
+            assert_eq!(DistanceBackend::parse(b.name()).unwrap(), b);
+        }
+        assert!(DistanceBackend::parse("cuda").is_err());
+    }
+
+    #[test]
+    fn config_crossover_governs_tree_choice() {
+        let cfg = KernelConfig {
+            kdtree_crossover_dim: 6,
+            kdtree_min_rows: 10,
+            ..KernelConfig::default()
+        };
+        assert!(cfg.uses_kdtree(100, 6));
+        assert!(!cfg.uses_kdtree(100, 7));
+        assert!(!cfg.uses_kdtree(9, 3));
+    }
+
+    #[test]
+    fn matmul_packed_matches_naive() {
+        // Shapes straddling panel boundaries: exact multiples of 4,
+        // off-by-one, tiny, and degenerate-thin.
+        for (m, k, n) in [
+            (8, 8, 8),
+            (7, 5, 9),
+            (33, 70, 21),
+            (1, 200, 1),
+            (4, 1, 5),
+            (13, 16, 4),
+        ] {
+            let a = random_matrix(m, k, (m * 100 + n) as u64);
+            let b = random_matrix(k, n, (k * 7 + 3) as u64);
+            let want = a.matmul(&b).unwrap();
+            for threads in [1usize, 2, 4] {
+                let got = matmul_packed(&a, &b, threads, None).unwrap();
+                assert_close(&got, &want, &format!("({m},{k},{n}) t={threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_packed_bit_identical_across_threads() {
+        let a = random_matrix(37, 19, 1);
+        let b = random_matrix(19, 23, 2);
+        let base = matmul_packed(&a, &b, 1, None).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = matmul_packed(&a, &b, threads, None).unwrap();
+            assert_eq!(par.as_slice(), base.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gram_matches_matmul_transpose() {
+        let a = random_matrix(11, 6, 5);
+        let b = random_matrix(14, 6, 9);
+        let want = a.matmul(&b.transpose()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let got = gram(&a, &b, threads, None).unwrap();
+            assert_close(&got, &want, &format!("gram t={threads}"));
+        }
+    }
+
+    #[test]
+    fn gram_diagonal_equals_scalar_dot_bitwise() {
+        // One accumulator per element, ascending k: the packed kernel's
+        // dot products carry the same bits as the scalar reference.
+        let a = random_matrix(9, 13, 3);
+        let g = gram(&a, &a, 1, None).unwrap();
+        for i in 0..a.nrows() {
+            assert_eq!(g.get(i, i), crate::matrix::norm_sq(a.row(i)));
+            for j in 0..a.nrows() {
+                assert_eq!(g.get(i, j), crate::matrix::dot(a.row(i), a.row(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(gram(&a, &b, 1, None).is_err());
+        assert!(matmul_packed(&a, &b, 1, None).is_err());
+        assert!(matmul_packed(&a, &Matrix::zeros(3, 4), 1, None).is_ok());
+    }
+
+    #[test]
+    fn zero_width_inputs() {
+        let a = Matrix::zeros(3, 0);
+        let g = gram(&a, &a, 1, None).unwrap();
+        assert_eq!(g.shape(), (3, 3));
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stats_count_deterministically() {
+        let a = random_matrix(10, 5, 1);
+        let b = random_matrix(7, 5, 2);
+        let s1 = KernelStats::new();
+        gram(&a, &b, 1, Some(&s1)).unwrap();
+        let s4 = KernelStats::new();
+        gram(&a, &b, 4, Some(&s4)).unwrap();
+        assert_eq!(s1.snapshot(), s4.snapshot());
+        let c = s1.snapshot();
+        // ceil(10/4)=3 a-panels + ceil(7/4)=2 b-panels; 3*2 tiles.
+        assert_eq!(c.packed_panels, 5);
+        assert_eq!(c.gemm_tiles, 6);
+        assert_eq!(c.fallback_hits, 0);
+    }
+
+    #[test]
+    fn counters_since_computes_delta() {
+        let s = KernelStats::new();
+        let before = s.snapshot();
+        s.record_gemm(8, 8);
+        s.record_fallback();
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.packed_panels, 4);
+        assert_eq!(delta.gemm_tiles, 4);
+        assert_eq!(delta.fallback_hits, 1);
+    }
+}

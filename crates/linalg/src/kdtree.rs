@@ -4,10 +4,14 @@
 //! datasets in the paper's benchmark suite (Annthyroid d=6, Shuttle d=9,
 //! PageBlock d=10, ...) a KD-tree answers the same queries in roughly
 //! `O(log n)` expected time. [`KnnIndex`](crate::distance::KnnIndex)
-//! selects this backend automatically when the dimensionality is low
-//! enough for the tree to win; results are exact and identical to brute
-//! force for every supported metric (per-axis distance lower-bounds every
-//! Lp distance, so branch-and-bound pruning is safe).
+//! selects this backend automatically when the dimensionality is at or
+//! below the configurable crossover
+//! ([`KernelConfig::kdtree_crossover_dim`](crate::KernelConfig), default
+//! [`DEFAULT_KDTREE_CROSSOVER_DIM`](crate::DEFAULT_KDTREE_CROSSOVER_DIM),
+//! tuned from the committed `BENCH_kernels.json` sweep); results are
+//! exact and identical to brute force for every supported metric
+//! (per-axis distance lower-bounds every Lp distance, so
+//! branch-and-bound pruning is safe).
 
 use crate::distance::{DistanceMetric, Neighbor};
 use crate::{Error, Matrix, Result};

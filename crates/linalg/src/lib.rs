@@ -16,6 +16,10 @@
 //!   the PCA projection baseline).
 //! * [`distance`] — distance metrics and k-nearest-neighbour search
 //!   (brute force + automatic KD-tree backend) shared by kNN/LOF/ABOD/LoOP.
+//! * [`gemm`] — packed, register-blocked GEMM micro-kernels, the
+//!   [`DistanceBackend`] selector (naive | blocked | gemm) behind the
+//!   brute-force distance paths, the configurable KD-tree crossover
+//!   ([`KernelConfig`]), and the kernel-work counters ([`KernelStats`]).
 //! * [`kdtree`] — exact KD-tree used by [`distance::KnnIndex`] on
 //!   low-dimensional data.
 //! * [`stats`] — column statistics, standardization, and descriptive
@@ -48,6 +52,7 @@
 
 pub mod distance;
 pub mod eigen;
+pub mod gemm;
 pub mod kdtree;
 pub mod matrix;
 pub mod neighbor_cache;
@@ -56,13 +61,19 @@ pub mod rank;
 pub mod stats;
 
 pub use distance::{
-    pairwise_distances, pairwise_distances_parallel, pairwise_distances_symmetric,
+    pairwise_distances, pairwise_distances_backend, pairwise_distances_parallel,
+    pairwise_distances_symmetric, pairwise_distances_symmetric_backend,
     pairwise_distances_symmetric_parallel, DistanceMetric, KnnIndex,
 };
 pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use gemm::{
+    gram, matmul_packed, DistanceBackend, KernelConfig, KernelCounters, KernelStats,
+    DEFAULT_KDTREE_CROSSOVER_DIM, DEFAULT_KDTREE_MIN_ROWS,
+};
 pub use matrix::Matrix;
 pub use neighbor_cache::{
-    DataFingerprint, NeighborCache, NeighborCacheStats, NeighborGraph, SelfNeighbors,
+    emit_kernel_counters, DataFingerprint, NeighborCache, NeighborCacheStats, NeighborGraph,
+    SelfNeighbors,
 };
 
 use std::fmt;

@@ -39,6 +39,7 @@
 //! ```
 
 use crate::distance::{DistanceMetric, KnnIndex, Neighbor};
+use crate::gemm::{KernelConfig, KernelCounters};
 use crate::{Matrix, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -114,7 +115,23 @@ impl NeighborGraph {
     ///
     /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
     pub fn build(x: &Matrix, metric: DistanceMetric, k: usize, n_threads: usize) -> Result<Self> {
-        let index = Arc::new(KnnIndex::build(x, metric)?);
+        Self::build_with(x, metric, k, n_threads, KernelConfig::default())
+    }
+
+    /// [`build`](Self::build) with explicit kernel tuning (distance
+    /// backend + KD-tree crossover) for the index and its sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
+    pub fn build_with(
+        x: &Matrix,
+        metric: DistanceMetric,
+        k: usize,
+        n_threads: usize,
+        config: KernelConfig,
+    ) -> Result<Self> {
+        let index = Arc::new(KnnIndex::build_with(x, metric, config)?);
         let lists = index.self_query_batch(k, n_threads.max(1));
         Ok(Self {
             index,
@@ -239,6 +256,8 @@ pub struct NeighborCache {
     /// internal atomic counters always run regardless, so
     /// [`stats`](Self::stats) stays authoritative with the no-op observer.
     observer: Arc<dyn Observer>,
+    /// Kernel tuning applied to every graph this cache builds.
+    kernel: KernelConfig,
 }
 
 impl std::fmt::Debug for NeighborCache {
@@ -285,13 +304,28 @@ impl NeighborCache {
     /// emits [`Counter::CacheHit`]/[`Counter::CacheMiss`] and every graph
     /// build is wrapped in a [`Stage::NeighborBuild`] span.
     pub fn with_observer(observer: Arc<dyn Observer>) -> Self {
+        Self::with_config(KernelConfig::default(), observer)
+    }
+
+    /// Creates an empty cache with explicit kernel tuning; every graph it
+    /// builds uses `config`'s distance backend and KD-tree crossover.
+    /// Kernel work done by each build is reported to `observer` as
+    /// [`Counter::PackedPanel`]/[`Counter::GemmTile`]/
+    /// [`Counter::KernelFallback`] events.
+    pub fn with_config(config: KernelConfig, observer: Arc<dyn Observer>) -> Self {
         Self {
             slots: Mutex::new(SlotMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             build_nanos: AtomicU64::new(0),
             observer,
+            kernel: config,
         }
+    }
+
+    /// The kernel tuning applied to this cache's graph builds.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.kernel
     }
 
     fn slot(&self, fp: DataFingerprint, metric: DistanceMetric) -> Arc<Mutex<Slot>> {
@@ -360,11 +394,14 @@ impl NeighborCache {
             .observer
             .span_begin(Stage::NeighborBuild, SpanAttrs::none());
         let start = Instant::now();
-        let built = NeighborGraph::build(x, metric, k_build, n_threads);
+        let built = NeighborGraph::build_with(x, metric, k_build, n_threads, self.kernel);
         self.build_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.observer.span_end(span);
         let graph = Arc::new(built?);
+        // The index is fresh, so its counter snapshot is exactly this
+        // build's kernel work (shape-derived, thread-count-independent).
+        emit_kernel_counters(self.observer.as_ref(), graph.index().kernel_counters());
         slot.graph = Some(Arc::clone(&graph));
         Ok(graph)
     }
@@ -399,6 +436,23 @@ impl NeighborCache {
             builds: misses,
             build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// Reports a [`KernelCounters`] snapshot to an observer as
+/// [`Counter::PackedPanel`]/[`Counter::GemmTile`]/[`Counter::KernelFallback`]
+/// events (zero counts are skipped). Shared by the cache's graph builds
+/// and the standalone fit path in `suod-detectors`, so pooled and
+/// standalone kernel telemetry reconcile.
+pub fn emit_kernel_counters(observer: &dyn Observer, counters: KernelCounters) {
+    if counters.packed_panels > 0 {
+        observer.counter(Counter::PackedPanel, counters.packed_panels);
+    }
+    if counters.gemm_tiles > 0 {
+        observer.counter(Counter::GemmTile, counters.gemm_tiles);
+    }
+    if counters.fallback_hits > 0 {
+        observer.counter(Counter::KernelFallback, counters.fallback_hits);
     }
 }
 
@@ -599,6 +653,27 @@ mod tests {
         assert!(trace
             .spans_of(Stage::NeighborBuild)
             .all(|s| s.dur_us <= stats.build_time.as_micros() as u64 + 1000));
+    }
+
+    #[test]
+    fn gemm_cache_emits_kernel_counters() {
+        use crate::gemm::DistanceBackend;
+        use suod_observe::RecordingObserver;
+        let rec = Arc::new(RecordingObserver::new());
+        let cfg = KernelConfig {
+            kdtree_crossover_dim: 0, // force the brute-force gemm sweep
+            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+        };
+        let cache = NeighborCache::with_config(cfg, rec.clone());
+        assert_eq!(cache.kernel_config(), cfg);
+        let x = random_matrix(50, 6, 29);
+        cache
+            .get_or_build(&x, DistanceMetric::Euclidean, 5, 1)
+            .unwrap();
+        let trace = rec.trace();
+        assert!(trace.counter(Counter::GemmTile) > 0);
+        assert!(trace.counter(Counter::PackedPanel) > 0);
+        assert_eq!(trace.counter(Counter::KernelFallback), 0);
     }
 
     #[test]

@@ -3,13 +3,39 @@
 use proptest::prelude::*;
 use suod_linalg::rank::{argsort, average_ranks, ordinal_ranks};
 use suod_linalg::stats::{zscore_in_place, Standardizer};
-use suod_linalg::{pairwise_distances, symmetric_eigen, DistanceMetric, Matrix};
+use suod_linalg::{
+    pairwise_distances, pairwise_distances_backend, symmetric_eigen, DistanceBackend,
+    DistanceMetric, KernelConfig, KnnIndex, Matrix,
+};
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-100.0f64..100.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
     })
+}
+
+/// A compatible `(m x k, k x n)` multiplication pair.
+fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, m * k),
+            proptest::collection::vec(-100.0f64..100.0, k * n),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Matrix::from_vec(m, k, a).expect("sized"),
+                    Matrix::from_vec(k, n, b).expect("sized"),
+                )
+            })
+    })
+}
+
+/// Sorted neighbour index set of one result row.
+fn index_set(nn: &[suod_linalg::distance::Neighbor]) -> Vec<usize> {
+    let mut ids: Vec<usize> = nn.iter().map(|n| n.index).collect();
+    ids.sort_unstable();
+    ids
 }
 
 proptest! {
@@ -203,6 +229,152 @@ proptest! {
             prop_assert_eq!(graph.prefix(i, k), &row[..]);
         }
         prop_assert_eq!(cache.stats().builds, 1);
+    }
+
+    #[test]
+    fn packed_matmul_matches_naive((a, b) in matmul_pair(9)) {
+        // The packed 4x4 micro-kernel reassociates nothing within an
+        // output element (single accumulator, ascending k), so it stays
+        // within tight relative tolerance of the skip-zero naive loop —
+        // and is bit-identical across thread counts.
+        let naive = a.matmul(&b).unwrap();
+        let t1 = suod_linalg::matmul_packed(&a, &b, 1, None).unwrap();
+        for t in [2usize, 5] {
+            let tn = suod_linalg::matmul_packed(&a, &b, t, None).unwrap();
+            prop_assert_eq!(tn.as_slice(), t1.as_slice());
+        }
+        for (x, y) in t1.as_slice().iter().zip(naive.as_slice()) {
+            let scale = 1.0 + x.abs().max(y.abs());
+            prop_assert!((x - y).abs() <= 1e-9 * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_distances_bit_identical_to_naive(m in small_matrix(8)) {
+        for metric in [DistanceMetric::Euclidean, DistanceMetric::Manhattan] {
+            let naive = pairwise_distances_backend(
+                &m, &m, metric, DistanceBackend::Naive, 1, None).unwrap();
+            for t in [1usize, 3] {
+                let blocked = pairwise_distances_backend(
+                    &m, &m, metric, DistanceBackend::Blocked, t, None).unwrap();
+                prop_assert_eq!(blocked.as_slice(), naive.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_distances_match_naive(m in small_matrix(8)) {
+        // Compare squared distances: the norm trick's error is relative
+        // to the norms (`||x||^2 + ||y||^2`), not to the distance itself,
+        // which for near-duplicate rows can be arbitrarily smaller.
+        let naive = pairwise_distances_backend(
+            &m, &m, DistanceMetric::Euclidean, DistanceBackend::Naive, 1, None).unwrap();
+        let norms: Vec<f64> = (0..m.nrows())
+            .map(|i| m.row(i).iter().map(|v| v * v).sum())
+            .collect();
+        let g1 = pairwise_distances_backend(
+            &m, &m, DistanceMetric::Euclidean, DistanceBackend::Gemm, 1, None).unwrap();
+        for t in [2usize, 5] {
+            let gt = pairwise_distances_backend(
+                &m, &m, DistanceMetric::Euclidean, DistanceBackend::Gemm, t, None).unwrap();
+            prop_assert_eq!(gt.as_slice(), g1.as_slice());
+        }
+        for i in 0..m.nrows() {
+            for j in 0..m.nrows() {
+                let (dn, dg) = (naive.get(i, j), g1.get(i, j));
+                prop_assert!(dg >= 0.0);
+                let tol = 1e-9 * (1.0 + norms[i] + norms[j]);
+                prop_assert!(
+                    (dg * dg - dn * dn).abs() <= tol,
+                    "({i},{j}): gemm {dg} vs naive {dn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_distances_survive_adversarial_structure(
+        n in 2usize..10,
+        d in 1usize..6,
+        seed in 0u64..500,
+        scale_idx in 0usize..3,
+    ) {
+        let scale = [1.0f64, 1e6, 1e-6][scale_idx];
+        // Colinear rows (worst case for the norm trick's cancellation:
+        // d^2 = (|a|-|b|)^2 while na+nb is huge), exact duplicates, and
+        // extreme magnitudes.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir: Vec<f64> = (0..d).map(|_| rng.random_range(-1.0f64..1.0)).collect();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| dir.iter().map(|v| v * i as f64 * scale).collect())
+            .collect();
+        rows.push(rows[0].clone());
+        rows.push(rows[n / 2].clone());
+        let m = Matrix::from_rows(&rows).unwrap();
+        let naive = pairwise_distances_backend(
+            &m, &m, DistanceMetric::Euclidean, DistanceBackend::Naive, 1, None).unwrap();
+        let gemm = pairwise_distances_backend(
+            &m, &m, DistanceMetric::Euclidean, DistanceBackend::Gemm, 1, None).unwrap();
+        let norms: Vec<f64> = (0..m.nrows())
+            .map(|i| m.row(i).iter().map(|v| v * v).sum())
+            .collect();
+        for i in 0..m.nrows() {
+            for j in 0..m.nrows() {
+                let (dn, dg) = (naive.get(i, j), gemm.get(i, j));
+                prop_assert!(dg >= 0.0, "clamp must keep distances nonnegative");
+                let tol = 1e-9 * (1.0 + norms[i] + norms[j]);
+                prop_assert!(
+                    (dg * dg - dn * dn).abs() <= tol,
+                    "({i},{j}): gemm {dg} vs naive {dn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_fast_path_matches_naive_index_sets(
+        n in 20usize..120,
+        d in 1usize..7,
+        seed in 0u64..500,
+        k in 1usize..10,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-50.0f64..50.0)).collect();
+        let pts = Matrix::from_vec(n, d, data).unwrap();
+        let qdata: Vec<f64> = (0..7 * d).map(|_| rng.random_range(-60.0f64..60.0)).collect();
+        let queries = Matrix::from_vec(7, d, qdata).unwrap();
+        // Force brute force so the tiled batch kernels are what's tested.
+        let brute = |backend| KernelConfig {
+            backend,
+            kdtree_crossover_dim: 0,
+            ..KernelConfig::default()
+        };
+        let naive = KnnIndex::build_with(
+            &pts, DistanceMetric::Euclidean, brute(DistanceBackend::Naive)).unwrap();
+        let reference: Vec<Vec<suod_linalg::distance::Neighbor>> =
+            (0..queries.nrows()).map(|i| naive.query(queries.row(i), k)).collect();
+        for backend in [DistanceBackend::Blocked, DistanceBackend::Gemm] {
+            let index = KnnIndex::build_with(
+                &pts, DistanceMetric::Euclidean, brute(backend)).unwrap();
+            for t in [1usize, 3] {
+                let batch = index.query_batch_parallel(&queries, k, t).unwrap();
+                for (row, (got, want)) in batch.iter().zip(&reference).enumerate() {
+                    if backend.is_bit_identical_to_naive() {
+                        prop_assert_eq!(got, want, "row {} t {}", row, t);
+                    } else {
+                        // Gemm may perturb last-bit distances; the index
+                        // *set* must still match exactly on generic data.
+                        prop_assert_eq!(
+                            index_set(got), index_set(want), "row {} t {}", row, t
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

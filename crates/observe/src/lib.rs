@@ -168,6 +168,16 @@ pub enum Counter {
     /// Models flagged as stragglers against the BPS forecast
     /// (wall-clock-dependent).
     Straggler,
+    /// Contiguous MR/NR panels packed by the GEMM distance kernels
+    /// (logical count, derived from matrix shapes — thread-independent).
+    PackedPanel,
+    /// Register-blocked micro-kernel tile invocations in the GEMM
+    /// distance kernels (logical count, derived from matrix shapes).
+    GemmTile,
+    /// Kernel requests the selected distance backend could not serve
+    /// (e.g. a non-Euclidean metric on the gemm backend) and handed to a
+    /// slower path.
+    KernelFallback,
 }
 
 /// Every counter, in export order.
@@ -179,6 +189,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::Retry,
     Counter::Quarantine,
     Counter::Straggler,
+    Counter::PackedPanel,
+    Counter::GemmTile,
+    Counter::KernelFallback,
 ];
 
 impl Counter {
@@ -192,6 +205,9 @@ impl Counter {
             Counter::Retry => "retry",
             Counter::Quarantine => "quarantine",
             Counter::Straggler => "straggler",
+            Counter::PackedPanel => "packed_panel",
+            Counter::GemmTile => "gemm_tile",
+            Counter::KernelFallback => "kernel_fallback",
         }
     }
 
@@ -373,6 +389,9 @@ mod tests {
         assert!(!Counter::Straggler.is_deterministic());
         assert!(Counter::CacheHit.is_deterministic());
         assert!(Counter::Retry.is_deterministic());
+        assert!(Counter::PackedPanel.is_deterministic());
+        assert!(Counter::GemmTile.is_deterministic());
+        assert!(Counter::KernelFallback.is_deterministic());
     }
 
     #[test]
