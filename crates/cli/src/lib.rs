@@ -85,6 +85,10 @@ pub struct DetectArgs {
     pub seed: u64,
     /// Optional output CSV path for scores.
     pub output: Option<String>,
+    /// Brute-force distance backend (naive | blocked | gemm).
+    pub backend: DistanceBackend,
+    /// Kernel numeric precision (f64 | mixed).
+    pub precision: Precision,
 }
 
 impl Default for DetectArgs {
@@ -102,6 +106,8 @@ impl Default for DetectArgs {
             contamination: 0.1,
             seed: 42,
             output: None,
+            backend: KernelConfig::default().backend,
+            precision: Precision::default(),
         }
     }
 }
@@ -161,6 +167,13 @@ fn parse_pipeline_flags(
             "--contamination" => d.contamination = parse_num(&value("--contamination")?, flag)?,
             "--seed" => d.seed = parse_num(&value("--seed")?, flag)?,
             "--output" => d.output = Some(value("--output")?),
+            "--backend" => {
+                d.backend =
+                    DistanceBackend::parse(&value("--backend")?).map_err(|e| e.to_string())?
+            }
+            "--precision" => {
+                d.precision = Precision::parse(&value("--precision")?).map_err(|e| e.to_string())?
+            }
             "--no-rp" => d.rp = false,
             "--no-psa" => d.psa = false,
             "--no-bps" => d.bps = false,
@@ -205,6 +218,10 @@ DETECT / TRACE OPTIONS:
   --contamination <c>   expected outlier fraction             [0.1]
   --seed <s>            RNG seed                              [42]
   --output <path>       detect: score CSV; trace: trace file
+  --backend <b>         distance backend: naive|blocked|gemm  [blocked]
+  --precision <p>       distance kernels: f64|mixed           [f64]
+                        mixed = f32 packed storage with f64
+                        accumulation (documented error bound)
   --no-rp | --no-psa | --no-bps   disable a SUOD module
 
 TRACE OPTIONS:
@@ -310,6 +327,8 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
         .n_workers(args.workers.max(1))
         .contamination(args.contamination)
         .seed(args.seed)
+        .distance_backend(args.backend)
+        .precision(args.precision)
         .build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
 
@@ -337,6 +356,15 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
         out,
         "pool: {} models | rp={} psa={} bps={} workers={}",
         args.models, args.rp, args.psa, args.bps, args.workers
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "kernels: backend={} {}",
+        args.backend.name(),
+        clf.diagnostics()
+            .map(|d| d.cpu_features().to_string())
+            .unwrap_or_else(|| "unavailable".into()),
     )
     .expect("string write");
     writeln!(out, "fit time: {fit_secs:.3}s").expect("string write");
@@ -381,6 +409,8 @@ fn trace(args: &TraceArgs) -> Result<String, String> {
         .n_workers(args.detect.workers.max(1))
         .contamination(args.detect.contamination)
         .seed(args.detect.seed)
+        .distance_backend(args.detect.backend)
+        .precision(args.detect.precision)
         .observer(recorder.clone())
         .build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
@@ -469,7 +499,41 @@ mod tests {
         assert!(parse_args(&argv("detect --dataset a --bogus")).is_err());
         assert!(parse_args(&argv("detect --dataset a --models x")).is_err());
         assert!(parse_args(&argv("detect --dataset a --models")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --backend simd")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --precision f16")).is_err());
         assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_kernel_flags() {
+        let cmd = parse_args(&argv(
+            "detect --dataset cardio --backend gemm --precision mixed",
+        ))
+        .unwrap();
+        let Command::Detect(d) = cmd else {
+            panic!("expected detect")
+        };
+        assert_eq!(d.backend, DistanceBackend::Gemm);
+        assert_eq!(d.precision, Precision::Mixed);
+
+        // Defaults: the exact blocked/f64 pipeline.
+        let Command::Detect(d) = parse_args(&argv("detect --dataset cardio")).unwrap() else {
+            panic!("expected detect")
+        };
+        assert_eq!(d.backend, DistanceBackend::Blocked);
+        assert_eq!(d.precision, Precision::F64);
+    }
+
+    #[test]
+    fn detect_reports_cpu_features() {
+        let cmd = parse_args(&argv(
+            "detect --dataset pima --scale 0.2 --models 4 --seed 3 --backend gemm \
+             --precision mixed",
+        ))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("kernels: backend=gemm lane="), "{out}");
+        assert!(out.contains("precision=mixed"), "{out}");
     }
 
     #[test]

@@ -5,17 +5,65 @@
 //! `projected`, `decision_function_timed`). [`FitDiagnostics`] collapses
 //! them into one view derived from a single fit's event stream: the
 //! executor's [`ExecutionReport`], the pool's [`ModelHealth`], and one
-//! [`ModelDiagnostics`] row per configured model. [`PredictReport`] is
-//! the prediction-side counterpart returned by
+//! [`ModelDiagnostics`] row per configured model, plus the
+//! [`CpuFeatures`] record of which hardware kernel path produced the
+//! fit. [`PredictReport`] is the prediction-side counterpart returned by
 //! `Suod::decision_function_observed`.
 //!
-//! The old accessors survive as `#[deprecated]` thin delegates over this
-//! type, so existing code keeps compiling while the workspace itself
-//! builds with `-D deprecated`.
+//! (The old accessors briefly survived as `#[deprecated]` delegates;
+//! they are gone now — every caller reads this type directly.)
 
 use crate::health::{ModelHealth, ModelStatus};
 use std::time::Duration;
+use suod_linalg::{Precision, SimdLane};
 use suod_scheduler::ExecutionReport;
+
+/// The hardware kernel path a fit's distance kernels ran on — recorded
+/// so bench JSON and traces say what produced their numbers.
+///
+/// The lane is host-dependent (runtime CPU detection, overridable via
+/// `SUOD_SIMD_LANE` or [`suod_linalg::set_simd_lane_override`]); the
+/// precision is configuration. In [`Precision::F64`] the lane never
+/// changes any score bit, so this record is purely provenance; in
+/// [`Precision::Mixed`] scores carry the documented f32-storage error
+/// bound regardless of lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// Micro-kernel lane the kernels selected at fit time.
+    pub simd_lane: SimdLane,
+    /// Whether the host CPU supports the AVX2+FMA lane at all.
+    pub avx2_supported: bool,
+    /// Numeric precision the kernels were configured with.
+    pub precision: Precision,
+}
+
+impl CpuFeatures {
+    /// Captures the current host's lane selection alongside the
+    /// configured precision.
+    pub fn detect(precision: Precision) -> Self {
+        Self {
+            simd_lane: SimdLane::detect(),
+            avx2_supported: SimdLane::supported() == SimdLane::Avx2,
+            precision,
+        }
+    }
+}
+
+impl std::fmt::Display for CpuFeatures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lane={} (avx2 {}), precision={}",
+            self.simd_lane,
+            if self.avx2_supported {
+                "supported"
+            } else {
+                "unsupported"
+            },
+            self.precision,
+        )
+    }
+}
 
 /// Everything one `Suod::fit` learned about itself.
 ///
@@ -32,6 +80,7 @@ pub struct FitDiagnostics {
     execution: ExecutionReport,
     health: ModelHealth,
     models: Vec<ModelDiagnostics>,
+    cpu_features: CpuFeatures,
 }
 
 /// Diagnostics for one configured pool member, joined across the
@@ -65,12 +114,19 @@ impl FitDiagnostics {
         execution: ExecutionReport,
         health: ModelHealth,
         models: Vec<ModelDiagnostics>,
+        cpu_features: CpuFeatures,
     ) -> Self {
         Self {
             execution,
             health,
             models,
+            cpu_features,
         }
+    }
+
+    /// The hardware kernel path (SIMD lane, precision) the fit ran on.
+    pub fn cpu_features(&self) -> CpuFeatures {
+        self.cpu_features
     }
 
     /// Execution telemetry from the fit: per-task wall times, per-worker
@@ -145,6 +201,7 @@ impl std::fmt::Display for FitDiagnostics {
             self.execution.failures,
             self.execution.retries,
         )?;
+        writeln!(f, "kernels: {}", self.cpu_features)?;
         for m in &self.models {
             write!(
                 f,
@@ -242,7 +299,12 @@ mod tests {
                 approximated: false,
             },
         ];
-        FitDiagnostics::new(ExecutionReport::default(), health, models)
+        FitDiagnostics::new(
+            ExecutionReport::default(),
+            health,
+            models,
+            CpuFeatures::detect(Precision::F64),
+        )
     }
 
     #[test]
@@ -264,6 +326,8 @@ mod tests {
     fn display_summarizes_pool() {
         let text = sample().to_string();
         assert!(text.contains("3 models, 2 healthy"));
+        assert!(text.contains("kernels: lane="));
+        assert!(text.contains("precision=f64"));
         assert!(text.contains("quarantined"));
         assert!(text.contains("projected"));
         assert!(text.contains("straggler"));

@@ -72,7 +72,7 @@ pub mod suod;
 pub mod xgbod;
 
 pub use crate::suod::{Suod, SuodBuilder};
-pub use diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
+pub use diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
 pub use grid::{full_grid, random_pool};
 pub use health::{ModelHealth, ModelReport, ModelStatus};
 pub use lscp::{lscp_scores, LscpConfig, LscpVariant};
@@ -88,7 +88,7 @@ pub use suod_observe as observe;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
-    pub use crate::diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
+    pub use crate::diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
     pub use crate::health::{ModelHealth, ModelReport, ModelStatus};
     pub use crate::pseudo::ApproxSpec;
     pub use crate::spec::ModelSpec;
@@ -97,7 +97,7 @@ pub mod prelude {
     pub use suod_detectors::{Kernel, KnnMethod};
     pub use suod_linalg::DistanceMetric as Metric;
     pub use suod_linalg::Matrix;
-    pub use suod_linalg::{DistanceBackend, KernelConfig};
+    pub use suod_linalg::{DistanceBackend, KernelConfig, Precision, SimdLane};
     pub use suod_observe::{NoopObserver, Observer, RecordingObserver};
     pub use suod_projection::JlVariant;
 }

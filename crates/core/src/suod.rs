@@ -17,7 +17,7 @@
 //! `n x m` score matrix; `combined_scores`/`predict` collapse it with the
 //! average combiner and the contamination threshold learned at fit time.
 
-use crate::diagnostics::{FitDiagnostics, ModelDiagnostics, PredictReport};
+use crate::diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
 use crate::health::{ModelHealth, ModelReport, ModelStatus};
 use crate::pseudo::{fit_approximator, ApproxSpec};
 use crate::spec::ModelSpec;
@@ -28,12 +28,13 @@ use std::time::{Duration, Instant};
 use suod_detectors::{validate_finite, Detector, FitContext};
 use suod_linalg::{
     DataFingerprint, DistanceBackend, DistanceMetric, KernelConfig, Matrix, NeighborCache,
+    Precision,
 };
 use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
-    DatasetMeta, ExecutionReport, SimulationResult, TaskFailure, WorkStealingExecutor,
+    DatasetMeta, SimulationResult, TaskFailure, WorkStealingExecutor,
 };
 use suod_supervised::Regressor;
 
@@ -241,8 +242,22 @@ impl SuodBuilder {
         self
     }
 
-    /// Replaces the whole kernel configuration at once (backend plus
-    /// KD-tree crossover thresholds).
+    /// Selects the numeric precision of the packed distance kernels
+    /// (default [`Precision::F64`], the exact mode). With
+    /// [`Precision::Mixed`] the [`DistanceBackend::Gemm`] Euclidean
+    /// paths store packed panels in f32 and accumulate in f64: roughly
+    /// half the kernel memory traffic, distances within
+    /// [`suod_linalg::mixed_distance_error_bound`] of the exact values,
+    /// and still deterministic across worker counts. Ignored by the
+    /// bit-identical backends (`Naive`/`Blocked`) and by non-Euclidean
+    /// metrics.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.kernel.precision = precision;
+        self
+    }
+
+    /// Replaces the whole kernel configuration at once (backend,
+    /// precision, and KD-tree crossover thresholds).
     pub fn kernel_config(mut self, kernel: KernelConfig) -> Self {
         self.kernel = kernel;
         self
@@ -761,7 +776,12 @@ impl Suod {
         let n_healthy = health.healthy();
         let required =
             (((self.config.min_healthy_fraction * m as f64) - 1e-9).ceil() as usize).max(1);
-        self.diagnostics = Some(FitDiagnostics::new(report, health, models_diag));
+        self.diagnostics = Some(FitDiagnostics::new(
+            report,
+            health,
+            models_diag,
+            CpuFeatures::detect(self.config.kernel.precision),
+        ));
         if n_healthy < required {
             let cause = causes
                 .iter()
@@ -884,18 +904,6 @@ impl Suod {
     /// the execution stage.
     pub fn diagnostics(&self) -> Option<&FitDiagnostics> {
         self.diagnostics.as_ref()
-    }
-
-    /// Execution telemetry from the most recent [`fit`](Self::fit).
-    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::execution`")]
-    pub fn fit_report(&self) -> Option<&ExecutionReport> {
-        self.diagnostics.as_ref().map(FitDiagnostics::execution)
-    }
-
-    /// Per-model health from the most recent [`fit`](Self::fit).
-    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::health`")]
-    pub fn model_health(&self) -> Option<&ModelHealth> {
-        self.diagnostics.as_ref().map(FitDiagnostics::health)
     }
 
     /// BPS applies to "both training and prediction stage" (paper §3.5).
@@ -1082,17 +1090,6 @@ impl Suod {
         Ok((scores_to_matrix(columns, x.nrows())?, report))
     }
 
-    /// Sequential scoring with per-model timings, without observation.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`decision_function`](Self::decision_function).
-    #[deprecated(note = "use `decision_function_observed`")]
-    pub fn decision_function_timed(&self, x: &Matrix) -> Result<(Matrix, Vec<Duration>)> {
-        let (scores, report) = self.decision_function_observed(x, &suod_observe::noop())?;
-        Ok((scores, report.model_times))
-    }
-
     /// Ensemble score per sample: the average of the base-model columns
     /// after z-scoring each against its **training** score distribution
     /// (the paper's `Avg_` combiner; training-statistics standardization
@@ -1217,48 +1214,6 @@ impl Suod {
                 .collect(),
             state.models[0].train_scores.len(),
         )
-    }
-
-    /// Diagnostics of the fitted estimator, gated behind the old
-    /// accessors' `NotFitted` semantics (a degraded fit keeps diagnostics
-    /// but discards the fitted state).
-    fn fitted_diagnostics(&self) -> Result<&FitDiagnostics> {
-        self.state()?;
-        Ok(self
-            .diagnostics
-            .as_ref()
-            .expect("a fitted estimator always has diagnostics"))
-    }
-
-    /// Measured per-model fit durations — the true cost vector used by the
-    /// scheduling benchmarks.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::NotFitted`] before `fit`.
-    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::fit_times`")]
-    pub fn fit_times(&self) -> Result<Vec<Duration>> {
-        Ok(self.fitted_diagnostics()?.fit_times())
-    }
-
-    /// Which models ended up with a PSA approximator.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::NotFitted`] before `fit`.
-    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::approximated`")]
-    pub fn approximated(&self) -> Result<Vec<bool>> {
-        Ok(self.fitted_diagnostics()?.approximated())
-    }
-
-    /// Which models were fitted in a projected subspace.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::NotFitted`] before `fit`.
-    #[deprecated(note = "use `diagnostics()` and `FitDiagnostics::projected`")]
-    pub fn projected(&self) -> Result<Vec<bool>> {
-        Ok(self.fitted_diagnostics()?.projected())
     }
 
     /// Aggregated per-feature importances from the PSA approximators — the
@@ -1937,28 +1892,6 @@ mod tests {
             .straggler_factor(f64::NAN)
             .build()
             .is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_delegate_to_diagnostics() {
-        let clf = fitted(Suod::builder());
-        let diag = clf.diagnostics().unwrap();
-        assert_eq!(clf.fit_times().unwrap(), diag.fit_times());
-        assert_eq!(clf.projected().unwrap(), diag.projected());
-        assert_eq!(clf.approximated().unwrap(), diag.approximated());
-        assert_eq!(
-            clf.fit_report().unwrap().task_times.len(),
-            diag.execution().task_times.len()
-        );
-        assert_eq!(
-            clf.model_health().unwrap().healthy(),
-            diag.health().healthy()
-        );
-        let x = data();
-        let (scores, times) = clf.decision_function_timed(&x).unwrap();
-        assert_eq!(scores.shape(), (62, 4));
-        assert_eq!(times.len(), 4);
     }
 
     #[test]

@@ -20,10 +20,20 @@
 //!   [`crate::gemm`] via the norm trick `d² = ‖x‖² + ‖y‖² − 2·x·y`
 //!   (clamped at zero); fastest, numerically equal within ~1e-9 on squared
 //!   distances but *not* bitwise equal to `naive`. Non-Euclidean metrics
-//!   fall back to `blocked` and record a fallback hit.
+//!   fall back to `blocked` and record a fallback hit. The micro-kernel
+//!   lane (scalar or AVX2) is picked per invocation by
+//!   [`SimdLane::detect`](crate::gemm::SimdLane::detect) — invisible in
+//!   the output, visible in the counters. With
+//!   [`Precision::Mixed`](crate::gemm::Precision) the gemm paths store
+//!   panels in f32 and accumulate in f64: distances are then taken
+//!   between the f32-rounded rows, within
+//!   [`mixed_distance_error_bound`](crate::gemm::mixed_distance_error_bound)
+//!   of the exact values, and still deterministic across thread counts
+//!   and lanes.
 
 use crate::gemm::{
-    dist_from_gram, DistanceBackend, KernelConfig, KernelCounters, KernelStats, PackedPanels, NR,
+    dist_from_gram, DistanceBackend, KernelConfig, KernelCounters, KernelStats, PackedPanels,
+    PackedPanelsF32, Precision, SimdLane, NR,
 };
 use crate::{Error, Matrix, Result};
 use std::sync::Arc;
@@ -162,7 +172,7 @@ pub fn pairwise_distances_backend(
         DistanceBackend::Blocked => Ok(blocked_pairwise(a, b, metric, n_threads)),
         DistanceBackend::Gemm => {
             if metric == DistanceMetric::Euclidean {
-                gemm_pairwise(a, b, n_threads, stats)
+                gemm_pairwise(a, b, Precision::F64, n_threads, stats)
             } else {
                 if let Some(s) = stats {
                     s.record_fallback();
@@ -171,6 +181,41 @@ pub fn pairwise_distances_backend(
             }
         }
     }
+}
+
+/// Pairwise distances honouring a full [`KernelConfig`]: the backend
+/// *and* the precision. [`Precision::Mixed`] only changes the
+/// [`DistanceBackend::Gemm`] Euclidean path (f32 packed storage, f64
+/// accumulation, within [`crate::gemm::mixed_distance_error_bound`] of
+/// the exact distances); every other combination is exact and identical
+/// to [`pairwise_distances_backend`]. All paths remain bit-identical
+/// across `n_threads`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when column counts differ.
+pub fn pairwise_distances_with(
+    a: &Matrix,
+    b: &Matrix,
+    metric: DistanceMetric,
+    config: KernelConfig,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Result<Matrix> {
+    if config.backend == DistanceBackend::Gemm
+        && config.precision == Precision::Mixed
+        && metric == DistanceMetric::Euclidean
+    {
+        if a.ncols() != b.ncols() {
+            return Err(Error::ShapeMismatch {
+                op: "pairwise_distances",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        return gemm_pairwise(a, b, Precision::Mixed, n_threads, stats);
+    }
+    pairwise_distances_backend(a, b, metric, config.backend, n_threads, stats)
 }
 
 fn naive_pairwise(a: &Matrix, b: &Matrix, metric: DistanceMetric, n_threads: usize) -> Matrix {
@@ -217,6 +262,7 @@ fn blocked_pairwise(a: &Matrix, b: &Matrix, metric: DistanceMetric, n_threads: u
 fn gemm_pairwise(
     a: &Matrix,
     b: &Matrix,
+    precision: Precision,
     n_threads: usize,
     stats: Option<&KernelStats>,
 ) -> Result<Matrix> {
@@ -227,21 +273,45 @@ fn gemm_pairwise(
             rhs: b.shape(),
         });
     }
+    let lane = SimdLane::detect();
     if let Some(s) = stats {
-        s.record_gemm(a.nrows(), b.nrows());
+        s.record_gemm(a.nrows(), b.nrows(), lane, precision);
     }
-    let na = crate::gemm::row_sq_norms(a);
-    let nb = crate::gemm::row_sq_norms(b);
-    let packed = PackedPanels::from_rows(b);
     let mut out = Matrix::zeros(a.nrows(), b.nrows());
     let cols = b.nrows();
     // The norm-trick epilogue is fused into the GEMM tile write-back:
     // distances stream out in a single pass instead of materialising the
     // Gram matrix and re-walking it (which triples memory traffic on
-    // large inputs).
-    crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
-        crate::gemm::gram_rows_dist_into(a, rows, &packed, &na, &nb, block);
-    });
+    // large inputs). In mixed mode the norms are taken over the
+    // f32-rounded rows so every term refers to the same rounded data.
+    match precision {
+        Precision::F64 => {
+            let na = crate::gemm::row_sq_norms(a);
+            let nb = crate::gemm::row_sq_norms(b);
+            let packed = PackedPanels::from_rows(b);
+            crate::parallel::par_row_blocks(
+                out.as_mut_slice(),
+                cols.max(1),
+                n_threads,
+                |rows, block| {
+                    crate::gemm::gram_rows_dist_into(a, rows, &packed, lane, &na, &nb, block);
+                },
+            );
+        }
+        Precision::Mixed => {
+            let na = crate::gemm::row_sq_norms_mixed(a);
+            let nb = crate::gemm::row_sq_norms_mixed(b);
+            let packed = PackedPanelsF32::from_rows(b);
+            crate::parallel::par_row_blocks(
+                out.as_mut_slice(),
+                cols.max(1),
+                n_threads,
+                |rows, block| {
+                    crate::gemm::gram_rows_dist_into_mixed(a, rows, &packed, lane, &na, &nb, block);
+                },
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -283,9 +353,33 @@ pub fn pairwise_distances_symmetric_backend(
     n_threads: usize,
     stats: Option<&KernelStats>,
 ) -> Matrix {
+    pairwise_distances_symmetric_with(
+        a,
+        metric,
+        KernelConfig::with_backend(backend),
+        n_threads,
+        stats,
+    )
+}
+
+/// Symmetric pairwise distances honouring a full [`KernelConfig`]
+/// (backend and precision) — the symmetric counterpart of
+/// [`pairwise_distances_with`]. Mixed precision affects only the gemm
+/// Euclidean path; the norm trick stays exactly symmetric there and the
+/// diagonal is exactly zero (norms and Gram diagonal are both taken over
+/// the f32-rounded rows, so the terms cancel bitwise).
+pub fn pairwise_distances_symmetric_with(
+    a: &Matrix,
+    metric: DistanceMetric,
+    config: KernelConfig,
+    n_threads: usize,
+    stats: Option<&KernelStats>,
+) -> Matrix {
+    let backend = config.backend;
     if backend == DistanceBackend::Gemm {
         if metric == DistanceMetric::Euclidean {
-            return gemm_pairwise(a, a, n_threads, stats).expect("same matrix: shapes agree");
+            return gemm_pairwise(a, a, config.precision, n_threads, stats)
+                .expect("same matrix: shapes agree");
         }
         if let Some(s) = stats {
             s.record_fallback();
@@ -442,8 +536,14 @@ impl KnnIndex {
             // this index will take the blocked path instead.
             stats.record_fallback();
         }
-        let train_sq_norms = (gemm_brute && metric == DistanceMetric::Euclidean)
-            .then(|| crate::gemm::row_sq_norms(train));
+        // In mixed mode the cached norms are taken over the f32-rounded
+        // rows — the invariant that keeps every norm-trick term (norms,
+        // Gram tiles, single-query dots) referring to the same data.
+        let train_sq_norms =
+            (gemm_brute && metric == DistanceMetric::Euclidean).then(|| match config.precision {
+                Precision::F64 => crate::gemm::row_sq_norms(train),
+                Precision::Mixed => crate::gemm::row_sq_norms_mixed(train),
+            });
         Ok(Self {
             train: train.clone(),
             metric,
@@ -509,17 +609,27 @@ impl KnnIndex {
         // Single-query gemm path: same `dist_from_gram` combination, and
         // the scalar `dot` carries the same bits as the packed micro-kernel
         // (one accumulator, ascending k) — so per-row queries agree
-        // bitwise with the batched gemm tiles.
+        // bitwise with the batched gemm tiles. The mixed variant swaps in
+        // the f32-rounding dot/norm, which the mixed micro-kernel matches
+        // bitwise on either lane.
         if let Some(norms) = &self.train_sq_norms {
-            let nq = crate::matrix::norm_sq(query);
+            let mixed = self.config.precision == Precision::Mixed;
+            let nq = if mixed {
+                crate::gemm::norm_sq_mixed(query)
+            } else {
+                crate::matrix::norm_sq(query)
+            };
             let all: Vec<Neighbor> = (0..self.train.nrows())
-                .map(|i| Neighbor {
-                    index: i,
-                    distance: dist_from_gram(
-                        nq,
-                        norms[i],
-                        crate::matrix::dot(query, self.train.row(i)),
-                    ),
+                .map(|i| {
+                    let g = if mixed {
+                        crate::gemm::dot_mixed(query, self.train.row(i))
+                    } else {
+                        crate::matrix::dot(query, self.train.row(i))
+                    };
+                    Neighbor {
+                        index: i,
+                        distance: dist_from_gram(nq, norms[i], g),
+                    }
                 })
                 .collect();
             return select_smallest(all, k);
@@ -679,10 +789,13 @@ impl KnnIndex {
             k.min(n)
         };
         let gemm = self.train_sq_norms.as_deref();
+        let precision = self.config.precision;
+        let lane = SimdLane::detect();
         if gemm.is_some() {
             // Logical work of one queries x train gemm; derived from
-            // shapes so the counters match at every thread count.
-            self.stats.record_gemm(queries.nrows(), n);
+            // shapes so the counters match at every thread count (the
+            // lane tag is host-dependent, the rest is not).
+            self.stats.record_gemm(queries.nrows(), n, lane, precision);
         }
         let train = &self.train;
         let metric = self.metric;
@@ -693,16 +806,31 @@ impl KnnIndex {
                 let t1 = (t0 + KNN_T_TILE).min(n);
                 // Pack the train tile once per thread; the packing cost is
                 // O(n d) per sweep, noise next to the O(nq n d) contraction.
-                let packed = gemm
-                    .is_some()
-                    .then(|| PackedPanels::from_row_range(train, t0..t1, NR));
+                let packed = gemm.is_some().then(|| match precision {
+                    Precision::F64 => {
+                        TrainTile::F64(PackedPanels::from_row_range(train, t0..t1, NR))
+                    }
+                    Precision::Mixed => {
+                        TrainTile::F32(PackedPanelsF32::from_row_range(train, t0..t1, NR))
+                    }
+                });
                 for q0 in (range.start..range.end).step_by(KNN_Q_TILE) {
                     let q1 = (q0 + KNN_Q_TILE).min(range.end);
                     if let (Some(norms), Some(packed)) = (gemm, &packed) {
                         let tile = &mut scratch[..(q1 - q0) * (t1 - t0)];
-                        crate::gemm::gram_rows_into(queries, q0..q1, packed, tile);
+                        match packed {
+                            TrainTile::F64(p) => {
+                                crate::gemm::gram_rows_into(queries, q0..q1, p, lane, tile)
+                            }
+                            TrainTile::F32(p) => {
+                                crate::gemm::gram_rows_into_mixed(queries, q0..q1, p, lane, tile)
+                            }
+                        }
                         for qi in q0..q1 {
-                            let nq = crate::matrix::norm_sq(queries.row(qi));
+                            let nq = match precision {
+                                Precision::F64 => crate::matrix::norm_sq(queries.row(qi)),
+                                Precision::Mixed => crate::gemm::norm_sq_mixed(queries.row(qi)),
+                            };
                             let row = &tile[(qi - q0) * (t1 - t0)..(qi - q0 + 1) * (t1 - t0)];
                             let heap = &mut heaps[qi - range.start];
                             for (j, &g) in row.iter().enumerate() {
@@ -740,6 +868,13 @@ impl KnnIndex {
                 .collect()
         })
     }
+}
+
+/// A packed train tile of the batched kNN fast path, in whichever
+/// storage precision the index is configured for.
+enum TrainTile {
+    F64(PackedPanels),
+    F32(PackedPanelsF32),
 }
 
 /// Memory cap for the symmetric-matrix fast path of
@@ -1242,6 +1377,164 @@ mod tests {
         assert!(!off.uses_kdtree());
         // Both backends return the same neighbours.
         assert_eq!(on.self_query_batch(4, 1), off.self_query_batch(4, 1));
+    }
+
+    /// Mixed-precision gemm config with the KD-tree disabled so every
+    /// sweep runs the brute norm-trick path.
+    fn mixed_cfg() -> KernelConfig {
+        KernelConfig {
+            kdtree_crossover_dim: 0,
+            precision: Precision::Mixed,
+            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+        }
+    }
+
+    #[test]
+    fn mixed_pairwise_within_bound_and_thread_deterministic() {
+        let a = random_matrix(43, 9, 81);
+        let b = random_matrix(27, 9, 82);
+        let exact = pairwise_distances_backend(
+            &a,
+            &b,
+            DistanceMetric::Euclidean,
+            DistanceBackend::Naive,
+            1,
+            None,
+        )
+        .unwrap();
+        let base = pairwise_distances_with(&a, &b, DistanceMetric::Euclidean, mixed_cfg(), 1, None)
+            .unwrap();
+        for i in 0..a.nrows() {
+            let na = crate::matrix::norm_sq(a.row(i)).sqrt();
+            for j in 0..b.nrows() {
+                let nb = crate::matrix::norm_sq(b.row(j)).sqrt();
+                let bound = crate::gemm::mixed_distance_error_bound(na, nb);
+                let (got, want) = (base.get(i, j), exact.get(i, j));
+                assert!(
+                    (got - want).abs() <= bound,
+                    "mixed {got} vs exact {want} beyond bound {bound} at ({i},{j})"
+                );
+            }
+        }
+        for threads in [2usize, 5] {
+            let par = pairwise_distances_with(
+                &a,
+                &b,
+                DistanceMetric::Euclidean,
+                mixed_cfg(),
+                threads,
+                None,
+            )
+            .unwrap();
+            assert_eq!(par.as_slice(), base.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mixed_non_euclidean_ignores_precision() {
+        let a = random_matrix(14, 5, 83);
+        let mixed =
+            pairwise_distances_with(&a, &a, DistanceMetric::Manhattan, mixed_cfg(), 1, None)
+                .unwrap();
+        let naive = pairwise_distances_backend(
+            &a,
+            &a,
+            DistanceMetric::Manhattan,
+            DistanceBackend::Naive,
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(mixed.as_slice(), naive.as_slice());
+    }
+
+    #[test]
+    fn mixed_symmetric_has_exact_zero_diagonal() {
+        let a = random_matrix(21, 6, 84);
+        let d =
+            pairwise_distances_symmetric_with(&a, DistanceMetric::Euclidean, mixed_cfg(), 1, None);
+        for i in 0..a.nrows() {
+            assert_eq!(d.get(i, i), 0.0, "diagonal at {i}");
+            for j in 0..a.nrows() {
+                assert_eq!(d.get(i, j).to_bits(), d.get(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_batch_fast_path_matches_per_row_queries() {
+        // The batched mixed tiles and the single-query mixed dot must
+        // agree bitwise — the same consistency contract the f64 gemm
+        // path has, across the KNN tile boundaries.
+        let train = random_matrix(KNN_T_TILE + 41, 6, 85);
+        let queries = random_matrix(KNN_Q_TILE + 9, 6, 86);
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, mixed_cfg()).unwrap();
+        assert!(!idx.uses_kdtree());
+        let batch = idx.query_batch(&queries, 7).unwrap();
+        for (i, nn) in batch.iter().enumerate() {
+            assert_eq!(nn, &idx.query(queries.row(i), 7), "row {i}");
+        }
+        for threads in [2usize, 4] {
+            let par = idx.query_batch_parallel(&queries, 7, threads).unwrap();
+            assert_eq!(par, batch, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mixed_self_query_batch_matches_query_excluding() {
+        let train = random_matrix(90, 8, 87);
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, mixed_cfg()).unwrap();
+        let expected: Vec<Vec<Neighbor>> = (0..train.nrows())
+            .map(|i| idx.query_excluding(train.row(i), 5, i))
+            .collect();
+        for threads in [1usize, 3] {
+            assert_eq!(
+                idx.self_query_batch(5, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_neighbor_sets_mostly_match_f64() {
+        // The quality contract: f32 storage may flip near-ties, but the
+        // overwhelming majority of neighbour sets must survive.
+        let train = random_matrix(400, 12, 88);
+        let f64_idx = KnnIndex::build_with(
+            &train,
+            DistanceMetric::Euclidean,
+            KernelConfig {
+                kdtree_crossover_dim: 0,
+                ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            },
+        )
+        .unwrap();
+        let mixed_idx =
+            KnnIndex::build_with(&train, DistanceMetric::Euclidean, mixed_cfg()).unwrap();
+        let k = 10;
+        let exact = f64_idx.self_query_batch(k, 1);
+        let approx = mixed_idx.self_query_batch(k, 1);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (e, a) in exact.iter().zip(&approx) {
+            let es: std::collections::HashSet<usize> = e.iter().map(|n| n.index).collect();
+            agree += a.iter().filter(|n| es.contains(&n.index)).count();
+            total += e.len();
+        }
+        let frac = agree as f64 / total as f64;
+        assert!(frac >= 0.99, "neighbour agreement too low: {frac}");
+    }
+
+    #[test]
+    fn mixed_counters_tag_invocations() {
+        let train = random_matrix(60, 6, 89);
+        let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, mixed_cfg()).unwrap();
+        idx.self_query_batch(3, 1);
+        let c = idx.kernel_counters();
+        assert!(c.gemm_tiles > 0);
+        assert_eq!(c.mixed_invocations, 1);
+        assert_eq!(c.simd_invocations + c.scalar_invocations, 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the compute core behind the [`distance`](crate::distance) backends:
 //!
 //! * [`matmul_packed`] / [`gram`] — a cache-aware matrix product built
-//!   from an `MR x NR` (4x4) register-blocked inner kernel over
+//!   from an `MR x NR` (4x8) register-blocked inner kernel over
 //!   contiguous **packed panels**: `MR`-row interleaved panels of `A` and
 //!   `NR`-wide interleaved panels of `B` (columns for `matmul_packed`,
 //!   rows for [`gram`], which computes `A · Bᵀ`).
@@ -17,8 +17,17 @@
 //! * [`KernelConfig`] — backend plus the KD-tree-vs-brute-force
 //!   crossover tuning consumed by
 //!   [`KnnIndex::build_with`](crate::distance::KnnIndex::build_with).
-//! * [`KernelStats`] — packed-panel / GEMM-tile / fallback counters the
-//!   observability layer exports so traces attribute time to the kernels.
+//! * [`SimdLane`] — which micro-kernel implementation runs: the explicit
+//!   AVX2 lane (runtime feature detection) or the always-available scalar
+//!   lane. Selected once per kernel invocation and recorded in
+//!   [`KernelStats`] so traces show which hardware path produced a run.
+//! * [`Precision`] — opt-in mixed-precision mode for the distance paths:
+//!   f32 packed storage with f64 accumulation, halving panel memory
+//!   traffic in exchange for a documented error bound
+//!   ([`mixed_distance_error_bound`]).
+//! * [`KernelStats`] — packed-panel / GEMM-tile / fallback / lane
+//!   counters the observability layer exports so traces attribute time
+//!   to the kernels.
 //!
 //! # Determinism
 //!
@@ -29,25 +38,46 @@
 //! never the reduction order of any one element, so results are
 //! **bit-identical across thread counts and tile boundaries** — the
 //! invariant the determinism system tests pin down.
+//!
+//! The SIMD lanes preserve the same contract *across lanes*:
+//!
+//! * In f64 mode the AVX2 lane uses separate multiply and add
+//!   instructions (never FMA — fusing would skip the intermediate
+//!   rounding the scalar lane performs) with the identical ascending-`k`
+//!   order per element, so the SIMD and scalar lanes are **bitwise
+//!   identical** and lane selection is invisible in the output.
+//! * In mixed mode both lanes widen each f32 operand to f64 before
+//!   multiplying. The widening is exact and the product of two
+//!   f32-representable values fits in an f64 mantissa (24 + 24 ≤ 53
+//!   bits), so the multiply is exact and a fused multiply-add rounds
+//!   exactly like multiply-then-add: the AVX2 mixed lane may use FMA and
+//!   still match the scalar mixed lane **bitwise**.
 
 use crate::{Error, Matrix, Result};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Micro-kernel height: rows of `A` per packed panel.
 pub const MR: usize = 4;
 /// Micro-kernel width: columns of the output per packed `B` panel.
-pub const NR: usize = 4;
+///
+/// 8 rather than 4 so the AVX2 lane carries `MR * NR / 4 = 8`
+/// independent 4-wide accumulator chains — enough to cover the
+/// `vaddpd` latency x throughput product (4 cycles x 2 ports) and keep
+/// both FP ports busy. Tile shape never changes any output bit: each
+/// output element is still its own strictly-ascending-`k` reduction.
+pub const NR: usize = 8;
 
 /// `A` panels per cache block (`64 * MR = 256` output rows): bounds the
 /// output window a `B` block sweeps before moving on, keeping writes
 /// inside a few hundred pages instead of striding the whole matrix.
 const GRAM_A_BLOCK_PANELS: usize = 64;
-/// `B` panels per cache block (`256 * NR = 1024` packed rows, i.e.
+/// `B` panels per cache block (`128 * NR = 1024` packed rows, i.e.
 /// `1024 * d * 8` bytes): stays L2-resident while an `A` block streams
 /// through it, so large-`n` products read each `B` panel from cache
 /// `GRAM_A_BLOCK_PANELS` times instead of from memory every time.
-const GRAM_B_BLOCK_PANELS: usize = 256;
+const GRAM_B_BLOCK_PANELS: usize = 128;
 
 /// Default KD-tree-vs-brute-force crossover dimensionality.
 ///
@@ -129,12 +159,211 @@ impl std::fmt::Display for DistanceBackend {
     }
 }
 
+/// Which micro-kernel implementation executes a GEMM invocation.
+///
+/// The lane is selected **once per kernel invocation** (a [`gram`],
+/// [`matmul_packed`], pairwise-distance, or batched-kNN call), never per
+/// tile, via [`SimdLane::detect`]: a programmatic override
+/// ([`set_simd_lane_override`], used by benches and CI) wins, then the
+/// `SUOD_SIMD_LANE` environment variable (`scalar` | `avx2`), then
+/// runtime CPU feature detection. Requesting `avx2` on a host without
+/// AVX2+FMA silently degrades to `Scalar` — the scalar lane is the
+/// always-available fallback, and in f64 mode the two lanes are bitwise
+/// identical anyway (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLane {
+    /// Portable scalar micro-kernel (the pre-SIMD reference). Always
+    /// available; what the compiler auto-vectorizes it to depends on the
+    /// build target, but its arithmetic order is fixed.
+    Scalar,
+    /// Explicit AVX2 micro-kernel (`std::arch` intrinsics, 4 × f64 per
+    /// vector). Requires AVX2 and FMA at runtime; FMA is only *used* by
+    /// the mixed-precision kernel, where it is exact (see the
+    /// [module docs](self)).
+    Avx2,
+}
+
+/// Programmatic lane override: 0 = none, 1 = scalar, 2 = avx2.
+static SIMD_LANE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces every subsequent [`SimdLane::detect`] to the given lane
+/// (`None` clears the override and returns to env/CPU detection).
+///
+/// Intended for benchmarks and CI lane-matrix jobs; an `Avx2` request on
+/// a host without AVX2+FMA still degrades to `Scalar` at detection time,
+/// so forcing can never make a kernel execute unsupported instructions.
+pub fn set_simd_lane_override(lane: Option<SimdLane>) {
+    let code = match lane {
+        None => 0,
+        Some(SimdLane::Scalar) => 1,
+        Some(SimdLane::Avx2) => 2,
+    };
+    SIMD_LANE_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// `SUOD_SIMD_LANE` parsed once (unknown values are ignored).
+fn env_lane() -> Option<SimdLane> {
+    static ENV: OnceLock<Option<SimdLane>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("SUOD_SIMD_LANE")
+            .ok()
+            .and_then(|v| SimdLane::parse(&v).ok())
+    })
+}
+
+impl SimdLane {
+    /// Stable config/CLI name (`scalar` | `avx2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLane::Scalar => "scalar",
+            SimdLane::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a stable name back into a lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "scalar" => Ok(SimdLane::Scalar),
+            "avx2" => Ok(SimdLane::Avx2),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown SIMD lane `{other}` (expected scalar|avx2)"
+            ))),
+        }
+    }
+
+    /// Best lane the current CPU supports (ignores overrides).
+    pub fn supported() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                return SimdLane::Avx2;
+            }
+        }
+        SimdLane::Scalar
+    }
+
+    /// The lane kernels will run on right now: programmatic override,
+    /// then `SUOD_SIMD_LANE`, then [`SimdLane::supported`] — with any
+    /// unsupported request degraded to `Scalar`.
+    pub fn detect() -> Self {
+        let requested = match SIMD_LANE_OVERRIDE.load(Ordering::Relaxed) {
+            1 => Some(SimdLane::Scalar),
+            2 => Some(SimdLane::Avx2),
+            _ => env_lane(),
+        };
+        match requested {
+            Some(SimdLane::Scalar) => SimdLane::Scalar,
+            Some(SimdLane::Avx2) => Self::supported(),
+            None => Self::supported(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Numeric precision of the packed distance kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// f64 packed storage, f64 accumulation — the exact mode. Scores are
+    /// bit-identical to the pre-SIMD kernels at any thread count and on
+    /// either lane. The default.
+    #[default]
+    F64,
+    /// f32 packed storage, f64 accumulation. Panels shrink 2x (more of
+    /// the training matrix stays cache-resident) and the AVX2 lane can
+    /// use FMA exactly. Distances are computed between the f32-rounded
+    /// rows, so they differ from the f64 reference by at most
+    /// [`mixed_distance_error_bound`]; opt in when that bound is
+    /// acceptable (standardized data, detection-quality workloads).
+    Mixed,
+}
+
+impl Precision {
+    /// Stable config/CLI name (`f64` | `mixed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a stable name back into a precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "f64" => Ok(Precision::F64),
+            "mixed" => Ok(Precision::Mixed),
+            other => Err(Error::InvalidParameter(format!(
+                "unknown precision `{other}` (expected f64|mixed)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unit roundoff of IEEE-754 binary32: `2^-24`. Rounding a normal-range
+/// f64 value `v` to f32 perturbs it by at most `F32_UNIT_ROUNDOFF * |v|`.
+pub const F32_UNIT_ROUNDOFF: f64 = 5.960_464_477_539_063e-8;
+
+/// Guaranteed error bound of a [`Precision::Mixed`] Euclidean distance
+/// against the exact f64 distance, given the L2 norms of the two rows.
+///
+/// # Derivation
+///
+/// The mixed kernel computes the distance **between the f32-rounded
+/// rows** `fl(x)`, `fl(y)` (norms, Gram entries, and single-query dot
+/// products are all taken over the rounded values — see
+/// [`dot_mixed`](self)), with all accumulation in f64. Rounding each
+/// coordinate perturbs it by at most `u·|x_k|` (`u = 2^-24`) in the
+/// normal f32 range, so `‖fl(x) − x‖ ≤ u·‖x‖`, and the triangle
+/// inequality gives
+///
+/// ```text
+/// |d(fl(x), fl(y)) − d(x, y)| ≤ u·(‖x‖ + ‖y‖)
+/// ```
+///
+/// The remaining f64 accumulation error is `O(d · 2^-53 · ‖x‖·‖y‖)` —
+/// orders of magnitude below the f32 term for any realistic `d` — and
+/// the norm-trick cancellation near `d ≈ 0` only *shrinks* the computed
+/// value toward the clamp at zero. A 4x safety factor absorbs both, and
+/// an absolute floor of `1e-40` covers coordinates in the f32 subnormal
+/// range (where rounding error is bounded by `2^-149` absolutely, not
+/// relatively) and f64 values below `~1.4e-45` that flush to zero in
+/// f32.
+///
+/// **Out of contract:** coordinates with magnitude above `f32::MAX`
+/// (~3.4e38) overflow to infinity in mixed mode. Standardize or scale
+/// such data, or stay on [`Precision::F64`].
+pub fn mixed_distance_error_bound(norm_a: f64, norm_b: f64) -> f64 {
+    4.0 * F32_UNIT_ROUNDOFF * (norm_a + norm_b) + 1e-40
+}
+
 /// Kernel tuning threaded from the estimator config down to every
 /// [`KnnIndex`](crate::distance::KnnIndex) and pairwise-distance call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelConfig {
     /// Distance/GEMM backend for brute-force paths.
     pub backend: DistanceBackend,
+    /// Numeric precision of the packed distance kernels (f64 exact or
+    /// f32-storage mixed). Only the [`DistanceBackend::Gemm`] distance
+    /// paths honour `Mixed`; the bit-identical backends always run f64.
+    pub precision: Precision,
     /// Maximum dimensionality at which the KD-tree backend engages
     /// (replaces the old hardcoded `d <= 15`); see
     /// [`DEFAULT_KDTREE_CROSSOVER_DIM`] for how the default was derived.
@@ -147,6 +376,7 @@ impl Default for KernelConfig {
     fn default() -> Self {
         Self {
             backend: DistanceBackend::default(),
+            precision: Precision::default(),
             kdtree_crossover_dim: DEFAULT_KDTREE_CROSSOVER_DIM,
             kdtree_min_rows: DEFAULT_KDTREE_MIN_ROWS,
         }
@@ -171,16 +401,24 @@ impl KernelConfig {
 
 /// Monotonic kernel-work counters (thread-safe, shared by reference).
 ///
-/// The counts are **deterministic**: they are derived from matrix shapes
-/// and the fixed panel/tile geometry, so a given sequence of kernel calls
-/// produces the same counts at every thread count. The observability
-/// layer snapshots them around neighbour-graph builds and exports them as
-/// `packed_panel` / `gemm_tile` / `kernel_fallback` counters.
+/// The shape-derived counts (`packed_panels`, `gemm_tiles`,
+/// `fallback_hits`, `mixed_invocations`) are **deterministic**: they are
+/// derived from matrix shapes, the fixed panel/tile geometry, and the
+/// configured precision, so a given sequence of kernel calls produces
+/// the same counts at every thread count. The lane counts
+/// (`simd_invocations` / `scalar_invocations`) record which micro-kernel
+/// lane [`SimdLane::detect`] picked and are therefore **host-dependent**
+/// — still worker-count-independent on a given host, but excluded from
+/// cross-host determinism signatures. The observability layer snapshots
+/// all of them around neighbour-graph builds.
 #[derive(Debug, Default)]
 pub struct KernelStats {
     packed_panels: AtomicU64,
     gemm_tiles: AtomicU64,
     fallback_hits: AtomicU64,
+    simd_invocations: AtomicU64,
+    scalar_invocations: AtomicU64,
+    mixed_invocations: AtomicU64,
 }
 
 impl KernelStats {
@@ -195,17 +433,34 @@ impl KernelStats {
             packed_panels: self.packed_panels.load(Ordering::Relaxed),
             gemm_tiles: self.gemm_tiles.load(Ordering::Relaxed),
             fallback_hits: self.fallback_hits.load(Ordering::Relaxed),
+            simd_invocations: self.simd_invocations.load(Ordering::Relaxed),
+            scalar_invocations: self.scalar_invocations.load(Ordering::Relaxed),
+            mixed_invocations: self.mixed_invocations.load(Ordering::Relaxed),
         }
     }
 
     /// Records one GEMM invocation over an `a_rows x b_rows` output:
-    /// `ceil(a_rows/MR) + ceil(b_rows/NR)` logical packed panels and
-    /// `ceil(a_rows/MR) * ceil(b_rows/NR)` micro-kernel tiles.
-    pub(crate) fn record_gemm(&self, a_rows: usize, b_rows: usize) {
+    /// `ceil(a_rows/MR) + ceil(b_rows/NR)` logical packed panels,
+    /// `ceil(a_rows/MR) * ceil(b_rows/NR)` micro-kernel tiles, and the
+    /// lane/precision the invocation ran with.
+    pub(crate) fn record_gemm(
+        &self,
+        a_rows: usize,
+        b_rows: usize,
+        lane: SimdLane,
+        precision: Precision,
+    ) {
         let ap = a_rows.div_ceil(MR) as u64;
         let bp = b_rows.div_ceil(NR) as u64;
         self.packed_panels.fetch_add(ap + bp, Ordering::Relaxed);
         self.gemm_tiles.fetch_add(ap * bp, Ordering::Relaxed);
+        match lane {
+            SimdLane::Avx2 => self.simd_invocations.fetch_add(1, Ordering::Relaxed),
+            SimdLane::Scalar => self.scalar_invocations.fetch_add(1, Ordering::Relaxed),
+        };
+        if precision == Precision::Mixed {
+            self.mixed_invocations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one request the selected backend could not serve (e.g. a
@@ -224,6 +479,15 @@ pub struct KernelCounters {
     pub gemm_tiles: u64,
     /// Requests the selected backend had to hand to a slower path.
     pub fallback_hits: u64,
+    /// Kernel invocations that ran on the explicit AVX2 lane
+    /// (host-dependent; see [`KernelStats`]).
+    pub simd_invocations: u64,
+    /// Kernel invocations that ran on the scalar fallback lane
+    /// (host-dependent; see [`KernelStats`]).
+    pub scalar_invocations: u64,
+    /// Kernel invocations that ran in mixed precision (config-derived,
+    /// deterministic).
+    pub mixed_invocations: u64,
 }
 
 impl KernelCounters {
@@ -233,6 +497,15 @@ impl KernelCounters {
             packed_panels: self.packed_panels.saturating_sub(earlier.packed_panels),
             gemm_tiles: self.gemm_tiles.saturating_sub(earlier.gemm_tiles),
             fallback_hits: self.fallback_hits.saturating_sub(earlier.fallback_hits),
+            simd_invocations: self
+                .simd_invocations
+                .saturating_sub(earlier.simd_invocations),
+            scalar_invocations: self
+                .scalar_invocations
+                .saturating_sub(earlier.scalar_invocations),
+            mixed_invocations: self
+                .mixed_invocations
+                .saturating_sub(earlier.mixed_invocations),
         }
     }
 }
@@ -243,12 +516,60 @@ impl KernelCounters {
 /// `panel[k*width + r]` — the micro-kernel streams it with unit stride.
 /// Short trailing panels are zero-padded, so every panel has the same
 /// byte length and the kernel never branches on edges along the packed
-/// axis.
-pub(crate) struct PackedPanels {
-    data: Vec<f64>,
+/// axis. Generic over the storage element: `f64` for the exact path,
+/// `f32` for [`Precision::Mixed`] (identical layout, half the bytes).
+pub(crate) struct Panels<T> {
+    data: Vec<T>,
     n_rows: usize,
     d: usize,
     width: usize,
+}
+
+/// The exact-path panels (f64 storage).
+pub(crate) type PackedPanels = Panels<f64>;
+/// Mixed-precision panels: each element is the source value rounded to
+/// f32. The micro-kernel widens back to f64 before accumulating.
+pub(crate) type PackedPanelsF32 = Panels<f32>;
+
+impl<T: Copy + Default> Panels<T> {
+    /// Packs the rows in `range` into `width`-wide panels, converting
+    /// each element through `conv`.
+    fn from_row_range_with(
+        m: &Matrix,
+        range: Range<usize>,
+        width: usize,
+        conv: impl Fn(f64) -> T,
+    ) -> Self {
+        let n_rows = range.len();
+        let d = m.ncols();
+        let n_panels = n_rows.div_ceil(width.max(1)).max(usize::from(n_rows > 0));
+        let mut data = vec![T::default(); n_panels * d * width];
+        for (local, src) in range.enumerate() {
+            let panel = local / width;
+            let lane = local % width;
+            let row = m.row(src);
+            let base = panel * d * width;
+            for (k, &v) in row.iter().enumerate() {
+                data[base + k * width + lane] = conv(v);
+            }
+        }
+        Self {
+            data,
+            n_rows,
+            d,
+            width,
+        }
+    }
+
+    /// Number of packed entities (rows or columns).
+    pub(crate) fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    fn panel(&self, p: usize) -> &[T] {
+        let stride = self.d * self.width;
+        &self.data[p * stride..(p + 1) * stride]
+    }
 }
 
 impl PackedPanels {
@@ -260,25 +581,7 @@ impl PackedPanels {
 
     /// Packs the rows in `range` into `width`-wide panels.
     pub(crate) fn from_row_range(m: &Matrix, range: Range<usize>, width: usize) -> Self {
-        let n_rows = range.len();
-        let d = m.ncols();
-        let n_panels = n_rows.div_ceil(width.max(1)).max(usize::from(n_rows > 0));
-        let mut data = vec![0.0; n_panels * d * width];
-        for (local, src) in range.enumerate() {
-            let panel = local / width;
-            let lane = local % width;
-            let row = m.row(src);
-            let base = panel * d * width;
-            for (k, &v) in row.iter().enumerate() {
-                data[base + k * width + lane] = v;
-            }
-        }
-        Self {
-            data,
-            n_rows,
-            d,
-            width,
-        }
+        Self::from_row_range_with(m, range, width, |v| v)
     }
 
     /// Packs the *columns* of `m` (used for [`matmul_packed`], where the
@@ -304,19 +607,21 @@ impl PackedPanels {
             width,
         }
     }
+}
 
-    /// Number of packed entities (rows or columns).
-    pub(crate) fn len(&self) -> usize {
-        self.n_rows
+impl PackedPanelsF32 {
+    /// Packs every row of `m`, rounding each element to f32.
+    pub(crate) fn from_rows(m: &Matrix) -> Self {
+        Self::from_row_range(m, 0..m.nrows(), NR)
     }
 
-    fn panel(&self, p: usize) -> &[f64] {
-        let stride = self.d * self.width;
-        &self.data[p * stride..(p + 1) * stride]
+    /// Packs the rows in `range` into `width`-wide f32 panels.
+    pub(crate) fn from_row_range(m: &Matrix, range: Range<usize>, width: usize) -> Self {
+        Self::from_row_range_with(m, range, width, |v| v as f32)
     }
 }
 
-/// The 4x4 register-blocked inner kernel: `acc[i][j] += Σ_k a[k][i] *
+/// The 4x8 register-blocked inner kernel: `acc[i][j] += Σ_k a[k][i] *
 /// b[k][j]` with `k` strictly ascending and one accumulator per output
 /// element (the determinism contract). `chunks_exact` hands the
 /// optimiser fixed-size lanes — no bounds checks in the hot loop — and
@@ -333,6 +638,140 @@ fn microkernel(apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
     }
 }
 
+/// Scalar lane of the mixed-precision micro-kernel: f32 panels widened
+/// to f64 per element, accumulated in f64 with the same ascending-`k`,
+/// one-accumulator-per-element order as [`microkernel`]. The widening is
+/// exact and each product of two widened f32s is exactly representable
+/// in f64, so this lane and the AVX2 FMA lane agree bitwise (see the
+/// [module docs](self)).
+#[inline]
+fn microkernel_mixed(apanel: &[f32], bpanel: &[f32], acc: &mut [f64; MR * NR]) {
+    for (a, b) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+        for i in 0..MR {
+            let ai = f64::from(a[i]);
+            for j in 0..NR {
+                acc[i * NR + j] += ai * f64::from(b[j]);
+            }
+        }
+    }
+}
+
+/// Explicit AVX2 micro-kernels (`x86_64` only; callers dispatch through
+/// [`SimdLane`], which never selects these on hosts without AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// AVX2 lane of the f64 micro-kernel. Two `__m256d` accumulators
+    /// per `A` row (the 4x8 tile = 8 independent add chains, covering
+    /// the `vaddpd` latency x throughput product), reduction index `k`
+    /// strictly ascending, and — deliberately — separate `mul` and
+    /// `add` instructions rather than FMA: each output element sees
+    /// exactly the per-`k` round-to-nearest sequence the scalar lane
+    /// performs, so the two lanes are bitwise identical.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 (guaranteed when
+    /// [`super::SimdLane::detect`] returned `Avx2`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn microkernel_f64(apanel: &[f64], bpanel: &[f64], acc: &mut [f64; MR * NR]) {
+        debug_assert_eq!(MR, 4);
+        debug_assert_eq!(NR, 8);
+        let mut acc0l = _mm256_loadu_pd(acc.as_ptr());
+        let mut acc0h = _mm256_loadu_pd(acc.as_ptr().add(4));
+        let mut acc1l = _mm256_loadu_pd(acc.as_ptr().add(NR));
+        let mut acc1h = _mm256_loadu_pd(acc.as_ptr().add(NR + 4));
+        let mut acc2l = _mm256_loadu_pd(acc.as_ptr().add(2 * NR));
+        let mut acc2h = _mm256_loadu_pd(acc.as_ptr().add(2 * NR + 4));
+        let mut acc3l = _mm256_loadu_pd(acc.as_ptr().add(3 * NR));
+        let mut acc3h = _mm256_loadu_pd(acc.as_ptr().add(3 * NR + 4));
+        let depth = apanel.len() / MR;
+        debug_assert_eq!(bpanel.len(), depth * NR);
+        for k in 0..depth {
+            let bl = _mm256_loadu_pd(bpanel.as_ptr().add(k * NR));
+            let bh = _mm256_loadu_pd(bpanel.as_ptr().add(k * NR + 4));
+            let a = apanel.as_ptr().add(k * MR);
+            let a0 = _mm256_set1_pd(*a);
+            acc0l = _mm256_add_pd(acc0l, _mm256_mul_pd(a0, bl));
+            acc0h = _mm256_add_pd(acc0h, _mm256_mul_pd(a0, bh));
+            let a1 = _mm256_set1_pd(*a.add(1));
+            acc1l = _mm256_add_pd(acc1l, _mm256_mul_pd(a1, bl));
+            acc1h = _mm256_add_pd(acc1h, _mm256_mul_pd(a1, bh));
+            let a2 = _mm256_set1_pd(*a.add(2));
+            acc2l = _mm256_add_pd(acc2l, _mm256_mul_pd(a2, bl));
+            acc2h = _mm256_add_pd(acc2h, _mm256_mul_pd(a2, bh));
+            let a3 = _mm256_set1_pd(*a.add(3));
+            acc3l = _mm256_add_pd(acc3l, _mm256_mul_pd(a3, bl));
+            acc3h = _mm256_add_pd(acc3h, _mm256_mul_pd(a3, bh));
+        }
+        _mm256_storeu_pd(acc.as_mut_ptr(), acc0l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc0h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(NR), acc1l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(NR + 4), acc1h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(2 * NR), acc2l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(2 * NR + 4), acc2h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(3 * NR), acc3l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(3 * NR + 4), acc3h);
+    }
+
+    /// AVX2+FMA lane of the mixed-precision micro-kernel: f32 panels
+    /// widened lane-wise (`cvtps_pd`, exact) and accumulated with
+    /// `fmadd`. The product of two widened f32s is exact in f64, so the
+    /// fused rounding equals multiply-then-add and this lane matches the
+    /// scalar mixed lane bitwise.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and FMA (guaranteed when
+    /// [`super::SimdLane::detect`] returned `Avx2`).
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn microkernel_mixed(
+        apanel: &[f32],
+        bpanel: &[f32],
+        acc: &mut [f64; MR * NR],
+    ) {
+        debug_assert_eq!(MR, 4);
+        debug_assert_eq!(NR, 8);
+        let mut acc0l = _mm256_loadu_pd(acc.as_ptr());
+        let mut acc0h = _mm256_loadu_pd(acc.as_ptr().add(4));
+        let mut acc1l = _mm256_loadu_pd(acc.as_ptr().add(NR));
+        let mut acc1h = _mm256_loadu_pd(acc.as_ptr().add(NR + 4));
+        let mut acc2l = _mm256_loadu_pd(acc.as_ptr().add(2 * NR));
+        let mut acc2h = _mm256_loadu_pd(acc.as_ptr().add(2 * NR + 4));
+        let mut acc3l = _mm256_loadu_pd(acc.as_ptr().add(3 * NR));
+        let mut acc3h = _mm256_loadu_pd(acc.as_ptr().add(3 * NR + 4));
+        let depth = apanel.len() / MR;
+        debug_assert_eq!(bpanel.len(), depth * NR);
+        for k in 0..depth {
+            let bl = _mm256_cvtps_pd(_mm_loadu_ps(bpanel.as_ptr().add(k * NR)));
+            let bh = _mm256_cvtps_pd(_mm_loadu_ps(bpanel.as_ptr().add(k * NR + 4)));
+            let a = apanel.as_ptr().add(k * MR);
+            let a0 = _mm256_set1_pd(f64::from(*a));
+            acc0l = _mm256_fmadd_pd(a0, bl, acc0l);
+            acc0h = _mm256_fmadd_pd(a0, bh, acc0h);
+            let a1 = _mm256_set1_pd(f64::from(*a.add(1)));
+            acc1l = _mm256_fmadd_pd(a1, bl, acc1l);
+            acc1h = _mm256_fmadd_pd(a1, bh, acc1h);
+            let a2 = _mm256_set1_pd(f64::from(*a.add(2)));
+            acc2l = _mm256_fmadd_pd(a2, bl, acc2l);
+            acc2h = _mm256_fmadd_pd(a2, bh, acc2h);
+            let a3 = _mm256_set1_pd(f64::from(*a.add(3)));
+            acc3l = _mm256_fmadd_pd(a3, bl, acc3l);
+            acc3h = _mm256_fmadd_pd(a3, bh, acc3h);
+        }
+        _mm256_storeu_pd(acc.as_mut_ptr(), acc0l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc0h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(NR), acc1l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(NR + 4), acc1h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(2 * NR), acc2l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(2 * NR + 4), acc2h);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(3 * NR), acc3l);
+        _mm256_storeu_pd(acc.as_mut_ptr().add(3 * NR + 4), acc3h);
+    }
+}
+
 /// Euclidean distance from cached squared norms and a Gram entry:
 /// `sqrt(max(0, ‖a‖² + ‖b‖² − 2·a·b))`. The clamp keeps near-duplicate
 /// rows (where cancellation can drive the algebraic identity slightly
@@ -345,29 +784,24 @@ pub(crate) fn dist_from_gram(na: f64, nb: f64, g: f64) -> f64 {
     (na + nb - 2.0 * g).max(0.0).sqrt()
 }
 
-/// Cache-blocked panel sweep: runs the micro-kernel over every
-/// `(A panel, B panel)` tile of the row range and writes
+/// Cache-blocked panel sweep: runs `kernel` over every
+/// `(A panel, B panel)` tile and writes
 /// `finish(absolute_a_row, packed_index, gram_value)` into `out`. The
 /// block loops change only *when* a tile is computed (B blocks stay
 /// L2-resident across an A block), never the per-element reduction —
-/// results are bitwise independent of the blocking.
+/// results are bitwise independent of the blocking. Generic over the
+/// panel element type (f64 exact / f32 mixed) and the micro-kernel lane.
 #[inline]
-fn gram_rows_apply(
-    a: &Matrix,
-    a_range: Range<usize>,
-    packed: &PackedPanels,
+fn gram_blocks<T: Copy + Default>(
+    apanels: &Panels<T>,
+    packed: &Panels<T>,
+    a_start: usize,
+    kernel: impl Fn(&[T], &[T], &mut [f64; MR * NR]),
     out: &mut [f64],
     mut finish: impl FnMut(usize, usize, f64) -> f64,
 ) {
-    let d = a.ncols();
-    debug_assert_eq!(d, packed.d);
+    let a_rows = apanels.len();
     let n_out = packed.len();
-    debug_assert_eq!(out.len(), a_range.len() * n_out);
-    if a_range.is_empty() || n_out == 0 {
-        return;
-    }
-    let apanels = PackedPanels::from_row_range(a, a_range.clone(), MR);
-    let a_rows = a_range.len();
     let n_ap = a_rows.div_ceil(MR);
     let n_bp = n_out.div_ceil(NR);
     for ab in (0..n_ap).step_by(GRAM_A_BLOCK_PANELS) {
@@ -380,17 +814,102 @@ fn gram_rows_apply(
                 for bp in bb..bb_hi {
                     let j_hi = (bp * NR + NR).min(n_out);
                     let mut acc = [0.0f64; MR * NR];
-                    microkernel(apanel, packed.panel(bp), &mut acc);
+                    kernel(apanel, packed.panel(bp), &mut acc);
                     for i in ap * MR..i_hi {
                         let li = i - ap * MR;
                         let row = &mut out[i * n_out..(i + 1) * n_out];
                         for j in bp * NR..j_hi {
-                            row[j] = finish(a_range.start + i, j, acc[li * NR + (j - bp * NR)]);
+                            row[j] = finish(a_start + i, j, acc[li * NR + (j - bp * NR)]);
                         }
                     }
                 }
             }
         }
+    }
+}
+
+/// f64 panel sweep on the selected lane. Lane dispatch happens once per
+/// call (one branch), not per tile; either lane produces identical bits
+/// in f64 mode, so the choice only affects speed.
+#[inline]
+fn gram_rows_apply(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanels,
+    lane: SimdLane,
+    out: &mut [f64],
+    finish: impl FnMut(usize, usize, f64) -> f64,
+) {
+    debug_assert_eq!(a.ncols(), packed.d);
+    debug_assert_eq!(out.len(), a_range.len() * packed.len());
+    if a_range.is_empty() || packed.len() == 0 {
+        return;
+    }
+    let apanels = PackedPanels::from_row_range(a, a_range.clone(), MR);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        SimdLane::Avx2 => gram_blocks(
+            &apanels,
+            packed,
+            a_range.start,
+            // SAFETY: `Avx2` is only selected when runtime detection
+            // confirmed AVX2 support.
+            |ap, bp, acc| unsafe { x86::microkernel_f64(ap, bp, acc) },
+            out,
+            finish,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLane::Avx2 => gram_blocks(&apanels, packed, a_range.start, microkernel, out, finish),
+        SimdLane::Scalar => gram_blocks(&apanels, packed, a_range.start, microkernel, out, finish),
+    }
+}
+
+/// Mixed-precision panel sweep: `a`'s rows are packed (and rounded) to
+/// f32 panels to match the pre-packed f32 `B` panels.
+#[inline]
+fn gram_rows_apply_mixed(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanelsF32,
+    lane: SimdLane,
+    out: &mut [f64],
+    finish: impl FnMut(usize, usize, f64) -> f64,
+) {
+    debug_assert_eq!(a.ncols(), packed.d);
+    debug_assert_eq!(out.len(), a_range.len() * packed.len());
+    if a_range.is_empty() || packed.len() == 0 {
+        return;
+    }
+    let apanels = PackedPanelsF32::from_row_range(a, a_range.clone(), MR);
+    match lane {
+        #[cfg(target_arch = "x86_64")]
+        SimdLane::Avx2 => gram_blocks(
+            &apanels,
+            packed,
+            a_range.start,
+            // SAFETY: `Avx2` is only selected when runtime detection
+            // confirmed AVX2 and FMA support.
+            |ap, bp, acc| unsafe { x86::microkernel_mixed(ap, bp, acc) },
+            out,
+            finish,
+        ),
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdLane::Avx2 => gram_blocks(
+            &apanels,
+            packed,
+            a_range.start,
+            microkernel_mixed,
+            out,
+            finish,
+        ),
+        SimdLane::Scalar => gram_blocks(
+            &apanels,
+            packed,
+            a_range.start,
+            microkernel_mixed,
+            out,
+            finish,
+        ),
     }
 }
 
@@ -401,9 +920,22 @@ pub(crate) fn gram_rows_into(
     a: &Matrix,
     a_range: Range<usize>,
     packed: &PackedPanels,
+    lane: SimdLane,
     out: &mut [f64],
 ) {
-    gram_rows_apply(a, a_range, packed, out, |_, _, g| g);
+    gram_rows_apply(a, a_range, packed, lane, out, |_, _, g| g);
+}
+
+/// Mixed-precision [`gram_rows_into`]: dot products of the f32-rounded
+/// rows, accumulated in f64.
+pub(crate) fn gram_rows_into_mixed(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanelsF32,
+    lane: SimdLane,
+    out: &mut [f64],
+) {
+    gram_rows_apply_mixed(a, a_range, packed, lane, out, |_, _, g| g);
 }
 
 /// [`gram_rows_into`] with the norm-trick epilogue fused into the tile
@@ -416,11 +948,31 @@ pub(crate) fn gram_rows_dist_into(
     a: &Matrix,
     a_range: Range<usize>,
     packed: &PackedPanels,
+    lane: SimdLane,
     na: &[f64],
     nb: &[f64],
     out: &mut [f64],
 ) {
-    gram_rows_apply(a, a_range, packed, out, |i, j, g| {
+    gram_rows_apply(a, a_range, packed, lane, out, |i, j, g| {
+        dist_from_gram(na[i], nb[j], g)
+    });
+}
+
+/// Mixed-precision [`gram_rows_dist_into`]. `na`/`nb` must be the
+/// **f32-rounded** squared norms ([`row_sq_norms_mixed`]) so that every
+/// term of the norm trick refers to the same rounded rows — that is what
+/// makes self-distances exactly zero and keeps the batched path bitwise
+/// consistent with the single-query mixed path.
+pub(crate) fn gram_rows_dist_into_mixed(
+    a: &Matrix,
+    a_range: Range<usize>,
+    packed: &PackedPanelsF32,
+    lane: SimdLane,
+    na: &[f64],
+    nb: &[f64],
+    out: &mut [f64],
+) {
+    gram_rows_apply_mixed(a, a_range, packed, lane, out, |i, j, g| {
         dist_from_gram(na[i], nb[j], g)
     });
 }
@@ -447,20 +999,21 @@ pub fn gram(
             rhs: b.shape(),
         });
     }
+    let lane = SimdLane::detect();
     if let Some(s) = stats {
-        s.record_gemm(a.nrows(), b.nrows());
+        s.record_gemm(a.nrows(), b.nrows(), lane, Precision::F64);
     }
     let packed = PackedPanels::from_rows(b);
     let mut out = Matrix::zeros(a.nrows(), b.nrows());
     let cols = b.nrows();
     crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
-        gram_rows_into(a, rows, &packed, block);
+        gram_rows_into(a, rows, &packed, lane, block);
     });
     Ok(out)
 }
 
 /// Packed blocked matrix product `A · B`: `B`'s columns are packed into
-/// `NR`-wide panels once, then each thread's row block runs the 4x4
+/// `NR`-wide panels once, then each thread's row block runs the 4x8
 /// micro-kernel over its `MR`-row panels of `A`.
 ///
 /// Bit-identical across `n_threads`; matches [`Matrix::matmul`] within
@@ -483,14 +1036,15 @@ pub fn matmul_packed(
             rhs: b.shape(),
         });
     }
+    let lane = SimdLane::detect();
     if let Some(s) = stats {
-        s.record_gemm(a.nrows(), b.ncols());
+        s.record_gemm(a.nrows(), b.ncols(), lane, Precision::F64);
     }
     let packed = PackedPanels::from_cols(b);
     let mut out = Matrix::zeros(a.nrows(), b.ncols());
     let cols = b.ncols();
     crate::parallel::par_row_blocks(out.as_mut_slice(), cols.max(1), n_threads, |rows, block| {
-        gram_rows_into(a, rows, &packed, block);
+        gram_rows_into(a, rows, &packed, lane, block);
     });
     Ok(out)
 }
@@ -499,6 +1053,35 @@ pub fn matmul_packed(
 /// norm trick).
 pub fn row_sq_norms(m: &Matrix) -> Vec<f64> {
     m.rows_iter().map(crate::matrix::norm_sq).collect()
+}
+
+/// Mixed-precision dot product: both operands rounded to f32, widened
+/// back to f64, and accumulated in f64 over ascending `k` with a single
+/// accumulator — exactly the arithmetic the mixed micro-kernel performs
+/// per output element, so the single-query path agrees bitwise with the
+/// batched tiles.
+#[inline]
+pub(crate) fn dot_mixed(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += f64::from(x as f32) * f64::from(y as f32);
+    }
+    acc
+}
+
+/// Mixed-precision squared norm: [`dot_mixed`] of a row with itself —
+/// the `‖x‖²` term every mixed norm-trick path must use so that
+/// self-distances cancel to exactly zero.
+#[inline]
+pub(crate) fn norm_sq_mixed(a: &[f64]) -> f64 {
+    dot_mixed(a, a)
+}
+
+/// [`row_sq_norms`] over the f32-rounded rows (the cached `‖x‖²` terms
+/// of the mixed-precision norm trick).
+pub fn row_sq_norms_mixed(m: &Matrix) -> Vec<f64> {
+    m.rows_iter().map(norm_sq_mixed).collect()
 }
 
 #[cfg(test)]
@@ -631,23 +1214,227 @@ mod tests {
         gram(&a, &b, 1, Some(&s1)).unwrap();
         let s4 = KernelStats::new();
         gram(&a, &b, 4, Some(&s4)).unwrap();
-        assert_eq!(s1.snapshot(), s4.snapshot());
-        let c = s1.snapshot();
-        // ceil(10/4)=3 a-panels + ceil(7/4)=2 b-panels; 3*2 tiles.
-        assert_eq!(c.packed_panels, 5);
-        assert_eq!(c.gemm_tiles, 6);
-        assert_eq!(c.fallback_hits, 0);
+        // Shape-derived counters are identical at any thread count. The
+        // lane counters are host-dependent (and another test toggles the
+        // process-wide lane override concurrently), so only their sum —
+        // one invocation per call — is asserted.
+        for c in [s1.snapshot(), s4.snapshot()] {
+            // ceil(10/4)=3 a-panels + ceil(7/8)=1 b-panel; 3*1 tiles.
+            assert_eq!(c.packed_panels, 4);
+            assert_eq!(c.gemm_tiles, 3);
+            assert_eq!(c.fallback_hits, 0);
+            assert_eq!(c.simd_invocations + c.scalar_invocations, 1);
+            assert_eq!(c.mixed_invocations, 0);
+        }
     }
 
     #[test]
     fn counters_since_computes_delta() {
         let s = KernelStats::new();
         let before = s.snapshot();
-        s.record_gemm(8, 8);
+        s.record_gemm(8, 8, SimdLane::Avx2, Precision::Mixed);
         s.record_fallback();
         let delta = s.snapshot().since(&before);
-        assert_eq!(delta.packed_panels, 4);
-        assert_eq!(delta.gemm_tiles, 4);
+        // ceil(8/4)=2 a-panels + ceil(8/8)=1 b-panel; 2*1 tiles.
+        assert_eq!(delta.packed_panels, 3);
+        assert_eq!(delta.gemm_tiles, 2);
         assert_eq!(delta.fallback_hits, 1);
+        assert_eq!(delta.simd_invocations, 1);
+        assert_eq!(delta.scalar_invocations, 0);
+        assert_eq!(delta.mixed_invocations, 1);
+    }
+
+    #[test]
+    fn lane_and_precision_names_round_trip() {
+        for lane in [SimdLane::Scalar, SimdLane::Avx2] {
+            assert_eq!(SimdLane::parse(lane.name()).unwrap(), lane);
+        }
+        assert!(SimdLane::parse("neon").is_err());
+        for p in [Precision::F64, Precision::Mixed] {
+            assert_eq!(Precision::parse(p.name()).unwrap(), p);
+        }
+        assert!(Precision::parse("f16").is_err());
+    }
+
+    #[test]
+    fn lane_override_degrades_unsupported_requests() {
+        // Whatever the host supports, forcing `scalar` must stick, and
+        // forcing `avx2` must never exceed what the CPU offers.
+        set_simd_lane_override(Some(SimdLane::Scalar));
+        assert_eq!(SimdLane::detect(), SimdLane::Scalar);
+        set_simd_lane_override(Some(SimdLane::Avx2));
+        assert_eq!(SimdLane::detect(), SimdLane::supported());
+        set_simd_lane_override(None);
+        assert_eq!(SimdLane::detect(), SimdLane::supported());
+    }
+
+    /// Adversarial inputs for the lane-equivalence property tests:
+    /// denormals (f64 subnormals that flush to zero in f32), extreme
+    /// ±1e±6 scaling, exactly colinear rows, and duplicate rows — the
+    /// inputs where reassociation or rounding differences would surface
+    /// first.
+    fn adversarial_matrices() -> Vec<(Matrix, Matrix)> {
+        let mut cases = Vec::new();
+        // Denormals and tiny magnitudes mixed with ordinary values.
+        let tiny = Matrix::from_rows(&[
+            vec![1e-308, 5e-324, -1e-310, 2.0],
+            vec![1e-320, -5e-324, 1.0, -3.0],
+            vec![0.0, 1e-300, -1e-305, 0.5],
+            vec![4.9e-324, 0.0, 1e-290, -0.25],
+            vec![-1e-315, 2e-312, 3e-318, 1.5],
+        ])
+        .unwrap();
+        cases.push((tiny.clone(), tiny));
+        // Extreme scaling: rows spanning ±1e±6.
+        let mut scaled = random_matrix(13, 7, 42);
+        for (idx, v) in scaled.as_mut_slice().iter_mut().enumerate() {
+            let scale = match idx % 4 {
+                0 => 1e6,
+                1 => -1e6,
+                2 => 1e-6,
+                _ => -1e-6,
+            };
+            *v *= scale;
+        }
+        let scaled_b = random_matrix(9, 7, 43);
+        cases.push((scaled, scaled_b));
+        // Colinear and duplicate rows (norm-trick cancellation).
+        let base = vec![0.3, -1.7, 2.2, 0.0, 5.5];
+        let double: Vec<f64> = base.iter().map(|v| v * 2.0).collect();
+        let neg: Vec<f64> = base.iter().map(|v| -v).collect();
+        let colinear = Matrix::from_rows(&[
+            base.clone(),
+            base.clone(),
+            double,
+            neg,
+            base.clone(),
+            vec![1e-6, 1e6, -1e-6, -1e6, 0.0],
+        ])
+        .unwrap();
+        cases.push((colinear.clone(), colinear));
+        cases
+    }
+
+    #[test]
+    fn simd_lane_matches_scalar_bitwise_in_f64_mode() {
+        if SimdLane::supported() != SimdLane::Avx2 {
+            eprintln!("skipping: host has no AVX2+FMA");
+            return;
+        }
+        let mut cases = adversarial_matrices();
+        cases.push((random_matrix(37, 19, 7), random_matrix(23, 19, 8)));
+        for (a, b) in &cases {
+            if a.ncols() != b.ncols() {
+                continue;
+            }
+            let packed = PackedPanels::from_rows(b);
+            let mut scalar = vec![0.0; a.nrows() * b.nrows()];
+            let mut simd = vec![0.0; a.nrows() * b.nrows()];
+            gram_rows_into(a, 0..a.nrows(), &packed, SimdLane::Scalar, &mut scalar);
+            gram_rows_into(a, 0..a.nrows(), &packed, SimdLane::Avx2, &mut simd);
+            assert_eq!(scalar, simd, "f64 lanes diverged");
+            // And against the scalar reference dot, element by element.
+            for i in 0..a.nrows() {
+                for j in 0..b.nrows() {
+                    assert_eq!(
+                        simd[i * b.nrows() + j],
+                        crate::matrix::dot(a.row(i), b.row(j)),
+                        "simd gram != scalar dot at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_lanes_agree_bitwise_and_match_dot_mixed() {
+        let mut cases = adversarial_matrices();
+        cases.push((random_matrix(29, 11, 9), random_matrix(17, 11, 10)));
+        for (a, b) in &cases {
+            if a.ncols() != b.ncols() {
+                continue;
+            }
+            let packed = PackedPanelsF32::from_rows(b);
+            let mut scalar = vec![0.0; a.nrows() * b.nrows()];
+            gram_rows_into_mixed(a, 0..a.nrows(), &packed, SimdLane::Scalar, &mut scalar);
+            if SimdLane::supported() == SimdLane::Avx2 {
+                let mut simd = vec![0.0; a.nrows() * b.nrows()];
+                gram_rows_into_mixed(a, 0..a.nrows(), &packed, SimdLane::Avx2, &mut simd);
+                assert_eq!(scalar, simd, "mixed lanes diverged");
+            }
+            // FMA-exactness argument checked in practice: the tile value
+            // must equal the scalar mixed dot bit for bit.
+            for i in 0..a.nrows() {
+                for j in 0..b.nrows() {
+                    assert_eq!(
+                        scalar[i * b.nrows() + j],
+                        dot_mixed(a.row(i), b.row(j)),
+                        "mixed gram != dot_mixed at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_distances_stay_within_documented_bound() {
+        let mut cases = adversarial_matrices();
+        cases.push((random_matrix(41, 13, 11), random_matrix(19, 13, 12)));
+        for (a, b) in &cases {
+            if a.ncols() != b.ncols() {
+                continue;
+            }
+            let na = row_sq_norms_mixed(a);
+            let nb = row_sq_norms_mixed(b);
+            let packed = PackedPanelsF32::from_rows(b);
+            let mut dist = vec![0.0; a.nrows() * b.nrows()];
+            gram_rows_dist_into_mixed(
+                a,
+                0..a.nrows(),
+                &packed,
+                SimdLane::detect(),
+                &na,
+                &nb,
+                &mut dist,
+            );
+            for i in 0..a.nrows() {
+                for j in 0..b.nrows() {
+                    let exact =
+                        crate::distance::DistanceMetric::Euclidean.distance(a.row(i), b.row(j));
+                    let bound = mixed_distance_error_bound(
+                        crate::matrix::norm_sq(a.row(i)).sqrt(),
+                        crate::matrix::norm_sq(b.row(j)).sqrt(),
+                    );
+                    let got = dist[i * b.nrows() + j];
+                    assert!(
+                        (got - exact).abs() <= bound,
+                        "mixed distance {got} vs exact {exact} exceeds bound {bound} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_self_distance_is_exactly_zero() {
+        let (a, _) = adversarial_matrices().remove(2);
+        let na = row_sq_norms_mixed(&a);
+        let packed = PackedPanelsF32::from_rows(&a);
+        let mut dist = vec![0.0; a.nrows() * a.nrows()];
+        gram_rows_dist_into_mixed(
+            &a,
+            0..a.nrows(),
+            &packed,
+            SimdLane::detect(),
+            &na,
+            &na,
+            &mut dist,
+        );
+        for i in 0..a.nrows() {
+            assert_eq!(dist[i * a.nrows() + i], 0.0, "self-distance at row {i}");
+        }
+        // Duplicate rows (0, 1, 4 are identical) must also be exactly 0.
+        assert_eq!(dist[1], 0.0);
+        assert_eq!(dist[4], 0.0);
     }
 }

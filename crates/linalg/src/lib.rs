@@ -16,9 +16,12 @@
 //!   the PCA projection baseline).
 //! * [`distance`] — distance metrics and k-nearest-neighbour search
 //!   (brute force + automatic KD-tree backend) shared by kNN/LOF/ABOD/LoOP.
-//! * [`gemm`] — packed, register-blocked GEMM micro-kernels, the
-//!   [`DistanceBackend`] selector (naive | blocked | gemm) behind the
-//!   brute-force distance paths, the configurable KD-tree crossover
+//! * [`gemm`] — packed, register-blocked GEMM micro-kernels with an
+//!   explicit AVX2 lane ([`SimdLane`], runtime-detected, scalar
+//!   fallback), the [`DistanceBackend`] selector (naive | blocked |
+//!   gemm) behind the brute-force distance paths, the opt-in
+//!   mixed-precision mode ([`Precision`]: f32 packed storage, f64
+//!   accumulation), the configurable KD-tree crossover
 //!   ([`KernelConfig`]), and the kernel-work counters ([`KernelStats`]).
 //! * [`kdtree`] — exact KD-tree used by [`distance::KnnIndex`] on
 //!   low-dimensional data.
@@ -63,12 +66,14 @@ pub mod stats;
 pub use distance::{
     pairwise_distances, pairwise_distances_backend, pairwise_distances_parallel,
     pairwise_distances_symmetric, pairwise_distances_symmetric_backend,
-    pairwise_distances_symmetric_parallel, DistanceMetric, KnnIndex,
+    pairwise_distances_symmetric_parallel, pairwise_distances_symmetric_with,
+    pairwise_distances_with, DistanceMetric, KnnIndex,
 };
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use gemm::{
-    gram, matmul_packed, DistanceBackend, KernelConfig, KernelCounters, KernelStats,
-    DEFAULT_KDTREE_CROSSOVER_DIM, DEFAULT_KDTREE_MIN_ROWS,
+    gram, matmul_packed, mixed_distance_error_bound, row_sq_norms, row_sq_norms_mixed,
+    set_simd_lane_override, DistanceBackend, KernelConfig, KernelCounters, KernelStats, Precision,
+    SimdLane, DEFAULT_KDTREE_CROSSOVER_DIM, DEFAULT_KDTREE_MIN_ROWS, F32_UNIT_ROUNDOFF,
 };
 pub use matrix::Matrix;
 pub use neighbor_cache::{

@@ -441,9 +441,11 @@ impl NeighborCache {
 
 /// Reports a [`KernelCounters`] snapshot to an observer as
 /// [`Counter::PackedPanel`]/[`Counter::GemmTile`]/[`Counter::KernelFallback`]
-/// events (zero counts are skipped). Shared by the cache's graph builds
-/// and the standalone fit path in `suod-detectors`, so pooled and
-/// standalone kernel telemetry reconcile.
+/// events, plus the lane/precision tags
+/// ([`Counter::SimdKernel`]/[`Counter::ScalarKernel`]/
+/// [`Counter::MixedKernel`]); zero counts are skipped. Shared by the
+/// cache's graph builds and the standalone fit path in `suod-detectors`,
+/// so pooled and standalone kernel telemetry reconcile.
 pub fn emit_kernel_counters(observer: &dyn Observer, counters: KernelCounters) {
     if counters.packed_panels > 0 {
         observer.counter(Counter::PackedPanel, counters.packed_panels);
@@ -453,6 +455,15 @@ pub fn emit_kernel_counters(observer: &dyn Observer, counters: KernelCounters) {
     }
     if counters.fallback_hits > 0 {
         observer.counter(Counter::KernelFallback, counters.fallback_hits);
+    }
+    if counters.simd_invocations > 0 {
+        observer.counter(Counter::SimdKernel, counters.simd_invocations);
+    }
+    if counters.scalar_invocations > 0 {
+        observer.counter(Counter::ScalarKernel, counters.scalar_invocations);
+    }
+    if counters.mixed_invocations > 0 {
+        observer.counter(Counter::MixedKernel, counters.mixed_invocations);
     }
 }
 

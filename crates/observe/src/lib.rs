@@ -178,6 +178,17 @@ pub enum Counter {
     /// (e.g. a non-Euclidean metric on the gemm backend) and handed to a
     /// slower path.
     KernelFallback,
+    /// GEMM kernel invocations that ran on an explicit SIMD lane (AVX2).
+    /// Host-dependent (runtime feature detection picks the lane), so it
+    /// is excluded from cross-host determinism — but it is still
+    /// independent of worker count on a given host.
+    SimdKernel,
+    /// GEMM kernel invocations that ran on the scalar fallback lane.
+    /// Host-dependent, like [`Counter::SimdKernel`].
+    ScalarKernel,
+    /// GEMM kernel invocations that ran in mixed precision (f32 packed
+    /// storage, f64 accumulation). Config-derived and deterministic.
+    MixedKernel,
 }
 
 /// Every counter, in export order.
@@ -192,6 +203,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::PackedPanel,
     Counter::GemmTile,
     Counter::KernelFallback,
+    Counter::SimdKernel,
+    Counter::ScalarKernel,
+    Counter::MixedKernel,
 ];
 
 impl Counter {
@@ -208,6 +222,9 @@ impl Counter {
             Counter::PackedPanel => "packed_panel",
             Counter::GemmTile => "gemm_tile",
             Counter::KernelFallback => "kernel_fallback",
+            Counter::SimdKernel => "simd_kernel",
+            Counter::ScalarKernel => "scalar_kernel",
+            Counter::MixedKernel => "mixed_kernel",
         }
     }
 
@@ -216,10 +233,16 @@ impl Counter {
         COUNTERS.iter().copied().find(|c| c.name() == name)
     }
 
-    /// `true` when the counter's value is independent of worker count and
-    /// wall clock (part of the trace-determinism guarantee).
+    /// `true` when the counter's value is independent of worker count,
+    /// wall clock, and host hardware (part of the trace-determinism
+    /// guarantee). The SIMD-lane counters are excluded: the lane is
+    /// picked by runtime feature detection, so traces from hosts with
+    /// different vector units legitimately differ there.
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, Counter::Steal | Counter::Straggler)
+        !matches!(
+            self,
+            Counter::Steal | Counter::Straggler | Counter::SimdKernel | Counter::ScalarKernel
+        )
     }
 }
 
