@@ -89,6 +89,10 @@ pub struct DetectArgs {
     pub backend: DistanceBackend,
     /// Kernel numeric precision (f64 | mixed).
     pub precision: Precision,
+    /// Neighbour index backend (exact | hnsw).
+    pub neighbor: NeighborBackend,
+    /// HNSW search beam width (recall knob); `None` keeps the default.
+    pub ef_search: Option<usize>,
 }
 
 impl Default for DetectArgs {
@@ -108,6 +112,8 @@ impl Default for DetectArgs {
             output: None,
             backend: KernelConfig::default().backend,
             precision: Precision::default(),
+            neighbor: NeighborBackend::default(),
+            ef_search: None,
         }
     }
 }
@@ -174,6 +180,11 @@ fn parse_pipeline_flags(
             "--precision" => {
                 d.precision = Precision::parse(&value("--precision")?).map_err(|e| e.to_string())?
             }
+            "--neighbor-backend" => {
+                d.neighbor = NeighborBackend::parse(&value("--neighbor-backend")?)
+                    .map_err(|e| e.to_string())?
+            }
+            "--ef-search" => d.ef_search = Some(parse_num(&value("--ef-search")?, flag)?),
             "--no-rp" => d.rp = false,
             "--no-psa" => d.psa = false,
             "--no-bps" => d.bps = false,
@@ -222,6 +233,11 @@ DETECT / TRACE OPTIONS:
   --precision <p>       distance kernels: f64|mixed           [f64]
                         mixed = f32 packed storage with f64
                         accumulation (documented error bound)
+  --neighbor-backend <b>  kNN index: exact|hnsw               [exact]
+                        hnsw = seeded approximate graph (recall
+                        >= 0.95 at defaults; small n and
+                        non-Euclidean metrics fall back to exact)
+  --ef-search <ef>      HNSW search beam width (recall knob)  [64]
   --no-rp | --no-psa | --no-bps   disable a SUOD module
 
 TRACE OPTIONS:
@@ -319,7 +335,7 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
     let (ds, labeled) = load_dataset(args)?;
     let pool = clamp_pool(suod::random_pool(args.models, args.seed), ds.n_samples());
 
-    let mut clf = Suod::builder()
+    let mut builder = Suod::builder()
         .base_estimators(pool)
         .with_projection(args.rp)
         .with_approximation(args.psa)
@@ -329,6 +345,11 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
         .seed(args.seed)
         .distance_backend(args.backend)
         .precision(args.precision)
+        .neighbor_backend(args.neighbor);
+    if let Some(ef) = args.ef_search {
+        builder = builder.ef_search(ef);
+    }
+    let mut clf = builder
         .build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
 
@@ -401,7 +422,7 @@ fn trace(args: &TraceArgs) -> Result<String, String> {
     );
     let recorder = Arc::new(RecordingObserver::new());
 
-    let mut clf = Suod::builder()
+    let mut builder = Suod::builder()
         .base_estimators(pool)
         .with_projection(args.detect.rp)
         .with_approximation(args.detect.psa)
@@ -411,7 +432,12 @@ fn trace(args: &TraceArgs) -> Result<String, String> {
         .seed(args.detect.seed)
         .distance_backend(args.detect.backend)
         .precision(args.detect.precision)
-        .observer(recorder.clone())
+        .neighbor_backend(args.detect.neighbor)
+        .observer(recorder.clone());
+    if let Some(ef) = args.detect.ef_search {
+        builder = builder.ef_search(ef);
+    }
+    let mut clf = builder
         .build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
@@ -501,6 +527,8 @@ mod tests {
         assert!(parse_args(&argv("detect --dataset a --models")).is_err());
         assert!(parse_args(&argv("detect --dataset a --backend simd")).is_err());
         assert!(parse_args(&argv("detect --dataset a --precision f16")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --neighbor-backend kdtree")).is_err());
+        assert!(parse_args(&argv("detect --dataset a --ef-search fast")).is_err());
         assert!(parse_args(&argv("frobnicate")).is_err());
     }
 
@@ -522,6 +550,21 @@ mod tests {
         };
         assert_eq!(d.backend, DistanceBackend::Blocked);
         assert_eq!(d.precision, Precision::F64);
+        assert_eq!(d.neighbor, NeighborBackend::Exact);
+        assert_eq!(d.ef_search, None);
+    }
+
+    #[test]
+    fn parses_neighbor_flags() {
+        let cmd = parse_args(&argv(
+            "detect --dataset cardio --neighbor-backend hnsw --ef-search 128",
+        ))
+        .unwrap();
+        let Command::Detect(d) = cmd else {
+            panic!("expected detect")
+        };
+        assert!(d.neighbor.is_approximate());
+        assert_eq!(d.ef_search, Some(128));
     }
 
     #[test]
@@ -534,6 +577,21 @@ mod tests {
         let out = run(cmd).unwrap();
         assert!(out.contains("kernels: backend=gemm lane="), "{out}");
         assert!(out.contains("precision=mixed"), "{out}");
+        assert!(out.contains("neighbors=exact"), "{out}");
+    }
+
+    #[test]
+    fn detect_reports_hnsw_backend() {
+        // Registry analogs are far below DEFAULT_HNSW_MIN_ROWS at this
+        // scale, so the run exercises the exactness fallback while the
+        // kernels line still reports the configured hnsw backend.
+        let cmd = parse_args(&argv(
+            "detect --dataset pima --scale 0.2 --models 4 --seed 3 \
+             --neighbor-backend hnsw --ef-search 32",
+        ))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("neighbors=hnsw(ef_search=32)"), "{out}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::health::{ModelHealth, ModelStatus};
 use std::time::Duration;
-use suod_linalg::{Precision, SimdLane};
+use suod_linalg::{NeighborBackend, Precision, SimdLane};
 use suod_scheduler::ExecutionReport;
 
 /// The hardware kernel path a fit's distance kernels ran on — recorded
@@ -35,16 +35,20 @@ pub struct CpuFeatures {
     pub avx2_supported: bool,
     /// Numeric precision the kernels were configured with.
     pub precision: Precision,
+    /// Neighbour index backend the proximity detectors were configured
+    /// with (exact, or the approximate HNSW graph with its recall knob).
+    pub neighbor: NeighborBackend,
 }
 
 impl CpuFeatures {
     /// Captures the current host's lane selection alongside the
-    /// configured precision.
-    pub fn detect(precision: Precision) -> Self {
+    /// configured precision and neighbour backend.
+    pub fn detect(precision: Precision, neighbor: NeighborBackend) -> Self {
         Self {
             simd_lane: SimdLane::detect(),
             avx2_supported: SimdLane::supported() == SimdLane::Avx2,
             precision,
+            neighbor,
         }
     }
 }
@@ -53,7 +57,7 @@ impl std::fmt::Display for CpuFeatures {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "lane={} (avx2 {}), precision={}",
+            "lane={} (avx2 {}), precision={}, neighbors={}",
             self.simd_lane,
             if self.avx2_supported {
                 "supported"
@@ -61,6 +65,7 @@ impl std::fmt::Display for CpuFeatures {
                 "unsupported"
             },
             self.precision,
+            self.neighbor,
         )
     }
 }
@@ -81,6 +86,7 @@ pub struct FitDiagnostics {
     health: ModelHealth,
     models: Vec<ModelDiagnostics>,
     cpu_features: CpuFeatures,
+    ann_fallbacks: u64,
 }
 
 /// Diagnostics for one configured pool member, joined across the
@@ -115,18 +121,30 @@ impl FitDiagnostics {
         health: ModelHealth,
         models: Vec<ModelDiagnostics>,
         cpu_features: CpuFeatures,
+        ann_fallbacks: u64,
     ) -> Self {
         Self {
             execution,
             health,
             models,
             cpu_features,
+            ann_fallbacks,
         }
     }
 
-    /// The hardware kernel path (SIMD lane, precision) the fit ran on.
+    /// The hardware kernel path (SIMD lane, precision, neighbour
+    /// backend) the fit ran on.
     pub fn cpu_features(&self) -> CpuFeatures {
         self.cpu_features
+    }
+
+    /// Neighbour-graph builds that requested the approximate HNSW
+    /// backend but routed to the exact path instead (input below the
+    /// backend's `min_rows`, or a non-Euclidean metric) — the exactness
+    /// fallback counter, summed over the fit's shared-cache builds.
+    /// Always 0 on the exact backend.
+    pub fn ann_fallbacks(&self) -> u64 {
+        self.ann_fallbacks
     }
 
     /// Execution telemetry from the fit: per-task wall times, per-worker
@@ -201,7 +219,15 @@ impl std::fmt::Display for FitDiagnostics {
             self.execution.failures,
             self.execution.retries,
         )?;
-        writeln!(f, "kernels: {}", self.cpu_features)?;
+        if self.ann_fallbacks > 0 {
+            writeln!(
+                f,
+                "kernels: {} ({} ann fallbacks to exact)",
+                self.cpu_features, self.ann_fallbacks
+            )?;
+        } else {
+            writeln!(f, "kernels: {}", self.cpu_features)?;
+        }
         for m in &self.models {
             write!(
                 f,
@@ -303,7 +329,8 @@ mod tests {
             ExecutionReport::default(),
             health,
             models,
-            CpuFeatures::detect(Precision::F64),
+            CpuFeatures::detect(Precision::F64, NeighborBackend::Exact),
+            0,
         )
     }
 
@@ -328,6 +355,7 @@ mod tests {
         assert!(text.contains("3 models, 2 healthy"));
         assert!(text.contains("kernels: lane="));
         assert!(text.contains("precision=f64"));
+        assert!(text.contains("neighbors=exact"));
         assert!(text.contains("quarantined"));
         assert!(text.contains("projected"));
         assert!(text.contains("straggler"));

@@ -27,8 +27,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use suod_detectors::{validate_finite, Detector, FitContext};
 use suod_linalg::{
-    DataFingerprint, DistanceBackend, DistanceMetric, KernelConfig, Matrix, NeighborCache,
-    Precision,
+    DataFingerprint, DistanceBackend, DistanceMetric, KernelConfig, Matrix, NeighborBackend,
+    NeighborCache, Precision,
 };
 use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 use suod_projection::{JlProjector, JlVariant, Projector};
@@ -103,6 +103,9 @@ pub struct SuodBuilder {
     seed: u64,
     neighbor_cache_enabled: bool,
     kernel: KernelConfig,
+    /// `ef_search` override applied to the HNSW params at `build()`, so
+    /// `ef_search(..)` composes with `neighbor_backend(..)` in any order.
+    ef_search: Option<usize>,
     min_healthy_fraction: f64,
     max_model_retries: usize,
     straggler_factor: f64,
@@ -127,6 +130,7 @@ impl Default for SuodBuilder {
             seed: 0,
             neighbor_cache_enabled: true,
             kernel: KernelConfig::default(),
+            ef_search: None,
             min_healthy_fraction: 1.0,
             max_model_retries: 1,
             straggler_factor: 4.0,
@@ -256,8 +260,35 @@ impl SuodBuilder {
         self
     }
 
+    /// Selects the neighbour index behind every proximity detector's kNN
+    /// queries (default [`NeighborBackend::Exact`]). With
+    /// [`NeighborBackend::Hnsw`] the index is a seeded, deterministic
+    /// approximate graph: the exact `O(n² d)` leave-one-out sweep becomes
+    /// an `O(n log n · d)` build plus beam searches, at a documented
+    /// recall ≥ 0.95 target for the default parameters. Small inputs
+    /// (below [`suod_linalg::DEFAULT_HNSW_MIN_ROWS`] rows) and
+    /// non-Euclidean metrics route to the exact path and count an
+    /// exactness fallback in
+    /// [`FitDiagnostics`](crate::FitDiagnostics::ann_fallbacks). Scores
+    /// remain bit-identical across worker counts for a fixed seed.
+    pub fn neighbor_backend(mut self, backend: NeighborBackend) -> Self {
+        self.kernel.neighbor = backend;
+        self
+    }
+
+    /// Sets the HNSW search beam width `ef_search` — the recall knob
+    /// (default [`suod_linalg::DEFAULT_EF_SEARCH`]). Larger values search
+    /// more candidates per query: higher recall, slower queries. Applies
+    /// whenever the neighbour backend is (or becomes)
+    /// [`NeighborBackend::Hnsw`], regardless of builder-call order; it is
+    /// ignored by the exact backend.
+    pub fn ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = Some(ef.max(1));
+        self
+    }
+
     /// Replaces the whole kernel configuration at once (backend,
-    /// precision, and KD-tree crossover thresholds).
+    /// precision, neighbour backend, and KD-tree crossover thresholds).
     pub fn kernel_config(mut self, kernel: KernelConfig) -> Self {
         self.kernel = kernel;
         self
@@ -363,8 +394,14 @@ impl SuodBuilder {
                 self.straggler_factor
             )));
         }
+        let mut config = self;
+        if let Some(ef) = config.ef_search {
+            if let NeighborBackend::Hnsw(p) = config.kernel.neighbor {
+                config.kernel.neighbor = NeighborBackend::Hnsw(p.with_ef_search(ef));
+            }
+        }
         Ok(Suod {
-            config: self,
+            config,
             state: None,
             executor: None,
             diagnostics: None,
@@ -470,10 +507,17 @@ impl Suod {
     }
 
     /// Builds the fit assignment over the model pool. `cached_flags[i]`
-    /// marks models whose neighbour graph is a shared-cache hit: their
-    /// descriptors carry the flag so the cost model stops forecasting the
-    /// `O(n^2 d)` index build BPS would otherwise balance against.
-    fn schedule(&self, x_meta: &DatasetMeta, cached_flags: &[bool]) -> Result<Assignment> {
+    /// marks models whose neighbour graph is a shared-cache hit, and
+    /// `approx_flags[i]` marks models whose graph the HNSW backend will
+    /// answer: their descriptors carry the flags so the cost model stops
+    /// forecasting the exact `O(n^2 d)` index build BPS would otherwise
+    /// balance against.
+    fn schedule(
+        &self,
+        x_meta: &DatasetMeta,
+        cached_flags: &[bool],
+        approx_flags: &[bool],
+    ) -> Result<Assignment> {
         let m = self.config.base_estimators.len();
         let t = self.config.n_workers;
         if t <= 1 {
@@ -484,8 +528,12 @@ impl Suod {
                 .config
                 .base_estimators
                 .iter()
-                .zip(cached_flags)
-                .map(|(s, &cached)| s.task_descriptor().with_cached_neighbors(cached))
+                .zip(cached_flags.iter().zip(approx_flags))
+                .map(|(s, (&cached, &approx))| {
+                    s.task_descriptor()
+                        .with_cached_neighbors(cached)
+                        .with_approx_neighbors(approx)
+                })
                 .collect();
             let costs = self.config.cost_model.predict_costs(&tasks, x_meta);
             Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
@@ -564,6 +612,23 @@ impl Suod {
         let m = self.n_models();
         let mut fingerprints: Vec<Option<DataFingerprint>> = vec![None; m];
         let mut cached_flags = vec![false; m];
+        // Models whose neighbour graph the approximate backend will
+        // actually answer (the exactness fallback routes small n and
+        // non-Euclidean metrics back to the exact path, so their cost
+        // forecast must stay exact too).
+        let approx_flags: Vec<bool> = self
+            .config
+            .base_estimators
+            .iter()
+            .map(
+                |spec| match (self.config.kernel.neighbor, spec.neighbor_requirement()) {
+                    (NeighborBackend::Hnsw(p), Some((metric, _))) => {
+                        metric == DistanceMetric::Euclidean && x.nrows() >= p.min_rows
+                    }
+                    _ => false,
+                },
+            )
+            .collect();
         // Worker budget for the graph builds: groups build concurrently on
         // the executor, so splitting the pool across them keeps a lone
         // group's sweep parallel without oversubscribing many groups.
@@ -602,7 +667,7 @@ impl Suod {
 
         // --- BPS + fault-isolated fit execution (pass 2). -------------------
         let bps_span = obs.span_begin(Stage::BpsPlan, SpanAttrs::none());
-        let assignment = self.schedule(&meta, &cached_flags);
+        let assignment = self.schedule(&meta, &cached_flags, &approx_flags);
         obs.span_end(bps_span);
         let assignment = assignment?;
         let executor = self.executor_for_run()?;
@@ -690,11 +755,13 @@ impl Suod {
 
         // Cache counters are copied after the retry loop so retried
         // models' hits/misses reconcile exactly with the observer trace.
+        let mut ann_fallbacks = 0u64;
         if let Some(cache) = &cache {
             let stats = cache.stats();
             report.cache_hits = stats.hits;
             report.cache_misses = stats.misses;
             report.cache_build_time = stats.build_time;
+            ann_fallbacks = stats.ann_fallbacks;
         }
 
         // --- Straggler flagging from the BPS cost forecast. -----------------
@@ -708,8 +775,12 @@ impl Suod {
                 .config
                 .base_estimators
                 .iter()
-                .zip(&cached_flags)
-                .map(|(s, &cached)| s.task_descriptor().with_cached_neighbors(cached))
+                .zip(cached_flags.iter().zip(&approx_flags))
+                .map(|(s, (&cached, &approx))| {
+                    s.task_descriptor()
+                        .with_cached_neighbors(cached)
+                        .with_approx_neighbors(approx)
+                })
                 .collect();
             let predicted = self.config.cost_model.predict_costs(&descriptors, &meta);
             let total_pred: f64 = predicted.iter().sum();
@@ -780,7 +851,8 @@ impl Suod {
             report,
             health,
             models_diag,
-            CpuFeatures::detect(self.config.kernel.precision),
+            CpuFeatures::detect(self.config.kernel.precision, self.config.kernel.neighbor),
+            ann_fallbacks,
         ));
         if n_healthy < required {
             let cause = causes

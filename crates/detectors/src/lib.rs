@@ -303,15 +303,23 @@ impl FitContext {
                 // reports it exactly like a pooled cache miss so counters
                 // stay comparable between the two paths.
                 self.observer.counter(Counter::CacheMiss, 1);
-                let span = self
-                    .observer
-                    .span_begin(suod_observe::Stage::NeighborBuild, SpanAttrs::none());
                 let result = (|| {
-                    let index = Arc::new(KnnIndex::build_with(x, metric, self.kernel)?);
+                    // Same two-span split as the pooled path: NeighborBuild
+                    // wraps index construction, NeighborQuery the sweep.
+                    let span = self
+                        .observer
+                        .span_begin(suod_observe::Stage::NeighborBuild, SpanAttrs::none());
+                    let index =
+                        KnnIndex::build_with_threads(x, metric, self.kernel, self.n_threads());
+                    self.observer.span_end(span);
+                    let index = Arc::new(index?);
+                    let span = self
+                        .observer
+                        .span_begin(suod_observe::Stage::NeighborQuery, SpanAttrs::none());
                     let lists = index.self_query_batch(k, self.n_threads());
+                    self.observer.span_end(span);
                     Ok((index, SelfNeighbors::Owned(lists)))
                 })();
-                self.observer.span_end(span);
                 if let Ok((index, _)) = &result {
                     // Fresh index: the snapshot is exactly this build's
                     // kernel work, mirroring the pooled cache-miss path.

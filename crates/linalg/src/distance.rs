@@ -35,6 +35,7 @@ use crate::gemm::{
     dist_from_gram, DistanceBackend, KernelConfig, KernelCounters, KernelStats, PackedPanels,
     PackedPanelsF32, Precision, SimdLane, NR,
 };
+use crate::hnsw::{DistCtx, HnswGraph, NeighborBackend};
 use crate::{Error, Matrix, Result};
 use std::sync::Arc;
 
@@ -436,14 +437,30 @@ pub struct Neighbor {
 
 /// k-nearest-neighbour index over a training matrix.
 ///
-/// Two exact backends: brute force (`O(n d)` per query, the complexity
+/// Two exact backends — brute force (`O(n d)` per query, the complexity
 /// the paper quotes for proximity-based models) and a
 /// [`KdTree`](crate::kdtree::KdTree) used automatically for
-/// low-dimensional data, where branch-and-bound wins decisively. Both
-/// return identical results. The brute-force sweep is evaluated through
-/// the [`DistanceBackend`] in the index's [`KernelConfig`]; the KD-tree
-/// crossover (`d ≤ kdtree_crossover_dim`, `n ≥ kdtree_min_rows`) is
-/// configurable there too.
+/// low-dimensional data, where branch-and-bound wins decisively — plus
+/// an opt-in approximate backend, the seeded deterministic
+/// [`HnswGraph`] selected via
+/// [`NeighborBackend::Hnsw`] in the [`KernelConfig`]. The exact
+/// backends return identical results; HNSW trades a documented recall
+/// target for `O(n log n)` construction and engages only on Euclidean
+/// indexes with at least
+/// [`HnswParams::min_rows`](crate::hnsw::HnswParams) rows (everything
+/// else routes to the exact path and records an
+/// [`ann_fallback_hits`](KernelCounters::ann_fallback_hits) count).
+///
+/// The brute-force sweep is evaluated through the [`DistanceBackend`]
+/// in the index's [`KernelConfig`]; the KD-tree crossover
+/// (`d ≤ kdtree_crossover_dim`, `n ≥ kdtree_min_rows`) is configurable
+/// there too. None of the backends caps the number of indexed or
+/// queried rows — the batched sweeps stream tiles through bounded
+/// per-query heaps, so memory stays `O(n d + q k)` at any size. (Until
+/// PR 5 the self-sweep materialized an `n x n` matrix and documented an
+/// `n ≤ 4096` practical cap; the cap is gone — 4096 rows survives only
+/// as the size at which the symmetric-matrix fast path hands over to
+/// tile streaming, see [`Self::self_query_batch`].)
 ///
 /// # Example
 ///
@@ -464,9 +481,13 @@ pub struct KnnIndex {
     train: Matrix,
     metric: DistanceMetric,
     tree: Option<crate::kdtree::KdTree>,
+    /// The approximate graph, when [`NeighborBackend::Hnsw`] is
+    /// configured and the index is eligible (Euclidean, large enough).
+    hnsw: Option<HnswGraph>,
     config: KernelConfig,
-    /// Cached `‖row‖²` for the norm-trick paths; populated only on the
-    /// brute-force Euclidean gemm configuration.
+    /// Cached `‖row‖²` for the norm-trick paths; populated on the
+    /// brute-force Euclidean gemm configuration and whenever the HNSW
+    /// backend engages (its distance evaluations use the same trick).
     train_sq_norms: Option<Vec<f64>>,
     stats: Arc<KernelStats>,
 }
@@ -494,7 +515,24 @@ impl KnnIndex {
         metric: DistanceMetric,
         config: KernelConfig,
     ) -> Result<Self> {
-        Self::build_inner(train, metric, config, true, "KnnIndex::build")
+        Self::build_inner(train, metric, config, 1, true, "KnnIndex::build")
+    }
+
+    /// [`build_with`](Self::build_with) with an explicit worker budget
+    /// for index construction. Only the HNSW backend has parallel
+    /// construction work (its frozen-graph candidate searches); the
+    /// resulting index is **bit-identical for every `n_threads`**.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] when `train` has no rows.
+    pub fn build_with_threads(
+        train: &Matrix,
+        metric: DistanceMetric,
+        config: KernelConfig,
+        n_threads: usize,
+    ) -> Result<Self> {
+        Self::build_inner(train, metric, config, n_threads, true, "KnnIndex::build")
     }
 
     /// Builds an index that always scans linearly (used by tests to check
@@ -509,6 +547,7 @@ impl KnnIndex {
             train,
             metric,
             KernelConfig::default(),
+            1,
             false,
             "KnnIndex::build_brute_force",
         )
@@ -518,19 +557,41 @@ impl KnnIndex {
         train: &Matrix,
         metric: DistanceMetric,
         config: KernelConfig,
-        allow_tree: bool,
+        n_threads: usize,
+        allow_acceleration: bool,
         op: &'static str,
     ) -> Result<Self> {
         if train.nrows() == 0 {
             return Err(Error::Empty(op));
         }
         let stats = Arc::new(KernelStats::new());
-        let tree = if allow_tree && config.uses_kdtree(train.nrows(), train.ncols()) {
+        // The ANN backend takes precedence over the KD-tree when it is
+        // eligible; otherwise it falls back to the exact decision chain
+        // and records the exactness fallback.
+        let hnsw_params = match config.neighbor {
+            NeighborBackend::Hnsw(p)
+                if allow_acceleration
+                    && metric == DistanceMetric::Euclidean
+                    && train.nrows() >= p.min_rows =>
+            {
+                Some(p)
+            }
+            NeighborBackend::Hnsw(_) => {
+                stats.record_ann_fallback();
+                None
+            }
+            NeighborBackend::Exact => None,
+        };
+        let tree = if hnsw_params.is_none()
+            && allow_acceleration
+            && config.uses_kdtree(train.nrows(), train.ncols())
+        {
             Some(crate::kdtree::KdTree::build(train, metric)?)
         } else {
             None
         };
-        let gemm_brute = tree.is_none() && config.backend == DistanceBackend::Gemm;
+        let gemm_brute =
+            hnsw_params.is_none() && tree.is_none() && config.backend == DistanceBackend::Gemm;
         if gemm_brute && metric != DistanceMetric::Euclidean {
             // The gemm backend only accelerates Euclidean; every sweep on
             // this index will take the blocked path instead.
@@ -538,16 +599,29 @@ impl KnnIndex {
         }
         // In mixed mode the cached norms are taken over the f32-rounded
         // rows — the invariant that keeps every norm-trick term (norms,
-        // Gram tiles, single-query dots) referring to the same data.
-        let train_sq_norms =
-            (gemm_brute && metric == DistanceMetric::Euclidean).then(|| match config.precision {
-                Precision::F64 => crate::gemm::row_sq_norms(train),
-                Precision::Mixed => crate::gemm::row_sq_norms_mixed(train),
-            });
+        // Gram tiles, single-query dots) referring to the same data. The
+        // HNSW graph shares the cached norms for its norm-trick distance
+        // evaluations.
+        let train_sq_norms = ((gemm_brute && metric == DistanceMetric::Euclidean)
+            || hnsw_params.is_some())
+        .then(|| match config.precision {
+            Precision::F64 => crate::gemm::row_sq_norms(train),
+            Precision::Mixed => crate::gemm::row_sq_norms_mixed(train),
+        });
+        let hnsw = hnsw_params.map(|p| {
+            HnswGraph::build(
+                train,
+                train_sq_norms.as_deref().expect("norms cached for hnsw"),
+                config.precision,
+                p,
+                n_threads,
+            )
+        });
         Ok(Self {
             train: train.clone(),
             metric,
             tree,
+            hnsw,
             config,
             train_sq_norms,
             stats,
@@ -557,6 +631,16 @@ impl KnnIndex {
     /// `true` when queries go through the KD-tree backend.
     pub fn uses_kdtree(&self) -> bool {
         self.tree.is_some()
+    }
+
+    /// `true` when queries go through the approximate HNSW graph.
+    pub fn uses_hnsw(&self) -> bool {
+        self.hnsw.is_some()
+    }
+
+    /// The HNSW graph, when the approximate backend engaged.
+    pub fn hnsw(&self) -> Option<&HnswGraph> {
+        self.hnsw.as_ref()
     }
 
     /// Number of indexed points.
@@ -603,6 +687,18 @@ impl KnnIndex {
             self.train.ncols(),
             "query dimensionality must match the index"
         );
+        if let Some(h) = &self.hnsw {
+            // Approximate path: beam search over the HNSW graph with the
+            // same norm-trick distances as the gemm tiles. `ef_search`
+            // floors at k so the beam can always hold a full answer.
+            self.stats.record_ann_query(1);
+            let norms = self
+                .train_sq_norms
+                .as_deref()
+                .expect("hnsw caches row norms at build");
+            let ctx = DistCtx::new(&self.train, norms, self.config.precision);
+            return h.search(&ctx, query, k.min(self.train.nrows()), h.params().ef_search);
+        }
         if let Some(tree) = &self.tree {
             return tree.query(query, k);
         }
@@ -689,7 +785,12 @@ impl KnnIndex {
                 rhs: self.train.shape(),
             });
         }
-        if self.tree.is_some() || self.config.backend == DistanceBackend::Naive {
+        if self.hnsw.is_some()
+            || self.tree.is_some()
+            || self.config.backend == DistanceBackend::Naive
+        {
+            // Per-row queries chunked across threads; graph searches are
+            // pure reads, so chunking cannot change any result.
             return Ok(crate::parallel::par_chunk_map(
                 queries.nrows(),
                 n_threads,
@@ -715,6 +816,16 @@ impl KnnIndex {
     /// queries, chunked across `n_threads` either way.
     pub fn self_query_batch(&self, k: usize, n_threads: usize) -> Vec<Vec<Neighbor>> {
         let n = self.train.nrows();
+        if self.hnsw.is_some() {
+            // Leave-one-out via the approximate graph: per-row searches
+            // with the `query_excluding` k+1 protocol, chunked across
+            // threads (pure reads — thread-count invariant).
+            return crate::parallel::par_chunk_map(n, n_threads, |range| {
+                range
+                    .map(|i| self.query_excluding(self.train.row(i), k, i))
+                    .collect()
+            });
+        }
         if self.tree.is_none() {
             if self.train_sq_norms.is_some() {
                 return self.brute_batch_topk(&self.train, k, n_threads, true);

@@ -53,6 +53,7 @@
 //!   exactly like multiply-then-add: the AVX2 mixed lane may use FMA and
 //!   still match the scalar mixed lane **bitwise**.
 
+use crate::hnsw::NeighborBackend;
 use crate::{Error, Matrix, Result};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -370,6 +371,13 @@ pub struct KernelConfig {
     pub kdtree_crossover_dim: usize,
     /// Minimum row count for the KD-tree backend to engage.
     pub kdtree_min_rows: usize,
+    /// Which neighbour index answers kNN queries: the exact backends
+    /// (default) or the approximate seeded HNSW graph. Euclidean indexes
+    /// with at least [`HnswParams::min_rows`](crate::hnsw::HnswParams)
+    /// rows honour [`NeighborBackend::Hnsw`]; everything else falls back
+    /// to the exact path with an
+    /// [`ann_fallback_hits`](KernelCounters::ann_fallback_hits) count.
+    pub neighbor: NeighborBackend,
 }
 
 impl Default for KernelConfig {
@@ -379,6 +387,7 @@ impl Default for KernelConfig {
             precision: Precision::default(),
             kdtree_crossover_dim: DEFAULT_KDTREE_CROSSOVER_DIM,
             kdtree_min_rows: DEFAULT_KDTREE_MIN_ROWS,
+            neighbor: NeighborBackend::Exact,
         }
     }
 }
@@ -419,6 +428,8 @@ pub struct KernelStats {
     simd_invocations: AtomicU64,
     scalar_invocations: AtomicU64,
     mixed_invocations: AtomicU64,
+    ann_queries: AtomicU64,
+    ann_fallback_hits: AtomicU64,
 }
 
 impl KernelStats {
@@ -436,6 +447,8 @@ impl KernelStats {
             simd_invocations: self.simd_invocations.load(Ordering::Relaxed),
             scalar_invocations: self.scalar_invocations.load(Ordering::Relaxed),
             mixed_invocations: self.mixed_invocations.load(Ordering::Relaxed),
+            ann_queries: self.ann_queries.load(Ordering::Relaxed),
+            ann_fallback_hits: self.ann_fallback_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -468,6 +481,19 @@ impl KernelStats {
     pub(crate) fn record_fallback(&self) {
         self.fallback_hits.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records `n` queries answered by the approximate HNSW graph
+    /// (request-derived, so the count is thread-count-independent).
+    pub(crate) fn record_ann_query(&self, n: u64) {
+        self.ann_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one index build that requested [`NeighborBackend::Hnsw`]
+    /// but had to take the exact path (small n or a non-Euclidean
+    /// metric) — the ANN analogue of [`record_fallback`](Self::record_fallback).
+    pub(crate) fn record_ann_fallback(&self) {
+        self.ann_fallback_hits.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Immutable snapshot of [`KernelStats`].
@@ -488,6 +514,13 @@ pub struct KernelCounters {
     /// Kernel invocations that ran in mixed precision (config-derived,
     /// deterministic).
     pub mixed_invocations: u64,
+    /// Queries answered by the approximate HNSW graph (request-derived,
+    /// deterministic).
+    pub ann_queries: u64,
+    /// Index builds that requested [`NeighborBackend::Hnsw`] but routed
+    /// to the exact path (small n or non-Euclidean metric) — the
+    /// exactness-fallback counter (deterministic).
+    pub ann_fallback_hits: u64,
 }
 
 impl KernelCounters {
@@ -506,6 +539,10 @@ impl KernelCounters {
             mixed_invocations: self
                 .mixed_invocations
                 .saturating_sub(earlier.mixed_invocations),
+            ann_queries: self.ann_queries.saturating_sub(earlier.ann_queries),
+            ann_fallback_hits: self
+                .ann_fallback_hits
+                .saturating_sub(earlier.ann_fallback_hits),
         }
     }
 }

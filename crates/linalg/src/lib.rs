@@ -38,6 +38,10 @@
 //!   each [`KnnIndex`] once, sweeps leave-one-out neighbours once at the
 //!   pooled maximum k, and serves exact sorted-prefix views to every
 //!   proximity detector sharing the same training matrix.
+//! * [`hnsw`] — seeded, deterministic approximate neighbor graph
+//!   ([`HnswGraph`]) selected through [`NeighborBackend::Hnsw`]; turns the
+//!   exact O(n²) self-sweep into an O(n·log n) build plus beam searches,
+//!   with an exactness fallback for small n and non-Euclidean metrics.
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@
 pub mod distance;
 pub mod eigen;
 pub mod gemm;
+pub mod hnsw;
 pub mod kdtree;
 pub mod matrix;
 pub mod neighbor_cache;
@@ -67,13 +72,17 @@ pub use distance::{
     pairwise_distances, pairwise_distances_backend, pairwise_distances_parallel,
     pairwise_distances_symmetric, pairwise_distances_symmetric_backend,
     pairwise_distances_symmetric_parallel, pairwise_distances_symmetric_with,
-    pairwise_distances_with, DistanceMetric, KnnIndex,
+    pairwise_distances_with, DistanceMetric, KnnIndex, Neighbor,
 };
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use gemm::{
     gram, matmul_packed, mixed_distance_error_bound, row_sq_norms, row_sq_norms_mixed,
     set_simd_lane_override, DistanceBackend, KernelConfig, KernelCounters, KernelStats, Precision,
     SimdLane, DEFAULT_KDTREE_CROSSOVER_DIM, DEFAULT_KDTREE_MIN_ROWS, F32_UNIT_ROUNDOFF,
+};
+pub use hnsw::{
+    HnswGraph, HnswParams, NeighborBackend, DEFAULT_EF_CONSTRUCTION, DEFAULT_EF_SEARCH,
+    DEFAULT_HNSW_M, DEFAULT_HNSW_MIN_ROWS,
 };
 pub use matrix::Matrix;
 pub use neighbor_cache::{

@@ -131,8 +131,41 @@ impl NeighborGraph {
         n_threads: usize,
         config: KernelConfig,
     ) -> Result<Self> {
-        let index = Arc::new(KnnIndex::build_with(x, metric, config)?);
+        Self::build_observed(
+            x,
+            metric,
+            k,
+            n_threads,
+            config,
+            suod_observe::noop().as_ref(),
+        )
+    }
+
+    /// [`build_with`](Self::build_with) reporting the two phases to
+    /// `observer` as separate spans: [`Stage::NeighborBuild`] wraps the
+    /// index construction (where an approximate backend pays its graph
+    /// build) and [`Stage::NeighborQuery`] wraps the leave-one-out sweep
+    /// (where it earns the speedup) — so recall/speed tradeoffs are
+    /// visible per phase in traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`](crate::Error::Empty) when `x` has no rows.
+    pub fn build_observed(
+        x: &Matrix,
+        metric: DistanceMetric,
+        k: usize,
+        n_threads: usize,
+        config: KernelConfig,
+        observer: &dyn Observer,
+    ) -> Result<Self> {
+        let span = observer.span_begin(Stage::NeighborBuild, SpanAttrs::none());
+        let index = KnnIndex::build_with_threads(x, metric, config, n_threads.max(1));
+        observer.span_end(span);
+        let index = Arc::new(index?);
+        let span = observer.span_begin(Stage::NeighborQuery, SpanAttrs::none());
         let lists = index.self_query_batch(k, n_threads.max(1));
+        observer.span_end(span);
         Ok(Self {
             index,
             k_built: k,
@@ -225,6 +258,10 @@ pub struct NeighborCacheStats {
     pub builds: u64,
     /// Total wall time spent building indexes and neighbour lists.
     pub build_time: Duration,
+    /// Builds that requested the approximate neighbor backend but routed
+    /// to the exact path instead (small n or non-Euclidean metric) — the
+    /// exactness-fallback counter, summed over this cache's builds.
+    pub ann_fallbacks: u64,
 }
 
 /// Per-key cache slot. The inner mutex serializes builders of the same
@@ -251,6 +288,7 @@ pub struct NeighborCache {
     hits: AtomicU64,
     misses: AtomicU64,
     build_nanos: AtomicU64,
+    ann_fallbacks: AtomicU64,
     /// Instrumentation sink: hits/misses emit [`Counter`] events and each
     /// graph build is wrapped in a [`Stage::NeighborBuild`] span. The
     /// internal atomic counters always run regardless, so
@@ -318,6 +356,7 @@ impl NeighborCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             build_nanos: AtomicU64::new(0),
+            ann_fallbacks: AtomicU64::new(0),
             observer,
             kernel: config,
         }
@@ -390,18 +429,24 @@ impl NeighborCache {
         let k_build = k
             .max(slot.registered_k)
             .max(slot.graph.as_ref().map_or(0, |g| g.k_built()));
-        let span = self
-            .observer
-            .span_begin(Stage::NeighborBuild, SpanAttrs::none());
         let start = Instant::now();
-        let built = NeighborGraph::build_with(x, metric, k_build, n_threads, self.kernel);
+        let built = NeighborGraph::build_observed(
+            x,
+            metric,
+            k_build,
+            n_threads,
+            self.kernel,
+            self.observer.as_ref(),
+        );
         self.build_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.observer.span_end(span);
         let graph = Arc::new(built?);
         // The index is fresh, so its counter snapshot is exactly this
         // build's kernel work (shape-derived, thread-count-independent).
-        emit_kernel_counters(self.observer.as_ref(), graph.index().kernel_counters());
+        let counters = graph.index().kernel_counters();
+        self.ann_fallbacks
+            .fetch_add(counters.ann_fallback_hits, Ordering::Relaxed);
+        emit_kernel_counters(self.observer.as_ref(), counters);
         slot.graph = Some(Arc::clone(&graph));
         Ok(graph)
     }
@@ -435,6 +480,7 @@ impl NeighborCache {
             misses,
             builds: misses,
             build_time: Duration::from_nanos(self.build_nanos.load(Ordering::Relaxed)),
+            ann_fallbacks: self.ann_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -464,6 +510,12 @@ pub fn emit_kernel_counters(observer: &dyn Observer, counters: KernelCounters) {
     }
     if counters.mixed_invocations > 0 {
         observer.counter(Counter::MixedKernel, counters.mixed_invocations);
+    }
+    if counters.ann_queries > 0 {
+        observer.counter(Counter::AnnQuery, counters.ann_queries);
+    }
+    if counters.ann_fallback_hits > 0 {
+        observer.counter(Counter::AnnFallback, counters.ann_fallback_hits);
     }
 }
 

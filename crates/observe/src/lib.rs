@@ -72,6 +72,11 @@ pub enum Stage {
     NeighborPlan,
     /// One shared neighbour-graph build (index + leave-one-out sweep).
     NeighborBuild,
+    /// The leave-one-out query sweep over a built neighbour index (the
+    /// part an approximate backend accelerates, split out from
+    /// [`Stage::NeighborBuild`] so recall/speed tradeoffs show up in
+    /// traces).
+    NeighborQuery,
     /// BPS cost forecasting and worker assignment.
     BpsPlan,
     /// One detector fit (first attempt), attributed to its pool index.
@@ -99,6 +104,7 @@ pub const STAGES: &[Stage] = &[
     Stage::Projection,
     Stage::NeighborPlan,
     Stage::NeighborBuild,
+    Stage::NeighborQuery,
     Stage::BpsPlan,
     Stage::ModelFit,
     Stage::ModelRetry,
@@ -118,6 +124,7 @@ impl Stage {
             Stage::Projection => "projection",
             Stage::NeighborPlan => "neighbor_plan",
             Stage::NeighborBuild => "neighbor_build",
+            Stage::NeighborQuery => "neighbor_query",
             Stage::BpsPlan => "bps_plan",
             Stage::ModelFit => "model_fit",
             Stage::ModelRetry => "model_retry",
@@ -189,6 +196,14 @@ pub enum Counter {
     /// GEMM kernel invocations that ran in mixed precision (f32 packed
     /// storage, f64 accumulation). Config-derived and deterministic.
     MixedKernel,
+    /// kNN queries answered by the approximate HNSW graph (request-
+    /// derived, thread-independent — the graph is identical at any
+    /// worker count for a fixed seed).
+    AnnQuery,
+    /// Requests for the approximate neighbor backend that routed to the
+    /// exact path instead (small n or non-Euclidean metric) — the
+    /// exactness-fallback counter.
+    AnnFallback,
 }
 
 /// Every counter, in export order.
@@ -206,6 +221,8 @@ pub const COUNTERS: &[Counter] = &[
     Counter::SimdKernel,
     Counter::ScalarKernel,
     Counter::MixedKernel,
+    Counter::AnnQuery,
+    Counter::AnnFallback,
 ];
 
 impl Counter {
@@ -225,6 +242,8 @@ impl Counter {
             Counter::SimdKernel => "simd_kernel",
             Counter::ScalarKernel => "scalar_kernel",
             Counter::MixedKernel => "mixed_kernel",
+            Counter::AnnQuery => "ann_query",
+            Counter::AnnFallback => "ann_fallback",
         }
     }
 
@@ -415,6 +434,8 @@ mod tests {
         assert!(Counter::PackedPanel.is_deterministic());
         assert!(Counter::GemmTile.is_deterministic());
         assert!(Counter::KernelFallback.is_deterministic());
+        assert!(Counter::AnnQuery.is_deterministic());
+        assert!(Counter::AnnFallback.is_deterministic());
     }
 
     #[test]

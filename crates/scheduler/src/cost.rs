@@ -38,6 +38,11 @@ pub struct TaskDescriptor {
     /// cost model that keeps forecasting it would make BPS rebalance the
     /// pool against phantom work.
     pub cached_neighbors: bool,
+    /// `true` when the task's neighbour graph is answered by the
+    /// approximate HNSW backend — the index/sweep term drops from
+    /// `O(n^2 d)` to `O(n log n · d)`, and BPS should not treat an
+    /// approximate proximity fit as the pool's heavyweight.
+    pub approx_neighbors: bool,
 }
 
 impl TaskDescriptor {
@@ -48,6 +53,7 @@ impl TaskDescriptor {
             knob: knob.max(1.0),
             weight: 1.0,
             cached_neighbors: false,
+            approx_neighbors: false,
         }
     }
 
@@ -64,14 +70,23 @@ impl TaskDescriptor {
         self
     }
 
+    /// Marks whether this task's neighbour graph is served by the
+    /// approximate HNSW backend (see the field docs on
+    /// `approx_neighbors`).
+    pub fn with_approx_neighbors(mut self, approx: bool) -> Self {
+        self.approx_neighbors = approx;
+        self
+    }
+
     /// Full feature vector for the learned predictor: dataset meta-features
-    /// followed by the knob, the weight, the cached-neighbors flag, and a
-    /// one-hot family embedding.
+    /// followed by the knob, the weight, the cached-neighbors flag, the
+    /// approx-neighbors flag, and a one-hot family embedding.
     pub fn feature_vector(&self, meta: &DatasetMeta) -> Vec<f64> {
         let mut v = meta.feature_vector();
         v.push(self.knob);
         v.push(self.weight);
         v.push(f64::from(self.cached_neighbors));
+        v.push(f64::from(self.approx_neighbors));
         let mut onehot = vec![0.0; 12];
         onehot[self.family.index()] = 1.0;
         v.extend(onehot);
@@ -131,10 +146,14 @@ impl CostModel for AnalyticCostModel {
         let d = meta.n_features as f64;
         let k = task.knob;
         // Proximity families split into the index-build/sweep term
-        // (O(n^2 d), skipped entirely on a neighbour-cache hit) and the
-        // per-model post-processing that always runs.
+        // (O(n^2 d) exact, O(n log n d) approximate, skipped entirely on
+        // a neighbour-cache hit) and the per-model post-processing that
+        // always runs. The 8.0 factor covers the HNSW graph's beam-search
+        // constant (ef candidates x M edges per hop).
         let index_sweep = if task.cached_neighbors {
             0.0
+        } else if task.approx_neighbors {
+            n * n.ln().max(1.0) * d * 8.0
         } else {
             n * n * d
         };
@@ -392,17 +411,23 @@ mod tests {
     fn feature_vector_includes_onehot() {
         let t = TaskDescriptor::new(AlgorithmFamily::Abod, 7.0);
         let v = t.feature_vector(&meta(10, 3));
-        assert_eq!(v.len(), DatasetMeta::FEATURE_LEN + 3 + 12);
+        assert_eq!(v.len(), DatasetMeta::FEATURE_LEN + 4 + 12);
         assert_eq!(v[DatasetMeta::FEATURE_LEN], 7.0);
         assert_eq!(v[DatasetMeta::FEATURE_LEN + 1], 1.0); // default weight
         assert_eq!(v[DatasetMeta::FEATURE_LEN + 2], 0.0); // not cached
+        assert_eq!(v[DatasetMeta::FEATURE_LEN + 3], 0.0); // exact neighbors
         assert_eq!(
-            v[DatasetMeta::FEATURE_LEN + 3 + AlgorithmFamily::Abod.index()],
+            v[DatasetMeta::FEATURE_LEN + 4 + AlgorithmFamily::Abod.index()],
             1.0
         );
         let cached = t.with_cached_neighbors(true);
         assert_eq!(
             cached.feature_vector(&meta(10, 3))[DatasetMeta::FEATURE_LEN + 2],
+            1.0
+        );
+        let approx = t.with_approx_neighbors(true);
+        assert_eq!(
+            approx.feature_vector(&meta(10, 3))[DatasetMeta::FEATURE_LEN + 3],
             1.0
         );
     }
@@ -434,6 +459,35 @@ mod tests {
         assert_eq!(
             model.predict_cost(&t, &m),
             model.predict_cost(&t.with_cached_neighbors(true), &m)
+        );
+    }
+
+    #[test]
+    fn approx_neighbors_discounts_index_cost() {
+        let m = meta(100_000, 20);
+        let model = AnalyticCostModel::new();
+        for family in [
+            AlgorithmFamily::Knn,
+            AlgorithmFamily::Lof,
+            AlgorithmFamily::Loop,
+            AlgorithmFamily::Abod,
+        ] {
+            let t = TaskDescriptor::new(family, 10.0);
+            let exact = model.predict_cost(&t, &m);
+            let approx = model.predict_cost(&t.with_approx_neighbors(true), &m);
+            assert!(
+                approx < exact / 100.0,
+                "{family:?}: approx {approx} should be far below exact {exact} at n=100k"
+            );
+            // A cache hit still beats an approximate rebuild.
+            let cached = model.predict_cost(&t.with_cached_neighbors(true), &m);
+            assert!(cached < approx);
+        }
+        // Non-proximity families are unaffected by the flag.
+        let t = TaskDescriptor::new(AlgorithmFamily::Hbos, 10.0);
+        assert_eq!(
+            model.predict_cost(&t, &m),
+            model.predict_cost(&t.with_approx_neighbors(true), &m)
         );
     }
 }
