@@ -14,16 +14,21 @@
 //!                 [--contamination 0.1] [--seed 42] [--output scores.csv]
 //! suod-cli detect --csv data.csv [--label-column 3] ...
 //! suod-cli trace --dataset cardio [--format json|chrome] [--output trace.json] ...
+//! suod-cli serve --dataset cardio [--chaos panic] [--listen 127.0.0.1:7878] ...
+//! suod-cli score --connect 127.0.0.1:7878 --csv data.csv
 //! suod-cli list-datasets
 //! suod-cli help
 //! ```
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use suod::prelude::*;
 use suod_datasets::csv::{load_csv, CsvOptions};
 use suod_datasets::{registry, Dataset};
 use suod_metrics::{precision_at_n, roc_auc};
+use suod_serve::{ScoreOutcome, ScoreService, ServeConfig, SubmitError};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +37,78 @@ pub enum Command {
     Detect(DetectArgs),
     /// Run an instrumented fit + predict and export the trace.
     Trace(TraceArgs),
+    /// Fit a pool and run the fault-tolerant online scoring service.
+    Serve(ServeArgs),
+    /// Score rows against a running `serve --listen` server.
+    Score(ScoreArgs),
     /// Print the registry's dataset table.
     ListDatasets,
     /// Print usage.
     Help,
+}
+
+/// Arguments for [`Command::Serve`]: the pipeline configuration plus the
+/// serving knobs. Without `--listen` the command runs a self-contained
+/// replay demo — concurrent clients score slices of the dataset's own
+/// rows — and prints the per-request outcomes and the service report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Pipeline configuration (shared `detect` flags).
+    pub detect: DetectArgs,
+    /// Admission queue capacity (`Busy` past this).
+    pub queue: usize,
+    /// Micro-batch row cap.
+    pub batch_rows: usize,
+    /// Batch assembly window in milliseconds.
+    pub window_ms: u64,
+    /// Default per-request deadline budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Consecutive predict faults before a model is quarantined.
+    pub failure_budget: u32,
+    /// Serving floor: minimum healthy fraction of the ensemble.
+    pub min_healthy: f64,
+    /// Optional saboteur appended to the pool (chaos demo).
+    pub chaos: Option<ChaosMode>,
+    /// Replay demo: number of concurrent client requests.
+    pub requests: usize,
+    /// Replay demo: rows per request.
+    pub rows_per_request: usize,
+    /// TCP address to listen on instead of running the replay demo.
+    pub listen: Option<String>,
+    /// Listen mode: exit after this many connections (0 = run forever).
+    pub max_conns: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            detect: DetectArgs::default(),
+            queue: 64,
+            batch_rows: 256,
+            window_ms: 2,
+            deadline_ms: None,
+            failure_budget: 3,
+            min_healthy: 0.5,
+            chaos: None,
+            requests: 8,
+            rows_per_request: 16,
+            listen: None,
+            max_conns: 0,
+        }
+    }
+}
+
+/// Arguments for [`Command::Score`]: the client side of `serve --listen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreArgs {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub connect: String,
+    /// CSV of feature rows to score.
+    pub csv: String,
+    /// Label column to strip from the CSV before sending.
+    pub label_column: Option<usize>,
+    /// Optional output CSV path for the returned scores.
+    pub output: Option<String>,
 }
 
 /// Export format for [`Command::Trace`].
@@ -144,8 +217,98 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 format: format.unwrap_or(TraceFormat::Json),
             }))
         }
+        "serve" => parse_serve_flags(&mut it).map(Command::Serve),
+        "score" => parse_score_flags(&mut it).map(Command::Score),
         other => Err(format!("unknown command `{other}` (see `suod-cli help`)")),
     }
+}
+
+fn parse_chaos(raw: &str) -> Result<ChaosMode, String> {
+    match raw {
+        "panic" => Ok(ChaosMode::PanicOnPredict),
+        "nan" => Ok(ChaosMode::NanOnPredict),
+        "slow" => Ok(ChaosMode::SlowPredict(25)),
+        other => other
+            .strip_prefix("slow:")
+            .and_then(|ms| ms.parse().ok())
+            .map(ChaosMode::SlowPredict)
+            .ok_or_else(|| format!("unknown chaos mode `{other}` (panic|nan|slow[:ms])")),
+    }
+}
+
+fn parse_serve_flags(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ServeArgs, String> {
+    let mut s = ServeArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => s.detect.dataset = Some(value("--dataset")?),
+            "--csv" => s.detect.csv = Some(value("--csv")?),
+            "--label-column" => {
+                s.detect.label_column = Some(parse_num(&value("--label-column")?, flag)?)
+            }
+            "--scale" => s.detect.scale = parse_num(&value("--scale")?, flag)?,
+            "--models" => s.detect.models = parse_num(&value("--models")?, flag)?,
+            "--workers" => s.detect.workers = parse_num(&value("--workers")?, flag)?,
+            "--seed" => s.detect.seed = parse_num(&value("--seed")?, flag)?,
+            "--no-rp" => s.detect.rp = false,
+            "--no-psa" => s.detect.psa = false,
+            "--no-bps" => s.detect.bps = false,
+            "--queue" => s.queue = parse_num(&value("--queue")?, flag)?,
+            "--batch-rows" => s.batch_rows = parse_num(&value("--batch-rows")?, flag)?,
+            "--window-ms" => s.window_ms = parse_num(&value("--window-ms")?, flag)?,
+            "--deadline-ms" => s.deadline_ms = Some(parse_num(&value("--deadline-ms")?, flag)?),
+            "--failure-budget" => s.failure_budget = parse_num(&value("--failure-budget")?, flag)?,
+            "--min-healthy" => s.min_healthy = parse_num(&value("--min-healthy")?, flag)?,
+            "--chaos" => s.chaos = Some(parse_chaos(&value("--chaos")?)?),
+            "--requests" => s.requests = parse_num(&value("--requests")?, flag)?,
+            "--rows-per-request" => {
+                s.rows_per_request = parse_num(&value("--rows-per-request")?, flag)?
+            }
+            "--listen" => s.listen = Some(value("--listen")?),
+            "--max-conns" => s.max_conns = parse_num(&value("--max-conns")?, flag)?,
+            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
+        }
+    }
+    match (&s.detect.dataset, &s.detect.csv) {
+        (None, None) => Err("serve needs --dataset <name> or --csv <path>".into()),
+        (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
+        _ => Ok(s),
+    }
+}
+
+fn parse_score_flags(
+    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+) -> Result<ScoreArgs, String> {
+    let mut connect = None;
+    let mut csv = None;
+    let mut label_column = None;
+    let mut output = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--csv" => csv = Some(value("--csv")?),
+            "--label-column" => label_column = Some(parse_num(&value("--label-column")?, flag)?),
+            "--output" => output = Some(value("--output")?),
+            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
+        }
+    }
+    Ok(ScoreArgs {
+        connect: connect.ok_or("score needs --connect <addr>")?,
+        csv: csv.ok_or("score needs --csv <path>")?,
+        label_column,
+        output,
+    })
 }
 
 /// Parses the shared `detect`/`trace` flag set. `--format` is only
@@ -218,6 +381,8 @@ USAGE:
   suod-cli detect --dataset <name> [options]   score a registry analog
   suod-cli detect --csv <path> [options]       score a local CSV file
   suod-cli trace --dataset <name> [options]    export an instrumented run's trace
+  suod-cli serve --dataset <name> [options]    run the online scoring service
+  suod-cli score --connect <addr> --csv <path> score rows against a server
   suod-cli list-datasets                       show the benchmark registry
   suod-cli help                                this text
 
@@ -244,6 +409,25 @@ TRACE OPTIONS:
   --format <json|chrome>  export format                       [json]
                           json   = stable suod-trace/1 schema
                           chrome = chrome://tracing / Perfetto
+
+SERVE OPTIONS (plus the shared detect flags above):
+  --queue <n>           admission queue capacity              [64]
+  --batch-rows <n>      micro-batch row cap                   [256]
+  --window-ms <ms>      batch assembly window                 [2]
+  --deadline-ms <ms>    default per-request deadline          [none]
+  --failure-budget <n>  predict faults before quarantine      [3]
+  --min-healthy <f>     serving floor (healthy fraction)      [0.5]
+  --chaos <mode>        append a saboteur: panic|nan|slow[:ms]
+  --requests <n>        replay demo: concurrent requests      [8]
+  --rows-per-request <n>  replay demo: rows per request       [16]
+  --listen <addr>       serve over TCP instead of the replay demo
+  --max-conns <n>       listen: exit after n connections (0 = forever)
+
+SCORE OPTIONS:
+  --connect <addr>      server address (serve --listen)
+  --csv <path>          feature rows to score
+  --label-column <i>    strip this CSV column before sending
+  --output <path>       write index,score CSV instead of printing
 "
 }
 
@@ -279,6 +463,8 @@ pub fn run(command: Command) -> Result<String, String> {
         }
         Command::Detect(args) => detect(&args),
         Command::Trace(args) => trace(&args),
+        Command::Serve(args) => serve(&args),
+        Command::Score(args) => score(&args),
     }
 }
 
@@ -481,6 +667,315 @@ fn trace(args: &TraceArgs) -> Result<String, String> {
     Ok(out)
 }
 
+fn serve(args: &ServeArgs) -> Result<String, String> {
+    let (ds, _) = load_dataset(&args.detect)?;
+    let mut pool = clamp_pool(
+        suod::random_pool(args.detect.models, args.detect.seed),
+        ds.n_samples(),
+    );
+    if let Some(mode) = args.chaos {
+        pool.push(ModelSpec::Chaos {
+            mode,
+            n_neighbors: 5,
+        });
+    }
+
+    let mut clf = Suod::builder()
+        .base_estimators(pool)
+        .with_projection(args.detect.rp)
+        .with_approximation(args.detect.psa)
+        .with_bps(args.detect.bps)
+        .n_workers(args.detect.workers.max(1))
+        .min_healthy_fraction(args.min_healthy)
+        .seed(args.detect.seed)
+        .build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+
+    let config = ServeConfig {
+        queue_capacity: args.queue,
+        max_batch_rows: args.batch_rows,
+        batch_window: std::time::Duration::from_millis(args.window_ms),
+        default_deadline_ms: args.deadline_ms,
+        predict_failure_budget: args.failure_budget,
+        min_healthy_fraction: args.min_healthy,
+        ..ServeConfig::default()
+    };
+    let mut service =
+        ScoreService::new(clf, config).map_err(|e| format!("invalid serve config: {e}"))?;
+    service.spawn_dispatcher();
+
+    if let Some(addr) = &args.listen {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+        println!(
+            "serving on {bound} ({} = stop)",
+            match args.max_conns {
+                0 => "ctrl-c".to_string(),
+                n => format!("{n} connections"),
+            }
+        );
+        let summary = serve_listener(&listener, &service, args.max_conns)?;
+        let mut out = summary;
+        out.push('\n');
+        write!(out, "{}", service.report()).expect("string write");
+        return Ok(out);
+    }
+
+    // Replay demo: concurrent clients score slices of the dataset's own
+    // rows through the full admission/batching/quarantine path.
+    let service = Arc::new(service);
+    let n_rows = ds.x.nrows();
+    let mut clients = Vec::new();
+    for r in 0..args.requests {
+        let service = Arc::clone(&service);
+        let rows: Vec<Vec<f64>> = (0..args.rows_per_request)
+            .map(|i| ds.x.row((r * args.rows_per_request + i) % n_rows).to_vec())
+            .collect();
+        clients.push(std::thread::spawn(move || {
+            let query = suod_linalg::Matrix::from_rows(&rows).expect("rectangular request");
+            let ticket = loop {
+                match service.submit(query.clone()) {
+                    Ok(t) => break t,
+                    Err(SubmitError::Busy { .. }) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1))
+                    }
+                    Err(e) => return (r, Err(format!("submit failed: {e}"))),
+                }
+            };
+            (r, Ok(ticket.wait()))
+        }));
+    }
+
+    let mut out = String::new();
+    let mut outcomes: Vec<(usize, Result<ScoreOutcome, String>)> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    outcomes.sort_by_key(|(r, _)| *r);
+    for (r, outcome) in outcomes {
+        match outcome {
+            Ok(ScoreOutcome::Scored(batch)) if batch.faults.is_empty() => {
+                writeln!(
+                    out,
+                    "request {r:2}: scored clean ({} rows, {}ms)",
+                    batch.combined.len(),
+                    batch.latency_ms
+                )
+                .expect("string write");
+            }
+            Ok(ScoreOutcome::Scored(batch)) => {
+                let faults: Vec<String> = batch
+                    .faults
+                    .iter()
+                    .map(|fault| {
+                        format!(
+                            "{}#{}{}",
+                            fault.name,
+                            fault.pool_index,
+                            if fault.quarantined {
+                                " [quarantined]"
+                            } else {
+                                ""
+                            }
+                        )
+                    })
+                    .collect();
+                writeln!(
+                    out,
+                    "request {r:2}: scored degraded ({}/{} models healthy): {}",
+                    batch.healthy_models,
+                    batch.total_models,
+                    faults.join(", ")
+                )
+                .expect("string write");
+            }
+            Ok(other) => writeln!(out, "request {r:2}: {other:?}").expect("string write"),
+            Err(msg) => writeln!(out, "request {r:2}: {msg}").expect("string write"),
+        }
+    }
+    writeln!(out, "{}", service.report()).expect("string write");
+    Ok(out)
+}
+
+/// Accepts connections and answers one score request per connection.
+///
+/// Wire protocol: the client sends feature rows as comma-separated f64
+/// lines terminated by a blank line (or EOF); the server replies with
+/// `ok <n>` followed by `n` score lines, or a single `busy` / `shed ...`
+/// / `error <msg>` line. Per-connection errors are answered in-band and
+/// never take the server down.
+///
+/// Returns a one-line summary after `max_conns` connections (0 = loop
+/// until the listener fails).
+///
+/// # Errors
+///
+/// Returns a message only if accepting on the listener itself fails.
+pub fn serve_listener(
+    listener: &TcpListener,
+    service: &ScoreService,
+    max_conns: usize,
+) -> Result<String, String> {
+    let mut served = 0usize;
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept failed: {e}"))?;
+        // In-band response already written; connection-level I/O errors
+        // mean the client went away and are not the server's problem.
+        let _ = handle_connection(stream, service);
+        served += 1;
+        if max_conns > 0 && served >= max_conns {
+            break;
+        }
+    }
+    Ok(format!("served {served} connections"))
+}
+
+fn handle_connection(stream: TcpStream, service: &ScoreService) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+        let parsed: Result<Vec<f64>, _> = line
+            .trim()
+            .split(',')
+            .map(|cell| cell.trim().parse::<f64>())
+            .collect();
+        match parsed {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                writeln!(writer, "error cannot parse row {}: {e}", rows.len())?;
+                return Ok(());
+            }
+        }
+    }
+    let query = match suod_linalg::Matrix::from_rows(&rows) {
+        Ok(m) => m,
+        Err(e) => {
+            writeln!(writer, "error {e}")?;
+            return Ok(());
+        }
+    };
+    let ticket = match service.submit(query) {
+        Ok(t) => t,
+        Err(SubmitError::Busy { .. }) => {
+            writeln!(writer, "busy")?;
+            return Ok(());
+        }
+        Err(e) => {
+            writeln!(writer, "error {e}")?;
+            return Ok(());
+        }
+    };
+    match ticket.wait() {
+        ScoreOutcome::Scored(batch) => {
+            writeln!(writer, "ok {}", batch.combined.len())?;
+            for s in &batch.combined {
+                // f64 Display round-trips, so scores cross the wire
+                // bit-identically.
+                writeln!(writer, "{s}")?;
+            }
+        }
+        ScoreOutcome::Shed {
+            waited_ms,
+            deadline_ms,
+        } => writeln!(
+            writer,
+            "shed waited_ms={waited_ms} deadline_ms={deadline_ms}"
+        )?,
+        ScoreOutcome::Failed(msg) => writeln!(writer, "error {msg}")?,
+        other => writeln!(writer, "error unexpected outcome: {other:?}")?,
+    }
+    writer.flush()
+}
+
+/// Client side of the wire protocol: sends `rows` to a
+/// `serve --listen` server and returns the combined scores.
+///
+/// # Errors
+///
+/// Returns a message on connection failure, a `busy` / `shed` / `error`
+/// response, or a malformed reply.
+pub fn score_rows(addr: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    let mut body = String::new();
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(f64::to_string).collect();
+        body.push_str(&cells.join(","));
+        body.push('\n');
+    }
+    body.push('\n'); // blank-line terminator
+    writer
+        .write_all(body.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    reader
+        .read_line(&mut header)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let header = header.trim();
+    let n: usize = match header.strip_prefix("ok ") {
+        Some(count) => count
+            .parse()
+            .map_err(|_| format!("malformed response header `{header}`"))?,
+        None => return Err(format!("server refused request: {header}")),
+    };
+    let mut scores = Vec::with_capacity(n);
+    let mut line = String::new();
+    for i in 0..n {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("cannot read score {i}: {e}"))?;
+        scores.push(
+            line.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("malformed score line `{}`", line.trim()))?,
+        );
+    }
+    Ok(scores)
+}
+
+fn score(args: &ScoreArgs) -> Result<String, String> {
+    let ds = load_csv(
+        &args.csv,
+        CsvOptions {
+            has_header: None,
+            label_column: args.label_column,
+        },
+    )
+    .map_err(|e| format!("cannot load CSV: {e}"))?;
+    let rows: Vec<Vec<f64>> = (0..ds.x.nrows()).map(|r| ds.x.row(r).to_vec()).collect();
+    let scores = score_rows(&args.connect, &rows)?;
+
+    let mut csv = String::from("index,score\n");
+    for (i, s) in scores.iter().enumerate() {
+        writeln!(csv, "{i},{s:.6}").expect("string write");
+    }
+    let mut out = format!("scored {} rows via {}\n", scores.len(), args.connect);
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(out, "scores written to {path}").expect("string write");
+        }
+        None => out.push_str(&csv),
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -670,6 +1165,154 @@ mod tests {
         assert!(parse_args(&argv("trace --dataset pima --format xml")).is_err());
         // --format belongs to trace only.
         assert!(parse_args(&argv("detect --dataset pima --format json")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse_args(&argv(
+            "serve --dataset cardio --scale 0.2 --models 6 --workers 2 --queue 8 \
+             --batch-rows 64 --window-ms 5 --deadline-ms 100 --failure-budget 2 \
+             --min-healthy 0.6 --chaos panic --requests 4 --rows-per-request 8",
+        ))
+        .unwrap();
+        let Command::Serve(s) = cmd else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.detect.dataset.as_deref(), Some("cardio"));
+        assert_eq!(s.detect.workers, 2);
+        assert_eq!(s.queue, 8);
+        assert_eq!(s.batch_rows, 64);
+        assert_eq!(s.window_ms, 5);
+        assert_eq!(s.deadline_ms, Some(100));
+        assert_eq!(s.failure_budget, 2);
+        assert_eq!(s.min_healthy, 0.6);
+        assert_eq!(s.chaos, Some(ChaosMode::PanicOnPredict));
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.rows_per_request, 8);
+        assert_eq!(s.listen, None);
+
+        // Chaos mode spellings.
+        let parse = |raw: &str| {
+            parse_args(&argv(&format!("serve --dataset a --chaos {raw}"))).map(|cmd| match cmd {
+                Command::Serve(s) => s.chaos,
+                _ => panic!("expected serve"),
+            })
+        };
+        assert_eq!(parse("nan").unwrap(), Some(ChaosMode::NanOnPredict));
+        assert_eq!(parse("slow").unwrap(), Some(ChaosMode::SlowPredict(25)));
+        assert_eq!(parse("slow:9").unwrap(), Some(ChaosMode::SlowPredict(9)));
+        assert!(parse("explode").is_err());
+
+        assert!(parse_args(&argv("serve")).is_err()); // no source
+        assert!(parse_args(&argv("serve --dataset a --csv b.csv")).is_err());
+        assert!(parse_args(&argv("serve --dataset a --format json")).is_err());
+    }
+
+    #[test]
+    fn parses_score_flags() {
+        let cmd = parse_args(&argv(
+            "score --connect 127.0.0.1:7878 --csv q.csv --label-column 2",
+        ))
+        .unwrap();
+        let Command::Score(s) = cmd else {
+            panic!("expected score")
+        };
+        assert_eq!(s.connect, "127.0.0.1:7878");
+        assert_eq!(s.csv, "q.csv");
+        assert_eq!(s.label_column, Some(2));
+        assert_eq!(s.output, None);
+
+        assert!(parse_args(&argv("score --csv q.csv")).is_err()); // no addr
+        assert!(parse_args(&argv("score --connect 127.0.0.1:1")).is_err()); // no csv
+        assert!(parse_args(&argv("score --connect a --csv b --models 3")).is_err());
+    }
+
+    #[test]
+    fn serve_replay_demo_answers_every_request() {
+        // NanOnPredict keeps stderr quiet (no panic hook noise) while
+        // still exercising the degradation path end to end.
+        let cmd = parse_args(&argv(
+            "serve --dataset pima --scale 0.2 --models 4 --seed 3 --workers 2 \
+             --requests 3 --rows-per-request 8 --batch-rows 8 --chaos nan \
+             --failure-budget 2 --min-healthy 0.5",
+        ))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("request  0: scored"), "{out}");
+        assert!(out.contains("request  2: scored"), "{out}");
+        assert!(out.contains("serve: 3 admitted"), "{out}");
+        assert!(out.contains("chaos#4"), "{out}");
+        assert!(!out.contains("Failed"), "{out}");
+    }
+
+    #[test]
+    fn serve_listen_and_score_round_trip_over_loopback() {
+        let dir = std::env::temp_dir().join("suod_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A small healthy service bound to an ephemeral loopback port.
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 8) as f64, (i % 5) as f64 * 0.5, (i % 3) as f64])
+            .collect();
+        rows.push(vec![40.0, 40.0, 40.0]);
+        let x = suod_linalg::Matrix::from_rows(&rows).unwrap();
+        let mut clf = Suod::builder()
+            .base_estimators(vec![
+                ModelSpec::Hbos {
+                    n_bins: 8,
+                    tolerance: 0.3,
+                },
+                ModelSpec::IForest {
+                    n_estimators: 10,
+                    max_features: 1.0,
+                },
+            ])
+            .n_workers(1)
+            .seed(5)
+            .build()
+            .unwrap();
+        clf.fit(&x).unwrap();
+        let mut service = ScoreService::new(clf, ServeConfig::default()).unwrap();
+        service.spawn_dispatcher();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let summary = serve_listener(&listener, &service, 3).unwrap();
+            (summary, service.report())
+        });
+
+        // Connection 1: direct client API round trip.
+        let queries = vec![vec![1.0, 0.5, 2.0], vec![39.0, 41.0, 38.0]];
+        let scores = score_rows(&addr, &queries).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert!(scores[1] > scores[0], "planted outlier must score higher");
+
+        // Connection 2: a ragged request is answered in-band, not fatal.
+        let err = score_rows(&addr, &[vec![1.0, 2.0, 3.0], vec![4.0]]).unwrap_err();
+        assert!(err.contains("server refused request"), "{err}");
+
+        // Connection 3: the score subcommand end to end, via CSV.
+        let input = dir.join("queries.csv");
+        std::fs::write(&input, "a,b,c\n0.0,0.5,1.0\n38.0,40.0,39.0\n").unwrap();
+        let output = dir.join("scores.csv");
+        let cmd = parse_args(&argv(&format!(
+            "score --connect {addr} --csv {} --output {}",
+            input.display(),
+            output.display()
+        )))
+        .unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("scored 2 rows"), "{report}");
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert!(written.starts_with("index,score\n"));
+        assert_eq!(written.lines().count(), 3);
+
+        let (summary, report) = server.join().unwrap();
+        assert_eq!(summary, "served 3 connections");
+        assert_eq!(report.requests_scored, 2);
+        assert_eq!(report.admitted, 2); // the ragged request never queued
     }
 
     #[test]

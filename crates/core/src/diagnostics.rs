@@ -249,16 +249,88 @@ impl std::fmt::Display for FitDiagnostics {
     }
 }
 
-/// Telemetry from one `Suod::decision_function_observed` call.
+/// One model's predict-time failure, recorded instead of failing the
+/// whole scoring call: the model's column in the score matrix is NaN
+/// (the quarantined-column convention the combiners skip) and the cause
+/// lands here. The prediction-side analog of
+/// [`ModelReport`](crate::ModelReport).
+#[derive(Debug, Clone)]
+pub struct PredictFailure {
+    /// Original configured-pool index of the failed model (stable across
+    /// fit-time quarantines, matching [`ModelReport`](crate::ModelReport)
+    /// indices).
+    pub index: usize,
+    /// Short algorithm name (e.g. `"chaos"`).
+    pub name: &'static str,
+    /// Why scoring failed: a caught panic
+    /// ([`Panicked`](suod_detectors::Error::Panicked)), a typed detector
+    /// error, or non-finite query scores
+    /// ([`DegenerateData`](suod_detectors::Error::DegenerateData)).
+    pub cause: suod_detectors::Error,
+}
+
+/// Telemetry from one fault-isolated prediction pass
+/// (`Suod::decision_function_observed` / `decision_function_masked`).
 #[derive(Debug, Clone)]
 pub struct PredictReport {
     /// Measured scoring duration of each surviving model, in pool-index
-    /// order (approximated models answer through their regressors).
+    /// order (approximated models answer through their regressors): the
+    /// sum of the model's (model × row-chunk) task times. Zero for
+    /// models the caller masked out.
     pub model_times: Vec<Duration>,
     /// End-to-end wall time of the prediction pass.
     pub wall_time: Duration,
     /// Number of query rows scored.
     pub n_rows: usize,
+    /// Executor telemetry for the predict-phase task batch: per-task wall
+    /// times, steals, and the fault-isolation `failures` counter, with
+    /// `stragglers` holding the positions (in the surviving ensemble) of
+    /// models whose measured scoring time ran far past their forecast
+    /// share.
+    pub execution: ExecutionReport,
+    /// Models whose scoring failed this call (panic, typed error, or
+    /// non-finite scores). Their columns in the returned matrix are NaN.
+    pub failures: Vec<PredictFailure>,
+    /// Positions (in the surviving ensemble) the caller masked out —
+    /// e.g. models quarantined at serve time. Their columns are NaN and
+    /// no work was scheduled for them.
+    pub skipped: Vec<usize>,
+}
+
+impl PredictReport {
+    /// Number of models that produced usable (finite) score columns.
+    pub fn healthy_models(&self) -> usize {
+        self.model_times
+            .len()
+            .saturating_sub(self.failures.len() + self.skipped.len())
+    }
+
+    /// `true` when every scheduled model scored successfully.
+    pub fn fully_healthy(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for PredictReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "predict: {} rows, {} models ({} healthy, {} failed, {} skipped), wall {:.4}s, \
+             {} task failures, {} steals",
+            self.n_rows,
+            self.model_times.len(),
+            self.healthy_models(),
+            self.failures.len(),
+            self.skipped.len(),
+            self.wall_time.as_secs_f64(),
+            self.execution.failures,
+            self.execution.steals,
+        )?;
+        for fail in &self.failures {
+            writeln!(f, "  [{}] {} failed: {}", fail.index, fail.name, fail.cause)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

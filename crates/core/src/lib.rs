@@ -72,7 +72,9 @@ pub mod suod;
 pub mod xgbod;
 
 pub use crate::suod::{Suod, SuodBuilder};
-pub use diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
+pub use diagnostics::{
+    CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictFailure, PredictReport,
+};
 pub use grid::{full_grid, random_pool};
 pub use health::{ModelHealth, ModelReport, ModelStatus};
 pub use lscp::{lscp_scores, LscpConfig, LscpVariant};
@@ -88,7 +90,9 @@ pub use suod_observe as observe;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
-    pub use crate::diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
+    pub use crate::diagnostics::{
+        CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictFailure, PredictReport,
+    };
     pub use crate::health::{ModelHealth, ModelReport, ModelStatus};
     pub use crate::pseudo::ApproxSpec;
     pub use crate::spec::ModelSpec;

@@ -17,7 +17,9 @@
 //! `n x m` score matrix; `combined_scores`/`predict` collapse it with the
 //! average combiner and the contamination threshold learned at fit time.
 
-use crate::diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictReport};
+use crate::diagnostics::{
+    CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictFailure, PredictReport,
+};
 use crate::health::{ModelHealth, ModelReport, ModelStatus};
 use crate::pseudo::{fit_approximator, ApproxSpec};
 use crate::spec::ModelSpec;
@@ -34,7 +36,7 @@ use suod_observe::{Counter, Observer, SpanAttrs, Stage};
 use suod_projection::{JlProjector, JlVariant, Projector};
 use suod_scheduler::{
     bps_schedule, generic_schedule, simulate_makespan, AnalyticCostModel, Assignment, CostModel,
-    DatasetMeta, SimulationResult, TaskFailure, WorkStealingExecutor,
+    DatasetMeta, ExecutionReport, SimulationResult, TaskFailure, WorkStealingExecutor,
 };
 use suod_supervised::Regressor;
 
@@ -411,6 +413,10 @@ impl SuodBuilder {
 
 struct FittedModel {
     spec: ModelSpec,
+    /// Original index in the configured pool — stable across fit-time
+    /// quarantines, so predict-time health reports line up with the
+    /// fit-time [`ModelHealth`] indices.
+    pool_index: usize,
     detector: Box<dyn Detector>,
     projector: Option<JlProjector>,
     approximator: Option<Box<dyn Regressor>>,
@@ -880,6 +886,7 @@ impl Suod {
             if let Some((detector, train_scores, fit_time)) = fitted[i].take() {
                 models.push(FittedModel {
                     spec: self.config.base_estimators[i],
+                    pool_index: i,
                     detector,
                     projector: projectors[i].take(),
                     approximator: None,
@@ -978,6 +985,27 @@ impl Suod {
         self.diagnostics.as_ref()
     }
 
+    /// Per-model prediction cost forecast (the cost model's unitless
+    /// scale) for the models at the given surviving-ensemble positions:
+    /// nominal 1.0 for approximated models (cheap forest lookups),
+    /// analytic forecast otherwise.
+    fn predict_model_costs(&self, state: &FittedState, positions: &[usize]) -> Vec<f64> {
+        let meta = DatasetMeta::from_shape(state.models[0].train_scores.len(), state.n_features);
+        positions
+            .iter()
+            .map(|&p| {
+                let model = &state.models[p];
+                if model.approximator.is_some() {
+                    1.0
+                } else {
+                    self.config
+                        .cost_model
+                        .predict_cost(&model.spec.task_descriptor(), &meta)
+                }
+            })
+            .collect()
+    }
+
     /// BPS applies to "both training and prediction stage" (paper §3.5).
     /// Prediction work is split into (model x row-chunk) tasks, ordered
     /// model-major; each task's cost is the model's forecast (nominal 1.0
@@ -985,42 +1013,95 @@ impl Suod {
     /// lookups) scaled by the chunk's share of the query rows.
     fn prediction_schedule(
         &self,
-        state: &FittedState,
+        model_costs: &[f64],
         chunks: &[std::ops::Range<usize>],
     ) -> Result<Assignment> {
-        let m = state.models.len();
-        let n_tasks = m * chunks.len();
+        let n_tasks = model_costs.len() * chunks.len();
         let t = self.config.n_workers;
         if t <= 1 || !self.config.bps_enabled {
             return Ok(generic_schedule(n_tasks, t.max(1))?);
         }
-        let meta = DatasetMeta::from_shape(state.models[0].train_scores.len(), state.n_features);
-        let total_rows: usize = chunks.iter().map(|c| c.len()).sum();
-        let mut costs = Vec::with_capacity(n_tasks);
-        for model in &state.models {
-            let model_cost = if model.approximator.is_some() {
-                1.0
-            } else {
-                self.config
-                    .cost_model
-                    .predict_cost(&model.spec.task_descriptor(), &meta)
-            };
-            for chunk in chunks {
-                costs.push(model_cost * chunk.len() as f64 / total_rows.max(1) as f64);
-            }
-        }
+        let chunk_lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        let costs = suod_scheduler::predict_chunk_costs(model_costs, &chunk_lens);
         Ok(bps_schedule(&costs, t, self.config.bps_alpha)?)
     }
 
     /// Per-model outlyingness scores for new samples: an `n x m` matrix
-    /// with one column per base estimator. Costly models answer through
-    /// their PSA approximators when approximation is enabled.
+    /// with one column per surviving base estimator. Costly models answer
+    /// through their PSA approximators when approximation is enabled.
+    ///
+    /// Scoring is **fault-isolated per model**: a model that panics,
+    /// returns a typed error, or emits non-finite query scores
+    /// contributes an all-NaN column (the quarantined-column convention
+    /// the [`suod_metrics`] combiners skip) instead of failing the whole
+    /// call. Use [`decision_function_observed`](Self::decision_function_observed)
+    /// to recover the per-model failure causes.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NotFitted`] before `fit`, plus propagated scoring
-    /// failures (e.g. dimension mismatch).
+    /// Returns [`Error::NotFitted`] before `fit`, plus query validation
+    /// failures (dimension mismatch, non-finite input).
     pub fn decision_function(&self, x: &Matrix) -> Result<Matrix> {
+        let obs = Arc::clone(&self.config.observer);
+        self.predict_isolated(x, None, &obs).map(|(out, _)| out)
+    }
+
+    /// Like [`decision_function`](Self::decision_function) but also
+    /// returns a [`PredictReport`]: per-model scoring durations (the true
+    /// prediction cost vector consumed by the scheduling-simulation
+    /// harnesses — Table 4 / IQVIA reproductions), the predict-phase
+    /// executor telemetry ([`ExecutionReport`] failure/steal/straggler
+    /// counters), and one [`PredictFailure`] per model whose column was
+    /// replaced by NaN.
+    ///
+    /// Span attribution ([`Stage::PredictChunk`]) uses the model's
+    /// position in the **surviving** ensemble (quarantined models never
+    /// predict). Observation does not change any computed value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function).
+    pub fn decision_function_observed(
+        &self,
+        x: &Matrix,
+        observer: &Arc<dyn Observer>,
+    ) -> Result<(Matrix, PredictReport)> {
+        self.predict_isolated(x, None, observer)
+    }
+
+    /// Like [`decision_function_observed`](Self::decision_function_observed)
+    /// but scores only the models whose `active` flag is set (indexed by
+    /// position in the surviving ensemble). Masked-out models get all-NaN
+    /// columns, zero model time, and **no scheduled work** — the
+    /// mechanism a serving layer uses to keep predict-quarantined models
+    /// out of the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decision_function`](Self::decision_function),
+    /// plus [`Error::InvalidConfig`] when `active.len()` differs from the
+    /// surviving-model count.
+    pub fn decision_function_masked(
+        &self,
+        x: &Matrix,
+        active: &[bool],
+        observer: &Arc<dyn Observer>,
+    ) -> Result<(Matrix, PredictReport)> {
+        self.predict_isolated(x, Some(active), observer)
+    }
+
+    /// The fault-isolated prediction engine shared by
+    /// [`decision_function`](Self::decision_function) and its observed /
+    /// masked variants: runs the (model x row-chunk) task grid on the
+    /// persistent executor with per-task panic isolation, turns every
+    /// per-model failure into an all-NaN column, and assembles the
+    /// telemetry.
+    fn predict_isolated(
+        &self,
+        x: &Matrix,
+        active: Option<&[bool]>,
+        observer: &Arc<dyn Observer>,
+    ) -> Result<(Matrix, PredictReport)> {
         let state = Arc::clone(self.state()?);
         if x.ncols() != state.n_features {
             return Err(Error::InvalidConfig(format!(
@@ -1030,28 +1111,65 @@ impl Suod {
             )));
         }
         validate_finite(x, "decision_function").map_err(Error::Detector)?;
-        let executor = self.executor.as_ref().ok_or(Error::NotFitted)?;
-        let obs = Arc::clone(&self.config.observer);
-        let _predict_span = suod_observe::span(obs.as_ref(), Stage::Predict, SpanAttrs::none());
-        let n = x.nrows();
         let m = state.models.len();
-        let chunks = predict_chunks(n);
-        let assignment = self.prediction_schedule(&state, &chunks)?;
+        if let Some(mask) = active {
+            if mask.len() != m {
+                return Err(Error::InvalidConfig(format!(
+                    "active mask covers {} models, surviving ensemble has {m}",
+                    mask.len()
+                )));
+            }
+        }
+        let executor = self.executor.as_ref().ok_or(Error::NotFitted)?;
+        let wall_start = Instant::now();
+        let _predict_span =
+            suod_observe::span(observer.as_ref(), Stage::Predict, SpanAttrs::none());
+        let n = x.nrows();
+        let positions: Vec<usize> = (0..m).filter(|&i| active.is_none_or(|a| a[i])).collect();
+        let skipped: Vec<usize> = (0..m).filter(|&i| !active.is_none_or(|a| a[i])).collect();
 
-        // (model x row-chunk) tasks, model-major. Every detector scores
-        // rows independently and standardization uses training statistics,
-        // so chunk boundaries cannot change any value — scores are
-        // bit-identical to a sequential whole-matrix pass.
+        // Columns default to NaN; only chunks that score successfully
+        // overwrite them. NaN is a constant, so failed/masked columns are
+        // as bit-reproducible as healthy ones.
+        let mut out = Matrix::zeros(n, m);
+        for r in 0..n {
+            for c in 0..m {
+                out.set(r, c, f64::NAN);
+            }
+        }
+        if positions.is_empty() {
+            let report = PredictReport {
+                model_times: vec![Duration::ZERO; m],
+                wall_time: wall_start.elapsed(),
+                n_rows: n,
+                execution: ExecutionReport::default(),
+                failures: Vec::new(),
+                skipped,
+            };
+            return Ok((out, report));
+        }
+
+        let chunks = predict_chunks(n);
+        let n_chunks = chunks.len();
+        let model_costs = self.predict_model_costs(&state, &positions);
+        let assignment = self.prediction_schedule(&model_costs, &chunks)?;
+
+        // (model x row-chunk) tasks, model-major over the active subset.
+        // Every detector scores rows independently and standardization
+        // uses training statistics, so chunk boundaries cannot change any
+        // value — scores are bit-identical to a sequential whole-matrix
+        // pass at any worker count.
         let query = Arc::new(x.clone());
-        let mut tasks: Vec<Box<dyn FnOnce() -> Result<Vec<f64>> + Send>> =
-            Vec::with_capacity(m * chunks.len());
-        for mi in 0..m {
+        type ChunkScores = std::result::Result<Vec<f64>, suod_detectors::Error>;
+        let mut tasks: Vec<Box<dyn FnOnce() -> ChunkScores + Send>> =
+            Vec::with_capacity(positions.len() * n_chunks);
+        for (pi, &mi) in positions.iter().enumerate() {
             for (ci, chunk) in chunks.iter().enumerate() {
                 let state = Arc::clone(&state);
                 let query = Arc::clone(&query);
                 let chunk = chunk.clone();
-                let task_obs = Arc::clone(&obs);
-                let task_index = mi * chunks.len() + ci;
+                let task_obs = Arc::clone(observer);
+                let task_index = pi * n_chunks + ci;
                 tasks.push(Box::new(move || {
                     let _span = suod_observe::span(
                         task_obs.as_ref(),
@@ -1062,117 +1180,175 @@ impl Suod {
                     let slab = row_slab(&query, &chunk);
                     let projected;
                     let z: &Matrix = match &model.projector {
-                        Some(p) => {
-                            projected = p.transform(&slab)?;
-                            &projected
-                        }
+                        Some(p) => match p.transform(&slab) {
+                            Ok(t) => {
+                                projected = t;
+                                &projected
+                            }
+                            Err(e) => {
+                                return Err(suod_detectors::Error::DegenerateData(format!(
+                                    "projection failed at predict: {e}"
+                                )))
+                            }
+                        },
                         None => &slab,
                     };
                     match &model.approximator {
-                        Some(r) => Ok(r.predict(z)?),
-                        None => Ok(model.detector.decision_function(z)?),
+                        Some(r) => r.predict(z).map_err(|e| {
+                            suod_detectors::Error::DegenerateData(format!(
+                                "approximator prediction failed: {e}"
+                            ))
+                        }),
+                        None => model.detector.decision_function(z),
                     }
                 }));
             }
         }
 
-        let outputs = executor.run_observed(tasks, &assignment, Arc::clone(&obs))?;
-        let mut out = Matrix::zeros(n, m);
-        let mut outputs = outputs.into_iter();
-        for mi in 0..m {
-            for chunk in &chunks {
-                let part = outputs.next().expect("one output per task")?;
-                if part.len() != chunk.len() {
-                    return Err(Error::InvalidConfig(format!(
-                        "model {mi} produced {} scores for {} samples",
-                        part.len(),
-                        chunk.len()
-                    )));
+        let (outcomes, mut execution) =
+            executor.run_with_report_isolated_observed(tasks, &assignment, Arc::clone(observer))?;
+
+        // Per-model reassembly: the first failed chunk quarantines the
+        // whole column (partial columns would silently shift the
+        // combiner's average), but the model's measured time still counts
+        // every chunk — the work was performed.
+        let mut model_times = vec![Duration::ZERO; m];
+        let mut failures: Vec<PredictFailure> = Vec::new();
+        let mut outcomes = outcomes.into_iter();
+        for (pi, &mi) in positions.iter().enumerate() {
+            let mut parts: Vec<(usize, Vec<f64>)> = Vec::with_capacity(n_chunks);
+            let mut cause: Option<suod_detectors::Error> = None;
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let outcome = outcomes.next().expect("one outcome per task");
+                if cause.is_some() {
+                    continue;
                 }
-                if part.iter().any(|v| !v.is_finite()) {
-                    return Err(Error::Detector(suod_detectors::Error::DegenerateData(
-                        format!("model {mi} produced non-finite prediction scores"),
-                    )));
+                match outcome {
+                    Err(panic) => {
+                        cause = Some(suod_detectors::Error::Panicked(panic.message));
+                    }
+                    Ok(Err(e)) => cause = Some(e),
+                    Ok(Ok(part)) => {
+                        if part.len() != chunk.len() {
+                            cause = Some(suod_detectors::Error::DegenerateData(format!(
+                                "model produced {} scores for {} samples",
+                                part.len(),
+                                chunk.len()
+                            )));
+                        } else if part.iter().any(|v| !v.is_finite()) {
+                            cause = Some(suod_detectors::Error::DegenerateData(
+                                "model produced non-finite prediction scores".into(),
+                            ));
+                        } else {
+                            parts.push((ci, part));
+                        }
+                    }
                 }
-                for (offset, &v) in part.iter().enumerate() {
-                    out.set(chunk.start + offset, mi, v);
+            }
+            model_times[mi] = (0..n_chunks)
+                .map(|ci| {
+                    execution
+                        .task_times
+                        .get(pi * n_chunks + ci)
+                        .copied()
+                        .unwrap_or(Duration::ZERO)
+                })
+                .sum();
+            match cause {
+                Some(cause) => failures.push(PredictFailure {
+                    index: state.models[mi].pool_index,
+                    name: state.models[mi].spec.name(),
+                    cause,
+                }),
+                None => {
+                    for (ci, part) in parts {
+                        let chunk = &chunks[ci];
+                        for (offset, &v) in part.iter().enumerate() {
+                            out.set(chunk.start + offset, mi, v);
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+
+        // Straggler flagging mirrors fit: measured model time far past
+        // its forecast-implied share of the pass (and non-trivial in
+        // absolute terms). Wall-clock-dependent, excluded from
+        // determinism guarantees.
+        let total_pred: f64 = model_costs.iter().sum();
+        let total_measured: f64 = positions
+            .iter()
+            .map(|&mi| model_times[mi].as_secs_f64())
+            .sum();
+        let mut stragglers = Vec::new();
+        if total_pred > 0.0 && total_measured > 0.0 {
+            for (pi, &mi) in positions.iter().enumerate() {
+                let expected = model_costs[pi] / total_pred * total_measured;
+                let measured = model_times[mi].as_secs_f64();
+                if measured > self.config.straggler_factor * expected && measured > 0.05 {
+                    stragglers.push(mi);
+                }
+            }
+        }
+        execution.stragglers = stragglers;
+        if !execution.stragglers.is_empty() {
+            observer.counter(Counter::Straggler, execution.stragglers.len() as u64);
+        }
+
+        let report = PredictReport {
+            model_times,
+            wall_time: wall_start.elapsed(),
+            n_rows: n,
+            execution,
+            failures,
+            skipped,
+        };
+        Ok((out, report))
     }
 
-    /// Like [`decision_function`](Self::decision_function) but scores the
-    /// models **sequentially**, attributing a [`Stage::ModelPredict`]
-    /// span per model to `observer`, and returns a [`PredictReport`] with
-    /// the measured per-model durations. Those durations are the true
-    /// prediction cost vector consumed by the scheduling-simulation
-    /// harnesses (Table 4 / IQVIA reproductions).
-    ///
-    /// Span attribution uses the model's position in the **surviving**
-    /// ensemble (quarantined models never predict). Observation does not
-    /// change any computed value.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`decision_function`](Self::decision_function).
-    pub fn decision_function_observed(
-        &self,
-        x: &Matrix,
-        observer: &Arc<dyn Observer>,
-    ) -> Result<(Matrix, PredictReport)> {
-        let state = self.state()?;
-        if x.ncols() != state.n_features {
-            return Err(Error::InvalidConfig(format!(
-                "expected {} features, got {}",
-                state.n_features,
-                x.ncols()
-            )));
+    /// The same `min_healthy_fraction` floor [`fit`](Self::fit) enforces,
+    /// applied to a prediction pass: models that failed to score (or were
+    /// masked out) count against the floor, computed over the
+    /// **configured** pool size so fit-time and predict-time quarantines
+    /// draw from one shared budget.
+    fn enforce_predict_floor(&self, report: &PredictReport) -> Result<()> {
+        let total = self.config.base_estimators.len();
+        let required =
+            (((self.config.min_healthy_fraction * total as f64) - 1e-9).ceil() as usize).max(1);
+        let healthy = report.healthy_models();
+        if healthy < required {
+            let cause = report.failures.first().map(|f| f.cause.clone()).unwrap_or(
+                suod_detectors::Error::DegenerateData(
+                    "all remaining models were masked out at predict time".into(),
+                ),
+            );
+            return Err(Error::PoolDegraded {
+                healthy,
+                total,
+                required,
+                cause,
+            });
         }
-        validate_finite(x, "decision_function").map_err(Error::Detector)?;
-        let wall_start = Instant::now();
-        let _predict_span =
-            suod_observe::span(observer.as_ref(), Stage::Predict, SpanAttrs::none());
-        let mut columns = Vec::with_capacity(state.models.len());
-        let mut times = Vec::with_capacity(state.models.len());
-        for (mi, model) in state.models.iter().enumerate() {
-            let _span =
-                suod_observe::span(observer.as_ref(), Stage::ModelPredict, SpanAttrs::model(mi));
-            let start = Instant::now();
-            let projected;
-            let z: &Matrix = match &model.projector {
-                Some(p) => {
-                    projected = p.transform(x)?;
-                    &projected
-                }
-                None => x,
-            };
-            let scores = match &model.approximator {
-                Some(r) => r.predict(z)?,
-                None => model.detector.decision_function(z)?,
-            };
-            times.push(start.elapsed());
-            columns.push(scores);
-        }
-        let report = PredictReport {
-            model_times: times,
-            wall_time: wall_start.elapsed(),
-            n_rows: x.nrows(),
-        };
-        Ok((scores_to_matrix(columns, x.nrows())?, report))
+        Ok(())
     }
 
     /// Ensemble score per sample: the average of the base-model columns
     /// after z-scoring each against its **training** score distribution
     /// (the paper's `Avg_` combiner; training-statistics standardization
-    /// keeps single-sample queries meaningful).
+    /// keeps single-sample queries meaningful). Models that fail at
+    /// predict time are skipped from the average (survivor-only
+    /// combination), subject to the `min_healthy_fraction` floor.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`decision_function`](Self::decision_function).
+    /// Same conditions as [`decision_function`](Self::decision_function),
+    /// plus [`Error::PoolDegraded`] when predict-time failures push the
+    /// healthy count below the `min_healthy_fraction` floor.
     pub fn combined_scores(&self, x: &Matrix) -> Result<Vec<f64>> {
-        let state = self.state()?;
-        let scores = self.decision_function(x)?;
+        let state = Arc::clone(self.state()?);
+        let obs = Arc::clone(&self.config.observer);
+        let (scores, report) = self.predict_isolated(x, None, &obs)?;
+        self.enforce_predict_floor(&report)?;
         Ok(combine_standardized(
             &scores,
             &state.score_means,
@@ -1187,14 +1363,16 @@ impl Suod {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`decision_function`](Self::decision_function),
+    /// Same conditions as [`combined_scores`](Self::combined_scores),
     /// plus [`Error::InvalidConfig`] when `n_buckets == 0`.
     pub fn combined_scores_moa(&self, x: &Matrix, n_buckets: usize) -> Result<Vec<f64>> {
         if n_buckets == 0 {
             return Err(Error::InvalidConfig("n_buckets must be >= 1".into()));
         }
-        let state = self.state()?;
-        let scores = self.decision_function(x)?;
+        let state = Arc::clone(self.state()?);
+        let obs = Arc::clone(&self.config.observer);
+        let (scores, report) = self.predict_isolated(x, None, &obs)?;
+        self.enforce_predict_floor(&report)?;
         Ok(combine_standardized(
             &scores,
             &state.score_means,
@@ -1269,6 +1447,87 @@ impl Suod {
     /// Returns [`Error::NotFitted`] before `fit`.
     pub fn threshold(&self) -> Result<f64> {
         Ok(self.state()?.threshold)
+    }
+
+    /// Number of features the estimator was fitted on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn n_features(&self) -> Result<usize> {
+        Ok(self.state()?.n_features)
+    }
+
+    /// Number of training rows — the reference scale for prediction-cost
+    /// forecasts (see [`suod_scheduler::predict_batch_forecast`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn train_rows(&self) -> Result<usize> {
+        Ok(self.state()?.models[0].train_scores.len())
+    }
+
+    /// `(pool index, algorithm name)` of each surviving model, in
+    /// surviving-ensemble order — the column order of
+    /// [`decision_function`](Self::decision_function) and the index space
+    /// of per-model masks. Pool indices are stable across fit-time
+    /// quarantines and match [`ModelReport`](crate::ModelReport) indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn surviving_models(&self) -> Result<Vec<(usize, &'static str)>> {
+        let state = self.state()?;
+        Ok(state
+            .models
+            .iter()
+            .map(|m| (m.pool_index, m.spec.name()))
+            .collect())
+    }
+
+    /// Per-surviving-model prediction cost forecast in the cost model's
+    /// unitless scale (nominal 1.0 for approximated models, which answer
+    /// through cheap forest lookups). Combine with
+    /// [`train_rows`](Self::train_rows) and
+    /// [`suod_scheduler::predict_batch_forecast`] to size serving
+    /// micro-batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`.
+    pub fn predict_unit_costs(&self) -> Result<Vec<f64>> {
+        let state = self.state()?;
+        let all: Vec<usize> = (0..state.models.len()).collect();
+        Ok(self.predict_model_costs(state, &all))
+    }
+
+    /// Combines an already-computed `n x m` per-model score matrix (as
+    /// returned by [`decision_function`](Self::decision_function) or
+    /// [`decision_function_masked`](Self::decision_function_masked)) with
+    /// the training-statistics average combiner. Non-finite columns are
+    /// skipped per row, so a serving layer can score once and combine
+    /// survivor-only without a second prediction pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit` and
+    /// [`Error::InvalidConfig`] on a column-count mismatch.
+    pub fn combine_score_matrix(&self, scores: &Matrix) -> Result<Vec<f64>> {
+        let state = self.state()?;
+        if scores.ncols() != state.models.len() {
+            return Err(Error::InvalidConfig(format!(
+                "score matrix has {} columns, surviving ensemble has {}",
+                scores.ncols(),
+                state.models.len()
+            )));
+        }
+        Ok(combine_standardized(
+            scores,
+            &state.score_means,
+            &state.score_stds,
+            None,
+        ))
     }
 
     /// Per-model training scores (`m` columns), the pseudo ground truth.
@@ -1367,6 +1626,14 @@ impl Suod {
 /// Combines an `n x m` score matrix after z-scoring each column against
 /// the given training means/stds: plain row average when `buckets` is
 /// `None`, maximum-of-average over `b` contiguous buckets otherwise.
+///
+/// Non-finite entries — the all-NaN columns of models quarantined or
+/// masked out at predict time — are **skipped**: each row averages over
+/// its finite entries only, so survivor combination is unchanged by how
+/// many columns dropped out. A row with no finite entries yields NaN
+/// (callers enforce the healthy-model floor before trusting the output).
+/// When every entry is finite the result is bit-identical to the
+/// unconditional average.
 fn combine_standardized(
     scores: &Matrix,
     means: &[f64],
@@ -1381,13 +1648,25 @@ fn combine_standardized(
             .map(|((&v, &mu), &sd)| (v - mu) / sd)
             .collect()
     };
+    let finite_mean = |z: &[f64]| -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &v in z {
+            if v.is_finite() {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::NAN
+        } else {
+            sum / count as f64
+        }
+    };
     match buckets {
         None => scores
             .rows_iter()
-            .map(|row| {
-                let z = row_score(row);
-                z.iter().sum::<f64>() / m.max(1) as f64
-            })
+            .map(|row| finite_mean(&row_score(row)))
             .collect(),
         Some(b) => {
             let b = b.clamp(1, m.max(1));
@@ -1404,10 +1683,16 @@ fn combine_standardized(
                 .rows_iter()
                 .map(|row| {
                     let z = row_score(row);
-                    ranges
+                    let best = ranges
                         .iter()
-                        .map(|&(s, e)| z[s..e].iter().sum::<f64>() / (e - s).max(1) as f64)
-                        .fold(f64::NEG_INFINITY, f64::max)
+                        .map(|&(s, e)| finite_mean(&z[s..e]))
+                        .filter(|v| v.is_finite())
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if best.is_finite() {
+                        best
+                    } else {
+                        f64::NAN
+                    }
                 })
                 .collect()
         }
@@ -2033,11 +2318,18 @@ mod tests {
         assert_eq!(scores.shape(), (62, 4));
         assert_eq!(report.model_times.len(), 4);
         assert_eq!(report.n_rows, 62);
-        assert!(report.wall_time >= report.model_times.iter().sum());
+        assert!(report.fully_healthy());
+        assert_eq!(report.healthy_models(), 4);
+        assert!(report.failures.is_empty());
+        assert!(report.skipped.is_empty());
+        // 62 rows fit in one chunk, so one predict task per model.
+        assert_eq!(report.execution.task_times.len(), 4);
+        assert_eq!(report.execution.failures, 0);
         let trace = recorder.trace();
         assert_eq!(trace.spans_of(Stage::Predict).count(), 1);
-        assert_eq!(trace.spans_of(Stage::ModelPredict).count(), 4);
-        // Sequential observed scoring matches the parallel path exactly.
+        assert_eq!(trace.spans_of(Stage::PredictChunk).count(), 4);
+        // The observed path and the plain path share one engine; scores
+        // match bit for bit.
         let parallel = clf.decision_function(&x).unwrap();
         assert_eq!(scores.as_slice(), parallel.as_slice());
     }
@@ -2081,5 +2373,152 @@ mod tests {
         // The odd salt flips the low bit, so parity-sensitive transient
         // failures (ChaosMode::FlakyPanic) resolve on retry.
         assert_ne!(salted_seed(42, 1) % 2, 42 % 2);
+    }
+
+    /// Pool with one model that fits cleanly but faults at predict time.
+    fn chaotic_pool(mode: suod_detectors::ChaosMode) -> Vec<ModelSpec> {
+        let mut pool = small_pool();
+        pool.push(ModelSpec::Chaos {
+            mode,
+            n_neighbors: 5,
+        });
+        pool
+    }
+
+    #[test]
+    fn predict_panic_becomes_nan_column_not_error() {
+        use suod_detectors::ChaosMode;
+        let mut clf = Suod::builder()
+            .base_estimators(chaotic_pool(ChaosMode::PanicOnPredict))
+            .seed(3)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        let x = data();
+        // Satellite fix: the call survives; the chaotic column is NaN.
+        let scores = clf.decision_function(&x).unwrap();
+        assert_eq!(scores.shape(), (62, 5));
+        for r in 0..62 {
+            assert!(scores.get(r, 4).is_nan());
+            for c in 0..4 {
+                assert!(scores.get(r, c).is_finite());
+            }
+        }
+        let observer: Arc<dyn Observer> = suod_observe::noop();
+        let (_, report) = clf.decision_function_observed(&x, &observer).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 4);
+        assert_eq!(report.failures[0].name, "chaos");
+        assert!(matches!(
+            report.failures[0].cause,
+            suod_detectors::Error::Panicked(_)
+        ));
+        assert_eq!(report.healthy_models(), 4);
+        assert!(!report.fully_healthy());
+        // The executor's fault-isolation counter reaches the report.
+        assert!(report.execution.failures >= 1);
+    }
+
+    #[test]
+    fn predict_nan_column_skipped_by_combiner_under_relaxed_floor() {
+        use suod_detectors::ChaosMode;
+        let x = data();
+        let mut chaotic = Suod::builder()
+            .base_estimators(chaotic_pool(ChaosMode::NanOnPredict))
+            .min_healthy_fraction(0.5)
+            .seed(3)
+            .build()
+            .unwrap();
+        chaotic.fit(&x).unwrap();
+        let combined = chaotic.combined_scores(&x).unwrap();
+        // Survivor-only combination: identical to a pool that never
+        // contained the chaotic model.
+        let healthy = fitted(Suod::builder());
+        let expected = healthy.combined_scores(&x).unwrap();
+        assert_eq!(combined, expected);
+    }
+
+    #[test]
+    fn predict_failures_enforce_min_healthy_floor() {
+        use suod_detectors::ChaosMode;
+        let mut clf = Suod::builder()
+            .base_estimators(chaotic_pool(ChaosMode::PanicOnPredict))
+            .seed(3)
+            .build()
+            .unwrap();
+        clf.fit(&data()).unwrap();
+        // Default min_healthy_fraction = 1.0: one predict failure is one
+        // too many for the combined score to be trusted.
+        match clf.combined_scores(&data()) {
+            Err(Error::PoolDegraded {
+                healthy,
+                total,
+                required,
+                ..
+            }) => {
+                assert_eq!(healthy, 4);
+                assert_eq!(total, 5);
+                assert_eq!(required, 5);
+            }
+            other => panic!("expected PoolDegraded, got {other:?}"),
+        }
+        // The raw score matrix stays available for forensics.
+        assert!(clf.decision_function(&data()).is_ok());
+    }
+
+    #[test]
+    fn masked_models_get_nan_columns_and_no_work() {
+        let clf = fitted(Suod::builder());
+        let x = data();
+        let observer: Arc<dyn Observer> = suod_observe::noop();
+        let (scores, report) = clf
+            .decision_function_masked(&x, &[true, false, true, true], &observer)
+            .unwrap();
+        assert_eq!(report.skipped, vec![1]);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.healthy_models(), 3);
+        assert_eq!(report.model_times[1], Duration::ZERO);
+        // 3 active models x 1 chunk: the masked model never ran.
+        assert_eq!(report.execution.task_times.len(), 3);
+        for r in 0..62 {
+            assert!(scores.get(r, 1).is_nan());
+        }
+        // Active columns match the unmasked pass bit for bit.
+        let full = clf.decision_function(&x).unwrap();
+        for r in 0..62 {
+            for c in [0usize, 2, 3] {
+                assert_eq!(scores.get(r, c).to_bits(), full.get(r, c).to_bits());
+            }
+        }
+        // Mask length must match the surviving ensemble.
+        assert!(clf
+            .decision_function_masked(&x, &[true, false], &observer)
+            .is_err());
+    }
+
+    #[test]
+    fn serve_accessors_describe_fitted_state() {
+        let clf = fitted(Suod::builder());
+        assert_eq!(clf.n_features().unwrap(), 4);
+        assert_eq!(clf.train_rows().unwrap(), 62);
+        let models = clf.surviving_models().unwrap();
+        assert_eq!(models.len(), 4);
+        assert_eq!(models[0], (0, "knn"));
+        assert_eq!(models[2], (2, "hbos"));
+        let costs = clf.predict_unit_costs().unwrap();
+        assert_eq!(costs.len(), 4);
+        assert!(costs.iter().all(|&c| c > 0.0));
+        // Approximated models (kNN, LOF) carry the nominal cost 1.0.
+        assert_eq!(costs[0], 1.0);
+        assert_eq!(costs[1], 1.0);
+        // combine_score_matrix reproduces combined_scores from the raw
+        // matrix without a second prediction pass.
+        let x = data();
+        let scores = clf.decision_function(&x).unwrap();
+        assert_eq!(
+            clf.combine_score_matrix(&scores).unwrap(),
+            clf.combined_scores(&x).unwrap()
+        );
+        assert!(clf.combine_score_matrix(&Matrix::zeros(3, 2)).is_err());
     }
 }

@@ -15,7 +15,9 @@
 //!
 //! The high-level [`ChaosMode`] enum covers the common test shapes
 //! (always panic, panic-on-even-seed for retry tests, NaN scores, slow
-//! fit) and maps onto rate configs via [`ChaosDetector::from_mode`].
+//! fit, plus the predict-time panic/slow/NaN variants the serving layer's
+//! quarantine machinery is tested against) and maps onto rate configs via
+//! [`ChaosDetector::from_mode`].
 
 use crate::{Detector, FitContext, Result};
 use suod_linalg::Matrix;
@@ -46,6 +48,20 @@ pub enum ChaosMode {
     /// Sleep the given number of milliseconds before fitting — a
     /// deterministic straggler.
     SlowFit(u64),
+    /// Fit succeeds with clean training scores, but every
+    /// `decision_function` call panics — the serve-time fault the
+    /// predict-phase quarantine machinery must score around.
+    PanicOnPredict,
+    /// Fit succeeds with clean training scores, but every
+    /// `decision_function` call sleeps the given number of milliseconds
+    /// first — a deterministic predict-time straggler for the serving
+    /// layer's timeout watchdog.
+    SlowPredict(u64),
+    /// Fit succeeds with clean training scores, but every
+    /// `decision_function` call returns all-NaN query scores. Unlike
+    /// [`ChaosMode::NanScores`] the model survives fit-time quarantine
+    /// and only degrades at predict time.
+    NanOnPredict,
 }
 
 /// Per-channel injection rates, each decided by a seeded hash.
@@ -65,6 +81,15 @@ pub struct ChaosConfig {
     pub slow_rate: f64,
     /// Sleep duration for triggered slowdowns, in milliseconds.
     pub slow_millis: u64,
+    /// Probability of panicking during `decision_function` (fit stays
+    /// clean).
+    pub predict_panic_rate: f64,
+    /// Probability that `decision_function` scores are NaN while
+    /// training scores stay clean.
+    pub predict_nan_rate: f64,
+    /// Probability of sleeping [`slow_millis`](Self::slow_millis) at the
+    /// start of every `decision_function` call.
+    pub predict_slow_rate: f64,
     /// Seed all injection decisions derive from.
     pub seed: u64,
 }
@@ -76,6 +101,9 @@ impl Default for ChaosConfig {
             nan_score_rate: 0.0,
             slow_rate: 0.0,
             slow_millis: 0,
+            predict_panic_rate: 0.0,
+            predict_nan_rate: 0.0,
+            predict_slow_rate: 0.0,
             seed: 0,
         }
     }
@@ -100,6 +128,9 @@ impl ChaosConfig {
 const PANIC_SALT: u64 = 0xC0A5_7A11_0001;
 const NAN_SALT: u64 = 0xC0A5_7A11_0002;
 const SLOW_SALT: u64 = 0xC0A5_7A11_0003;
+const PREDICT_PANIC_SALT: u64 = 0xC0A5_7A11_0004;
+const PREDICT_NAN_SALT: u64 = 0xC0A5_7A11_0005;
+const PREDICT_SLOW_SALT: u64 = 0xC0A5_7A11_0006;
 
 /// Wraps a detector and injects deterministic, seeded failures.
 ///
@@ -111,6 +142,9 @@ pub struct ChaosDetector {
     panic_on_fit: bool,
     nan_scores: bool,
     slow_millis: u64,
+    panic_on_predict: bool,
+    nan_on_predict: bool,
+    predict_slow_millis: u64,
     seed: u64,
 }
 
@@ -121,6 +155,9 @@ impl std::fmt::Debug for ChaosDetector {
             .field("panic_on_fit", &self.panic_on_fit)
             .field("nan_scores", &self.nan_scores)
             .field("slow_millis", &self.slow_millis)
+            .field("panic_on_predict", &self.panic_on_predict)
+            .field("nan_on_predict", &self.nan_on_predict)
+            .field("predict_slow_millis", &self.predict_slow_millis)
             .field("seed", &self.seed)
             .finish()
     }
@@ -136,11 +173,21 @@ impl ChaosDetector {
         } else {
             0
         };
+        let panic_on_predict = config.triggers(PREDICT_PANIC_SALT, config.predict_panic_rate);
+        let nan_on_predict = config.triggers(PREDICT_NAN_SALT, config.predict_nan_rate);
+        let predict_slow_millis = if config.triggers(PREDICT_SLOW_SALT, config.predict_slow_rate) {
+            config.slow_millis
+        } else {
+            0
+        };
         ChaosDetector {
             inner,
             panic_on_fit,
             nan_scores,
             slow_millis,
+            panic_on_predict,
+            nan_on_predict,
+            predict_slow_millis,
             seed: config.seed,
         }
     }
@@ -176,6 +223,22 @@ impl ChaosDetector {
                 seed,
                 ..ChaosConfig::default()
             },
+            ChaosMode::PanicOnPredict => ChaosConfig {
+                predict_panic_rate: 1.0,
+                seed,
+                ..ChaosConfig::default()
+            },
+            ChaosMode::SlowPredict(millis) => ChaosConfig {
+                predict_slow_rate: 1.0,
+                slow_millis: millis,
+                seed,
+                ..ChaosConfig::default()
+            },
+            ChaosMode::NanOnPredict => ChaosConfig {
+                predict_nan_rate: 1.0,
+                seed,
+                ..ChaosConfig::default()
+            },
         };
         ChaosDetector::new(inner, config)
     }
@@ -190,6 +253,16 @@ impl ChaosDetector {
         self.nan_scores
     }
 
+    /// `true` when the predict-time panic channel is armed.
+    pub fn will_panic_on_predict(&self) -> bool {
+        self.panic_on_predict
+    }
+
+    /// `true` when query scores (but not training scores) will be NaN.
+    pub fn will_emit_nan_on_predict(&self) -> bool {
+        self.nan_on_predict
+    }
+
     fn inject_pre_fit(&self) {
         if self.slow_millis > 0 {
             std::thread::sleep(std::time::Duration::from_millis(self.slow_millis));
@@ -199,11 +272,28 @@ impl ChaosDetector {
         }
     }
 
+    fn inject_pre_predict(&self) {
+        if self.predict_slow_millis > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.predict_slow_millis));
+        }
+        if self.panic_on_predict {
+            panic!("chaos: injected predict panic (seed {})", self.seed);
+        }
+    }
+
     fn poison(&self, scores: Vec<f64>) -> Vec<f64> {
         if self.nan_scores {
             vec![f64::NAN; scores.len()]
         } else {
             scores
+        }
+    }
+
+    fn poison_predict(&self, scores: Vec<f64>) -> Vec<f64> {
+        if self.nan_on_predict {
+            vec![f64::NAN; scores.len()]
+        } else {
+            self.poison(scores)
         }
     }
 }
@@ -220,7 +310,10 @@ impl Detector for ChaosDetector {
     }
 
     fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>> {
-        self.inner.decision_function(x).map(|s| self.poison(s))
+        self.inject_pre_predict();
+        self.inner
+            .decision_function(x)
+            .map(|s| self.poison_predict(s))
     }
 
     fn training_scores(&self) -> Result<Vec<f64>> {
@@ -320,6 +413,44 @@ mod tests {
         // A 0.5 rate over 64 seeds should trigger at least once each way.
         assert!(first.iter().any(|&b| b));
         assert!(first.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn predict_panic_mode_fits_cleanly_then_panics_on_predict() {
+        let x = data();
+        let mut det = ChaosDetector::from_mode(inner(), ChaosMode::PanicOnPredict, 9);
+        det.fit(&x).unwrap();
+        assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
+        assert!(det.will_panic_on_predict());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = det.decision_function(&x);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn predict_nan_mode_keeps_training_scores_clean() {
+        let x = data();
+        let mut det = ChaosDetector::from_mode(inner(), ChaosMode::NanOnPredict, 9);
+        det.fit(&x).unwrap();
+        assert!(det.training_scores().unwrap().iter().all(|v| v.is_finite()));
+        assert!(det
+            .decision_function(&x)
+            .unwrap()
+            .iter()
+            .all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn predict_slow_mode_delays_scoring_not_fit() {
+        let x = data();
+        let mut det = ChaosDetector::from_mode(inner(), ChaosMode::SlowPredict(30), 9);
+        let fit_start = std::time::Instant::now();
+        det.fit(&x).unwrap();
+        assert!(fit_start.elapsed() < std::time::Duration::from_millis(25));
+        let start = std::time::Instant::now();
+        det.decision_function(&x).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
     }
 
     #[test]

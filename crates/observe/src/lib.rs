@@ -96,6 +96,14 @@ pub enum Stage {
     ModelPredict,
     /// Executor task lifecycle: one task's execution on a worker.
     ExecutorTask,
+    /// One request's admission into a scoring service's bounded queue
+    /// (`suod-serve`).
+    RequestEnqueue,
+    /// Draining the admission queue into one micro-batch, including the
+    /// deadline-shed pass (`suod-serve`).
+    BatchAssemble,
+    /// Survivor-only score combination of one served batch.
+    Combine,
 }
 
 /// Every stage, in export order.
@@ -114,6 +122,9 @@ pub const STAGES: &[Stage] = &[
     Stage::PredictChunk,
     Stage::ModelPredict,
     Stage::ExecutorTask,
+    Stage::RequestEnqueue,
+    Stage::BatchAssemble,
+    Stage::Combine,
 ];
 
 impl Stage {
@@ -134,6 +145,9 @@ impl Stage {
             Stage::PredictChunk => "predict_chunk",
             Stage::ModelPredict => "model_predict",
             Stage::ExecutorTask => "executor_task",
+            Stage::RequestEnqueue => "request_enqueue",
+            Stage::BatchAssemble => "batch_assemble",
+            Stage::Combine => "combine",
         }
     }
 
@@ -204,6 +218,27 @@ pub enum Counter {
     /// exact path instead (small n or non-Euclidean metric) — the
     /// exactness-fallback counter.
     AnnFallback,
+    /// Score requests accepted into a serving queue. Depends on queue
+    /// occupancy at arrival time (wall-clock-class).
+    Admitted,
+    /// Score requests rejected with `Busy` because the bounded admission
+    /// queue was full — the explicit backpressure signal
+    /// (wall-clock-class).
+    Rejected,
+    /// Queued requests shed at batch assembly because their deadline had
+    /// already passed — work the service refused to compute
+    /// (wall-clock-class under the system clock; deterministic for a
+    /// fixed arrival trace under a manual clock).
+    Shed,
+    /// Requests whose response was produced after their deadline (the
+    /// batch was already in flight when the deadline expired, so the
+    /// result is returned anyway). Wall-clock-class.
+    DeadlineMissed,
+    /// Models quarantined out of serving after exhausting their
+    /// predict-time failure budget. The panic/NaN channels are
+    /// seed-deterministic, but the timeout channel is wall-clock, so the
+    /// counter as a whole is excluded from determinism guarantees.
+    PredictQuarantined,
 }
 
 /// Every counter, in export order.
@@ -223,6 +258,11 @@ pub const COUNTERS: &[Counter] = &[
     Counter::MixedKernel,
     Counter::AnnQuery,
     Counter::AnnFallback,
+    Counter::Admitted,
+    Counter::Rejected,
+    Counter::Shed,
+    Counter::DeadlineMissed,
+    Counter::PredictQuarantined,
 ];
 
 impl Counter {
@@ -244,6 +284,11 @@ impl Counter {
             Counter::MixedKernel => "mixed_kernel",
             Counter::AnnQuery => "ann_query",
             Counter::AnnFallback => "ann_fallback",
+            Counter::Admitted => "admitted",
+            Counter::Rejected => "rejected",
+            Counter::Shed => "shed",
+            Counter::DeadlineMissed => "deadline_missed",
+            Counter::PredictQuarantined => "predict_quarantined",
         }
     }
 
@@ -256,11 +301,22 @@ impl Counter {
     /// wall clock, and host hardware (part of the trace-determinism
     /// guarantee). The SIMD-lane counters are excluded: the lane is
     /// picked by runtime feature detection, so traces from hosts with
-    /// different vector units legitimately differ there.
+    /// different vector units legitimately differ there. The serving
+    /// counters are all excluded — admission, shedding, and deadline
+    /// accounting depend on arrival timing and queue occupancy, and the
+    /// predict-quarantine counter has a wall-clock timeout channel.
     pub fn is_deterministic(self) -> bool {
         !matches!(
             self,
-            Counter::Steal | Counter::Straggler | Counter::SimdKernel | Counter::ScalarKernel
+            Counter::Steal
+                | Counter::Straggler
+                | Counter::SimdKernel
+                | Counter::ScalarKernel
+                | Counter::Admitted
+                | Counter::Rejected
+                | Counter::Shed
+                | Counter::DeadlineMissed
+                | Counter::PredictQuarantined
         )
     }
 }
@@ -429,6 +485,11 @@ mod tests {
     fn scheduling_counters_are_not_deterministic() {
         assert!(!Counter::Steal.is_deterministic());
         assert!(!Counter::Straggler.is_deterministic());
+        assert!(!Counter::Admitted.is_deterministic());
+        assert!(!Counter::Rejected.is_deterministic());
+        assert!(!Counter::Shed.is_deterministic());
+        assert!(!Counter::DeadlineMissed.is_deterministic());
+        assert!(!Counter::PredictQuarantined.is_deterministic());
         assert!(Counter::CacheHit.is_deterministic());
         assert!(Counter::Retry.is_deterministic());
         assert!(Counter::PackedPanel.is_deterministic());

@@ -184,6 +184,41 @@ impl CostModel for AnalyticCostModel {
     }
 }
 
+/// Expands per-model prediction costs into the (model × row-chunk) task
+/// cost vector the predict-phase scheduler balances, model-major: task
+/// `m * chunks + c` is model `m` scoring chunk `c`, costed as the model's
+/// forecast scaled by the chunk's share of the query rows.
+///
+/// This is the shared cost shape for both offline `decision_function`
+/// scheduling and the serving layer's micro-batch forecasts, so batch
+/// sizing and task placement agree on what a chunk is worth.
+pub fn predict_chunk_costs(model_costs: &[f64], chunk_lens: &[usize]) -> Vec<f64> {
+    let total_rows: usize = chunk_lens.iter().sum();
+    let denom = total_rows.max(1) as f64;
+    let mut costs = Vec::with_capacity(model_costs.len() * chunk_lens.len());
+    for &mc in model_costs {
+        for &len in chunk_lens {
+            costs.push(mc * len as f64 / denom);
+        }
+    }
+    costs
+}
+
+/// Forecast cost (in the cost model's unitless scale) of scoring a batch
+/// of `batch_rows` query rows with models whose per-call costs were
+/// derived at `reference_rows` rows: each model's prediction work is
+/// row-proportional, so the batch costs the summed model costs scaled by
+/// the row ratio. The serving layer uses this to cap micro-batch sizes
+/// against a latency budget (calibrated to seconds by measured batches).
+pub fn predict_batch_forecast(
+    model_costs: &[f64],
+    batch_rows: usize,
+    reference_rows: usize,
+) -> f64 {
+    let per_ref: f64 = model_costs.iter().sum();
+    per_ref * batch_rows as f64 / reference_rows.max(1) as f64
+}
+
 /// A training sample for [`ForestCostPredictor`]: a task, the dataset it
 /// ran on, and the measured execution time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -489,5 +524,28 @@ mod tests {
             model.predict_cost(&t, &m),
             model.predict_cost(&t.with_approx_neighbors(true), &m)
         );
+    }
+
+    #[test]
+    fn predict_chunk_costs_are_model_major_row_shares() {
+        let costs = predict_chunk_costs(&[4.0, 1.0], &[256, 256, 128]);
+        assert_eq!(costs.len(), 6);
+        // Model 0 over three chunks, then model 1.
+        assert!((costs[0] - 4.0 * 256.0 / 640.0).abs() < 1e-12);
+        assert!((costs[2] - 4.0 * 128.0 / 640.0).abs() < 1e-12);
+        assert!((costs[3] - 1.0 * 256.0 / 640.0).abs() < 1e-12);
+        // Each model's chunk shares sum back to its full cost.
+        let m0: f64 = costs[..3].iter().sum();
+        let m1: f64 = costs[3..].iter().sum();
+        assert!((m0 - 4.0).abs() < 1e-12 && (m1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_batch_forecast_scales_with_rows() {
+        let unit = predict_batch_forecast(&[2.0, 3.0], 100, 100);
+        assert!((unit - 5.0).abs() < 1e-12);
+        assert!((predict_batch_forecast(&[2.0, 3.0], 50, 100) - 2.5).abs() < 1e-12);
+        // Degenerate reference row counts never divide by zero.
+        assert!(predict_batch_forecast(&[1.0], 10, 0).is_finite());
     }
 }

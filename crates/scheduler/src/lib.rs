@@ -57,7 +57,10 @@ pub mod simulate;
 pub mod work_stealing;
 
 pub use assignment::{bps_schedule, generic_schedule, shuffled_schedule, Assignment};
-pub use cost::{AnalyticCostModel, CostModel, ForestCostPredictor, TaskDescriptor};
+pub use cost::{
+    predict_batch_forecast, predict_chunk_costs, AnalyticCostModel, CostModel, ForestCostPredictor,
+    TaskDescriptor,
+};
 pub use executor::ThreadPoolExecutor;
 pub use meta::DatasetMeta;
 pub use simulate::{simulate_makespan, SimulationResult};

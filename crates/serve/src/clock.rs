@@ -1,0 +1,107 @@
+//! Time sources for the scoring service.
+//!
+//! Deadline shedding is inherently wall-clock-dependent, which would make
+//! the shed set non-deterministic and untestable. The service therefore
+//! reads time only through the [`Clock`] trait: production uses
+//! [`SystemClock`]; tests use [`ManualClock`], advanced explicitly, so
+//! the set of shed requests becomes a pure function of the submitted
+//! arrival trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic millisecond time source the service consults for
+/// admission timestamps, deadline checks, and batch-window pacing.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Milliseconds elapsed since the clock's epoch (monotonic).
+    fn now_millis(&self) -> u64;
+
+    /// Blocks the calling thread for roughly `window` — the dispatcher's
+    /// batch-assembly pause. Manual clocks make this a no-op; callers
+    /// stepping a service by hand pace it themselves.
+    fn sleep(&self, window: Duration);
+}
+
+/// Wall-clock time relative to the clock's construction instant.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    fn sleep(&self, window: Duration) {
+        std::thread::sleep(window);
+    }
+}
+
+/// A clock that only moves when told to — the deterministic time source
+/// for shed-set and latency tests. `sleep` is a no-op, so a service on a
+/// manual clock should be stepped with
+/// [`ScoreService::process_once`](crate::ScoreService::process_once)
+/// rather than a background dispatcher.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    millis: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.millis.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.millis.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, _window: Duration) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_millis(), 0);
+        clock.sleep(Duration::from_secs(3600));
+        assert_eq!(clock.now_millis(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_millis(), 250);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now_millis();
+        clock.sleep(Duration::from_millis(2));
+        assert!(clock.now_millis() >= a);
+    }
+}

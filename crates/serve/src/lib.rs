@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+
+//! Fault-tolerant online scoring for fitted SUOD ensembles.
+//!
+//! The estimator crates answer the paper's batch questions — fit a
+//! heterogeneous pool fast, predict a big matrix fast. This crate turns
+//! a fitted [`Suod`](suod::Suod) into a long-running **scoring
+//! service** that keeps answering under the faults a batch run never
+//! meets: overload, stale requests, and models that start failing after
+//! deployment.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit() ──> [bounded queue] ──> BatchAssemble ──> masked predict ──> Combine ──> tickets
+//!              (Busy when full)    (deadline shed)   (fault-isolated      (survivor
+//!                                                     model x chunk)       only)
+//! ```
+//!
+//! * **Bounded admission** — [`ScoreService::submit`] enqueues into a
+//!   fixed-capacity queue and rejects with [`SubmitError::Busy`] when
+//!   full. Backpressure is explicit; memory never grows unboundedly.
+//! * **Micro-batching** — pending requests coalesce (within
+//!   [`ServeConfig::batch_window`], or per [`ScoreService::process_once`]
+//!   call) into one matrix that rides the estimator's existing
+//!   (model x row-chunk) parallel predict path, so service throughput
+//!   inherits the paper's BPS scheduling. Batch size is capped by rows
+//!   and, optionally, by the scheduler's deterministic cost forecast
+//!   ([`ServeConfig::max_batch_units`]).
+//! * **Deadline shedding** — requests carry a deadline budget; those
+//!   already expired at assembly are dropped *before* any compute is
+//!   spent ([`ScoreOutcome::Shed`]).
+//! * **Predict-time quarantine** — per-model faults (panics, typed
+//!   errors, non-finite columns, timeout breaches) feed
+//!   consecutive-failure streaks; a model exceeding
+//!   [`ServeConfig::predict_failure_budget`] is masked out of subsequent
+//!   batches. Responses combine **survivors only**, subject to the same
+//!   `min_healthy_fraction` floor semantics the estimator enforces at
+//!   fit time.
+//!
+//! # Determinism contract
+//!
+//! Scores are bit-identical to a sequential pass at any worker count:
+//! the batch's (model x row-chunk) split is fixed, failed models
+//! contribute NaN columns that survivor combination skips, and chaos
+//! faults (see `suod_detectors::ChaosDetector`) are pure functions of
+//! the model seed. On a [`ManualClock`], batch composition and the shed
+//! set are pure functions of the submitted trace too — which is exactly
+//! what the chaos serve suite asserts across 1/2/8 workers.
+//!
+//! # Example
+//!
+//! ```
+//! use suod::prelude::*;
+//! use suod_serve::{ScoreService, ServeConfig, ScoreOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let x = suod_linalg::Matrix::from_rows(
+//!     &(0..40).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect::<Vec<_>>(),
+//! )?;
+//! let mut clf = Suod::builder()
+//!     .base_estimators(vec![
+//!         ModelSpec::Hbos { n_bins: 8, tolerance: 0.3 },
+//!         ModelSpec::IForest { n_estimators: 10, max_features: 1.0 },
+//!     ])
+//!     .seed(7)
+//!     .build()?;
+//! clf.fit(&x)?;
+//!
+//! let service = ScoreService::new(clf, ServeConfig::default())?;
+//! let ticket = service.submit(x.clone()).expect("queue has room");
+//! service.process_once();
+//! match ticket.wait() {
+//!     ScoreOutcome::Scored(batch) => assert_eq!(batch.combined.len(), 40),
+//!     other => panic!("expected scores, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod clock;
+pub mod report;
+pub mod service;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use report::ServeReport;
+pub use service::{
+    ModelFault, ScoreOutcome, ScoreService, ScoredBatch, ServeConfig, SubmitError, Ticket,
+};
+
+use std::fmt;
+
+/// Errors produced when building a scoring service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A service knob was outside its valid domain.
+    Config(String),
+    /// The underlying estimator rejected the setup (typically: not
+    /// fitted yet).
+    Core(suod::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
+            Error::Core(e) => write!(f, "estimator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<suod::Error> for Error {
+    fn from(e: suod::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,1085 @@
+//! The scoring service: bounded admission, micro-batching, deadline
+//! shedding, and predict-time quarantine over a fitted [`Suod`].
+
+use crate::clock::{Clock, SystemClock};
+use crate::report::ServeReport;
+use crate::{Error, Result};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use suod::Suod;
+use suod_detectors::validate_finite;
+use suod_linalg::Matrix;
+use suod_observe::{Counter, Observer, SpanAttrs, Stage};
+
+/// Tuning knobs for a [`ScoreService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission-queue capacity. Submissions beyond this are rejected
+    /// with [`SubmitError::Busy`] — explicit backpressure; the queue
+    /// never grows without bound.
+    pub queue_capacity: usize,
+    /// Hard cap on rows per micro-batch.
+    pub max_batch_rows: usize,
+    /// Optional cost cap per micro-batch, in the cost model's unitless
+    /// scale (see [`Suod::predict_unit_costs`]): the batch stops
+    /// accepting requests once its forecast
+    /// ([`suod_scheduler::predict_batch_forecast`] over the currently
+    /// active models) would exceed this. Deterministic — derived from
+    /// the fit-time cost forecast, not from measured times.
+    pub max_batch_units: Option<f64>,
+    /// How long the background dispatcher waits after the first pending
+    /// request before assembling a batch, letting concurrent submitters
+    /// coalesce. Ignored when stepping manually.
+    pub batch_window: Duration,
+    /// Deadline budget applied to requests submitted without an explicit
+    /// one. `None` disables shedding for such requests.
+    pub default_deadline_ms: Option<u64>,
+    /// Consecutive predict faults (panic, typed error, non-finite
+    /// scores, or timeout breach) a model may accumulate before it is
+    /// quarantined out of subsequent batches.
+    pub predict_failure_budget: u32,
+    /// Per-batch time budget for a single model's scoring work. A model
+    /// whose measured time exceeds it is charged one fault — a post-hoc
+    /// watchdog (running chunks cannot be cancelled), so one slow model
+    /// delays at most `predict_failure_budget` batches before leaving
+    /// the hot path.
+    pub predict_timeout: Option<Duration>,
+    /// Minimum fraction of the served ensemble that must score
+    /// successfully for a batch's combined scores to be trusted — the
+    /// serving analog of the fit-time floor. Batches below the floor
+    /// fail with [`ScoreOutcome::Failed`]; the service keeps running.
+    pub min_healthy_fraction: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch_rows: 1024,
+            max_batch_units: None,
+            batch_window: Duration::from_millis(2),
+            default_deadline_ms: None,
+            predict_failure_budget: 3,
+            predict_timeout: None,
+            min_healthy_fraction: 1.0,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 {
+            return Err(Error::Config("queue_capacity must be >= 1".into()));
+        }
+        if self.max_batch_rows == 0 {
+            return Err(Error::Config("max_batch_rows must be >= 1".into()));
+        }
+        if let Some(u) = self.max_batch_units {
+            if !(u.is_finite() && u > 0.0) {
+                return Err(Error::Config(format!(
+                    "max_batch_units must be finite and positive, got {u}"
+                )));
+            }
+        }
+        if self.predict_failure_budget == 0 {
+            return Err(Error::Config("predict_failure_budget must be >= 1".into()));
+        }
+        if !(self.min_healthy_fraction.is_finite()
+            && (0.0..=1.0).contains(&self.min_healthy_fraction))
+        {
+            return Err(Error::Config(format!(
+                "min_healthy_fraction must be in [0, 1], got {}",
+                self.min_healthy_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Why a submission was turned away at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The admission queue is full. Retry later; the rejection is the
+    /// backpressure signal.
+    Busy {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    Closed,
+    /// The request itself was malformed (empty, wrong feature count, or
+    /// non-finite values). Validated at admission so one bad request can
+    /// never poison batch-mates.
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { capacity } => {
+                write!(f, "admission queue full ({capacity} pending)")
+            }
+            SubmitError::Closed => write!(f, "service is closed"),
+            SubmitError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A surviving model that faulted while scoring one batch.
+#[derive(Debug, Clone)]
+pub struct ModelFault {
+    /// Original configured-pool index (matches
+    /// [`suod::ModelReport`] indices).
+    pub pool_index: usize,
+    /// Short algorithm name.
+    pub name: &'static str,
+    /// Human-readable cause (panic message, typed error, or timeout).
+    pub cause: String,
+    /// Whether this fault tipped the model over its failure budget into
+    /// quarantine.
+    pub quarantined: bool,
+}
+
+/// A successfully scored request.
+#[derive(Debug, Clone)]
+pub struct ScoredBatch {
+    /// Combined ensemble score per submitted row, in submission order —
+    /// the survivor-only average (failed models' columns are skipped).
+    pub combined: Vec<f64>,
+    /// Faults observed in the batch this request rode in (empty on a
+    /// fully healthy pass).
+    pub faults: Vec<ModelFault>,
+    /// Models that produced usable columns for this batch.
+    pub healthy_models: usize,
+    /// Models in the served (surviving) ensemble.
+    pub total_models: usize,
+    /// Admission-to-response latency in clock milliseconds.
+    pub latency_ms: u64,
+}
+
+/// Terminal state of one submitted request.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ScoreOutcome {
+    /// The request was scored.
+    Scored(ScoredBatch),
+    /// The request sat in the queue past its deadline and was shed
+    /// without computing anything.
+    Shed {
+        /// Milliseconds the request waited before being dropped.
+        waited_ms: u64,
+        /// The deadline budget it was admitted with.
+        deadline_ms: u64,
+    },
+    /// The batch could not be served (ensemble below the healthy floor,
+    /// or the service shut down first).
+    Failed(String),
+}
+
+/// One request's response slot, shared between the submitter's
+/// [`Ticket`] and the dispatcher.
+struct ResponseSlot {
+    outcome: Mutex<Option<ScoreOutcome>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ResponseSlot {
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, outcome: ScoreOutcome) {
+        let mut slot = lock_ignore_poison(&self.outcome);
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a pending score request; blocks on [`wait`](Ticket::wait)
+/// until the dispatcher responds.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the request reaches a terminal state.
+    pub fn wait(self) -> ScoreOutcome {
+        let mut outcome = lock_ignore_poison(&self.slot.outcome);
+        loop {
+            if let Some(result) = outcome.take() {
+                return result;
+            }
+            outcome = self
+                .slot
+                .ready
+                .wait(outcome)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking poll; `Some` once the request is terminal.
+    pub fn try_take(&self) -> Option<ScoreOutcome> {
+        lock_ignore_poison(&self.slot.outcome).take()
+    }
+}
+
+/// A request sitting in the admission queue.
+struct Pending {
+    rows: Matrix,
+    enqueued_ms: u64,
+    /// Absolute clock deadline; `None` = never shed.
+    deadline_at_ms: Option<u64>,
+    /// The relative budget, kept for the shed response.
+    deadline_ms: Option<u64>,
+    slot: Arc<ResponseSlot>,
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Per-model serving health: active mask plus consecutive-fault streaks.
+struct ServeHealth {
+    active: Vec<bool>,
+    streaks: Vec<u32>,
+}
+
+/// Aggregated service counters and latency samples.
+#[derive(Default)]
+struct ServeStats {
+    admitted: u64,
+    rejected: u64,
+    shed: u64,
+    deadline_missed: u64,
+    batches: u64,
+    requests_scored: u64,
+    requests_failed: u64,
+    rows_scored: u64,
+    predict_faults: u64,
+    quarantined: u64,
+    latencies_ms: Vec<u64>,
+    /// EWMA of measured seconds per forecast cost unit — the
+    /// calibration joining the scheduler's unitless forecasts to wall
+    /// time for capacity estimates.
+    secs_per_unit: Option<f64>,
+}
+
+struct ServiceInner {
+    clf: Suod,
+    config: ServeConfig,
+    clock: Arc<dyn Clock>,
+    observer: Arc<dyn Observer>,
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    health: Mutex<ServeHealth>,
+    stats: Mutex<ServeStats>,
+    /// Per-surviving-model forecast cost (fit-time, immutable).
+    unit_costs: Vec<f64>,
+    /// `(pool index, name)` per surviving model.
+    model_names: Vec<(usize, &'static str)>,
+    train_rows: usize,
+    n_features: usize,
+}
+
+/// A fault-tolerant online scoring service over a fitted [`Suod`].
+///
+/// Requests are admitted into a bounded queue ([`submit`](Self::submit)
+/// rejects with [`SubmitError::Busy`] when full), coalesced into
+/// micro-batches, scored through the estimator's fault-isolated masked
+/// prediction path, and answered individually. Models that keep faulting
+/// at predict time are quarantined out of subsequent batches; survivor
+/// combination keeps every response's scores bit-identical to a
+/// single-threaded pass over the same batch.
+///
+/// Two driving modes:
+///
+/// * **Background** — [`spawn_dispatcher`](Self::spawn_dispatcher)
+///   starts a thread that waits for work, sleeps one batch window so
+///   concurrent submitters coalesce, then assembles and scores a batch.
+/// * **Manual** — the owner calls [`process_once`](Self::process_once)
+///   to drive one batch synchronously. With a
+///   [`ManualClock`](crate::ManualClock) this makes every decision —
+///   batch composition, shed set, quarantine sequence — a pure function
+///   of the submitted trace, which is how the chaos suite proves
+///   determinism.
+pub struct ScoreService {
+    inner: Arc<ServiceInner>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ScoreService {
+    /// Builds a service over a fitted estimator with the system clock
+    /// and no observer. Call
+    /// [`spawn_dispatcher`](Self::spawn_dispatcher) for background
+    /// operation or drive it with [`process_once`](Self::process_once).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for invalid knobs; [`Error::Core`] when the
+    /// estimator is not fitted.
+    pub fn new(clf: Suod, config: ServeConfig) -> Result<Self> {
+        Self::with_parts(
+            clf,
+            config,
+            Arc::new(SystemClock::new()),
+            suod_observe::noop(),
+        )
+    }
+
+    /// Builds a service with an explicit clock and observer — the
+    /// constructor tests use with [`ManualClock`](crate::ManualClock)
+    /// and a recording observer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_parts(
+        clf: Suod,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        observer: Arc<dyn Observer>,
+    ) -> Result<Self> {
+        config.validate()?;
+        let model_names = clf.surviving_models()?;
+        let unit_costs = clf.predict_unit_costs()?;
+        let train_rows = clf.train_rows()?;
+        let n_features = clf.n_features()?;
+        let m = model_names.len();
+        Ok(ScoreService {
+            inner: Arc::new(ServiceInner {
+                clf,
+                config,
+                clock,
+                observer,
+                queue: Mutex::new(QueueState {
+                    pending: VecDeque::new(),
+                    closed: false,
+                }),
+                work_ready: Condvar::new(),
+                health: Mutex::new(ServeHealth {
+                    active: vec![true; m],
+                    streaks: vec![0; m],
+                }),
+                stats: Mutex::new(ServeStats::default()),
+                unit_costs,
+                model_names,
+                train_rows,
+                n_features,
+            }),
+            dispatcher: None,
+        })
+    }
+
+    /// Starts the background dispatcher thread (idempotent).
+    pub fn spawn_dispatcher(&mut self) {
+        if self.dispatcher.is_some() {
+            return;
+        }
+        let inner = Arc::clone(&self.inner);
+        self.dispatcher = Some(
+            std::thread::Builder::new()
+                .name("suod-serve-dispatcher".into())
+                .spawn(move || inner.dispatch_loop())
+                .expect("spawning the dispatcher thread"),
+        );
+    }
+
+    /// Admits a score request with the configured default deadline.
+    /// `rows` is one or more query rows in the fitted feature space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the bounded queue is full (the
+    /// backpressure signal), [`SubmitError::InvalidRequest`] for
+    /// malformed input, [`SubmitError::Closed`] during shutdown.
+    pub fn submit(&self, rows: Matrix) -> std::result::Result<Ticket, SubmitError> {
+        let deadline = self.inner.config.default_deadline_ms;
+        self.submit_with_deadline(rows, deadline)
+    }
+
+    /// Admits a score request with an explicit deadline budget in clock
+    /// milliseconds (`None` = never shed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        rows: Matrix,
+        deadline_ms: Option<u64>,
+    ) -> std::result::Result<Ticket, SubmitError> {
+        self.inner.submit_with_deadline(rows, deadline_ms)
+    }
+
+    /// Synchronously assembles and serves one micro-batch: drains
+    /// admitted requests up to the batch caps, sheds those past their
+    /// deadline, scores the rest through the fault-isolated masked
+    /// prediction path, and fills every drained request's ticket.
+    /// Returns the number of requests retired (scored, shed, or
+    /// failed); `0` means the queue was empty.
+    pub fn process_once(&self) -> usize {
+        self.inner.process_once()
+    }
+
+    /// Current per-model activity mask, in surviving-ensemble order
+    /// (`false` = quarantined at serve time).
+    pub fn active_models(&self) -> Vec<bool> {
+        lock_ignore_poison(&self.inner.health).active.clone()
+    }
+
+    /// Snapshot of the service's counters and latency percentiles.
+    pub fn report(&self) -> ServeReport {
+        self.inner.report()
+    }
+
+    /// Shuts the service down: rejects future submissions, fails
+    /// still-queued requests, and joins the dispatcher. Called by `Drop`;
+    /// explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = lock_ignore_poison(&self.inner.queue);
+            queue.closed = true;
+            for request in queue.pending.drain(..) {
+                request
+                    .slot
+                    .fill(ScoreOutcome::Failed("service shut down".into()));
+            }
+        }
+        self.inner.work_ready.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScoreService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ServiceInner {
+    fn dispatch_loop(&self) {
+        loop {
+            {
+                let mut queue = lock_ignore_poison(&self.queue);
+                while queue.pending.is_empty() && !queue.closed {
+                    queue = self
+                        .work_ready
+                        .wait(queue)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                if queue.closed {
+                    return;
+                }
+            }
+            // Let concurrent submitters coalesce into this batch.
+            self.clock.sleep(self.config.batch_window);
+            self.process_once();
+        }
+    }
+
+    fn submit_with_deadline(
+        &self,
+        rows: Matrix,
+        deadline_ms: Option<u64>,
+    ) -> std::result::Result<Ticket, SubmitError> {
+        if rows.nrows() == 0 {
+            return Err(SubmitError::InvalidRequest(
+                "request carries no rows".into(),
+            ));
+        }
+        if rows.ncols() != self.n_features {
+            return Err(SubmitError::InvalidRequest(format!(
+                "expected {} features, got {}",
+                self.n_features,
+                rows.ncols()
+            )));
+        }
+        if validate_finite(&rows, "serve").is_err() {
+            return Err(SubmitError::InvalidRequest(
+                "request contains non-finite values".into(),
+            ));
+        }
+        let _span = suod_observe::span(
+            self.observer.as_ref(),
+            Stage::RequestEnqueue,
+            SpanAttrs::none(),
+        );
+        let now = self.clock.now_millis();
+        let slot = ResponseSlot::new();
+        {
+            let mut queue = lock_ignore_poison(&self.queue);
+            if queue.closed {
+                return Err(SubmitError::Closed);
+            }
+            if queue.pending.len() >= self.config.queue_capacity {
+                self.observer.counter(Counter::Rejected, 1);
+                lock_ignore_poison(&self.stats).rejected += 1;
+                return Err(SubmitError::Busy {
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            queue.pending.push_back(Pending {
+                rows,
+                enqueued_ms: now,
+                deadline_at_ms: deadline_ms.map(|d| now.saturating_add(d)),
+                deadline_ms,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.observer.counter(Counter::Admitted, 1);
+        lock_ignore_poison(&self.stats).admitted += 1;
+        self.work_ready.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// Row cap for the next batch given the currently active models:
+    /// the hard `max_batch_rows`, tightened by `max_batch_units` through
+    /// the scheduler's deterministic cost forecast.
+    fn batch_row_cap(&self, active: &[bool]) -> usize {
+        let mut cap = self.config.max_batch_rows;
+        if let Some(max_units) = self.config.max_batch_units {
+            let active_cost: f64 = self
+                .unit_costs
+                .iter()
+                .zip(active)
+                .filter(|(_, &a)| a)
+                .map(|(&c, _)| c)
+                .sum();
+            if active_cost > 0.0 {
+                // Invert forecast(rows) = active_cost * rows / train_rows.
+                let rows = (max_units * self.train_rows as f64 / active_cost).floor() as usize;
+                cap = cap.min(rows.max(1));
+            }
+        }
+        cap
+    }
+
+    fn process_once(&self) -> usize {
+        // --- Assemble: drain FIFO up to the caps, shed expired work. ----
+        let assemble_span = suod_observe::span(
+            self.observer.as_ref(),
+            Stage::BatchAssemble,
+            SpanAttrs::none(),
+        );
+        let active = lock_ignore_poison(&self.health).active.clone();
+        let row_cap = self.batch_row_cap(&active);
+        let mut drained: Vec<Pending> = Vec::new();
+        {
+            let mut queue = lock_ignore_poison(&self.queue);
+            let mut rows = 0usize;
+            while let Some(front) = queue.pending.front() {
+                let request_rows = front.rows.nrows();
+                // Always take at least one request so oversized requests
+                // cannot starve.
+                if !drained.is_empty() && rows + request_rows > row_cap {
+                    break;
+                }
+                rows += request_rows;
+                drained.push(queue.pending.pop_front().expect("front exists"));
+            }
+        }
+        if drained.is_empty() {
+            drop(assemble_span);
+            return 0;
+        }
+        let now = self.clock.now_millis();
+        let mut batch: Vec<Pending> = Vec::with_capacity(drained.len());
+        let mut retired = 0usize;
+        for request in drained {
+            match request.deadline_at_ms {
+                Some(deadline_at) if deadline_at < now => {
+                    self.observer.counter(Counter::Shed, 1);
+                    self.observer.counter(Counter::DeadlineMissed, 1);
+                    {
+                        let mut stats = lock_ignore_poison(&self.stats);
+                        stats.shed += 1;
+                        stats.deadline_missed += 1;
+                    }
+                    request.slot.fill(ScoreOutcome::Shed {
+                        waited_ms: now.saturating_sub(request.enqueued_ms),
+                        deadline_ms: request.deadline_ms.unwrap_or(0),
+                    });
+                    retired += 1;
+                }
+                _ => batch.push(request),
+            }
+        }
+        drop(assemble_span);
+        if batch.is_empty() {
+            return retired;
+        }
+
+        // --- Score the concatenated batch through the masked path. ------
+        let n_cols = self.n_features;
+        let total_rows: usize = batch.iter().map(|r| r.rows.nrows()).sum();
+        let mut data = Vec::with_capacity(total_rows * n_cols);
+        for request in &batch {
+            data.extend_from_slice(request.rows.as_slice());
+        }
+        let matrix = Matrix::from_vec(total_rows, n_cols, data)
+            .expect("batch dimensions are consistent by construction");
+        let scored = self
+            .clf
+            .decision_function_masked(&matrix, &active, &self.observer);
+        let (scores, predict_report) = match scored {
+            Ok(pair) => pair,
+            Err(e) => {
+                let message = format!("prediction failed: {e}");
+                // Stats are published before the tickets resolve so a
+                // client that has observed its outcome always finds it
+                // reflected in `report()`.
+                lock_ignore_poison(&self.stats).requests_failed += batch.len() as u64;
+                for request in &batch {
+                    request.slot.fill(ScoreOutcome::Failed(message.clone()));
+                }
+                return retired + batch.len();
+            }
+        };
+
+        // --- Health bookkeeping: streaks, timeouts, quarantine. ---------
+        let mut faults: Vec<ModelFault> = Vec::new();
+        let mut healthy_models = 0usize;
+        {
+            let mut health = lock_ignore_poison(&self.health);
+            let mut faulted = vec![false; health.active.len()];
+            for failure in &predict_report.failures {
+                if let Some(pos) = self
+                    .model_names
+                    .iter()
+                    .position(|&(pool, _)| pool == failure.index)
+                {
+                    faulted[pos] = true;
+                    faults.push(ModelFault {
+                        pool_index: failure.index,
+                        name: failure.name,
+                        cause: failure.cause.to_string(),
+                        quarantined: false,
+                    });
+                }
+            }
+            if let Some(timeout) = self.config.predict_timeout {
+                for (pos, &(pool_index, name)) in self.model_names.iter().enumerate() {
+                    if health.active[pos]
+                        && !faulted[pos]
+                        && predict_report.model_times[pos] > timeout
+                    {
+                        faulted[pos] = true;
+                        faults.push(ModelFault {
+                            pool_index,
+                            name,
+                            cause: format!(
+                                "predict timeout: {:.1}ms > {:.1}ms budget",
+                                predict_report.model_times[pos].as_secs_f64() * 1e3,
+                                timeout.as_secs_f64() * 1e3
+                            ),
+                            quarantined: false,
+                        });
+                    }
+                }
+            }
+            let mut newly_quarantined = 0u64;
+            for (pos, &was_faulted) in faulted.iter().enumerate() {
+                if !health.active[pos] {
+                    continue;
+                }
+                if was_faulted {
+                    health.streaks[pos] += 1;
+                    if health.streaks[pos] >= self.config.predict_failure_budget {
+                        health.active[pos] = false;
+                        newly_quarantined += 1;
+                        let pool_index = self.model_names[pos].0;
+                        for fault in &mut faults {
+                            if fault.pool_index == pool_index {
+                                fault.quarantined = true;
+                            }
+                        }
+                    }
+                } else {
+                    health.streaks[pos] = 0;
+                    healthy_models += 1;
+                }
+            }
+            if newly_quarantined > 0 {
+                self.observer
+                    .counter(Counter::PredictQuarantined, newly_quarantined);
+            }
+            let mut stats = lock_ignore_poison(&self.stats);
+            stats.predict_faults += faults.len() as u64;
+            stats.quarantined += newly_quarantined;
+        }
+
+        // --- Floor check + survivor-only combination. -------------------
+        let total_models = self.model_names.len();
+        let required = (((self.config.min_healthy_fraction * total_models as f64) - 1e-9).ceil()
+            as usize)
+            .max(1);
+        if healthy_models < required {
+            let message = format!(
+                "ensemble degraded below serving floor: {healthy_models}/{total_models} \
+                 models healthy, {required} required"
+            );
+            lock_ignore_poison(&self.stats).requests_failed += batch.len() as u64;
+            for request in &batch {
+                request.slot.fill(ScoreOutcome::Failed(message.clone()));
+            }
+            return retired + batch.len();
+        }
+        let combine_span =
+            suod_observe::span(self.observer.as_ref(), Stage::Combine, SpanAttrs::none());
+        let combined = match self.clf.combine_score_matrix(&scores) {
+            Ok(c) => c,
+            Err(e) => {
+                let message = format!("combination failed: {e}");
+                lock_ignore_poison(&self.stats).requests_failed += batch.len() as u64;
+                for request in &batch {
+                    request.slot.fill(ScoreOutcome::Failed(message.clone()));
+                }
+                return retired + batch.len();
+            }
+        };
+        drop(combine_span);
+
+        // --- Slice per-request outcomes, preserving row order. ----------
+        let done = self.clock.now_millis();
+        let mut offset = 0usize;
+        let mut latencies = Vec::with_capacity(batch.len());
+        let mut missed = 0u64;
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for request in &batch {
+            let rows = request.rows.nrows();
+            let latency_ms = done.saturating_sub(request.enqueued_ms);
+            if matches!(request.deadline_at_ms, Some(d) if done > d) {
+                self.observer.counter(Counter::DeadlineMissed, 1);
+                missed += 1;
+            }
+            latencies.push(latency_ms);
+            outcomes.push(ScoreOutcome::Scored(ScoredBatch {
+                combined: combined[offset..offset + rows].to_vec(),
+                faults: faults.clone(),
+                healthy_models,
+                total_models,
+                latency_ms,
+            }));
+            offset += rows;
+        }
+
+        // --- Stats + forecast calibration. ------------------------------
+        // Published before the tickets resolve so a client that has
+        // observed its outcome always finds it reflected in `report()`.
+        {
+            let mut stats = lock_ignore_poison(&self.stats);
+            stats.batches += 1;
+            stats.requests_scored += batch.len() as u64;
+            stats.rows_scored += total_rows as u64;
+            stats.deadline_missed += missed;
+            stats.latencies_ms.extend(latencies);
+            let active_cost: f64 = self
+                .unit_costs
+                .iter()
+                .zip(&active)
+                .filter(|(_, &a)| a)
+                .map(|(&c, _)| c)
+                .sum();
+            let units =
+                suod_scheduler::predict_batch_forecast(&[active_cost], total_rows, self.train_rows);
+            if units > 0.0 {
+                let sample = predict_report.wall_time.as_secs_f64() / units;
+                stats.secs_per_unit = Some(match stats.secs_per_unit {
+                    Some(prev) => 0.7 * prev + 0.3 * sample,
+                    None => sample,
+                });
+            }
+        }
+        for (request, outcome) in batch.iter().zip(outcomes) {
+            request.slot.fill(outcome);
+        }
+        retired + batch.len()
+    }
+
+    fn report(&self) -> ServeReport {
+        let stats = lock_ignore_poison(&self.stats);
+        let health = lock_ignore_poison(&self.health);
+        let mut sorted = stats.latencies_ms.clone();
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        ServeReport {
+            admitted: stats.admitted,
+            rejected: stats.rejected,
+            shed: stats.shed,
+            deadline_missed: stats.deadline_missed,
+            predict_faults: stats.predict_faults,
+            quarantined: stats.quarantined,
+            batches: stats.batches,
+            requests_scored: stats.requests_scored,
+            requests_failed: stats.requests_failed,
+            rows_scored: stats.rows_scored,
+            active_models: health.active.iter().filter(|&&a| a).count(),
+            total_models: health.active.len(),
+            p50_latency_ms: percentile(0.50),
+            p99_latency_ms: percentile(0.99),
+            max_latency_ms: sorted.last().copied().unwrap_or(0),
+            secs_per_unit: stats.secs_per_unit,
+        }
+    }
+}
+
+/// Mutex helper mirroring the executor's convention: a poisoned lock
+/// means a panicking thread, but serve state stays consistent (every
+/// update is a complete transaction), so we keep serving.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+    use suod::prelude::*;
+
+    fn data(n: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    (i % 9) as f64 * 0.3,
+                    (i % 5) as f64 * 0.4,
+                    ((i * 3) % 7) as f64,
+                ]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn fitted(pool: Vec<ModelSpec>) -> Suod {
+        let mut clf = Suod::builder()
+            .base_estimators(pool)
+            .min_healthy_fraction(0.5)
+            .seed(11)
+            .build()
+            .unwrap();
+        clf.fit(&data(48)).unwrap();
+        clf
+    }
+
+    fn healthy_pool() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::Hbos {
+                n_bins: 8,
+                tolerance: 0.3,
+            },
+            ModelSpec::IForest {
+                n_estimators: 10,
+                max_features: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        for config in [
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch_rows: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch_units: Some(0.0),
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                predict_failure_budget: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                min_healthy_fraction: 1.5,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(ScoreService::new(fitted(healthy_pool()), config).is_err());
+        }
+    }
+
+    #[test]
+    fn unfitted_estimator_is_rejected() {
+        let clf = Suod::builder()
+            .base_estimators(healthy_pool())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            ScoreService::new(clf, ServeConfig::default()),
+            Err(Error::Core(suod::Error::NotFitted))
+        ));
+    }
+
+    #[test]
+    fn submit_rejects_malformed_requests() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        // Empty request.
+        assert!(matches!(
+            service.submit(Matrix::zeros(0, 3)),
+            Err(SubmitError::InvalidRequest(_))
+        ));
+        // Wrong feature count.
+        assert!(matches!(
+            service.submit(Matrix::zeros(2, 5)),
+            Err(SubmitError::InvalidRequest(_))
+        ));
+        // Non-finite input never reaches a batch.
+        let mut bad = Matrix::zeros(1, 3);
+        bad.set(0, 1, f64::NAN);
+        assert!(matches!(
+            service.submit(bad),
+            Err(SubmitError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn full_queue_pushes_back_with_busy() {
+        let config = ServeConfig {
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let service = ScoreService::new(fitted(healthy_pool()), config).unwrap();
+        let t1 = service.submit(data(3)).unwrap();
+        let t2 = service.submit(data(3)).unwrap();
+        match service.submit(data(3)).err() {
+            Some(SubmitError::Busy { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // Draining the queue reopens admission; nothing was lost.
+        assert_eq!(service.process_once(), 2);
+        assert!(matches!(t1.wait(), ScoreOutcome::Scored(_)));
+        assert!(matches!(t2.wait(), ScoreOutcome::Scored(_)));
+        assert!(service.submit(data(3)).is_ok());
+        let report = service.report();
+        assert_eq!(report.admitted, 3);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn expired_deadlines_shed_before_compute() {
+        let clock = Arc::new(ManualClock::new());
+        let service = ScoreService::with_parts(
+            fitted(healthy_pool()),
+            ServeConfig::default(),
+            clock.clone(),
+            suod_observe::noop(),
+        )
+        .unwrap();
+        let stale = service.submit_with_deadline(data(2), Some(10)).unwrap();
+        let fresh = service.submit_with_deadline(data(2), Some(100)).unwrap();
+        let eternal = service.submit_with_deadline(data(2), None).unwrap();
+        clock.advance(50);
+        assert_eq!(service.process_once(), 3);
+        match stale.wait() {
+            ScoreOutcome::Shed {
+                waited_ms,
+                deadline_ms,
+            } => {
+                assert_eq!(waited_ms, 50);
+                assert_eq!(deadline_ms, 10);
+            }
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        assert!(matches!(fresh.wait(), ScoreOutcome::Scored(_)));
+        assert!(matches!(eternal.wait(), ScoreOutcome::Scored(_)));
+        let report = service.report();
+        assert_eq!(report.shed, 1);
+        assert!(report.deadline_missed >= 1);
+    }
+
+    #[test]
+    fn scores_match_direct_estimator_pass() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        let query = data(7);
+        let ticket = service.submit(query.clone()).unwrap();
+        service.process_once();
+        let combined = match ticket.wait() {
+            ScoreOutcome::Scored(batch) => batch.combined,
+            other => panic!("expected scores, got {other:?}"),
+        };
+        let expected = fitted(healthy_pool()).combined_scores(&query).unwrap();
+        assert_eq!(combined, expected);
+    }
+
+    #[test]
+    fn oversized_request_is_not_starved() {
+        let config = ServeConfig {
+            max_batch_rows: 4,
+            ..ServeConfig::default()
+        };
+        let service = ScoreService::new(fitted(healthy_pool()), config).unwrap();
+        // 10 rows > max_batch_rows, but the batch always takes >= 1 request.
+        let big = service.submit(data(10)).unwrap();
+        assert_eq!(service.process_once(), 1);
+        assert!(matches!(big.wait(), ScoreOutcome::Scored(_)));
+    }
+
+    #[test]
+    fn forecast_cap_limits_batch_rows() {
+        let clf = fitted(healthy_pool());
+        let unit_cost: f64 = clf.predict_unit_costs().unwrap().iter().sum();
+        let train_rows = clf.train_rows().unwrap() as f64;
+        // Budget exactly enough units for ~6 rows.
+        let config = ServeConfig {
+            max_batch_units: Some(unit_cost * 6.0 / train_rows),
+            ..ServeConfig::default()
+        };
+        let service = ScoreService::new(clf, config).unwrap();
+        let a = service.submit(data(4)).unwrap();
+        let b = service.submit(data(4)).unwrap();
+        // 4 + 4 > 6-row cap: the second request waits for the next batch.
+        assert_eq!(service.process_once(), 1);
+        assert!(matches!(a.wait(), ScoreOutcome::Scored(_)));
+        assert!(b.try_take().is_none());
+        assert_eq!(service.process_once(), 1);
+        assert!(matches!(b.wait(), ScoreOutcome::Scored(_)));
+    }
+
+    #[test]
+    fn shutdown_fails_pending_requests() {
+        let mut service =
+            ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        let pending = service.submit(data(2)).unwrap();
+        service.shutdown();
+        assert!(matches!(pending.wait(), ScoreOutcome::Failed(_)));
+        assert!(matches!(service.submit(data(2)), Err(SubmitError::Closed)));
+    }
+
+    #[test]
+    fn background_dispatcher_serves_concurrent_clients() {
+        let mut service =
+            ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        service.spawn_dispatcher();
+        let service = Arc::new(service);
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || service.submit(data(3)).unwrap().wait())
+            })
+            .collect();
+        for client in clients {
+            assert!(matches!(client.join().unwrap(), ScoreOutcome::Scored(_)));
+        }
+        assert_eq!(service.report().requests_scored, 4);
+    }
+}
