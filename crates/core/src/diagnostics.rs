@@ -273,10 +273,13 @@ pub struct PredictFailure {
 /// (`Suod::decision_function_observed` / `decision_function_masked`).
 #[derive(Debug, Clone)]
 pub struct PredictReport {
-    /// Measured scoring duration of each surviving model, in pool-index
-    /// order (approximated models answer through their regressors): the
-    /// sum of the model's (model × row-chunk) task times. Zero for
-    /// models the caller masked out.
+    /// Measured scoring duration of each surviving model, indexed by
+    /// surviving-ensemble position (the order of
+    /// [`surviving_models`](crate::Suod::surviving_models), the same
+    /// index space as `skipped` — NOT configured-pool indices;
+    /// approximated models answer through their regressors): the sum of
+    /// the model's (model × row-chunk) task times. Zero for models the
+    /// caller masked out.
     pub model_times: Vec<Duration>,
     /// End-to-end wall time of the prediction pass.
     pub wall_time: Duration,

@@ -34,9 +34,10 @@
 //!   errors, non-finite columns, timeout breaches) feed
 //!   consecutive-failure streaks; a model exceeding
 //!   [`ServeConfig::predict_failure_budget`] is masked out of subsequent
-//!   batches. Responses combine **survivors only**, subject to the same
+//!   batches. Responses combine **survivors only**, subject to the
 //!   `min_healthy_fraction` floor semantics the estimator enforces at
-//!   fit time.
+//!   fit time — taken per batch over the currently-active models, so
+//!   quarantine lets the service recover instead of failing forever.
 //!
 //! # Determinism contract
 //!

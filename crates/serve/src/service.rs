@@ -46,10 +46,16 @@ pub struct ServeConfig {
     /// delays at most `predict_failure_budget` batches before leaving
     /// the hot path.
     pub predict_timeout: Option<Duration>,
-    /// Minimum fraction of the served ensemble that must score
-    /// successfully for a batch's combined scores to be trusted — the
-    /// serving analog of the fit-time floor. Batches below the floor
-    /// fail with [`ScoreOutcome::Failed`]; the service keeps running.
+    /// Minimum fraction of the models *currently active* (not
+    /// serve-quarantined) that must score successfully for a batch's
+    /// combined scores to be trusted — the serving analog of the
+    /// fit-time floor. Batches below the floor fail with
+    /// [`ScoreOutcome::Failed`]; the service keeps running. Because the
+    /// floor is taken over active models, quarantining a persistently
+    /// faulty model shrinks the denominator and the service recovers —
+    /// even at the strict default of `1.0`, a faulty model costs at
+    /// most `predict_failure_budget` failed batches before survivor
+    /// batches pass again.
     pub min_healthy_fraction: f64,
 }
 
@@ -253,6 +259,12 @@ struct ServeHealth {
     streaks: Vec<u32>,
 }
 
+/// Upper bound on retained latency samples: percentiles in
+/// [`ServeReport`] are computed over the most recent window, so a
+/// long-lived service neither grows without bound nor slows down
+/// `report()` over time.
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
 /// Aggregated service counters and latency samples.
 #[derive(Default)]
 struct ServeStats {
@@ -266,7 +278,8 @@ struct ServeStats {
     rows_scored: u64,
     predict_faults: u64,
     quarantined: u64,
-    latencies_ms: Vec<u64>,
+    /// Ring of the most recent [`LATENCY_SAMPLE_CAP`] request latencies.
+    latencies_ms: VecDeque<u64>,
     /// EWMA of measured seconds per forecast cost unit — the
     /// calibration joining the scheduler's unitless forecasts to wall
     /// time for capacity estimates.
@@ -648,8 +661,12 @@ impl ServiceInner {
         };
 
         // --- Health bookkeeping: streaks, timeouts, quarantine. ---------
+        // Lock discipline: the service never holds `health` and `stats`
+        // at the same time (`report()` relies on this — nested
+        // acquisition in opposite orders would be an AB-BA deadlock).
         let mut faults: Vec<ModelFault> = Vec::new();
         let mut healthy_models = 0usize;
+        let mut newly_quarantined = 0u64;
         {
             let mut health = lock_ignore_poison(&self.health);
             let mut faulted = vec![false; health.active.len()];
@@ -688,7 +705,6 @@ impl ServiceInner {
                     }
                 }
             }
-            let mut newly_quarantined = 0u64;
             for (pos, &was_faulted) in faulted.iter().enumerate() {
                 if !health.active[pos] {
                     continue;
@@ -710,24 +726,31 @@ impl ServiceInner {
                     healthy_models += 1;
                 }
             }
-            if newly_quarantined > 0 {
-                self.observer
-                    .counter(Counter::PredictQuarantined, newly_quarantined);
-            }
+        }
+        if newly_quarantined > 0 {
+            self.observer
+                .counter(Counter::PredictQuarantined, newly_quarantined);
+        }
+        {
             let mut stats = lock_ignore_poison(&self.stats);
             stats.predict_faults += faults.len() as u64;
             stats.quarantined += newly_quarantined;
         }
 
         // --- Floor check + survivor-only combination. -------------------
+        // The floor is taken over the models active for *this* batch, so
+        // quarantining a persistently faulty model shrinks the
+        // denominator and the service recovers even at
+        // `min_healthy_fraction == 1.0`.
         let total_models = self.model_names.len();
-        let required = (((self.config.min_healthy_fraction * total_models as f64) - 1e-9).ceil()
+        let active_models = active.iter().filter(|&&a| a).count();
+        let required = (((self.config.min_healthy_fraction * active_models as f64) - 1e-9).ceil()
             as usize)
             .max(1);
         if healthy_models < required {
             let message = format!(
-                "ensemble degraded below serving floor: {healthy_models}/{total_models} \
-                 models healthy, {required} required"
+                "ensemble degraded below serving floor: {healthy_models}/{active_models} \
+                 active models healthy, {required} required"
             );
             lock_ignore_poison(&self.stats).requests_failed += batch.len() as u64;
             for request in &batch {
@@ -784,6 +807,9 @@ impl ServiceInner {
             stats.rows_scored += total_rows as u64;
             stats.deadline_missed += missed;
             stats.latencies_ms.extend(latencies);
+            while stats.latencies_ms.len() > LATENCY_SAMPLE_CAP {
+                stats.latencies_ms.pop_front();
+            }
             let active_cost: f64 = self
                 .unit_costs
                 .iter()
@@ -808,35 +834,43 @@ impl ServiceInner {
     }
 
     fn report(&self) -> ServeReport {
-        let stats = lock_ignore_poison(&self.stats);
-        let health = lock_ignore_poison(&self.health);
-        let mut sorted = stats.latencies_ms.clone();
-        sorted.sort_unstable();
-        let percentile = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
+        // Snapshot each lock separately — never hold `stats` and
+        // `health` together (see the lock discipline note in
+        // `process_once`).
+        let mut report = {
+            let stats = lock_ignore_poison(&self.stats);
+            let mut sorted: Vec<u64> = stats.latencies_ms.iter().copied().collect();
+            sorted.sort_unstable();
+            let percentile = |p: f64| -> u64 {
+                if sorted.is_empty() {
+                    return 0;
+                }
+                let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            ServeReport {
+                admitted: stats.admitted,
+                rejected: stats.rejected,
+                shed: stats.shed,
+                deadline_missed: stats.deadline_missed,
+                predict_faults: stats.predict_faults,
+                quarantined: stats.quarantined,
+                batches: stats.batches,
+                requests_scored: stats.requests_scored,
+                requests_failed: stats.requests_failed,
+                rows_scored: stats.rows_scored,
+                active_models: 0,
+                total_models: 0,
+                p50_latency_ms: percentile(0.50),
+                p99_latency_ms: percentile(0.99),
+                max_latency_ms: sorted.last().copied().unwrap_or(0),
+                secs_per_unit: stats.secs_per_unit,
             }
-            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
         };
-        ServeReport {
-            admitted: stats.admitted,
-            rejected: stats.rejected,
-            shed: stats.shed,
-            deadline_missed: stats.deadline_missed,
-            predict_faults: stats.predict_faults,
-            quarantined: stats.quarantined,
-            batches: stats.batches,
-            requests_scored: stats.requests_scored,
-            requests_failed: stats.requests_failed,
-            rows_scored: stats.rows_scored,
-            active_models: health.active.iter().filter(|&&a| a).count(),
-            total_models: health.active.len(),
-            p50_latency_ms: percentile(0.50),
-            p99_latency_ms: percentile(0.99),
-            max_latency_ms: sorted.last().copied().unwrap_or(0),
-            secs_per_unit: stats.secs_per_unit,
-        }
+        let health = lock_ignore_poison(&self.health);
+        report.active_models = health.active.iter().filter(|&&a| a).count();
+        report.total_models = health.active.len();
+        report
     }
 }
 
@@ -1053,6 +1087,22 @@ mod tests {
         assert!(b.try_take().is_none());
         assert_eq!(service.process_once(), 1);
         assert!(matches!(b.wait(), ScoreOutcome::Scored(_)));
+    }
+
+    #[test]
+    fn latency_samples_stay_bounded() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        // Pre-fill the ring to capacity; the next scored batch must
+        // evict old samples instead of growing past the cap.
+        {
+            let mut stats = lock_ignore_poison(&service.inner.stats);
+            stats.latencies_ms.extend(0..LATENCY_SAMPLE_CAP as u64);
+        }
+        let ticket = service.submit(data(3)).unwrap();
+        service.process_once();
+        assert!(matches!(ticket.wait(), ScoreOutcome::Scored(_)));
+        let stats = lock_ignore_poison(&service.inner.stats);
+        assert_eq!(stats.latencies_ms.len(), LATENCY_SAMPLE_CAP);
     }
 
     #[test]

@@ -350,6 +350,42 @@ fn serving_floor_fails_batches_not_the_service() {
 }
 
 #[test]
+fn quarantine_recovers_service_at_strict_default_floor() {
+    // The default min_healthy_fraction of 1.0 is taken over the models
+    // active for each batch, not the full served ensemble: a faulty
+    // model fails at most `predict_failure_budget` batches before it
+    // leaves the denominator and the service recovers.
+    let config = ServeConfig {
+        predict_failure_budget: 2,
+        ..ServeConfig::default() // min_healthy_fraction: 1.0
+    };
+    let (outcomes, report, active) = serve_trace(fit(chaotic_pool(), 2), config);
+    // Batches 0 and 1 carry faults from still-active saboteurs; with
+    // every active model required, they fail cleanly.
+    for outcome in &outcomes[..2] {
+        assert!(
+            matches!(outcome, ScoreOutcome::Failed(msg) if msg.contains("degraded")),
+            "expected Failed below the floor, got {outcome:?}"
+        );
+    }
+    // From batch 2 on the saboteurs are quarantined out of the
+    // denominator and every batch scores again.
+    for outcome in &outcomes[2..] {
+        match outcome {
+            ScoreOutcome::Scored(batch) => {
+                assert_eq!(batch.healthy_models, 8);
+                assert!(batch.faults.is_empty());
+            }
+            other => panic!("service did not recover after quarantine: {other:?}"),
+        }
+    }
+    assert_eq!(&active[8..], [false, false]);
+    assert_eq!(report.requests_failed, 2);
+    assert_eq!(report.requests_scored, 4);
+    assert_eq!(report.quarantined, 2);
+}
+
+#[test]
 fn core_predict_chaos_is_bit_identical_across_worker_counts() {
     // The serving contract rests on the estimator's own guarantee:
     // decision_function with injected predict faults produces the same
