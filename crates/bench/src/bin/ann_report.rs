@@ -244,7 +244,7 @@ fn pool_fit(backend: NeighborBackend, x: &Matrix, y: &[i32]) -> (f64, Vec<f64>, 
     // cache and diluting the backend comparison with 5x index builds.
     let mut model = Suod::builder()
         .base_estimators(proximity_pool())
-        .neighbor_backend(backend)
+        .kernel(KernelConfig::default().with_neighbor(backend))
         .n_workers(1)
         .with_projection(false)
         .with_approximation(false)

@@ -2,23 +2,33 @@
 
 //! Command-line interface for the SUOD reproduction.
 //!
-//! The binary (`suod-cli`) wraps the `suod` library for the two things a
-//! practitioner does first: score a dataset with a heterogeneous ensemble
-//! and inspect the available benchmark analogs. Argument parsing is
-//! hand-rolled (no CLI dependency) and lives here in the library so it is
+//! The binary (`suod-cli`) wraps the `suod` library around the fitted-pool
+//! lifecycle: **fit** a heterogeneous ensemble once and persist it as a
+//! `suod-pool/1` snapshot, **score** datasets with it (locally or against
+//! a server), and **serve** it online with hot reload. Argument parsing
+//! is hand-rolled (no CLI dependency) and lives in [`flags`] so it is
 //! unit-testable; `main.rs` is a thin shell.
 //!
 //! ```text
+//! suod-cli fit --dataset cardio --snapshot pool.suod [--models 20] [--workers 2]
 //! suod-cli detect --dataset cardio [--scale 0.25] [--models 20]
 //!                 [--no-rp] [--no-psa] [--no-bps] [--workers 2]
 //!                 [--contamination 0.1] [--seed 42] [--output scores.csv]
 //! suod-cli detect --csv data.csv [--label-column 3] ...
 //! suod-cli trace --dataset cardio [--format json|chrome] [--output trace.json] ...
 //! suod-cli serve --dataset cardio [--chaos panic] [--listen 127.0.0.1:7878] ...
+//! suod-cli serve --snapshot pool.suod --listen 127.0.0.1:7878
 //! suod-cli score --connect 127.0.0.1:7878 --csv data.csv
+//! suod-cli score --snapshot pool.suod --csv data.csv
 //! suod-cli list-datasets
 //! suod-cli help
 //! ```
+
+pub mod flags;
+
+pub use flags::{
+    parse_args, usage, Command, DetectArgs, FitArgs, ScoreArgs, ServeArgs, TraceArgs, TraceFormat,
+};
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
@@ -29,407 +39,6 @@ use suod_datasets::csv::{load_csv, CsvOptions};
 use suod_datasets::{registry, Dataset};
 use suod_metrics::{precision_at_n, roc_auc};
 use suod_serve::{ScoreOutcome, ScoreService, ServeConfig, SubmitError};
-
-/// A parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Command {
-    /// Fit an ensemble and emit per-sample scores.
-    Detect(DetectArgs),
-    /// Run an instrumented fit + predict and export the trace.
-    Trace(TraceArgs),
-    /// Fit a pool and run the fault-tolerant online scoring service.
-    Serve(ServeArgs),
-    /// Score rows against a running `serve --listen` server.
-    Score(ScoreArgs),
-    /// Print the registry's dataset table.
-    ListDatasets,
-    /// Print usage.
-    Help,
-}
-
-/// Arguments for [`Command::Serve`]: the pipeline configuration plus the
-/// serving knobs. Without `--listen` the command runs a self-contained
-/// replay demo — concurrent clients score slices of the dataset's own
-/// rows — and prints the per-request outcomes and the service report.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServeArgs {
-    /// Pipeline configuration (shared `detect` flags).
-    pub detect: DetectArgs,
-    /// Admission queue capacity (`Busy` past this).
-    pub queue: usize,
-    /// Micro-batch row cap.
-    pub batch_rows: usize,
-    /// Batch assembly window in milliseconds.
-    pub window_ms: u64,
-    /// Default per-request deadline budget in milliseconds.
-    pub deadline_ms: Option<u64>,
-    /// Consecutive predict faults before a model is quarantined.
-    pub failure_budget: u32,
-    /// Serving floor: minimum healthy fraction of the ensemble.
-    pub min_healthy: f64,
-    /// Optional saboteur appended to the pool (chaos demo).
-    pub chaos: Option<ChaosMode>,
-    /// Replay demo: number of concurrent client requests.
-    pub requests: usize,
-    /// Replay demo: rows per request.
-    pub rows_per_request: usize,
-    /// TCP address to listen on instead of running the replay demo.
-    pub listen: Option<String>,
-    /// Listen mode: exit after this many connections (0 = run forever).
-    pub max_conns: usize,
-}
-
-impl Default for ServeArgs {
-    fn default() -> Self {
-        Self {
-            detect: DetectArgs::default(),
-            queue: 64,
-            batch_rows: 256,
-            window_ms: 2,
-            deadline_ms: None,
-            failure_budget: 3,
-            min_healthy: 0.5,
-            chaos: None,
-            requests: 8,
-            rows_per_request: 16,
-            listen: None,
-            max_conns: 0,
-        }
-    }
-}
-
-/// Arguments for [`Command::Score`]: the client side of `serve --listen`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScoreArgs {
-    /// Server address, e.g. `127.0.0.1:7878`.
-    pub connect: String,
-    /// CSV of feature rows to score.
-    pub csv: String,
-    /// Label column to strip from the CSV before sending.
-    pub label_column: Option<usize>,
-    /// Optional output CSV path for the returned scores.
-    pub output: Option<String>,
-}
-
-/// Export format for [`Command::Trace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceFormat {
-    /// The stable `suod-trace/1` JSON schema.
-    Json,
-    /// Chrome `trace_event` format (load in `chrome://tracing` / Perfetto).
-    Chrome,
-}
-
-/// Arguments for [`Command::Trace`]: the same pipeline configuration as
-/// `detect`, plus an export format. `--output` names the trace file
-/// instead of a score CSV.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceArgs {
-    /// Pipeline configuration (same flags as `detect`).
-    pub detect: DetectArgs,
-    /// Trace export format.
-    pub format: TraceFormat,
-}
-
-/// Arguments for [`Command::Detect`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct DetectArgs {
-    /// Registry dataset name (mutually exclusive with `csv`).
-    pub dataset: Option<String>,
-    /// CSV path (mutually exclusive with `dataset`).
-    pub csv: Option<String>,
-    /// Label column within the CSV.
-    pub label_column: Option<usize>,
-    /// Registry subsampling factor.
-    pub scale: f64,
-    /// Number of random Table B.1 models in the pool.
-    pub models: usize,
-    /// Module flags.
-    pub rp: bool,
-    /// Pseudo-supervised approximation flag.
-    pub psa: bool,
-    /// Balanced scheduling flag.
-    pub bps: bool,
-    /// Worker count.
-    pub workers: usize,
-    /// Contamination for the label threshold.
-    pub contamination: f64,
-    /// Master seed.
-    pub seed: u64,
-    /// Optional output CSV path for scores.
-    pub output: Option<String>,
-    /// Brute-force distance backend (naive | blocked | gemm).
-    pub backend: DistanceBackend,
-    /// Kernel numeric precision (f64 | mixed).
-    pub precision: Precision,
-    /// Neighbour index backend (exact | hnsw).
-    pub neighbor: NeighborBackend,
-    /// HNSW search beam width (recall knob); `None` keeps the default.
-    pub ef_search: Option<usize>,
-}
-
-impl Default for DetectArgs {
-    fn default() -> Self {
-        Self {
-            dataset: None,
-            csv: None,
-            label_column: None,
-            scale: 0.25,
-            models: 12,
-            rp: true,
-            psa: true,
-            bps: true,
-            workers: 1,
-            contamination: 0.1,
-            seed: 42,
-            output: None,
-            backend: KernelConfig::default().backend,
-            precision: Precision::default(),
-            neighbor: NeighborBackend::default(),
-            ef_search: None,
-        }
-    }
-}
-
-/// Parses raw arguments (without the program name).
-///
-/// # Errors
-///
-/// Returns a human-readable message for unknown flags, missing values,
-/// unparsable numbers, or conflicting inputs.
-pub fn parse_args(args: &[String]) -> Result<Command, String> {
-    let mut it = args.iter().peekable();
-    let sub = match it.next() {
-        None => return Ok(Command::Help),
-        Some(s) => s.as_str(),
-    };
-    match sub {
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        "list-datasets" => Ok(Command::ListDatasets),
-        "detect" => {
-            let (d, _) = parse_pipeline_flags(&mut it, "detect", false)?;
-            Ok(Command::Detect(d))
-        }
-        "trace" => {
-            let (detect, format) = parse_pipeline_flags(&mut it, "trace", true)?;
-            Ok(Command::Trace(TraceArgs {
-                detect,
-                format: format.unwrap_or(TraceFormat::Json),
-            }))
-        }
-        "serve" => parse_serve_flags(&mut it).map(Command::Serve),
-        "score" => parse_score_flags(&mut it).map(Command::Score),
-        other => Err(format!("unknown command `{other}` (see `suod-cli help`)")),
-    }
-}
-
-fn parse_chaos(raw: &str) -> Result<ChaosMode, String> {
-    match raw {
-        "panic" => Ok(ChaosMode::PanicOnPredict),
-        "nan" => Ok(ChaosMode::NanOnPredict),
-        "slow" => Ok(ChaosMode::SlowPredict(25)),
-        other => other
-            .strip_prefix("slow:")
-            .and_then(|ms| ms.parse().ok())
-            .map(ChaosMode::SlowPredict)
-            .ok_or_else(|| format!("unknown chaos mode `{other}` (panic|nan|slow[:ms])")),
-    }
-}
-
-fn parse_serve_flags(
-    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
-) -> Result<ServeArgs, String> {
-    let mut s = ServeArgs::default();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {name} needs a value"))
-        };
-        match flag.as_str() {
-            "--dataset" => s.detect.dataset = Some(value("--dataset")?),
-            "--csv" => s.detect.csv = Some(value("--csv")?),
-            "--label-column" => {
-                s.detect.label_column = Some(parse_num(&value("--label-column")?, flag)?)
-            }
-            "--scale" => s.detect.scale = parse_num(&value("--scale")?, flag)?,
-            "--models" => s.detect.models = parse_num(&value("--models")?, flag)?,
-            "--workers" => s.detect.workers = parse_num(&value("--workers")?, flag)?,
-            "--seed" => s.detect.seed = parse_num(&value("--seed")?, flag)?,
-            "--no-rp" => s.detect.rp = false,
-            "--no-psa" => s.detect.psa = false,
-            "--no-bps" => s.detect.bps = false,
-            "--queue" => s.queue = parse_num(&value("--queue")?, flag)?,
-            "--batch-rows" => s.batch_rows = parse_num(&value("--batch-rows")?, flag)?,
-            "--window-ms" => s.window_ms = parse_num(&value("--window-ms")?, flag)?,
-            "--deadline-ms" => s.deadline_ms = Some(parse_num(&value("--deadline-ms")?, flag)?),
-            "--failure-budget" => s.failure_budget = parse_num(&value("--failure-budget")?, flag)?,
-            "--min-healthy" => s.min_healthy = parse_num(&value("--min-healthy")?, flag)?,
-            "--chaos" => s.chaos = Some(parse_chaos(&value("--chaos")?)?),
-            "--requests" => s.requests = parse_num(&value("--requests")?, flag)?,
-            "--rows-per-request" => {
-                s.rows_per_request = parse_num(&value("--rows-per-request")?, flag)?
-            }
-            "--listen" => s.listen = Some(value("--listen")?),
-            "--max-conns" => s.max_conns = parse_num(&value("--max-conns")?, flag)?,
-            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
-        }
-    }
-    match (&s.detect.dataset, &s.detect.csv) {
-        (None, None) => Err("serve needs --dataset <name> or --csv <path>".into()),
-        (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
-        _ => Ok(s),
-    }
-}
-
-fn parse_score_flags(
-    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
-) -> Result<ScoreArgs, String> {
-    let mut connect = None;
-    let mut csv = None;
-    let mut label_column = None;
-    let mut output = None;
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {name} needs a value"))
-        };
-        match flag.as_str() {
-            "--connect" => connect = Some(value("--connect")?),
-            "--csv" => csv = Some(value("--csv")?),
-            "--label-column" => label_column = Some(parse_num(&value("--label-column")?, flag)?),
-            "--output" => output = Some(value("--output")?),
-            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
-        }
-    }
-    Ok(ScoreArgs {
-        connect: connect.ok_or("score needs --connect <addr>")?,
-        csv: csv.ok_or("score needs --csv <path>")?,
-        label_column,
-        output,
-    })
-}
-
-/// Parses the shared `detect`/`trace` flag set. `--format` is only
-/// accepted when `allow_format` is set (the `trace` subcommand).
-fn parse_pipeline_flags(
-    it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
-    sub: &str,
-    allow_format: bool,
-) -> Result<(DetectArgs, Option<TraceFormat>), String> {
-    let mut d = DetectArgs::default();
-    let mut format = None;
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {name} needs a value"))
-        };
-        match flag.as_str() {
-            "--dataset" => d.dataset = Some(value("--dataset")?),
-            "--csv" => d.csv = Some(value("--csv")?),
-            "--label-column" => d.label_column = Some(parse_num(&value("--label-column")?, flag)?),
-            "--scale" => d.scale = parse_num(&value("--scale")?, flag)?,
-            "--models" => d.models = parse_num(&value("--models")?, flag)?,
-            "--workers" => d.workers = parse_num(&value("--workers")?, flag)?,
-            "--contamination" => d.contamination = parse_num(&value("--contamination")?, flag)?,
-            "--seed" => d.seed = parse_num(&value("--seed")?, flag)?,
-            "--output" => d.output = Some(value("--output")?),
-            "--backend" => {
-                d.backend =
-                    DistanceBackend::parse(&value("--backend")?).map_err(|e| e.to_string())?
-            }
-            "--precision" => {
-                d.precision = Precision::parse(&value("--precision")?).map_err(|e| e.to_string())?
-            }
-            "--neighbor-backend" => {
-                d.neighbor = NeighborBackend::parse(&value("--neighbor-backend")?)
-                    .map_err(|e| e.to_string())?
-            }
-            "--ef-search" => d.ef_search = Some(parse_num(&value("--ef-search")?, flag)?),
-            "--no-rp" => d.rp = false,
-            "--no-psa" => d.psa = false,
-            "--no-bps" => d.bps = false,
-            "--format" if allow_format => {
-                format = Some(match value("--format")?.as_str() {
-                    "json" => TraceFormat::Json,
-                    "chrome" => TraceFormat::Chrome,
-                    other => return Err(format!("unknown trace format `{other}` (json|chrome)")),
-                })
-            }
-            other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
-        }
-    }
-    match (&d.dataset, &d.csv) {
-        (None, None) => Err(format!("{sub} needs --dataset <name> or --csv <path>")),
-        (Some(_), Some(_)) => Err("--dataset and --csv are mutually exclusive".into()),
-        _ => Ok((d, format)),
-    }
-}
-
-fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
-    raw.parse()
-        .map_err(|_| format!("cannot parse `{raw}` for {flag}"))
-}
-
-/// Usage text.
-pub fn usage() -> &'static str {
-    "suod-cli — scalable unsupervised heterogeneous outlier detection
-
-USAGE:
-  suod-cli detect --dataset <name> [options]   score a registry analog
-  suod-cli detect --csv <path> [options]       score a local CSV file
-  suod-cli trace --dataset <name> [options]    export an instrumented run's trace
-  suod-cli serve --dataset <name> [options]    run the online scoring service
-  suod-cli score --connect <addr> --csv <path> score rows against a server
-  suod-cli list-datasets                       show the benchmark registry
-  suod-cli help                                this text
-
-DETECT / TRACE OPTIONS:
-  --label-column <i>    CSV column holding 0/1 labels (enables ROC/P@N)
-  --scale <f>           registry subsample factor in (0, 1]   [0.25]
-  --models <m>          random Table B.1 pool size            [12]
-  --workers <t>         worker threads                        [1]
-  --contamination <c>   expected outlier fraction             [0.1]
-  --seed <s>            RNG seed                              [42]
-  --output <path>       detect: score CSV; trace: trace file
-  --backend <b>         distance backend: naive|blocked|gemm  [blocked]
-  --precision <p>       distance kernels: f64|mixed           [f64]
-                        mixed = f32 packed storage with f64
-                        accumulation (documented error bound)
-  --neighbor-backend <b>  kNN index: exact|hnsw               [exact]
-                        hnsw = seeded approximate graph (recall
-                        >= 0.95 at defaults; small n and
-                        non-Euclidean metrics fall back to exact)
-  --ef-search <ef>      HNSW search beam width (recall knob)  [64]
-  --no-rp | --no-psa | --no-bps   disable a SUOD module
-
-TRACE OPTIONS:
-  --format <json|chrome>  export format                       [json]
-                          json   = stable suod-trace/1 schema
-                          chrome = chrome://tracing / Perfetto
-
-SERVE OPTIONS (plus the shared detect flags above):
-  --queue <n>           admission queue capacity              [64]
-  --batch-rows <n>      micro-batch row cap                   [256]
-  --window-ms <ms>      batch assembly window                 [2]
-  --deadline-ms <ms>    default per-request deadline          [none]
-  --failure-budget <n>  predict faults before quarantine      [3]
-  --min-healthy <f>     serving floor (healthy fraction)      [0.5]
-  --chaos <mode>        append a saboteur: panic|nan|slow[:ms]
-  --requests <n>        replay demo: concurrent requests      [8]
-  --rows-per-request <n>  replay demo: rows per request       [16]
-  --listen <addr>       serve over TCP instead of the replay demo
-  --max-conns <n>       listen: exit after n connections (0 = forever)
-
-SCORE OPTIONS:
-  --connect <addr>      server address (serve --listen)
-  --csv <path>          feature rows to score
-  --label-column <i>    strip this CSV column before sending
-  --output <path>       write index,score CSV instead of printing
-"
-}
 
 /// Runs a parsed command, returning the text to print.
 ///
@@ -461,6 +70,7 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Fit(args) => fit(&args),
         Command::Detect(args) => detect(&args),
         Command::Trace(args) => trace(&args),
         Command::Serve(args) => serve(&args),
@@ -517,10 +127,14 @@ fn clamp_pool(pool: Vec<ModelSpec>, n: usize) -> Vec<ModelSpec> {
         .collect()
 }
 
-fn detect(args: &DetectArgs) -> Result<String, String> {
-    let (ds, labeled) = load_dataset(args)?;
-    let pool = clamp_pool(suod::random_pool(args.models, args.seed), ds.n_samples());
-
+/// Builds (but does not fit) the estimator every pipeline subcommand
+/// shares, translating the flag set into the builder's current API.
+fn build_estimator(
+    args: &DetectArgs,
+    n_samples: usize,
+    observer: Option<Arc<RecordingObserver>>,
+) -> Result<Suod, String> {
+    let pool = clamp_pool(suod::random_pool(args.models, args.seed), n_samples);
     let mut builder = Suod::builder()
         .base_estimators(pool)
         .with_projection(args.rp)
@@ -529,15 +143,57 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
         .n_workers(args.workers.max(1))
         .contamination(args.contamination)
         .seed(args.seed)
-        .distance_backend(args.backend)
-        .precision(args.precision)
-        .neighbor_backend(args.neighbor);
-    if let Some(ef) = args.ef_search {
-        builder = builder.ef_search(ef);
+        .kernel(args.kernel_config());
+    if let Some(recorder) = observer {
+        builder = builder.observer(recorder);
     }
-    let mut clf = builder
+    builder
         .build()
-        .map_err(|e| format!("invalid configuration: {e}"))?;
+        .map_err(|e| format!("invalid configuration: {e}"))
+}
+
+fn fit(args: &FitArgs) -> Result<String, String> {
+    let (ds, _) = load_dataset(&args.detect)?;
+    let mut clf = build_estimator(&args.detect, ds.n_samples(), None)?;
+
+    let fit_start = std::time::Instant::now();
+    clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+    let fit_secs = fit_start.elapsed().as_secs_f64();
+    clf.save(&args.snapshot)
+        .map_err(|e| format!("cannot write snapshot: {e}"))?;
+    let bytes = std::fs::metadata(&args.snapshot)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dataset: {} ({} samples x {} features)",
+        ds.name,
+        ds.n_samples(),
+        ds.n_features()
+    )
+    .expect("string write");
+    writeln!(
+        out,
+        "pool: {} models | rp={} psa={} bps={} workers={}",
+        args.detect.models, args.detect.rp, args.detect.psa, args.detect.bps, args.detect.workers
+    )
+    .expect("string write");
+    writeln!(out, "fit time: {fit_secs:.3}s").expect("string write");
+    writeln!(
+        out,
+        "snapshot written to {} ({bytes} bytes, {})",
+        args.snapshot,
+        suod::SNAPSHOT_FORMAT
+    )
+    .expect("string write");
+    Ok(out)
+}
+
+fn detect(args: &DetectArgs) -> Result<String, String> {
+    let (ds, labeled) = load_dataset(args)?;
+    let mut clf = build_estimator(args, ds.n_samples(), None)?;
 
     let fit_start = std::time::Instant::now();
     clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
@@ -574,6 +230,7 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
             .unwrap_or_else(|| "unavailable".into()),
     )
     .expect("string write");
+    writeln!(out, "snapshot format: {}", suod::SNAPSHOT_FORMAT).expect("string write");
     writeln!(out, "fit time: {fit_secs:.3}s").expect("string write");
     writeln!(
         out,
@@ -602,30 +259,8 @@ fn detect(args: &DetectArgs) -> Result<String, String> {
 
 fn trace(args: &TraceArgs) -> Result<String, String> {
     let (ds, _) = load_dataset(&args.detect)?;
-    let pool = clamp_pool(
-        suod::random_pool(args.detect.models, args.detect.seed),
-        ds.n_samples(),
-    );
     let recorder = Arc::new(RecordingObserver::new());
-
-    let mut builder = Suod::builder()
-        .base_estimators(pool)
-        .with_projection(args.detect.rp)
-        .with_approximation(args.detect.psa)
-        .with_bps(args.detect.bps)
-        .n_workers(args.detect.workers.max(1))
-        .contamination(args.detect.contamination)
-        .seed(args.detect.seed)
-        .distance_backend(args.detect.backend)
-        .precision(args.detect.precision)
-        .neighbor_backend(args.detect.neighbor)
-        .observer(recorder.clone());
-    if let Some(ef) = args.detect.ef_search {
-        builder = builder.ef_search(ef);
-    }
-    let mut clf = builder
-        .build()
-        .map_err(|e| format!("invalid configuration: {e}"))?;
+    let mut clf = build_estimator(&args.detect, ds.n_samples(), Some(recorder.clone()))?;
     clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
     clf.decision_function(&ds.x)
         .map_err(|e| format!("scoring failed: {e}"))?;
@@ -668,29 +303,42 @@ fn trace(args: &TraceArgs) -> Result<String, String> {
 }
 
 fn serve(args: &ServeArgs) -> Result<String, String> {
-    let (ds, _) = load_dataset(&args.detect)?;
-    let mut pool = clamp_pool(
-        suod::random_pool(args.detect.models, args.detect.seed),
-        ds.n_samples(),
-    );
-    if let Some(mode) = args.chaos {
-        pool.push(ModelSpec::Chaos {
-            mode,
-            n_neighbors: 5,
-        });
-    }
-
-    let mut clf = Suod::builder()
-        .base_estimators(pool)
-        .with_projection(args.detect.rp)
-        .with_approximation(args.detect.psa)
-        .with_bps(args.detect.bps)
-        .n_workers(args.detect.workers.max(1))
-        .min_healthy_fraction(args.min_healthy)
-        .seed(args.detect.seed)
-        .build()
-        .map_err(|e| format!("invalid configuration: {e}"))?;
-    clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+    // The pool comes from a snapshot (pre-fitted elsewhere) or a fresh
+    // fit on the data source; the replay demo additionally needs the
+    // data source for its query rows.
+    let ds = if args.detect.dataset.is_some() || args.detect.csv.is_some() {
+        Some(load_dataset(&args.detect)?.0)
+    } else {
+        None
+    };
+    let clf = match &args.snapshot {
+        Some(path) => Suod::load(path).map_err(|e| format!("cannot load snapshot {path}: {e}"))?,
+        None => {
+            let ds = ds.as_ref().expect("validated in parse_args");
+            let mut pool = clamp_pool(
+                suod::random_pool(args.detect.models, args.detect.seed),
+                ds.n_samples(),
+            );
+            if let Some(mode) = args.chaos {
+                pool.push(ModelSpec::Chaos {
+                    mode,
+                    n_neighbors: 5,
+                });
+            }
+            let mut clf = Suod::builder()
+                .base_estimators(pool)
+                .with_projection(args.detect.rp)
+                .with_approximation(args.detect.psa)
+                .with_bps(args.detect.bps)
+                .n_workers(args.detect.workers.max(1))
+                .min_healthy_fraction(args.min_healthy)
+                .seed(args.detect.seed)
+                .build()
+                .map_err(|e| format!("invalid configuration: {e}"))?;
+            clf.fit(&ds.x).map_err(|e| format!("fit failed: {e}"))?;
+            clf
+        }
+    };
 
     let config = ServeConfig {
         queue_capacity: args.queue,
@@ -727,6 +375,7 @@ fn serve(args: &ServeArgs) -> Result<String, String> {
 
     // Replay demo: concurrent clients score slices of the dataset's own
     // rows through the full admission/batching/quarantine path.
+    let ds = ds.ok_or("replay demo needs --dataset or --csv (or use --listen)")?;
     let service = Arc::new(service);
     let n_rows = ds.x.nrows();
     let mut clients = Vec::new();
@@ -950,8 +599,13 @@ pub fn score_rows(addr: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>, String> {
 }
 
 fn score(args: &ScoreArgs) -> Result<String, String> {
+    if let Some(snapshot) = &args.snapshot {
+        return score_offline(args, snapshot);
+    }
+    let connect = args.connect.as_ref().expect("validated in parse_args");
+    let csv = args.csv.as_ref().expect("validated in parse_args");
     let ds = load_csv(
-        &args.csv,
+        csv,
         CsvOptions {
             has_header: None,
             label_column: args.label_column,
@@ -959,19 +613,61 @@ fn score(args: &ScoreArgs) -> Result<String, String> {
     )
     .map_err(|e| format!("cannot load CSV: {e}"))?;
     let rows: Vec<Vec<f64>> = (0..ds.x.nrows()).map(|r| ds.x.row(r).to_vec()).collect();
-    let scores = score_rows(&args.connect, &rows)?;
+    let scores = score_rows(connect, &rows)?;
 
-    let mut csv = String::from("index,score\n");
+    let mut csv_out = String::from("index,score\n");
     for (i, s) in scores.iter().enumerate() {
-        writeln!(csv, "{i},{s:.6}").expect("string write");
+        writeln!(csv_out, "{i},{s:.6}").expect("string write");
     }
-    let mut out = format!("scored {} rows via {}\n", scores.len(), args.connect);
+    let mut out = format!("scored {} rows via {connect}\n", scores.len());
     match &args.output {
         Some(path) => {
-            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, csv_out).map_err(|e| format!("cannot write {path}: {e}"))?;
             writeln!(out, "scores written to {path}").expect("string write");
         }
-        None => out.push_str(&csv),
+        None => out.push_str(&csv_out),
+    }
+    Ok(out)
+}
+
+/// `score --snapshot`: load a fitted pool and score rows in-process —
+/// the fit/score lifecycle split without a server in between.
+fn score_offline(args: &ScoreArgs, snapshot: &str) -> Result<String, String> {
+    let clf = Suod::load(snapshot).map_err(|e| format!("cannot load snapshot {snapshot}: {e}"))?;
+    let source = DetectArgs {
+        dataset: args.dataset.clone(),
+        csv: args.csv.clone(),
+        label_column: args.label_column,
+        scale: args.scale,
+        seed: args.seed,
+        ..DetectArgs::default()
+    };
+    let (ds, labeled) = load_dataset(&source)?;
+    let scores = clf
+        .combined_scores(&ds.x)
+        .map_err(|e| format!("scoring failed: {e}"))?;
+
+    let mut out = format!(
+        "scored {} rows with snapshot {snapshot} ({} models)\n",
+        scores.len(),
+        clf.diagnostics()
+            .map(|d| d.models().len())
+            .unwrap_or_default(),
+    );
+    if labeled && ds.n_outliers() > 0 && ds.n_outliers() < ds.n_samples() {
+        let auc = roc_auc(&ds.y, &scores).map_err(|e| e.to_string())?;
+        writeln!(out, "ROC-AUC: {auc:.4}").expect("string write");
+    }
+    let mut csv_out = String::from("index,score\n");
+    for (i, s) in scores.iter().enumerate() {
+        writeln!(csv_out, "{i},{s:.6}").expect("string write");
+    }
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, csv_out).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(out, "scores written to {path}").expect("string write");
+        }
+        None => out.push_str(&csv_out),
     }
     Ok(out)
 }
@@ -1024,7 +720,28 @@ mod tests {
         assert!(parse_args(&argv("detect --dataset a --precision f16")).is_err());
         assert!(parse_args(&argv("detect --dataset a --neighbor-backend kdtree")).is_err());
         assert!(parse_args(&argv("detect --dataset a --ef-search fast")).is_err());
+        // --snapshot belongs to fit/serve/score, not detect.
+        assert!(parse_args(&argv("detect --dataset a --snapshot p.suod")).is_err());
         assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_fit_flags() {
+        let cmd = parse_args(&argv(
+            "fit --dataset cardio --snapshot pool.suod --models 6 --workers 2 --seed 9",
+        ))
+        .unwrap();
+        let Command::Fit(f) = cmd else {
+            panic!("expected fit")
+        };
+        assert_eq!(f.detect.dataset.as_deref(), Some("cardio"));
+        assert_eq!(f.snapshot, "pool.suod");
+        assert_eq!(f.detect.models, 6);
+        assert_eq!(f.detect.seed, 9);
+
+        assert!(parse_args(&argv("fit --dataset cardio")).is_err()); // no snapshot
+        assert!(parse_args(&argv("fit --snapshot pool.suod")).is_err()); // no source
+        assert!(parse_args(&argv("fit --dataset a --format json")).is_err());
     }
 
     #[test]
@@ -1060,6 +777,11 @@ mod tests {
         };
         assert!(d.neighbor.is_approximate());
         assert_eq!(d.ef_search, Some(128));
+        // The folded kernel config carries the override.
+        match d.kernel_config().neighbor {
+            NeighborBackend::Hnsw(params) => assert_eq!(params.ef_search, 128),
+            other => panic!("expected hnsw, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1073,6 +795,7 @@ mod tests {
         assert!(out.contains("kernels: backend=gemm lane="), "{out}");
         assert!(out.contains("precision=mixed"), "{out}");
         assert!(out.contains("neighbors=exact"), "{out}");
+        assert!(out.contains("snapshot format: suod-pool/1"), "{out}");
     }
 
     #[test]
@@ -1190,6 +913,7 @@ mod tests {
         assert_eq!(s.requests, 4);
         assert_eq!(s.rows_per_request, 8);
         assert_eq!(s.listen, None);
+        assert_eq!(s.snapshot, None);
 
         // Chaos mode spellings.
         let parse = |raw: &str| {
@@ -1206,6 +930,23 @@ mod tests {
         assert!(parse_args(&argv("serve")).is_err()); // no source
         assert!(parse_args(&argv("serve --dataset a --csv b.csv")).is_err());
         assert!(parse_args(&argv("serve --dataset a --format json")).is_err());
+
+        // Snapshot mode: standalone only with --listen; composes with a
+        // data source for the replay demo.
+        assert!(parse_args(&argv("serve --snapshot p.suod")).is_err());
+        let Command::Serve(s) =
+            parse_args(&argv("serve --snapshot p.suod --listen 127.0.0.1:0")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.snapshot.as_deref(), Some("p.suod"));
+        let Command::Serve(s) =
+            parse_args(&argv("serve --snapshot p.suod --dataset cardio")).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.snapshot.as_deref(), Some("p.suod"));
+        assert_eq!(s.detect.dataset.as_deref(), Some("cardio"));
     }
 
     #[test]
@@ -1217,14 +958,76 @@ mod tests {
         let Command::Score(s) = cmd else {
             panic!("expected score")
         };
-        assert_eq!(s.connect, "127.0.0.1:7878");
-        assert_eq!(s.csv, "q.csv");
+        assert_eq!(s.connect.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(s.csv.as_deref(), Some("q.csv"));
         assert_eq!(s.label_column, Some(2));
         assert_eq!(s.output, None);
 
-        assert!(parse_args(&argv("score --csv q.csv")).is_err()); // no addr
+        // Offline mode spellings.
+        let Command::Score(s) = parse_args(&argv(
+            "score --snapshot pool.suod --dataset cardio --scale 0.1 --seed 7",
+        ))
+        .unwrap() else {
+            panic!("expected score")
+        };
+        assert_eq!(s.snapshot.as_deref(), Some("pool.suod"));
+        assert_eq!(s.dataset.as_deref(), Some("cardio"));
+        assert_eq!(s.scale, 0.1);
+        assert_eq!(s.seed, 7);
+
+        assert!(parse_args(&argv("score --csv q.csv")).is_err()); // no addr/snapshot
         assert!(parse_args(&argv("score --connect 127.0.0.1:1")).is_err()); // no csv
+        assert!(parse_args(&argv("score --snapshot p.suod")).is_err()); // no rows
+        assert!(parse_args(&argv("score --connect a --snapshot p --csv q.csv")).is_err());
+        assert!(parse_args(&argv("score --connect a --csv b --dataset c")).is_err());
+        assert!(parse_args(&argv("score --snapshot p --csv b --dataset c")).is_err());
         assert!(parse_args(&argv("score --connect a --csv b --models 3")).is_err());
+    }
+
+    #[test]
+    fn fit_then_score_snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join("suod_cli_fit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("pool.suod");
+
+        let cmd = parse_args(&argv(&format!(
+            "fit --dataset pima --scale 0.2 --models 4 --seed 3 --snapshot {}",
+            snapshot.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("snapshot written to"), "{out}");
+        assert!(out.contains("suod-pool/1"), "{out}");
+        assert!(snapshot.exists());
+
+        // Offline scoring with the saved pool on the same rows reports
+        // metrics and emits one score per row.
+        let output = dir.join("scores.csv");
+        let cmd = parse_args(&argv(&format!(
+            "score --snapshot {} --dataset pima --scale 0.2 --seed 3 --output {}",
+            snapshot.display(),
+            output.display()
+        )))
+        .unwrap();
+        let report = run(cmd).unwrap();
+        assert!(report.contains("scored"), "{report}");
+        assert!(report.contains("ROC-AUC"), "{report}");
+        let written = std::fs::read_to_string(&output).unwrap();
+        assert!(written.starts_with("index,score\n"));
+
+        // A corrupt snapshot is a typed message, not a panic.
+        let garbled = dir.join("garbled.suod");
+        let mut bytes = std::fs::read(&snapshot).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&garbled, bytes).unwrap();
+        let cmd = parse_args(&argv(&format!(
+            "score --snapshot {} --dataset pima --scale 0.2",
+            garbled.display()
+        )))
+        .unwrap();
+        let err = run(cmd).unwrap_err();
+        assert!(err.contains("cannot load snapshot"), "{err}");
     }
 
     #[test]
@@ -1243,6 +1046,31 @@ mod tests {
         assert!(out.contains("serve: 3 admitted"), "{out}");
         assert!(out.contains("chaos#4"), "{out}");
         assert!(!out.contains("Failed"), "{out}");
+    }
+
+    #[test]
+    fn serve_replay_demo_from_snapshot() {
+        let dir = std::env::temp_dir().join("suod_cli_serve_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = dir.join("pool.suod");
+        let cmd = parse_args(&argv(&format!(
+            "fit --dataset pima --scale 0.2 --models 4 --seed 3 --snapshot {}",
+            snapshot.display()
+        )))
+        .unwrap();
+        run(cmd).unwrap();
+
+        // The saved pool serves the replay demo without refitting.
+        let cmd = parse_args(&argv(&format!(
+            "serve --snapshot {} --dataset pima --scale 0.2 --seed 3 \
+             --requests 2 --rows-per-request 4",
+            snapshot.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("request  0: scored clean"), "{out}");
+        assert!(out.contains("request  1: scored clean"), "{out}");
+        assert!(out.contains("serve: 2 admitted"), "{out}");
     }
 
     #[test]

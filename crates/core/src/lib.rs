@@ -66,11 +66,13 @@ pub mod grid;
 pub mod health;
 pub mod lscp;
 pub mod pseudo;
+pub mod snapshot;
 pub mod spec;
 pub mod streaming;
 pub mod suod;
 pub mod xgbod;
 
+pub use crate::snapshot::{SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use crate::suod::{Suod, SuodBuilder};
 pub use diagnostics::{
     CpuFeatures, FitDiagnostics, ModelDiagnostics, PredictFailure, PredictReport,
@@ -144,6 +146,21 @@ pub enum Error {
         /// The first quarantined model's failure cause.
         cause: suod_detectors::Error,
     },
+    /// A snapshot's stored integrity signature does not match the
+    /// signature recomputed over its payload: the bytes were truncated
+    /// or modified after `save`. Loading never panics on corrupt input.
+    SnapshotCorrupt {
+        /// Signature stored in the snapshot header.
+        expected: String,
+        /// Signature recomputed over the payload actually read.
+        actual: String,
+    },
+    /// The bytes are not a `suod-pool` snapshot this build understands
+    /// (wrong magic, or a format version newer than
+    /// [`SNAPSHOT_VERSION`]).
+    SnapshotFormat(String),
+    /// Reading or writing the snapshot file failed at the OS level.
+    SnapshotIo(String),
 }
 
 impl fmt::Display for Error {
@@ -167,6 +184,13 @@ impl fmt::Display for Error {
                 "ensemble degraded below min_healthy_fraction: {healthy}/{total} models \
                  healthy, {required} required (first failure: {cause})"
             ),
+            Error::SnapshotCorrupt { expected, actual } => write!(
+                f,
+                "snapshot integrity check failed: header signature {expected}, \
+                 payload hashes to {actual}"
+            ),
+            Error::SnapshotFormat(msg) => write!(f, "unsupported snapshot format: {msg}"),
+            Error::SnapshotIo(msg) => write!(f, "snapshot I/O error: {msg}"),
         }
     }
 }

@@ -67,6 +67,52 @@ impl ApproxSpec {
             ApproxSpec::Knn { .. } => "knn_regressor",
         }
     }
+
+    /// Appends the spec to a `suod-pool/1` snapshot body.
+    pub fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) {
+        match *self {
+            ApproxSpec::RandomForest {
+                n_estimators,
+                max_depth,
+            } => {
+                w.write_u64(0);
+                w.write_usize(n_estimators);
+                w.write_usize(max_depth);
+            }
+            ApproxSpec::Ridge { lambda } => {
+                w.write_u64(1);
+                w.write_f64(lambda);
+            }
+            ApproxSpec::Knn { k } => {
+                w.write_u64(2);
+                w.write_usize(k);
+            }
+        }
+    }
+
+    /// Reads a spec written by [`ApproxSpec::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Linalg`](crate::Error::Linalg) on truncated input
+    /// or an unknown variant tag.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        Ok(match r.read_u64()? {
+            0 => ApproxSpec::RandomForest {
+                n_estimators: r.read_usize()?,
+                max_depth: r.read_usize()?,
+            },
+            1 => ApproxSpec::Ridge {
+                lambda: r.read_f64()?,
+            },
+            2 => ApproxSpec::Knn { k: r.read_usize()? },
+            other => {
+                return Err(crate::Error::Linalg(suod_linalg::Error::InvalidParameter(
+                    format!("snapshot: unknown ApproxSpec tag {other}"),
+                )))
+            }
+        })
+    }
 }
 
 /// Trains an approximator on `(features, pseudo_truth)` — the distillation

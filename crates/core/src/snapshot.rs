@@ -1,0 +1,504 @@
+//! Versioned fitted-pool snapshots — the `suod-pool/1` format.
+//!
+//! A snapshot captures everything a fitted [`Suod`] needs to score new
+//! samples bitwise-identically on another process: the builder
+//! configuration, every surviving model's detector state, retained JL
+//! projector, and PSA approximator, the standardization reference and
+//! contamination threshold, and the per-model health report. Like the
+//! `suod-trace/1` exporter it is a hand-rolled, dependency-free byte
+//! format (see [`suod_linalg::SnapshotWriter`]).
+//!
+//! # Layout
+//!
+//! ```text
+//! 8 bytes   magic b"SUODPOOL"
+//! u64       format version (1)
+//! str       integrity signature ("fnv1a64:<16 hex>" over the payload)
+//! bytes     payload (length-prefixed)
+//! ```
+//!
+//! The payload is `config section · fitted flag · state section · health
+//! section`, every field in a fixed order so that save → load → save is
+//! byte-identical. The signature is recomputed at load and compared to
+//! the stored value: any truncation or bit flip surfaces as a typed
+//! [`Error::SnapshotCorrupt`], never a panic.
+//!
+//! # What is not persisted
+//!
+//! * the **cost model** and **observer** (trait objects with no state
+//!   contract) — a loaded estimator gets the defaults back; reattach via
+//!   a fresh builder if needed;
+//! * the **neighbour cache** (proximity graphs rebuild on the first
+//!   [`Suod::warm_refit`] after a load);
+//! * execution telemetry (`FitDiagnostics::execution`) — health and
+//!   module decisions are reconstructed, wall-clock telemetry is not.
+//!
+//! # Example
+//!
+//! ```
+//! use suod::prelude::*;
+//!
+//! # fn main() -> Result<(), suod::Error> {
+//! let x = suod_linalg::Matrix::from_rows(
+//!     &(0..40).map(|i| vec![(i % 7) as f64, (i % 5) as f64]).collect::<Vec<_>>(),
+//! ).unwrap();
+//! let mut clf = Suod::builder()
+//!     .base_estimators(vec![ModelSpec::Hbos { n_bins: 8, tolerance: 0.3 }])
+//!     .build()?;
+//! clf.fit(&x)?;
+//! let bytes = clf.save_to_bytes()?;
+//! let restored = Suod::load_from_bytes(&bytes)?;
+//! assert_eq!(
+//!     clf.decision_function(&x)?,
+//!     restored.decision_function(&x)?,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::diagnostics::{CpuFeatures, FitDiagnostics, ModelDiagnostics};
+use crate::health::{ModelHealth, ModelReport, ModelStatus};
+use crate::pseudo::ApproxSpec;
+use crate::spec::ModelSpec;
+use crate::suod::{FittedModel, FittedState, Suod, SuodBuilder, WarmContext};
+use crate::{Error, Result};
+use std::sync::Arc;
+use std::time::Duration;
+use suod_detectors::{read_detector, write_detector};
+use suod_linalg::{DataFingerprint, SnapshotReader, SnapshotWriter};
+use suod_observe::{payload_signature, Counter, SpanAttrs, Stage};
+use suod_projection::{JlProjector, JlVariant, Projector};
+use suod_scheduler::{ExecutionReport, WorkStealingExecutor};
+use suod_supervised::{read_regressor, write_regressor};
+
+/// Leading magic bytes of every `suod-pool` snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SUODPOOL";
+
+/// Format version this build writes and the newest it can read.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Human-readable format name (magic + version), printed by the CLI.
+pub const SNAPSHOT_FORMAT: &str = "suod-pool/1";
+
+fn corrupt(what: &str) -> Error {
+    Error::Linalg(suod_linalg::Error::InvalidParameter(format!(
+        "snapshot: {what}"
+    )))
+}
+
+fn write_jl_variant(v: JlVariant, w: &mut SnapshotWriter) {
+    w.write_u8(match v {
+        JlVariant::Basic => 0,
+        JlVariant::Discrete => 1,
+        JlVariant::Circulant => 2,
+        JlVariant::Toeplitz => 3,
+    });
+}
+
+fn read_jl_variant(r: &mut SnapshotReader<'_>) -> Result<JlVariant> {
+    Ok(match r.read_u8()? {
+        0 => JlVariant::Basic,
+        1 => JlVariant::Discrete,
+        2 => JlVariant::Circulant,
+        3 => JlVariant::Toeplitz,
+        other => return Err(corrupt(&format!("unknown JlVariant tag {other}"))),
+    })
+}
+
+fn write_config(config: &SuodBuilder, w: &mut SnapshotWriter) {
+    w.write_usize(config.base_estimators.len());
+    for spec in &config.base_estimators {
+        spec.snapshot_write(w);
+    }
+    w.write_bool(config.rp_enabled);
+    write_jl_variant(config.rp_variant, w);
+    w.write_f64(config.rp_target_fraction);
+    w.write_usize(config.rp_min_dim);
+    w.write_bool(config.approx_enabled);
+    config.approx_spec.snapshot_write(w);
+    w.write_bool(config.bps_enabled);
+    w.write_usize(config.n_workers);
+    w.write_f64(config.bps_alpha);
+    w.write_f64(config.contamination);
+    w.write_u64(config.seed);
+    w.write_bool(config.neighbor_cache_enabled);
+    w.write_kernel_config(&config.kernel);
+    w.write_opt_u64(config.ef_search.map(|v| v as u64));
+    w.write_f64(config.min_healthy_fraction);
+    w.write_usize(config.max_model_retries);
+    w.write_f64(config.straggler_factor);
+}
+
+// Reading into the default builder keeps the field list in one place;
+// the reassignments mirror `write_config` line for line.
+#[allow(clippy::field_reassign_with_default)]
+fn read_config(r: &mut SnapshotReader<'_>) -> Result<SuodBuilder> {
+    let n_specs = r.read_usize()?;
+    let mut base_estimators = Vec::with_capacity(n_specs.min(1 << 20));
+    for _ in 0..n_specs {
+        base_estimators.push(ModelSpec::snapshot_read(r)?);
+    }
+    // Cost model and observer are not serializable; the loaded estimator
+    // gets the defaults back (documented in the module docs).
+    let mut config = SuodBuilder::default();
+    config.base_estimators = base_estimators;
+    config.rp_enabled = r.read_bool()?;
+    config.rp_variant = read_jl_variant(r)?;
+    config.rp_target_fraction = r.read_f64()?;
+    config.rp_min_dim = r.read_usize()?;
+    config.approx_enabled = r.read_bool()?;
+    config.approx_spec = ApproxSpec::snapshot_read(r)?;
+    config.bps_enabled = r.read_bool()?;
+    config.n_workers = r.read_usize()?;
+    config.bps_alpha = r.read_f64()?;
+    config.contamination = r.read_f64()?;
+    config.seed = r.read_u64()?;
+    config.neighbor_cache_enabled = r.read_bool()?;
+    config.kernel = r.read_kernel_config()?;
+    config.ef_search = r.read_opt_u64()?.map(|v| v as usize);
+    config.min_healthy_fraction = r.read_f64()?;
+    config.max_model_retries = r.read_usize()?;
+    config.straggler_factor = r.read_f64()?;
+    Ok(config)
+}
+
+fn write_model(model: &FittedModel, w: &mut SnapshotWriter) -> Result<()> {
+    w.write_usize(model.pool_index);
+    model.spec.snapshot_write(w);
+    write_detector(model.detector.as_ref(), w)?;
+    match &model.projector {
+        Some(proj) => {
+            w.write_bool(true);
+            proj.snapshot_write(w)?;
+        }
+        None => w.write_bool(false),
+    }
+    match &model.approximator {
+        Some(approx) => {
+            w.write_bool(true);
+            write_regressor(approx.as_ref(), w)?;
+        }
+        None => w.write_bool(false),
+    }
+    w.write_f64s(&model.train_scores);
+    w.write_u64(u64::try_from(model.fit_time.as_nanos()).unwrap_or(u64::MAX));
+    Ok(())
+}
+
+fn read_model(r: &mut SnapshotReader<'_>, n_threads: usize) -> Result<FittedModel> {
+    let pool_index = r.read_usize()?;
+    let spec = ModelSpec::snapshot_read(r)?;
+    let detector = read_detector(r, n_threads)?;
+    let projector = if r.read_bool()? {
+        Some(JlProjector::snapshot_read(r)?)
+    } else {
+        None
+    };
+    let approximator = if r.read_bool()? {
+        Some(read_regressor(r)?)
+    } else {
+        None
+    };
+    Ok(FittedModel {
+        spec,
+        pool_index,
+        detector,
+        projector,
+        approximator,
+        train_scores: r.read_f64s()?,
+        fit_time: Duration::from_nanos(r.read_u64()?),
+    })
+}
+
+fn write_health(health: &ModelHealth, w: &mut SnapshotWriter) {
+    let reports = health.reports();
+    w.write_usize(reports.len());
+    for rep in reports {
+        w.write_usize(rep.index);
+        w.write_u8(match rep.status {
+            ModelStatus::Healthy => 0,
+            ModelStatus::Quarantined => 1,
+        });
+        match &rep.cause {
+            Some(cause) => {
+                w.write_bool(true);
+                suod_detectors::write_error(cause, w);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_usize(rep.attempts);
+        w.write_bool(rep.straggler);
+    }
+}
+
+/// Reads a health section; model names are rebuilt from the configured
+/// pool (they are `&'static str` views of the spec names).
+fn read_health(r: &mut SnapshotReader<'_>, config: &SuodBuilder) -> Result<ModelHealth> {
+    let n = r.read_usize()?;
+    let mut reports = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let index = r.read_usize()?;
+        let name = config
+            .base_estimators
+            .get(index)
+            .ok_or_else(|| corrupt(&format!("health report index {index} out of range")))?
+            .name();
+        let status = match r.read_u8()? {
+            0 => ModelStatus::Healthy,
+            1 => ModelStatus::Quarantined,
+            other => return Err(corrupt(&format!("unknown ModelStatus tag {other}"))),
+        };
+        let cause = if r.read_bool()? {
+            Some(suod_detectors::read_error(r)?)
+        } else {
+            None
+        };
+        reports.push(ModelReport {
+            index,
+            name,
+            status,
+            cause,
+            attempts: r.read_usize()?,
+            straggler: r.read_bool()?,
+        });
+    }
+    Ok(ModelHealth::new(reports))
+}
+
+impl Suod {
+    /// Serializes the estimator — configuration, fitted state, and health
+    /// report — into a `suod-pool/1` snapshot.
+    ///
+    /// The bytes are self-verifying: the header carries a deterministic
+    /// signature over the payload which [`Suod::load_from_bytes`] checks
+    /// before touching any model state. `load(save(pool))` produces an
+    /// estimator whose `decision_function` is **bitwise-equal** at any
+    /// worker count, and `save(load(save(pool)))` is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures from detector / projector /
+    /// regressor state writers.
+    pub fn save_to_bytes(&self) -> Result<Vec<u8>> {
+        let obs = Arc::clone(&self.config.observer);
+        let _span = suod_observe::span(obs.as_ref(), Stage::SnapshotSave, SpanAttrs::none());
+        let mut payload = SnapshotWriter::new();
+        write_config(&self.config, &mut payload);
+        match &self.state {
+            Some(state) => {
+                payload.write_bool(true);
+                payload.write_usize(state.n_features);
+                payload.write_f64(state.threshold);
+                payload.write_f64s(&state.score_means);
+                payload.write_f64s(&state.score_stds);
+                match &self.warm {
+                    Some(warm) => {
+                        payload.write_bool(true);
+                        warm.train_fingerprint.snapshot_write(&mut payload);
+                    }
+                    None => payload.write_bool(false),
+                }
+                payload.write_usize(state.models.len());
+                for model in &state.models {
+                    write_model(model, &mut payload)?;
+                }
+            }
+            None => payload.write_bool(false),
+        }
+        match self.diagnostics.as_ref().map(|d| d.health()) {
+            Some(health) => {
+                payload.write_bool(true);
+                write_health(health, &mut payload);
+            }
+            None => payload.write_bool(false),
+        }
+
+        let payload = payload.into_bytes();
+        let mut out = SnapshotWriter::new();
+        let mut bytes = Vec::with_capacity(payload.len() + 64);
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        out.write_u64(SNAPSHOT_VERSION);
+        out.write_str(&payload_signature(&payload));
+        out.write_bytes(&payload);
+        bytes.extend_from_slice(out.as_bytes());
+        obs.counter(Counter::SnapshotSave, 1);
+        Ok(bytes)
+    }
+
+    /// Writes a `suod-pool/1` snapshot to `path` **atomically**: the
+    /// bytes land in a sibling temporary file first and are renamed into
+    /// place, so a reader (e.g. a serving process hot-reloading the
+    /// pool) never observes a half-written snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotIo`] on filesystem failures, plus
+    /// everything [`Suod::save_to_bytes`] returns.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = self.save_to_bytes()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| Error::SnapshotIo(format!("writing {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| Error::SnapshotIo(format!("renaming into {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Deserializes a snapshot produced by [`Suod::save_to_bytes`].
+    ///
+    /// The payload signature is verified first; corrupt or truncated
+    /// input returns a typed error ([`Error::SnapshotCorrupt`] /
+    /// [`Error::SnapshotFormat`]), never panics. The loaded estimator
+    /// scores bitwise-identically to the saved one at any worker count.
+    /// The cost model and observer come back as defaults, and the
+    /// neighbour cache starts empty (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::SnapshotFormat`] — wrong magic, or a version newer
+    ///   than [`SNAPSHOT_VERSION`];
+    /// * [`Error::SnapshotCorrupt`] — stored and recomputed payload
+    ///   signatures differ;
+    /// * [`Error::Linalg`] — structurally malformed payload (truncated
+    ///   fields, unknown tags, trailing bytes).
+    pub fn load_from_bytes(bytes: &[u8]) -> Result<Suod> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(Error::SnapshotFormat(
+                "missing suod-pool magic (not a snapshot file)".into(),
+            ));
+        }
+        let mut header = SnapshotReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+        let version = header.read_u64()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(Error::SnapshotFormat(format!(
+                "snapshot version {version} is not supported (this build reads \
+                 {SNAPSHOT_FORMAT})"
+            )));
+        }
+        let expected = header.read_str()?;
+        let payload = header.read_bytes()?;
+        if !header.is_exhausted() {
+            return Err(corrupt(&format!(
+                "{} trailing bytes after payload",
+                header.remaining()
+            )));
+        }
+        let actual = payload_signature(payload);
+        if actual != expected {
+            return Err(Error::SnapshotCorrupt { expected, actual });
+        }
+
+        let mut r = SnapshotReader::new(payload);
+        let config = read_config(&mut r)?;
+        let n_workers = config.n_workers.max(1);
+        let fitted = r.read_bool()?;
+        let mut fingerprint: Option<DataFingerprint> = None;
+        let state = if fitted {
+            let n_features = r.read_usize()?;
+            let threshold = r.read_f64()?;
+            let score_means = r.read_f64s()?;
+            let score_stds = r.read_f64s()?;
+            if r.read_bool()? {
+                fingerprint = Some(DataFingerprint::snapshot_read(&mut r)?);
+            }
+            let n_models = r.read_usize()?;
+            let mut models = Vec::with_capacity(n_models.min(1 << 20));
+            for _ in 0..n_models {
+                models.push(Arc::new(read_model(&mut r, n_workers)?));
+            }
+            Some(Arc::new(FittedState {
+                models,
+                threshold,
+                n_features,
+                score_means,
+                score_stds,
+            }))
+        } else {
+            None
+        };
+        let health = if r.read_bool()? {
+            Some(read_health(&mut r, &config)?)
+        } else {
+            None
+        };
+        if !r.is_exhausted() {
+            return Err(corrupt(&format!(
+                "{} trailing bytes in payload",
+                r.remaining()
+            )));
+        }
+
+        // Rebuild the derived runtime pieces the snapshot does not carry:
+        // the executor (prediction requires one) and the diagnostics view
+        // (health + module decisions; execution telemetry is gone).
+        let executor = if state.is_some() {
+            Some(Arc::new(
+                WorkStealingExecutor::new(n_workers).map_err(Error::Scheduler)?,
+            ))
+        } else {
+            None
+        };
+        let diagnostics = health.map(|health| {
+            let models_diag = health
+                .reports()
+                .iter()
+                .map(|rep| {
+                    let model = state
+                        .as_ref()
+                        .and_then(|s| s.models.iter().find(|m| m.pool_index == rep.index));
+                    ModelDiagnostics {
+                        index: rep.index,
+                        name: rep.name,
+                        status: rep.status,
+                        attempts: rep.attempts,
+                        straggler: rep.straggler,
+                        fit_time: model.map(|m| m.fit_time),
+                        projected: model.is_some_and(|m| m.projector.is_some()),
+                        approximated: model.is_some_and(|m| m.approximator.is_some()),
+                    }
+                })
+                .collect();
+            FitDiagnostics::new(
+                ExecutionReport::default(),
+                health,
+                models_diag,
+                CpuFeatures::detect(config.kernel.precision, config.kernel.neighbor),
+                0,
+            )
+        });
+        let warm = match (&state, fingerprint) {
+            // The neighbour cache is not persisted: warm refits after a
+            // load rebuild proximity graphs but still reuse survivor
+            // models via the stored fingerprint.
+            (Some(_), Some(fp)) => Some(WarmContext {
+                cache: None,
+                train_fingerprint: fp,
+            }),
+            _ => None,
+        };
+        let clf = Suod {
+            config,
+            state,
+            executor,
+            diagnostics,
+            warm,
+        };
+        clf.config.observer.counter(Counter::SnapshotLoad, 1);
+        Ok(clf)
+    }
+
+    /// Reads a `suod-pool/1` snapshot from `path` (see
+    /// [`Suod::load_from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotIo`] on filesystem failures, plus
+    /// everything [`Suod::load_from_bytes`] returns.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Suod> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| Error::SnapshotIo(format!("reading {}: {e}", path.display())))?;
+        Self::load_from_bytes(&bytes)
+    }
+}

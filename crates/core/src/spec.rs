@@ -311,6 +311,243 @@ impl ModelSpec {
             ModelSpec::Chaos { .. } => "chaos",
         }
     }
+
+    /// Appends the spec to a `suod-pool/1` snapshot body as a fixed tag
+    /// (enum-declaration order) followed by the variant's fields.
+    pub fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) {
+        match *self {
+            ModelSpec::Knn {
+                n_neighbors,
+                method,
+            } => {
+                w.write_u64(0);
+                w.write_usize(n_neighbors);
+                write_knn_method(method, w);
+            }
+            ModelSpec::Lof {
+                n_neighbors,
+                metric,
+            } => {
+                w.write_u64(1);
+                w.write_usize(n_neighbors);
+                w.write_metric(metric);
+            }
+            ModelSpec::Abod { n_neighbors } => {
+                w.write_u64(2);
+                w.write_usize(n_neighbors);
+            }
+            ModelSpec::Hbos { n_bins, tolerance } => {
+                w.write_u64(3);
+                w.write_usize(n_bins);
+                w.write_f64(tolerance);
+            }
+            ModelSpec::IForest {
+                n_estimators,
+                max_features,
+            } => {
+                w.write_u64(4);
+                w.write_usize(n_estimators);
+                w.write_f64(max_features);
+            }
+            ModelSpec::Cblof { n_clusters } => {
+                w.write_u64(5);
+                w.write_usize(n_clusters);
+            }
+            ModelSpec::Ocsvm { nu, kernel } => {
+                w.write_u64(6);
+                w.write_f64(nu);
+                write_kernel(kernel, w);
+            }
+            ModelSpec::FeatureBagging { n_estimators } => {
+                w.write_u64(7);
+                w.write_usize(n_estimators);
+            }
+            ModelSpec::Loop { n_neighbors } => {
+                w.write_u64(8);
+                w.write_usize(n_neighbors);
+            }
+            ModelSpec::Pca { variance_retained } => {
+                w.write_u64(9);
+                w.write_f64(variance_retained);
+            }
+            ModelSpec::Loda { n_members, n_bins } => {
+                w.write_u64(10);
+                w.write_usize(n_members);
+                w.write_usize(n_bins);
+            }
+            ModelSpec::Cof { n_neighbors } => {
+                w.write_u64(11);
+                w.write_usize(n_neighbors);
+            }
+            ModelSpec::Chaos { mode, n_neighbors } => {
+                w.write_u64(12);
+                write_chaos_mode(mode, w);
+                w.write_usize(n_neighbors);
+            }
+        }
+    }
+
+    /// Reads a spec written by [`ModelSpec::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Linalg`](crate::Error::Linalg) on truncated input
+    /// or an unknown variant tag.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        Ok(match r.read_u64()? {
+            0 => ModelSpec::Knn {
+                n_neighbors: r.read_usize()?,
+                method: read_knn_method(r)?,
+            },
+            1 => ModelSpec::Lof {
+                n_neighbors: r.read_usize()?,
+                metric: r.read_metric()?,
+            },
+            2 => ModelSpec::Abod {
+                n_neighbors: r.read_usize()?,
+            },
+            3 => ModelSpec::Hbos {
+                n_bins: r.read_usize()?,
+                tolerance: r.read_f64()?,
+            },
+            4 => ModelSpec::IForest {
+                n_estimators: r.read_usize()?,
+                max_features: r.read_f64()?,
+            },
+            5 => ModelSpec::Cblof {
+                n_clusters: r.read_usize()?,
+            },
+            6 => ModelSpec::Ocsvm {
+                nu: r.read_f64()?,
+                kernel: read_kernel(r)?,
+            },
+            7 => ModelSpec::FeatureBagging {
+                n_estimators: r.read_usize()?,
+            },
+            8 => ModelSpec::Loop {
+                n_neighbors: r.read_usize()?,
+            },
+            9 => ModelSpec::Pca {
+                variance_retained: r.read_f64()?,
+            },
+            10 => ModelSpec::Loda {
+                n_members: r.read_usize()?,
+                n_bins: r.read_usize()?,
+            },
+            11 => ModelSpec::Cof {
+                n_neighbors: r.read_usize()?,
+            },
+            12 => ModelSpec::Chaos {
+                mode: read_chaos_mode(r)?,
+                n_neighbors: r.read_usize()?,
+            },
+            other => return Err(spec_corrupt(format!("unknown ModelSpec tag {other}"))),
+        })
+    }
+}
+
+fn spec_corrupt(what: String) -> crate::Error {
+    crate::Error::Linalg(suod_linalg::Error::InvalidParameter(format!(
+        "snapshot: {what}"
+    )))
+}
+
+fn write_knn_method(m: KnnMethod, w: &mut suod_linalg::SnapshotWriter) {
+    w.write_u64(match m {
+        KnnMethod::Largest => 0,
+        KnnMethod::Mean => 1,
+        KnnMethod::Median => 2,
+    });
+}
+
+fn read_knn_method(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<KnnMethod> {
+    Ok(match r.read_u64()? {
+        0 => KnnMethod::Largest,
+        1 => KnnMethod::Mean,
+        2 => KnnMethod::Median,
+        other => return Err(spec_corrupt(format!("unknown KnnMethod tag {other}"))),
+    })
+}
+
+fn write_kernel(k: Kernel, w: &mut suod_linalg::SnapshotWriter) {
+    match k {
+        Kernel::Linear => w.write_u64(0),
+        Kernel::Poly {
+            gamma,
+            coef0,
+            degree,
+        } => {
+            w.write_u64(1);
+            w.write_f64(gamma);
+            w.write_f64(coef0);
+            w.write_u64(u64::from(degree));
+        }
+        Kernel::Rbf { gamma } => {
+            w.write_u64(2);
+            w.write_f64(gamma);
+        }
+        Kernel::Sigmoid { gamma, coef0 } => {
+            w.write_u64(3);
+            w.write_f64(gamma);
+            w.write_f64(coef0);
+        }
+    }
+}
+
+fn read_kernel(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Kernel> {
+    Ok(match r.read_u64()? {
+        0 => Kernel::Linear,
+        1 => Kernel::Poly {
+            gamma: r.read_f64()?,
+            coef0: r.read_f64()?,
+            degree: u32::try_from(r.read_u64()?)
+                .map_err(|_| spec_corrupt("Poly degree exceeds u32".into()))?,
+        },
+        2 => Kernel::Rbf {
+            gamma: r.read_f64()?,
+        },
+        3 => Kernel::Sigmoid {
+            gamma: r.read_f64()?,
+            coef0: r.read_f64()?,
+        },
+        other => return Err(spec_corrupt(format!("unknown Kernel tag {other}"))),
+    })
+}
+
+fn write_chaos_mode(m: ChaosMode, w: &mut suod_linalg::SnapshotWriter) {
+    match m {
+        ChaosMode::Passthrough => w.write_u64(0),
+        ChaosMode::PanicOnFit => w.write_u64(1),
+        ChaosMode::FlakyPanic => w.write_u64(2),
+        ChaosMode::NanScores => w.write_u64(3),
+        ChaosMode::SlowFit(ms) => {
+            w.write_u64(4);
+            w.write_u64(ms);
+        }
+        ChaosMode::PanicOnPredict => w.write_u64(5),
+        ChaosMode::SlowPredict(ms) => {
+            w.write_u64(6);
+            w.write_u64(ms);
+        }
+        ChaosMode::NanOnPredict => w.write_u64(7),
+        // ChaosMode is #[non_exhaustive]; new variants must get a tag
+        // here before they can appear in snapshots.
+        other => unreachable!("ChaosMode variant {other:?} has no snapshot tag"),
+    }
+}
+
+fn read_chaos_mode(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<ChaosMode> {
+    Ok(match r.read_u64()? {
+        0 => ChaosMode::Passthrough,
+        1 => ChaosMode::PanicOnFit,
+        2 => ChaosMode::FlakyPanic,
+        3 => ChaosMode::NanScores,
+        4 => ChaosMode::SlowFit(r.read_u64()?),
+        5 => ChaosMode::PanicOnPredict,
+        6 => ChaosMode::SlowPredict(r.read_u64()?),
+        7 => ChaosMode::NanOnPredict,
+        other => return Err(spec_corrupt(format!("unknown ChaosMode tag {other}"))),
+    })
 }
 
 #[cfg(test)]

@@ -90,28 +90,28 @@ fn interpret_outcome(
 /// estimators plus per-module flags.
 #[derive(Clone)]
 pub struct SuodBuilder {
-    base_estimators: Vec<ModelSpec>,
-    rp_enabled: bool,
-    rp_variant: JlVariant,
-    rp_target_fraction: f64,
-    rp_min_dim: usize,
-    approx_enabled: bool,
-    approx_spec: ApproxSpec,
-    bps_enabled: bool,
-    n_workers: usize,
-    bps_alpha: f64,
-    cost_model: Arc<dyn CostModel>,
-    contamination: f64,
-    seed: u64,
-    neighbor_cache_enabled: bool,
-    kernel: KernelConfig,
+    pub(crate) base_estimators: Vec<ModelSpec>,
+    pub(crate) rp_enabled: bool,
+    pub(crate) rp_variant: JlVariant,
+    pub(crate) rp_target_fraction: f64,
+    pub(crate) rp_min_dim: usize,
+    pub(crate) approx_enabled: bool,
+    pub(crate) approx_spec: ApproxSpec,
+    pub(crate) bps_enabled: bool,
+    pub(crate) n_workers: usize,
+    pub(crate) bps_alpha: f64,
+    pub(crate) cost_model: Arc<dyn CostModel>,
+    pub(crate) contamination: f64,
+    pub(crate) seed: u64,
+    pub(crate) neighbor_cache_enabled: bool,
+    pub(crate) kernel: KernelConfig,
     /// `ef_search` override applied to the HNSW params at `build()`, so
     /// `ef_search(..)` composes with `neighbor_backend(..)` in any order.
-    ef_search: Option<usize>,
-    min_healthy_fraction: f64,
-    max_model_retries: usize,
-    straggler_factor: f64,
-    observer: Arc<dyn Observer>,
+    pub(crate) ef_search: Option<usize>,
+    pub(crate) min_healthy_fraction: f64,
+    pub(crate) max_model_retries: usize,
+    pub(crate) straggler_factor: f64,
+    pub(crate) observer: Arc<dyn Observer>,
 }
 
 impl Default for SuodBuilder {
@@ -226,6 +226,34 @@ impl SuodBuilder {
         self
     }
 
+    /// Sets the whole numeric-kernel configuration at once: distance
+    /// backend, precision, neighbour backend (including HNSW parameters
+    /// such as `ef_search`), and the KD-tree crossover threshold. This is
+    /// the single entry point for every kernel knob — build the
+    /// [`KernelConfig`] with its own with-style setters:
+    ///
+    /// ```
+    /// use suod::prelude::*;
+    ///
+    /// let clf = Suod::builder()
+    ///     .base_estimators(vec![ModelSpec::Hbos { n_bins: 8, tolerance: 0.3 }])
+    ///     .kernel(
+    ///         KernelConfig::default()
+    ///             .with_backend(DistanceBackend::Gemm)
+    ///             .with_precision(Precision::Mixed)
+    ///             .with_neighbor(NeighborBackend::Hnsw(
+    ///                 HnswParams::default().with_ef_search(64),
+    ///             )),
+    ///     )
+    ///     .build()
+    ///     .unwrap();
+    /// # let _ = clf;
+    /// ```
+    pub fn kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Selects the distance/GEMM backend behind every proximity
     /// detector's brute-force paths (default:
     /// [`DistanceBackend::Blocked`], which is bit-identical to `Naive`).
@@ -233,6 +261,7 @@ impl SuodBuilder {
     /// kernels at the cost of last-bit reproducibility relative to the
     /// scalar reference — results are still deterministic for a fixed
     /// configuration, including across worker counts.
+    #[deprecated(note = "use `kernel(KernelConfig::default().with_backend(..))` instead")]
     pub fn distance_backend(mut self, backend: DistanceBackend) -> Self {
         self.kernel.backend = backend;
         self
@@ -243,6 +272,10 @@ impl SuodBuilder {
     /// [`suod_linalg::DEFAULT_KDTREE_CROSSOVER_DIM`], tuned from the
     /// committed kernel benchmarks). Set to 0 to force brute force
     /// everywhere; set very large to always prefer the tree.
+    #[deprecated(
+        note = "use `kernel(KernelConfig::default().with_kdtree_crossover_dim(..))` \
+                         instead"
+    )]
     pub fn kdtree_crossover_dim(mut self, dims: usize) -> Self {
         self.kernel.kdtree_crossover_dim = dims;
         self
@@ -257,6 +290,7 @@ impl SuodBuilder {
     /// and still deterministic across worker counts. Ignored by the
     /// bit-identical backends (`Naive`/`Blocked`) and by non-Euclidean
     /// metrics.
+    #[deprecated(note = "use `kernel(KernelConfig::default().with_precision(..))` instead")]
     pub fn precision(mut self, precision: Precision) -> Self {
         self.kernel.precision = precision;
         self
@@ -273,6 +307,7 @@ impl SuodBuilder {
     /// exactness fallback in
     /// [`FitDiagnostics`](crate::FitDiagnostics::ann_fallbacks). Scores
     /// remain bit-identical across worker counts for a fixed seed.
+    #[deprecated(note = "use `kernel(KernelConfig::default().with_neighbor(..))` instead")]
     pub fn neighbor_backend(mut self, backend: NeighborBackend) -> Self {
         self.kernel.neighbor = backend;
         self
@@ -284,6 +319,8 @@ impl SuodBuilder {
     /// whenever the neighbour backend is (or becomes)
     /// [`NeighborBackend::Hnsw`], regardless of builder-call order; it is
     /// ignored by the exact backend.
+    #[deprecated(note = "set ef_search on the HnswParams inside \
+                         `kernel(KernelConfig::default().with_neighbor(..))` instead")]
     pub fn ef_search(mut self, ef: usize) -> Self {
         self.ef_search = Some(ef.max(1));
         self
@@ -291,9 +328,9 @@ impl SuodBuilder {
 
     /// Replaces the whole kernel configuration at once (backend,
     /// precision, neighbour backend, and KD-tree crossover thresholds).
-    pub fn kernel_config(mut self, kernel: KernelConfig) -> Self {
-        self.kernel = kernel;
-        self
+    #[deprecated(note = "renamed to `kernel`")]
+    pub fn kernel_config(self, kernel: KernelConfig) -> Self {
+        self.kernel(kernel)
     }
 
     /// Minimum fraction of the pool that must fit successfully — after
@@ -407,45 +444,63 @@ impl SuodBuilder {
             state: None,
             executor: None,
             diagnostics: None,
+            warm: None,
         })
     }
 }
 
-struct FittedModel {
-    spec: ModelSpec,
+pub(crate) struct FittedModel {
+    pub(crate) spec: ModelSpec,
     /// Original index in the configured pool — stable across fit-time
     /// quarantines, so predict-time health reports line up with the
     /// fit-time [`ModelHealth`] indices.
-    pool_index: usize,
-    detector: Box<dyn Detector>,
-    projector: Option<JlProjector>,
-    approximator: Option<Box<dyn Regressor>>,
-    train_scores: Vec<f64>,
-    fit_time: Duration,
+    pub(crate) pool_index: usize,
+    pub(crate) detector: Box<dyn Detector>,
+    pub(crate) projector: Option<JlProjector>,
+    pub(crate) approximator: Option<Box<dyn Regressor>>,
+    pub(crate) train_scores: Vec<f64>,
+    pub(crate) fit_time: Duration,
 }
 
-struct FittedState {
-    models: Vec<FittedModel>,
-    threshold: f64,
-    n_features: usize,
+pub(crate) struct FittedState {
+    /// Surviving models, `Arc`-shared so a warm refit can carry unchanged
+    /// members into the next fitted state without re-training them.
+    pub(crate) models: Vec<Arc<FittedModel>>,
+    pub(crate) threshold: f64,
+    pub(crate) n_features: usize,
     /// Per-model mean of training scores (standardization reference).
-    score_means: Vec<f64>,
+    pub(crate) score_means: Vec<f64>,
     /// Per-model std of training scores (floored away from zero).
-    score_stds: Vec<f64>,
+    pub(crate) score_stds: Vec<f64>,
+}
+
+/// Context retained from the most recent fit so a subsequent
+/// [`Suod::warm_refit`] on the *same* training matrix can reuse work:
+/// the shared neighbour cache (proximity graphs keyed by feature space)
+/// and the fingerprint that gates reuse to an identical dataset.
+pub(crate) struct WarmContext {
+    /// Neighbour cache from the fit, `None` after a snapshot load (graphs
+    /// are not persisted — they rebuild on the first warm refit).
+    pub(crate) cache: Option<Arc<NeighborCache>>,
+    /// Fingerprint of the training matrix the fitted state came from.
+    pub(crate) train_fingerprint: DataFingerprint,
 }
 
 /// The SUOD estimator (see the [crate docs](crate) for the full story).
 pub struct Suod {
-    config: SuodBuilder,
-    state: Option<Arc<FittedState>>,
+    pub(crate) config: SuodBuilder,
+    pub(crate) state: Option<Arc<FittedState>>,
     /// Persistent work-stealing pool created at fit time and reused by
     /// every subsequent predict call — threads are spawned once per
     /// estimator, not once per call.
-    executor: Option<Arc<WorkStealingExecutor>>,
+    pub(crate) executor: Option<Arc<WorkStealingExecutor>>,
     /// Unified diagnostics from the most recent fit — execution
     /// telemetry, per-model health, and module decisions — including
     /// fits that failed with [`Error::PoolDegraded`].
-    diagnostics: Option<FitDiagnostics>,
+    pub(crate) diagnostics: Option<FitDiagnostics>,
+    /// Warm-start context (neighbour cache + data fingerprint) for
+    /// [`Suod::warm_refit`].
+    pub(crate) warm: Option<WarmContext>,
 }
 
 impl std::fmt::Debug for SuodBuilder {
@@ -948,12 +1003,380 @@ impl Suod {
         };
 
         self.state = Some(Arc::new(FittedState {
+            models: models.into_iter().map(Arc::new).collect(),
+            threshold,
+            n_features: d,
+            score_means,
+            score_stds,
+        }));
+        // Retain the neighbour cache + data identity so a warm_refit on
+        // the same matrix can reuse proximity graphs and survivor models.
+        self.warm = Some(WarmContext {
+            cache: cache.clone(),
+            train_fingerprint: DataFingerprint::of(x),
+        });
+        Ok(self)
+    }
+
+    /// Refits the pool **warm** on the same training matrix: models whose
+    /// spec is unchanged at the same pool index are carried over from the
+    /// fitted state (zero re-training, the `Arc` is shared), and only
+    /// changed or added specs are fitted — reusing the neighbour cache
+    /// retained from the previous fit, so proximity graphs over the
+    /// original feature space are cache hits. A refit that changes `c` of
+    /// `m` models therefore costs `O(c)` model fits instead of `O(m)`.
+    ///
+    /// Scores after a warm refit are **bitwise-identical** to a cold
+    /// [`fit`](Self::fit) of a pool configured with `specs`: per-model
+    /// seeds derive from the pool index alone, so reused and refitted
+    /// models alike land in exactly the state a full fit would produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before a successful fit,
+    /// [`Error::InvalidConfig`] when `specs` is empty or `x` is not the
+    /// training matrix of the previous fit (warm refit never silently
+    /// retrains on new data — call [`fit`](Self::fit) for that), and the
+    /// same fit-time failures as a cold fit for the changed subset,
+    /// including [`Error::PoolDegraded`] against the **new** pool size.
+    pub fn warm_refit(&mut self, x: &Matrix, specs: Vec<ModelSpec>) -> Result<&mut Self> {
+        let prev = Arc::clone(self.state.as_ref().ok_or(Error::NotFitted)?);
+        let fp_prev = self
+            .warm
+            .as_ref()
+            .ok_or(Error::NotFitted)?
+            .train_fingerprint;
+        if specs.is_empty() {
+            return Err(Error::InvalidConfig(
+                "base_estimators must not be empty".into(),
+            ));
+        }
+        let fp = DataFingerprint::of(x);
+        if fp != fp_prev {
+            return Err(Error::InvalidConfig(
+                "warm_refit requires the training matrix of the previous fit (data \
+                 fingerprint differs); call fit() to train on new data"
+                    .into(),
+            ));
+        }
+        let obs = Arc::clone(&self.config.observer);
+        let _fit_span = suod_observe::span(obs.as_ref(), Stage::Fit, SpanAttrs::none());
+        let d = x.ncols();
+        let old_specs = std::mem::replace(&mut self.config.base_estimators, specs);
+        let m = self.config.base_estimators.len();
+        let shared_x = Arc::new(x.clone());
+
+        // Reuse decision: same spec at the same pool index, and the model
+        // survived the previous fit. Everything else is refitted.
+        let reused: Vec<Option<Arc<FittedModel>>> = (0..m)
+            .map(|i| {
+                (i < old_specs.len() && old_specs[i] == self.config.base_estimators[i])
+                    .then(|| prev.models.iter().find(|mm| mm.pool_index == i).cloned())
+                    .flatten()
+            })
+            .collect();
+        let changed: Vec<usize> = (0..m).filter(|&i| reused[i].is_none()).collect();
+
+        // Feature spaces + projectors for the changed subset only
+        // (deterministic per model seed, identical to a cold fit).
+        let mut projectors: Vec<Option<JlProjector>> = (0..m).map(|_| None).collect();
+        let mut spaces: Vec<Arc<Matrix>> = (0..m).map(|_| Arc::clone(&shared_x)).collect();
+        for &i in &changed {
+            let spec = self.config.base_estimators[i];
+            if self.should_project(&spec, d) {
+                let _span =
+                    suod_observe::span(obs.as_ref(), Stage::Projection, SpanAttrs::model(i));
+                let k = self.target_dim(d);
+                let mut proj = JlProjector::new(self.config.rp_variant, k, self.model_seed(i))?;
+                proj.fit(x)?;
+                spaces[i] = Arc::new(proj.transform(x)?);
+                projectors[i] = Some(proj);
+            }
+        }
+
+        // Reuse the retained neighbour cache (graphs over the original
+        // space are hits); fall back to a fresh one after a snapshot load.
+        let cache: Option<Arc<NeighborCache>> = self.config.neighbor_cache_enabled.then(|| {
+            self.warm
+                .as_ref()
+                .and_then(|wc| wc.cache.clone())
+                .unwrap_or_else(|| {
+                    Arc::new(NeighborCache::with_config(
+                        self.config.kernel,
+                        Arc::clone(&obs),
+                    ))
+                })
+        });
+        let mut fingerprints: Vec<Option<DataFingerprint>> = vec![None; m];
+        if let Some(cache) = &cache {
+            let mut fp_by_space: HashMap<usize, DataFingerprint> = HashMap::new();
+            for &i in &changed {
+                if let Some((metric, k)) = self.config.base_estimators[i].neighbor_requirement() {
+                    let ptr = Arc::as_ptr(&spaces[i]) as usize;
+                    let sp_fp = *fp_by_space
+                        .entry(ptr)
+                        .or_insert_with(|| DataFingerprint::of(&spaces[i]));
+                    cache.register(sp_fp, metric, k);
+                    fingerprints[i] = Some(sp_fp);
+                }
+            }
+        }
+
+        // Fit the changed subset with the same fault isolation and
+        // bounded retries as a cold fit. A generic schedule suffices: the
+        // subset is small, and per-model results are independent of task
+        // placement.
+        let executor = self.executor_for_run()?;
+        let fit_threads = (self.config.n_workers / changed.len().max(1)).max(1);
+        let make_task =
+            |i: usize, attempt: usize| -> Box<dyn FnOnce() -> Result<FitOutput> + Send> {
+                let spec = self.config.base_estimators[i];
+                let seed = salted_seed(self.model_seed(i), attempt);
+                let psi = Arc::clone(&spaces[i]);
+                let ctx = match &cache {
+                    Some(c) if fingerprints[i].is_some() => {
+                        FitContext::cached(Arc::clone(c), fingerprints[i], fit_threads)
+                    }
+                    _ => FitContext::standalone(fit_threads),
+                }
+                .with_kernel_config(self.config.kernel);
+                let task_obs = Arc::clone(&obs);
+                let stage = if attempt == 0 {
+                    Stage::ModelFit
+                } else {
+                    Stage::ModelRetry
+                };
+                Box::new(move || {
+                    let _span = suod_observe::span(task_obs.as_ref(), stage, SpanAttrs::model(i));
+                    let mut det = spec.build(seed)?;
+                    let start = Instant::now();
+                    match det.fit_with_context(&psi, &ctx) {
+                        Ok(()) => {
+                            let elapsed = start.elapsed();
+                            let scores = det.training_scores()?;
+                            Ok(Ok((det, scores, elapsed)))
+                        }
+                        Err(e) => Ok(Err(e)),
+                    }
+                })
+            };
+
+        let mut fitted: Vec<Option<FitSuccess>> = (0..m).map(|_| None).collect();
+        let mut causes: Vec<Option<suod_detectors::Error>> = vec![None; m];
+        let mut attempts = vec![0usize; m];
+        let mut report = ExecutionReport::default();
+        if !changed.is_empty() {
+            let tasks: Vec<_> = changed.iter().map(|&i| make_task(i, 0)).collect();
+            let assignment =
+                generic_schedule(changed.len(), self.config.n_workers.min(changed.len()))?;
+            let (outcomes, first_report) =
+                executor.run_with_report_isolated_observed(tasks, &assignment, Arc::clone(&obs))?;
+            report = first_report;
+            for (&i, outcome) in changed.iter().zip(outcomes) {
+                attempts[i] = 1;
+                match interpret_outcome(outcome)? {
+                    Ok(ok) => fitted[i] = Some(ok),
+                    Err(cause) => causes[i] = Some(cause),
+                }
+            }
+            for attempt in 1..=self.config.max_model_retries {
+                let pending: Vec<usize> = changed
+                    .iter()
+                    .copied()
+                    .filter(|&i| causes[i].is_some())
+                    .collect();
+                if pending.is_empty() {
+                    break;
+                }
+                let retry_tasks: Vec<_> = pending.iter().map(|&i| make_task(i, attempt)).collect();
+                let retry_assignment =
+                    generic_schedule(pending.len(), self.config.n_workers.min(pending.len()))?;
+                let (retry_outcomes, retry_report) = executor.run_with_report_isolated_observed(
+                    retry_tasks,
+                    &retry_assignment,
+                    Arc::clone(&obs),
+                )?;
+                obs.counter(Counter::Retry, pending.len() as u64);
+                report.retries += pending.len();
+                report.failures += retry_report.failures;
+                report.steals += retry_report.steals;
+                for (&i, outcome) in pending.iter().zip(retry_outcomes) {
+                    attempts[i] += 1;
+                    match interpret_outcome(outcome)? {
+                        Ok(ok) => {
+                            fitted[i] = Some(ok);
+                            causes[i] = None;
+                        }
+                        Err(cause) => causes[i] = Some(cause),
+                    }
+                }
+            }
+        }
+        if let Some(cache) = &cache {
+            let stats = cache.stats();
+            report.cache_hits = stats.hits;
+            report.cache_misses = stats.misses;
+            report.cache_build_time = stats.build_time;
+        }
+
+        // Health + degradation floor over the NEW pool. Reused models are
+        // healthy with zero attempts this round; stragglers are a
+        // wall-clock property of a full fit and stay unset here.
+        let health = ModelHealth::new(
+            (0..m)
+                .map(|i| ModelReport {
+                    index: i,
+                    name: self.config.base_estimators[i].name(),
+                    status: if reused[i].is_some() || fitted[i].is_some() {
+                        ModelStatus::Healthy
+                    } else {
+                        ModelStatus::Quarantined
+                    },
+                    cause: causes[i].clone(),
+                    attempts: attempts[i],
+                    straggler: false,
+                })
+                .collect(),
+        );
+        if health.quarantined() > 0 {
+            obs.counter(Counter::Quarantine, health.quarantined() as u64);
+        }
+        let models_diag: Vec<ModelDiagnostics> = (0..m)
+            .map(|i| ModelDiagnostics {
+                index: i,
+                name: self.config.base_estimators[i].name(),
+                status: if reused[i].is_some() || fitted[i].is_some() {
+                    ModelStatus::Healthy
+                } else {
+                    ModelStatus::Quarantined
+                },
+                attempts: attempts[i],
+                straggler: false,
+                fit_time: reused[i]
+                    .as_ref()
+                    .map(|mm| mm.fit_time)
+                    .or_else(|| fitted[i].as_ref().map(|&(_, _, t)| t)),
+                projected: reused[i]
+                    .as_ref()
+                    .map(|mm| mm.projector.is_some())
+                    .unwrap_or_else(|| projectors[i].is_some()),
+                approximated: false,
+            })
+            .collect();
+        let n_healthy = health.healthy();
+        let required =
+            (((self.config.min_healthy_fraction * m as f64) - 1e-9).ceil() as usize).max(1);
+        let ann_fallbacks = cache.as_ref().map_or(0, |c| c.stats().ann_fallbacks);
+        self.diagnostics = Some(FitDiagnostics::new(
+            report,
+            health,
+            models_diag,
+            CpuFeatures::detect(self.config.kernel.precision, self.config.kernel.neighbor),
+            ann_fallbacks,
+        ));
+        if n_healthy < required {
+            let cause = causes
+                .iter()
+                .flatten()
+                .next()
+                .cloned()
+                .expect("a degraded pool records at least one failure cause");
+            self.state = None;
+            self.warm = None;
+            return Err(Error::PoolDegraded {
+                healthy: n_healthy,
+                total: m,
+                required,
+                cause,
+            });
+        }
+
+        // Assemble: PSA for changed costly models, then merge reused and
+        // fresh models in pool order.
+        let mut new_fitted: Vec<Option<FittedModel>> = (0..m).map(|_| None).collect();
+        for &i in &changed {
+            if let Some((detector, train_scores, fit_time)) = fitted[i].take() {
+                new_fitted[i] = Some(FittedModel {
+                    spec: self.config.base_estimators[i],
+                    pool_index: i,
+                    detector,
+                    projector: projectors[i].take(),
+                    approximator: None,
+                    train_scores,
+                    fit_time,
+                });
+            }
+        }
+        if self.config.approx_enabled {
+            for &i in &changed {
+                if let Some(model) = new_fitted[i].as_mut() {
+                    if model.spec.is_costly() {
+                        let _span = suod_observe::span(
+                            obs.as_ref(),
+                            Stage::PsaDistill,
+                            SpanAttrs::model(i),
+                        );
+                        model.approximator = Some(fit_approximator(
+                            &self.config.approx_spec,
+                            &spaces[i],
+                            &model.train_scores,
+                            self.model_seed(i) ^ 0xA55A,
+                        )?);
+                    }
+                }
+            }
+        }
+        let mut models: Vec<Arc<FittedModel>> = Vec::with_capacity(n_healthy);
+        for i in 0..m {
+            if let Some(mm) = &reused[i] {
+                models.push(Arc::clone(mm));
+            } else if let Some(model) = new_fitted[i].take() {
+                models.push(Arc::new(model));
+            }
+        }
+        if let Some(diag) = self.diagnostics.as_mut() {
+            for model in &models {
+                if let Some(row) = diag.models_mut().get_mut(model.pool_index) {
+                    row.approximated = model.approximator.is_some();
+                }
+            }
+        }
+
+        // Standardization reference + threshold over the FULL new
+        // ensemble (identical formulas to a cold fit).
+        let (score_means, score_stds, threshold) = {
+            let _span = suod_observe::span(obs.as_ref(), Stage::Threshold, SpanAttrs::none());
+            let score_means: Vec<f64> = models
+                .iter()
+                .map(|m| suod_linalg::stats::mean(&m.train_scores))
+                .collect();
+            let score_stds: Vec<f64> = models
+                .iter()
+                .map(|m| suod_linalg::stats::std_dev(&m.train_scores).max(1e-12))
+                .collect();
+            let train_matrix = scores_to_matrix(
+                models.iter().map(|m| m.train_scores.clone()).collect(),
+                x.nrows(),
+            )?;
+            let combined = combine_standardized(&train_matrix, &score_means, &score_stds, None);
+            let n_out = ((x.nrows() as f64) * self.config.contamination).round() as usize;
+            let n_out = n_out.clamp(1, x.nrows());
+            let threshold = suod_linalg::rank::kth_largest(&combined, n_out)
+                .expect("n_out within bounds by construction");
+            (score_means, score_stds, threshold)
+        };
+
+        self.state = Some(Arc::new(FittedState {
             models,
             threshold,
             n_features: d,
             score_means,
             score_stds,
         }));
+        self.warm = Some(WarmContext {
+            cache: cache.clone(),
+            train_fingerprint: fp,
+        });
         Ok(self)
     }
 
@@ -1472,7 +1895,7 @@ impl Suod {
     /// surviving-ensemble order — the column order of
     /// [`decision_function`](Self::decision_function) and the index space
     /// of per-model masks. Pool indices are stable across fit-time
-    /// quarantines and match [`ModelReport`](crate::ModelReport) indices.
+    /// quarantines and match [`ModelReport`] indices.
     ///
     /// # Errors
     ///

@@ -188,6 +188,54 @@ impl Detector for CblofDetector {
     fn is_fitted(&self) -> bool {
         self.kmeans.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_clusters);
+        w.write_f64(self.alpha);
+        w.write_f64(self.beta);
+        w.write_u64(self.seed);
+        match &self.kmeans {
+            Some(km) => {
+                w.write_bool(true);
+                km.snapshot_write(w);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_usizes(&self.large_clusters);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl CblofDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let n_clusters = r.read_usize()?;
+        let alpha = r.read_f64()?;
+        let beta = r.read_f64()?;
+        let seed = r.read_u64()?;
+        let kmeans = if r.read_bool()? {
+            Some(KMeans::snapshot_read(r)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            n_clusters,
+            alpha,
+            beta,
+            seed,
+            kmeans,
+            large_clusters: r.read_usizes()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

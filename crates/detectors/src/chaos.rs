@@ -327,6 +327,51 @@ impl Detector for ChaosDetector {
     fn is_fitted(&self) -> bool {
         self.inner.is_fitted()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        // Injection decisions are resolved at construction, so the
+        // serialized form is the *resolved* plan plus the wrapped
+        // detector — a reloaded chaos model misbehaves identically.
+        w.write_bool(self.panic_on_fit);
+        w.write_bool(self.nan_scores);
+        w.write_u64(self.slow_millis);
+        w.write_bool(self.panic_on_predict);
+        w.write_bool(self.nan_on_predict);
+        w.write_u64(self.predict_slow_millis);
+        w.write_u64(self.seed);
+        crate::write_detector(self.inner.as_ref(), w)
+    }
+}
+
+impl ChaosDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`suod_linalg::Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        let panic_on_fit = r.read_bool()?;
+        let nan_scores = r.read_bool()?;
+        let slow_millis = r.read_u64()?;
+        let panic_on_predict = r.read_bool()?;
+        let nan_on_predict = r.read_bool()?;
+        let predict_slow_millis = r.read_u64()?;
+        let seed = r.read_u64()?;
+        let inner = crate::read_detector(r, n_threads)?;
+        Ok(Self {
+            inner,
+            panic_on_fit,
+            nan_scores,
+            slow_millis,
+            panic_on_predict,
+            nan_on_predict,
+            predict_slow_millis,
+            seed,
+        })
+    }
 }
 
 #[cfg(test)]

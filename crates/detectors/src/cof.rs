@@ -211,6 +211,33 @@ impl Detector for CofDetector {
     fn is_fitted(&self) -> bool {
         self.index.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        crate::write_opt_index(self.index.as_deref(), w);
+        w.write_f64s(&self.ac_dist);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl CofDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        Ok(Self {
+            k: r.read_usize()?,
+            index: crate::read_opt_index(r, n_threads)?,
+            ac_dist: r.read_f64s()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,49 @@ impl Detector for FeatureBagging {
     fn is_fitted(&self) -> bool {
         !self.members.is_empty()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_estimators);
+        w.write_usize(self.base_k);
+        w.write_u64(self.seed);
+        w.write_usize(self.members.len());
+        for (features, base) in &self.members {
+            w.write_usizes(features);
+            base.snapshot_write(w)?;
+        }
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl FeatureBagging {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        let n_estimators = r.read_usize()?;
+        let base_k = r.read_usize()?;
+        let seed = r.read_u64()?;
+        let count = r.read_usize()?;
+        let mut members = Vec::new();
+        for _ in 0..count {
+            let features = r.read_usizes()?;
+            let base = LofDetector::snapshot_read(r, n_threads)?;
+            members.push((features, base));
+        }
+        Ok(Self {
+            n_estimators,
+            base_k,
+            seed,
+            members,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 fn check_dims_at_least(min_cols: usize, x: &Matrix) -> Result<()> {

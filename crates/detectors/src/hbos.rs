@@ -174,6 +174,49 @@ impl Detector for HbosDetector {
     fn is_fitted(&self) -> bool {
         !self.histograms.is_empty()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_bins);
+        w.write_f64(self.tolerance);
+        w.write_usize(self.histograms.len());
+        for h in &self.histograms {
+            w.write_f64(h.min);
+            w.write_f64(h.max);
+            w.write_f64s(&h.densities);
+        }
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl HbosDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let n_bins = r.read_usize()?;
+        let tolerance = r.read_f64()?;
+        let n_hist = r.read_usize()?;
+        let mut histograms = Vec::new();
+        for _ in 0..n_hist {
+            histograms.push(FeatureHistogram {
+                min: r.read_f64()?,
+                max: r.read_f64()?,
+                densities: r.read_f64s()?,
+            });
+        }
+        Ok(Self {
+            n_bins,
+            tolerance,
+            histograms,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

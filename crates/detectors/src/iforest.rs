@@ -314,6 +314,97 @@ impl Detector for IsolationForest {
     fn is_fitted(&self) -> bool {
         !self.trees.is_empty()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_estimators);
+        w.write_usize(self.max_samples);
+        w.write_f64(self.max_features_fraction);
+        w.write_u64(self.seed);
+        w.write_usize(self.trees.len());
+        for tree in &self.trees {
+            w.write_usize(tree.nodes.len());
+            for node in &tree.nodes {
+                match node {
+                    ITreeNode::Leaf { size } => {
+                        w.write_u8(0);
+                        w.write_usize(*size);
+                    }
+                    ITreeNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        w.write_u8(1);
+                        w.write_usize(*feature);
+                        w.write_f64(*threshold);
+                        w.write_usize(*left);
+                        w.write_usize(*right);
+                    }
+                }
+            }
+            w.write_usizes(&tree.features);
+        }
+        w.write_usize(self.n_features);
+        w.write_usize(self.subsample_size);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl IsolationForest {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let n_estimators = r.read_usize()?;
+        let max_samples = r.read_usize()?;
+        let max_features_fraction = r.read_f64()?;
+        let seed = r.read_u64()?;
+        let n_trees = r.read_usize()?;
+        let mut trees = Vec::new();
+        for _ in 0..n_trees {
+            let n_nodes = r.read_usize()?;
+            let mut nodes = Vec::new();
+            for _ in 0..n_nodes {
+                nodes.push(match r.read_u8()? {
+                    0 => ITreeNode::Leaf {
+                        size: r.read_usize()?,
+                    },
+                    1 => ITreeNode::Split {
+                        feature: r.read_usize()?,
+                        threshold: r.read_f64()?,
+                        left: r.read_usize()?,
+                        right: r.read_usize()?,
+                    },
+                    other => {
+                        return Err(Error::InvalidParameter(format!(
+                            "snapshot: unknown itree node tag {other}"
+                        )))
+                    }
+                });
+            }
+            trees.push(ITree {
+                nodes,
+                features: r.read_usizes()?,
+            });
+        }
+        Ok(Self {
+            n_estimators,
+            max_samples,
+            max_features_fraction,
+            seed,
+            trees,
+            n_features: r.read_usize()?,
+            subsample_size: r.read_usize()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,28 @@ impl KMeans {
         self.inertia
     }
 
+    /// Appends the fitted clustering to a snapshot body.
+    pub fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) {
+        w.write_matrix(&self.centers);
+        w.write_usizes(&self.assignments);
+        w.write_usizes(&self.sizes);
+        w.write_f64(self.inertia);
+    }
+
+    /// Reads a clustering written by [`KMeans::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        Ok(Self {
+            centers: r.read_matrix()?,
+            assignments: r.read_usizes()?,
+            sizes: r.read_usizes()?,
+            inertia: r.read_f64()?,
+        })
+    }
+
     /// Number of clusters.
     pub fn k(&self) -> usize {
         self.centers.nrows()

@@ -102,6 +102,38 @@ impl KnnDetector {
     pub fn method(&self) -> KnnMethod {
         self.method
     }
+
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        let k = r.read_usize()?;
+        let method = match r.read_u8()? {
+            0 => KnnMethod::Largest,
+            1 => KnnMethod::Mean,
+            2 => KnnMethod::Median,
+            other => {
+                return Err(Error::InvalidParameter(format!(
+                    "snapshot: unknown knn method tag {other}"
+                )))
+            }
+        };
+        let metric = r.read_metric()?;
+        let index = crate::read_opt_index(r, n_threads)?;
+        let train_scores = r.read_f64s()?;
+        Ok(Self {
+            k,
+            method,
+            metric,
+            index,
+            train_scores,
+        })
+    }
 }
 
 impl Detector for KnnDetector {
@@ -162,6 +194,19 @@ impl Detector for KnnDetector {
 
     fn is_fitted(&self) -> bool {
         self.index.is_some()
+    }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        w.write_u8(match self.method {
+            KnnMethod::Largest => 0,
+            KnnMethod::Mean => 1,
+            KnnMethod::Median => 2,
+        });
+        w.write_metric(self.metric);
+        crate::write_opt_index(self.index.as_deref(), w);
+        w.write_f64s(&self.train_scores);
+        Ok(())
     }
 }
 

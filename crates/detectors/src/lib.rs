@@ -82,7 +82,7 @@ use std::fmt;
 use std::sync::Arc;
 use suod_linalg::{
     emit_kernel_counters, DataFingerprint, DistanceMetric, KernelConfig, KnnIndex, Matrix,
-    NeighborCache, SelfNeighbors,
+    NeighborCache, SelfNeighbors, SnapshotReader, SnapshotWriter,
 };
 use suod_observe::{Counter, Observer, SpanAttrs};
 
@@ -384,6 +384,278 @@ pub trait Detector: Send + Sync {
 
     /// `true` once `fit` has succeeded.
     fn is_fitted(&self) -> bool;
+
+    /// Appends the detector's full state (parameters + fitted model) to a
+    /// `suod-pool/1` snapshot body.
+    ///
+    /// Implementations write every field in a fixed order so that
+    /// save → load → save is byte-identical; the matching reader is the
+    /// type's `snapshot_read` associated function, dispatched by
+    /// [`read_detector`]. The default implementation rejects the call so
+    /// a newly added detector cannot silently persist nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the detector does not
+    /// support snapshots.
+    fn snapshot_write(&self, w: &mut SnapshotWriter) -> Result<()> {
+        let _ = w;
+        Err(Error::InvalidParameter(format!(
+            "{} does not support snapshots",
+            self.name()
+        )))
+    }
+}
+
+/// Writes `det` as a dispatchable snapshot record: name string followed by
+/// a length-prefixed state body.
+///
+/// The length prefix lets [`read_detector`] validate that a detector's
+/// reader consumed exactly the bytes its writer produced, catching codec
+/// drift as a typed error instead of silent misalignment.
+///
+/// # Errors
+///
+/// Propagates the detector's [`Detector::snapshot_write`] failure.
+pub fn write_detector(det: &dyn Detector, w: &mut SnapshotWriter) -> Result<()> {
+    w.write_str(det.name());
+    let mut body = SnapshotWriter::new();
+    det.snapshot_write(&mut body)?;
+    w.write_bytes(body.as_bytes());
+    Ok(())
+}
+
+/// Reads a detector record written by [`write_detector`], dispatching on
+/// the stored name.
+///
+/// `n_threads` sizes the neighbour-index rebuild for proximity detectors;
+/// rebuilt indexes are bit-identical for every thread count, so the value
+/// only affects load latency.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for unknown detector names,
+/// truncated state, or trailing bytes left by a mismatched reader.
+pub fn read_detector(r: &mut SnapshotReader<'_>, n_threads: usize) -> Result<Box<dyn Detector>> {
+    let name = r.read_str()?;
+    let body = r.read_bytes()?;
+    let mut br = SnapshotReader::new(body);
+    let det: Box<dyn Detector> = match name.as_str() {
+        "knn" | "aknn" => Box::new(KnnDetector::snapshot_read(&mut br, n_threads)?),
+        "lof" => Box::new(LofDetector::snapshot_read(&mut br, n_threads)?),
+        "abod" => Box::new(AbodDetector::snapshot_read(&mut br, n_threads)?),
+        "cof" => Box::new(CofDetector::snapshot_read(&mut br, n_threads)?),
+        "loop" => Box::new(LoopDetector::snapshot_read(&mut br, n_threads)?),
+        "hbos" => Box::new(HbosDetector::snapshot_read(&mut br, n_threads)?),
+        "iforest" => Box::new(IsolationForest::snapshot_read(&mut br, n_threads)?),
+        "cblof" => Box::new(CblofDetector::snapshot_read(&mut br, n_threads)?),
+        "ocsvm" => Box::new(OcsvmDetector::snapshot_read(&mut br, n_threads)?),
+        "loda" => Box::new(LodaDetector::snapshot_read(&mut br, n_threads)?),
+        "pca" => Box::new(PcaDetector::snapshot_read(&mut br, n_threads)?),
+        "feature_bagging" => Box::new(FeatureBagging::snapshot_read(&mut br, n_threads)?),
+        "chaos" => Box::new(ChaosDetector::snapshot_read(&mut br, n_threads)?),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot: unknown detector name {other:?}"
+            )))
+        }
+    };
+    if !br.is_exhausted() {
+        return Err(Error::InvalidParameter(format!(
+            "snapshot: detector {name:?} left {} trailing bytes",
+            br.remaining()
+        )));
+    }
+    Ok(det)
+}
+
+pub(crate) fn write_opt_index(index: Option<&KnnIndex>, w: &mut SnapshotWriter) {
+    match index {
+        Some(ix) => {
+            w.write_bool(true);
+            ix.snapshot_write(w);
+        }
+        None => w.write_bool(false),
+    }
+}
+
+pub(crate) fn read_opt_index(
+    r: &mut SnapshotReader<'_>,
+    n_threads: usize,
+) -> Result<Option<Arc<KnnIndex>>> {
+    Ok(if r.read_bool()? {
+        Some(Arc::new(KnnIndex::snapshot_read(r, n_threads)?))
+    } else {
+        None
+    })
+}
+
+/// Static strings that appear inside [`Error::NotFitted`],
+/// [`Error::NonFiniteInput`], and the `&'static str` payloads of
+/// [`suod_linalg::Error`]. Snapshot decoding restores these without
+/// allocation; strings written by a newer build fall back to a one-time
+/// leak (bounded by snapshot content, and loads are rare).
+const KNOWN_STATIC_STRS: &[&str] = &[
+    "AbodDetector",
+    "CblofDetector",
+    "CofDetector",
+    "FeatureBagging",
+    "HbosDetector",
+    "IsolationForest",
+    "KnnDetector",
+    "LodaDetector",
+    "LofDetector",
+    "LoopDetector",
+    "OcsvmDetector",
+    "PcaDetector",
+    "abod fit",
+    "decision_function",
+    "fit",
+    "serve",
+];
+
+fn intern_static(s: String) -> &'static str {
+    for &known in KNOWN_STATIC_STRS {
+        if known == s {
+            return known;
+        }
+    }
+    Box::leak(s.into_boxed_str())
+}
+
+/// Writes an [`enum@Error`] value (e.g. a quarantine cause) to a snapshot.
+///
+/// The encoding is canonical: decoding with [`read_error`] and re-encoding
+/// produces identical bytes, which the pool-level byte-identity contract
+/// relies on.
+pub fn write_error(err: &Error, w: &mut SnapshotWriter) {
+    match err {
+        Error::NotFitted(what) => {
+            w.write_u8(0);
+            w.write_str(what);
+        }
+        Error::InvalidParameter(msg) => {
+            w.write_u8(1);
+            w.write_str(msg);
+        }
+        Error::InsufficientData { needed, got } => {
+            w.write_u8(2);
+            w.write_str(needed);
+            w.write_usize(*got);
+        }
+        Error::DimensionMismatch { expected, actual } => {
+            w.write_u8(3);
+            w.write_usize(*expected);
+            w.write_usize(*actual);
+        }
+        Error::Linalg(inner) => {
+            w.write_u8(4);
+            write_linalg_error(inner, w);
+        }
+        Error::NonFiniteInput(boundary) => {
+            w.write_u8(5);
+            w.write_str(boundary);
+        }
+        Error::DegenerateData(msg) => {
+            w.write_u8(6);
+            w.write_str(msg);
+        }
+        Error::NonConvergence(msg) => {
+            w.write_u8(7);
+            w.write_str(msg);
+        }
+        Error::Panicked(msg) => {
+            w.write_u8(8);
+            w.write_str(msg);
+        }
+    }
+}
+
+/// Reads an [`enum@Error`] value written by [`write_error`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] on unknown variant tags or
+/// truncated payloads.
+pub fn read_error(r: &mut SnapshotReader<'_>) -> Result<Error> {
+    Ok(match r.read_u8()? {
+        0 => Error::NotFitted(intern_static(r.read_str()?)),
+        1 => Error::InvalidParameter(r.read_str()?),
+        2 => Error::InsufficientData {
+            needed: r.read_str()?,
+            got: r.read_usize()?,
+        },
+        3 => Error::DimensionMismatch {
+            expected: r.read_usize()?,
+            actual: r.read_usize()?,
+        },
+        4 => Error::Linalg(read_linalg_error(r)?),
+        5 => Error::NonFiniteInput(intern_static(r.read_str()?)),
+        6 => Error::DegenerateData(r.read_str()?),
+        7 => Error::NonConvergence(r.read_str()?),
+        8 => Error::Panicked(r.read_str()?),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot: unknown error tag {other}"
+            )))
+        }
+    })
+}
+
+fn write_linalg_error(err: &suod_linalg::Error, w: &mut SnapshotWriter) {
+    match err {
+        suod_linalg::Error::ShapeMismatch { op, lhs, rhs } => {
+            w.write_u8(0);
+            w.write_str(op);
+            w.write_usize(lhs.0);
+            w.write_usize(lhs.1);
+            w.write_usize(rhs.0);
+            w.write_usize(rhs.1);
+        }
+        suod_linalg::Error::BadDimensions { expected, actual } => {
+            w.write_u8(1);
+            w.write_usize(*expected);
+            w.write_usize(*actual);
+        }
+        suod_linalg::Error::Empty(op) => {
+            w.write_u8(2);
+            w.write_str(op);
+        }
+        suod_linalg::Error::NoConvergence(what) => {
+            w.write_u8(3);
+            w.write_str(what);
+        }
+        suod_linalg::Error::InvalidParameter(msg) => {
+            w.write_u8(4);
+            w.write_str(msg);
+        }
+        // `suod_linalg::Error` is #[non_exhaustive]; a variant added later
+        // must also extend this codec, so fail loudly in debug builds.
+        #[allow(unreachable_patterns)]
+        other => unreachable!("unhandled linalg error variant {other:?}"),
+    }
+}
+
+fn read_linalg_error(r: &mut SnapshotReader<'_>) -> Result<suod_linalg::Error> {
+    Ok(match r.read_u8()? {
+        0 => suod_linalg::Error::ShapeMismatch {
+            op: intern_static(r.read_str()?),
+            lhs: (r.read_usize()?, r.read_usize()?),
+            rhs: (r.read_usize()?, r.read_usize()?),
+        },
+        1 => suod_linalg::Error::BadDimensions {
+            expected: r.read_usize()?,
+            actual: r.read_usize()?,
+        },
+        2 => suod_linalg::Error::Empty(intern_static(r.read_str()?)),
+        3 => suod_linalg::Error::NoConvergence(intern_static(r.read_str()?)),
+        4 => suod_linalg::Error::InvalidParameter(r.read_str()?),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot: unknown linalg error tag {other}"
+            )))
+        }
+    })
 }
 
 /// Converts scores to binary labels by thresholding at the

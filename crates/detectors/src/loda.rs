@@ -195,6 +195,56 @@ impl Detector for LodaDetector {
     fn is_fitted(&self) -> bool {
         !self.members.is_empty()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_members);
+        w.write_usize(self.n_bins);
+        w.write_u64(self.seed);
+        w.write_usize(self.members.len());
+        for m in &self.members {
+            w.write_f64s(&m.direction);
+            w.write_f64(m.lo);
+            w.write_f64(m.hi);
+            w.write_f64s(&m.probs);
+        }
+        w.write_usize(self.n_features);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl LodaDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let n_members = r.read_usize()?;
+        let n_bins = r.read_usize()?;
+        let seed = r.read_u64()?;
+        let count = r.read_usize()?;
+        let mut members = Vec::new();
+        for _ in 0..count {
+            members.push(LodaMember {
+                direction: r.read_f64s()?,
+                lo: r.read_f64()?,
+                hi: r.read_f64()?,
+                probs: r.read_f64s()?,
+            });
+        }
+        Ok(Self {
+            n_members,
+            n_bins,
+            seed,
+            members,
+            n_features: r.read_usize()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

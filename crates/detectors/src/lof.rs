@@ -175,6 +175,37 @@ impl Detector for LofDetector {
     fn is_fitted(&self) -> bool {
         self.index.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        w.write_metric(self.metric);
+        crate::write_opt_index(self.index.as_deref(), w);
+        w.write_f64s(&self.k_distances);
+        w.write_f64s(&self.lrd);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl LofDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        Ok(Self {
+            k: r.read_usize()?,
+            metric: r.read_metric()?,
+            index: crate::read_opt_index(r, n_threads)?,
+            k_distances: r.read_f64s()?,
+            lrd: r.read_f64s()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -184,6 +184,35 @@ impl Detector for LoopDetector {
     fn is_fitted(&self) -> bool {
         self.index.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        crate::write_opt_index(self.index.as_deref(), w);
+        w.write_f64s(&self.pdist);
+        w.write_f64(self.nplof);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl LoopDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        Ok(Self {
+            k: r.read_usize()?,
+            index: crate::read_opt_index(r, n_threads)?,
+            pdist: r.read_f64s()?,
+            nplof: r.read_f64()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

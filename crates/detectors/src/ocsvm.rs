@@ -359,6 +359,98 @@ impl Detector for OcsvmDetector {
     fn is_fitted(&self) -> bool {
         self.support_vectors.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_f64(self.nu);
+        match self.kernel {
+            Kernel::Linear => w.write_u8(0),
+            Kernel::Poly {
+                gamma,
+                coef0,
+                degree,
+            } => {
+                w.write_u8(1);
+                w.write_f64(gamma);
+                w.write_f64(coef0);
+                w.write_u64(u64::from(degree));
+            }
+            Kernel::Rbf { gamma } => {
+                w.write_u8(2);
+                w.write_f64(gamma);
+            }
+            Kernel::Sigmoid { gamma, coef0 } => {
+                w.write_u8(3);
+                w.write_f64(gamma);
+                w.write_f64(coef0);
+            }
+        }
+        w.write_usize(self.max_iter);
+        w.write_f64(self.tol);
+        match &self.support_vectors {
+            Some(sv) => {
+                w.write_bool(true);
+                w.write_matrix(sv);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_f64s(&self.alphas);
+        w.write_f64(self.rho);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl OcsvmDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let nu = r.read_f64()?;
+        let kernel = match r.read_u8()? {
+            0 => Kernel::Linear,
+            1 => Kernel::Poly {
+                gamma: r.read_f64()?,
+                coef0: r.read_f64()?,
+                degree: u32::try_from(r.read_u64()?).map_err(|_| {
+                    Error::InvalidParameter("snapshot: poly degree overflows u32".into())
+                })?,
+            },
+            2 => Kernel::Rbf {
+                gamma: r.read_f64()?,
+            },
+            3 => Kernel::Sigmoid {
+                gamma: r.read_f64()?,
+                coef0: r.read_f64()?,
+            },
+            other => {
+                return Err(Error::InvalidParameter(format!(
+                    "snapshot: unknown ocsvm kernel tag {other}"
+                )))
+            }
+        };
+        let max_iter = r.read_usize()?;
+        let tol = r.read_f64()?;
+        let support_vectors = if r.read_bool()? {
+            Some(r.read_matrix()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            nu,
+            kernel,
+            max_iter,
+            tol,
+            support_vectors,
+            alphas: r.read_f64s()?,
+            rho: r.read_f64()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -187,6 +187,48 @@ impl Detector for PcaDetector {
     fn is_fitted(&self) -> bool {
         self.minor_components.is_some()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_f64(self.variance_retained);
+        w.write_f64s(&self.means);
+        match &self.minor_components {
+            Some(mc) => {
+                w.write_bool(true);
+                w.write_matrix(mc);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_f64s(&self.minor_values);
+        w.write_f64s(&self.train_scores);
+        Ok(())
+    }
+}
+
+impl PcaDetector {
+    /// Reads a detector written by [`Detector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(
+        r: &mut suod_linalg::SnapshotReader<'_>,
+        _n_threads: usize,
+    ) -> Result<Self> {
+        let variance_retained = r.read_f64()?;
+        let means = r.read_f64s()?;
+        let minor_components = if r.read_bool()? {
+            Some(r.read_matrix()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            variance_retained,
+            means,
+            minor_components,
+            minor_values: r.read_f64s()?,
+            train_scores: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

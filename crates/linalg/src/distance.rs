@@ -357,7 +357,7 @@ pub fn pairwise_distances_symmetric_backend(
     pairwise_distances_symmetric_with(
         a,
         metric,
-        KernelConfig::with_backend(backend),
+        KernelConfig::default().with_backend(backend),
         n_threads,
         stats,
     )
@@ -533,6 +533,36 @@ impl KnnIndex {
         n_threads: usize,
     ) -> Result<Self> {
         Self::build_inner(train, metric, config, n_threads, true, "KnnIndex::build")
+    }
+
+    /// Serializes the index for a `suod-pool/1` snapshot: the training
+    /// slab, metric, and [`KernelConfig`]. Tree/graph internals are *not*
+    /// stored — [`snapshot_read`](Self::snapshot_read) rebuilds them
+    /// deterministically (KD-tree construction is input-ordered and the
+    /// HNSW build is seeded), which keeps the format independent of
+    /// in-memory layout while preserving bit-identical query results.
+    pub fn snapshot_write(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.write_matrix(&self.train);
+        w.write_metric(self.metric);
+        w.write_kernel_config(&self.config);
+    }
+
+    /// Reconstructs an index written by [`snapshot_write`](Self::snapshot_write),
+    /// rebuilding any KD-tree or HNSW structure with `n_threads` workers
+    /// (bit-identical for every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `snapshot:`-prefixed [`Error::InvalidParameter`] on a
+    /// truncated or corrupt payload, and propagates build failures.
+    pub fn snapshot_read(
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+        n_threads: usize,
+    ) -> Result<Self> {
+        let train = r.read_matrix()?;
+        let metric = r.read_metric()?;
+        let config = r.read_kernel_config()?;
+        Self::build_with_threads(&train, metric, config, n_threads)
     }
 
     /// Builds an index that always scans linearly (used by tests to check
@@ -1368,7 +1398,7 @@ mod tests {
         for backend in [DistanceBackend::Blocked, DistanceBackend::Gemm] {
             let cfg = KernelConfig {
                 kdtree_crossover_dim: 0, // force brute
-                ..KernelConfig::with_backend(backend)
+                ..KernelConfig::default().with_backend(backend)
             };
             let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
             assert!(!idx.uses_kdtree());
@@ -1388,7 +1418,7 @@ mod tests {
         let train = random_matrix(50, 6, 50);
         let cfg = KernelConfig {
             kdtree_crossover_dim: 0,
-            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
         };
         let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
         idx.self_query_batch(3, 1);
@@ -1403,7 +1433,7 @@ mod tests {
         let train = random_matrix(30, 6, 51);
         let cfg = KernelConfig {
             kdtree_crossover_dim: 0,
-            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
         };
         let idx = KnnIndex::build_with(&train, DistanceMetric::Manhattan, cfg).unwrap();
         let c = idx.kernel_counters();
@@ -1438,7 +1468,7 @@ mod tests {
         let train = random_matrix(90, 8, 12);
         let cfg = KernelConfig {
             kdtree_crossover_dim: 0,
-            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
         };
         let idx = KnnIndex::build_with(&train, DistanceMetric::Euclidean, cfg).unwrap();
         let expected: Vec<Vec<Neighbor>> = (0..train.nrows())
@@ -1496,7 +1526,7 @@ mod tests {
         KernelConfig {
             kdtree_crossover_dim: 0,
             precision: Precision::Mixed,
-            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
         }
     }
 
@@ -1617,7 +1647,7 @@ mod tests {
             DistanceMetric::Euclidean,
             KernelConfig {
                 kdtree_crossover_dim: 0,
-                ..KernelConfig::with_backend(DistanceBackend::Gemm)
+                ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
             },
         )
         .unwrap();

@@ -393,12 +393,35 @@ impl Default for KernelConfig {
 }
 
 impl KernelConfig {
-    /// A config with the given backend and default KD-tree tuning.
-    pub fn with_backend(backend: DistanceBackend) -> Self {
-        Self {
-            backend,
-            ..Self::default()
-        }
+    /// Returns the config with the distance/GEMM backend replaced.
+    pub fn with_backend(mut self, backend: DistanceBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Returns the config with the packed-kernel precision replaced.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Returns the config with the KD-tree crossover dimensionality
+    /// replaced (0 forces brute force everywhere).
+    pub fn with_kdtree_crossover_dim(mut self, dims: usize) -> Self {
+        self.kdtree_crossover_dim = dims;
+        self
+    }
+
+    /// Returns the config with the KD-tree minimum row count replaced.
+    pub fn with_kdtree_min_rows(mut self, rows: usize) -> Self {
+        self.kdtree_min_rows = rows;
+        self
+    }
+
+    /// Returns the config with the neighbour backend replaced.
+    pub fn with_neighbor(mut self, neighbor: NeighborBackend) -> Self {
+        self.neighbor = neighbor;
+        self
     }
 
     /// `true` when an index over `rows x dims` data should use the

@@ -66,6 +66,7 @@ pub mod matrix;
 pub mod neighbor_cache;
 pub mod parallel;
 pub mod rank;
+pub mod snapshot;
 pub mod stats;
 
 pub use distance::{
@@ -89,6 +90,7 @@ pub use neighbor_cache::{
     emit_kernel_counters, DataFingerprint, NeighborCache, NeighborCacheStats, NeighborGraph,
     SelfNeighbors,
 };
+pub use snapshot::{SnapshotReader, SnapshotWriter};
 
 use std::fmt;
 

@@ -82,6 +82,29 @@ impl DataFingerprint {
     pub fn rows(&self) -> usize {
         self.rows
     }
+
+    /// Appends the fingerprint to a `suod-pool/1` snapshot body.
+    pub fn snapshot_write(&self, w: &mut crate::SnapshotWriter) {
+        w.write_usize(self.rows);
+        w.write_usize(self.cols);
+        w.write_u64(self.hash_a);
+        w.write_u64(self.hash_b);
+    }
+
+    /// Reads a fingerprint written by [`DataFingerprint::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`](crate::Error::InvalidParameter)
+    /// on truncated input.
+    pub fn snapshot_read(r: &mut crate::SnapshotReader<'_>) -> Result<Self> {
+        Ok(Self {
+            rows: r.read_usize()?,
+            cols: r.read_usize()?,
+            hash_a: r.read_u64()?,
+            hash_b: r.read_u64()?,
+        })
+    }
 }
 
 #[inline]
@@ -725,7 +748,7 @@ mod tests {
         let rec = Arc::new(RecordingObserver::new());
         let cfg = KernelConfig {
             kdtree_crossover_dim: 0, // force the brute-force gemm sweep
-            ..KernelConfig::with_backend(DistanceBackend::Gemm)
+            ..KernelConfig::default().with_backend(DistanceBackend::Gemm)
         };
         let cache = NeighborCache::with_config(cfg, rec.clone());
         assert_eq!(cache.kernel_config(), cfg);

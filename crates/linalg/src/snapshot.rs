@@ -1,0 +1,446 @@
+//! Byte-level codec for the `suod-pool/1` snapshot format.
+//!
+//! Hand-rolled (serde-free) little-endian encoding, in the same spirit as
+//! the `suod-trace/1` JSON schema in `suod-observe`: every field is
+//! written explicitly, in a fixed order, with no reflection — so the byte
+//! stream is a *contract*, not an implementation detail. Higher layers
+//! (detectors, regressors, projectors, the `Suod` orchestrator) compose
+//! [`SnapshotWriter`]/[`SnapshotReader`] into the full pool snapshot.
+//!
+//! # Encoding rules
+//!
+//! * Integers are `u64` little-endian (lengths, counts, indices).
+//! * `f64` values are written as their IEEE-754 **bit pattern** in
+//!   little-endian order — round-tripping is bit-exact, including NaN
+//!   payloads and signed zeros. This is what makes the pool-level
+//!   contract (`load(save(pool))` scores bitwise-equal) possible.
+//! * Strings are length-prefixed UTF-8.
+//! * `Option<T>` is a `u8` tag (0 = None, 1 = Some) followed by the value.
+//! * Matrices are `(nrows, ncols, row-major f64 bits)`.
+//!
+//! Decoding is defensive: every read validates remaining length and
+//! returns a typed [`Error::InvalidParameter`] with a `snapshot:` prefix
+//! instead of panicking, so a truncated or corrupt snapshot surfaces as a
+//! recoverable error at the `Suod::load` boundary.
+
+use crate::hnsw::{HnswParams, NeighborBackend};
+use crate::{DistanceBackend, DistanceMetric, Error, KernelConfig, Matrix, Precision, Result};
+
+/// Append-only byte sink for snapshot encoding.
+#[derive(Debug, Default, Clone)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as `u64` little-endian.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Writes an `f64` as its little-endian IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a length-prefixed raw byte slice.
+    pub fn write_bytes(&mut self, v: &[u8]) {
+        self.write_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_bytes(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed `f64` slice (bit patterns).
+    pub fn write_f64s(&mut self, v: &[f64]) {
+        self.write_usize(v.len());
+        for &x in v {
+            self.write_f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed `usize` slice.
+    pub fn write_usizes(&mut self, v: &[usize]) {
+        self.write_usize(v.len());
+        for &x in v {
+            self.write_usize(x);
+        }
+    }
+
+    /// Writes an optional `u64` (presence tag + value).
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u64(x);
+            }
+            None => self.write_u8(0),
+        }
+    }
+
+    /// Writes a matrix as `(nrows, ncols, row-major bits)`.
+    pub fn write_matrix(&mut self, m: &Matrix) {
+        self.write_usize(m.nrows());
+        self.write_usize(m.ncols());
+        for &x in m.as_slice() {
+            self.write_f64(x);
+        }
+    }
+
+    /// Writes a distance metric (tag + Minkowski exponent bits).
+    pub fn write_metric(&mut self, metric: DistanceMetric) {
+        match metric {
+            DistanceMetric::Euclidean => self.write_u8(0),
+            DistanceMetric::Manhattan => self.write_u8(1),
+            DistanceMetric::Minkowski(p) => {
+                self.write_u8(2);
+                self.write_f64(p);
+            }
+        }
+    }
+
+    /// Writes a full [`KernelConfig`] including the neighbour backend.
+    pub fn write_kernel_config(&mut self, config: &KernelConfig) {
+        self.write_u8(match config.backend {
+            DistanceBackend::Naive => 0,
+            DistanceBackend::Blocked => 1,
+            DistanceBackend::Gemm => 2,
+        });
+        self.write_u8(match config.precision {
+            Precision::F64 => 0,
+            Precision::Mixed => 1,
+        });
+        self.write_usize(config.kdtree_crossover_dim);
+        self.write_usize(config.kdtree_min_rows);
+        match config.neighbor {
+            NeighborBackend::Exact => self.write_u8(0),
+            NeighborBackend::Hnsw(p) => {
+                self.write_u8(1);
+                self.write_usize(p.m);
+                self.write_usize(p.ef_construction);
+                self.write_usize(p.ef_search);
+                self.write_u64(p.seed);
+                self.write_usize(p.min_rows);
+            }
+        }
+    }
+}
+
+fn corrupt(what: &str) -> Error {
+    Error::InvalidParameter(format!("snapshot: {what}"))
+}
+
+/// Cursor over snapshot bytes; every read is bounds-checked.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(&format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one raw byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` and converts it to `usize`.
+    pub fn read_usize(&mut self) -> Result<usize> {
+        let v = self.read_u64()?;
+        usize::try_from(v).map_err(|_| corrupt("length overflows usize"))
+    }
+
+    /// Reads a bool byte (rejecting anything but 0/1).
+    pub fn read_bool(&mut self) -> Result<bool> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(corrupt(&format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn read_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.read_usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String> {
+        let b = self.read_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| corrupt("invalid UTF-8 in string"))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn read_f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.read_usize()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(corrupt("truncated f64 vector"));
+        }
+        (0..n).map(|_| self.read_f64()).collect()
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn read_usizes(&mut self) -> Result<Vec<usize>> {
+        let n = self.read_usize()?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(corrupt("truncated usize vector"));
+        }
+        (0..n).map(|_| self.read_usize()).collect()
+    }
+
+    /// Reads an optional `u64`.
+    pub fn read_opt_u64(&mut self) -> Result<Option<u64>> {
+        match self.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.read_u64()?)),
+            other => Err(corrupt(&format!("invalid option tag {other}"))),
+        }
+    }
+
+    /// Reads a matrix written by [`SnapshotWriter::write_matrix`].
+    pub fn read_matrix(&mut self) -> Result<Matrix> {
+        let rows = self.read_usize()?;
+        let cols = self.read_usize()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| corrupt("matrix shape overflows"))?;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(corrupt("truncated matrix payload"));
+        }
+        let data: Vec<f64> = (0..n).map(|_| self.read_f64()).collect::<Result<_>>()?;
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Reads a distance metric.
+    pub fn read_metric(&mut self) -> Result<DistanceMetric> {
+        match self.read_u8()? {
+            0 => Ok(DistanceMetric::Euclidean),
+            1 => Ok(DistanceMetric::Manhattan),
+            2 => Ok(DistanceMetric::Minkowski(self.read_f64()?)),
+            other => Err(corrupt(&format!("unknown metric tag {other}"))),
+        }
+    }
+
+    /// Reads a [`KernelConfig`].
+    pub fn read_kernel_config(&mut self) -> Result<KernelConfig> {
+        let backend = match self.read_u8()? {
+            0 => DistanceBackend::Naive,
+            1 => DistanceBackend::Blocked,
+            2 => DistanceBackend::Gemm,
+            other => return Err(corrupt(&format!("unknown backend tag {other}"))),
+        };
+        let precision = match self.read_u8()? {
+            0 => Precision::F64,
+            1 => Precision::Mixed,
+            other => return Err(corrupt(&format!("unknown precision tag {other}"))),
+        };
+        let kdtree_crossover_dim = self.read_usize()?;
+        let kdtree_min_rows = self.read_usize()?;
+        let neighbor = match self.read_u8()? {
+            0 => NeighborBackend::Exact,
+            1 => NeighborBackend::Hnsw(HnswParams {
+                m: self.read_usize()?,
+                ef_construction: self.read_usize()?,
+                ef_search: self.read_usize()?,
+                seed: self.read_u64()?,
+                min_rows: self.read_usize()?,
+            }),
+            other => return Err(corrupt(&format!("unknown neighbor tag {other}"))),
+        };
+        Ok(KernelConfig {
+            backend,
+            precision,
+            kdtree_crossover_dim,
+            kdtree_min_rows,
+            neighbor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = SnapshotWriter::new();
+        w.write_u8(7);
+        w.write_u64(u64::MAX);
+        w.write_usize(42);
+        w.write_bool(true);
+        w.write_f64(-0.0);
+        w.write_f64(f64::NAN);
+        w.write_str("suod-pool/1");
+        w.write_f64s(&[1.5, f64::INFINITY]);
+        w.write_usizes(&[3, 0, 9]);
+        w.write_opt_u64(None);
+        w.write_opt_u64(Some(11));
+        let bytes = w.into_bytes();
+
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX);
+        assert_eq!(r.read_usize().unwrap(), 42);
+        assert!(r.read_bool().unwrap());
+        let z = r.read_f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits());
+        assert!(r.read_f64().unwrap().is_nan());
+        assert_eq!(r.read_str().unwrap(), "suod-pool/1");
+        assert_eq!(r.read_f64s().unwrap(), vec![1.5, f64::INFINITY]);
+        assert_eq!(r.read_usizes().unwrap(), vec![3, 0, 9]);
+        assert_eq!(r.read_opt_u64().unwrap(), None);
+        assert_eq!(r.read_opt_u64().unwrap(), Some(11));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn matrix_round_trip_is_bit_exact() {
+        let m = Matrix::from_rows(&[vec![0.1, -0.0], vec![f64::MIN_POSITIVE, 3.5e300]]).unwrap();
+        let mut w = SnapshotWriter::new();
+        w.write_matrix(&m);
+        let bytes = w.into_bytes();
+        let got = SnapshotReader::new(&bytes).read_matrix().unwrap();
+        assert_eq!(got.shape(), m.shape());
+        for (a, b) in got.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn metric_and_kernel_config_round_trip() {
+        for metric in [
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+            DistanceMetric::Minkowski(2.5),
+        ] {
+            let mut w = SnapshotWriter::new();
+            w.write_metric(metric);
+            let got = SnapshotReader::new(w.as_bytes()).read_metric().unwrap();
+            assert_eq!(got, metric);
+        }
+        let configs = [
+            KernelConfig::default(),
+            KernelConfig {
+                backend: DistanceBackend::Gemm,
+                precision: Precision::Mixed,
+                kdtree_crossover_dim: 7,
+                kdtree_min_rows: 10,
+                neighbor: NeighborBackend::Hnsw(HnswParams::default().with_ef_search(99)),
+            },
+        ];
+        for config in configs {
+            let mut w = SnapshotWriter::new();
+            w.write_kernel_config(&config);
+            let got = SnapshotReader::new(w.as_bytes())
+                .read_kernel_config()
+                .unwrap();
+            assert_eq!(got, config);
+        }
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = SnapshotWriter::new();
+        w.write_u64(5);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes[..4]);
+        assert!(r.read_u64().is_err());
+        // A huge claimed length must not allocate or panic.
+        let mut w = SnapshotWriter::new();
+        w.write_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(r.read_f64s().is_err());
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(r.read_bytes().is_err());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        let bytes = [9u8];
+        assert!(SnapshotReader::new(&bytes).read_bool().is_err());
+        assert!(SnapshotReader::new(&bytes).read_metric().is_err());
+        assert!(SnapshotReader::new(&bytes).read_kernel_config().is_err());
+    }
+}

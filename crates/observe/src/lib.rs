@@ -104,6 +104,15 @@ pub enum Stage {
     BatchAssemble,
     /// Survivor-only score combination of one served batch.
     Combine,
+    /// Encoding a fitted pool into a `suod-pool/1` snapshot
+    /// (`Suod::save`).
+    SnapshotSave,
+    /// Decoding and rebuilding a pool from a `suod-pool/1` snapshot
+    /// (`Suod::load`), including deterministic index reconstruction.
+    SnapshotLoad,
+    /// Atomically swapping a serving pool for a reloaded one
+    /// (`ScoreService::reload`).
+    PoolReload,
 }
 
 /// Every stage, in export order.
@@ -125,6 +134,9 @@ pub const STAGES: &[Stage] = &[
     Stage::RequestEnqueue,
     Stage::BatchAssemble,
     Stage::Combine,
+    Stage::SnapshotSave,
+    Stage::SnapshotLoad,
+    Stage::PoolReload,
 ];
 
 impl Stage {
@@ -148,6 +160,9 @@ impl Stage {
             Stage::RequestEnqueue => "request_enqueue",
             Stage::BatchAssemble => "batch_assemble",
             Stage::Combine => "combine",
+            Stage::SnapshotSave => "snapshot_save",
+            Stage::SnapshotLoad => "snapshot_load",
+            Stage::PoolReload => "pool_reload",
         }
     }
 
@@ -239,6 +254,17 @@ pub enum Counter {
     /// seed-deterministic, but the timeout channel is wall-clock, so the
     /// counter as a whole is excluded from determinism guarantees.
     PredictQuarantined,
+    /// Fitted pools encoded into `suod-pool/1` snapshots (call-derived
+    /// and deterministic).
+    SnapshotSave,
+    /// Pools decoded from `suod-pool/1` snapshots (call-derived and
+    /// deterministic).
+    SnapshotLoad,
+    /// Serving pools atomically swapped by a hot reload. Reloads are
+    /// operator-initiated events, not data-derived, so the counter is
+    /// excluded from determinism guarantees like the other serving
+    /// counters.
+    PoolReload,
 }
 
 /// Every counter, in export order.
@@ -263,6 +289,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::Shed,
     Counter::DeadlineMissed,
     Counter::PredictQuarantined,
+    Counter::SnapshotSave,
+    Counter::SnapshotLoad,
+    Counter::PoolReload,
 ];
 
 impl Counter {
@@ -289,6 +318,9 @@ impl Counter {
             Counter::Shed => "shed",
             Counter::DeadlineMissed => "deadline_missed",
             Counter::PredictQuarantined => "predict_quarantined",
+            Counter::SnapshotSave => "snapshot_save",
+            Counter::SnapshotLoad => "snapshot_load",
+            Counter::PoolReload => "pool_reload",
         }
     }
 
@@ -317,6 +349,7 @@ impl Counter {
                 | Counter::Shed
                 | Counter::DeadlineMissed
                 | Counter::PredictQuarantined
+                | Counter::PoolReload
         )
     }
 }
@@ -325,6 +358,27 @@ impl std::fmt::Display for Counter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// Deterministic integrity signature over a byte payload.
+///
+/// FNV-1a 64-bit, rendered as `fnv1a64:<16 hex digits>`. The `suod-pool/1`
+/// snapshot format stores this signature over its payload section; a
+/// mismatch at load time means the bytes were corrupted or hand-edited
+/// and surfaces as a typed `SnapshotCorrupt` error instead of a
+/// silently-wrong pool. The hash is a pure function of the bytes — no
+/// clocks, no host state — so it shares the determinism contract of the
+/// [`Trace::deterministic_signature`](recording::Trace::deterministic_signature)
+/// lines.
+pub fn payload_signature(bytes: &[u8]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("fnv1a64:{hash:016x}")
 }
 
 /// Attribution attached to a span at begin time.

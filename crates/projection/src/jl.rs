@@ -195,6 +195,59 @@ impl Projector for JlProjector {
             JlVariant::Toeplitz => "toeplitz",
         }
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_u8(match self.variant {
+            JlVariant::Basic => 0,
+            JlVariant::Discrete => 1,
+            JlVariant::Circulant => 2,
+            JlVariant::Toeplitz => 3,
+        });
+        w.write_usize(self.k);
+        w.write_u64(self.seed);
+        match &self.w {
+            Some(m) => {
+                w.write_bool(true);
+                w.write_matrix(m);
+            }
+            None => w.write_bool(false),
+        }
+        Ok(())
+    }
+}
+
+impl JlProjector {
+    /// Reads a projector written by [`Projector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let variant = match r.read_u8()? {
+            0 => JlVariant::Basic,
+            1 => JlVariant::Discrete,
+            2 => JlVariant::Circulant,
+            3 => JlVariant::Toeplitz,
+            other => {
+                return Err(Error::InvalidParameter(format!(
+                    "snapshot: unknown JL variant tag {other}"
+                )))
+            }
+        };
+        let k = r.read_usize()?;
+        let seed = r.read_u64()?;
+        let w = if r.read_bool()? {
+            Some(r.read_matrix()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            variant,
+            k,
+            seed,
+            w,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub use pca::PcaProjector;
 pub use random_select::RandomSelectProjector;
 
 use std::fmt;
-use suod_linalg::Matrix;
+use suod_linalg::{Matrix, SnapshotReader, SnapshotWriter};
 
 /// Errors produced by projector fitting and application.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +115,73 @@ pub trait Projector: Send + Sync {
 
     /// Short method name (e.g. `"circulant"`).
     fn name(&self) -> &'static str;
+
+    /// Appends the projector's full state (parameters + fitted transform)
+    /// to a `suod-pool/1` snapshot body.
+    ///
+    /// Implementations write every field in a fixed order so that
+    /// save → load → save is byte-identical; the matching reader is the
+    /// type's `snapshot_read` associated function, dispatched by
+    /// [`read_projector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the projector does not
+    /// support snapshots.
+    fn snapshot_write(&self, w: &mut SnapshotWriter) -> Result<()> {
+        let _ = w;
+        Err(Error::InvalidParameter(format!(
+            "{} does not support snapshots",
+            self.name()
+        )))
+    }
+}
+
+/// Writes `proj` as a dispatchable snapshot record: name string followed
+/// by a length-prefixed state body (mirror of the detectors-crate record).
+///
+/// # Errors
+///
+/// Propagates the projector's [`Projector::snapshot_write`] failure.
+pub fn write_projector(proj: &dyn Projector, w: &mut SnapshotWriter) -> Result<()> {
+    w.write_str(proj.name());
+    let mut body = SnapshotWriter::new();
+    proj.snapshot_write(&mut body)?;
+    w.write_bytes(body.as_bytes());
+    Ok(())
+}
+
+/// Reads a projector record written by [`write_projector`], dispatching
+/// on the stored name (JL projectors are named by their variant).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for unknown names, truncated
+/// state, or trailing bytes left by a mismatched reader.
+pub fn read_projector(r: &mut SnapshotReader<'_>) -> Result<Box<dyn Projector>> {
+    let name = r.read_str()?;
+    let body = r.read_bytes()?;
+    let mut br = SnapshotReader::new(body);
+    let proj: Box<dyn Projector> = match name.as_str() {
+        "original" => Box::new(IdentityProjector::snapshot_read(&mut br)?),
+        "basic" | "discrete" | "circulant" | "toeplitz" => {
+            Box::new(JlProjector::snapshot_read(&mut br)?)
+        }
+        "pca" => Box::new(PcaProjector::snapshot_read(&mut br)?),
+        "rs" => Box::new(RandomSelectProjector::snapshot_read(&mut br)?),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot: unknown projector name {other:?}"
+            )))
+        }
+    };
+    if !br.is_exhausted() {
+        return Err(Error::InvalidParameter(format!(
+            "snapshot: projector {name:?} left {} trailing bytes",
+            br.remaining()
+        )));
+    }
+    Ok(proj)
 }
 
 /// Identity projector: the paper's `original` baseline (no projection).
@@ -157,6 +224,26 @@ impl Projector for IdentityProjector {
 
     fn name(&self) -> &'static str {
         "original"
+    }
+
+    fn snapshot_write(&self, w: &mut SnapshotWriter) -> Result<()> {
+        w.write_usize(self.dim);
+        w.write_bool(self.fitted);
+        Ok(())
+    }
+}
+
+impl IdentityProjector {
+    /// Reads a projector written by [`Projector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut SnapshotReader<'_>) -> Result<Self> {
+        Ok(Self {
+            dim: r.read_usize()?,
+            fitted: r.read_bool()?,
+        })
     }
 }
 

@@ -141,6 +141,43 @@ impl Projector for PcaProjector {
     fn name(&self) -> &'static str {
         "pca"
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        w.write_f64s(&self.means);
+        match &self.components {
+            Some(c) => {
+                w.write_bool(true);
+                w.write_matrix(c);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_f64s(&self.explained_variance);
+        Ok(())
+    }
+}
+
+impl PcaProjector {
+    /// Reads a projector written by [`Projector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let k = r.read_usize()?;
+        let means = r.read_f64s()?;
+        let components = if r.read_bool()? {
+            Some(r.read_matrix()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            k,
+            means,
+            components,
+            explained_variance: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

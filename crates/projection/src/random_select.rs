@@ -106,6 +106,43 @@ impl Projector for RandomSelectProjector {
     fn name(&self) -> &'static str {
         "rs"
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        w.write_u64(self.seed);
+        match &self.selected {
+            Some(s) => {
+                w.write_bool(true);
+                w.write_usizes(s);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_usize(self.input_dim);
+        Ok(())
+    }
+}
+
+impl RandomSelectProjector {
+    /// Reads a projector written by [`Projector::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let k = r.read_usize()?;
+        let seed = r.read_u64()?;
+        let selected = if r.read_bool()? {
+            Some(r.read_usizes()?)
+        } else {
+            None
+        };
+        Ok(Self {
+            k,
+            seed,
+            selected,
+            input_dim: r.read_usize()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -86,7 +86,8 @@ pub mod service;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use report::ServeReport;
 pub use service::{
-    ModelFault, ScoreOutcome, ScoreService, ScoredBatch, ServeConfig, SubmitError, Ticket,
+    ModelFault, ReloadReport, ScoreOutcome, ScoreService, ScoredBatch, ServeConfig, SubmitError,
+    Ticket,
 };
 
 use std::fmt;
@@ -100,6 +101,10 @@ pub enum Error {
     /// The underlying estimator rejected the setup (typically: not
     /// fitted yet).
     Core(suod::Error),
+    /// A hot reload was rejected (e.g. the replacement pool scores a
+    /// different feature width than the one being served). The current
+    /// pool keeps serving.
+    Reload(String),
 }
 
 impl fmt::Display for Error {
@@ -107,6 +112,7 @@ impl fmt::Display for Error {
         match self {
             Error::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
             Error::Core(e) => write!(f, "estimator error: {e}"),
+            Error::Reload(msg) => write!(f, "hot reload rejected: {msg}"),
         }
     }
 }

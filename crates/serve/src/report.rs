@@ -29,6 +29,10 @@ pub struct ServeReport {
     pub requests_failed: u64,
     /// Total rows scored.
     pub rows_scored: u64,
+    /// Successful hot reloads since the service started.
+    pub reloads: u64,
+    /// Generation of the pool currently serving (0 before any reload).
+    pub pool_epoch: u64,
     /// Models still active (not serve-quarantined).
     pub active_models: usize,
     /// Models in the served ensemble.
@@ -61,6 +65,11 @@ impl std::fmt::Display for ServeReport {
             f,
             "  models: {}/{} active, {} predict faults, {} quarantined",
             self.active_models, self.total_models, self.predict_faults, self.quarantined
+        )?;
+        writeln!(
+            f,
+            "  pool: epoch {} ({} reloads)",
+            self.pool_epoch, self.reloads
         )?;
         write!(
             f,

@@ -5,7 +5,7 @@ use crate::clock::{Clock, SystemClock};
 use crate::report::ServeReport;
 use crate::{Error, Result};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use suod::Suod;
@@ -254,9 +254,63 @@ struct QueueState {
 }
 
 /// Per-model serving health: active mask plus consecutive-fault streaks.
+///
+/// `epoch` names the [`ServingPool`] generation these vectors describe.
+/// A batch that started on an older pool compares its captured epoch
+/// before writing streaks back, so a hot reload can never be corrupted
+/// by a straggler batch finishing on the previous generation.
 struct ServeHealth {
+    epoch: u64,
     active: Vec<bool>,
     streaks: Vec<u32>,
+}
+
+/// One immutable generation of the served estimator plus the derived
+/// lookups every batch needs. Swapped atomically (behind an `RwLock`)
+/// by [`ScoreService::reload`]; in-flight batches keep scoring on the
+/// `Arc` they cloned at assembly, new batches pick up the replacement.
+struct ServingPool {
+    clf: Suod,
+    /// Per-surviving-model forecast cost (fit-time, immutable).
+    unit_costs: Vec<f64>,
+    /// `(pool index, name)` per surviving model.
+    model_names: Vec<(usize, &'static str)>,
+    train_rows: usize,
+    n_features: usize,
+    /// Generation counter; starts at 0, bumped once per reload.
+    epoch: u64,
+}
+
+impl ServingPool {
+    fn new(clf: Suod, epoch: u64) -> Result<Self> {
+        let model_names = clf.surviving_models()?;
+        let unit_costs = clf.predict_unit_costs()?;
+        let train_rows = clf.train_rows()?;
+        let n_features = clf.n_features()?;
+        Ok(ServingPool {
+            clf,
+            unit_costs,
+            model_names,
+            train_rows,
+            n_features,
+            epoch,
+        })
+    }
+}
+
+/// Outcome of a successful [`ScoreService::reload`].
+#[derive(Debug, Clone)]
+pub struct ReloadReport {
+    /// Generation the service is now serving (previous epoch + 1).
+    pub epoch: u64,
+    /// Models whose serve-time health (quarantine state and fault
+    /// streak) survived the swap because the new pool carries the same
+    /// model at the same configured index.
+    pub carried_over: usize,
+    /// Models that start the new generation with fresh health.
+    pub reset: usize,
+    /// Surviving models in the new pool.
+    pub total_models: usize,
 }
 
 /// Upper bound on retained latency samples: percentiles in
@@ -278,6 +332,7 @@ struct ServeStats {
     rows_scored: u64,
     predict_faults: u64,
     quarantined: u64,
+    reloads: u64,
     /// Ring of the most recent [`LATENCY_SAMPLE_CAP`] request latencies.
     latencies_ms: VecDeque<u64>,
     /// EWMA of measured seconds per forecast cost unit — the
@@ -287,20 +342,18 @@ struct ServeStats {
 }
 
 struct ServiceInner {
-    clf: Suod,
     config: ServeConfig,
     clock: Arc<dyn Clock>,
     observer: Arc<dyn Observer>,
     queue: Mutex<QueueState>,
     work_ready: Condvar,
+    /// Lock order: `health` before `pool`; `stats` is never held
+    /// together with either (see the discipline note in
+    /// `process_once`). Batches clone the `Arc` and drop the read
+    /// guard immediately, so a reload never waits on in-flight scoring.
+    pool: RwLock<Arc<ServingPool>>,
     health: Mutex<ServeHealth>,
     stats: Mutex<ServeStats>,
-    /// Per-surviving-model forecast cost (fit-time, immutable).
-    unit_costs: Vec<f64>,
-    /// `(pool index, name)` per surviving model.
-    model_names: Vec<(usize, &'static str)>,
-    train_rows: usize,
-    n_features: usize,
 }
 
 /// A fault-tolerant online scoring service over a fitted [`Suod`].
@@ -362,14 +415,10 @@ impl ScoreService {
         observer: Arc<dyn Observer>,
     ) -> Result<Self> {
         config.validate()?;
-        let model_names = clf.surviving_models()?;
-        let unit_costs = clf.predict_unit_costs()?;
-        let train_rows = clf.train_rows()?;
-        let n_features = clf.n_features()?;
-        let m = model_names.len();
+        let pool = ServingPool::new(clf, 0)?;
+        let m = pool.model_names.len();
         Ok(ScoreService {
             inner: Arc::new(ServiceInner {
-                clf,
                 config,
                 clock,
                 observer,
@@ -378,18 +427,44 @@ impl ScoreService {
                     closed: false,
                 }),
                 work_ready: Condvar::new(),
+                pool: RwLock::new(Arc::new(pool)),
                 health: Mutex::new(ServeHealth {
+                    epoch: 0,
                     active: vec![true; m],
                     streaks: vec![0; m],
                 }),
                 stats: Mutex::new(ServeStats::default()),
-                unit_costs,
-                model_names,
-                train_rows,
-                n_features,
             }),
             dispatcher: None,
         })
+    }
+
+    /// Atomically replaces the served estimator with `clf` — **zero
+    /// downtime**: in-flight batches finish on the generation they
+    /// started with, every later batch scores on the new pool, and no
+    /// admitted request is dropped or failed by the swap. Service
+    /// counters ([`report`](Self::report)) keep accumulating across the
+    /// swap; per-model quarantine state carries over for models the new
+    /// pool serves at the same configured index (same algorithm), and
+    /// resets for everything else.
+    ///
+    /// Typical flow: `Suod::load` a new snapshot (or
+    /// [`warm_refit`](suod::Suod::warm_refit) in place) and hand it
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Reload`] when the replacement's feature width differs
+    /// from the served one; [`Error::Core`] when it is not fitted.
+    /// On error the current pool keeps serving untouched.
+    pub fn reload(&self, clf: Suod) -> Result<ReloadReport> {
+        self.inner.reload(clf)
+    }
+
+    /// Generation of the currently served pool: 0 at construction,
+    /// +1 per successful [`reload`](Self::reload).
+    pub fn pool_epoch(&self) -> u64 {
+        self.inner.pool_read().epoch
     }
 
     /// Starts the background dispatcher thread (idempotent).
@@ -511,10 +586,10 @@ impl ServiceInner {
                 "request carries no rows".into(),
             ));
         }
-        if rows.ncols() != self.n_features {
+        let n_features = self.pool_read().n_features;
+        if rows.ncols() != n_features {
             return Err(SubmitError::InvalidRequest(format!(
-                "expected {} features, got {}",
-                self.n_features,
+                "expected {n_features} features, got {}",
                 rows.ncols()
             )));
         }
@@ -556,13 +631,88 @@ impl ServiceInner {
         Ok(Ticket { slot })
     }
 
+    /// Clones the current pool `Arc`, dropping the read guard
+    /// immediately so callers never pin a reload.
+    fn pool_read(&self) -> Arc<ServingPool> {
+        Arc::clone(
+            &self
+                .pool
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner()),
+        )
+    }
+
+    fn reload(&self, clf: Suod) -> Result<ReloadReport> {
+        let _span =
+            suod_observe::span(self.observer.as_ref(), Stage::PoolReload, SpanAttrs::none());
+        // Validate and derive the new pool's lookups *before* taking any
+        // lock — a rejected reload leaves the service untouched.
+        let current = self.pool_read();
+        let incoming_features = clf.n_features()?;
+        if incoming_features != current.n_features {
+            return Err(Error::Reload(format!(
+                "replacement pool scores {incoming_features} features, service was built \
+                 for {}",
+                current.n_features
+            )));
+        }
+        let staged = ServingPool::new(clf, 0)?;
+
+        // Lock order: `health` before `pool` (matches batch assembly).
+        // Both guards are held only for the swap itself — never while
+        // scoring — so in-flight batches are unaffected.
+        let mut health = lock_ignore_poison(&self.health);
+        let report =
+            {
+                let mut pool = self
+                    .pool
+                    .write()
+                    .unwrap_or_else(|poison| poison.into_inner());
+                let epoch = pool.epoch + 1;
+                let new_pool = Arc::new(ServingPool { epoch, ..staged });
+                let mut active = Vec::with_capacity(new_pool.model_names.len());
+                let mut streaks = Vec::with_capacity(new_pool.model_names.len());
+                let mut carried_over = 0usize;
+                for &(pool_index, name) in &new_pool.model_names {
+                    match pool.model_names.iter().position(|&(old_index, old_name)| {
+                        old_index == pool_index && old_name == name
+                    }) {
+                        Some(old_pos) => {
+                            active.push(health.active[old_pos]);
+                            streaks.push(health.streaks[old_pos]);
+                            carried_over += 1;
+                        }
+                        None => {
+                            active.push(true);
+                            streaks.push(0);
+                        }
+                    }
+                }
+                let total_models = new_pool.model_names.len();
+                health.epoch = epoch;
+                health.active = active;
+                health.streaks = streaks;
+                *pool = new_pool;
+                ReloadReport {
+                    epoch,
+                    carried_over,
+                    reset: total_models - carried_over,
+                    total_models,
+                }
+            };
+        drop(health);
+        self.observer.counter(Counter::PoolReload, 1);
+        lock_ignore_poison(&self.stats).reloads += 1;
+        Ok(report)
+    }
+
     /// Row cap for the next batch given the currently active models:
     /// the hard `max_batch_rows`, tightened by `max_batch_units` through
     /// the scheduler's deterministic cost forecast.
-    fn batch_row_cap(&self, active: &[bool]) -> usize {
+    fn batch_row_cap(&self, pool: &ServingPool, active: &[bool]) -> usize {
         let mut cap = self.config.max_batch_rows;
         if let Some(max_units) = self.config.max_batch_units {
-            let active_cost: f64 = self
+            let active_cost: f64 = pool
                 .unit_costs
                 .iter()
                 .zip(active)
@@ -571,7 +721,7 @@ impl ServiceInner {
                 .sum();
             if active_cost > 0.0 {
                 // Invert forecast(rows) = active_cost * rows / train_rows.
-                let rows = (max_units * self.train_rows as f64 / active_cost).floor() as usize;
+                let rows = (max_units * pool.train_rows as f64 / active_cost).floor() as usize;
                 cap = cap.min(rows.max(1));
             }
         }
@@ -585,8 +735,16 @@ impl ServiceInner {
             Stage::BatchAssemble,
             SpanAttrs::none(),
         );
-        let active = lock_ignore_poison(&self.health).active.clone();
-        let row_cap = self.batch_row_cap(&active);
+        // Snapshot (pool, mask) atomically: `health` is taken first,
+        // then the pool `Arc` is cloned under it — the same order
+        // `reload` uses, so the mask always describes this pool
+        // generation. The read guard drops right away; the batch scores
+        // on its own `Arc` and a concurrent reload never blocks on it.
+        let (pool, active) = {
+            let health = lock_ignore_poison(&self.health);
+            (self.pool_read(), health.active.clone())
+        };
+        let row_cap = self.batch_row_cap(&pool, &active);
         let mut drained: Vec<Pending> = Vec::new();
         {
             let mut queue = lock_ignore_poison(&self.queue);
@@ -634,7 +792,7 @@ impl ServiceInner {
         }
 
         // --- Score the concatenated batch through the masked path. ------
-        let n_cols = self.n_features;
+        let n_cols = pool.n_features;
         let total_rows: usize = batch.iter().map(|r| r.rows.nrows()).sum();
         let mut data = Vec::with_capacity(total_rows * n_cols);
         for request in &batch {
@@ -642,7 +800,7 @@ impl ServiceInner {
         }
         let matrix = Matrix::from_vec(total_rows, n_cols, data)
             .expect("batch dimensions are consistent by construction");
-        let scored = self
+        let scored = pool
             .clf
             .decision_function_masked(&matrix, &active, &self.observer);
         let (scores, predict_report) = match scored {
@@ -661,69 +819,77 @@ impl ServiceInner {
         };
 
         // --- Health bookkeeping: streaks, timeouts, quarantine. ---------
+        // Faults are derived from the *snapshot* mask first (no lock),
+        // then written back under `health` only if the pool generation
+        // is still the one this batch scored on — a batch that raced a
+        // reload must not poison the fresh generation's streaks.
+        //
         // Lock discipline: the service never holds `health` and `stats`
         // at the same time (`report()` relies on this — nested
         // acquisition in opposite orders would be an AB-BA deadlock).
         let mut faults: Vec<ModelFault> = Vec::new();
         let mut healthy_models = 0usize;
         let mut newly_quarantined = 0u64;
-        {
-            let mut health = lock_ignore_poison(&self.health);
-            let mut faulted = vec![false; health.active.len()];
-            for failure in &predict_report.failures {
-                if let Some(pos) = self
-                    .model_names
-                    .iter()
-                    .position(|&(pool, _)| pool == failure.index)
-                {
+        let mut faulted = vec![false; active.len()];
+        for failure in &predict_report.failures {
+            if let Some(pos) = pool
+                .model_names
+                .iter()
+                .position(|&(idx, _)| idx == failure.index)
+            {
+                faulted[pos] = true;
+                faults.push(ModelFault {
+                    pool_index: failure.index,
+                    name: failure.name,
+                    cause: failure.cause.to_string(),
+                    quarantined: false,
+                });
+            }
+        }
+        if let Some(timeout) = self.config.predict_timeout {
+            for (pos, &(pool_index, name)) in pool.model_names.iter().enumerate() {
+                if active[pos] && !faulted[pos] && predict_report.model_times[pos] > timeout {
                     faulted[pos] = true;
                     faults.push(ModelFault {
-                        pool_index: failure.index,
-                        name: failure.name,
-                        cause: failure.cause.to_string(),
+                        pool_index,
+                        name,
+                        cause: format!(
+                            "predict timeout: {:.1}ms > {:.1}ms budget",
+                            predict_report.model_times[pos].as_secs_f64() * 1e3,
+                            timeout.as_secs_f64() * 1e3
+                        ),
                         quarantined: false,
                     });
                 }
             }
-            if let Some(timeout) = self.config.predict_timeout {
-                for (pos, &(pool_index, name)) in self.model_names.iter().enumerate() {
-                    if health.active[pos]
-                        && !faulted[pos]
-                        && predict_report.model_times[pos] > timeout
-                    {
-                        faulted[pos] = true;
-                        faults.push(ModelFault {
-                            pool_index,
-                            name,
-                            cause: format!(
-                                "predict timeout: {:.1}ms > {:.1}ms budget",
-                                predict_report.model_times[pos].as_secs_f64() * 1e3,
-                                timeout.as_secs_f64() * 1e3
-                            ),
-                            quarantined: false,
-                        });
-                    }
-                }
+        }
+        for (pos, &was_faulted) in faulted.iter().enumerate() {
+            if active[pos] && !was_faulted {
+                healthy_models += 1;
             }
-            for (pos, &was_faulted) in faulted.iter().enumerate() {
-                if !health.active[pos] {
-                    continue;
-                }
-                if was_faulted {
-                    health.streaks[pos] += 1;
-                    if health.streaks[pos] >= self.config.predict_failure_budget {
-                        health.active[pos] = false;
-                        newly_quarantined += 1;
-                        let pool_index = self.model_names[pos].0;
-                        for fault in &mut faults {
-                            if fault.pool_index == pool_index {
-                                fault.quarantined = true;
+        }
+        {
+            let mut health = lock_ignore_poison(&self.health);
+            if health.epoch == pool.epoch {
+                for (pos, &was_faulted) in faulted.iter().enumerate() {
+                    if !health.active[pos] {
+                        continue;
+                    }
+                    if was_faulted {
+                        health.streaks[pos] += 1;
+                        if health.streaks[pos] >= self.config.predict_failure_budget {
+                            health.active[pos] = false;
+                            newly_quarantined += 1;
+                            let pool_index = pool.model_names[pos].0;
+                            for fault in &mut faults {
+                                if fault.pool_index == pool_index {
+                                    fault.quarantined = true;
+                                }
                             }
                         }
+                    } else {
+                        health.streaks[pos] = 0;
                     }
-                } else {
-                    health.streaks[pos] = 0;
-                    healthy_models += 1;
                 }
             }
         }
@@ -742,7 +908,7 @@ impl ServiceInner {
         // quarantining a persistently faulty model shrinks the
         // denominator and the service recovers even at
         // `min_healthy_fraction == 1.0`.
-        let total_models = self.model_names.len();
+        let total_models = pool.model_names.len();
         let active_models = active.iter().filter(|&&a| a).count();
         let required = (((self.config.min_healthy_fraction * active_models as f64) - 1e-9).ceil()
             as usize)
@@ -760,7 +926,7 @@ impl ServiceInner {
         }
         let combine_span =
             suod_observe::span(self.observer.as_ref(), Stage::Combine, SpanAttrs::none());
-        let combined = match self.clf.combine_score_matrix(&scores) {
+        let combined = match pool.clf.combine_score_matrix(&scores) {
             Ok(c) => c,
             Err(e) => {
                 let message = format!("combination failed: {e}");
@@ -810,7 +976,7 @@ impl ServiceInner {
             while stats.latencies_ms.len() > LATENCY_SAMPLE_CAP {
                 stats.latencies_ms.pop_front();
             }
-            let active_cost: f64 = self
+            let active_cost: f64 = pool
                 .unit_costs
                 .iter()
                 .zip(&active)
@@ -818,7 +984,7 @@ impl ServiceInner {
                 .map(|(&c, _)| c)
                 .sum();
             let units =
-                suod_scheduler::predict_batch_forecast(&[active_cost], total_rows, self.train_rows);
+                suod_scheduler::predict_batch_forecast(&[active_cost], total_rows, pool.train_rows);
             if units > 0.0 {
                 let sample = predict_report.wall_time.as_secs_f64() / units;
                 stats.secs_per_unit = Some(match stats.secs_per_unit {
@@ -859,6 +1025,8 @@ impl ServiceInner {
                 requests_scored: stats.requests_scored,
                 requests_failed: stats.requests_failed,
                 rows_scored: stats.rows_scored,
+                reloads: stats.reloads,
+                pool_epoch: 0,
                 active_models: 0,
                 total_models: 0,
                 p50_latency_ms: percentile(0.50),
@@ -867,9 +1035,12 @@ impl ServiceInner {
                 secs_per_unit: stats.secs_per_unit,
             }
         };
-        let health = lock_ignore_poison(&self.health);
-        report.active_models = health.active.iter().filter(|&&a| a).count();
-        report.total_models = health.active.len();
+        {
+            let health = lock_ignore_poison(&self.health);
+            report.pool_epoch = health.epoch;
+            report.active_models = health.active.iter().filter(|&&a| a).count();
+            report.total_models = health.active.len();
+        }
         report
     }
 }
@@ -1113,6 +1284,99 @@ mod tests {
         service.shutdown();
         assert!(matches!(pending.wait(), ScoreOutcome::Failed(_)));
         assert!(matches!(service.submit(data(2)), Err(SubmitError::Closed)));
+    }
+
+    #[test]
+    fn reload_swaps_pool_and_preserves_counters() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        let before = service.submit(data(3)).unwrap();
+        service.process_once();
+        assert!(matches!(before.wait(), ScoreOutcome::Scored(_)));
+        assert_eq!(service.pool_epoch(), 0);
+
+        let replacement = fitted(healthy_pool());
+        let expected = replacement.combined_scores(&data(5)).unwrap();
+        let reload = service.reload(replacement).unwrap();
+        assert_eq!(reload.epoch, 1);
+        assert_eq!(reload.carried_over, 2);
+        assert_eq!(reload.reset, 0);
+        assert_eq!(service.pool_epoch(), 1);
+
+        let after = service.submit(data(5)).unwrap();
+        service.process_once();
+        match after.wait() {
+            ScoreOutcome::Scored(batch) => assert_eq!(batch.combined, expected),
+            other => panic!("expected scores, got {other:?}"),
+        }
+        // Counters accumulate across the swap.
+        let report = service.report();
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.requests_scored, 2);
+        assert_eq!(report.reloads, 1);
+        assert_eq!(report.pool_epoch, 1);
+    }
+
+    #[test]
+    fn reload_rejects_mismatched_feature_width() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        let mut narrow = Suod::builder()
+            .base_estimators(healthy_pool())
+            .seed(11)
+            .build()
+            .unwrap();
+        let rows: Vec<Vec<f64>> = (0..48).map(|i| vec![(i % 9) as f64 * 0.3]).collect();
+        narrow.fit(&Matrix::from_rows(&rows).unwrap()).unwrap();
+        assert!(matches!(service.reload(narrow), Err(Error::Reload(_))));
+        // The rejected reload left the original pool serving.
+        assert_eq!(service.pool_epoch(), 0);
+        let ticket = service.submit(data(2)).unwrap();
+        service.process_once();
+        assert!(matches!(ticket.wait(), ScoreOutcome::Scored(_)));
+    }
+
+    #[test]
+    fn reload_rejects_unfitted_estimator() {
+        let service = ScoreService::new(fitted(healthy_pool()), ServeConfig::default()).unwrap();
+        let unfitted = Suod::builder()
+            .base_estimators(healthy_pool())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            service.reload(unfitted),
+            Err(Error::Core(suod::Error::NotFitted))
+        ));
+        assert_eq!(service.pool_epoch(), 0);
+    }
+
+    #[test]
+    fn reload_carries_quarantine_state_for_matching_models() {
+        let mut pool = healthy_pool();
+        pool.push(ModelSpec::Chaos {
+            mode: ChaosMode::NanOnPredict,
+            n_neighbors: 3,
+        });
+        let config = ServeConfig {
+            predict_failure_budget: 1,
+            min_healthy_fraction: 0.5,
+            ..ServeConfig::default()
+        };
+        let service = ScoreService::new(fitted(pool.clone()), config).unwrap();
+        // One faulting batch quarantines the chaos model outright.
+        let ticket = service.submit(data(3)).unwrap();
+        service.process_once();
+        assert!(matches!(ticket.wait(), ScoreOutcome::Scored(_)));
+        assert_eq!(service.active_models(), vec![true, true, false]);
+
+        // Same pool shape at the same indices: quarantine survives.
+        let reload = service.reload(fitted(pool)).unwrap();
+        assert_eq!(reload.carried_over, 3);
+        assert_eq!(service.active_models(), vec![true, true, false]);
+
+        // A different pool resets health for the changed slots.
+        let reload = service.reload(fitted(healthy_pool())).unwrap();
+        assert_eq!(reload.total_models, 2);
+        assert_eq!(reload.carried_over, 2);
+        assert_eq!(service.active_models(), vec![true, true]);
     }
 
     #[test]

@@ -181,6 +181,59 @@ impl Regressor for RandomForestRegressor {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         RandomForestRegressor::feature_importances(self).ok()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.n_estimators);
+        crate::tree::write_tree_params(&self.tree_params, w);
+        match self.max_features_fraction {
+            Some(f) => {
+                w.write_bool(true);
+                w.write_f64(f);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_bool(self.bootstrap);
+        w.write_u64(self.seed);
+        w.write_usize(self.trees.len());
+        for tree in &self.trees {
+            tree.snapshot_write(w)?;
+        }
+        w.write_usize(self.n_features);
+        Ok(())
+    }
+}
+
+impl RandomForestRegressor {
+    /// Reads a forest written by [`Regressor::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let n_estimators = r.read_usize()?;
+        let tree_params = crate::tree::read_tree_params(r)?;
+        let max_features_fraction = if r.read_bool()? {
+            Some(r.read_f64()?)
+        } else {
+            None
+        };
+        let bootstrap = r.read_bool()?;
+        let seed = r.read_u64()?;
+        let count = r.read_usize()?;
+        let mut trees = Vec::new();
+        for _ in 0..count {
+            trees.push(DecisionTreeRegressor::snapshot_read(r)?);
+        }
+        Ok(Self {
+            n_estimators,
+            tree_params,
+            max_features_fraction,
+            bootstrap,
+            seed,
+            trees,
+            n_features: r.read_usize()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,40 @@ impl Regressor for KnnRegressor {
     fn name(&self) -> &'static str {
         "knn_regressor"
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_usize(self.k);
+        match &self.index {
+            Some(ix) => {
+                w.write_bool(true);
+                ix.snapshot_write(w);
+            }
+            None => w.write_bool(false),
+        }
+        w.write_f64s(&self.targets);
+        Ok(())
+    }
+}
+
+impl KnnRegressor {
+    /// Reads a model written by [`Regressor::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let k = r.read_usize()?;
+        let index = if r.read_bool()? {
+            Some(KnnIndex::snapshot_read(r, 1)?)
+        } else {
+            None
+        };
+        Ok(Self {
+            k,
+            index,
+            targets: r.read_f64s()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub use ridge::Ridge;
 pub use tree::{DecisionTreeRegressor, TreeParams};
 
 use std::fmt;
-use suod_linalg::Matrix;
+use suod_linalg::{Matrix, SnapshotReader, SnapshotWriter};
 
 /// Errors produced by supervised model training and prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +131,71 @@ pub trait Regressor: Send + Sync {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// Appends the regressor's full state (parameters + fitted model) to
+    /// a `suod-pool/1` snapshot body.
+    ///
+    /// Implementations write every field in a fixed order so that
+    /// save → load → save is byte-identical; the matching reader is the
+    /// type's `snapshot_read` associated function, dispatched by
+    /// [`read_regressor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the regressor does not
+    /// support snapshots.
+    fn snapshot_write(&self, w: &mut SnapshotWriter) -> Result<()> {
+        let _ = w;
+        Err(Error::InvalidParameter(format!(
+            "{} does not support snapshots",
+            self.name()
+        )))
+    }
+}
+
+/// Writes `model` as a dispatchable snapshot record: name string followed
+/// by a length-prefixed state body (mirror of the detectors-crate record).
+///
+/// # Errors
+///
+/// Propagates the regressor's [`Regressor::snapshot_write`] failure.
+pub fn write_regressor(model: &dyn Regressor, w: &mut SnapshotWriter) -> Result<()> {
+    w.write_str(model.name());
+    let mut body = SnapshotWriter::new();
+    model.snapshot_write(&mut body)?;
+    w.write_bytes(body.as_bytes());
+    Ok(())
+}
+
+/// Reads a regressor record written by [`write_regressor`], dispatching
+/// on the stored name.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for unknown names, truncated
+/// state, or trailing bytes left by a mismatched reader.
+pub fn read_regressor(r: &mut SnapshotReader<'_>) -> Result<Box<dyn Regressor>> {
+    let name = r.read_str()?;
+    let body = r.read_bytes()?;
+    let mut br = SnapshotReader::new(body);
+    let model: Box<dyn Regressor> = match name.as_str() {
+        "random_forest" => Box::new(RandomForestRegressor::snapshot_read(&mut br)?),
+        "decision_tree" => Box::new(DecisionTreeRegressor::snapshot_read(&mut br)?),
+        "ridge" => Box::new(Ridge::snapshot_read(&mut br)?),
+        "knn_regressor" => Box::new(KnnRegressor::snapshot_read(&mut br)?),
+        other => {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot: unknown regressor name {other:?}"
+            )))
+        }
+    };
+    if !br.is_exhausted() {
+        return Err(Error::InvalidParameter(format!(
+            "snapshot: regressor {name:?} left {} trailing bytes",
+            br.remaining()
+        )));
+    }
+    Ok(model)
 }
 
 pub(crate) fn check_fit_inputs(x: &Matrix, y: &[f64]) -> Result<()> {

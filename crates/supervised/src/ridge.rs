@@ -144,6 +144,30 @@ impl Regressor for Ridge {
     fn name(&self) -> &'static str {
         "ridge"
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        w.write_f64(self.lambda);
+        w.write_f64s(&self.weights);
+        w.write_f64(self.intercept);
+        w.write_bool(self.fitted);
+        Ok(())
+    }
+}
+
+impl Ridge {
+    /// Reads a model written by [`Regressor::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        Ok(Self {
+            lambda: r.read_f64()?,
+            weights: r.read_f64s()?,
+            intercept: r.read_f64()?,
+            fitted: r.read_bool()?,
+        })
+    }
 }
 
 /// Solves `A w = b` in place by Gaussian elimination with partial pivoting.

@@ -281,6 +281,102 @@ impl Regressor for DecisionTreeRegressor {
     fn feature_importances(&self) -> Option<Vec<f64>> {
         DecisionTreeRegressor::feature_importances(self).ok()
     }
+
+    fn snapshot_write(&self, w: &mut suod_linalg::SnapshotWriter) -> Result<()> {
+        write_tree_params(&self.params, w);
+        w.write_u64(self.seed);
+        w.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { value } => {
+                    w.write_u8(0);
+                    w.write_f64(*value);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    w.write_u8(1);
+                    w.write_usize(*feature);
+                    w.write_f64(*threshold);
+                    w.write_usize(*left);
+                    w.write_usize(*right);
+                }
+            }
+        }
+        w.write_usize(self.n_features);
+        w.write_f64s(&self.importances);
+        w.write_bool(self.fitted);
+        Ok(())
+    }
+}
+
+impl DecisionTreeRegressor {
+    /// Reads a tree written by [`Regressor::snapshot_write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or malformed state.
+    pub fn snapshot_read(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<Self> {
+        let params = read_tree_params(r)?;
+        let seed = r.read_u64()?;
+        let n_nodes = r.read_usize()?;
+        let mut nodes = Vec::new();
+        for _ in 0..n_nodes {
+            nodes.push(match r.read_u8()? {
+                0 => Node::Leaf {
+                    value: r.read_f64()?,
+                },
+                1 => Node::Split {
+                    feature: r.read_usize()?,
+                    threshold: r.read_f64()?,
+                    left: r.read_usize()?,
+                    right: r.read_usize()?,
+                },
+                other => {
+                    return Err(Error::InvalidParameter(format!(
+                        "snapshot: unknown tree node tag {other}"
+                    )))
+                }
+            });
+        }
+        Ok(Self {
+            params,
+            seed,
+            nodes,
+            n_features: r.read_usize()?,
+            importances: r.read_f64s()?,
+            fitted: r.read_bool()?,
+        })
+    }
+}
+
+pub(crate) fn write_tree_params(params: &TreeParams, w: &mut suod_linalg::SnapshotWriter) {
+    w.write_usize(params.max_depth);
+    w.write_usize(params.min_samples_split);
+    w.write_usize(params.min_samples_leaf);
+    match params.max_features {
+        Some(m) => {
+            w.write_bool(true);
+            w.write_usize(m);
+        }
+        None => w.write_bool(false),
+    }
+}
+
+pub(crate) fn read_tree_params(r: &mut suod_linalg::SnapshotReader<'_>) -> Result<TreeParams> {
+    Ok(TreeParams {
+        max_depth: r.read_usize()?,
+        min_samples_split: r.read_usize()?,
+        min_samples_leaf: r.read_usize()?,
+        max_features: if r.read_bool()? {
+            Some(r.read_usize()?)
+        } else {
+            None
+        },
+    })
 }
 
 fn mean_of(y: &[f64], indices: &[usize]) -> f64 {

@@ -151,7 +151,7 @@ fn proximity_pool() -> Vec<ModelSpec> {
 fn fit_scores(backend: NeighborBackend, n_workers: usize, x: &Matrix) -> (Matrix, u64) {
     let mut model = Suod::builder()
         .base_estimators(proximity_pool())
-        .neighbor_backend(backend)
+        .kernel(KernelConfig::default().with_neighbor(backend))
         .n_workers(n_workers)
         .with_approximation(false)
         .seed(7)
@@ -229,7 +229,7 @@ fn non_euclidean_metrics_fall_back_to_exact() {
     let fit = |backend: NeighborBackend| {
         let mut model = Suod::builder()
             .base_estimators(pool.clone())
-            .neighbor_backend(backend)
+            .kernel(KernelConfig::default().with_neighbor(backend))
             .with_approximation(false)
             .seed(3)
             .build()
@@ -248,15 +248,21 @@ fn non_euclidean_metrics_fall_back_to_exact() {
 }
 
 #[test]
+#[allow(deprecated)] // the deprecated delegates are the contract under test
 fn ef_search_knob_reaches_the_index_through_the_builder() {
-    // ef_search() and neighbor_backend() compose in either order.
+    // The canonical spelling, plus the deprecated ef_search() /
+    // neighbor_backend() delegates composing in either order — all
+    // three must resolve to the same index configuration.
+    let b0 = Suod::builder().kernel(KernelConfig::default().with_neighbor(NeighborBackend::Hnsw(
+        HnswParams::default().with_ef_search(128),
+    )));
     let b1 = Suod::builder()
         .ef_search(128)
         .neighbor_backend(NeighborBackend::Hnsw(HnswParams::default()));
     let b2 = Suod::builder()
         .neighbor_backend(NeighborBackend::Hnsw(HnswParams::default()))
         .ef_search(128);
-    for builder in [b1, b2] {
+    for builder in [b0, b1, b2] {
         let mut model = builder
             .base_estimators(vec![ModelSpec::Knn {
                 n_neighbors: 5,

@@ -51,16 +51,19 @@ fn fit_and_score_precision(
     x: &Matrix,
     queries: &Matrix,
 ) -> (Matrix, Matrix) {
-    let mut builder = Suod::builder()
-        .base_estimators(proximity_pool())
-        .distance_backend(backend)
-        .precision(precision)
-        .n_workers(n_workers)
-        .seed(7);
+    let mut kernel = KernelConfig::default()
+        .with_backend(backend)
+        .with_precision(precision);
     if let Some(dims) = crossover {
-        builder = builder.kdtree_crossover_dim(dims);
+        kernel = kernel.with_kdtree_crossover_dim(dims);
     }
-    let mut model = builder.build().expect("valid config");
+    let mut model = Suod::builder()
+        .base_estimators(proximity_pool())
+        .kernel(kernel)
+        .n_workers(n_workers)
+        .seed(7)
+        .build()
+        .expect("valid config");
     model.fit(x).expect("fit succeeds");
     let train = model.training_scores().expect("fitted");
     let query = model.decision_function(queries).expect("fitted");
@@ -267,9 +270,12 @@ fn mixed_run_reports_precision_and_emits_lane_counters() {
     let recorder = Arc::new(RecordingObserver::new());
     let mut model = Suod::builder()
         .base_estimators(proximity_pool())
-        .distance_backend(DistanceBackend::Gemm)
-        .precision(Precision::Mixed)
-        .kdtree_crossover_dim(0)
+        .kernel(
+            KernelConfig::default()
+                .with_backend(DistanceBackend::Gemm)
+                .with_precision(Precision::Mixed)
+                .with_kdtree_crossover_dim(0),
+        )
         .observer(recorder.clone())
         .seed(7)
         .build()
@@ -300,8 +306,11 @@ fn gemm_run_emits_kernel_counters() {
     let recorder = Arc::new(RecordingObserver::new());
     let mut model = Suod::builder()
         .base_estimators(proximity_pool())
-        .distance_backend(DistanceBackend::Gemm)
-        .kdtree_crossover_dim(0)
+        .kernel(
+            KernelConfig::default()
+                .with_backend(DistanceBackend::Gemm)
+                .with_kdtree_crossover_dim(0),
+        )
         .observer(recorder.clone())
         .seed(7)
         .build()
