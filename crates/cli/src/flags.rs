@@ -73,6 +73,19 @@ pub struct ServeArgs {
     pub listen: Option<String>,
     /// Listen mode: exit after this many connections (0 = run forever).
     pub max_conns: usize,
+    /// Listen mode: connection-worker threads on the front end.
+    pub front_workers: usize,
+    /// Listen mode: idle timeout in milliseconds before a silent
+    /// connection is closed.
+    pub idle_timeout_ms: u64,
+    /// Listen mode: most pipelined frames one connection may have in
+    /// flight at once.
+    pub max_pipeline: usize,
+    /// Listen mode: per-client in-flight request quota (0 = unlimited).
+    pub client_quota: usize,
+    /// Listen mode: fraction of the queue the normal lane may fill
+    /// before `busy(lane)`; high-lane traffic uses the rest.
+    pub lane_headroom: f64,
 }
 
 impl Default for ServeArgs {
@@ -91,6 +104,32 @@ impl Default for ServeArgs {
             rows_per_request: 16,
             listen: None,
             max_conns: 0,
+            front_workers: 4,
+            idle_timeout_ms: 30_000,
+            max_pipeline: 32,
+            client_quota: 0,
+            lane_headroom: 1.0,
+        }
+    }
+}
+
+/// Wire protocol the `score --connect` client speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// The `suod-wire/1` binary framing (keep-alive, exact f64 bits).
+    #[default]
+    Binary,
+    /// The line-oriented CSV protocol — debug path; one request per
+    /// connection, scores formatted/parsed as text.
+    Text,
+}
+
+impl WireFormat {
+    fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "binary" => Ok(WireFormat::Binary),
+            "text" => Ok(WireFormat::Text),
+            other => Err(format!("unknown wire format `{other}` (binary|text)")),
         }
     }
 }
@@ -117,6 +156,8 @@ pub struct ScoreArgs {
     pub label_column: Option<usize>,
     /// Optional output CSV path for the returned scores.
     pub output: Option<String>,
+    /// Protocol for `--connect` (binary keep-alive vs debug text).
+    pub wire: WireFormat,
 }
 
 /// Export format for [`Command::Trace`].
@@ -314,6 +355,13 @@ fn parse_serve_flags(
             }
             "--listen" => s.listen = Some(value("--listen")?),
             "--max-conns" => s.max_conns = parse_num(&value("--max-conns")?, flag)?,
+            "--front-workers" => s.front_workers = parse_num(&value("--front-workers")?, flag)?,
+            "--idle-timeout-ms" => {
+                s.idle_timeout_ms = parse_num(&value("--idle-timeout-ms")?, flag)?
+            }
+            "--max-pipeline" => s.max_pipeline = parse_num(&value("--max-pipeline")?, flag)?,
+            "--client-quota" => s.client_quota = parse_num(&value("--client-quota")?, flag)?,
+            "--lane-headroom" => s.lane_headroom = parse_num(&value("--lane-headroom")?, flag)?,
             other => return Err(format!("unknown flag `{other}` (see `suod-cli help`)")),
         }
     }
@@ -345,6 +393,7 @@ fn parse_score_flags(
         seed: 42,
         label_column: None,
         output: None,
+        wire: WireFormat::default(),
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -354,6 +403,7 @@ fn parse_score_flags(
         };
         match flag.as_str() {
             "--connect" => s.connect = Some(value("--connect")?),
+            "--wire" => s.wire = WireFormat::parse(&value("--wire")?)?,
             "--snapshot" => s.snapshot = Some(value("--snapshot")?),
             "--csv" => s.csv = Some(value("--csv")?),
             "--dataset" => s.dataset = Some(value("--dataset")?),
@@ -509,9 +559,20 @@ SERVE OPTIONS (plus the shared detect flags above):
   --rows-per-request <n>  replay demo: rows per request       [16]
   --listen <addr>       serve over TCP instead of the replay demo
   --max-conns <n>       listen: exit after n connections (0 = forever)
+  --front-workers <n>   listen: connection-worker threads        [4]
+  --idle-timeout-ms <ms>  listen: close silent connections after  [30000]
+  --max-pipeline <n>    listen: in-flight frames per connection  [32]
+  --client-quota <n>    listen: per-client in-flight cap (0 = off)
+  --lane-headroom <f>   listen: queue fraction open to the normal
+                        lane; the rest is high-lane slack        [1.0]
+
+The listener speaks suod-wire/1 (binary, keep-alive, exact f64 bits)
+and falls back to the line-oriented text protocol per connection.
 
 SCORE OPTIONS:
   --connect <addr>      server address (serve --listen)
+  --wire <binary|text>  protocol for --connect                  [binary]
+                        text = debug path, one-shot CSV lines
   --snapshot <path>     score locally with this saved pool
   --csv <path>          feature rows to score
   --dataset <name>      registry rows to score (--snapshot mode)

@@ -28,17 +28,20 @@ pub mod flags;
 
 pub use flags::{
     parse_args, usage, Command, DetectArgs, FitArgs, ScoreArgs, ServeArgs, TraceArgs, TraceFormat,
+    WireFormat,
 };
 
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write as _};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::Arc;
 use suod::prelude::*;
 use suod_datasets::csv::{load_csv, CsvOptions};
 use suod_datasets::{registry, Dataset};
 use suod_metrics::{precision_at_n, roc_auc};
-use suod_serve::{ScoreOutcome, ScoreService, ServeConfig, SubmitError};
+use suod_serve::{
+    score_rows_text, serve_front, FrontConfig, Lane, LaneConfig, ScoreOutcome, ScoreService,
+    ServeConfig, SubmitError, WireClient, WireResponse,
+};
 
 /// Runs a parsed command, returning the text to print.
 ///
@@ -360,14 +363,27 @@ fn serve(args: &ServeArgs) -> Result<String, String> {
             .local_addr()
             .map_err(|e| format!("cannot resolve bound address: {e}"))?;
         println!(
-            "serving on {bound} ({} = stop)",
+            "serving {} on {bound} ({} = stop)",
+            suod_serve::WIRE_FORMAT,
             match args.max_conns {
                 0 => "ctrl-c".to_string(),
                 n => format!("{n} connections"),
             }
         );
-        let summary = serve_listener(&listener, &service, args.max_conns)?;
-        let mut out = summary;
+        let front = FrontConfig {
+            worker_threads: args.front_workers,
+            idle_timeout: std::time::Duration::from_millis(args.idle_timeout_ms),
+            max_pipeline: args.max_pipeline,
+            lanes: LaneConfig {
+                per_client_inflight: args.client_quota,
+                normal_lane_headroom: args.lane_headroom,
+            },
+            max_conns: args.max_conns,
+            ..FrontConfig::default()
+        };
+        let report = serve_front(&listener, &service, &front, &suod::observe::noop())
+            .map_err(|e| e.to_string())?;
+        let mut out = report.to_string();
         out.push('\n');
         write!(out, "{}", service.report()).expect("string write");
         return Ok(out);
@@ -450,152 +466,43 @@ fn serve(args: &ServeArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// Accepts connections and answers one score request per connection.
-///
-/// Wire protocol: the client sends feature rows as comma-separated f64
-/// lines terminated by a blank line (or EOF); the server replies with
-/// `ok <n>` followed by `n` score lines, or a single `busy` / `shed ...`
-/// / `error <msg>` line. Per-connection errors are answered in-band and
-/// never take the server down.
-///
-/// Returns a one-line summary after `max_conns` connections (0 = loop
-/// until the listener fails).
-///
-/// # Errors
-///
-/// Returns a message only if accepting on the listener itself fails.
-pub fn serve_listener(
-    listener: &TcpListener,
-    service: &ScoreService,
-    max_conns: usize,
-) -> Result<String, String> {
-    let mut served = 0usize;
-    for conn in listener.incoming() {
-        let stream = conn.map_err(|e| format!("accept failed: {e}"))?;
-        // In-band response already written; connection-level I/O errors
-        // mean the client went away and are not the server's problem.
-        let _ = handle_connection(stream, service);
-        served += 1;
-        if max_conns > 0 && served >= max_conns {
-            break;
-        }
-    }
-    Ok(format!("served {served} connections"))
-}
-
-fn handle_connection(stream: TcpStream, service: &ScoreService) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
-            break;
-        }
-        let parsed: Result<Vec<f64>, _> = line
-            .trim()
-            .split(',')
-            .map(|cell| cell.trim().parse::<f64>())
-            .collect();
-        match parsed {
-            Ok(row) => rows.push(row),
-            Err(e) => {
-                writeln!(writer, "error cannot parse row {}: {e}", rows.len())?;
-                return Ok(());
-            }
-        }
-    }
-    let query = match suod_linalg::Matrix::from_rows(&rows) {
-        Ok(m) => m,
-        Err(e) => {
-            writeln!(writer, "error {e}")?;
-            return Ok(());
-        }
-    };
-    let ticket = match service.submit(query) {
-        Ok(t) => t,
-        Err(SubmitError::Busy { .. }) => {
-            writeln!(writer, "busy")?;
-            return Ok(());
-        }
-        Err(e) => {
-            writeln!(writer, "error {e}")?;
-            return Ok(());
-        }
-    };
-    match ticket.wait() {
-        ScoreOutcome::Scored(batch) => {
-            writeln!(writer, "ok {}", batch.combined.len())?;
-            for s in &batch.combined {
-                // f64 Display round-trips, so scores cross the wire
-                // bit-identically.
-                writeln!(writer, "{s}")?;
-            }
-        }
-        ScoreOutcome::Shed {
-            waited_ms,
-            deadline_ms,
-        } => writeln!(
-            writer,
-            "shed waited_ms={waited_ms} deadline_ms={deadline_ms}"
-        )?,
-        ScoreOutcome::Failed(msg) => writeln!(writer, "error {msg}")?,
-        other => writeln!(writer, "error unexpected outcome: {other:?}")?,
-    }
-    writer.flush()
-}
-
-/// Client side of the wire protocol: sends `rows` to a
-/// `serve --listen` server and returns the combined scores.
+/// Scores `rows` against a `serve --listen` server over the requested
+/// wire protocol and returns the combined scores. Thin wrapper over the
+/// clients in `suod_serve::net` — the protocol itself lives there.
 ///
 /// # Errors
 ///
 /// Returns a message on connection failure, a `busy` / `shed` / `error`
 /// response, or a malformed reply.
-pub fn score_rows(addr: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("cannot clone stream: {e}"))?;
-    let mut body = String::new();
-    for row in rows {
-        let cells: Vec<String> = row.iter().map(f64::to_string).collect();
-        body.push_str(&cells.join(","));
-        body.push('\n');
+pub fn score_rows(addr: &str, rows: &[Vec<f64>], wire: WireFormat) -> Result<Vec<f64>, String> {
+    match wire {
+        WireFormat::Text => score_rows_text(addr, rows),
+        WireFormat::Binary => {
+            let query = suod_linalg::Matrix::from_rows(rows)
+                .map_err(|e| format!("rows are not a matrix: {e}"))?;
+            let mut client =
+                WireClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            match client
+                .score(&query, Lane::Normal, None)
+                .map_err(|e| e.to_string())?
+            {
+                WireResponse::Ok { scores, .. } => Ok(scores),
+                WireResponse::Busy { reason, .. } => {
+                    Err(format!("server refused request: busy ({})", reason.name()))
+                }
+                WireResponse::Shed {
+                    waited_ms,
+                    deadline_ms,
+                    ..
+                } => Err(format!(
+                    "server refused request: shed waited_ms={waited_ms} deadline_ms={deadline_ms}"
+                )),
+                WireResponse::Error { message, .. } => {
+                    Err(format!("server refused request: {message}"))
+                }
+            }
+        }
     }
-    body.push('\n'); // blank-line terminator
-    writer
-        .write_all(body.as_bytes())
-        .and_then(|()| writer.flush())
-        .map_err(|e| format!("cannot send request: {e}"))?;
-
-    let mut reader = BufReader::new(stream);
-    let mut header = String::new();
-    reader
-        .read_line(&mut header)
-        .map_err(|e| format!("cannot read response: {e}"))?;
-    let header = header.trim();
-    let n: usize = match header.strip_prefix("ok ") {
-        Some(count) => count
-            .parse()
-            .map_err(|_| format!("malformed response header `{header}`"))?,
-        None => return Err(format!("server refused request: {header}")),
-    };
-    let mut scores = Vec::with_capacity(n);
-    let mut line = String::new();
-    for i in 0..n {
-        line.clear();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| format!("cannot read score {i}: {e}"))?;
-        scores.push(
-            line.trim()
-                .parse::<f64>()
-                .map_err(|_| format!("malformed score line `{}`", line.trim()))?,
-        );
-    }
-    Ok(scores)
 }
 
 fn score(args: &ScoreArgs) -> Result<String, String> {
@@ -613,7 +520,7 @@ fn score(args: &ScoreArgs) -> Result<String, String> {
     )
     .map_err(|e| format!("cannot load CSV: {e}"))?;
     let rows: Vec<Vec<f64>> = (0..ds.x.nrows()).map(|r| ds.x.row(r).to_vec()).collect();
-    let scores = score_rows(connect, &rows)?;
+    let scores = score_rows(connect, &rows, args.wire)?;
 
     let mut csv_out = String::from("index,score\n");
     for (i, s) in scores.iter().enumerate() {
@@ -1106,22 +1013,37 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
-            let summary = serve_listener(&listener, &service, 3).unwrap();
-            (summary, service.report())
+            let front = FrontConfig {
+                worker_threads: 2,
+                max_conns: 4,
+                ..FrontConfig::default()
+            };
+            let report = serve_front(&listener, &service, &front, &suod::observe::noop()).unwrap();
+            (report, service.report())
         });
 
-        // Connection 1: direct client API round trip.
+        // Connection 1: binary keep-alive client round trip.
         let queries = vec![vec![1.0, 0.5, 2.0], vec![39.0, 41.0, 38.0]];
-        let scores = score_rows(&addr, &queries).unwrap();
+        let scores = score_rows(&addr, &queries, WireFormat::Binary).unwrap();
         assert_eq!(scores.len(), 2);
         assert!(scores.iter().all(|s| s.is_finite()));
         assert!(scores[1] > scores[0], "planted outlier must score higher");
 
-        // Connection 2: a ragged request is answered in-band, not fatal.
-        let err = score_rows(&addr, &[vec![1.0, 2.0, 3.0], vec![4.0]]).unwrap_err();
+        // Connection 2: the text debug path returns the same bits.
+        let text_scores = score_rows(&addr, &queries, WireFormat::Text).unwrap();
+        assert_eq!(
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            text_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "binary and text protocols must agree bit-for-bit"
+        );
+
+        // Connection 3: a ragged text request is answered in-band, not
+        // fatal (the binary client rejects ragged rows before sending).
+        let err =
+            score_rows(&addr, &[vec![1.0, 2.0, 3.0], vec![4.0]], WireFormat::Text).unwrap_err();
         assert!(err.contains("server refused request"), "{err}");
 
-        // Connection 3: the score subcommand end to end, via CSV.
+        // Connection 4: the score subcommand end to end, via CSV.
         let input = dir.join("queries.csv");
         std::fs::write(&input, "a,b,c\n0.0,0.5,1.0\n38.0,40.0,39.0\n").unwrap();
         let output = dir.join("scores.csv");
@@ -1137,10 +1059,14 @@ mod tests {
         assert!(written.starts_with("index,score\n"));
         assert_eq!(written.lines().count(), 3);
 
-        let (summary, report) = server.join().unwrap();
-        assert_eq!(summary, "served 3 connections");
-        assert_eq!(report.requests_scored, 2);
-        assert_eq!(report.admitted, 2); // the ragged request never queued
+        let (front_report, report) = server.join().unwrap();
+        assert_eq!(front_report.conns_accepted, 4);
+        assert_eq!(front_report.wire_requests, 2); // conn 1 + the subcommand
+        assert_eq!(front_report.text_requests, 2); // conn 2 + the ragged one
+        assert_eq!(front_report.responses_ok, 3);
+        assert_eq!(front_report.responses_error, 1);
+        assert_eq!(report.requests_scored, 3);
+        assert_eq!(report.admitted, 3); // the ragged request never queued
     }
 
     #[test]

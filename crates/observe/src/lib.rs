@@ -113,6 +113,13 @@ pub enum Stage {
     /// Atomically swapping a serving pool for a reloaded one
     /// (`ScoreService::reload`).
     PoolReload,
+    /// One client connection's lifetime on the serving front end, from
+    /// hand-off to a connection worker until the socket closes
+    /// (`suod-serve` network front end).
+    Connection,
+    /// Handling one framed wire request on an established connection:
+    /// decode, lane admission, submit, respond (`suod-wire/1`).
+    WireRequest,
 }
 
 /// Every stage, in export order.
@@ -137,6 +144,8 @@ pub const STAGES: &[Stage] = &[
     Stage::SnapshotSave,
     Stage::SnapshotLoad,
     Stage::PoolReload,
+    Stage::Connection,
+    Stage::WireRequest,
 ];
 
 impl Stage {
@@ -163,6 +172,8 @@ impl Stage {
             Stage::SnapshotSave => "snapshot_save",
             Stage::SnapshotLoad => "snapshot_load",
             Stage::PoolReload => "pool_reload",
+            Stage::Connection => "connection",
+            Stage::WireRequest => "wire_request",
         }
     }
 
@@ -265,6 +276,27 @@ pub enum Counter {
     /// excluded from determinism guarantees like the other serving
     /// counters.
     PoolReload,
+    /// Client connections handed to a front-end connection worker
+    /// (wall-clock-class, like every serve-front counter).
+    ConnAccepted,
+    /// Connections closed at accept time because the bounded hand-off
+    /// queue to the worker pool was full — connection-level shed.
+    ConnRejected,
+    /// Keep-alive connections closed by the server because the client
+    /// sent nothing for a full idle window.
+    ConnIdleClosed,
+    /// Transient `accept(2)` failures survived by the front end (logged,
+    /// backed off, and retried instead of taking the listener down).
+    AcceptRetry,
+    /// Framed `suod-wire/1` requests decoded on the front end (every
+    /// outcome: scored, busy, shed, or error).
+    WireRequests,
+    /// Wire requests turned away because their client identity was
+    /// already at its in-flight quota.
+    QuotaRejected,
+    /// Normal-lane wire requests turned away because queue occupancy had
+    /// crossed the lane headroom reserved for the high-priority lane.
+    LaneRejected,
 }
 
 /// Every counter, in export order.
@@ -292,6 +324,13 @@ pub const COUNTERS: &[Counter] = &[
     Counter::SnapshotSave,
     Counter::SnapshotLoad,
     Counter::PoolReload,
+    Counter::ConnAccepted,
+    Counter::ConnRejected,
+    Counter::ConnIdleClosed,
+    Counter::AcceptRetry,
+    Counter::WireRequests,
+    Counter::QuotaRejected,
+    Counter::LaneRejected,
 ];
 
 impl Counter {
@@ -321,6 +360,13 @@ impl Counter {
             Counter::SnapshotSave => "snapshot_save",
             Counter::SnapshotLoad => "snapshot_load",
             Counter::PoolReload => "pool_reload",
+            Counter::ConnAccepted => "conn_accepted",
+            Counter::ConnRejected => "conn_rejected",
+            Counter::ConnIdleClosed => "conn_idle_closed",
+            Counter::AcceptRetry => "accept_retry",
+            Counter::WireRequests => "wire_requests",
+            Counter::QuotaRejected => "quota_rejected",
+            Counter::LaneRejected => "lane_rejected",
         }
     }
 
@@ -350,6 +396,13 @@ impl Counter {
                 | Counter::DeadlineMissed
                 | Counter::PredictQuarantined
                 | Counter::PoolReload
+                | Counter::ConnAccepted
+                | Counter::ConnRejected
+                | Counter::ConnIdleClosed
+                | Counter::AcceptRetry
+                | Counter::WireRequests
+                | Counter::QuotaRejected
+                | Counter::LaneRejected
         )
     }
 }

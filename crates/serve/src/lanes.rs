@@ -1,0 +1,309 @@
+//! Overload policies the front end layers *on top of* queue admission.
+//!
+//! The `ScoreService` queue already bounds memory and rejects with
+//! `Busy` when full — but that gate is global and first-come. Under a
+//! flood from one client it fills with that client's requests and
+//! everyone else starves. This module adds two deterministic gates that
+//! run **before** `submit`:
+//!
+//! * **Per-client quotas** — each client identity (the front end keys by
+//!   peer IP) may hold at most [`LaneConfig::per_client_inflight`]
+//!   requests in flight at once. The (N+1)-th pipelined frame from one
+//!   connection bounces with `busy(quota)` while other clients still
+//!   admit. Releases are RAII ([`QuotaGuard`]), so a worker that errors
+//!   out mid-response can never leak a slot.
+//! * **Two priority lanes** — a normal-lane request is turned away with
+//!   `busy(lane)` once queue occupancy reaches
+//!   [`LaneConfig::normal_lane_headroom`] x capacity; high-lane traffic
+//!   keeps admitting until the queue itself is full. The reserved slack
+//!   means priority clients ride through a best-effort flood.
+//!
+//! Both gates are pure functions of (current in-flight counts, queue
+//! depth, request lane) — no clocks, no randomness — so front-end
+//! admission decisions replay exactly from an arrival trace, matching
+//! the service's own determinism contract.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::service::lock_ignore_poison;
+use crate::wire::{BusyReason, Lane};
+
+/// Knobs for the front end's admission gates.
+#[derive(Debug, Clone)]
+pub struct LaneConfig {
+    /// Maximum requests one client identity may have in flight at once.
+    /// `0` disables the quota gate.
+    pub per_client_inflight: usize,
+    /// Fraction of queue capacity the normal lane may consume before it
+    /// is turned away (`busy(lane)`), leaving the rest as high-lane
+    /// slack. `1.0` disables the lane gate; must be in `[0, 1]`.
+    pub normal_lane_headroom: f64,
+}
+
+impl Default for LaneConfig {
+    fn default() -> Self {
+        LaneConfig {
+            per_client_inflight: 0,
+            normal_lane_headroom: 1.0,
+        }
+    }
+}
+
+impl LaneConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending knob when
+    /// `normal_lane_headroom` is not a finite value in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.normal_lane_headroom.is_finite()
+            || !(0.0..=1.0).contains(&self.normal_lane_headroom)
+        {
+            return Err(format!(
+                "normal_lane_headroom must be in [0, 1], got {}",
+                self.normal_lane_headroom
+            ));
+        }
+        Ok(())
+    }
+
+    /// Highest queue depth (inclusive) at which a normal-lane request is
+    /// still admitted, for a queue of `capacity` slots. A request
+    /// arriving at depth `d` is admitted iff `d < threshold`.
+    pub fn normal_lane_threshold(&self, capacity: usize) -> usize {
+        // Floor keeps the comparison integral and therefore exact: with
+        // capacity 64 and headroom 0.75, depths 0..=47 admit.
+        (self.normal_lane_headroom * capacity as f64).floor() as usize
+    }
+}
+
+/// Shared in-flight accounting for the quota gate.
+#[derive(Debug, Default)]
+struct InflightCounts {
+    by_client: HashMap<String, usize>,
+}
+
+/// The front end's pre-`submit` admission gates. Cheap to clone
+/// (`Arc`-shared counts); one instance serves all connection workers.
+#[derive(Debug, Clone)]
+pub struct AdmissionLanes {
+    config: LaneConfig,
+    inflight: Arc<Mutex<InflightCounts>>,
+}
+
+/// RAII receipt for one admitted request's quota slot. Dropping it
+/// releases the slot — hold it from admission until the response has
+/// been written (or the attempt abandoned).
+#[derive(Debug)]
+pub struct QuotaGuard {
+    inflight: Option<Arc<Mutex<InflightCounts>>>,
+    client: String,
+}
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        let Some(inflight) = self.inflight.take() else {
+            return;
+        };
+        let mut counts = lock_ignore_poison(&inflight);
+        if let Some(n) = counts.by_client.get_mut(&self.client) {
+            *n -= 1;
+            if *n == 0 {
+                counts.by_client.remove(&self.client);
+            }
+        }
+    }
+}
+
+impl AdmissionLanes {
+    /// Builds the gates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LaneConfig::validate`] failures.
+    pub fn new(config: LaneConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(AdmissionLanes {
+            config,
+            inflight: Arc::new(Mutex::new(InflightCounts::default())),
+        })
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &LaneConfig {
+        &self.config
+    }
+
+    /// Runs both gates for one request. On admission returns a
+    /// [`QuotaGuard`] to hold until the response is written; on
+    /// rejection names which gate said no (map it to `busy(quota)` /
+    /// `busy(lane)` on the wire).
+    ///
+    /// `queue_depth`/`queue_capacity` are the service queue's occupancy
+    /// at decision time — sample them immediately before calling.
+    ///
+    /// # Errors
+    ///
+    /// [`BusyReason::Quota`] when `client` is at its in-flight cap;
+    /// [`BusyReason::Lane`] when a normal-lane request arrives past the
+    /// headroom threshold.
+    pub fn admit(
+        &self,
+        client: &str,
+        lane: Lane,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> Result<QuotaGuard, BusyReason> {
+        // At headroom 1.0 the gate is fully inert: a full queue is the
+        // service's call (`busy(queue)`), not a lane rejection.
+        if lane == Lane::Normal
+            && self.config.normal_lane_headroom < 1.0
+            && queue_depth >= self.config.normal_lane_threshold(queue_capacity)
+        {
+            return Err(BusyReason::Lane);
+        }
+        if self.config.per_client_inflight == 0 {
+            return Ok(QuotaGuard {
+                inflight: None,
+                client: String::new(),
+            });
+        }
+        let mut counts = lock_ignore_poison(&self.inflight);
+        let n = counts.by_client.entry(client.to_string()).or_insert(0);
+        if *n >= self.config.per_client_inflight {
+            return Err(BusyReason::Quota);
+        }
+        *n += 1;
+        Ok(QuotaGuard {
+            inflight: Some(Arc::clone(&self.inflight)),
+            client: client.to_string(),
+        })
+    }
+
+    /// Current in-flight count for one client identity (0 when the
+    /// quota gate is disabled or the client holds no slots).
+    pub fn inflight_for(&self, client: &str) -> usize {
+        lock_ignore_poison(&self.inflight)
+            .by_client
+            .get(client)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(per_client: usize, headroom: f64) -> AdmissionLanes {
+        AdmissionLanes::new(LaneConfig {
+            per_client_inflight: per_client,
+            normal_lane_headroom: headroom,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_rejects_bad_headroom() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                LaneConfig {
+                    per_client_inflight: 0,
+                    normal_lane_headroom: bad,
+                }
+                .validate()
+                .is_err(),
+                "headroom {bad} should be rejected"
+            );
+        }
+        LaneConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn quota_caps_one_client_without_touching_others() {
+        let lanes = lanes(2, 1.0);
+        let a1 = lanes.admit("10.0.0.1", Lane::Normal, 0, 64).unwrap();
+        let _a2 = lanes.admit("10.0.0.1", Lane::Normal, 0, 64).unwrap();
+        assert_eq!(
+            lanes.admit("10.0.0.1", Lane::Normal, 0, 64).unwrap_err(),
+            BusyReason::Quota
+        );
+        // A different identity is untouched by the first one's flood.
+        let _b1 = lanes.admit("10.0.0.2", Lane::Normal, 0, 64).unwrap();
+        assert_eq!(lanes.inflight_for("10.0.0.1"), 2);
+
+        // Releasing a slot re-opens the gate.
+        drop(a1);
+        assert_eq!(lanes.inflight_for("10.0.0.1"), 1);
+        let _a3 = lanes.admit("10.0.0.1", Lane::Normal, 0, 64).unwrap();
+    }
+
+    #[test]
+    fn quota_zero_means_unlimited() {
+        let lanes = lanes(0, 1.0);
+        let guards: Vec<_> = (0..100)
+            .map(|_| lanes.admit("flood", Lane::Normal, 0, 4).unwrap())
+            .collect();
+        assert_eq!(guards.len(), 100);
+        assert_eq!(
+            lanes.inflight_for("flood"),
+            0,
+            "no accounting when disabled"
+        );
+    }
+
+    #[test]
+    fn normal_lane_respects_headroom_and_high_lane_ignores_it() {
+        let lanes = lanes(0, 0.75);
+        let capacity = 64;
+        let threshold = lanes.config().normal_lane_threshold(capacity);
+        assert_eq!(threshold, 48);
+
+        assert!(lanes
+            .admit("c", Lane::Normal, threshold - 1, capacity)
+            .is_ok());
+        assert_eq!(
+            lanes
+                .admit("c", Lane::Normal, threshold, capacity)
+                .unwrap_err(),
+            BusyReason::Lane
+        );
+        // High lane sails past the headroom; only the service queue
+        // itself can turn it away.
+        assert!(lanes.admit("c", Lane::High, capacity - 1, capacity).is_ok());
+    }
+
+    #[test]
+    fn full_headroom_disables_the_lane_gate() {
+        let lanes = lanes(0, 1.0);
+        assert!(lanes.admit("c", Lane::Normal, 63, 64).is_ok());
+        // Even at depth == capacity the inert gate defers to the
+        // service queue, which answers busy(queue) itself.
+        assert!(lanes.admit("c", Lane::Normal, 64, 64).is_ok());
+    }
+
+    #[test]
+    fn lane_gate_checks_before_quota_accounting() {
+        // A lane rejection must not consume a quota slot.
+        let lanes = lanes(1, 0.5);
+        assert_eq!(
+            lanes.admit("c", Lane::Normal, 32, 64).unwrap_err(),
+            BusyReason::Lane
+        );
+        assert_eq!(lanes.inflight_for("c"), 0);
+        let _g = lanes.admit("c", Lane::Normal, 0, 64).unwrap();
+        assert_eq!(lanes.inflight_for("c"), 1);
+    }
+
+    #[test]
+    fn guards_release_across_threads() {
+        let lanes = lanes(1, 1.0);
+        let guard = lanes.admit("t", Lane::Normal, 0, 8).unwrap();
+        let lanes2 = lanes.clone();
+        std::thread::spawn(move || drop(guard)).join().unwrap();
+        assert_eq!(lanes2.inflight_for("t"), 0);
+        let _g = lanes2.admit("t", Lane::Normal, 0, 8).unwrap();
+    }
+}

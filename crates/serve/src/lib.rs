@@ -80,15 +80,21 @@
 //! ```
 
 pub mod clock;
+pub mod lanes;
+pub mod net;
 pub mod report;
 pub mod service;
+pub mod wire;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use lanes::{AdmissionLanes, LaneConfig, QuotaGuard};
+pub use net::{score_rows_text, serve_front, FrontConfig, FrontReport, WireClient};
 pub use report::ServeReport;
 pub use service::{
     ModelFault, ReloadReport, ScoreOutcome, ScoreService, ScoredBatch, ServeConfig, SubmitError,
     Ticket,
 };
+pub use wire::{BusyReason, Lane, WireError, WireRequest, WireResponse, WIRE_FORMAT};
 
 use std::fmt;
 
@@ -105,6 +111,9 @@ pub enum Error {
     /// different feature width than the one being served). The current
     /// pool keeps serving.
     Reload(String),
+    /// The network front end's listener failed beyond what its retry
+    /// budget tolerates (see `FrontConfig::max_accept_failures`).
+    Front(String),
 }
 
 impl fmt::Display for Error {
@@ -113,6 +122,7 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "invalid serve configuration: {msg}"),
             Error::Core(e) => write!(f, "estimator error: {e}"),
             Error::Reload(msg) => write!(f, "hot reload rejected: {msg}"),
+            Error::Front(msg) => write!(f, "front end failed: {msg}"),
         }
     }
 }

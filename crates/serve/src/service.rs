@@ -524,6 +524,19 @@ impl ScoreService {
         lock_ignore_poison(&self.inner.health).active.clone()
     }
 
+    /// Number of admitted requests currently waiting in the queue. A
+    /// point-in-time sample for admission policies layered above the
+    /// queue (the front end's lane gate); by the time the caller acts
+    /// the depth may already have moved.
+    pub fn queue_depth(&self) -> usize {
+        lock_ignore_poison(&self.inner.queue).pending.len()
+    }
+
+    /// The configured admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.config.queue_capacity
+    }
+
     /// Snapshot of the service's counters and latency percentiles.
     pub fn report(&self) -> ServeReport {
         self.inner.report()
@@ -1048,7 +1061,7 @@ impl ServiceInner {
 /// Mutex helper mirroring the executor's convention: a poisoned lock
 /// means a panicking thread, but serve state stays consistent (every
 /// update is a complete transaction), so we keep serving.
-fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poison| poison.into_inner())
 }
 
